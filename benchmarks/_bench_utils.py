@@ -1,0 +1,37 @@
+"""Shared helpers for the figure/table benchmarks (non-fixture side).
+
+Lives outside ``conftest.py`` so bench modules can import it by a
+collision-free name regardless of which conftest pytest loaded first.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+#: Global scale knob (1.0 = minutes-long defaults; larger = closer to
+#: paper scale).  Set via the REPRO_SCALE environment variable.
+SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Report sections collected during the run, emitted by the conftest
+#: terminal-summary hook and mirrored into RESULTS_DIR.
+sections: list[tuple[str, list[str]]] = []
+
+
+def scaled(value: int, minimum: int = 1) -> int:
+    """Scale an iteration count or size by REPRO_SCALE."""
+    return max(minimum, int(round(value * SCALE)))
+
+
+def add_section(title: str, lines: list[str]) -> None:
+    """Register a report section and mirror it to a results file."""
+    sections.append((title, list(lines)))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    head = title.lower().strip()
+    slug = "".join(ch if ch.isalnum() else "_" for ch in head).strip("_")
+    while "__" in slug:
+        slug = slug.replace("__", "_")
+    path = RESULTS_DIR / f"{slug[:80]}.txt"
+    path.write_text(title + "\n" + "\n".join(lines) + "\n")

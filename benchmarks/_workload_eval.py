@@ -1,0 +1,199 @@
+"""Shared machinery for the §3 / Fig. 3 / Fig. 4 benchmarks.
+
+Evaluates error-estimation procedures and the diagnostic against ground
+truth over generated workloads, per the paper's protocol: for each query,
+compute the true confidence interval from repeated samples of the full
+dataset, then judge each estimator's per-sample δ deviations
+(correct / optimistic / pessimistic), and separately ask the diagnostic
+for its runtime prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core import (
+    BootstrapEstimator,
+    ClosedFormEstimator,
+    DiagnosticConfig,
+    Verdict,
+    diagnose,
+    evaluate_estimator,
+)
+from repro.errors import EstimationError
+from repro.workloads import WorkloadQuery
+
+
+@dataclass
+class QueryEvaluation:
+    """Ground-truth verdicts (and optional diagnostic call) for one query."""
+
+    query: WorkloadQuery
+    verdicts: dict[str, Verdict]
+    diagnostic_passed: Optional[bool] = None
+    diagnostic_estimator: Optional[str] = None
+
+    @property
+    def excluded(self) -> bool:
+        return not self.verdicts
+
+
+def evaluate_workload(
+    table,
+    queries: list[WorkloadQuery],
+    sample_size: int,
+    rng: np.random.Generator,
+    num_trials: int = 16,
+    bootstrap_k: int = 100,
+    truth_trials: int = 500,
+) -> list[QueryEvaluation]:
+    """§3 protocol: verdicts for bootstrap and closed forms per query.
+
+    ``truth_trials`` controls the Monte-Carlo precision of the reference
+    interval.  It must be high: the same true width is reused for every
+    trial δ of a query, so reference error shifts all of them coherently
+    and flips borderline verdicts.
+    """
+    estimators = {
+        "bootstrap": BootstrapEstimator(bootstrap_k, rng),
+        "closed_form": ClosedFormEstimator(),
+    }
+    evaluations: list[QueryEvaluation] = []
+    for query in queries:
+        dataset_query = query.dataset_query(table)
+        verdicts: dict[str, Verdict] = {}
+        truth = None
+        for name, estimator in estimators.items():
+            try:
+                outcome = evaluate_estimator(
+                    dataset_query,
+                    estimator,
+                    sample_size,
+                    rng,
+                    num_trials=num_trials,
+                    truth_trials=truth_trials,
+                    true_ci=truth,
+                )
+            except EstimationError:
+                # Degenerate sampling distribution (e.g. a saturated
+                # distinct count): excluded, like a zero-variance trace
+                # query would be.
+                verdicts = {}
+                break
+            if outcome.true_ci is not None:
+                truth = outcome.true_ci
+            verdicts[name] = outcome.verdict
+        evaluations.append(QueryEvaluation(query=query, verdicts=verdicts))
+    return evaluations
+
+
+def verdict_breakdown(
+    evaluations: list[QueryEvaluation], estimator_name: str
+) -> dict[str, float]:
+    """Fig. 3 stacked shares for one estimator (fractions of all queries)."""
+    total = len(evaluations)
+    counts = {verdict: 0 for verdict in Verdict}
+    excluded = 0
+    for evaluation in evaluations:
+        if evaluation.excluded:
+            excluded += 1
+            continue
+        counts[evaluation.verdicts[estimator_name]] += 1
+    shares = {
+        verdict.value: counts[verdict] / total for verdict in Verdict
+    }
+    shares["excluded"] = excluded / total
+    return shares
+
+
+def failure_rate(
+    evaluations: list[QueryEvaluation],
+    estimator_name: str,
+    predicate=lambda query: True,
+) -> tuple[float, int]:
+    """Failure rate of an estimator among queries matching ``predicate``.
+
+    Returns ``(rate, population)``; not-applicable and excluded queries
+    are left out of the population.
+    """
+    population = 0
+    failures = 0
+    for evaluation in evaluations:
+        if evaluation.excluded or not predicate(evaluation.query):
+            continue
+        verdict = evaluation.verdicts[estimator_name]
+        if verdict is Verdict.NOT_APPLICABLE:
+            continue
+        population += 1
+        if verdict in (Verdict.OPTIMISTIC, Verdict.PESSIMISTIC):
+            failures += 1
+    rate = failures / population if population else float("nan")
+    return rate, population
+
+
+def run_diagnostics(
+    table,
+    evaluations: list[QueryEvaluation],
+    estimator_name: str,
+    sample_size: int,
+    rng: np.random.Generator,
+    num_subsamples: int = 50,
+    bootstrap_k: int = 100,
+) -> None:
+    """Attach a runtime diagnostic prediction to each evaluation (Fig. 4)."""
+    config = DiagnosticConfig(num_subsamples=num_subsamples, num_sizes=3)
+    for evaluation in evaluations:
+        if evaluation.excluded:
+            continue
+        dataset_query = evaluation.query.dataset_query(table)
+        target = dataset_query.sample_target(sample_size, rng)
+        estimator = (
+            ClosedFormEstimator()
+            if estimator_name == "closed_form"
+            else BootstrapEstimator(bootstrap_k, rng)
+        )
+        result = diagnose(target, estimator, 0.95, config, rng)
+        evaluation.diagnostic_passed = result.passed
+        evaluation.diagnostic_estimator = estimator_name
+
+
+def diagnostic_confusion(
+    evaluations: list[QueryEvaluation], estimator_name: str
+) -> dict[str, float]:
+    """Fig. 4 categories as fractions of diagnosable queries.
+
+    ``accurate``: diagnostic passed and estimation was actually correct;
+    ``false_positive``: passed but estimation fails;
+    ``false_negative``: rejected but estimation was correct;
+    ``correct_rejection``: rejected and estimation indeed fails.
+    """
+    total = 0
+    accurate = false_positive = false_negative = correct_rejection = 0
+    for evaluation in evaluations:
+        if evaluation.excluded or evaluation.diagnostic_passed is None:
+            continue
+        verdict = evaluation.verdicts[estimator_name]
+        if verdict is Verdict.NOT_APPLICABLE:
+            continue
+        total += 1
+        works = verdict is Verdict.CORRECT
+        if evaluation.diagnostic_passed and works:
+            accurate += 1
+        elif evaluation.diagnostic_passed and not works:
+            false_positive += 1
+        elif not evaluation.diagnostic_passed and works:
+            false_negative += 1
+        else:
+            correct_rejection += 1
+    if total == 0:
+        raise EstimationError("no diagnosable queries")
+    return {
+        "accurate": accurate / total,
+        "false_positive": false_positive / total,
+        "false_negative": false_negative / total,
+        "correct_rejection": correct_rejection / total,
+        "population": total,
+    }

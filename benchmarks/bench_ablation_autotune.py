@@ -1,0 +1,86 @@
+"""Ablation — automatic degree-of-parallelism selection.
+
+§7.3 leaves choosing the degree of parallelism automatically as future
+work; :func:`repro.cluster.autotune.tune_parallelism` implements it.
+This bench checks the tuner against an exhaustive grid: the chosen
+machine count's latency must be within a few percent of the best grid
+point, at a fraction of the grid's simulation budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    AQPQuerySpec,
+    ClusterSimulator,
+    PAPER_CLUSTER,
+    build_phases,
+    tune_parallelism,
+)
+from repro.cluster.config import GB
+
+from _bench_utils import scaled
+
+GRID = tuple(range(2, 101, 2))
+REPETITIONS = scaled(5)
+
+
+@pytest.fixture(scope="module")
+def jobs():
+    spec = AQPQuerySpec(
+        sample_bytes=20 * GB,
+        sample_rows=40_000_000,
+        selectivity=0.2,
+        closed_form=False,
+    )
+    phases = build_phases(spec, optimized=True)
+    return [phases.execution, phases.error_estimation, phases.diagnostics]
+
+
+def grid_search(simulator, jobs, rng):
+    results = {}
+    for machines in GRID:
+        totals = [
+            sum(
+                simulator.simulate(
+                    job, machines, True, rng
+                ).total_seconds
+                for job in jobs
+            )
+            for __ in range(REPETITIONS)
+        ]
+        results[machines] = float(np.mean(totals))
+    return results
+
+
+def test_autotune_vs_grid(benchmark, jobs, figure_report):
+    simulator = ClusterSimulator(PAPER_CLUSTER)
+
+    def run():
+        rng = np.random.default_rng(62)
+        grid = grid_search(simulator, jobs, rng)
+        tuned = tune_parallelism(
+            simulator, jobs, repetitions=REPETITIONS, rng=rng
+        )
+        return grid, tuned
+
+    grid, tuned = benchmark.pedantic(run, rounds=1)
+    grid_best = min(grid, key=grid.get)
+    lines = [
+        f"QSet-2 query phases; grid = every 2 machines × {REPETITIONS} "
+        "reps; tuner = geometric + local refinement",
+        f"grid optimum:  {grid_best:3d} machines → {grid[grid_best]:6.2f}s "
+        f"({len(GRID) * REPETITIONS} simulations)",
+        f"tuner choice:  {tuned.best_machines:3d} machines → "
+        f"{tuned.best_seconds:6.2f}s "
+        f"({len(tuned.evaluated) * REPETITIONS} simulations)",
+        f"tuner latency gap vs grid optimum: "
+        f"{tuned.best_seconds / grid[grid_best] - 1:+.1%}",
+    ]
+    figure_report("Ablation — automatic parallelism tuning", lines)
+
+    # The tuner's pick is near-optimal at a fraction of the budget.
+    assert tuned.best_seconds <= grid[grid_best] * 1.15
+    assert len(tuned.evaluated) < len(GRID) / 2

@@ -1,0 +1,88 @@
+"""Ablation — diagnostic parameters (p and the subsample ladder).
+
+Algorithm 1 costs ``p × k`` point estimates (each with K bootstrap
+resamples when ξ is the bootstrap), so p is the main cost knob.  This
+ablation measures the diagnostic's decision quality on a labelled query
+panel — queries where error estimation provably works (means on benign
+data) and provably fails (MIN/MAX/extreme quantiles on heavy tails) —
+as p varies.
+
+Expected shape: small p is noisy (false positives and negatives creep
+in); the paper's p = 100 is comfortably stable; cost scales linearly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BootstrapEstimator,
+    DiagnosticConfig,
+    EstimationTarget,
+    diagnose,
+)
+from repro.engine.aggregates import get_aggregate
+
+from _bench_utils import scaled
+
+SAMPLE_ROWS = scaled(60_000)
+P_VALUES = (10, 25, 50, 100)
+PANEL_REPEATS = 6
+
+
+@pytest.fixture(scope="module")
+def panel():
+    """(target, should_pass) pairs with known ground truth."""
+    rng = np.random.default_rng(9)
+    benign = rng.lognormal(2.0, 0.5, SAMPLE_ROWS)
+    hostile = (rng.pareto(1.5, SAMPLE_ROWS) + 1.0) * 100.0
+    return [
+        (EstimationTarget(benign, get_aggregate("AVG")), True),
+        (EstimationTarget(benign, get_aggregate("SUM"),
+                          dataset_rows=SAMPLE_ROWS * 20, extensive=True), True),
+        (EstimationTarget(benign, get_aggregate("PERCENTILE", 0.5)), True),
+        (EstimationTarget(hostile, get_aggregate("MAX")), False),
+        (EstimationTarget(hostile, get_aggregate("MIN")), False),
+        (EstimationTarget(hostile, get_aggregate("PERCENTILE", 0.999)), False),
+    ]
+
+
+def accuracy_at(panel, p, rng) -> tuple[float, int]:
+    estimator = BootstrapEstimator(80, rng)
+    config = DiagnosticConfig(num_subsamples=p, num_sizes=3)
+    correct = 0
+    total = 0
+    subqueries = 0
+    for __ in range(PANEL_REPEATS):
+        for target, should_pass in panel:
+            result = diagnose(target, estimator, 0.95, config, rng)
+            correct += result.passed == should_pass
+            total += 1
+            subqueries += result.num_subqueries
+    return correct / total, subqueries // (total)
+
+
+def test_diagnostic_p_sweep(benchmark, panel, figure_report):
+    rng = np.random.default_rng(10)
+    results = benchmark.pedantic(
+        lambda: {p: accuracy_at(panel, p, rng) for p in P_VALUES}, rounds=1
+    )
+    lines = [
+        f"panel of {len(panel)} labelled queries × {PANEL_REPEATS} repeats; "
+        "decision accuracy and per-query subquery cost vs p",
+        f"{'p':>6s}{'accuracy':>12s}{'subqueries/query':>20s}",
+    ]
+    for p, (accuracy, cost) in results.items():
+        lines.append(f"{p:6d}{accuracy:12.1%}{cost:20,d}")
+    lines.append(
+        "shape: accuracy saturates well before the paper's p=100; cost "
+        "is linear in p (×K for bootstrap ξ)."
+    )
+    figure_report("Ablation — diagnostic subsample count p", lines)
+
+    accuracy_100 = results[100][0]
+    assert accuracy_100 >= 0.85
+    # Cost scales linearly with p (3 sizes → 3p subqueries per query).
+    assert results[100][1] == 300
+    assert results[10][1] == 30

@@ -1,0 +1,109 @@
+"""Ablation — error-controlled sample sizing (§1's accuracy/time tradeoff).
+
+The paper motivates error estimates partly as a control signal: "by
+varying the sample size while estimating the magnitude of the resulting
+error bars, the system can make a smooth and controlled trade-off
+between accuracy and query time."  This bench closes that loop:
+
+1. run a cheap pilot (2k rows) for each mean-like query;
+2. let :class:`SampleSizeSelector` predict the rows needed for a target
+   relative error;
+3. draw a sample of exactly that size and measure the *realized*
+   relative error.
+
+Expected shape: realized error hugs the target from below (the safety
+factor absorbs extrapolation noise), and the predicted sizes span orders
+of magnitude across queries — a fixed sample size would have been
+wasteful for some queries and insufficient for others.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ClosedFormEstimator
+from repro.core.error_control import SampleSizeSelector
+from repro.workloads import conviva_sessions_table, conviva_workload
+
+from _bench_utils import scaled
+
+DATASET_ROWS = scaled(400_000)
+PILOT_ROWS = 2000
+TARGETS = (0.10, 0.05, 0.02)
+NUM_QUERIES = scaled(12)
+
+
+@pytest.fixture(scope="module")
+def queries(bench_rng):
+    table = conviva_sessions_table(DATASET_ROWS, bench_rng)
+    selected = []
+    for query in conviva_workload(NUM_QUERIES * 12, np.random.default_rng(55)):
+        if query.aggregate_name == "AVG" and not query.has_udf:
+            dataset_query = query.dataset_query(table)
+            mask = dataset_query.mask
+            matched = mask.sum() if mask is not None else DATASET_ROWS
+            if matched > DATASET_ROWS // 4:
+                selected.append(dataset_query)
+        if len(selected) == NUM_QUERIES:
+            break
+    assert len(selected) >= 4
+    return selected
+
+
+def test_error_controlled_sizing(benchmark, queries, bench_rng, figure_report):
+    selector = SampleSizeSelector(ClosedFormEstimator(), safety_factor=1.3)
+
+    def run():
+        rows = []
+        for target in TARGETS:
+            achieved = []
+            required = []
+            met = 0
+            for query in queries:
+                pilot = query.sample_target(PILOT_ROWS, bench_rng)
+                recommendation = selector.recommend(
+                    pilot, target, DATASET_ROWS, bench_rng
+                )
+                size = min(recommendation.required_rows, DATASET_ROWS)
+                verify = query.sample_target(size, bench_rng)
+                interval = ClosedFormEstimator().estimate(verify, 0.95)
+                achieved.append(interval.relative_error)
+                required.append(recommendation.required_rows)
+                met += interval.relative_error <= target * 1.15
+            rows.append(
+                {
+                    "target": target,
+                    "met_fraction": met / len(queries),
+                    "median_achieved": float(np.median(achieved)),
+                    "size_range": (min(required), max(required)),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1)
+    lines = [
+        f"{len(queries)} AVG queries; pilot n = {PILOT_ROWS}; "
+        "closed-form pilot → predicted size → realized error",
+        f"{'target':>8s}{'met (±15%)':>12s}{'median realized':>18s}"
+        f"{'predicted-size range':>24s}",
+    ]
+    for row in rows:
+        low, high = row["size_range"]
+        lines.append(
+            f"{row['target']:8.2f}{row['met_fraction']:12.0%}"
+            f"{row['median_achieved']:18.3f}{low:>14,d} – {high:,}"
+        )
+    lines.append(
+        "shape: realized errors track the targets; required sizes vary "
+        "widely per query, which is the point of controlling by error."
+    )
+    figure_report("Ablation — error-controlled sample sizing", lines)
+
+    for row in rows:
+        assert row["met_fraction"] >= 0.75
+        assert row["median_achieved"] <= row["target"] * 1.1
+    # Tighter targets need quadratically more rows.
+    loose = np.mean(rows[0]["size_range"])
+    tight = np.mean(rows[-1]["size_range"])
+    assert tight > 5 * loose

@@ -1,0 +1,104 @@
+"""Figure 7(a)/(b) — naive end-to-end response times.
+
+Simulates the §5.2 baseline (per-resample subqueries, resampling before
+filters, one task per subquery) for QSet-1 (closed-form error) and
+QSet-2 (bootstrap-only) on the paper's 100-machine cluster, decomposing
+each query's response time into query execution, error-estimation
+overhead, and diagnostics overhead.
+
+Paper shape: the naive implementation "typically takes several minutes
+to run (and ... costs 100× to 1000× more resources)", with diagnostics
+dominating QSet-2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSimulator, PAPER_CLUSTER, build_phases
+from repro.workloads import qset1_specs, qset2_specs
+
+from _bench_utils import scaled
+
+NUM_QUERIES = scaled(100)
+
+
+def simulate_qset(specs, rng):
+    sim = ClusterSimulator(PAPER_CLUSTER)
+    rows = []
+    for spec in specs:
+        phases = build_phases(spec, optimized=False)
+        rows.append(
+            {
+                "execution": sim.simulate(phases.execution, rng=rng).total_seconds,
+                "error": sim.simulate(
+                    phases.error_estimation, rng=rng
+                ).total_seconds,
+                "diagnostics": sim.simulate(
+                    phases.diagnostics, rng=rng
+                ).total_seconds,
+            }
+        )
+    return rows
+
+
+def summarize(rows):
+    def stats(key):
+        values = np.array([row[key] for row in rows])
+        return (
+            float(values.min()),
+            float(np.median(values)),
+            float(values.max()),
+        )
+
+    return {key: stats(key) for key in ("execution", "error", "diagnostics")}
+
+
+@pytest.fixture(scope="module")
+def qset_rows():
+    rng = np.random.default_rng(71)
+    return {
+        "QSet-1": simulate_qset(qset1_specs(NUM_QUERIES, rng), rng),
+        "QSet-2": simulate_qset(qset2_specs(NUM_QUERIES, rng), rng),
+    }
+
+
+def test_fig7_naive_latencies(benchmark, qset_rows, figure_report):
+    summaries = benchmark.pedantic(
+        lambda: {name: summarize(rows) for name, rows in qset_rows.items()},
+        rounds=1,
+    )
+    lines = [
+        f"{NUM_QUERIES} queries per QSet on the paper cluster "
+        "(100 × m1.large); per-phase seconds, min/median/max",
+    ]
+    for name, summary in summaries.items():
+        lines.append(f"  {name}:")
+        for phase, (low, median, high) in summary.items():
+            lines.append(
+                f"    {phase:12s} {low:8.2f} / {median:8.2f} / {high:8.2f}"
+            )
+        totals = [
+            sum(row.values()) for row in qset_rows[name]
+        ]
+        lines.append(
+            f"    {'TOTAL':12s} {min(totals):8.2f} / "
+            f"{float(np.median(totals)):8.2f} / {max(totals):8.2f}"
+        )
+    lines += [
+        "paper Fig. 7: naive error estimation + diagnostics take minutes",
+        "(tens of seconds for QSet-1, up to hundreds for QSet-2), far",
+        "from interactive.",
+    ]
+    figure_report("Figure 7 — naive end-to-end response times", lines)
+
+    qset1_totals = [sum(r.values()) for r in qset_rows["QSet-1"]]
+    qset2_totals = [sum(r.values()) for r in qset_rows["QSet-2"]]
+    # Naive execution is not interactive: median well above a few seconds.
+    assert np.median(qset1_totals) > 10
+    assert np.median(qset2_totals) > 60
+    # Diagnostics dominate the bootstrap QSet (30,000 subqueries).
+    qset2_diag = np.median([r["diagnostics"] for r in qset_rows["QSet-2"]])
+    qset2_exec = np.median([r["execution"] for r in qset_rows["QSet-2"]])
+    assert qset2_diag > 5 * qset2_exec

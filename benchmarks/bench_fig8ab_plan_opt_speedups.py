@@ -1,0 +1,90 @@
+"""Figure 8(a)/(b) — speedups from the query-plan optimisations.
+
+Per query, the speedup of the §5.3-optimised plan (scan consolidation +
+resampling-operator pushdown) over the §5.2 baseline, for the
+error-estimation and diagnostics phases separately, on the same fleet
+with no physical tuning (the paper's Fig. 8(a)/(b) isolate plan
+optimisations; physical tuning is Fig. 8(e)/(f)).
+
+Paper shape: QSet-1 gains 1–2× (error estimation) and 5–20×
+(diagnostics); QSet-2 gains 20–60× and 20–100×.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSimulator, PAPER_CLUSTER, build_phases
+from repro.workloads import qset1_specs, qset2_specs
+
+from _bench_utils import scaled
+
+NUM_QUERIES = scaled(100)
+PERCENTILES = (10, 25, 50, 75, 90)
+
+
+def speedups_for(specs, rng):
+    sim = ClusterSimulator(PAPER_CLUSTER)
+    error_speedups = []
+    diagnostic_speedups = []
+    for spec in specs:
+        naive = build_phases(spec, optimized=False)
+        optimized = build_phases(spec, optimized=True)
+        naive_error = sim.simulate(naive.error_estimation, rng=rng).total_seconds
+        optimized_error = sim.simulate(
+            optimized.error_estimation, rng=rng
+        ).total_seconds
+        naive_diag = sim.simulate(naive.diagnostics, rng=rng).total_seconds
+        optimized_diag = sim.simulate(
+            optimized.diagnostics, rng=rng
+        ).total_seconds
+        error_speedups.append(naive_error / optimized_error)
+        diagnostic_speedups.append(naive_diag / optimized_diag)
+    return np.array(error_speedups), np.array(diagnostic_speedups)
+
+
+@pytest.fixture(scope="module")
+def all_speedups():
+    rng = np.random.default_rng(88)
+    return {
+        "QSet-1": speedups_for(qset1_specs(NUM_QUERIES, rng), rng),
+        "QSet-2": speedups_for(qset2_specs(NUM_QUERIES, rng), rng),
+    }
+
+
+def _cdf_line(label, values):
+    quantiles = np.percentile(values, PERCENTILES)
+    cells = "  ".join(
+        f"p{p}={q:7.1f}x" for p, q in zip(PERCENTILES, quantiles)
+    )
+    return f"  {label:28s} {cells}"
+
+
+def test_fig8ab_plan_optimization_speedups(
+    benchmark, all_speedups, figure_report
+):
+    benchmark.pedantic(lambda: None, rounds=1)
+    lines = [
+        f"{NUM_QUERIES} queries per QSet; speedup CDF percentiles of "
+        "§5.3 plan vs §5.2 baseline (same fleet, no physical tuning)",
+    ]
+    for name, (error_speedups, diagnostic_speedups) in all_speedups.items():
+        lines.append(_cdf_line(f"{name} error estimation", error_speedups))
+        lines.append(_cdf_line(f"{name} diagnostics", diagnostic_speedups))
+    lines += [
+        "paper Fig. 8(a)/(b): QSet-1 ~1-2x (error) and ~5-20x (diag);",
+        "QSet-2 ~20-60x (error) and ~20-100x (diag).",
+    ]
+    figure_report("Figure 8(a)/(b) — plan-optimisation speedups", lines)
+
+    qset1_error, qset1_diag = all_speedups["QSet-1"]
+    qset2_error, qset2_diag = all_speedups["QSet-2"]
+    # QSet-1: modest error-estimation gains, larger diagnostic gains.
+    assert 1.0 <= np.median(qset1_error) <= 5.0
+    assert 3.0 <= np.median(qset1_diag) <= 40.0
+    # QSet-2: order-of-magnitude gains on both.
+    assert np.median(qset2_error) >= 10.0
+    assert np.median(qset2_diag) >= 15.0
+    # The bootstrap QSet benefits far more than the closed-form QSet.
+    assert np.median(qset2_error) > 4 * np.median(qset1_error)

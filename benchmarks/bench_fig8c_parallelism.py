@@ -1,0 +1,77 @@
+"""Figure 8(c) — response time vs degree of parallelism.
+
+Sweeps the number of machines the §5.3-optimised error-estimation and
+diagnostic jobs may use, averaged over QSet-1 + QSet-2, with .01/.99
+quantile bars like the paper's plot.
+
+Paper shape: "most efficient when executed on up to 20 machines";
+beyond that, task scheduling and communication overheads offset the
+parallelism gains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSimulator, PAPER_CLUSTER, build_phases
+from repro.workloads import qset1_specs, qset2_specs
+
+from _bench_utils import scaled
+
+NUM_QUERIES = scaled(40)
+MACHINE_COUNTS = (1, 2, 5, 10, 20, 40, 60, 80, 100)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rng = np.random.default_rng(83)
+    sim = ClusterSimulator(PAPER_CLUSTER)
+    specs = qset1_specs(NUM_QUERIES // 2, rng) + qset2_specs(
+        NUM_QUERIES // 2, rng
+    )
+    results: dict[int, np.ndarray] = {}
+    for machines in MACHINE_COUNTS:
+        totals = []
+        for spec in specs:
+            phases = build_phases(spec, optimized=True)
+            total = sum(
+                sim.simulate(job, num_machines=machines, rng=rng).total_seconds
+                for job in (
+                    phases.execution,
+                    phases.error_estimation,
+                    phases.diagnostics,
+                )
+            )
+            totals.append(total)
+        results[machines] = np.array(totals)
+    return results
+
+
+def test_fig8c_parallelism_sweet_spot(benchmark, sweep, figure_report):
+    benchmark.pedantic(lambda: None, rounds=1)
+    lines = [
+        f"{NUM_QUERIES} queries (QSet-1 + QSet-2), §5.3-optimised plans; "
+        "end-to-end seconds vs machines, mean [p01, p99]",
+    ]
+    means = {}
+    for machines, totals in sweep.items():
+        mean = float(totals.mean())
+        low, high = np.quantile(totals, [0.01, 0.99])
+        means[machines] = mean
+        bar = "#" * max(1, int(mean))
+        lines.append(
+            f"  {machines:4d} machines  {mean:8.2f}s  "
+            f"[{low:6.2f}, {high:6.2f}]  {bar}"
+        )
+    best = min(means, key=means.get)
+    lines += [
+        f"best machine count: {best} "
+        "(paper: ~20; an interior optimum, not the full fleet)",
+    ]
+    figure_report("Figure 8(c) — degree-of-parallelism sweep", lines)
+
+    # The optimum is interior: neither 1-2 machines nor the full fleet.
+    assert 5 <= best <= 40
+    assert means[best] < means[1] / 2
+    assert means[100] > means[best]

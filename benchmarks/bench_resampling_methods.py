@@ -1,0 +1,144 @@
+"""§5.1 — Poissonized resampling vs exact Tuple Augmentation.
+
+The paper motivates Poissonization by Pol & Jermaine's result that exact
+with-replacement resampling (TA) runs the bootstrap ~8–9× slower than
+the plain, un-bootstrapped query: the multinomial coupling forces each
+resample to be drawn jointly and each *tuple* (all columns) to be
+materialised per resample.  Poissonized weights stream instead, and with
+operator pushdown (§5.3.2) are only drawn for rows that survive filters.
+
+This bench runs a K=100 bootstrap of a filtered AVG over a wide
+(8-column) media-sessions table four ways:
+
+* plain query (no bootstrap) — the baseline the paper normalises by;
+* TA: exact multinomial counts + full-tuple materialisation per resample;
+* Poissonized, still materialising tuples per resample;
+* Poissonized weight matrix over filtered rows only (the §5.3 strategy).
+
+Expected shape: tuple-materialising strategies are orders of magnitude
+above the plain query (the paper's ≥8–9×; worse here because our plain
+query is a RAM-speed vector op rather than a disk-bound scan), and the
+consolidated weight-matrix path recovers most of that gap.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.sampling import (
+    TupleAugmentationResampler,
+    materialize_poisson_resample,
+    poisson_weight_matrix,
+)
+from repro.workloads import conviva_sessions_table
+
+from _bench_utils import scaled
+
+NUM_ROWS = scaled(100_000)
+NUM_RESAMPLES = 100
+
+
+@pytest.fixture(scope="module")
+def sample():
+    return conviva_sessions_table(NUM_ROWS, np.random.default_rng(1))
+
+
+def plain_query(table) -> float:
+    mask = table.column("bitrate") > 1000.0
+    return float(table.column("session_time")[mask].mean())
+
+
+def bootstrap_tuple_augmentation(table, rng) -> float:
+    resampler = TupleAugmentationResampler(rng)
+    estimates = [
+        plain_query(resample)
+        for resample in resampler.materialized_resamples(table, NUM_RESAMPLES)
+    ]
+    return float(np.std(estimates))
+
+
+def bootstrap_poisson_materialized(table, rng) -> float:
+    estimates = [
+        plain_query(materialize_poisson_resample(table, rng))
+        for __ in range(NUM_RESAMPLES)
+    ]
+    return float(np.std(estimates))
+
+
+def bootstrap_weight_matrix(table, rng) -> float:
+    # Pushdown: weights only for rows that pass the filter.
+    mask = table.column("bitrate") > 1000.0
+    values = table.column("session_time")[mask]
+    weights = poisson_weight_matrix(
+        len(values), NUM_RESAMPLES, rng, dtype=np.int32
+    )
+    totals = values @ weights
+    sizes = weights.sum(axis=0)
+    return float(np.std(totals / sizes))
+
+
+def test_plain_query(benchmark, sample):
+    assert benchmark(plain_query, sample) > 0
+
+
+def test_bootstrap_tuple_augmentation(benchmark, sample):
+    rng = np.random.default_rng(2)
+    assert benchmark.pedantic(
+        bootstrap_tuple_augmentation, args=(sample, rng), rounds=2
+    ) > 0
+
+
+def test_bootstrap_poissonized_materialized(benchmark, sample):
+    rng = np.random.default_rng(3)
+    assert benchmark.pedantic(
+        bootstrap_poisson_materialized, args=(sample, rng), rounds=2
+    ) > 0
+
+
+def test_bootstrap_weight_matrix(benchmark, sample):
+    rng = np.random.default_rng(4)
+    assert benchmark.pedantic(
+        bootstrap_weight_matrix, args=(sample, rng), rounds=3
+    ) > 0
+
+
+def test_report_relative_costs(benchmark, sample, figure_report):
+    """Print the §5.1 comparison, normalised by the plain query."""
+
+    def timed(fn, *args, repeat=3):
+        best = float("inf")
+        for __ in range(repeat):
+            start = time.perf_counter()
+            fn(*args)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    rng = np.random.default_rng(5)
+    plain = timed(plain_query, sample, repeat=5)
+    ta = timed(bootstrap_tuple_augmentation, sample, rng, repeat=1)
+    poisson_tuples = timed(bootstrap_poisson_materialized, sample, rng, repeat=1)
+    matrix = timed(bootstrap_weight_matrix, sample, rng, repeat=3)
+    lines = [
+        f"sample: {sample.num_rows:,} rows × {len(sample.column_names)} "
+        f"columns; K = {NUM_RESAMPLES}",
+        f"plain query:                         {plain * 1e3:9.2f} ms (1x)",
+        f"bootstrap, TA exact tuples:          {ta * 1e3:9.2f} ms "
+        f"({ta / plain:8.0f}x plain)",
+        f"bootstrap, Poissonized tuples:       {poisson_tuples * 1e3:9.2f} ms "
+        f"({poisson_tuples / plain:8.0f}x plain)",
+        f"bootstrap, weight matrix + pushdown: {matrix * 1e3:9.2f} ms "
+        f"({matrix / plain:8.0f}x plain)",
+        f"weight matrix vs TA speedup:         {ta / matrix:8.1f}x",
+        "paper (§5.1): TA ≈ 8-9x the plain query on a disk-bound stack;",
+        "the in-RAM gap here is larger, and Poissonized weighted execution",
+        "removes the tuple-materialisation cost entirely.",
+    ]
+    figure_report("§5.1 — resampling strategy costs", lines)
+    benchmark(lambda: None)
+    # Qualitative §5.1 ordering: exact TA is far above the plain query,
+    # and consolidated weighted execution recovers most of the gap.
+    assert ta > 8 * plain
+    assert matrix < ta / 2.5

@@ -1,0 +1,42 @@
+"""Fixtures and reporting hooks for the figure/table benchmarks.
+
+Every bench regenerates one table or figure from the paper's evaluation
+and *prints the series the paper reports*.  Because pytest captures
+stdout, benches report through the :func:`figure_report` fixture; the
+collected sections are emitted in the terminal summary (and mirrored to
+``benchmarks/results/``), so ``pytest benchmarks/ --benchmark-only``
+shows both the timing table and the reproduced figures.
+
+Scale: paper-scale workloads (100–250 queries/cell, 10⁶-row samples)
+take hours; the default scale finishes in minutes.  Set ``REPRO_SCALE``
+(default 1.0, e.g. 4.0) to scale query counts and sample sizes up.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _bench_utils import add_section, sections
+
+
+@pytest.fixture
+def figure_report():
+    """Register a named report section printed at the end of the run."""
+    return add_section
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not sections:
+        return
+    terminalreporter.section("reproduced figures and tables")
+    for title, lines in sections:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"== {title} ==")
+        for line in lines:
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def bench_rng() -> np.random.Generator:
+    return np.random.default_rng(20140622)  # SIGMOD'14 dates

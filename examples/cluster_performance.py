@@ -1,0 +1,87 @@
+"""Cluster performance: why the optimisations matter (§5–§7).
+
+Simulates one bootstrap-only query (QSet-2 style, 20 GB cached sample)
+on the paper's 100-node cluster in four configurations — naive §5.2,
+plan-optimised §5.3, and fully tuned §6 — and then sweeps the degree of
+parallelism to show the Fig. 8(c) sweet spot.
+
+Run with::
+
+    python examples/cluster_performance.py
+"""
+
+import numpy as np
+
+from repro.cluster import (
+    AQPQuerySpec,
+    ClusterSimulator,
+    PAPER_CLUSTER,
+    build_phases,
+)
+from repro.cluster.config import GB
+
+
+def simulate_total(sim, phases, rng, **kwargs) -> tuple[float, dict]:
+    breakdown = {}
+    for label, job in (
+        ("query execution", phases.execution),
+        ("error estimation", phases.error_estimation),
+        ("diagnostics", phases.diagnostics),
+    ):
+        breakdown[label] = sim.simulate(job, rng=rng, **kwargs).total_seconds
+    return sum(breakdown.values()), breakdown
+
+
+def print_config(name, total, breakdown) -> None:
+    detail = "  ".join(f"{k}={v:7.2f}s" for k, v in breakdown.items())
+    print(f"  {name:34s} total={total:8.2f}s   {detail}")
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    sim = ClusterSimulator(PAPER_CLUSTER)
+    spec = AQPQuerySpec(
+        sample_bytes=20 * GB,
+        sample_rows=40_000_000,
+        selectivity=0.2,
+        closed_form=False,  # QSet-2: bootstrap-only error bars
+    )
+
+    print("One QSet-2 query (20 GB cached sample, K=100 bootstrap, "
+          "p=100/k=3 diagnostic):\n")
+    naive = build_phases(spec, optimized=False)
+    optimized = build_phases(spec, optimized=True)
+
+    total, breakdown = simulate_total(sim, naive, rng)
+    print_config("naive (§5.2 query rewriting)", total, breakdown)
+
+    total, breakdown = simulate_total(sim, optimized, rng)
+    print_config("plan-optimised (§5.3)", total, breakdown)
+
+    total, breakdown = simulate_total(
+        sim, optimized, rng, num_machines=20, straggler_mitigation=True
+    )
+    print_config("fully tuned (§6: 20 machines + spec. exec.)",
+                 total, breakdown)
+
+    print("\nDegree-of-parallelism sweep (plan-optimised, all 3 phases):")
+    for machines in (1, 2, 5, 10, 20, 40, 60, 80, 100):
+        totals = [
+            simulate_total(
+                sim, optimized, rng,
+                num_machines=machines, straggler_mitigation=True,
+            )[0]
+            for __ in range(5)
+        ]
+        mean = float(np.mean(totals))
+        bar = "#" * max(1, int(mean * 2))
+        print(f"  {machines:3d} machines  {mean:7.2f}s  {bar}")
+    print(
+        "\nThe sweet spot sits around 10–20 machines (Fig. 8(c)): beyond\n"
+        "it, per-task overheads, many-to-one aggregation, and coordination\n"
+        "costs outgrow the parallelism gains."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""When error estimation fails (§3) — and how badly.
+
+Evaluates three error-estimation procedures — the bootstrap, CLT closed
+forms, and Hoeffding bounds — against the ground truth on four queries:
+two benign (mean-like) and two hostile (extreme statistics on
+heavy-tailed data).  For each, it reports the paper's δ metric and the
+correct / optimistic / pessimistic verdict.
+
+Run with::
+
+    python examples/error_estimation_failures.py
+"""
+
+import numpy as np
+
+from repro import (
+    BootstrapEstimator,
+    ClosedFormEstimator,
+    DatasetQuery,
+    HoeffdingEstimator,
+    Verdict,
+    evaluate_estimator,
+)
+from repro.engine.aggregates import get_aggregate
+
+
+def build_queries(rng: np.random.Generator, num_rows: int = 400_000) -> list[DatasetQuery]:
+    """Two benign and two hostile queries on heavy-tailed data."""
+    durations = rng.lognormal(3.0, 1.0, num_rows)
+    payload = (rng.pareto(1.5, num_rows) + 1.0) * 1000.0  # very heavy tail
+    return [
+        DatasetQuery(durations, get_aggregate("AVG"), label="AVG(duration)"),
+        DatasetQuery(
+            durations,
+            get_aggregate("SUM"),
+            extensive=True,
+            label="SUM(duration)",
+        ),
+        DatasetQuery(payload, get_aggregate("MAX"), label="MAX(payload)"),
+        DatasetQuery(
+            payload,
+            get_aggregate("PERCENTILE", 0.999),
+            label="P99.9(payload)",
+        ),
+    ]
+
+
+def main(num_rows: int = 400_000, sample_size: int = 20_000, num_trials: int = 30) -> None:
+    rng = np.random.default_rng(7)
+    estimators = [
+        BootstrapEstimator(100, rng),
+        ClosedFormEstimator(),
+        HoeffdingEstimator(),
+    ]
+
+    print(f"sample size n = {sample_size:,}; {num_trials} trial samples per cell; "
+          "δ is the relative width deviation (0 = perfect)\n")
+    header = f"{'query':18s}" + "".join(
+        f"{est.name:>28s}" for est in estimators
+    )
+    print(header)
+    print("-" * len(header))
+    for query in build_queries(rng, num_rows):
+        cells = []
+        for estimator in estimators:
+            outcome = evaluate_estimator(
+                query, estimator, sample_size, rng, num_trials=num_trials
+            )
+            if outcome.verdict is Verdict.NOT_APPLICABLE:
+                cells.append(f"{'n/a':>28s}")
+            else:
+                mean_delta = float(outcome.deltas.mean())
+                cells.append(
+                    f"{outcome.verdict.value:>15s} (δ̄={mean_delta:+6.2f})"
+                )
+        print(f"{query.label:18s}" + "".join(cells))
+
+    print(
+        "\nReading the table: the bootstrap and closed forms are accurate\n"
+        "for mean-like queries but the bootstrap collapses (optimistic,\n"
+        "δ̄ ≈ -1) on MAX and extreme percentiles, while Hoeffding bounds\n"
+        "are reliable but massively pessimistic — exactly the paper's §3\n"
+        "findings, and the reason a runtime diagnostic is needed."
+    )
+
+
+if __name__ == "__main__":
+    main()

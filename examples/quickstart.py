@@ -1,0 +1,86 @@
+"""Quickstart: approximate queries with reliable error bars.
+
+Builds a million-row sessions table, registers a 5 % sample, and runs a
+few aggregate queries through the full pipeline: approximate answer →
+error bars → diagnostic → fallback when the error bars can't be trusted.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import AQPEngine, Table
+
+
+def build_sessions(num_rows: int, seed: int = 0) -> Table:
+    """A sessions table like the paper's running example (§2.1)."""
+    rng = np.random.default_rng(seed)
+    cities = np.array(["NYC", "SF", "LA", "CHI", "SEA"])
+    return Table(
+        {
+            "time": rng.lognormal(3.0, 0.8, num_rows),
+            "city": cities[rng.integers(0, len(cities), num_rows)],
+            "bytes": rng.pareto(2.5, num_rows) * 1000.0,
+        },
+        name="sessions",
+    )
+
+
+def describe(label: str, value) -> None:
+    parts = [f"{label:50s} {value.estimate:12.3f}"]
+    if value.interval is not None and value.interval.half_width > 0:
+        parts.append(f"± {value.interval.half_width:.3f}")
+        parts.append(f"({value.interval.confidence:.0%}, {value.method})")
+    else:
+        parts.append(f"({value.method})")
+    if value.fell_back:
+        parts.append(f"[fell back: {value.fallback_reason.split(';')[0]}]")
+    print(" ".join(parts))
+
+
+def main(num_rows: int = 1_000_000) -> None:
+    table = build_sessions(num_rows)
+    engine = AQPEngine(seed=42)
+    engine.register_table("sessions", table)
+    info = engine.create_sample("sessions", fraction=0.05, name="s5pct")
+    print(
+        f"sample {info.name}: {info.rows:,} of {info.dataset_rows:,} rows "
+        f"(scale factor {info.scale_factor:.0f}x)\n"
+    )
+
+    # 1. The paper's running example: a mean with closed-form error bars.
+    result = engine.execute("SELECT AVG(time) FROM sessions WHERE city = 'NYC'")
+    describe("AVG(time) WHERE city='NYC'", result.single())
+    truth = table.column("time")[table.column("city") == "NYC"].mean()
+    print(f"{'  (exact answer for reference)':50s} {truth:12.3f}\n")
+
+    # 2. An extensive aggregate: scaled by |D| / |S| automatically.
+    result = engine.execute("SELECT COUNT(*) FROM sessions WHERE time > 100")
+    describe("COUNT(*) WHERE time > 100", result.single())
+    print(f"{'  (exact answer for reference)':50s} "
+          f"{(table.column('time') > 100).sum():12.0f}\n")
+
+    # 3. A bootstrap-only aggregate (no closed form exists).
+    result = engine.execute("SELECT PERCENTILE(time, 0.9) FROM sessions")
+    describe("PERCENTILE(time, 0.9)", result.single())
+    print()
+
+    # 4. A query whose error bars CANNOT be trusted: the diagnostic
+    #    catches it and the engine falls back to exact execution.
+    result = engine.execute("SELECT MAX(bytes) FROM sessions")
+    describe("MAX(bytes)  [bootstrap-hostile]", result.single())
+    print()
+
+    # 5. Grouped results: one estimate (and one diagnostic) per group.
+    result = engine.execute(
+        "SELECT city, AVG(time) AS avg_time FROM sessions GROUP BY city",
+        run_diagnostics=False,
+    )
+    for row in result.rows:
+        describe(f"AVG(time) for {row.group['city']}", row.values["avg_time"])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""repro — a reproduction of "Knowing When You're Wrong: Building Fast
+and Reliable Approximate Query Processing Systems" (SIGMOD 2014).
+
+The package provides:
+
+* a sampling-based approximate query engine with error bars
+  (:class:`AQPEngine`);
+* three error-estimation procedures — bootstrap, CLT closed forms, and
+  large-deviation bounds — plus ground-truth evaluation machinery;
+* the Kleiner et al. diagnostic that predicts, per query, whether an
+  error-estimation procedure can be trusted;
+* the query-plan optimisations (scan consolidation, Poissonized
+  resampling-operator pushdown) that make error estimation and
+  diagnosis interactive;
+* a discrete-event cluster simulator reproducing the paper's
+  performance study (Figs. 7–9);
+* synthetic Facebook-/Conviva-like workload generators matching the
+  published workload statistics.
+
+Quickstart::
+
+    import numpy as np
+    from repro import AQPEngine, Table
+
+    engine = AQPEngine(seed=0)
+    engine.register_table("sessions", Table({
+        "time": np.random.default_rng(0).lognormal(3, 1, 1_000_000),
+    }))
+    engine.create_sample("sessions", fraction=0.05)
+    result = engine.execute("SELECT AVG(time) FROM sessions")
+    print(result.single().interval)
+"""
+
+from repro.core import (
+    AQPEngine,
+    AQPResult,
+    AQPRow,
+    ApproximateValue,
+    BernsteinEstimator,
+    BootstrapEstimator,
+    ClosedFormEstimator,
+    ConfidenceInterval,
+    DatasetQuery,
+    DiagnosticConfig,
+    DiagnosticResult,
+    EngineConfig,
+    ErrorEstimator,
+    EstimationTarget,
+    HoeffdingEstimator,
+    Verdict,
+    classify_deltas,
+    diagnose,
+    evaluate_estimator,
+    true_interval,
+)
+from repro.engine import Table
+from repro.errors import ReproError
+from repro.sampling import SampleCatalog
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AQPEngine",
+    "AQPResult",
+    "AQPRow",
+    "ApproximateValue",
+    "BernsteinEstimator",
+    "BootstrapEstimator",
+    "ClosedFormEstimator",
+    "ConfidenceInterval",
+    "DatasetQuery",
+    "DiagnosticConfig",
+    "DiagnosticResult",
+    "EngineConfig",
+    "ErrorEstimator",
+    "EstimationTarget",
+    "HoeffdingEstimator",
+    "ReproError",
+    "SampleCatalog",
+    "Table",
+    "Verdict",
+    "classify_deltas",
+    "diagnose",
+    "evaluate_estimator",
+    "true_interval",
+    "__version__",
+]

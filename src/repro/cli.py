@@ -1,0 +1,170 @@
+"""Command-line interface: approximate SQL over CSV files.
+
+Usage::
+
+    python -m repro --table sessions.csv \\
+        --sample-fraction 0.05 \\
+        "SELECT AVG(time) FROM sessions WHERE city = 'NYC'"
+
+Loads each ``--table`` CSV as a base table (named by file stem), builds
+a uniform sample, runs the query through the full AQP pipeline —
+approximate answer, error bars, diagnostic, fallback — and prints the
+result.  ``--exact`` bypasses approximation.  Without a query argument,
+starts a tiny REPL.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.pipeline import AQPEngine, AQPResult, EngineConfig
+from repro.engine.io import load_csv
+from repro.errors import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Approximate SQL with reliable error bars over CSV data.",
+    )
+    parser.add_argument(
+        "query",
+        nargs="?",
+        help="SQL text; omit for an interactive prompt",
+    )
+    parser.add_argument(
+        "--table",
+        action="append",
+        default=[],
+        metavar="CSV",
+        help="CSV file to load as a base table (repeatable); the table "
+        "name is the file stem",
+    )
+    parser.add_argument(
+        "--sample-fraction",
+        type=float,
+        default=0.1,
+        help="uniform sample fraction per table (default 0.1)",
+    )
+    parser.add_argument(
+        "--confidence",
+        type=float,
+        default=0.95,
+        help="confidence level for error bars (default 0.95)",
+    )
+    parser.add_argument(
+        "--error-bound",
+        type=float,
+        default=None,
+        help="maximum acceptable relative error; misses escalate or "
+        "fall back to exact execution",
+    )
+    parser.add_argument(
+        "--no-diagnostics",
+        action="store_true",
+        help="skip the error-estimation diagnostic",
+    )
+    parser.add_argument(
+        "--exact",
+        action="store_true",
+        help="run the query exactly on the full data",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="random seed"
+    )
+    return parser
+
+
+def make_engine(args: argparse.Namespace) -> AQPEngine:
+    """Build an engine with the requested tables and samples loaded."""
+    if not args.table:
+        raise ReproError("at least one --table CSV is required")
+    engine = AQPEngine(
+        config=EngineConfig(confidence=args.confidence), seed=args.seed
+    )
+    for csv_path in args.table:
+        table = load_csv(Path(csv_path))
+        engine.register_table(table.name, table)
+        engine.create_sample(table.name, fraction=args.sample_fraction)
+    return engine
+
+
+def format_result(result: AQPResult) -> str:
+    """Human-readable rendering of an approximate result."""
+    lines = []
+    for row in result.rows:
+        prefix = ""
+        if row.group:
+            prefix = (
+                ", ".join(f"{k}={v}" for k, v in row.group.items()) + ": "
+            )
+        for value in row.values.values():
+            if value.interval is not None and value.interval.half_width > 0:
+                body = (
+                    f"{value.name} = {value.estimate:.6g} "
+                    f"± {value.interval.half_width:.4g} "
+                    f"({value.interval.confidence:.0%}, {value.method})"
+                )
+            else:
+                body = f"{value.name} = {value.estimate:.6g} ({value.method})"
+            if value.fell_back:
+                body += f"  [fallback: {value.fallback_reason.split(';')[0]}]"
+            lines.append(prefix + body)
+    lines.append(
+        f"-- sample {result.sample.name} ({result.sample.rows:,} rows), "
+        f"{result.elapsed_seconds * 1e3:.0f} ms"
+    )
+    return "\n".join(lines)
+
+
+def run_query(engine: AQPEngine, sql: str, args: argparse.Namespace) -> str:
+    if args.exact:
+        table = engine.execute_exact(sql)
+        header = "  ".join(table.column_names)
+        rows = [
+            "  ".join(str(value) for value in row.values())
+            for row in table.to_rows()
+        ]
+        return "\n".join([header, *rows])
+    result = engine.execute(
+        sql,
+        error_bound=args.error_bound,
+        run_diagnostics=not args.no_diagnostics,
+    )
+    return format_result(result)
+
+
+def repl(engine: AQPEngine, args: argparse.Namespace) -> int:
+    print("repro> approximate SQL shell; empty line or Ctrl-D to exit")
+    while True:
+        try:
+            line = input("repro> ").strip()
+        except EOFError:
+            print()
+            return 0
+        if not line:
+            return 0
+        try:
+            print(run_query(engine, line, args))
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        engine = make_engine(args)
+        if args.query is None:
+            return repl(engine, args)
+        print(run_query(engine, args.query, args))
+        return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""A discrete cluster simulator standing in for the paper's EC2 testbed.
+
+The paper's performance study (§6–§7, Figs. 7–9) ran on 100 Amazon EC2
+``m1.large`` machines over 17 TB of Conviva data.  We reproduce the
+latency *shapes* — baseline-vs-optimised gaps, the degree-of-parallelism
+sweet spot, the cache-fraction sweet spot, straggler effects — with a
+wave-scheduling simulator whose cost model is driven by the *measured*
+work of real plan executions (passes, rows, weight cells, subqueries
+from :class:`repro.plan.executor.CostProfile`).
+
+Modules:
+
+* :mod:`repro.cluster.config` — machine and cost-model parameters,
+  including :data:`PAPER_CLUSTER`, the §7 deployment.
+* :mod:`repro.cluster.stragglers` — straggler duration model and the
+  §6.3 speculative-execution mitigation.
+* :mod:`repro.cluster.simulator` — stage/job wave scheduling.
+* :mod:`repro.cluster.jobs` — build simulator jobs from AQP phase costs.
+"""
+
+from repro.cluster.config import ClusterConfig, PAPER_CLUSTER
+from repro.cluster.simulator import (
+    ClusterSimulator,
+    Job,
+    JobTiming,
+    Stage,
+)
+from repro.cluster.stragglers import straggler_multipliers
+from repro.cluster.autotune import TuningResult, tune_parallelism
+from repro.cluster.jobs import (
+    AQPQuerySpec,
+    QueryPhases,
+    build_phases,
+    diagnostics_phase,
+    error_estimation_phase,
+    query_execution_phase,
+)
+
+__all__ = [
+    "ClusterConfig",
+    "PAPER_CLUSTER",
+    "ClusterSimulator",
+    "Job",
+    "JobTiming",
+    "Stage",
+    "straggler_multipliers",
+    "AQPQuerySpec",
+    "QueryPhases",
+    "build_phases",
+    "diagnostics_phase",
+    "error_estimation_phase",
+    "query_execution_phase",
+    "TuningResult",
+    "tune_parallelism",
+]

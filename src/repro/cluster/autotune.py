@@ -1,0 +1,128 @@
+"""Automatic degree-of-parallelism selection (§7.3's future work).
+
+"Choosing the degree of parallelism automatically is a topic of future
+work." — we implement it.  Given a job (or a set of phase jobs) and the
+simulator, :func:`tune_parallelism` searches machine counts for the one
+minimising expected latency, averaging several stochastic simulations
+per candidate to smooth straggler noise.
+
+The search exploits the sweep's characteristic unimodal-with-noise
+shape (falling parallelism gains vs rising coordination/fan-in costs):
+a coarse geometric grid localises the basin, then a local refinement
+scans its neighbourhood.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.simulator import ClusterSimulator, Job
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of a parallelism search.
+
+    Attributes:
+        best_machines: the chosen machine count.
+        best_seconds: its mean simulated latency.
+        evaluated: machine count → mean latency for every candidate
+            tried (for inspection/plots).
+    """
+
+    best_machines: int
+    best_seconds: float
+    evaluated: dict[int, float]
+
+
+def _mean_latency(
+    simulator: ClusterSimulator,
+    jobs: list[Job],
+    machines: int,
+    repetitions: int,
+    straggler_mitigation: bool,
+    rng: np.random.Generator,
+) -> float:
+    totals = []
+    for __ in range(repetitions):
+        totals.append(
+            sum(
+                simulator.simulate(
+                    job, machines, straggler_mitigation, rng
+                ).total_seconds
+                for job in jobs
+            )
+        )
+    return float(np.mean(totals))
+
+
+def tune_parallelism(
+    simulator: ClusterSimulator,
+    jobs: list[Job] | Job,
+    repetitions: int = 5,
+    straggler_mitigation: bool = True,
+    rng: np.random.Generator | None = None,
+) -> TuningResult:
+    """Search machine counts for the latency-minimising configuration.
+
+    Args:
+        simulator: the cluster model.
+        jobs: one job or the list of phase jobs run back-to-back.
+        repetitions: stochastic simulations averaged per candidate.
+        straggler_mitigation: whether tuned runs use speculative
+            execution (§6.3).
+        rng: randomness source.
+
+    Raises:
+        SimulationError: if the fleet has no machines (cannot happen
+            with a validated config) or repetitions is non-positive.
+    """
+    if repetitions <= 0:
+        raise SimulationError(
+            f"repetitions must be positive, got {repetitions}"
+        )
+    if isinstance(jobs, Job):
+        jobs = [jobs]
+    rng = rng or np.random.default_rng()
+    fleet = simulator.config.num_machines
+
+    # Coarse pass: geometric grid up to the fleet size.
+    candidates: list[int] = []
+    machines = 1
+    while machines < fleet:
+        candidates.append(machines)
+        machines *= 2
+    candidates.append(fleet)
+
+    evaluated: dict[int, float] = {}
+    for candidate in candidates:
+        evaluated[candidate] = _mean_latency(
+            simulator, jobs, candidate, repetitions, straggler_mitigation, rng
+        )
+    coarse_best = min(evaluated, key=evaluated.get)
+
+    # Refinement: scan between the coarse best's neighbours.
+    index = candidates.index(coarse_best)
+    low = candidates[max(0, index - 1)]
+    high = candidates[min(len(candidates) - 1, index + 1)]
+    step = max(1, (high - low) // 8)
+    for candidate in range(low, high + 1, step):
+        if candidate not in evaluated:
+            evaluated[candidate] = _mean_latency(
+                simulator,
+                jobs,
+                candidate,
+                repetitions,
+                straggler_mitigation,
+                rng,
+            )
+
+    best = min(evaluated, key=evaluated.get)
+    return TuningResult(
+        best_machines=best,
+        best_seconds=evaluated[best],
+        evaluated=dict(sorted(evaluated.items())),
+    )

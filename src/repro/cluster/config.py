@@ -1,0 +1,105 @@
+"""Cluster and cost-model configuration.
+
+:data:`PAPER_CLUSTER` encodes the §7 deployment: 100 EC2 m1.large
+instances (4 ECUs, 7.5 GB RAM, 840 GB disk each), 75 TB of distributed
+disk and 600 GB of distributed RAM cache.  Bandwidths and overheads are
+set to era-appropriate values (2013 Hive/Shark deployments): ~100 MB/s
+sequential disk per machine, ~1 GB/s effective in-memory scan per slot,
+and per-task scheduling/launch overheads in the tens of milliseconds —
+the overhead that makes thousands of tiny subqueries non-interactive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+MB = 1024 * 1024
+GB = 1024 * MB
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Machine fleet parameters and cost-model constants.
+
+    Attributes:
+        num_machines: machines in the fleet.
+        slots_per_machine: concurrent task slots per machine (≈ cores).
+        ram_per_machine_bytes: RAM available per machine for caching
+            inputs *and* for execution working memory.
+        disk_bandwidth: sequential scan bandwidth from disk, per slot.
+        memory_bandwidth: scan bandwidth from the RAM cache, per slot.
+        cpu_throughput_rows: rows/s one slot can push through simple
+            filter + aggregate work.
+        cpu_throughput_weights: Poisson-weight cells/s one slot can
+            generate and fold into weighted aggregates.
+        scheduler_delay_seconds: per-task scheduling cost (the paper's
+            "per-task overhead" that penalises thousands of subqueries).
+        task_launch_overhead_seconds: per-task JVM/launch cost.
+        result_fanin_seconds: per-task cost of the many-to-one
+            aggregation phase (§6.1's communication overhead).
+        coordination_seconds_per_machine: per-stage driver/executor
+            coordination cost that grows with the number of machines
+            used — the overhead that makes very wide parallelism
+            counterproductive (Fig. 8(c)).
+        straggler_probability: chance a task runs abnormally slow.
+        straggler_mean_slowdown: mean extra slowdown multiplier of a
+            straggling task (exponential tail).
+        spill_penalty: multiplier applied to compute time when
+            intermediate data exceeds execution memory (§6.2's
+            cache-vs-working-memory tradeoff).
+    """
+
+    num_machines: int = 100
+    slots_per_machine: int = 4
+    ram_per_machine_bytes: int = int(7.5 * GB)
+    disk_bandwidth: float = 100 * MB
+    memory_bandwidth: float = 1 * GB
+    cpu_throughput_rows: float = 25e6
+    cpu_throughput_weights: float = 100e6
+    scheduler_delay_seconds: float = 0.02
+    task_launch_overhead_seconds: float = 0.05
+    result_fanin_seconds: float = 0.004
+    coordination_seconds_per_machine: float = 0.03
+    straggler_probability: float = 0.05
+    straggler_mean_slowdown: float = 2.0
+    spill_penalty: float = 3.0
+
+    def __post_init__(self):
+        if self.num_machines <= 0 or self.slots_per_machine <= 0:
+            raise SimulationError("machines and slots must be positive")
+        if self.disk_bandwidth <= 0 or self.memory_bandwidth <= 0:
+            raise SimulationError("bandwidths must be positive")
+        if not 0.0 <= self.straggler_probability < 1.0:
+            raise SimulationError(
+                "straggler probability must be in [0, 1)"
+            )
+
+    @property
+    def total_slots(self) -> int:
+        return self.num_machines * self.slots_per_machine
+
+    @property
+    def total_ram_bytes(self) -> int:
+        return self.num_machines * self.ram_per_machine_bytes
+
+    def with_machines(self, num_machines: int) -> "ClusterConfig":
+        """A copy of this config limited to ``num_machines`` machines."""
+        from dataclasses import replace
+
+        return replace(self, num_machines=num_machines)
+
+    def scan_seconds(self, input_bytes: float, cached_fraction: float) -> float:
+        """Per-slot time to stream ``input_bytes`` given cache residency."""
+        if not 0.0 <= cached_fraction <= 1.0:
+            raise SimulationError(
+                f"cached_fraction must be in [0, 1], got {cached_fraction}"
+            )
+        cached = input_bytes * cached_fraction
+        uncached = input_bytes - cached
+        return cached / self.memory_bandwidth + uncached / self.disk_bandwidth
+
+
+#: The §7 deployment: 100 × m1.large, 600 GB aggregate RAM cache.
+PAPER_CLUSTER = ClusterConfig()

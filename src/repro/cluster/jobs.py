@@ -1,0 +1,220 @@
+"""Build simulator jobs for the three phases of an AQP query.
+
+The paper decomposes every query's response time into three components
+(Figs. 7/9): the **query execution time** (the query on the sample), the
+**error estimation overhead**, and the **diagnostics overhead**.  This
+module turns a compact description of one query (:class:`AQPQuerySpec`)
+into :class:`~repro.cluster.simulator.Job`\\ s for each phase, in either
+the naive §5.2 shape or the optimised §5.3 shape:
+
+====================  ===============================  =========================
+phase                 naive                            optimised
+====================  ===============================  =========================
+query execution       1 pass over the sample           identical
+error estimation      K extra full passes              0 extra passes; weight
+                      (bootstrap) or 2 extra passes    cells only on filtered
+                      (closed forms)                   rows (pushdown)
+diagnostics           p·k·K tiny subqueries            shared scan + weight
+                      (bootstrap) or p·k (closed       cells on subsample rows
+                      form), one task each
+====================  ===============================  =========================
+
+The naive phases carry ``fixed_tasks`` — each §5.2 subquery schedules
+independently, which is where the per-task overhead bites; the optimised
+phases are elastic stages the simulator repartitions freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.config import MB
+from repro.cluster.simulator import Job, PARTITION_BYTES, Stage
+from repro.errors import SimulationError
+
+#: The paper's diagnostic subsample sizes (§5.3.1): 50/100/200 MB.
+PAPER_DIAG_SIZES_BYTES = (50 * MB, 100 * MB, 200 * MB)
+
+#: Bytes of intermediate state per generated weight cell (int32).
+WEIGHT_CELL_BYTES = 4
+
+
+@dataclass(frozen=True)
+class AQPQuerySpec:
+    """Compact description of one approximate query for cost modelling.
+
+    Attributes:
+        sample_bytes: size of the sample the query runs on.
+        sample_rows: rows in the sample (wide analytic rows: the §7
+            Conviva records are a few hundred bytes each).
+        selectivity: fraction of rows surviving the WHERE clause —
+            what the §5.3.2 pushdown saves on.
+        closed_form: True for QSet-1-style queries (closed-form error),
+            False for QSet-2 (bootstrap only).
+        bootstrap_k: K bootstrap resamples.
+        diag_p: p diagnostic subsamples per size.
+        diag_sizes_bytes: diagnostic subsample sizes (bytes each).
+        cached_fraction: fraction of the sample resident in RAM.
+    """
+
+    sample_bytes: float
+    sample_rows: int
+    selectivity: float = 1.0
+    closed_form: bool = False
+    bootstrap_k: int = 100
+    diag_p: int = 100
+    diag_sizes_bytes: tuple[float, ...] = PAPER_DIAG_SIZES_BYTES
+    cached_fraction: float = 1.0
+
+    def __post_init__(self):
+        if self.sample_bytes <= 0 or self.sample_rows <= 0:
+            raise SimulationError("sample must be non-empty")
+        if not 0.0 < self.selectivity <= 1.0:
+            raise SimulationError(
+                f"selectivity must be in (0, 1], got {self.selectivity}"
+            )
+
+    @property
+    def bytes_per_row(self) -> float:
+        return self.sample_bytes / self.sample_rows
+
+    def rows_for_bytes(self, num_bytes: float) -> float:
+        return num_bytes / self.bytes_per_row
+
+
+@dataclass(frozen=True)
+class QueryPhases:
+    """The three jobs whose latencies Fig. 7/9 stack per query."""
+
+    execution: Job
+    error_estimation: Job
+    diagnostics: Job
+
+
+def _natural_partitions(sample_bytes: float) -> int:
+    return max(1, int(-(-sample_bytes // PARTITION_BYTES)))
+
+
+def query_execution_phase(spec: AQPQuerySpec) -> Job:
+    """One pass over the sample: scan, filter, aggregate."""
+    stage = Stage(
+        name="scan+aggregate",
+        total_bytes=spec.sample_bytes,
+        total_rows=spec.sample_rows,
+        cached_fraction=spec.cached_fraction,
+    )
+    return Job(
+        name="query_execution",
+        stages=(stage,),
+        cached_input_bytes=spec.sample_bytes * spec.cached_fraction,
+        intermediate_bytes=spec.sample_bytes * 0.05,
+    )
+
+
+def error_estimation_phase(spec: AQPQuerySpec, optimized: bool) -> Job:
+    """The additional work of producing error bars."""
+    if optimized:
+        if spec.closed_form:
+            # One streaming moments computation over already-cached rows.
+            stage = Stage(
+                name="closed_form",
+                total_rows=spec.sample_rows,
+                spillable=True,
+            )
+            intermediate = 0.0
+        else:
+            # Consolidated scan + pushdown: K weight cells per *filtered*
+            # row, no extra input pass.
+            filtered_rows = spec.sample_rows * spec.selectivity
+            cells = filtered_rows * spec.bootstrap_k
+            stage = Stage(
+                name="bootstrap_weights",
+                total_weight_cells=cells,
+                spillable=True,
+            )
+            intermediate = cells * WEIGHT_CELL_BYTES
+        return Job(
+            name="error_estimation",
+            stages=(stage,),
+            cached_input_bytes=spec.sample_bytes * spec.cached_fraction,
+            intermediate_bytes=intermediate,
+        )
+    partitions = _natural_partitions(spec.sample_bytes)
+    if spec.closed_form:
+        # Naive query-layer rewrite: one extra full pass for the moment
+        # sums (the paper reports 1–2× for QSet-1 error estimation).
+        num_passes = 1
+        weight_cells = 0.0
+    else:
+        # §5.2: K separate TABLESAMPLE POISSONIZED subqueries, each a full
+        # rescan with a weight drawn for every scanned row (no pushdown).
+        num_passes = spec.bootstrap_k
+        weight_cells = float(spec.sample_rows) * spec.bootstrap_k
+    stage = Stage(
+        name="rescan_subqueries",
+        total_bytes=spec.sample_bytes * num_passes,
+        total_rows=float(spec.sample_rows) * num_passes,
+        total_weight_cells=weight_cells,
+        fixed_tasks=partitions * num_passes,
+        cached_fraction=spec.cached_fraction,
+    )
+    return Job(
+        name="error_estimation",
+        stages=(stage,),
+        cached_input_bytes=spec.sample_bytes * spec.cached_fraction,
+        intermediate_bytes=float(spec.sample_rows)
+        * spec.bootstrap_k
+        * WEIGHT_CELL_BYTES,
+    )
+
+
+def diagnostics_phase(spec: AQPQuerySpec, optimized: bool) -> Job:
+    """The additional work of validating the error bars (§4, Algorithm 1)."""
+    diag_bytes_total = spec.diag_p * sum(spec.diag_sizes_bytes)
+    diag_rows_total = spec.rows_for_bytes(diag_bytes_total)
+    resample_columns = 1 if spec.closed_form else spec.bootstrap_k
+    if optimized:
+        # Scan consolidation: diagnostic weight groups ride the shared
+        # pass; extra work is weight generation + subsample aggregation.
+        cells = diag_rows_total * resample_columns
+        stage = Stage(
+            name="diagnostic_weights",
+            total_rows=diag_rows_total,
+            total_weight_cells=cells,
+            spillable=True,
+        )
+        return Job(
+            name="diagnostics",
+            stages=(stage,),
+            cached_input_bytes=spec.sample_bytes * spec.cached_fraction,
+            intermediate_bytes=cells * WEIGHT_CELL_BYTES,
+        )
+    # Naive: every subsample × resample is its own subquery task.
+    subqueries_per_size = spec.diag_p * resample_columns
+    stages = []
+    for size_bytes in spec.diag_sizes_bytes:
+        stages.append(
+            Stage(
+                name=f"diag_subqueries_{int(size_bytes // MB)}MB",
+                total_bytes=size_bytes * subqueries_per_size,
+                total_rows=spec.rows_for_bytes(size_bytes)
+                * subqueries_per_size,
+                fixed_tasks=subqueries_per_size,
+                cached_fraction=spec.cached_fraction,
+            )
+        )
+    return Job(
+        name="diagnostics",
+        stages=tuple(stages),
+        cached_input_bytes=spec.sample_bytes * spec.cached_fraction,
+        intermediate_bytes=diag_rows_total * WEIGHT_CELL_BYTES,
+    )
+
+
+def build_phases(spec: AQPQuerySpec, optimized: bool) -> QueryPhases:
+    """All three phase jobs for one query."""
+    return QueryPhases(
+        execution=query_execution_phase(spec),
+        error_estimation=error_estimation_phase(spec, optimized),
+        diagnostics=diagnostics_phase(spec, optimized),
+    )

@@ -1,0 +1,266 @@
+"""Wave-scheduling cluster simulation.
+
+A :class:`Job` is a sequence of :class:`Stage`\\ s; each stage carries a
+*total* amount of work (bytes to scan, rows to process, weight cells to
+generate).  At simulation time the stage is split into tasks: elastic
+stages re-partition to exploit the available slots (what Shark does when
+the operator asked for more parallelism), while ``fixed_tasks`` stages
+keep their granularity — the §5.2 baseline's thousands of independent
+subqueries cannot be merged, which is precisely why it is slow.
+
+One task costs::
+
+    scheduler delay + launch overhead
+    + scan(bytes, cache residency) + cpu(rows) + cpu(weight cells)
+
+Straggler multipliers and the §6.3 speculative mitigation apply per
+task; tasks are placed on slots greedily (LPT); each stage then pays a
+many-to-one fan-in cost proportional to its task count and a
+coordination cost proportional to the number of machines used (§6.1) —
+together these produce the degree-of-parallelism sweet spot of
+Fig. 8(c).  The §6.2 cache-vs-working-memory tradeoff is modelled at
+job level via a spill penalty (Fig. 8(d)).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.config import MB, ClusterConfig
+from repro.cluster.stragglers import (
+    apply_speculative_mitigation,
+    straggler_multipliers,
+)
+from repro.errors import SimulationError
+
+#: Finest repartitioning granularity for elastic stages.
+MIN_PARTITION_BYTES = 32 * MB
+#: Natural partition size when data volume, not parallelism, decides.
+PARTITION_BYTES = 128 * MB
+#: Work floor per elastic task, so tiny stages don't shatter into
+#: thousands of no-op tasks just because slots are available.
+MIN_TASK_SECONDS = 0.05
+
+
+@dataclass(frozen=True)
+class Stage:
+    """A stage's total work, split into tasks at simulation time.
+
+    Attributes:
+        name: label for reporting.
+        total_bytes: input bytes the stage scans in aggregate.
+        total_rows: rows the stage filters/aggregates in aggregate.
+        total_weight_cells: Poisson weight cells generated in aggregate.
+        fixed_tasks: pin the task count (naive per-subquery execution);
+            ``None`` lets the simulator choose based on slots.
+        cached_fraction: fraction of this stage's input resident in RAM.
+        spillable: whether compute pays the spill penalty when the job's
+            working set exceeds free execution memory.
+    """
+
+    name: str
+    total_bytes: float = 0.0
+    total_rows: float = 0.0
+    total_weight_cells: float = 0.0
+    fixed_tasks: int | None = None
+    cached_fraction: float = 1.0
+    spillable: bool = False
+
+    def __post_init__(self):
+        if min(self.total_bytes, self.total_rows, self.total_weight_cells) < 0:
+            raise SimulationError(
+                f"stage {self.name!r} has negative work amounts"
+            )
+        if self.fixed_tasks is not None and self.fixed_tasks <= 0:
+            raise SimulationError(
+                f"stage {self.name!r}: fixed_tasks must be positive"
+            )
+
+
+@dataclass(frozen=True)
+class Job:
+    """A multi-stage job plus its memory footprint.
+
+    Attributes:
+        name: label for reporting.
+        stages: stages executed sequentially (tasks within a stage run
+            in parallel).
+        cached_input_bytes: RAM consumed by cached inputs while this job
+            runs; it competes with working memory (§6.2).
+        intermediate_bytes: the job's execution working set.
+    """
+
+    name: str
+    stages: tuple[Stage, ...]
+    cached_input_bytes: float = 0.0
+    intermediate_bytes: float = 0.0
+
+
+@dataclass(frozen=True)
+class JobTiming:
+    """Simulated timing of one job."""
+
+    total_seconds: float
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    tasks_launched: int = 0
+    speculative_tasks: int = 0
+    spilled: bool = False
+
+
+def _lpt_makespan(durations: np.ndarray, slots: int) -> float:
+    """Longest-processing-time greedy schedule makespan."""
+    if len(durations) == 0:
+        return 0.0
+    if slots <= 0:
+        raise SimulationError("need at least one slot")
+    if len(durations) <= slots:
+        return float(durations.max())
+    loads = [0.0] * slots
+    heapq.heapify(loads)
+    for duration in np.sort(durations)[::-1]:
+        least = heapq.heappop(loads)
+        heapq.heappush(loads, least + float(duration))
+    return max(loads)
+
+
+class ClusterSimulator:
+    """Simulates jobs on a configurable fleet."""
+
+    def __init__(self, config: ClusterConfig):
+        self.config = config
+
+    # -- task shaping ---------------------------------------------------------
+    def _work_seconds(self, stage: Stage, spill_factor: float) -> float:
+        """Pure work time of the whole stage on one slot."""
+        config = self.config
+        scan = config.scan_seconds(stage.total_bytes, stage.cached_fraction)
+        cpu = (
+            stage.total_rows / config.cpu_throughput_rows
+            + stage.total_weight_cells / config.cpu_throughput_weights
+        )
+        work = scan + cpu
+        if stage.spillable:
+            work *= spill_factor
+        return work
+
+    def _num_tasks(self, stage: Stage, slots: int, work_seconds: float) -> int:
+        if stage.fixed_tasks is not None:
+            return stage.fixed_tasks
+        by_work = max(1, int(work_seconds / MIN_TASK_SECONDS))
+        natural = max(1, int(-(-stage.total_bytes // PARTITION_BYTES)))
+        candidates = [slots, by_work]
+        if stage.total_bytes > 0:
+            # Input-bound stages cannot be cut finer than the partition floor.
+            candidates.append(
+                max(1, int(-(-stage.total_bytes // MIN_PARTITION_BYTES)))
+            )
+        # Repartition up to the slot count when there is enough work, but
+        # never below the natural partitioning.
+        return max(natural, min(candidates))
+
+    # -- memory ------------------------------------------------------------
+    def _spill_factor(self, job: Job) -> tuple[float, bool]:
+        # Cached samples and shuffle state live fleet-wide regardless of
+        # how many machines this query's tasks were capped to.
+        total_ram = self.config.num_machines * self.config.ram_per_machine_bytes
+        working = total_ram - job.cached_input_bytes
+        if working <= 0:
+            return self.config.spill_penalty, True
+        if job.intermediate_bytes <= working:
+            return 1.0, False
+        overflow = (job.intermediate_bytes - working) / job.intermediate_bytes
+        return 1.0 + (self.config.spill_penalty - 1.0) * overflow, True
+
+    # -- simulation --------------------------------------------------------
+    def simulate(
+        self,
+        job: Job,
+        num_machines: int | None = None,
+        straggler_mitigation: bool = False,
+        rng: np.random.Generator | None = None,
+    ) -> JobTiming:
+        """Simulate ``job`` on up to ``num_machines`` machines.
+
+        Args:
+            job: the job description.
+            num_machines: machine cap (defaults to the whole fleet); the
+                §6.1 degree-of-parallelism knob.
+            straggler_mitigation: enable §6.3 speculative execution.
+            rng: randomness for stragglers (fresh generator if omitted).
+        """
+        rng = rng or np.random.default_rng()
+        if num_machines is not None and num_machines <= 0:
+            raise SimulationError(
+                f"num_machines must be positive, got {num_machines}"
+            )
+        machines = num_machines or self.config.num_machines
+        machines = min(machines, self.config.num_machines)
+        slots = machines * self.config.slots_per_machine
+        spill_factor, spilled = self._spill_factor(job)
+
+        total = 0.0
+        stage_seconds: dict[str, float] = {}
+        tasks_launched = 0
+        speculative_total = 0
+        for stage in job.stages:
+            work = self._work_seconds(stage, spill_factor)
+            num_tasks = self._num_tasks(stage, slots, work)
+            per_task = (
+                self.config.scheduler_delay_seconds
+                + self.config.task_launch_overhead_seconds
+                + work / num_tasks
+            )
+            base = np.full(num_tasks, per_task)
+            durations = base * straggler_multipliers(
+                num_tasks, self.config, rng
+            )
+            speculative = 0
+            if straggler_mitigation:
+                durations, speculative = apply_speculative_mitigation(
+                    durations, base, self.config, rng
+                )
+                # Speculative copies occupy slots; count their load.
+                durations = np.concatenate(
+                    [durations, base[:speculative]]
+                )
+            makespan = _lpt_makespan(durations, slots)
+            fanin = self.config.result_fanin_seconds * num_tasks
+            coordination = (
+                self.config.coordination_seconds_per_machine * machines
+            )
+            seconds = makespan + fanin + coordination
+            stage_seconds[stage.name] = seconds
+            total += seconds
+            tasks_launched += num_tasks + speculative
+            speculative_total += speculative
+        return JobTiming(
+            total_seconds=total,
+            stage_seconds=stage_seconds,
+            tasks_launched=tasks_launched,
+            speculative_tasks=speculative_total,
+            spilled=spilled,
+        )
+
+    def sweep_machines(
+        self,
+        job: Job,
+        machine_counts: list[int],
+        rng: np.random.Generator | None = None,
+        straggler_mitigation: bool = False,
+        repetitions: int = 5,
+    ) -> dict[int, float]:
+        """Mean simulated latency per machine count (Fig. 8(c) sweeps)."""
+        rng = rng or np.random.default_rng()
+        results: dict[int, float] = {}
+        for machines in machine_counts:
+            samples = [
+                self.simulate(
+                    job, machines, straggler_mitigation, rng
+                ).total_seconds
+                for __ in range(repetitions)
+            ]
+            results[machines] = float(np.mean(samples))
+        return results

@@ -1,0 +1,74 @@
+"""Straggler modelling and speculative-execution mitigation (§6.3).
+
+A small fraction of tasks in a real cluster run abnormally slowly (bad
+disks, contention, GC pauses).  The paper mitigates them by spawning
+10 % extra speculative copies on different machines and not waiting for
+the original slow tasks.
+
+We model a straggling task as its base duration multiplied by
+``1 + Exponential(mean_slowdown)``; with mitigation, a duplicated task
+finishes at the *minimum* of two independent draws, at the price of 10 %
+extra task load on the cluster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.config import ClusterConfig
+from repro.errors import SimulationError
+
+#: Fraction of tasks duplicated speculatively (§6.3: "always spawn 10%
+#: more tasks on identical random samples of underlying data").
+SPECULATIVE_FRACTION = 0.10
+
+
+def straggler_multipliers(
+    num_tasks: int,
+    config: ClusterConfig,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Per-task slowdown multipliers (1.0 for healthy tasks)."""
+    if num_tasks < 0:
+        raise SimulationError(f"num_tasks must be non-negative, got {num_tasks}")
+    multipliers = np.ones(num_tasks)
+    if config.straggler_probability <= 0:
+        return multipliers
+    straggling = rng.random(num_tasks) < config.straggler_probability
+    count = int(straggling.sum())
+    if count:
+        multipliers[straggling] = 1.0 + rng.exponential(
+            config.straggler_mean_slowdown, size=count
+        )
+    return multipliers
+
+
+def apply_speculative_mitigation(
+    durations: np.ndarray,
+    base_durations: np.ndarray,
+    config: ClusterConfig,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, int]:
+    """Re-draw the slowest tasks' durations as min(original, fresh copy).
+
+    Args:
+        durations: task durations including straggler effects.
+        base_durations: the straggler-free durations (speculative copies
+            draw fresh straggler multipliers against these).
+        config: cluster parameters.
+        rng: randomness source.
+
+    Returns:
+        ``(new_durations, extra_tasks)`` where ``extra_tasks`` is the
+        number of speculative copies launched (the added cluster load).
+    """
+    num_tasks = len(durations)
+    if num_tasks == 0:
+        return durations, 0
+    num_speculative = max(1, int(np.ceil(num_tasks * SPECULATIVE_FRACTION)))
+    slowest = np.argsort(durations)[-num_speculative:]
+    fresh_multipliers = straggler_multipliers(num_speculative, config, rng)
+    fresh = base_durations[slowest] * fresh_multipliers
+    new_durations = durations.copy()
+    new_durations[slowest] = np.minimum(durations[slowest], fresh)
+    return new_durations, num_speculative

@@ -1,0 +1,105 @@
+"""Error estimation, diagnostics, and the AQP pipeline — the paper's core.
+
+Submodules:
+
+* :mod:`repro.core.ci` — symmetric centered confidence intervals and the
+  δ failure metric (§2.2).
+* :mod:`repro.core.estimators` — estimation targets and the ξ interface.
+* :mod:`repro.core.bootstrap` — nonparametric bootstrap (§2.3.1).
+* :mod:`repro.core.closed_form` — CLT closed forms (§2.3.2).
+* :mod:`repro.core.large_deviation` — Hoeffding/Bernstein bounds (§2.3.3).
+* :mod:`repro.core.ground_truth` — true intervals and the §3 evaluation.
+* :mod:`repro.core.diagnostics` — Kleiner et al.'s diagnostic (§4).
+* :mod:`repro.core.pipeline` — the end-to-end AQP engine (Fig. 5).
+"""
+
+from repro.core.ci import (
+    ConfidenceInterval,
+    interval_from_distribution,
+    relative_width_deviation,
+    symmetric_half_width,
+)
+from repro.core.estimators import ErrorEstimator, EstimationTarget
+from repro.core.bootstrap import (
+    BootstrapEstimator,
+    bootstrap_table_interval,
+    bootstrap_table_statistic,
+)
+from repro.core.closed_form import ClosedFormEstimator, normal_quantile
+from repro.core.large_deviation import BernsteinEstimator, HoeffdingEstimator
+from repro.core.ground_truth import (
+    DatasetQuery,
+    EstimatorEvaluation,
+    Verdict,
+    classify_deltas,
+    evaluate_estimator,
+    sampling_distribution,
+    true_interval,
+)
+from repro.core.diagnostics import (
+    DiagnosticConfig,
+    DiagnosticResult,
+    SubsampleSizeReport,
+    diagnose,
+)
+from repro.core.error_control import (
+    SampleSizeSelector,
+    SizeRecommendation,
+    predict_half_width,
+    required_sample_size,
+)
+from repro.core.adaptive import (
+    AdaptiveBootstrapEstimator,
+    AdaptiveBootstrapResult,
+)
+from repro.core.quantile_closed_form import QuantileClosedFormEstimator
+from repro.core.pipeline import (
+    ApproximateValue,
+    AQPEngine,
+    AQPResult,
+    AQPRow,
+    BlackBoxBootstrapEstimator,
+    EngineConfig,
+    TableQueryTarget,
+)
+
+__all__ = [
+    "ConfidenceInterval",
+    "interval_from_distribution",
+    "relative_width_deviation",
+    "symmetric_half_width",
+    "ErrorEstimator",
+    "EstimationTarget",
+    "BootstrapEstimator",
+    "bootstrap_table_interval",
+    "bootstrap_table_statistic",
+    "ClosedFormEstimator",
+    "normal_quantile",
+    "BernsteinEstimator",
+    "HoeffdingEstimator",
+    "DatasetQuery",
+    "EstimatorEvaluation",
+    "Verdict",
+    "classify_deltas",
+    "evaluate_estimator",
+    "sampling_distribution",
+    "true_interval",
+    "DiagnosticConfig",
+    "DiagnosticResult",
+    "SubsampleSizeReport",
+    "diagnose",
+    "ApproximateValue",
+    "AQPEngine",
+    "AQPResult",
+    "AQPRow",
+    "BlackBoxBootstrapEstimator",
+    "EngineConfig",
+    "TableQueryTarget",
+    "SampleSizeSelector",
+    "SizeRecommendation",
+    "predict_half_width",
+    "required_sample_size",
+    "AdaptiveBootstrapEstimator",
+    "AdaptiveBootstrapResult",
+    "QuantileClosedFormEstimator",
+]

@@ -1,0 +1,127 @@
+"""Adaptive selection of the bootstrap resample count K.
+
+The paper fixes K = 100 and notes "K can be tuned automatically [17]"
+(Efron & Tibshirani).  This module implements that tuning: grow K in
+rounds until the interval half-width stabilises, so cheap queries stop
+early and hard ones get the replication they need.
+
+The stability rule: after each round, compare the half-width computed
+on all replicates so far against the previous round's; stop when the
+relative change falls below an effective tolerance.  The effective
+tolerance never drops below the Monte-Carlo noise floor of the width
+estimate itself (≈ ``1 / sqrt(2K)``), so the loop cannot chase noise it
+can never beat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bootstrap import BootstrapEstimator
+from repro.core.ci import ConfidenceInterval, interval_from_distribution
+from repro.core.estimators import ErrorEstimator, EstimationTarget
+from repro.errors import EstimationError
+
+
+@dataclass(frozen=True)
+class AdaptiveBootstrapResult:
+    """Outcome of an adaptive bootstrap run.
+
+    Attributes:
+        interval: the final confidence interval.
+        num_resamples: total replicates actually computed.
+        converged: whether the stability rule was met before the cap.
+        width_history: half-width after each round.
+    """
+
+    interval: ConfidenceInterval
+    num_resamples: int
+    converged: bool
+    width_history: tuple[float, ...]
+
+
+class AdaptiveBootstrapEstimator(ErrorEstimator):
+    """Bootstrap with automatically tuned K.
+
+    Args:
+        initial_resamples: K of the first round.
+        growth_factor: each round multiplies the replicate total by this.
+        max_resamples: hard cap on total replicates.
+        tolerance: relative half-width change treated as "stable".
+        rng: default randomness source.
+    """
+
+    name = "bootstrap"
+
+    def __init__(
+        self,
+        initial_resamples: int = 25,
+        growth_factor: float = 2.0,
+        max_resamples: int = 800,
+        tolerance: float = 0.05,
+        rng: np.random.Generator | None = None,
+    ):
+        if initial_resamples < 2:
+            raise EstimationError("need at least 2 initial resamples")
+        if growth_factor <= 1.0:
+            raise EstimationError("growth factor must exceed 1")
+        if not 0.0 < tolerance < 1.0:
+            raise EstimationError("tolerance must be in (0, 1)")
+        if max_resamples < initial_resamples:
+            raise EstimationError("max_resamples below initial_resamples")
+        self.initial_resamples = initial_resamples
+        self.growth_factor = growth_factor
+        self.max_resamples = max_resamples
+        self.tolerance = tolerance
+        self._rng = rng or np.random.default_rng()
+
+    def run(
+        self,
+        target: EstimationTarget,
+        confidence: float = 0.95,
+        rng: np.random.Generator | None = None,
+    ) -> AdaptiveBootstrapResult:
+        """Run the adaptive loop and return the full result."""
+        rng = rng or self._rng
+        center = target.point_estimate()
+        replicates = np.empty(0, dtype=np.float64)
+        history: list[float] = []
+        converged = False
+        batch = self.initial_resamples
+        while len(replicates) < self.max_resamples:
+            batch = min(batch, self.max_resamples - len(replicates))
+            estimator = BootstrapEstimator(max(batch, 2), rng)
+            new = estimator.resample_distribution(target, rng)
+            replicates = np.concatenate([replicates, new])
+            interval = interval_from_distribution(
+                replicates, center, confidence, self.name
+            )
+            history.append(interval.half_width)
+            if len(history) >= 2 and history[-2] > 0:
+                change = abs(history[-1] - history[-2]) / history[-2]
+                # The width estimate itself carries MC noise ~1/sqrt(2K);
+                # demanding a change below that floor would loop forever.
+                noise_floor = 1.0 / np.sqrt(2.0 * len(replicates))
+                if change <= max(self.tolerance, noise_floor):
+                    converged = True
+                    break
+            batch = int(np.ceil(len(replicates) * (self.growth_factor - 1.0)))
+        final = interval_from_distribution(
+            replicates, center, confidence, self.name
+        )
+        return AdaptiveBootstrapResult(
+            interval=final,
+            num_resamples=len(replicates),
+            converged=converged,
+            width_history=tuple(history),
+        )
+
+    def estimate(
+        self,
+        target: EstimationTarget,
+        confidence: float = 0.95,
+        rng: np.random.Generator | None = None,
+    ) -> ConfidenceInterval:
+        return self.run(target, confidence, rng).interval

@@ -1,0 +1,155 @@
+"""Nonparametric bootstrap error estimation (§2.3.1).
+
+Efron's bootstrap substitutes the sample ``S`` for the dataset ``D``:
+draw *K* resamples of ``S`` with replacement, compute the query on each,
+and treat the spread of those K estimates as the sampling distribution
+of θ(S).  It applies to arbitrarily complex queries (UDFs, nested
+aggregation) but costs K query replications and fails when the statistic
+is sensitive to rare extreme values or the sample is too small.
+
+Two implementations are provided:
+
+* :class:`BootstrapEstimator` — the fast path used by the optimised
+  pipeline: Poissonized weight matrices over the filtered argument values
+  (one consolidated scan, §5.3).
+* :func:`bootstrap_table_statistic` — the generic path for black-box
+  per-table statistics (e.g. nested aggregation queries), which
+  materialises resample tables; this mirrors the §5.2 baseline and the
+  EARL-style execution model.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.ci import ConfidenceInterval, interval_from_distribution
+from repro.core.estimators import ErrorEstimator, EstimationTarget
+from repro.engine.table import Table
+from repro.errors import EstimationError
+from repro.sampling.poisson import materialize_poisson_resample, poisson_weight_matrix
+from repro.sampling.tuple_augmentation import materialize_exact_resample
+
+#: The paper's default number of bootstrap resamples.
+DEFAULT_NUM_RESAMPLES = 100
+
+
+class BootstrapEstimator(ErrorEstimator):
+    """Poissonized bootstrap over an estimation target.
+
+    Args:
+        num_resamples: K, the number of resamples (paper default 100).
+        rng: default random generator used when ``estimate`` is not given
+            one explicitly.
+    """
+
+    name = "bootstrap"
+
+    def __init__(
+        self,
+        num_resamples: int = DEFAULT_NUM_RESAMPLES,
+        rng: np.random.Generator | None = None,
+    ):
+        if num_resamples < 2:
+            raise EstimationError(
+                f"bootstrap needs at least 2 resamples, got {num_resamples}"
+            )
+        self.num_resamples = num_resamples
+        self._rng = rng or np.random.default_rng()
+
+    def resample_distribution(
+        self,
+        target: EstimationTarget,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """The K bootstrap replicate estimates for ``target``.
+
+        Weights are generated only for the rows that pass the filter —
+        this is exactly the resampling-operator pushdown of §5.3.2 (the
+        Poisson weights of filtered-out rows can never reach the
+        aggregate, so they are never drawn).
+        """
+        rng = rng or self._rng
+        matched = target.matched_values
+        if len(matched) == 0:
+            raise EstimationError(
+                "cannot bootstrap a query whose filter matched no sample rows"
+            )
+        weights = poisson_weight_matrix(
+            len(matched), self.num_resamples, rng, dtype=np.int32
+        )
+        return target.resample_estimates(weights, rng)
+
+    def estimate(
+        self,
+        target: EstimationTarget,
+        confidence: float = 0.95,
+        rng: np.random.Generator | None = None,
+    ) -> ConfidenceInterval:
+        center = target.point_estimate()
+        distribution = self.resample_distribution(target, rng)
+        return interval_from_distribution(
+            distribution, center, confidence, self.name
+        )
+
+
+def bootstrap_table_statistic(
+    table: Table,
+    statistic: Callable[[Table], float],
+    num_resamples: int = DEFAULT_NUM_RESAMPLES,
+    rng: np.random.Generator | None = None,
+    method: str = "poisson",
+) -> np.ndarray:
+    """Bootstrap replicate values of a black-box per-table statistic.
+
+    Args:
+        table: the sample S.
+        statistic: θ as a function of a table (e.g. "execute this nested
+            SQL query and return its single output value").
+        num_resamples: K.
+        rng: random generator.
+        method: ``"poisson"`` for Poissonized resamples (approximate
+            size, cheap) or ``"exact"`` for multinomial Tuple-Augmentation
+            resamples (exact size n, the 8–9× slower baseline of §5.1).
+
+    Returns:
+        Array of K replicate statistic values.
+    """
+    if num_resamples < 2:
+        raise EstimationError(
+            f"bootstrap needs at least 2 resamples, got {num_resamples}"
+        )
+    if table.num_rows == 0:
+        raise EstimationError("cannot bootstrap an empty table")
+    rng = rng or np.random.default_rng()
+    if method == "poisson":
+        make_resample = materialize_poisson_resample
+    elif method == "exact":
+        make_resample = materialize_exact_resample
+    else:
+        raise EstimationError(
+            f"unknown resampling method {method!r}; use 'poisson' or 'exact'"
+        )
+    replicates = np.empty(num_resamples, dtype=np.float64)
+    for k in range(num_resamples):
+        replicates[k] = statistic(make_resample(table, rng))
+    return replicates
+
+
+def bootstrap_table_interval(
+    table: Table,
+    statistic: Callable[[Table], float],
+    confidence: float = 0.95,
+    num_resamples: int = DEFAULT_NUM_RESAMPLES,
+    rng: np.random.Generator | None = None,
+    method: str = "poisson",
+) -> ConfidenceInterval:
+    """Symmetric centered bootstrap CI for a black-box table statistic."""
+    center = statistic(table)
+    distribution = bootstrap_table_statistic(
+        table, statistic, num_resamples, rng, method
+    )
+    return interval_from_distribution(
+        distribution, center, confidence, "bootstrap"
+    )

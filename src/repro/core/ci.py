@@ -1,0 +1,134 @@
+"""Symmetric centered confidence intervals (§2.2).
+
+The paper evaluates error estimation through *symmetric centered*
+confidence intervals: an interval ``[estimate - a, estimate + a]`` whose
+half-width ``a`` is chosen so that the (estimated or true) sampling
+distribution places mass ``α`` inside it.  Unlike raw coverage, the width
+of such an interval is directly comparable to a ground-truth width, which
+is what makes the paper's failure metric ``δ`` well defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EstimationError
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A symmetric centered confidence interval.
+
+    Attributes:
+        estimate: the point estimate at the interval's center.
+        half_width: distance from the center to either endpoint.
+        confidence: target coverage level α in (0, 1).
+        method: name of the procedure that produced the interval
+            (``"bootstrap"``, ``"closed_form"``, ``"hoeffding"``, ...).
+    """
+
+    estimate: float
+    half_width: float
+    confidence: float
+    method: str
+
+    def __post_init__(self):
+        if not 0.0 < self.confidence < 1.0:
+            raise EstimationError(
+                f"confidence must be in (0, 1), got {self.confidence}"
+            )
+        if self.half_width < 0:
+            raise EstimationError(
+                f"half_width must be non-negative, got {self.half_width}"
+            )
+
+    @property
+    def lower(self) -> float:
+        return self.estimate - self.half_width
+
+    @property
+    def upper(self) -> float:
+        return self.estimate + self.half_width
+
+    @property
+    def width(self) -> float:
+        return 2.0 * self.half_width
+
+    @property
+    def relative_error(self) -> float:
+        """Half-width relative to the magnitude of the estimate."""
+        if self.estimate == 0:
+            return float("inf") if self.half_width > 0 else 0.0
+        return self.half_width / abs(self.estimate)
+
+    def contains(self, value: float) -> bool:
+        return self.lower <= value <= self.upper
+
+    def __str__(self) -> str:
+        return (
+            f"{self.estimate:.6g} ± {self.half_width:.6g} "
+            f"({self.confidence:.0%} {self.method})"
+        )
+
+
+def symmetric_half_width(
+    distribution: np.ndarray, center: float, confidence: float
+) -> float:
+    """Half-width of the smallest symmetric interval around ``center``
+    covering proportion ``confidence`` of ``distribution``.
+
+    This is the interval construction the paper uses both for estimated
+    intervals (distribution = bootstrap resample estimates) and for the
+    ground-truth interval (distribution = true sampling distribution).
+    NaN entries (degenerate resamples) are ignored.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise EstimationError(
+            f"confidence must be in (0, 1), got {confidence}"
+        )
+    distribution = np.asarray(distribution, dtype=np.float64)
+    finite = distribution[np.isfinite(distribution)]
+    if len(finite) == 0:
+        raise EstimationError(
+            "cannot build a confidence interval from an empty or all-NaN "
+            "distribution"
+        )
+    deviations = np.abs(finite - center)
+    return float(np.quantile(deviations, confidence, method="inverted_cdf"))
+
+
+def interval_from_distribution(
+    distribution: np.ndarray,
+    center: float,
+    confidence: float,
+    method: str,
+) -> ConfidenceInterval:
+    """Build a symmetric centered interval from a sampling distribution."""
+    half = symmetric_half_width(distribution, center, confidence)
+    return ConfidenceInterval(
+        estimate=center, half_width=half, confidence=confidence, method=method
+    )
+
+
+def relative_width_deviation(
+    true_half_width: float, estimated_half_width: float
+) -> float:
+    """The paper's failure metric δ for one estimated interval.
+
+    Defined so that δ > 0 means the estimate is too *wide* (pessimistic)
+    and δ < 0 means too *narrow* (optimistic), matching the paper's §3
+    prose ("if [δ] is often positive and large ... the procedure is
+    pessimistic").  (The formula as typeset in §2.2 has the numerator
+    order flipped, which contradicts that prose; we follow the prose.)
+
+    Raises:
+        EstimationError: when the true width is zero, making relative
+            deviation undefined.
+    """
+    if true_half_width <= 0:
+        raise EstimationError(
+            "true confidence interval width must be positive to compute δ"
+        )
+    return (estimated_half_width - true_half_width) / true_half_width

@@ -1,0 +1,309 @@
+"""The error-estimation diagnostic of Kleiner et al. (§4, Algorithm 1).
+
+Given a sample S, a query θ, and an error-estimation procedure ξ, the
+diagnostic asks: *will ξ's error bars be reliable for this query on this
+sample?* — without touching the full dataset.  It exploits the fact that
+disjoint partitions of a simple random sample are themselves independent
+samples of D:
+
+1. For each of k increasing subsample sizes ``b_1 < ... < b_k``, cut p
+   disjoint subsamples out of S.
+2. Compute θ on each subsample; the spread of those p values around
+   θ(S) yields the *true* interval half-width ``x_i`` at size ``b_i``.
+3. Run ξ on each subsample to get p estimated half-widths ``x̂_ij``.
+4. Summarise agreement per size — relative deviation ``Δ_i``, relative
+   spread ``σ_i``, and the proportion ``π_i`` of estimates within ``c_3``
+   of the truth — and accept if deviations and spreads shrink (or are
+   small) as ``b_i`` grows and ``π_k ≥ ρ`` at the largest size.
+
+Kleiner et al. designed and evaluated this for the bootstrap; the paper
+generalises it to *any* ξ — closed forms included — by plugging the
+procedure into step 3, which is exactly what this implementation does
+(any :class:`~repro.core.estimators.ErrorEstimator` works).
+
+The paper's parameter settings (Appendix A): ``p = 100``, ``k = 3``,
+``c_1 = c_2 = 0.2``, ``c_3 = 0.5``, ``ρ = 0.95``, with subsample sizes
+doubling (50 MB / 100 MB / 200 MB of rows in their deployment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.ci import symmetric_half_width
+from repro.core.estimators import ErrorEstimator, EstimationTarget
+from repro.errors import DiagnosticError, EstimationError
+from repro.sampling.subsample import subsample_index_blocks
+
+#: Paper defaults (Appendix A).
+DEFAULT_NUM_SUBSAMPLES = 100
+DEFAULT_NUM_SIZES = 3
+
+
+@dataclass(frozen=True)
+class DiagnosticConfig:
+    """Parameters of Algorithm 1.
+
+    Attributes:
+        subsample_sizes: the increasing row counts ``b_1 < ... < b_k``.
+            Leave empty to derive a doubling ladder from the sample size
+            (largest size = ``num_rows // num_subsamples``, halved k−1
+            times), mirroring the paper's 50/100/200 MB ladder.
+        num_subsamples: p, disjoint subsamples per size.
+        num_sizes: k, used only when ``subsample_sizes`` is empty.
+        deviation_threshold: c₁ — acceptable relative deviation Δᵢ.
+        spread_threshold: c₂ — acceptable relative spread σᵢ.
+        closeness_threshold: c₃ — per-estimate relative deviation counted
+            as "acceptably close" for πᵢ.
+        min_final_proportion: ρ — required πₖ at the largest size.
+    """
+
+    subsample_sizes: tuple[int, ...] = ()
+    num_subsamples: int = DEFAULT_NUM_SUBSAMPLES
+    num_sizes: int = DEFAULT_NUM_SIZES
+    deviation_threshold: float = 0.2
+    spread_threshold: float = 0.2
+    closeness_threshold: float = 0.5
+    min_final_proportion: float = 0.95
+
+    def resolve_sizes(self, sample_rows: int) -> tuple[int, ...]:
+        """The subsample-size ladder for a sample of ``sample_rows`` rows."""
+        if self.subsample_sizes:
+            sizes = tuple(sorted(self.subsample_sizes))
+            if len(set(sizes)) != len(sizes):
+                raise DiagnosticError("subsample sizes must be distinct")
+            if sizes[0] < 2:
+                raise DiagnosticError(
+                    f"smallest subsample size {sizes[0]} is too small"
+                )
+            if sizes[-1] * self.num_subsamples > sample_rows:
+                raise DiagnosticError(
+                    f"largest subsample size {sizes[-1]} × p="
+                    f"{self.num_subsamples} exceeds the sample "
+                    f"({sample_rows} rows)"
+                )
+            return sizes
+        largest = sample_rows // self.num_subsamples
+        if largest < 2 ** (self.num_sizes - 1) * 2:
+            raise DiagnosticError(
+                f"sample of {sample_rows} rows is too small for "
+                f"p={self.num_subsamples} subsamples at {self.num_sizes} "
+                "doubling sizes"
+            )
+        return tuple(
+            largest // (2 ** (self.num_sizes - 1 - i))
+            for i in range(self.num_sizes)
+        )
+
+
+@dataclass(frozen=True)
+class SubsampleSizeReport:
+    """Diagnostic statistics for one subsample size ``b_i``.
+
+    Attributes:
+        size: ``b_i`` in rows.
+        true_half_width: ``x_i`` — the empirical α-interval half-width of
+            θ over the p subsamples, centered on θ(S).
+        mean_estimated_half_width: ``mean(x̂_i·)``.
+        deviation: ``Δ_i = |mean(x̂_i·) − x_i| / x_i``.
+        spread: ``σ_i = stddev(x̂_i·) / x_i``.
+        proportion_close: ``π_i``, fraction of x̂ within c₃ of x_i.
+        deviation_acceptable / spread_acceptable: acceptance-criterion
+            outcomes (``None`` for the first size, which has no
+            predecessor to compare against).
+    """
+
+    size: int
+    true_half_width: float
+    mean_estimated_half_width: float
+    deviation: float
+    spread: float
+    proportion_close: float
+    deviation_acceptable: Optional[bool] = None
+    spread_acceptable: Optional[bool] = None
+
+
+@dataclass(frozen=True)
+class DiagnosticResult:
+    """Outcome of running the diagnostic for one (query, sample, ξ)."""
+
+    passed: bool
+    reports: tuple[SubsampleSizeReport, ...]
+    estimator_name: str
+    reason: str = ""
+    #: Total θ evaluations performed (subsample point estimates); the
+    #: estimator's own resampling work is additional (K per subsample for
+    #: the bootstrap) — the paper's "tens of thousands of subqueries".
+    num_subqueries: int = 0
+
+    def __bool__(self) -> bool:
+        return self.passed
+
+
+def diagnose(
+    target: EstimationTarget,
+    estimator: ErrorEstimator,
+    confidence: float = 0.95,
+    config: DiagnosticConfig | None = None,
+    rng: np.random.Generator | None = None,
+) -> DiagnosticResult:
+    """Run Algorithm 1 for ``estimator`` on ``target``.
+
+    Args:
+        target: the query bound to its sample (any object providing
+            ``total_sample_rows``, ``point_estimate`` and ``subset`` —
+            table-level targets from the pipeline work too).
+        estimator: the ξ to validate.
+        confidence: α, the coverage level of the intervals under test.
+        config: algorithm parameters; paper defaults when omitted.
+        rng: randomness for subsample cutting and resampling.
+
+    Returns:
+        A :class:`DiagnosticResult`; truthy iff error estimation is
+        predicted to be reliable.
+
+    Raises:
+        DiagnosticError: when the sample cannot support the requested
+            subsample ladder.
+    """
+    config = config or DiagnosticConfig()
+    rng = rng or np.random.default_rng()
+    if not estimator.applicable(target):
+        return DiagnosticResult(
+            passed=False,
+            reports=(),
+            estimator_name=estimator.name,
+            reason=f"{estimator.name} is not applicable to this query",
+        )
+
+    num_rows = target.total_sample_rows
+    sizes = config.resolve_sizes(num_rows)
+    p = config.num_subsamples
+    full_estimate = target.point_estimate()
+
+    reports: list[SubsampleSizeReport] = []
+    num_subqueries = 0
+    for size in sizes:
+        blocks = subsample_index_blocks(num_rows, size, p, rng)
+        point_estimates = np.empty(p, dtype=np.float64)
+        estimated_half_widths = np.empty(p, dtype=np.float64)
+        for j, block in enumerate(blocks):
+            subsample = target.subset(block)
+            point_estimates[j] = subsample.point_estimate()
+            try:
+                estimated_half_widths[j] = estimator.estimate(
+                    subsample, confidence, rng
+                ).half_width
+            except EstimationError:
+                # ξ can fail on a tiny subsample (e.g. a selective filter
+                # leaves < 2 matched rows).  That *is* evidence against
+                # reliable estimation at this size: keep it as NaN, which
+                # counts against the closeness proportion π.
+                estimated_half_widths[j] = np.nan
+        num_subqueries += p
+
+        true_half_width = symmetric_half_width(
+            point_estimates, full_estimate, confidence
+        )
+        if true_half_width <= 0 or not np.isfinite(true_half_width):
+            return DiagnosticResult(
+                passed=False,
+                reports=tuple(reports),
+                estimator_name=estimator.name,
+                reason=(
+                    f"degenerate true interval at subsample size {size}; "
+                    "θ does not vary across subsamples"
+                ),
+                num_subqueries=num_subqueries,
+            )
+        finite = estimated_half_widths[np.isfinite(estimated_half_widths)]
+        if len(finite) == 0:
+            return DiagnosticResult(
+                passed=False,
+                reports=tuple(reports),
+                estimator_name=estimator.name,
+                reason=f"ξ produced no finite estimates at size {size}",
+                num_subqueries=num_subqueries,
+            )
+        deviation = abs(float(finite.mean()) - true_half_width) / true_half_width
+        spread = float(finite.std(ddof=0)) / true_half_width
+        proportion_close = float(
+            np.mean(
+                np.abs(estimated_half_widths - true_half_width)
+                / true_half_width
+                <= config.closeness_threshold
+            )
+        )
+        reports.append(
+            SubsampleSizeReport(
+                size=size,
+                true_half_width=true_half_width,
+                mean_estimated_half_width=float(finite.mean()),
+                deviation=deviation,
+                spread=spread,
+                proportion_close=proportion_close,
+            )
+        )
+
+    return _apply_acceptance_criteria(
+        reports, config, estimator.name, num_subqueries
+    )
+
+
+def _apply_acceptance_criteria(
+    reports: list[SubsampleSizeReport],
+    config: DiagnosticConfig,
+    estimator_name: str,
+    num_subqueries: int,
+) -> DiagnosticResult:
+    """Algorithm 1's final acceptance checks over the per-size reports."""
+    finalized: list[SubsampleSizeReport] = [reports[0]]
+    failures: list[str] = []
+    for i in range(1, len(reports)):
+        current, previous = reports[i], reports[i - 1]
+        deviation_ok = (
+            current.deviation < previous.deviation
+            or current.deviation < config.deviation_threshold
+        )
+        spread_ok = (
+            current.spread < previous.spread
+            or current.spread < config.spread_threshold
+        )
+        finalized.append(
+            SubsampleSizeReport(
+                size=current.size,
+                true_half_width=current.true_half_width,
+                mean_estimated_half_width=current.mean_estimated_half_width,
+                deviation=current.deviation,
+                spread=current.spread,
+                proportion_close=current.proportion_close,
+                deviation_acceptable=deviation_ok,
+                spread_acceptable=spread_ok,
+            )
+        )
+        if not deviation_ok:
+            failures.append(
+                f"deviation Δ not decreasing/small at size {current.size} "
+                f"({current.deviation:.3f} after {previous.deviation:.3f})"
+            )
+        if not spread_ok:
+            failures.append(
+                f"spread σ not decreasing/small at size {current.size} "
+                f"({current.spread:.3f} after {previous.spread:.3f})"
+            )
+    final_proportion = finalized[-1].proportion_close
+    if final_proportion < config.min_final_proportion:
+        failures.append(
+            f"final proportion π={final_proportion:.2f} below "
+            f"ρ={config.min_final_proportion}"
+        )
+    return DiagnosticResult(
+        passed=not failures,
+        reports=tuple(finalized),
+        estimator_name=estimator_name,
+        reason="; ".join(failures),
+        num_subqueries=num_subqueries,
+    )

@@ -1,0 +1,170 @@
+"""Error-controlled sample-size selection.
+
+§1: "error estimates help the system control error: by varying the
+sample size while estimating the magnitude of the resulting error bars,
+the system can make a smooth and controlled trade-off between accuracy
+and query time."  This module implements that controller:
+
+* :func:`predict_half_width` — extrapolate an interval's width from one
+  sample size to another via the universal ``width ∝ 1 / sqrt(n)`` law
+  (exact for CLT and large-deviation bounds; the right first-order rule
+  for the bootstrap).
+* :func:`required_sample_size` — invert the law: the smallest n whose
+  predicted relative error meets a target.
+* :class:`SampleSizeSelector` — run a cheap pilot estimate on a small
+  sample, then pick the smallest catalog sample predicted to meet the
+  caller's error bound (falling back to "use the full data" when none
+  can).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.ci import ConfidenceInterval
+from repro.core.estimators import ErrorEstimator, EstimationTarget
+from repro.errors import EstimationError
+
+
+def predict_half_width(
+    half_width: float, current_rows: int, target_rows: int
+) -> float:
+    """Extrapolate a half-width from ``current_rows`` to ``target_rows``."""
+    if current_rows <= 0 or target_rows <= 0:
+        raise EstimationError("row counts must be positive")
+    return half_width * math.sqrt(current_rows / target_rows)
+
+
+def required_sample_size(
+    half_width: float,
+    estimate: float,
+    current_rows: int,
+    target_relative_error: float,
+) -> int:
+    """Smallest n whose predicted relative error meets the target.
+
+    Args:
+        half_width: measured half-width at ``current_rows``.
+        estimate: the point estimate (for relative error).
+        current_rows: the pilot sample size.
+        target_relative_error: required ``half_width / |estimate|``.
+
+    Raises:
+        EstimationError: if the estimate is zero (relative error is
+            undefined) or the target is non-positive.
+    """
+    if target_relative_error <= 0:
+        raise EstimationError(
+            f"target relative error must be positive, got "
+            f"{target_relative_error}"
+        )
+    if estimate == 0:
+        raise EstimationError(
+            "relative error is undefined for a zero estimate"
+        )
+    if half_width <= 0:
+        return 1
+    needed = current_rows * (
+        half_width / (abs(estimate) * target_relative_error)
+    ) ** 2
+    return max(1, int(math.ceil(needed)))
+
+
+@dataclass(frozen=True)
+class SizeRecommendation:
+    """Outcome of a pilot-based sample-size selection.
+
+    Attributes:
+        required_rows: predicted minimum sample rows for the target.
+        pilot_interval: the interval measured on the pilot sample.
+        feasible: whether any sample (≤ the dataset itself) suffices.
+    """
+
+    required_rows: int
+    pilot_interval: ConfidenceInterval
+    feasible: bool
+
+
+class SampleSizeSelector:
+    """Chooses the smallest sufficient sample via a pilot estimate."""
+
+    def __init__(
+        self,
+        estimator: ErrorEstimator,
+        confidence: float = 0.95,
+        safety_factor: float = 1.2,
+    ):
+        """
+        Args:
+            estimator: the ξ used for the pilot interval.
+            confidence: interval coverage level.
+            safety_factor: multiplier on the predicted required size,
+                absorbing extrapolation error (width predictions are
+                first-order).
+        """
+        if safety_factor < 1.0:
+            raise EstimationError(
+                f"safety factor must be ≥ 1, got {safety_factor}"
+            )
+        self.estimator = estimator
+        self.confidence = confidence
+        self.safety_factor = safety_factor
+
+    def recommend(
+        self,
+        pilot: EstimationTarget,
+        target_relative_error: float,
+        dataset_rows: Optional[int] = None,
+        rng: np.random.Generator | None = None,
+    ) -> SizeRecommendation:
+        """Predict the sample size needed to meet the error target.
+
+        Args:
+            pilot: the query bound to a small pilot sample.
+            target_relative_error: required relative error.
+            dataset_rows: full-data size; determines feasibility.
+            rng: randomness for resampling estimators.
+        """
+        interval = self.estimator.estimate(pilot, self.confidence, rng)
+        required = required_sample_size(
+            interval.half_width,
+            interval.estimate,
+            pilot.total_sample_rows,
+            target_relative_error,
+        )
+        required = int(math.ceil(required * self.safety_factor))
+        feasible = dataset_rows is None or required <= dataset_rows
+        return SizeRecommendation(
+            required_rows=required,
+            pilot_interval=interval,
+            feasible=feasible,
+        )
+
+    def pick_sample(
+        self,
+        pilot: EstimationTarget,
+        available_sizes: list[int],
+        target_relative_error: float,
+        dataset_rows: Optional[int] = None,
+        rng: np.random.Generator | None = None,
+    ) -> tuple[Optional[int], SizeRecommendation]:
+        """Pick the smallest available sample predicted to suffice.
+
+        Returns ``(chosen_size, recommendation)``; ``chosen_size`` is
+        ``None`` when no available sample meets the target (the caller
+        should fall back to exact execution).
+        """
+        recommendation = self.recommend(
+            pilot, target_relative_error, dataset_rows, rng
+        )
+        sufficient = sorted(
+            size
+            for size in available_sizes
+            if size >= recommendation.required_rows
+        )
+        chosen = sufficient[0] if sufficient else None
+        return chosen, recommendation

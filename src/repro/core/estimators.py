@@ -1,0 +1,190 @@
+"""Estimation targets and the error-estimator interface.
+
+An :class:`EstimationTarget` packages what every error-estimation
+procedure needs to know about one aggregate of one query running on one
+sample: the aggregate function, its argument values over *all* sample
+rows (pre-filter), the filter mask, and the scaling information for
+extensive aggregates (COUNT/SUM must be multiplied by ``|D| / |S|``).
+
+Keeping the pre-filter values and the mask separate — rather than only
+the filtered values — matters for the diagnostic: its subsamples must be
+random subsets of the *sample*, not of the filtered rows, or statistics
+like a filtered COUNT would be deterministic within every subsample.
+
+:class:`ErrorEstimator` is the interface the paper calls ξ: a procedure
+that produces a confidence interval from a sample.  Implementations live
+in :mod:`repro.core.bootstrap`, :mod:`repro.core.closed_form`, and
+:mod:`repro.core.large_deviation`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.core.ci import ConfidenceInterval
+from repro.engine.aggregates import AggregateFunction
+from repro.errors import EstimationError
+
+
+@dataclass(frozen=True)
+class EstimationTarget:
+    """One aggregate statistic evaluated on one sample.
+
+    Attributes:
+        values: the aggregate's argument evaluated on every sample row
+            (before filtering).  For COUNT(*) pass ones.
+        aggregate: the weighted aggregate function.
+        mask: boolean matched-row mask from the WHERE clause, or ``None``
+            when the query has no filter.
+        dataset_rows: ``|D|``, used to scale extensive aggregates; may be
+            ``None`` when unknown (estimates then stay in sample units).
+        extensive: whether the statistic scales with sample size
+            (COUNT/SUM) and therefore needs the ``|D| / |S|`` factor.
+    """
+
+    values: np.ndarray
+    aggregate: AggregateFunction
+    mask: Optional[np.ndarray] = None
+    dataset_rows: Optional[int] = None
+    extensive: bool = False
+
+    def __post_init__(self):
+        values = np.asarray(self.values)
+        object.__setattr__(self, "values", values)
+        if self.mask is not None:
+            mask = np.asarray(self.mask)
+            if mask.shape != values.shape:
+                raise EstimationError(
+                    f"mask shape {mask.shape} does not match values shape "
+                    f"{values.shape}"
+                )
+            if mask.dtype != np.bool_:
+                raise EstimationError("mask must be boolean")
+            object.__setattr__(self, "mask", mask)
+
+    # -- basic geometry ------------------------------------------------------
+    @property
+    def total_sample_rows(self) -> int:
+        """Sample size before filtering (the n of the theory)."""
+        return len(self.values)
+
+    @property
+    def matched_values(self) -> np.ndarray:
+        """Argument values of the rows that passed the filter."""
+        if self.mask is None:
+            return self.values
+        return self.values[self.mask]
+
+    @property
+    def scale_factor(self) -> float:
+        """Factor applied to the sample statistic to estimate θ(D)."""
+        if not self.extensive or self.dataset_rows is None:
+            return 1.0
+        if self.total_sample_rows == 0:
+            raise EstimationError("cannot scale a zero-row sample")
+        return self.dataset_rows / self.total_sample_rows
+
+    # -- evaluation ------------------------------------------------------------
+    def point_estimate(self) -> float:
+        """The plug-in estimate θ(S), scaled to full-data units."""
+        return self.scale_factor * self.aggregate.compute(self.matched_values)
+
+    def resample_estimates(
+        self,
+        weight_matrix: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """θ on K resamples given a weight matrix over *matched* rows.
+
+        Intensive aggregates (AVG, VARIANCE, quantiles, ...) are simply
+        scaled.  Extensive aggregates (COUNT, SUM) need care under
+        Poissonization: the resample size ``Σw`` is random, so the naive
+        ``(|D|/n)·Σwv`` estimator's variance is ``n·E[v²]`` rather than
+        the bootstrap-correct ``n·Var(v)``.  The standard remedy is to
+        normalise by the *realised* resample size: ``|D|·Σwv / Σ_all w``.
+        Operator pushdown means we never materialise weights for rows the
+        filter dropped, but their per-resample total is itself Poisson
+        distributed with mean ``n − m``, so one draw per resample restores
+        the denominator without touching those rows.
+
+        Args:
+            weight_matrix: ``(m, K)`` Poisson weights over matched rows.
+            rng: required only for extensive aggregates with a filter
+                (for the unmatched-weight-total draws); a fresh default
+                generator is used when omitted.
+        """
+        raw = self.aggregate.compute_resamples(
+            self.matched_values, weight_matrix
+        )
+        if not self.extensive or self.dataset_rows is None:
+            return self.scale_factor * raw
+        matched_weight_totals = weight_matrix.sum(axis=0, dtype=np.float64)
+        unmatched_rows = self.total_sample_rows - len(self.matched_values)
+        if unmatched_rows > 0:
+            rng = rng or np.random.default_rng()
+            unmatched_totals = rng.poisson(
+                unmatched_rows, size=weight_matrix.shape[1]
+            ).astype(np.float64)
+        else:
+            unmatched_totals = 0.0
+        realized_sizes = matched_weight_totals + unmatched_totals
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(
+                realized_sizes > 0,
+                self.dataset_rows * raw / realized_sizes,
+                np.nan,
+            )
+
+    def subset(self, indices: np.ndarray) -> "EstimationTarget":
+        """The target restricted to a row subset of the sample.
+
+        Used by the diagnostic to evaluate the same query on disjoint
+        subsamples; ``dataset_rows`` is retained so extensive scaling
+        adjusts to the smaller subsample automatically.
+        """
+        return replace(
+            self,
+            values=self.values[indices],
+            mask=None if self.mask is None else self.mask[indices],
+        )
+
+
+class ErrorEstimator(abc.ABC):
+    """The paper's ξ: produce a confidence interval from one sample.
+
+    Attributes:
+        name: short method name recorded on produced intervals.
+    """
+
+    name: str = ""
+
+    @abc.abstractmethod
+    def estimate(
+        self,
+        target: EstimationTarget,
+        confidence: float = 0.95,
+        rng: np.random.Generator | None = None,
+    ) -> ConfidenceInterval:
+        """Estimate a symmetric centered CI for ``target``.
+
+        Args:
+            target: the statistic and sample to estimate error for.
+            confidence: target coverage α.
+            rng: randomness source for resampling-based estimators;
+                deterministic estimators ignore it.
+
+        Raises:
+            EstimationError: when the procedure does not apply to this
+                target (e.g. closed forms for MAX).
+        """
+
+    def applicable(self, target: EstimationTarget) -> bool:
+        """Whether this procedure can produce an interval for ``target``."""
+        return True
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

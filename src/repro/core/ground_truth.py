@@ -1,0 +1,256 @@
+"""Ground-truth machinery: true confidence intervals and the §3 evaluation.
+
+"In AQP, unlike some applications of statistics, it is always possible to
+fall back to a slower, more accurate solution": with the full dataset in
+hand we can draw many independent samples, compute the query on each,
+and read off the *true* sampling distribution.  This module implements
+that expensive-but-exact procedure and the evaluation protocol of §3:
+
+1. compute θ(D) and the true confidence interval at sample size n;
+2. draw ``num_trials`` samples; on each, run an error-estimation
+   procedure and compute its width deviation δ;
+3. declare the procedure *pessimistic* (δ > 0.2), *optimistic*
+   (δ < −0.2), or *correct* per query, failing when more than 5 % of
+   trials fall outside the band.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.ci import (
+    ConfidenceInterval,
+    interval_from_distribution,
+    relative_width_deviation,
+)
+from repro.core.estimators import ErrorEstimator, EstimationTarget
+from repro.engine.aggregates import AggregateFunction
+from repro.errors import EstimationError
+
+#: The paper's acceptance band for δ and trial-failure tolerance (§3).
+DEFAULT_DELTA_BAND = 0.2
+DEFAULT_FAILURE_TOLERANCE = 0.05
+
+
+@dataclass(frozen=True)
+class DatasetQuery:
+    """A single-aggregate query bound to a full dataset.
+
+    The §3 evaluation treats every query as "one aggregate returning one
+    real number"; this class is that unit, in columnar form: the
+    aggregate's argument evaluated over all ``|D|`` rows plus the filter
+    mask.
+
+    Attributes:
+        values: aggregate argument over every dataset row.
+        aggregate: the aggregate function.
+        mask: WHERE-clause mask over dataset rows, or ``None``.
+        extensive: whether sample statistics must be scaled by |D|/|S|.
+        label: optional human-readable query label.
+    """
+
+    values: np.ndarray
+    aggregate: AggregateFunction
+    mask: Optional[np.ndarray] = None
+    extensive: bool = False
+    label: str = ""
+
+    @property
+    def dataset_rows(self) -> int:
+        return len(self.values)
+
+    def true_answer(self) -> float:
+        """θ(D), the exact full-data answer."""
+        matched = self.values if self.mask is None else self.values[self.mask]
+        return self.aggregate.compute(matched)
+
+    def target_for_indices(self, indices: np.ndarray) -> EstimationTarget:
+        """The estimation target for the sample at the given row indices."""
+        return EstimationTarget(
+            values=self.values[indices],
+            aggregate=self.aggregate,
+            mask=None if self.mask is None else self.mask[indices],
+            dataset_rows=self.dataset_rows,
+            extensive=self.extensive,
+        )
+
+    def sample_target(
+        self,
+        sample_size: int,
+        rng: np.random.Generator,
+        replacement: bool = True,
+    ) -> EstimationTarget:
+        """Draw a fresh simple random sample and wrap it as a target.
+
+        Sampling is with replacement by default, matching the paper's
+        theoretical setting (§2.1).  This matters for evaluation: at
+        non-negligible sampling fractions, without-replacement sampling
+        shrinks the true sampling variance by the finite-population
+        correction, which with-replacement error estimators cannot see —
+        δ would be biased pessimistic through no fault of the estimator.
+        """
+        if sample_size > self.dataset_rows:
+            raise EstimationError(
+                f"sample size {sample_size} exceeds dataset rows "
+                f"{self.dataset_rows}"
+            )
+        indices = rng.choice(
+            self.dataset_rows, size=sample_size, replace=replacement
+        )
+        return self.target_for_indices(indices)
+
+
+def sampling_distribution(
+    query: DatasetQuery,
+    sample_size: int,
+    num_trials: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """θ(S) over ``num_trials`` independent samples of ``sample_size``."""
+    if num_trials < 2:
+        raise EstimationError(f"need at least 2 trials, got {num_trials}")
+    estimates = np.empty(num_trials, dtype=np.float64)
+    for t in range(num_trials):
+        estimates[t] = query.sample_target(sample_size, rng).point_estimate()
+    return estimates
+
+
+def true_interval(
+    query: DatasetQuery,
+    sample_size: int,
+    confidence: float,
+    num_trials: int,
+    rng: np.random.Generator,
+) -> ConfidenceInterval:
+    """The paper's *true confidence interval* (§2.2).
+
+    The symmetric interval centered on θ(D) covering proportion
+    ``confidence`` of the sampling distribution of θ(S) at this sample
+    size.  Deterministic up to Monte-Carlo error in ``num_trials``.
+    """
+    distribution = sampling_distribution(query, sample_size, num_trials, rng)
+    return interval_from_distribution(
+        distribution, query.true_answer(), confidence, "ground_truth"
+    )
+
+
+class Verdict(enum.Enum):
+    """Per-query judgement of an error-estimation procedure (§3)."""
+
+    CORRECT = "correct"
+    OPTIMISTIC = "optimistic"
+    PESSIMISTIC = "pessimistic"
+    NOT_APPLICABLE = "not_applicable"
+
+
+def classify_deltas(
+    deltas: np.ndarray,
+    band: float = DEFAULT_DELTA_BAND,
+    tolerance: float = DEFAULT_FAILURE_TOLERANCE,
+) -> Verdict:
+    """Apply the paper's per-query failure rule to a set of δ values.
+
+    Estimation fails when δ leaves ``[-band, band]`` on more than
+    ``tolerance`` of the trial samples; the failing side with the larger
+    exceedance gives the verdict.
+    """
+    deltas = np.asarray(deltas, dtype=np.float64)
+    if len(deltas) == 0:
+        raise EstimationError("classify_deltas requires at least one δ")
+    fraction_pessimistic = float(np.mean(deltas > band))
+    fraction_optimistic = float(np.mean(deltas < -band))
+    if fraction_optimistic <= tolerance and fraction_pessimistic <= tolerance:
+        return Verdict.CORRECT
+    if fraction_optimistic >= fraction_pessimistic:
+        return Verdict.OPTIMISTIC
+    return Verdict.PESSIMISTIC
+
+
+@dataclass(frozen=True)
+class EstimatorEvaluation:
+    """Outcome of evaluating one estimator on one query (§3 protocol).
+
+    Attributes:
+        verdict: correct / optimistic / pessimistic / not-applicable.
+        deltas: per-trial width deviations (empty when not applicable).
+        true_ci: the ground-truth interval used as reference.
+        estimator_name: the ξ that was evaluated.
+    """
+
+    verdict: Verdict
+    deltas: np.ndarray
+    true_ci: Optional[ConfidenceInterval]
+    estimator_name: str
+
+    @property
+    def failed(self) -> bool:
+        return self.verdict in (Verdict.OPTIMISTIC, Verdict.PESSIMISTIC)
+
+
+def evaluate_estimator(
+    query: DatasetQuery,
+    estimator: ErrorEstimator,
+    sample_size: int,
+    rng: np.random.Generator,
+    confidence: float = 0.95,
+    num_trials: int = 100,
+    truth_trials: int | None = None,
+    band: float = DEFAULT_DELTA_BAND,
+    tolerance: float = DEFAULT_FAILURE_TOLERANCE,
+    true_ci: ConfidenceInterval | None = None,
+) -> EstimatorEvaluation:
+    """Run the full §3 evaluation of one estimator on one query.
+
+    Args:
+        query: the query bound to its full dataset.
+        estimator: the ξ under evaluation.
+        sample_size: n, the per-trial sample size.
+        rng: randomness source for samples and resamples.
+        confidence: interval coverage α.
+        num_trials: number of fresh samples on which ξ is run.
+        truth_trials: trials used for the ground-truth interval; defaults
+            to ``max(200, 2 * num_trials)`` — the true width must be
+            materially less noisy than the estimates judged against it,
+            or Monte-Carlo error in the reference leaks into δ.
+        band, tolerance: the δ acceptance band and failure tolerance.
+        true_ci: pass a precomputed ground-truth interval to avoid
+            recomputing it when evaluating several estimators.
+    """
+    probe = query.sample_target(min(sample_size, query.dataset_rows), rng)
+    if not estimator.applicable(probe):
+        return EstimatorEvaluation(
+            verdict=Verdict.NOT_APPLICABLE,
+            deltas=np.empty(0),
+            true_ci=None,
+            estimator_name=estimator.name,
+        )
+    if true_ci is None:
+        true_ci = true_interval(
+            query,
+            sample_size,
+            confidence,
+            truth_trials or max(200, 2 * num_trials),
+            rng,
+        )
+    if true_ci.half_width <= 0:
+        raise EstimationError(
+            f"query {query.label or query.aggregate.name!r} has a degenerate "
+            "sampling distribution; δ is undefined"
+        )
+    deltas = np.empty(num_trials, dtype=np.float64)
+    for t in range(num_trials):
+        target = query.sample_target(sample_size, rng)
+        estimated = estimator.estimate(target, confidence, rng)
+        deltas[t] = relative_width_deviation(
+            true_ci.half_width, estimated.half_width
+        )
+    return EstimatorEvaluation(
+        verdict=classify_deltas(deltas, band, tolerance),
+        deltas=deltas,
+        true_ci=true_ci,
+        estimator_name=estimator.name,
+    )

@@ -1,0 +1,691 @@
+"""The end-to-end approximate query processing pipeline (Fig. 5).
+
+:class:`AQPEngine` is the user-facing entry point, playing the role
+BlinkDB plays in the paper: it owns base tables and precomputed samples,
+compiles SQL, picks a sample, computes the approximate answer with error
+bars, *diagnoses* whether those error bars can be trusted (§4), and falls
+back to a reliable path — exact execution or large-deviation bounds —
+when they cannot.
+
+The decision logic mirrors §5–§6:
+
+1. Closed-form error estimation when the query allows it (single-layer
+   COUNT/SUM/AVG/VARIANCE/STDEV, no UDFs); bootstrap otherwise.
+2. GROUP BY results are treated as one query per group (§2.1).
+3. Nested aggregation queries take the black-box bootstrap path
+   (resampling whole tables), everything else the consolidated
+   weight-matrix fast path.
+4. A failed diagnostic triggers the configured fallback.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.core.bootstrap import (
+    BootstrapEstimator,
+    bootstrap_table_statistic,
+)
+from repro.core.ci import ConfidenceInterval, interval_from_distribution
+from repro.core.closed_form import ClosedFormEstimator
+from repro.core.diagnostics import (
+    DiagnosticConfig,
+    DiagnosticResult,
+    diagnose,
+)
+from repro.core.estimators import ErrorEstimator, EstimationTarget
+from repro.core.large_deviation import HoeffdingEstimator
+from repro.engine.evaluator import ExpressionEvaluator
+from repro.engine.table import Table
+from repro.errors import AnalysisError, EstimationError, PlanError
+from repro.plan.executor import QueryExecutor
+from repro.sampling.catalog import SampleCatalog, SampleInfo
+from repro.sql.analyzer import AnalyzedQuery, analyze
+from repro.sql.functions import FunctionRegistry, default_function_registry
+from repro.sql.parser import parse_select
+
+
+# ---------------------------------------------------------------------------
+# Black-box targets for nested queries
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class TableQueryTarget:
+    """A black-box θ: execute a whole query against a (re)sampled table.
+
+    Used when a query cannot be reduced to "aggregate over a value
+    array" — notably nested aggregation.  Implements the same protocol
+    as :class:`~repro.core.estimators.EstimationTarget` (``subset`` /
+    ``point_estimate`` / ``total_sample_rows``), so the diagnostic works
+    unchanged.
+    """
+
+    table: Table
+    query: AnalyzedQuery
+    executor: QueryExecutor
+
+    @property
+    def total_sample_rows(self) -> int:
+        return self.table.num_rows
+
+    def point_estimate(self) -> float:
+        return self.executor.scalar(self.query, self.table)
+
+    def subset(self, indices: np.ndarray) -> "TableQueryTarget":
+        return replace(self, table=self.table.take(indices))
+
+
+class BlackBoxBootstrapEstimator(ErrorEstimator):
+    """Bootstrap ξ for :class:`TableQueryTarget` (materialised resamples).
+
+    This is the §5.2-style execution: each resample is a real table run
+    through the full query executor — general but K× as expensive as the
+    weighted fast path.
+    """
+
+    name = "bootstrap"
+
+    def __init__(
+        self,
+        num_resamples: int = 100,
+        rng: np.random.Generator | None = None,
+    ):
+        self.num_resamples = num_resamples
+        self._rng = rng or np.random.default_rng()
+
+    def estimate(self, target, confidence=0.95, rng=None):
+        rng = rng or self._rng
+        center = target.point_estimate()
+        distribution = bootstrap_table_statistic(
+            target.table,
+            lambda t: target.executor.scalar(target.query, t),
+            self.num_resamples,
+            rng,
+        )
+        return interval_from_distribution(
+            distribution, center, confidence, self.name
+        )
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ApproximateValue:
+    """One approximate aggregate value with its reliability verdict.
+
+    Attributes:
+        name: output column name.
+        estimate: the returned value (approximate, or exact after a
+            fallback).
+        interval: error bars, when available.
+        method: how the value was produced: ``"closed_form"``,
+            ``"bootstrap"``, ``"hoeffding"``, or ``"exact"``.
+        diagnostic: the diagnostic outcome, when it was run.
+        fell_back: whether the diagnostic (or an error-bound miss)
+            forced a fallback away from cheap estimation.
+        fallback_reason: why the fallback happened, if it did.
+    """
+
+    name: str
+    estimate: float
+    interval: Optional[ConfidenceInterval]
+    method: str
+    diagnostic: Optional[DiagnosticResult] = None
+    fell_back: bool = False
+    fallback_reason: str = ""
+
+    @property
+    def relative_error(self) -> Optional[float]:
+        if self.interval is None:
+            return None
+        return self.interval.relative_error
+
+
+@dataclass(frozen=True)
+class AQPRow:
+    """One result row: a group key (possibly empty) plus its values."""
+
+    group: dict[str, object]
+    values: dict[str, ApproximateValue]
+
+
+@dataclass(frozen=True)
+class AQPResult:
+    """Result of an approximate query execution."""
+
+    sql: str
+    rows: tuple[AQPRow, ...]
+    sample: Optional[SampleInfo]
+    elapsed_seconds: float
+    bootstrap_subqueries: int = 0
+    diagnostic_subqueries: int = 0
+
+    def single(self) -> ApproximateValue:
+        """The one value of a single-aggregate, ungrouped query."""
+        if len(self.rows) != 1 or len(self.rows[0].values) != 1:
+            raise EstimationError(
+                "single() requires an ungrouped single-aggregate result"
+            )
+        return next(iter(self.rows[0].values.values()))
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+@dataclass
+class EngineConfig:
+    """Tunable behaviour of :class:`AQPEngine`.
+
+    Attributes:
+        confidence: default interval coverage α.
+        num_bootstrap_resamples: K for all bootstrap paths.
+        diagnostic: Algorithm 1 parameters (``None`` → paper defaults,
+            scaled down automatically for small samples).
+        run_diagnostics: whether execute() diagnoses error estimates.
+        fallback: what to do when the diagnostic rejects a query:
+            ``"exact"`` (rerun on the full data), ``"large_deviation"``
+            (conservative Hoeffding bars, exact when Hoeffding does not
+            apply), or ``"none"`` (return the distrusted estimate,
+            flagged).
+    """
+
+    confidence: float = 0.95
+    num_bootstrap_resamples: int = 100
+    diagnostic: Optional[DiagnosticConfig] = None
+    run_diagnostics: bool = True
+    fallback: str = "exact"
+    #: Retry on the next larger catalog sample when a value misses the
+    #: caller's error bound, before resorting to the fallback (§1's
+    #: smooth accuracy/time tradeoff).
+    escalate_samples: bool = True
+    #: Use the order-statistics closed form for non-extreme PERCENTILE
+    #: aggregates instead of the bootstrap (an extension ξ; the
+    #: diagnostic still validates it per query).
+    use_quantile_closed_form: bool = False
+
+    def __post_init__(self):
+        if self.fallback not in ("exact", "large_deviation", "none"):
+            raise PlanError(
+                f"unknown fallback policy {self.fallback!r}; expected "
+                "'exact', 'large_deviation', or 'none'"
+            )
+
+
+class AQPEngine:
+    """A sampling-based approximate query engine with reliable error bars."""
+
+    def __init__(
+        self,
+        config: EngineConfig | None = None,
+        seed: int | None = None,
+    ):
+        self.config = config or EngineConfig()
+        self.catalog = SampleCatalog(seed=seed)
+        self.registry: FunctionRegistry = default_function_registry()
+        self._executor = QueryExecutor(self.registry)
+        self._evaluator = ExpressionEvaluator(self.registry)
+        self._rng = np.random.default_rng(seed)
+
+    # -- setup ------------------------------------------------------------
+    def register_table(self, name: str, table: Table) -> None:
+        """Register a base table."""
+        self.catalog.register_table(name, table)
+
+    def create_sample(
+        self,
+        table_name: str,
+        size: int | None = None,
+        fraction: float | None = None,
+        name: str | None = None,
+    ) -> SampleInfo:
+        """Precompute a uniform sample of a base table."""
+        return self.catalog.create_sample(
+            table_name, size=size, fraction=fraction, name=name
+        )
+
+    def register_udf(self, name: str, fn, vectorized: bool = True) -> None:
+        """Register a scalar UDF (disables closed forms for its queries)."""
+        self.registry.register_udf(name, fn, vectorized)
+
+    def register_udaf(self, name: str, fn, weighted_fn=None) -> None:
+        """Register a black-box aggregate (bootstrap-only error bars)."""
+        self.registry.register_udaf(name, fn, weighted_fn)
+
+    # -- execution ---------------------------------------------------------
+    def analyze_sql(self, sql: str) -> AnalyzedQuery:
+        statement = parse_select(sql)
+        if statement.source.subquery is not None:
+            base = self._base_table_of(statement)
+        else:
+            if statement.source.name is None:
+                raise AnalysisError("FROM clause requires a table")
+            base = statement.source.name
+        table = self.catalog.table(base)
+        return analyze(statement, table.schema, self.registry)
+
+    def _base_table_of(self, statement) -> str:
+        source = statement.source
+        while source.subquery is not None:
+            source = source.subquery.source
+        if source.name is None:
+            raise AnalysisError("FROM clause requires a base table")
+        return source.name
+
+    def execute_exact(self, sql: str) -> Table:
+        """Run a query exactly on the full base table."""
+        query = self.analyze_sql(sql)
+        return self._executor.execute(query, self.catalog.table(query.source_table))
+
+    def execute(
+        self,
+        sql: str,
+        confidence: float | None = None,
+        sample_name: str | None = None,
+        max_sample_rows: int | None = None,
+        error_bound: float | None = None,
+        run_diagnostics: bool | None = None,
+    ) -> AQPResult:
+        """Answer ``sql`` approximately with reliable error bars.
+
+        Args:
+            sql: the query text.
+            confidence: interval coverage (default from config).
+            sample_name: run on this specific sample; otherwise the
+                catalog picks the largest sample within
+                ``max_sample_rows``.
+            max_sample_rows: sample-size budget (a response-time proxy).
+            error_bound: maximum acceptable relative error; estimates
+                missing the bound trigger the fallback.
+            run_diagnostics: override the engine-level diagnostics flag.
+        """
+        started = time.perf_counter()
+        confidence = confidence or self.config.confidence
+        should_diagnose = (
+            self.config.run_diagnostics
+            if run_diagnostics is None
+            else run_diagnostics
+        )
+        query = self.analyze_sql(sql)
+        if not query.is_aggregate_query:
+            raise AnalysisError(
+                "approximate execution requires an aggregate query; use "
+                "execute_exact for projections"
+            )
+        if sample_name is not None:
+            info, sample = self.catalog.sample(query.source_table, sample_name)
+        else:
+            info, sample = self.catalog.select_sample(
+                query.source_table, max_rows=max_sample_rows
+            )
+
+        bootstrap_subqueries = 0
+        diagnostic_subqueries = 0
+        while True:
+            state = _ExecutionState(
+                engine=self,
+                query=query,
+                sql=sql,
+                sample_info=info,
+                sample=sample,
+                confidence=confidence,
+                should_diagnose=should_diagnose,
+                error_bound=error_bound,
+            )
+            rows = state.run()
+            bootstrap_subqueries += state.bootstrap_subqueries
+            diagnostic_subqueries += state.diagnostic_subqueries
+            escalation = self._next_larger_sample(query, info, rows)
+            if escalation is None:
+                break
+            info, sample = escalation
+        return AQPResult(
+            sql=sql,
+            rows=tuple(rows),
+            sample=info,
+            elapsed_seconds=time.perf_counter() - started,
+            bootstrap_subqueries=bootstrap_subqueries,
+            diagnostic_subqueries=diagnostic_subqueries,
+        )
+
+    def _next_larger_sample(
+        self, query, info, rows
+    ) -> tuple[SampleInfo, Table] | None:
+        """Escalate to a larger catalog sample after an error-bound miss.
+
+        §1: error estimates let the system trade accuracy against query
+        time smoothly.  When a value misses the caller's error bound on
+        this sample and a larger precomputed sample exists, retry there
+        before resorting to the exact fallback.  Diagnostic failures are
+        *not* escalated: a bigger sample rarely rescues an untrustworthy
+        estimation procedure.
+        """
+        if not self.config.escalate_samples:
+            return None
+        bound_missed = any(
+            value.fell_back and "exceeds bound" in value.fallback_reason
+            for row in rows
+            for value in row.values.values()
+        )
+        if not bound_missed:
+            return None
+        larger = sorted(
+            (
+                candidate
+                for candidate in self.catalog.samples_for(query.source_table)
+                if candidate.rows > info.rows
+            ),
+            key=lambda candidate: candidate.rows,
+        )
+        if not larger:
+            return None
+        return self.catalog.sample(query.source_table, larger[0].name)
+
+
+@dataclass
+class _ExecutionState:
+    """One execute() call's worth of context and counters."""
+
+    engine: AQPEngine
+    query: AnalyzedQuery
+    sql: str
+    sample_info: SampleInfo
+    sample: Table
+    confidence: float
+    should_diagnose: bool
+    error_bound: Optional[float]
+    bootstrap_subqueries: int = 0
+    diagnostic_subqueries: int = 0
+    _exact_result: Optional[Table] = None
+
+    # -- orchestration -------------------------------------------------------
+    def run(self) -> list[AQPRow]:
+        if self.query.inner is not None and self.query.inner.is_aggregate_query:
+            return [self._run_black_box()]
+        working, where_mask = self._prepare_sample()
+        if not self.query.group_by:
+            values = {
+                spec.output_name: self._estimate_one(spec, working, where_mask)
+                for spec in self.query.aggregates
+            }
+            return [AQPRow(group={}, values=values)]
+        return self._run_grouped(working, where_mask)
+
+    def _prepare_sample(self) -> tuple[Table, np.ndarray | None]:
+        """Apply the inner pass-through query; evaluate the outer filter."""
+        working = self.sample
+        if self.query.inner is not None:
+            working = self.engine._executor.execute(self.query.inner, working)
+        where_mask = None
+        if self.query.where is not None:
+            where_mask = self.engine._evaluator.evaluate(
+                self.query.where, working
+            )
+            where_mask = (
+                where_mask
+                if where_mask.dtype == np.bool_
+                else where_mask.astype(bool)
+            )
+        return working, where_mask
+
+    def _run_grouped(
+        self, working: Table, where_mask: np.ndarray | None
+    ) -> list[AQPRow]:
+        """One estimation problem per group (§2.1), any number of keys."""
+        from repro.plan.executor import _group_rows
+
+        key_arrays = [
+            self.engine._evaluator.evaluate(expr, working)
+            for expr in self.query.group_by
+        ]
+        group_ids, group_keys = _group_rows(key_arrays)
+        rows: list[AQPRow] = []
+        for g in range(len(group_keys[0])):
+            group_mask = group_ids == g
+            combined = (
+                group_mask if where_mask is None else group_mask & where_mask
+            )
+            group = {
+                name: group_keys[key_index][g]
+                for key_index, name in enumerate(self.query.group_by_names)
+            }
+            values = {
+                spec.output_name: self._estimate_one(
+                    spec, working, combined, group
+                )
+                for spec in self.query.aggregates
+            }
+            rows.append(AQPRow(group=group, values=values))
+        return rows
+
+    # -- per-aggregate estimation ------------------------------------------
+    def _estimate_one(
+        self,
+        spec,
+        working: Table,
+        mask: np.ndarray | None,
+        group: dict | None = None,
+    ) -> ApproximateValue:
+        if spec.argument is None:
+            argument_values = np.ones(working.num_rows, dtype=np.float64)
+        else:
+            argument_values = self.engine._evaluator.evaluate(
+                spec.argument, working
+            )
+        target = EstimationTarget(
+            values=np.asarray(argument_values, dtype=np.float64),
+            aggregate=spec.function,
+            mask=mask,
+            dataset_rows=self.sample_info.dataset_rows,
+            extensive=spec.extensive,
+        )
+        estimator = self._pick_estimator(spec)
+        rng = self.engine._rng
+        try:
+            interval = estimator.estimate(target, self.confidence, rng)
+        except EstimationError as exc:
+            return self._fall_back(spec, target, reason=str(exc), group=group)
+        if estimator.name == "bootstrap":
+            self.bootstrap_subqueries += self.engine.config.num_bootstrap_resamples
+
+        diagnostic = None
+        if self.should_diagnose:
+            diagnostic = self._diagnose(target, estimator)
+            if diagnostic is not None and not diagnostic.passed:
+                return self._fall_back(
+                    spec,
+                    target,
+                    reason=f"diagnostic failed: {diagnostic.reason}",
+                    diagnostic=diagnostic,
+                    group=group,
+                )
+        if (
+            self.error_bound is not None
+            and interval.relative_error > self.error_bound
+        ):
+            return self._fall_back(
+                spec,
+                target,
+                reason=(
+                    f"relative error {interval.relative_error:.3f} exceeds "
+                    f"bound {self.error_bound}"
+                ),
+                diagnostic=diagnostic,
+                group=group,
+            )
+        return ApproximateValue(
+            name=spec.output_name,
+            estimate=interval.estimate,
+            interval=interval,
+            method=estimator.name,
+            diagnostic=diagnostic,
+        )
+
+    def _pick_estimator(self, spec) -> ErrorEstimator:
+        if spec.closed_form_capable and not self.query.contains_udf:
+            return ClosedFormEstimator()
+        if self.engine.config.use_quantile_closed_form:
+            from repro.core.quantile_closed_form import (
+                QuantileClosedFormEstimator,
+            )
+            from repro.engine.aggregates import PercentileAggregate
+
+            quantile_estimator = QuantileClosedFormEstimator()
+            if isinstance(
+                spec.function, PercentileAggregate
+            ) and not spec.contains_udf:
+                probe = EstimationTarget(
+                    values=np.empty(0), aggregate=spec.function
+                )
+                if quantile_estimator.applicable(probe):
+                    return quantile_estimator
+        return BootstrapEstimator(
+            self.engine.config.num_bootstrap_resamples, self.engine._rng
+        )
+
+    def _diagnose(self, target, estimator) -> DiagnosticResult | None:
+        config = self.engine.config.diagnostic or _auto_diagnostic_config(
+            target.total_sample_rows
+        )
+        if config is None:
+            return None
+        result = diagnose(
+            target, estimator, self.confidence, config, self.engine._rng
+        )
+        self.diagnostic_subqueries += result.num_subqueries
+        return result
+
+    # -- black-box path for nested aggregation ---------------------------------
+    def _run_black_box(self) -> AQPRow:
+        target = TableQueryTarget(
+            table=self.sample, query=self.query, executor=self.engine._executor
+        )
+        estimator = BlackBoxBootstrapEstimator(
+            self.engine.config.num_bootstrap_resamples, self.engine._rng
+        )
+        spec = self.query.aggregates[0]
+        interval = estimator.estimate(target, self.confidence)
+        self.bootstrap_subqueries += self.engine.config.num_bootstrap_resamples
+        diagnostic = None
+        if self.should_diagnose:
+            config = self.engine.config.diagnostic or _auto_diagnostic_config(
+                target.total_sample_rows, black_box=True
+            )
+            if config is not None:
+                diagnostic = diagnose(
+                    target,
+                    estimator,
+                    self.confidence,
+                    config,
+                    self.engine._rng,
+                )
+                self.diagnostic_subqueries += diagnostic.num_subqueries
+        if diagnostic is not None and not diagnostic.passed:
+            value = self._fall_back(
+                spec,
+                None,
+                reason=f"diagnostic failed: {diagnostic.reason}",
+                diagnostic=diagnostic,
+            )
+        else:
+            value = ApproximateValue(
+                name=spec.output_name,
+                estimate=interval.estimate,
+                interval=interval,
+                method=estimator.name,
+                diagnostic=diagnostic,
+            )
+        return AQPRow(group={}, values={spec.output_name: value})
+
+    # -- fallbacks -----------------------------------------------------------
+    def _fall_back(
+        self,
+        spec,
+        target: EstimationTarget | None,
+        reason: str,
+        diagnostic: DiagnosticResult | None = None,
+        group: dict | None = None,
+    ) -> ApproximateValue:
+        policy = self.engine.config.fallback
+        if policy == "large_deviation" and target is not None:
+            hoeffding = HoeffdingEstimator()
+            if hoeffding.applicable(target):
+                interval = hoeffding.estimate(target, self.confidence)
+                return ApproximateValue(
+                    name=spec.output_name,
+                    estimate=interval.estimate,
+                    interval=interval,
+                    method="hoeffding",
+                    diagnostic=diagnostic,
+                    fell_back=True,
+                    fallback_reason=reason,
+                )
+            # Hoeffding not derivable for this aggregate: fall through to
+            # exact, the always-available reliable path.
+        if policy == "none":
+            estimate = (
+                target.point_estimate() if target is not None else float("nan")
+            )
+            return ApproximateValue(
+                name=spec.output_name,
+                estimate=estimate,
+                interval=None,
+                method="untrusted",
+                diagnostic=diagnostic,
+                fell_back=True,
+                fallback_reason=reason,
+            )
+        exact_value = self._exact_value_for(spec, group)
+        return ApproximateValue(
+            name=spec.output_name,
+            estimate=exact_value,
+            interval=ConfidenceInterval(
+                estimate=exact_value,
+                half_width=0.0,
+                confidence=self.confidence,
+                method="exact",
+            ),
+            method="exact",
+            diagnostic=diagnostic,
+            fell_back=True,
+            fallback_reason=reason,
+        )
+
+    def _exact_value_for(self, spec, group: dict | None = None) -> float:
+        if self._exact_result is None:
+            base = self.engine.catalog.table(self.query.source_table)
+            self._exact_result = self.engine._executor.execute(self.query, base)
+        result = self._exact_result
+        if group:
+            for key_name, key_value in group.items():
+                result = result.filter(result.column(key_name) == key_value)
+        if result.num_rows != 1:
+            raise EstimationError(
+                f"exact fallback expected one row for group {group!r}, got "
+                f"{result.num_rows}"
+            )
+        return float(result.column(spec.output_name)[0])
+
+
+def _auto_diagnostic_config(
+    sample_rows: int, black_box: bool = False
+) -> DiagnosticConfig | None:
+    """A diagnostic configuration sized to the sample.
+
+    The paper's p=100 needs ``100 × b_k ≤ |S|``; for small samples we
+    shrink p, and below a floor we skip the diagnostic entirely (there
+    is no room for honest subsamples).  Black-box targets get a smaller
+    p because each ξ evaluation re-executes the full query.
+    """
+    p = 25 if black_box else 100
+    while p >= 10:
+        config = DiagnosticConfig(num_subsamples=p, num_sizes=3)
+        try:
+            config.resolve_sizes(sample_rows)
+            return config
+        except Exception:
+            p //= 2
+    return None

@@ -1,0 +1,121 @@
+"""Closed-form error estimation for quantiles (an extension ξ).
+
+The paper's system treats percentiles as bootstrap-only — "other θs
+require more complicated estimates of σ²" (§2.3.2).  That more
+complicated estimate exists: the asymptotic distribution of the sample
+p-quantile is
+
+    Normal( x_p ,  p (1 − p) / (n · f(x_p)²) )
+
+where ``f`` is the data density at the quantile.  We estimate ``f(x_p)``
+with a Gaussian kernel density estimate (Silverman bandwidth), yielding
+a deterministic, resampling-free ξ for PERCENTILE queries.
+
+This is exactly the kind of procedure the paper's diagnostic framework
+was generalised for: it is cheap but rests on a smoothness assumption
+(a positive, continuous density at the quantile), so it fails on
+discrete or lumpy data — and the diagnostic can be used to detect that,
+since :func:`~repro.core.diagnostics.diagnose` accepts any estimator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ci import ConfidenceInterval
+from repro.core.closed_form import normal_quantile
+from repro.core.estimators import ErrorEstimator, EstimationTarget
+from repro.engine.aggregates import PercentileAggregate
+from repro.errors import EstimationError
+
+
+def silverman_bandwidth(values: np.ndarray) -> float:
+    """Silverman's rule-of-thumb KDE bandwidth."""
+    n = len(values)
+    if n < 2:
+        raise EstimationError("bandwidth needs at least two values")
+    spread = float(values.std(ddof=1))
+    iqr = float(np.subtract(*np.percentile(values, [75, 25])))
+    scale = min(spread, iqr / 1.349) if iqr > 0 else spread
+    if scale <= 0:
+        raise EstimationError(
+            "cannot estimate a density for degenerate (constant) data"
+        )
+    return 0.9 * scale * n ** (-0.2)
+
+
+def kde_density_at(values: np.ndarray, point: float) -> float:
+    """Gaussian-kernel density estimate of the data density at ``point``.
+
+    Evaluated against a capped subsample for large inputs — density
+    estimation at one point does not need every observation.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) > 20_000:
+        # Deterministic thinning keeps the estimator reproducible.
+        step = len(values) // 20_000 + 1
+        values = values[::step]
+    bandwidth = silverman_bandwidth(values)
+    standardized = (point - values) / bandwidth
+    kernel = np.exp(-0.5 * standardized**2) / np.sqrt(2.0 * np.pi)
+    return float(kernel.mean() / bandwidth)
+
+
+class QuantileClosedFormEstimator(ErrorEstimator):
+    """CLT (order-statistics) confidence intervals for PERCENTILE.
+
+    Deterministic and O(n) like the other closed forms; valid only when
+    the data has a smooth positive density at the quantile.  Extreme
+    quantiles (near 0 or 1) are rejected: the normal asymptotics break
+    down exactly where MIN/MAX pathologies begin.
+    """
+
+    name = "quantile_closed_form"
+
+    #: Quantiles closer than this to 0/1 are refused (extreme-order
+    #: statistics are not asymptotically normal at practical n).
+    extreme_cutoff: float = 0.02
+
+    def applicable(self, target: EstimationTarget) -> bool:
+        aggregate = target.aggregate
+        if not isinstance(aggregate, PercentileAggregate):
+            return False
+        return (
+            self.extreme_cutoff
+            <= aggregate.fraction
+            <= 1.0 - self.extreme_cutoff
+        )
+
+    def estimate(
+        self,
+        target: EstimationTarget,
+        confidence: float = 0.95,
+        rng: np.random.Generator | None = None,
+    ) -> ConfidenceInterval:
+        if not self.applicable(target):
+            raise EstimationError(
+                "quantile closed form applies only to non-extreme "
+                "PERCENTILE aggregates"
+            )
+        values = target.matched_values
+        if len(values) < 30:
+            raise EstimationError(
+                "quantile closed form needs at least 30 matched rows"
+            )
+        fraction = target.aggregate.fraction
+        point = target.point_estimate()
+        density = kde_density_at(values, point)
+        if density <= 0 or not np.isfinite(density):
+            raise EstimationError(
+                "estimated density at the quantile is degenerate"
+            )
+        std_error = np.sqrt(
+            fraction * (1.0 - fraction) / len(values)
+        ) / density
+        half_width = normal_quantile(confidence) * std_error
+        return ConfidenceInterval(
+            estimate=point,
+            half_width=half_width,
+            confidence=confidence,
+            method=self.name,
+        )

@@ -1,0 +1,23 @@
+"""In-memory vectorised columnar execution substrate.
+
+This package is the stand-in for the Shark/Spark layer the paper runs on:
+a column store (:mod:`repro.engine.table`), vectorised expression
+evaluation over SQL ASTs (:mod:`repro.engine.evaluator`), and weighted
+aggregate functions with both single-weight-vector and weight-matrix fast
+paths (:mod:`repro.engine.aggregates`).
+"""
+
+from repro.engine.table import Table, concat_tables
+from repro.engine.aggregates import (
+    AggregateFunction,
+    aggregate_registry,
+    get_aggregate,
+)
+
+__all__ = [
+    "Table",
+    "concat_tables",
+    "AggregateFunction",
+    "aggregate_registry",
+    "get_aggregate",
+]

@@ -1,0 +1,192 @@
+"""Vectorised evaluation of SQL expressions over a columnar table.
+
+:func:`evaluate` maps an AST expression to a NumPy array with one entry
+per table row.  Comparison and logical operators produce boolean arrays,
+making WHERE-clause evaluation a single call.  Scalar functions and UDFs
+resolve through a :class:`~repro.sql.functions.FunctionRegistry`.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.engine.table import Table
+from repro.errors import ExecutionError
+from repro.sql import ast
+from repro.sql.functions import FunctionRegistry, default_function_registry
+
+
+def _broadcast(value: object, num_rows: int) -> np.ndarray:
+    """Broadcast a scalar literal to a full column."""
+    return np.full(num_rows, value)
+
+
+_ARITHMETIC_OPS = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "%": np.mod,
+}
+
+_COMPARISON_OPS = {
+    "=": np.equal,
+    "!=": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+
+
+def _like_to_regex(pattern: str) -> re.Pattern:
+    """Translate a SQL LIKE pattern to an anchored regular expression."""
+    parts: list[str] = []
+    for ch in pattern:
+        if ch == "%":
+            parts.append(".*")
+        elif ch == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(ch))
+    return re.compile("^" + "".join(parts) + "$")
+
+
+class ExpressionEvaluator:
+    """Evaluates expressions against a table with a fixed function registry."""
+
+    def __init__(self, registry: FunctionRegistry | None = None):
+        self._registry = registry or default_function_registry()
+
+    def evaluate(self, expr: ast.Expression, table: Table) -> np.ndarray:
+        """Evaluate ``expr`` over ``table``, returning one value per row."""
+        method = getattr(
+            self, f"_eval_{type(expr).__name__.lower()}", None
+        )
+        if method is None:
+            raise ExecutionError(
+                f"cannot evaluate expression node {type(expr).__name__}"
+            )
+        return method(expr, table)
+
+    # -- leaf nodes ----------------------------------------------------------
+    def _eval_literal(self, expr: ast.Literal, table: Table) -> np.ndarray:
+        if expr.value is None:
+            return np.full(table.num_rows, np.nan)
+        return _broadcast(expr.value, table.num_rows)
+
+    def _eval_columnref(self, expr: ast.ColumnRef, table: Table) -> np.ndarray:
+        return table.column(expr.name)
+
+    def _eval_star(self, expr: ast.Star, table: Table) -> np.ndarray:
+        # COUNT(*) counts row existence; represent it as a column of ones.
+        return np.ones(table.num_rows, dtype=np.float64)
+
+    # -- operators -------------------------------------------------------------
+    def _eval_unaryop(self, expr: ast.UnaryOp, table: Table) -> np.ndarray:
+        operand = self.evaluate(expr.operand, table)
+        if expr.op == "-":
+            return np.negative(operand)
+        if expr.op.upper() == "NOT":
+            return ~operand.astype(bool)
+        raise ExecutionError(f"unknown unary operator {expr.op!r}")
+
+    def _eval_binaryop(self, expr: ast.BinaryOp, table: Table) -> np.ndarray:
+        op = expr.op.upper()
+        left = self.evaluate(expr.left, table)
+        if op == "AND":
+            # No short-circuiting is needed: both sides are total functions.
+            right = self.evaluate(expr.right, table)
+            return left.astype(bool) & right.astype(bool)
+        if op == "OR":
+            right = self.evaluate(expr.right, table)
+            return left.astype(bool) | right.astype(bool)
+        right = self.evaluate(expr.right, table)
+        if op in _ARITHMETIC_OPS:
+            return _ARITHMETIC_OPS[op](left, right)
+        if op == "/":
+            with np.errstate(divide="ignore", invalid="ignore"):
+                return np.true_divide(left, right)
+        if op in _COMPARISON_OPS:
+            return _COMPARISON_OPS[op](left, right)
+        raise ExecutionError(f"unknown binary operator {expr.op!r}")
+
+    def _eval_inlist(self, expr: ast.InList, table: Table) -> np.ndarray:
+        operand = self.evaluate(expr.operand, table)
+        result = np.zeros(len(operand), dtype=bool)
+        for item in expr.items:
+            if not isinstance(item, ast.Literal):
+                raise ExecutionError("IN list items must be literals")
+            result |= operand == item.value
+        return ~result if expr.negated else result
+
+    def _eval_between(self, expr: ast.Between, table: Table) -> np.ndarray:
+        operand = self.evaluate(expr.operand, table)
+        low = self.evaluate(expr.low, table)
+        high = self.evaluate(expr.high, table)
+        result = (operand >= low) & (operand <= high)
+        return ~result if expr.negated else result
+
+    def _eval_isnull(self, expr: ast.IsNull, table: Table) -> np.ndarray:
+        operand = self.evaluate(expr.operand, table)
+        if operand.dtype.kind == "f":
+            result = np.isnan(operand)
+        else:
+            result = np.zeros(len(operand), dtype=bool)
+        return ~result if expr.negated else result
+
+    def _eval_like(self, expr: ast.Like, table: Table) -> np.ndarray:
+        operand = self.evaluate(expr.operand, table)
+        regex = _like_to_regex(expr.pattern)
+        matcher = np.vectorize(lambda s: regex.match(str(s)) is not None, otypes=[bool])
+        result = matcher(operand)
+        return ~result if expr.negated else result
+
+    def _eval_casewhen(self, expr: ast.CaseWhen, table: Table) -> np.ndarray:
+        if expr.default is not None:
+            result = self.evaluate(expr.default, table).astype(np.float64)
+        else:
+            result = np.full(table.num_rows, np.nan)
+        # Apply branches in reverse so that the first matching WHEN wins.
+        for condition, value in reversed(expr.branches):
+            mask = self.evaluate(condition, table).astype(bool)
+            branch_value = self.evaluate(value, table)
+            result = np.where(mask, branch_value, result)
+        return result
+
+    def _eval_functioncall(self, expr: ast.FunctionCall, table: Table) -> np.ndarray:
+        if self._registry.is_aggregate(expr.name):
+            raise ExecutionError(
+                f"aggregate {expr.name} cannot be evaluated row-wise; "
+                "aggregates are handled by the plan's aggregate operator"
+            )
+        implementation = self._registry.scalar_implementation(expr.name)
+        args = [self.evaluate(arg, table) for arg in expr.args]
+        try:
+            return np.asarray(implementation(*args))
+        except Exception as exc:  # surface UDF failures with context
+            raise ExecutionError(
+                f"scalar function {expr.name} failed: {exc}"
+            ) from exc
+
+
+def evaluate(
+    expr: ast.Expression,
+    table: Table,
+    registry: FunctionRegistry | None = None,
+) -> np.ndarray:
+    """Evaluate ``expr`` over ``table`` (convenience wrapper)."""
+    return ExpressionEvaluator(registry).evaluate(expr, table)
+
+
+def evaluate_predicate(
+    expr: ast.Expression,
+    table: Table,
+    registry: FunctionRegistry | None = None,
+) -> np.ndarray:
+    """Evaluate a WHERE/HAVING predicate to a boolean mask."""
+    result = evaluate(expr, table, registry)
+    if result.dtype != np.bool_:
+        result = result.astype(bool)
+    return result

@@ -1,0 +1,88 @@
+"""CSV import/export for tables.
+
+Keeps downstream users from needing pandas: a small, dependency-free
+loader with dtype inference (int → float → string, per column) and a
+writer that round-trips what the loader produces.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine.table import Table
+from repro.errors import SchemaError
+
+
+def _infer_column(raw: list[str]) -> np.ndarray:
+    """Infer int64 → float64 → unicode for one column of strings."""
+    try:
+        return np.array([int(cell) for cell in raw], dtype=np.int64)
+    except ValueError:
+        pass
+    try:
+        return np.array(
+            [float(cell) if cell != "" else np.nan for cell in raw],
+            dtype=np.float64,
+        )
+    except ValueError:
+        pass
+    return np.array(raw)
+
+
+def load_csv(
+    path: str | Path,
+    name: str | None = None,
+    delimiter: str = ",",
+) -> Table:
+    """Load a CSV file with a header row into a :class:`Table`.
+
+    Args:
+        path: file to read.
+        name: table name; defaults to the file stem.
+        delimiter: field separator.
+
+    Raises:
+        SchemaError: on an empty file, missing header, or ragged rows.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path} is empty") from None
+        if not header or any(not column.strip() for column in header):
+            raise SchemaError(f"{path} has a missing or blank header")
+        columns: list[list[str]] = [[] for __ in header]
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue  # blank line
+            if len(row) != len(header):
+                raise SchemaError(
+                    f"{path}:{line_number}: expected {len(header)} fields, "
+                    f"got {len(row)}"
+                )
+            for cell, column in zip(row, columns):
+                column.append(cell)
+    if not columns[0]:
+        raise SchemaError(f"{path} has a header but no data rows")
+    data = {
+        column_name.strip(): _infer_column(raw)
+        for column_name, raw in zip(header, columns)
+    }
+    return Table(data, name=name or path.stem)
+
+
+def save_csv(table: Table, path: str | Path, delimiter: str = ",") -> None:
+    """Write a table to CSV with a header row."""
+    path = Path(path)
+    names = table.column_names
+    columns = [table.column(column_name) for column_name in names]
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(names)
+        for i in range(table.num_rows):
+            writer.writerow([column[i] for column in columns])

@@ -1,0 +1,326 @@
+"""An immutable in-memory columnar table.
+
+:class:`Table` is the storage unit of the execution substrate.  Columns are
+NumPy arrays of equal length; the table itself is immutable — every
+transformation (filter, projection, sampling, partitioning) returns a new
+``Table`` that shares column buffers where possible.
+
+The class deliberately supports only the operations the AQP pipeline
+needs: columnar access, boolean-mask filtering, row gathering, horizontal
+column addition (for resampling weights), partitioning (for the simulated
+distributed execution and the diagnostic's disjoint subsamples), and
+random sampling (for sample creation and ground-truth evaluation).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.errors import SchemaError
+
+
+def _as_column(name: str, values: Any) -> np.ndarray:
+    """Coerce ``values`` into a 1-D NumPy array suitable as a column."""
+    array = np.asarray(values)
+    if array.ndim != 1:
+        raise SchemaError(
+            f"column {name!r} must be one-dimensional, got shape {array.shape}"
+        )
+    return array
+
+
+class Table:
+    """An immutable columnar table.
+
+    Args:
+        columns: mapping from column name to a 1-D array-like.  All columns
+            must have the same length.  Insertion order is preserved and
+            defines the column order.
+        name: optional table name, used in error messages and the catalog.
+
+    Raises:
+        SchemaError: if the mapping is empty, a column is not 1-D, or the
+            columns have differing lengths.
+    """
+
+    __slots__ = ("_columns", "_num_rows", "name")
+
+    def __init__(self, columns: Mapping[str, Any], name: str | None = None):
+        if not columns:
+            raise SchemaError("a table requires at least one column")
+        data: dict[str, np.ndarray] = {}
+        num_rows: int | None = None
+        for col_name, values in columns.items():
+            array = _as_column(col_name, values)
+            if num_rows is None:
+                num_rows = len(array)
+            elif len(array) != num_rows:
+                raise SchemaError(
+                    f"column {col_name!r} has {len(array)} rows, "
+                    f"expected {num_rows}"
+                )
+            data[col_name] = array
+        self._columns = data
+        self._num_rows = int(num_rows if num_rows is not None else 0)
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        """Number of rows in the table."""
+        return self._num_rows
+
+    @property
+    def column_names(self) -> list[str]:
+        """Column names in declaration order."""
+        return list(self._columns)
+
+    @property
+    def schema(self) -> dict[str, np.dtype]:
+        """Mapping of column name to NumPy dtype."""
+        return {name: col.dtype for name, col in self._columns.items()}
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    def __contains__(self, column_name: str) -> bool:
+        return column_name in self._columns
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        cols = ", ".join(
+            f"{name}:{col.dtype}" for name, col in self._columns.items()
+        )
+        return f"<Table{label} rows={self._num_rows} [{cols}]>"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        if self.column_names != other.column_names:
+            return False
+        return all(
+            np.array_equal(self._columns[name], other._columns[name])
+            for name in self._columns
+        )
+
+    __hash__ = None  # type: ignore[assignment]  # mutable-buffer semantics
+
+    def column(self, name: str) -> np.ndarray:
+        """Return the column array for ``name``.
+
+        Raises:
+            SchemaError: if the column does not exist.
+        """
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown column {name!r}; available: {self.column_names}"
+            ) from None
+
+    def columns(self) -> dict[str, np.ndarray]:
+        """Return a shallow copy of the name → array mapping."""
+        return dict(self._columns)
+
+    def estimated_bytes(self) -> int:
+        """Approximate in-memory footprint, used by the cluster cost model."""
+        total = 0
+        for col in self._columns.values():
+            if col.dtype.kind in ("U", "O"):
+                # Strings: itemsize for unicode arrays; a flat guess for
+                # object arrays, which we only use for string payloads.
+                total += col.itemsize * len(col) if col.dtype.kind == "U" else 48 * len(col)
+            else:
+                total += col.nbytes
+        return total
+
+    # ------------------------------------------------------------------
+    # Row-level transformations (all return new tables)
+    # ------------------------------------------------------------------
+    def filter(self, mask: np.ndarray) -> "Table":
+        """Return rows where the boolean ``mask`` is true."""
+        mask = np.asarray(mask)
+        if mask.dtype != np.bool_:
+            raise SchemaError(f"filter mask must be boolean, got {mask.dtype}")
+        if len(mask) != self._num_rows:
+            raise SchemaError(
+                f"filter mask has {len(mask)} entries for {self._num_rows} rows"
+            )
+        return Table(
+            {name: col[mask] for name, col in self._columns.items()},
+            name=self.name,
+        )
+
+    def take(self, indices: np.ndarray) -> "Table":
+        """Gather rows by integer ``indices`` (repeats allowed)."""
+        indices = np.asarray(indices)
+        return Table(
+            {name: col[indices] for name, col in self._columns.items()},
+            name=self.name,
+        )
+
+    def slice(self, start: int, stop: int) -> "Table":
+        """Return the half-open row range ``[start, stop)`` (zero-copy views)."""
+        return Table(
+            {name: col[start:stop] for name, col in self._columns.items()},
+            name=self.name,
+        )
+
+    def head(self, n: int) -> "Table":
+        """Return the first ``n`` rows."""
+        return self.slice(0, min(n, self._num_rows))
+
+    def select(self, names: Sequence[str]) -> "Table":
+        """Project to the given columns, in the given order."""
+        return Table({name: self.column(name) for name in names}, name=self.name)
+
+    def with_column(self, name: str, values: Any) -> "Table":
+        """Return a table with ``name`` added (or replaced)."""
+        array = _as_column(name, values)
+        if len(array) != self._num_rows:
+            raise SchemaError(
+                f"new column {name!r} has {len(array)} rows, "
+                f"expected {self._num_rows}"
+            )
+        data = dict(self._columns)
+        data[name] = array
+        return Table(data, name=self.name)
+
+    def drop(self, names: Iterable[str]) -> "Table":
+        """Return a table without the given columns."""
+        dropped = set(names)
+        remaining = {
+            name: col
+            for name, col in self._columns.items()
+            if name not in dropped
+        }
+        if not remaining:
+            raise SchemaError("cannot drop every column of a table")
+        return Table(remaining, name=self.name)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        """Return a table with columns renamed according to ``mapping``."""
+        return Table(
+            {mapping.get(name, name): col for name, col in self._columns.items()},
+            name=self.name,
+        )
+
+    # ------------------------------------------------------------------
+    # Sampling and partitioning
+    # ------------------------------------------------------------------
+    def sample_rows(
+        self,
+        n: int,
+        rng: np.random.Generator,
+        replacement: bool = False,
+    ) -> "Table":
+        """Draw a simple random sample of ``n`` rows.
+
+        Args:
+            n: number of rows to draw.
+            rng: NumPy random generator; all randomness in the library is
+                injected through explicit generators for reproducibility.
+            replacement: sample with replacement when true.
+        """
+        if n < 0:
+            raise SchemaError(f"sample size must be non-negative, got {n}")
+        if not replacement and n > self._num_rows:
+            raise SchemaError(
+                f"cannot sample {n} rows without replacement from "
+                f"{self._num_rows}"
+            )
+        indices = rng.choice(self._num_rows, size=n, replace=replacement)
+        return self.take(indices)
+
+    def shuffle(self, rng: np.random.Generator) -> "Table":
+        """Return the table with rows in a uniformly random order."""
+        return self.take(rng.permutation(self._num_rows))
+
+    def partition(self, num_parts: int) -> list["Table"]:
+        """Split into ``num_parts`` contiguous row ranges of near-equal size.
+
+        The last partitions may be one row shorter when ``num_rows`` is not
+        divisible by ``num_parts``.  Partitions are zero-copy views.
+        """
+        if num_parts <= 0:
+            raise SchemaError(f"num_parts must be positive, got {num_parts}")
+        boundaries = np.linspace(0, self._num_rows, num_parts + 1, dtype=np.int64)
+        return [
+            self.slice(int(boundaries[i]), int(boundaries[i + 1]))
+            for i in range(num_parts)
+        ]
+
+    def partition_rows(self, rows_per_part: int) -> list["Table"]:
+        """Split into contiguous partitions of at most ``rows_per_part`` rows."""
+        if rows_per_part <= 0:
+            raise SchemaError(
+                f"rows_per_part must be positive, got {rows_per_part}"
+            )
+        return [
+            self.slice(start, min(start + rows_per_part, self._num_rows))
+            for start in range(0, self._num_rows, rows_per_part)
+        ]
+
+    # ------------------------------------------------------------------
+    # Conversion helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Sequence[Mapping[str, Any]],
+        name: str | None = None,
+    ) -> "Table":
+        """Build a table from a sequence of row dictionaries.
+
+        All rows must have the same keys; the first row defines the schema.
+        """
+        if not rows:
+            raise SchemaError("from_rows requires at least one row")
+        keys = list(rows[0])
+        columns = {key: np.asarray([row[key] for row in rows]) for key in keys}
+        return cls(columns, name=name)
+
+    def to_rows(self) -> list[dict[str, Any]]:
+        """Materialise the table as a list of row dictionaries."""
+        names = self.column_names
+        cols = [self._columns[name] for name in names]
+        return [
+            {name: col[i].item() if col.dtype.kind != "O" else col[i]
+             for name, col in zip(names, cols)}
+            for i in range(self._num_rows)
+        ]
+
+    def iter_rows(self) -> Iterator[tuple]:
+        """Iterate rows as plain tuples in column order."""
+        cols = list(self._columns.values())
+        for i in range(self._num_rows):
+            yield tuple(col[i] for col in cols)
+
+
+def concat_tables(tables: Sequence[Table]) -> Table:
+    """Vertically concatenate tables with identical column names.
+
+    Raises:
+        SchemaError: if the list is empty or the schemas do not line up.
+    """
+    if not tables:
+        raise SchemaError("concat_tables requires at least one table")
+    first = tables[0]
+    for other in tables[1:]:
+        if other.column_names != first.column_names:
+            raise SchemaError(
+                "cannot concatenate tables with differing columns: "
+                f"{first.column_names} vs {other.column_names}"
+            )
+    return Table(
+        {
+            name: np.concatenate([t.column(name) for t in tables])
+            for name in first.column_names
+        },
+        name=first.name,
+    )

@@ -1,0 +1,85 @@
+"""Exception hierarchy shared across the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the layer that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SqlError(ReproError):
+    """Base class for errors raised by the SQL frontend."""
+
+
+class TokenizeError(SqlError):
+    """The query text could not be tokenized.
+
+    Attributes:
+        position: character offset in the query text where tokenization
+            failed, or ``None`` when unknown.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
+class ParseError(SqlError):
+    """The token stream did not match the supported SQL grammar."""
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
+class AnalysisError(SqlError):
+    """The query parsed but failed semantic analysis.
+
+    Examples: unknown column, unknown function, aggregate nested inside
+    another aggregate, or GROUP BY referencing a missing column.
+    """
+
+
+class SchemaError(ReproError):
+    """A table or column definition is invalid or inconsistent."""
+
+
+class ExecutionError(ReproError):
+    """A physical plan failed while executing."""
+
+
+class PlanError(ReproError):
+    """A logical plan could not be built, rewritten, or lowered."""
+
+
+class EstimationError(ReproError):
+    """An error-estimation procedure could not produce an interval.
+
+    Raised, for example, when a closed form is requested for an aggregate
+    that has no known closed-form variance estimate.
+    """
+
+
+class DiagnosticError(ReproError):
+    """The diagnostic could not be run with the requested parameters.
+
+    Raised, for example, when the sample is too small to be partitioned
+    into ``p`` disjoint subsamples of the largest subsample size.
+    """
+
+
+class SamplingError(ReproError):
+    """A sampling or resampling operation received invalid parameters."""
+
+
+class CatalogError(ReproError):
+    """A table or sample lookup failed in the catalog."""
+
+
+class SimulationError(ReproError):
+    """The cluster simulator was configured or driven incorrectly."""

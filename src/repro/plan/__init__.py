@@ -1,0 +1,56 @@
+"""Query planning: logical plans, the §5.3 rewriter, and execution.
+
+The pipeline of Fig. 5 compiles a query into a logical plan with three
+parts — the approximate answer θ(S), the error estimate ξ̂, and the
+diagnostic — then optimises the plan (scan consolidation, resampling
+operator pushdown) before physical execution.
+
+* :mod:`repro.plan.logical` — operator tree, plus builders for the plain
+  plan, the naive §5.2 UNION-ALL error plan, and the un-optimised
+  resample-after-scan plan.
+* :mod:`repro.plan.rewriter` — the logical plan rewriter (§5.3).
+* :mod:`repro.plan.executor` — exact SQL execution and plan runners that
+  record the cost profile (passes, rows, subqueries) consumed by the
+  cluster simulator.
+"""
+
+from repro.plan.logical import (
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalPlan,
+    LogicalProject,
+    LogicalResample,
+    LogicalScan,
+    LogicalUnionAll,
+    ResampleSpec,
+    build_error_estimation_plan,
+    build_naive_error_plan,
+    build_plain_plan,
+    explain,
+)
+from repro.plan.rewriter import RewriteReport, rewrite_plan
+from repro.plan.executor import (
+    CostProfile,
+    PlanRunner,
+    QueryExecutor,
+)
+
+__all__ = [
+    "LogicalAggregate",
+    "LogicalFilter",
+    "LogicalPlan",
+    "LogicalProject",
+    "LogicalResample",
+    "LogicalScan",
+    "LogicalUnionAll",
+    "ResampleSpec",
+    "build_error_estimation_plan",
+    "build_naive_error_plan",
+    "build_plain_plan",
+    "explain",
+    "RewriteReport",
+    "rewrite_plan",
+    "CostProfile",
+    "PlanRunner",
+    "QueryExecutor",
+]

@@ -1,0 +1,477 @@
+"""Plan execution: an exact SQL executor and costed plan runners.
+
+Two execution services live here:
+
+* :class:`QueryExecutor` — exact, vectorised execution of an analyzed
+  query over a table (filters, projections, GROUP BY/HAVING, ORDER
+  BY/LIMIT, one level of FROM-subquery nesting).  Used for ground truth,
+  for the exact fallback when the diagnostic rejects a query, and as the
+  black-box θ for bootstrap over nested queries.
+
+* :class:`PlanRunner` — executes a logical plan tree against the sample
+  catalog while recording a :class:`CostProfile` (input passes, rows and
+  bytes scanned, weight cells generated, subqueries launched).  The cost
+  profile is what the cluster simulator prices, so the naive §5.2 plan
+  and the consolidated §5.3 plan produce honestly different costs from
+  the *same* code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.ci import ConfidenceInterval, interval_from_distribution
+from repro.engine.evaluator import ExpressionEvaluator
+from repro.engine.table import Table
+from repro.errors import ExecutionError, PlanError
+from repro.plan.logical import (
+    LogicalAggregate,
+    LogicalBootstrapSummary,
+    LogicalDiagnostic,
+    LogicalFilter,
+    LogicalPlan,
+    LogicalProject,
+    LogicalResample,
+    LogicalScan,
+    LogicalUnionAll,
+)
+from repro.sampling.catalog import SampleCatalog
+from repro.sampling.poisson import poisson_weight_matrix
+from repro.sql import ast
+from repro.sql.analyzer import AnalyzedQuery, analyze
+from repro.sql.functions import FunctionRegistry, default_function_registry
+
+
+# ---------------------------------------------------------------------------
+# Exact query execution
+# ---------------------------------------------------------------------------
+class QueryExecutor:
+    """Exact execution of analyzed queries over in-memory tables."""
+
+    def __init__(self, registry: FunctionRegistry | None = None):
+        self.registry = registry or default_function_registry()
+        self._evaluator = ExpressionEvaluator(self.registry)
+
+    # -- public API -----------------------------------------------------------
+    def execute(self, query: AnalyzedQuery, table: Table) -> Table:
+        """Run ``query`` exactly on ``table`` and return the result table."""
+        working = self._apply_inner(query, table)
+        if query.where is not None:
+            mask = self._predicate(query.where, working)
+            working = working.filter(mask)
+        if query.is_aggregate_query:
+            result = self._aggregate(query, working)
+        else:
+            result = self._project(query, working)
+        result = self._order_and_limit(query, result)
+        return result
+
+    def scalar(self, query: AnalyzedQuery, table: Table) -> float:
+        """Run a single-aggregate query and return its one value.
+
+        This is the θ of the theory sections: a query returning a single
+        real number.
+        """
+        result = self.execute(query, table)
+        if result.num_rows != 1 or len(result.column_names) != 1:
+            raise ExecutionError(
+                "scalar() requires a query returning exactly one value; got "
+                f"{result.num_rows} rows × {len(result.column_names)} columns"
+            )
+        return float(result.column(result.column_names[0])[0])
+
+    # -- stages ---------------------------------------------------------------
+    def _apply_inner(self, query: AnalyzedQuery, table: Table) -> Table:
+        if query.inner is None:
+            return table
+        return self.execute(query.inner, table)
+
+    def _predicate(self, expr: ast.Expression, table: Table) -> np.ndarray:
+        mask = self._evaluator.evaluate(expr, table)
+        return mask if mask.dtype == np.bool_ else mask.astype(bool)
+
+    def _project(self, query: AnalyzedQuery, table: Table) -> Table:
+        columns: dict[str, np.ndarray] = {}
+        for ordinal, item in enumerate(query.plain_items):
+            if isinstance(item.expression, ast.Star):
+                columns.update(table.columns())
+                continue
+            name = item.output_name(ordinal)
+            columns[name] = self._evaluator.evaluate(item.expression, table)
+        if not columns:
+            raise ExecutionError("query projects no columns")
+        return Table(columns)
+
+    def _aggregate_one(
+        self, spec, table: Table
+    ) -> float:
+        if spec.argument is None:
+            values = np.ones(table.num_rows, dtype=np.float64)
+        else:
+            values = self._evaluator.evaluate(spec.argument, table)
+        return spec.function.compute(values)
+
+    def _aggregate(self, query: AnalyzedQuery, table: Table) -> Table:
+        if not query.group_by:
+            columns = {
+                spec.output_name: np.array([self._aggregate_one(spec, table)])
+                for spec in query.aggregates
+            }
+            return Table(columns)
+        return self._grouped_aggregate(query, table)
+
+    def _grouped_aggregate(self, query: AnalyzedQuery, table: Table) -> Table:
+        key_arrays = [
+            self._evaluator.evaluate(expr, table) for expr in query.group_by
+        ]
+        group_ids, group_keys = _group_rows(key_arrays)
+        num_groups = len(group_keys[0])
+
+        columns: dict[str, np.ndarray] = {}
+        for name, keys in zip(query.group_by_names, group_keys):
+            columns[name] = keys
+
+        aggregate_values: dict[str, np.ndarray] = {}
+        having_specs = self._having_aggregates(query)
+        all_specs = list(query.aggregates) + having_specs
+        for spec in all_specs:
+            results = np.empty(num_groups, dtype=np.float64)
+            for g in range(num_groups):
+                group_table = table.filter(group_ids == g)
+                results[g] = self._aggregate_one(spec, group_table)
+            aggregate_values[spec.output_name] = results
+
+        for spec in query.aggregates:
+            columns[spec.output_name] = aggregate_values[spec.output_name]
+        result = Table(columns)
+
+        if query.having is not None:
+            having_table = result
+            for spec in having_specs:
+                having_table = having_table.with_column(
+                    spec.output_name, aggregate_values[spec.output_name]
+                )
+            substituted = _substitute_aggregates(query.having)
+            mask = self._predicate(substituted, having_table)
+            result = result.filter(mask)
+        return result
+
+    def _having_aggregates(self, query: AnalyzedQuery) -> list:
+        """Hidden aggregate specs for every aggregate call in HAVING.
+
+        Each distinct call gets its own hidden output column (named from
+        its SQL rendering) that the rewritten HAVING expression
+        references, independent of the select list.
+        """
+        if query.having is None:
+            return []
+        from repro.sql.analyzer import _make_aggregate_spec  # shared helper
+
+        seen: set[str] = set()
+        specs = []
+        for node in ast.walk(query.having):
+            if isinstance(node, ast.FunctionCall) and self.registry.is_aggregate(
+                node.name
+            ):
+                rendered = node.to_sql()
+                if rendered in seen:
+                    continue
+                seen.add(rendered)
+                spec = _make_aggregate_spec(
+                    node,
+                    _hidden_name(node),
+                    self.registry,
+                    set(query.referenced_columns) | {"*"},
+                )
+                specs.append(spec)
+        return specs
+
+    def _order_and_limit(self, query: AnalyzedQuery, result: Table) -> Table:
+        statement = query.statement
+        if statement.order_by:
+            keys = []
+            for item in reversed(statement.order_by):
+                if isinstance(item.expression, ast.ColumnRef):
+                    column = result.column(item.expression.name)
+                else:
+                    column = self._evaluator.evaluate(item.expression, result)
+                keys.append((column, item.ascending))
+            order = np.arange(result.num_rows)
+            for column, ascending in keys:
+                stable = np.argsort(column[order], kind="stable")
+                if not ascending:
+                    stable = stable[::-1]
+                order = order[stable]
+            result = result.take(order)
+        if statement.limit is not None:
+            result = result.head(statement.limit)
+        return result
+
+
+def _group_rows(key_arrays: list[np.ndarray]) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Assign group ids and return (ids, per-key unique values)."""
+    if len(key_arrays) == 1:
+        uniques, ids = np.unique(key_arrays[0], return_inverse=True)
+        return ids, [uniques]
+    # Multiple keys: factorise each, then combine into composite ids.
+    factored = [np.unique(arr, return_inverse=True) for arr in key_arrays]
+    composite = np.zeros(len(key_arrays[0]), dtype=np.int64)
+    for uniques, ids in factored:
+        composite = composite * (len(uniques) + 1) + ids
+    unique_composite, group_ids = np.unique(composite, return_inverse=True)
+    representatives = [
+        np.empty(len(unique_composite), dtype=arr.dtype) for arr in key_arrays
+    ]
+    for g, code in enumerate(unique_composite):
+        first_row = int(np.argmax(composite == code))
+        for column_index, arr in enumerate(key_arrays):
+            representatives[column_index][g] = arr[first_row]
+    return group_ids, representatives
+
+
+def _hidden_name(call: ast.FunctionCall) -> str:
+    """Stable hidden column name for an aggregate call in HAVING."""
+    digest = 0
+    for ch in call.to_sql():
+        digest = (digest * 131 + ord(ch)) % 10**8
+    return f"_having_{digest}"
+
+
+def _substitute_aggregates(expr: ast.Expression) -> ast.Expression:
+    """Replace aggregate calls in an expression with column references.
+
+    The per-group aggregate values are materialised as columns named
+    either by the select-list alias convention or the hidden-name
+    convention; HAVING expressions are rewritten to reference them.
+    """
+    if isinstance(expr, ast.FunctionCall):
+        return ast.ColumnRef(_hidden_name(expr))
+    if isinstance(expr, ast.BinaryOp):
+        return ast.BinaryOp(
+            expr.op,
+            _substitute_aggregates(expr.left),
+            _substitute_aggregates(expr.right),
+        )
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(expr.op, _substitute_aggregates(expr.operand))
+    return expr
+
+
+# ---------------------------------------------------------------------------
+# Costed plan running
+# ---------------------------------------------------------------------------
+@dataclass
+class CostProfile:
+    """Work performed while running a logical plan.
+
+    The cluster simulator prices these quantities; they are the honest
+    output of actually executing the plan, not estimates.
+
+    Attributes:
+        input_passes: number of Scan executions (cursor passes).
+        rows_scanned: total rows streamed out of scans.
+        bytes_scanned: total bytes streamed out of scans.
+        rows_after_filters: rows reaching the (weighted) aggregates.
+        weight_cells: Poisson weights generated (rows × columns).
+        weight_columns: total weight columns generated.
+        subqueries: aggregate evaluations performed (resamples count
+            individually — the paper's "hundreds of bootstrap queries").
+    """
+
+    input_passes: int = 0
+    rows_scanned: int = 0
+    bytes_scanned: int = 0
+    rows_after_filters: int = 0
+    weight_cells: int = 0
+    weight_columns: int = 0
+    subqueries: int = 0
+
+    def merge(self, other: "CostProfile") -> None:
+        self.input_passes += other.input_passes
+        self.rows_scanned += other.rows_scanned
+        self.bytes_scanned += other.bytes_scanned
+        self.rows_after_filters += other.rows_after_filters
+        self.weight_cells += other.weight_cells
+        self.weight_columns += other.weight_columns
+        self.subqueries += other.subqueries
+
+
+@dataclass
+class RunResult:
+    """Output of running an error-estimation plan.
+
+    Attributes:
+        estimates: output-name → point estimate θ(S) (unscaled sample
+            statistics; the pipeline applies |D|/|S| scaling).
+        resample_distributions: output-name → K replicate values.
+        intervals: output-name → bootstrap interval, present when the
+            plan contained a BootstrapSummary operator.
+        cost: the cost profile accumulated during the run.
+    """
+
+    estimates: dict[str, float] = field(default_factory=dict)
+    resample_distributions: dict[str, np.ndarray] = field(default_factory=dict)
+    intervals: dict[str, ConfidenceInterval] = field(default_factory=dict)
+    cost: CostProfile = field(default_factory=CostProfile)
+
+
+@dataclass
+class _StreamState:
+    """What flows between plan operators: tuples plus optional weights."""
+
+    table: Table
+    weights: Optional[np.ndarray] = None
+
+
+class PlanRunner:
+    """Executes logical plans against a catalog, recording costs."""
+
+    def __init__(
+        self,
+        catalog: SampleCatalog,
+        registry: FunctionRegistry | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self.catalog = catalog
+        self.registry = registry or default_function_registry()
+        self._evaluator = ExpressionEvaluator(self.registry)
+        self._rng = rng or np.random.default_rng()
+
+    def run(self, plan: LogicalPlan) -> RunResult:
+        """Execute ``plan`` and return results plus the cost profile."""
+        result = RunResult()
+        self._run_node(plan, result)
+        return result
+
+    # -- node dispatch -----------------------------------------------------
+    def _run_node(self, plan: LogicalPlan, result: RunResult):
+        if isinstance(plan, LogicalDiagnostic):
+            # The diagnostic operator consumes resample aggregates computed
+            # by the pipeline layer; at plan level it is a pass-through.
+            return self._run_node(plan.child, result)
+        if isinstance(plan, LogicalBootstrapSummary):
+            self._run_node(plan.child, result)
+            for name, distribution in result.resample_distributions.items():
+                center = result.estimates.get(name)
+                if center is None or len(distribution) < 2:
+                    continue
+                result.intervals[name] = interval_from_distribution(
+                    distribution, center, plan.confidence, "bootstrap"
+                )
+            return None
+        if isinstance(plan, LogicalUnionAll):
+            for subplan in plan.subplans:
+                self._run_node(subplan, result)
+            return None
+        if isinstance(plan, LogicalAggregate):
+            state = self._run_stream(plan.child, result)
+            self._run_aggregate(plan, state, result)
+            return None
+        raise PlanError(
+            f"cannot run plan rooted at {type(plan).__name__}"
+        )
+
+    def _run_stream(self, plan: LogicalPlan, result: RunResult) -> _StreamState:
+        if isinstance(plan, LogicalScan):
+            if plan.sample_name is not None:
+                __, table = self.catalog.sample(
+                    plan.table_name, plan.sample_name
+                )
+            else:
+                table = self.catalog.table(plan.table_name)
+            result.cost.input_passes += 1
+            result.cost.rows_scanned += table.num_rows
+            result.cost.bytes_scanned += table.estimated_bytes()
+            return _StreamState(table=table)
+        if isinstance(plan, LogicalFilter):
+            state = self._run_stream(plan.child, result)
+            mask = self._evaluator.evaluate(plan.predicate, state.table)
+            mask = mask if mask.dtype == np.bool_ else mask.astype(bool)
+            weights = (
+                state.weights[mask] if state.weights is not None else None
+            )
+            return _StreamState(table=state.table.filter(mask), weights=weights)
+        if isinstance(plan, LogicalProject):
+            state = self._run_stream(plan.child, result)
+            columns = {}
+            for ordinal, item in enumerate(plan.items):
+                if isinstance(item.expression, ast.Star):
+                    columns.update(state.table.columns())
+                    continue
+                columns[item.output_name(ordinal)] = self._evaluator.evaluate(
+                    item.expression, state.table
+                )
+            return _StreamState(table=Table(columns), weights=state.weights)
+        if isinstance(plan, LogicalResample):
+            state = self._run_stream(plan.child, result)
+            columns = plan.spec.total_weight_columns
+            weights = poisson_weight_matrix(
+                state.table.num_rows,
+                columns,
+                self._rng,
+                rate=plan.spec.rate,
+                dtype=np.int32,
+            )
+            result.cost.weight_cells += weights.size
+            result.cost.weight_columns += columns
+            return _StreamState(table=state.table, weights=weights)
+        raise PlanError(
+            f"operator {type(plan).__name__} cannot appear mid-stream"
+        )
+
+    def _run_aggregate(
+        self,
+        plan: LogicalAggregate,
+        state: _StreamState,
+        result: RunResult,
+    ) -> None:
+        query = plan.query
+        if query.group_by:
+            raise PlanError(
+                "PlanRunner handles single-group aggregate plans; GROUP BY "
+                "queries are decomposed per group by the pipeline"
+            )
+        result.cost.rows_after_filters += state.table.num_rows
+        for spec in query.aggregates:
+            if spec.argument is None:
+                values = np.ones(state.table.num_rows, dtype=np.float64)
+            else:
+                values = self._evaluator.evaluate(spec.argument, state.table)
+            if plan.weighted and state.weights is not None:
+                replicates = spec.function.compute_resamples(
+                    values, state.weights
+                )
+                result.cost.subqueries += state.weights.shape[1]
+                existing = result.resample_distributions.get(spec.output_name)
+                if existing is None:
+                    result.resample_distributions[spec.output_name] = replicates
+                else:
+                    result.resample_distributions[spec.output_name] = (
+                        np.concatenate([existing, replicates])
+                    )
+                # The plain answer rides along in the same pass: computing
+                # θ(S) on the already-streamed values is free relative to
+                # another scan, and BootstrapSummary needs the center.
+                if spec.output_name not in result.estimates:
+                    result.estimates[spec.output_name] = spec.function.compute(
+                        values
+                    )
+            else:
+                result.estimates[spec.output_name] = spec.function.compute(
+                    values
+                )
+                result.cost.subqueries += 1
+
+
+def analyze_sql(
+    sql: str,
+    table: Table,
+    registry: FunctionRegistry | None = None,
+) -> AnalyzedQuery:
+    """Parse + analyze SQL text against a table's schema (convenience)."""
+    from repro.sql.parser import parse_select
+
+    return analyze(parse_select(sql), table.schema, registry)

@@ -1,0 +1,294 @@
+"""Logical plan operators and plan builders.
+
+A logical plan is a tree of frozen dataclass nodes.  Three builders
+produce the plan shapes the paper discusses:
+
+* :func:`build_plain_plan` — ordinary execution of the query on a table
+  (no resampling): Scan → Filter → Aggregate.
+* :func:`build_naive_error_plan` — the §5.2 baseline: the query rewritten
+  as a UNION ALL of K independent subqueries, each carrying its own
+  ``TABLESAMPLE POISSONIZED`` operator, plus one subquery for the plain
+  answer.  Every subquery rescans the sample.
+* :func:`build_error_estimation_plan` — a single consolidated plan with
+  one Resample operator carrying *all* bootstrap and diagnostic weight
+  columns.  As built, the Resample operator sits immediately above the
+  scan (the "ideal" position of Fig. 6(b) left); the rewriter then pushes
+  it past the pass-through prefix (§5.3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.errors import PlanError
+from repro.sql import ast
+from repro.sql.analyzer import AnalyzedQuery
+
+
+class LogicalPlan:
+    """Base class for logical plan nodes."""
+
+    def children(self) -> tuple["LogicalPlan", ...]:
+        child = getattr(self, "child", None)
+        return (child,) if child is not None else ()
+
+    def label(self) -> str:
+        """One-line description used by :func:`explain`."""
+        return type(self).__name__.removeprefix("Logical")
+
+
+@dataclass(frozen=True)
+class LogicalScan(LogicalPlan):
+    """Scan a base table or a named sample of it."""
+
+    table_name: str
+    sample_name: Optional[str] = None
+
+    def label(self) -> str:
+        if self.sample_name:
+            return f"Scan({self.table_name} sample={self.sample_name})"
+        return f"Scan({self.table_name})"
+
+
+@dataclass(frozen=True)
+class LogicalFilter(LogicalPlan):
+    """Apply a WHERE predicate."""
+
+    child: LogicalPlan
+    predicate: ast.Expression
+
+    def label(self) -> str:
+        return f"Filter({self.predicate.to_sql()})"
+
+
+@dataclass(frozen=True)
+class LogicalProject(LogicalPlan):
+    """Row-wise projection of expressions (pass-through operator)."""
+
+    child: LogicalPlan
+    items: tuple[ast.SelectItem, ...]
+
+    def label(self) -> str:
+        rendered = ", ".join(item.to_sql() for item in self.items)
+        return f"Project({rendered})"
+
+
+@dataclass(frozen=True)
+class ResampleSpec:
+    """What weight columns a Resample operator must generate.
+
+    Attributes:
+        bootstrap_columns: K weight columns for bootstrap error estimation
+            (``S_1 .. S_K`` in Fig. 6(a)).
+        diagnostic_groups: ``(subsample_rows, num_subsamples, columns)``
+            triples — for each diagnostic subsample size, how many
+            subsamples and how many per-subsample resampling columns
+            (``D_a1..``, ``D_b1..``, ``D_c1..`` in Fig. 6(a); columns is 0
+            for closed-form ξ, which needs no resampling weights).
+        rate: Poisson rate (1.0 for the ordinary bootstrap).
+    """
+
+    bootstrap_columns: int = 0
+    diagnostic_groups: tuple[tuple[int, int, int], ...] = ()
+    rate: float = 1.0
+
+    @property
+    def total_weight_columns(self) -> int:
+        diag = sum(p * columns for __, p, columns in self.diagnostic_groups)
+        return self.bootstrap_columns + diag
+
+
+@dataclass(frozen=True)
+class LogicalResample(LogicalPlan):
+    """The Poissonized resampling operator (§5.2 / §5.3.1)."""
+
+    child: LogicalPlan
+    spec: ResampleSpec
+
+    def label(self) -> str:
+        parts = [f"bootstrap={self.spec.bootstrap_columns}"]
+        if self.spec.diagnostic_groups:
+            groups = ",".join(
+                f"{rows}x{p}x{cols}"
+                for rows, p, cols in self.spec.diagnostic_groups
+            )
+            parts.append(f"diagnostics=[{groups}]")
+        return f"PoissonizedResample({' '.join(parts)})"
+
+
+@dataclass(frozen=True)
+class LogicalAggregate(LogicalPlan):
+    """Compute the query's aggregates, optionally over weighted tuples."""
+
+    child: LogicalPlan
+    query: AnalyzedQuery
+    weighted: bool = False
+
+    def label(self) -> str:
+        names = ", ".join(
+            spec.function.name for spec in self.query.aggregates
+        )
+        suffix = " weighted" if self.weighted else ""
+        group = (
+            f" group_by={list(self.query.group_by_names)}"
+            if self.query.group_by
+            else ""
+        )
+        return f"Aggregate({names}{suffix}{group})"
+
+
+@dataclass(frozen=True)
+class LogicalBootstrapSummary(LogicalPlan):
+    """Turn per-resample aggregates into a confidence interval (§5.3.1)."""
+
+    child: LogicalPlan
+    confidence: float = 0.95
+
+    def label(self) -> str:
+        return f"BootstrapSummary(confidence={self.confidence})"
+
+
+@dataclass(frozen=True)
+class LogicalDiagnostic(LogicalPlan):
+    """Validate error estimation via the Kleiner diagnostic (§5.3.1)."""
+
+    child: LogicalPlan
+    estimator_name: str = "bootstrap"
+
+    def label(self) -> str:
+        return f"Diagnostic(estimator={self.estimator_name})"
+
+
+@dataclass(frozen=True)
+class LogicalUnionAll(LogicalPlan):
+    """UNION ALL of independent subplans (the §5.2 baseline shape)."""
+
+    subplans: tuple[LogicalPlan, ...] = field(default_factory=tuple)
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return self.subplans
+
+    def label(self) -> str:
+        return f"UnionAll({len(self.subplans)} subqueries)"
+
+
+Plan = Union[LogicalPlan]
+
+
+# ---------------------------------------------------------------------------
+# Builders
+# ---------------------------------------------------------------------------
+def _source_chain(
+    query: AnalyzedQuery, sample_name: Optional[str]
+) -> LogicalPlan:
+    """Scan → (inner query operators) → Filter for the outer WHERE."""
+    plan: LogicalPlan = LogicalScan(query.source_table, sample_name)
+    if query.inner is not None:
+        inner = query.inner
+        if inner.is_aggregate_query:
+            raise PlanError(
+                "nested aggregation cannot be planned as a pass-through "
+                "chain; use the black-box execution path"
+            )
+        if inner.where is not None:
+            plan = LogicalFilter(plan, inner.where)
+        if inner.plain_items:
+            plan = LogicalProject(plan, inner.plain_items)
+    if query.where is not None:
+        plan = LogicalFilter(plan, query.where)
+    return plan
+
+
+def build_plain_plan(
+    query: AnalyzedQuery, sample_name: Optional[str] = None
+) -> LogicalPlan:
+    """The query itself, with no error estimation: Scan→Filter→Aggregate."""
+    plan = _source_chain(query, sample_name)
+    if query.is_aggregate_query:
+        return LogicalAggregate(plan, query, weighted=False)
+    if query.plain_items:
+        return LogicalProject(plan, query.plain_items)
+    return plan
+
+
+def build_naive_error_plan(
+    query: AnalyzedQuery,
+    num_resamples: int,
+    sample_name: Optional[str] = None,
+    confidence: float = 0.95,
+) -> LogicalPlan:
+    """The §5.2 baseline: one subquery per resample, UNION ALL'd together.
+
+    Each subquery is a full Scan→Resample(1 column)→Filter→Aggregate
+    chain — the resample operator sits right after the scan, so weights
+    are generated even for rows the filter will drop, and every subquery
+    rescans the input.  The first subplan (no resample) computes the
+    plain answer θ(S).
+    """
+    if num_resamples <= 0:
+        raise PlanError(f"num_resamples must be positive, got {num_resamples}")
+    if not query.is_aggregate_query:
+        raise PlanError("error estimation requires an aggregate query")
+
+    subplans: list[LogicalPlan] = [build_plain_plan(query, sample_name)]
+    one_column = ResampleSpec(bootstrap_columns=1)
+    for __ in range(num_resamples):
+        plan: LogicalPlan = LogicalScan(query.source_table, sample_name)
+        plan = LogicalResample(plan, one_column)
+        if query.where is not None:
+            plan = LogicalFilter(plan, query.where)
+        plan = LogicalAggregate(plan, query, weighted=True)
+        subplans.append(plan)
+    union = LogicalUnionAll(tuple(subplans))
+    return LogicalBootstrapSummary(union, confidence)
+
+
+def build_error_estimation_plan(
+    query: AnalyzedQuery,
+    spec: ResampleSpec,
+    sample_name: Optional[str] = None,
+    confidence: float = 0.95,
+    estimator_name: str = "bootstrap",
+) -> LogicalPlan:
+    """The consolidated single-scan plan, before pushdown (Fig. 6(b) left).
+
+    The Resample operator carries every bootstrap and diagnostic weight
+    column and is placed immediately after the scan; run
+    :func:`repro.plan.rewriter.rewrite_plan` to push it past the
+    pass-through prefix.
+    """
+    if not query.is_aggregate_query:
+        raise PlanError("error estimation requires an aggregate query")
+    plan: LogicalPlan = LogicalScan(query.source_table, sample_name)
+    plan = LogicalResample(plan, spec)
+    if query.where is not None:
+        plan = LogicalFilter(plan, query.where)
+    plan = LogicalAggregate(plan, query, weighted=True)
+    plan = LogicalBootstrapSummary(plan, confidence)
+    if spec.diagnostic_groups:
+        plan = LogicalDiagnostic(plan, estimator_name)
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# Introspection
+# ---------------------------------------------------------------------------
+def walk_plan(plan: LogicalPlan):
+    """Yield every node of the plan, pre-order."""
+    yield plan
+    for child in plan.children():
+        yield from walk_plan(child)
+
+
+def explain(plan: LogicalPlan, indent: int = 0) -> str:
+    """A readable multi-line rendering of the plan tree."""
+    lines = [("  " * indent) + plan.label()]
+    for child in plan.children():
+        lines.append(explain(child, indent + 1))
+    return "\n".join(lines)
+
+
+def count_scans(plan: LogicalPlan) -> int:
+    """Number of Scan operators — the passes over input a plan implies."""
+    return sum(1 for node in walk_plan(plan) if isinstance(node, LogicalScan))

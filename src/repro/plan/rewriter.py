@@ -1,0 +1,227 @@
+"""The logical plan rewriter (§5.3).
+
+Two rewrite rules take the naive error-estimation plan to the optimised
+single-scan shape:
+
+* **Scan consolidation** (§5.3.1): a UNION ALL of K per-resample
+  subqueries over the same sample collapses into one scan whose Resample
+  operator generates all K weight columns at once.  One pass over the
+  data then feeds every bootstrap and diagnostic subquery.
+
+* **Resampling operator pushdown** (§5.3.2): the Resample operator is
+  moved from just above the scan to just above the first
+  non-pass-through operator (in our operator set: just below the
+  aggregate).  Weights are then only generated for tuples that survive
+  filters and projections — "more often than not, the actual data used
+  by the Poissonized resampling operator ... is just a tiny fraction of
+  the input sample size".  (The paper frames the rewrite top-down as
+  finding the longest prefix of pass-through operators; below the
+  aggregate and above that prefix is the same position.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import PlanError
+from repro.plan.logical import (
+    LogicalAggregate,
+    LogicalBootstrapSummary,
+    LogicalDiagnostic,
+    LogicalFilter,
+    LogicalPlan,
+    LogicalProject,
+    LogicalResample,
+    LogicalScan,
+    LogicalUnionAll,
+    ResampleSpec,
+)
+
+#: Operators that do not change the statistical properties of the columns
+#: being aggregated (§5.3.2's "pass-through" set): the Resample operator
+#: may be pushed past them.
+PASS_THROUGH_OPERATORS = (LogicalScan, LogicalFilter, LogicalProject)
+
+
+@dataclass(frozen=True)
+class RewriteReport:
+    """What the rewriter did to a plan.
+
+    Attributes:
+        plan: the rewritten plan.
+        rules_applied: names of rules that changed the plan, in order.
+        scans_before / scans_after: input passes implied by the plan
+            before and after rewriting — the headline §5.3.1 saving.
+    """
+
+    plan: LogicalPlan
+    rules_applied: tuple[str, ...] = field(default_factory=tuple)
+    scans_before: int = 0
+    scans_after: int = 0
+
+
+def _count_scans(plan: LogicalPlan) -> int:
+    total = 1 if isinstance(plan, LogicalScan) else 0
+    return total + sum(_count_scans(child) for child in plan.children())
+
+
+# ---------------------------------------------------------------------------
+# Rule 1: scan consolidation
+# ---------------------------------------------------------------------------
+def consolidate_scans(plan: LogicalPlan) -> tuple[LogicalPlan, bool]:
+    """Collapse a UNION ALL of per-resample subqueries into one scan.
+
+    Applies when the plan contains a :class:`LogicalUnionAll` whose
+    subplans all aggregate the same query over the same source.  The
+    consolidated plan keeps one subplan chain and replaces its Resample
+    spec with the combined column count.
+    """
+    if isinstance(plan, LogicalBootstrapSummary) and isinstance(
+        plan.child, LogicalUnionAll
+    ):
+        merged = _merge_union(plan.child)
+        if merged is not None:
+            return replace(plan, child=merged), True
+    changed = False
+    if isinstance(plan, LogicalUnionAll):
+        merged = _merge_union(plan)
+        if merged is not None:
+            return merged, True
+    new_children = []
+    for child in plan.children():
+        rewritten, child_changed = consolidate_scans(child)
+        new_children.append(rewritten)
+        changed |= child_changed
+    if changed:
+        plan = _with_children(plan, new_children)
+    return plan, changed
+
+
+def _merge_union(union: LogicalUnionAll) -> LogicalPlan | None:
+    """Merge a UNION ALL of single-resample subqueries, if legal."""
+    resample_plans = [
+        sub for sub in union.subplans if _find_resample(sub) is not None
+    ]
+    if len(resample_plans) < 2:
+        return None
+    template = resample_plans[0]
+    scans = {
+        (node.table_name, node.sample_name)
+        for sub in union.subplans
+        for node in _scan_nodes(sub)
+    }
+    if len(scans) != 1:
+        return None  # heterogeneous sources; cannot share a cursor
+    total_columns = sum(
+        _find_resample(sub).spec.total_weight_columns for sub in resample_plans
+    )
+    rates = {
+        _find_resample(sub).spec.rate for sub in resample_plans
+    }
+    if len(rates) != 1:
+        return None
+    merged_spec = ResampleSpec(
+        bootstrap_columns=total_columns, rate=rates.pop()
+    )
+    return _replace_resample_spec(template, merged_spec)
+
+
+def _scan_nodes(plan: LogicalPlan) -> list[LogicalScan]:
+    found = [plan] if isinstance(plan, LogicalScan) else []
+    for child in plan.children():
+        found.extend(_scan_nodes(child))
+    return found
+
+
+def _find_resample(plan: LogicalPlan) -> LogicalResample | None:
+    if isinstance(plan, LogicalResample):
+        return plan
+    for child in plan.children():
+        result = _find_resample(child)
+        if result is not None:
+            return result
+    return None
+
+
+def _replace_resample_spec(
+    plan: LogicalPlan, spec: ResampleSpec
+) -> LogicalPlan:
+    if isinstance(plan, LogicalResample):
+        return replace(plan, spec=spec)
+    new_children = [
+        _replace_resample_spec(child, spec) for child in plan.children()
+    ]
+    return _with_children(plan, new_children)
+
+
+# ---------------------------------------------------------------------------
+# Rule 2: resampling operator pushdown
+# ---------------------------------------------------------------------------
+def push_down_resample(plan: LogicalPlan) -> tuple[LogicalPlan, bool]:
+    """Move each Resample operator past the pass-through prefix above it.
+
+    Implemented as a local rotation applied to fixpoint: whenever a
+    pass-through operator sits directly on top of a Resample, swap them.
+    """
+    changed = False
+    while True:
+        plan, swapped = _rotate_once(plan)
+        if not swapped:
+            break
+        changed = True
+    return plan, changed
+
+
+def _rotate_once(plan: LogicalPlan) -> tuple[LogicalPlan, bool]:
+    if (
+        isinstance(plan, (LogicalFilter, LogicalProject))
+        and isinstance(plan.child, LogicalResample)
+    ):
+        resample = plan.child
+        rotated = LogicalResample(
+            child=replace(plan, child=resample.child), spec=resample.spec
+        )
+        return rotated, True
+    for index, child in enumerate(plan.children()):
+        new_child, swapped = _rotate_once(child)
+        if swapped:
+            children = list(plan.children())
+            children[index] = new_child
+            return _with_children(plan, children), True
+    return plan, False
+
+
+def _with_children(plan: LogicalPlan, children: list[LogicalPlan]) -> LogicalPlan:
+    """Rebuild a node with new children (frozen dataclasses)."""
+    if isinstance(plan, LogicalUnionAll):
+        return LogicalUnionAll(tuple(children))
+    if hasattr(plan, "child"):
+        if len(children) != 1:
+            raise PlanError(
+                f"{type(plan).__name__} expects one child, got {len(children)}"
+            )
+        return replace(plan, child=children[0])
+    if children:
+        raise PlanError(f"{type(plan).__name__} is a leaf but got children")
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# The rewriter entry point
+# ---------------------------------------------------------------------------
+def rewrite_plan(plan: LogicalPlan) -> RewriteReport:
+    """Apply scan consolidation then resampling pushdown."""
+    scans_before = _count_scans(plan)
+    rules: list[str] = []
+    plan, consolidated = consolidate_scans(plan)
+    if consolidated:
+        rules.append("scan_consolidation")
+    plan, pushed = push_down_resample(plan)
+    if pushed:
+        rules.append("resample_pushdown")
+    return RewriteReport(
+        plan=plan,
+        rules_applied=tuple(rules),
+        scans_before=scans_before,
+        scans_after=_count_scans(plan),
+    )

@@ -1,0 +1,60 @@
+"""Sampling and resampling: the data-reduction substrate of S-AQP.
+
+Implements the paper's sampling stack:
+
+* simple random sampling for building samples from the full dataset
+  (:mod:`repro.sampling.simple`);
+* **Poissonized resampling** (§5.1), the streaming, decoupled resampling
+  scheme that makes the bootstrap and the diagnostic single-pass
+  (:mod:`repro.sampling.poisson`);
+* the exact Tuple-Augmentation baseline of Pol & Jermaine, kept as the
+  comparator the paper cites as 8–9× slower
+  (:mod:`repro.sampling.tuple_augmentation`);
+* disjoint subsample partitioning for the diagnostic
+  (:mod:`repro.sampling.subsample`);
+* a BlinkDB-style sample catalog (:mod:`repro.sampling.catalog`).
+"""
+
+from repro.sampling.simple import simple_random_sample
+from repro.sampling.poisson import (
+    poisson_weights,
+    poisson_weight_matrix,
+    materialize_poisson_resample,
+    PoissonizedResampler,
+)
+from repro.sampling.tuple_augmentation import (
+    exact_resample_counts,
+    materialize_exact_resample,
+    TupleAugmentationResampler,
+)
+from repro.sampling.subsample import disjoint_subsamples, subsample_index_blocks
+from repro.sampling.catalog import SampleCatalog, SampleInfo
+from repro.sampling.stratified import (
+    SCALE_COLUMN,
+    StratifiedSampleInfo,
+    stratified_estimate_count,
+    stratified_estimate_sum,
+    stratified_group_presence,
+    stratified_sample,
+)
+
+__all__ = [
+    "simple_random_sample",
+    "poisson_weights",
+    "poisson_weight_matrix",
+    "materialize_poisson_resample",
+    "PoissonizedResampler",
+    "exact_resample_counts",
+    "materialize_exact_resample",
+    "TupleAugmentationResampler",
+    "disjoint_subsamples",
+    "subsample_index_blocks",
+    "SampleCatalog",
+    "SampleInfo",
+    "SCALE_COLUMN",
+    "StratifiedSampleInfo",
+    "stratified_estimate_count",
+    "stratified_estimate_sum",
+    "stratified_group_presence",
+    "stratified_sample",
+]

@@ -1,0 +1,179 @@
+"""A BlinkDB-style catalog of tables and precomputed samples.
+
+BlinkDB "precomputes and maintains a carefully chosen collection of
+samples of input data [and] selects the best sample(s) at runtime for
+answering each query" (§6).  :class:`SampleCatalog` is that component:
+it owns base tables, builds named uniform samples of several sizes, and
+answers "which sample should this query run on?" given a row budget.
+
+Sample rows are stored shuffled, which is what lets the diagnostic slice
+disjoint subsamples without an extra permutation (§5.3.1, footnote 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.table import Table
+from repro.errors import CatalogError
+from repro.sampling.simple import simple_random_sample
+
+
+@dataclass(frozen=True)
+class SampleInfo:
+    """Metadata for one stored sample.
+
+    Attributes:
+        name: sample name, unique per base table.
+        table_name: the base table this sample was drawn from.
+        rows: number of rows in the sample.
+        dataset_rows: number of rows in the base table at creation time.
+        cached_fraction: fraction of this sample resident in the simulated
+            RAM cache (used by the cluster cost model; 1.0 = fully cached).
+    """
+
+    name: str
+    table_name: str
+    rows: int
+    dataset_rows: int
+    cached_fraction: float = 1.0
+
+    @property
+    def scale_factor(self) -> float:
+        """``|D| / |S|`` — the factor extensive aggregates are scaled by."""
+        return self.dataset_rows / self.rows
+
+    @property
+    def sampling_fraction(self) -> float:
+        return self.rows / self.dataset_rows
+
+
+@dataclass
+class _TableEntry:
+    table: Table
+    samples: dict[str, tuple[SampleInfo, Table]] = field(default_factory=dict)
+
+
+class SampleCatalog:
+    """Owns base tables and their precomputed uniform samples."""
+
+    def __init__(self, seed: int | None = None):
+        self._entries: dict[str, _TableEntry] = {}
+        self._rng = np.random.default_rng(seed)
+
+    # -- base tables ---------------------------------------------------------
+    def register_table(self, name: str, table: Table) -> None:
+        """Register (or replace) a base table under ``name``."""
+        self._entries[name] = _TableEntry(table=table)
+
+    def table(self, name: str) -> Table:
+        entry = self._entries.get(name)
+        if entry is None:
+            raise CatalogError(
+                f"unknown table {name!r}; registered: {sorted(self._entries)}"
+            )
+        return entry.table
+
+    def table_names(self) -> list[str]:
+        return sorted(self._entries)
+
+    def has_table(self, name: str) -> bool:
+        return name in self._entries
+
+    # -- samples ----------------------------------------------------------------
+    def create_sample(
+        self,
+        table_name: str,
+        size: int | None = None,
+        fraction: float | None = None,
+        name: str | None = None,
+        replacement: bool = False,
+        cached_fraction: float = 1.0,
+    ) -> SampleInfo:
+        """Draw, shuffle, and store a uniform sample of a base table.
+
+        Args:
+            table_name: base table to sample.
+            size, fraction: sample size (exactly one must be given).
+            name: sample name; defaults to ``"<table>_sample_<rows>"``.
+            replacement: with-replacement sampling when true.
+            cached_fraction: fraction assumed RAM-resident by the cluster
+                cost model.
+        """
+        entry = self._entries.get(table_name)
+        if entry is None:
+            raise CatalogError(f"unknown table {table_name!r}")
+        sample = simple_random_sample(
+            entry.table,
+            size=size,
+            fraction=fraction,
+            rng=self._rng,
+            replacement=replacement,
+        )
+        # Shuffling here is what makes "any subset is a random sample" true
+        # downstream (diagnostic subsampling, partition-level execution).
+        sample = sample.shuffle(self._rng)
+        if name is None:
+            name = f"{table_name}_sample_{sample.num_rows}"
+        info = SampleInfo(
+            name=name,
+            table_name=table_name,
+            rows=sample.num_rows,
+            dataset_rows=entry.table.num_rows,
+            cached_fraction=cached_fraction,
+        )
+        entry.samples[name] = (info, sample)
+        return info
+
+    def sample(self, table_name: str, sample_name: str) -> tuple[SampleInfo, Table]:
+        entry = self._entries.get(table_name)
+        if entry is None:
+            raise CatalogError(f"unknown table {table_name!r}")
+        stored = entry.samples.get(sample_name)
+        if stored is None:
+            raise CatalogError(
+                f"table {table_name!r} has no sample {sample_name!r}; "
+                f"available: {sorted(entry.samples)}"
+            )
+        return stored
+
+    def samples_for(self, table_name: str) -> list[SampleInfo]:
+        entry = self._entries.get(table_name)
+        if entry is None:
+            raise CatalogError(f"unknown table {table_name!r}")
+        return [info for info, __ in entry.samples.values()]
+
+    def select_sample(
+        self, table_name: str, max_rows: int | None = None
+    ) -> tuple[SampleInfo, Table]:
+        """Pick the best sample for a query: the largest within budget.
+
+        Larger samples give tighter error bars, so within the caller's row
+        budget (a proxy for its response-time constraint) the largest
+        available sample is best.  With no budget, returns the largest
+        sample outright.
+
+        Raises:
+            CatalogError: if the table has no samples, or none fit.
+        """
+        entry = self._entries.get(table_name)
+        if entry is None:
+            raise CatalogError(f"unknown table {table_name!r}")
+        if not entry.samples:
+            raise CatalogError(
+                f"table {table_name!r} has no samples; call create_sample first"
+            )
+        candidates = sorted(
+            entry.samples.values(), key=lambda pair: pair[0].rows
+        )
+        if max_rows is not None:
+            fitting = [pair for pair in candidates if pair[0].rows <= max_rows]
+            if not fitting:
+                raise CatalogError(
+                    f"no sample of {table_name!r} fits within {max_rows} rows; "
+                    f"smallest is {candidates[0][0].rows}"
+                )
+            return fitting[-1]
+        return candidates[-1]

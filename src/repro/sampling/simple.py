@@ -1,0 +1,57 @@
+"""Simple random sampling from a dataset.
+
+The entry point of any S-AQP pipeline: draw ``S ⊆ D`` uniformly at random
+(§2.1).  The paper assumes with-replacement sampling to simplify theory
+and notes that without-replacement sampling is slightly more accurate in
+practice; both are supported and without-replacement is the default used
+by the sample catalog.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.table import Table
+from repro.errors import SamplingError
+
+
+def simple_random_sample(
+    dataset: Table,
+    size: int | None = None,
+    fraction: float | None = None,
+    rng: np.random.Generator | None = None,
+    replacement: bool = False,
+) -> Table:
+    """Draw a simple random sample from ``dataset``.
+
+    Exactly one of ``size`` and ``fraction`` must be given.
+
+    Args:
+        dataset: the full dataset ``D``.
+        size: absolute number of rows ``n = |S|``.
+        fraction: sample size as a fraction of ``|D|``.
+        rng: random generator; a fresh default generator when omitted.
+        replacement: sample with replacement when true (the paper's
+            theoretical setting); without replacement otherwise.
+
+    Raises:
+        SamplingError: on inconsistent or out-of-range parameters.
+    """
+    if (size is None) == (fraction is None):
+        raise SamplingError("specify exactly one of size and fraction")
+    if fraction is not None:
+        if not 0.0 < fraction <= 1.0:
+            raise SamplingError(
+                f"sample fraction must be in (0, 1], got {fraction}"
+            )
+        size = max(1, int(round(fraction * dataset.num_rows)))
+    assert size is not None
+    if size <= 0:
+        raise SamplingError(f"sample size must be positive, got {size}")
+    if not replacement and size > dataset.num_rows:
+        raise SamplingError(
+            f"cannot draw {size} rows without replacement from "
+            f"{dataset.num_rows}"
+        )
+    rng = rng or np.random.default_rng()
+    return dataset.sample_rows(size, rng, replacement=replacement)

@@ -1,0 +1,124 @@
+"""Stratified sampling (the BlinkDB sample-collection substrate).
+
+BlinkDB's "carefully chosen collection of samples" includes samples
+stratified on filter columns, so that rare groups — which a uniform
+sample would nearly miss — are guaranteed representation.  This module
+implements cap-based stratified sampling: every distinct value of the
+stratification column keeps up to ``cap`` rows (all of them when the
+group is smaller).
+
+Because strata are sampled at different rates, per-row scale factors
+(``1 / sampling_rate`` of the row's stratum) are attached so that
+extensive aggregates (SUM/COUNT) remain unbiased via Horvitz–Thompson
+weighting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.table import Table
+from repro.errors import SamplingError
+
+#: Name of the per-row scale-factor column attached to stratified samples.
+SCALE_COLUMN = "_stratum_scale"
+
+
+@dataclass(frozen=True)
+class StratifiedSampleInfo:
+    """Metadata for a stratified sample.
+
+    Attributes:
+        column: the stratification column.
+        cap: per-stratum row cap.
+        num_strata: distinct values seen.
+        rows: total sample rows.
+        dataset_rows: base-table rows at creation time.
+    """
+
+    column: str
+    cap: int
+    num_strata: int
+    rows: int
+    dataset_rows: int
+
+
+def stratified_sample(
+    dataset: Table,
+    column: str,
+    cap: int,
+    rng: np.random.Generator | None = None,
+) -> tuple[Table, StratifiedSampleInfo]:
+    """Draw a cap-per-stratum stratified sample of ``dataset``.
+
+    Args:
+        dataset: the base table.
+        column: column whose distinct values define strata.
+        cap: maximum rows kept per stratum.
+        rng: randomness source.
+
+    Returns:
+        ``(sample, info)``; the sample carries a ``_stratum_scale``
+        column with each row's inverse sampling rate.
+    """
+    if cap <= 0:
+        raise SamplingError(f"cap must be positive, got {cap}")
+    rng = rng or np.random.default_rng()
+    keys = dataset.column(column)
+    unique_keys, inverse = np.unique(keys, return_inverse=True)
+
+    kept_indices: list[np.ndarray] = []
+    scales: list[np.ndarray] = []
+    for stratum in range(len(unique_keys)):
+        members = np.flatnonzero(inverse == stratum)
+        if len(members) <= cap:
+            chosen = members
+            rate = 1.0
+        else:
+            chosen = rng.choice(members, size=cap, replace=False)
+            rate = cap / len(members)
+        kept_indices.append(chosen)
+        scales.append(np.full(len(chosen), 1.0 / rate))
+
+    order = np.concatenate(kept_indices)
+    sample = dataset.take(order).with_column(
+        SCALE_COLUMN, np.concatenate(scales)
+    )
+    # Shuffle so any prefix/partition is representative, like the
+    # catalog's uniform samples.
+    permutation = rng.permutation(sample.num_rows)
+    sample = sample.take(permutation)
+    info = StratifiedSampleInfo(
+        column=column,
+        cap=cap,
+        num_strata=len(unique_keys),
+        rows=sample.num_rows,
+        dataset_rows=dataset.num_rows,
+    )
+    return sample, info
+
+
+def stratified_estimate_sum(sample: Table, value_column: str) -> float:
+    """Horvitz–Thompson estimate of the full-data SUM from a stratified
+    sample: each row's value weighted by its inverse sampling rate."""
+    values = sample.column(value_column).astype(np.float64)
+    scales = sample.column(SCALE_COLUMN)
+    return float((values * scales).sum())
+
+
+def stratified_estimate_count(
+    sample: Table, mask: np.ndarray | None = None
+) -> float:
+    """Horvitz–Thompson estimate of a full-data COUNT."""
+    scales = sample.column(SCALE_COLUMN)
+    if mask is not None:
+        scales = scales[mask]
+    return float(scales.sum())
+
+
+def stratified_group_presence(sample: Table, column: str) -> int:
+    """Number of distinct strata present — the guarantee uniform
+    sampling cannot give for rare groups."""
+    return len(np.unique(sample.column(column)))

@@ -1,0 +1,93 @@
+"""Exact with-replacement resampling (the Tuple-Augmentation baseline).
+
+Pol & Jermaine's Tuple Augmentation (TA) algorithm produces resamples
+whose sizes are *exactly* ``|S|`` by drawing coupled per-row counts from
+a multinomial distribution, then materialising each tuple the prescribed
+number of times.  The paper reports that this exactness costs 8–9× the
+runtime of the un-bootstrapped query and substantial memory (§5.1) —
+Poissonization exists to remove that cost.
+
+We keep TA as the comparison baseline for
+``benchmarks/bench_resampling_methods.py``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.engine.table import Table
+from repro.errors import SamplingError
+
+
+def exact_resample_counts(
+    num_rows: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Coupled per-row resample counts summing to exactly ``num_rows``.
+
+    Drawing ``Multinomial(n, uniform)`` is the count representation of an
+    exact size-``n`` with-replacement resample.
+    """
+    if num_rows < 0:
+        raise SamplingError(f"num_rows must be non-negative, got {num_rows}")
+    if num_rows == 0:
+        return np.zeros(0, dtype=np.int64)
+    probabilities = np.full(num_rows, 1.0 / num_rows)
+    return rng.multinomial(num_rows, probabilities).astype(np.int64)
+
+
+def materialize_exact_resample(
+    sample: Table, rng: np.random.Generator
+) -> Table:
+    """Materialise one exact with-replacement resample of ``sample``.
+
+    This performs the tuple duplication step of TA: every row is copied
+    according to its multinomial count, producing a table of exactly
+    ``sample.num_rows`` rows.
+    """
+    counts = exact_resample_counts(sample.num_rows, rng)
+    indices = np.repeat(np.arange(sample.num_rows), counts)
+    return sample.take(indices)
+
+
+class TupleAugmentationResampler:
+    """Generator of exact resamples, mimicking the TA execution pattern.
+
+    Unlike :class:`~repro.sampling.poisson.PoissonizedResampler`, the
+    count vector for each resample must be drawn *jointly* over all rows
+    (the multinomial coupling), so resamples cannot be produced from
+    independent row-local randomness and each one costs O(n) memory up
+    front.  The class exposes both the count representation (for weighted
+    aggregates, the fair comparison) and materialised tables (the
+    classical TA behaviour).
+    """
+
+    def __init__(self, rng: np.random.Generator):
+        self._rng = rng
+
+    def count_vectors(self, num_rows: int, num_resamples: int) -> Iterator[np.ndarray]:
+        """Yield ``num_resamples`` coupled count vectors of length ``num_rows``."""
+        if num_resamples <= 0:
+            raise SamplingError(
+                f"num_resamples must be positive, got {num_resamples}"
+            )
+        for __ in range(num_resamples):
+            yield exact_resample_counts(num_rows, self._rng)
+
+    def count_matrix(self, num_rows: int, num_resamples: int) -> np.ndarray:
+        """Materialise all count vectors as an ``(n, K)`` matrix."""
+        return np.stack(
+            list(self.count_vectors(num_rows, num_resamples)), axis=1
+        )
+
+    def materialized_resamples(
+        self, sample: Table, num_resamples: int
+    ) -> Iterator[Table]:
+        """Yield ``num_resamples`` fully materialised resample tables."""
+        if num_resamples <= 0:
+            raise SamplingError(
+                f"num_resamples must be positive, got {num_resamples}"
+            )
+        for __ in range(num_resamples):
+            yield materialize_exact_resample(sample, self._rng)

@@ -1,0 +1,27 @@
+"""SQL frontend: lexer, parser, AST, function registry, and analyzer.
+
+Supports the analytic SQL subset the paper's pipeline handles: single
+aggregates or aggregate lists over one table (or a nested subquery), with
+projections, filters, ``GROUP BY``/``HAVING``, UDFs, and the paper's
+``TABLESAMPLE POISSONIZED (rate)`` clause (§5.2).
+"""
+
+from repro.sql.lexer import tokenize, Token, TokenType
+from repro.sql.parser import parse
+from repro.sql.analyzer import analyze, AnalyzedQuery, AggregateSpec
+from repro.sql.functions import (
+    FunctionRegistry,
+    default_function_registry,
+)
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "TokenType",
+    "parse",
+    "analyze",
+    "AnalyzedQuery",
+    "AggregateSpec",
+    "FunctionRegistry",
+    "default_function_registry",
+]

@@ -1,0 +1,368 @@
+"""Semantic analysis of parsed queries.
+
+:func:`analyze` validates a :class:`~repro.sql.ast.SelectStatement`
+against a table schema and produces an :class:`AnalyzedQuery` — the
+structure the planner and error-estimation pipeline consume.  Analysis
+answers the questions the paper's pipeline asks of every query:
+
+* Which aggregates does it compute, over which argument expressions?
+* Is the query amenable to **closed-form** error estimation (§2.3.2)?
+  Only single-layer COUNT/SUM/AVG/VARIANCE/STDEV aggregates with no UDFs
+  and no nested aggregation qualify.
+* Is it **outlier sensitive** (MIN/MAX/extreme percentiles), the failure
+  condition for bootstrap error bars (§2.3.1)?
+* Which aggregates are **extensive** (COUNT/SUM) and must be scaled by
+  ``|D| / |S|`` when computed on a sample?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.engine.aggregates import (
+    AggregateFunction,
+    PercentileAggregate,
+    aggregate_registry,
+    get_aggregate,
+)
+from repro.errors import AnalysisError
+from repro.sql import ast
+from repro.sql.functions import FunctionRegistry, default_function_registry
+
+#: Aggregates with known CLT closed forms (§2.3.2).
+CLOSED_FORM_AGGREGATES = frozenset({"COUNT", "SUM", "AVG", "VARIANCE", "STDEV"})
+
+#: Aggregates whose sample statistic scales with sample size and must be
+#: multiplied by |D| / |S| to estimate the full-data answer.
+EXTENSIVE_AGGREGATES = frozenset({"COUNT", "SUM"})
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate computed by a query.
+
+    Attributes:
+        function: the weighted aggregate implementation.
+        argument: the argument expression, or ``None`` for ``COUNT(*)``.
+        output_name: result column name.
+        distinct: whether ``DISTINCT`` was specified.
+        extensive: whether the statistic must be scaled by ``|D| / |S|``.
+        contains_udf: whether the argument contains a scalar UDF.
+        is_udaf: whether the function itself is user-defined.
+        closed_form_capable: whether CLT closed-form error estimation
+            applies to this aggregate in this query.
+    """
+
+    function: AggregateFunction
+    argument: Optional[ast.Expression]
+    output_name: str
+    distinct: bool = False
+    extensive: bool = False
+    contains_udf: bool = False
+    is_udaf: bool = False
+    closed_form_capable: bool = False
+
+    @property
+    def outlier_sensitive(self) -> bool:
+        return self.function.outlier_sensitive
+
+
+@dataclass(frozen=True)
+class AnalyzedQuery:
+    """The result of semantic analysis over a SELECT statement.
+
+    For nested queries (a subquery in FROM), ``inner`` holds the analysis
+    of the inner query and ``source_table`` names the base table at the
+    bottom of the nesting.
+    """
+
+    statement: ast.SelectStatement
+    source_table: str
+    aggregates: tuple[AggregateSpec, ...]
+    group_by: tuple[ast.Expression, ...]
+    group_by_names: tuple[str, ...]
+    where: Optional[ast.Expression]
+    having: Optional[ast.Expression]
+    referenced_columns: frozenset[str]
+    contains_udf: bool
+    contains_udaf: bool
+    nested: bool
+    inner: Optional["AnalyzedQuery"] = None
+    sample_rate: Optional[float] = None
+    plain_items: tuple[ast.SelectItem, ...] = field(default_factory=tuple)
+
+    @property
+    def is_aggregate_query(self) -> bool:
+        return bool(self.aggregates)
+
+    @property
+    def closed_form_applicable(self) -> bool:
+        """Whether every aggregate admits a CLT closed form (§2.3.2).
+
+        The paper's rule: simple single-layer COUNT/SUM/AVG/VARIANCE/STDEV
+        with projections/filters/GROUP BY only — no UDFs, no UDAFs, no
+        DISTINCT, and no nested aggregation.
+        """
+        if not self.aggregates or self.nested:
+            return False
+        return all(spec.closed_form_capable for spec in self.aggregates)
+
+    @property
+    def outlier_sensitive(self) -> bool:
+        """Whether any aggregate is dominated by extreme values."""
+        return any(spec.outlier_sensitive for spec in self.aggregates)
+
+
+def _collect_columns(
+    expr: ast.Expression, registry: FunctionRegistry
+) -> tuple[set[str], bool, bool]:
+    """Return (column names, contains scalar UDF, contains aggregate)."""
+    columns: set[str] = set()
+    has_udf = False
+    has_aggregate = False
+    for node in ast.walk(expr):
+        if isinstance(node, ast.ColumnRef):
+            columns.add(node.name)
+        elif isinstance(node, ast.FunctionCall):
+            if registry.is_aggregate(node.name):
+                has_aggregate = True
+            elif registry.is_scalar_udf(node.name):
+                has_udf = True
+            elif not registry.is_scalar(node.name):
+                raise AnalysisError(f"unknown function {node.name!r}")
+    return columns, has_udf, has_aggregate
+
+
+def _check_columns_exist(columns: set[str], schema: set[str], context: str) -> None:
+    unknown = sorted(columns - schema)
+    if unknown:
+        raise AnalysisError(
+            f"unknown column(s) {unknown} in {context}; "
+            f"available: {sorted(schema)}"
+        )
+
+
+def _make_aggregate_spec(
+    call: ast.FunctionCall,
+    output_name: str,
+    registry: FunctionRegistry,
+    schema: set[str],
+) -> AggregateSpec:
+    """Build the spec for one aggregate call, validating its argument."""
+    name = call.name.upper()
+    is_udaf = registry.is_udaf(name)
+
+    if name == "COUNT" and call.distinct:
+        function: AggregateFunction = get_aggregate("COUNT_DISTINCT")
+        effective_name = "COUNT_DISTINCT"
+    elif is_udaf:
+        function = registry.udaf_implementation(name)
+        effective_name = name
+    elif name == "PERCENTILE":
+        if len(call.args) != 2 or not isinstance(call.args[1], ast.Literal):
+            raise AnalysisError(
+                "PERCENTILE requires (expression, fraction-literal)"
+            )
+        function = PercentileAggregate(float(call.args[1].value))
+        effective_name = name
+    else:
+        function = get_aggregate(name)
+        effective_name = name
+
+    if isinstance(function, PercentileAggregate):
+        argument_exprs = call.args[:1]
+    else:
+        argument_exprs = call.args
+
+    argument: Optional[ast.Expression]
+    if not argument_exprs or isinstance(argument_exprs[0], ast.Star):
+        if effective_name != "COUNT":
+            raise AnalysisError(f"{name} requires an argument expression")
+        argument = None
+        contains_udf = False
+    else:
+        if len(argument_exprs) != 1:
+            raise AnalysisError(f"{name} takes exactly one argument")
+        argument = argument_exprs[0]
+        columns, contains_udf, nested_aggregate = _collect_columns(
+            argument, registry
+        )
+        if nested_aggregate:
+            raise AnalysisError(
+                f"aggregate {name} may not contain a nested aggregate"
+            )
+        _check_columns_exist(columns, schema, f"aggregate {name}")
+
+    closed_form_capable = (
+        effective_name in CLOSED_FORM_AGGREGATES
+        and not call.distinct
+        and not contains_udf
+        and not is_udaf
+    )
+    return AggregateSpec(
+        function=function,
+        argument=argument,
+        output_name=output_name,
+        distinct=call.distinct,
+        extensive=effective_name in EXTENSIVE_AGGREGATES,
+        contains_udf=contains_udf,
+        is_udaf=is_udaf,
+        closed_form_capable=closed_form_capable,
+    )
+
+
+def analyze(
+    statement: ast.SelectStatement,
+    schema: dict[str, object] | set[str],
+    registry: FunctionRegistry | None = None,
+) -> AnalyzedQuery:
+    """Semantically analyze ``statement`` against ``schema``.
+
+    Args:
+        statement: parsed SELECT statement.
+        schema: column names of the source base table (a mapping's keys
+            are used, so a ``Table.schema`` works directly).
+        registry: function registry; defaults to built-ins only.
+
+    Raises:
+        AnalysisError: on unknown columns/functions, misplaced aggregates,
+            or unsupported constructs.
+    """
+    registry = registry or default_function_registry()
+    schema_names = set(schema)
+
+    source = statement.source
+    inner: Optional[AnalyzedQuery] = None
+    if source.subquery is not None:
+        inner = analyze(source.subquery, schema_names, registry)
+        # The outer query sees the inner query's output columns.
+        visible = _output_schema(inner)
+        source_table = inner.source_table
+        nested = True
+    else:
+        if source.name is None:
+            raise AnalysisError("FROM clause requires a table or subquery")
+        visible = schema_names
+        source_table = source.name
+        nested = False
+
+    referenced: set[str] = set()
+    contains_udf = False
+    contains_udaf = False
+
+    where = statement.where
+    if where is not None:
+        columns, udf_in_where, aggregate_in_where = _collect_columns(where, registry)
+        if aggregate_in_where:
+            raise AnalysisError("aggregates are not allowed in WHERE")
+        _check_columns_exist(columns, visible, "WHERE clause")
+        referenced |= columns
+        contains_udf |= udf_in_where
+
+    group_by = statement.group_by
+    group_by_names: list[str] = []
+    for expr in group_by:
+        columns, udf_in_key, aggregate_in_key = _collect_columns(expr, registry)
+        if aggregate_in_key:
+            raise AnalysisError("aggregates are not allowed in GROUP BY")
+        _check_columns_exist(columns, visible, "GROUP BY clause")
+        referenced |= columns
+        contains_udf |= udf_in_key
+        if isinstance(expr, ast.ColumnRef):
+            group_by_names.append(expr.name)
+        else:
+            group_by_names.append(expr.to_sql())
+
+    aggregates: list[AggregateSpec] = []
+    plain_items: list[ast.SelectItem] = []
+    for ordinal, item in enumerate(statement.items):
+        expr = item.expression
+        if isinstance(expr, ast.Star):
+            plain_items.append(item)
+            continue
+        if isinstance(expr, ast.FunctionCall) and registry.is_aggregate(expr.name):
+            spec = _make_aggregate_spec(
+                expr, item.output_name(ordinal), registry, visible
+            )
+            aggregates.append(spec)
+            contains_udf |= spec.contains_udf
+            contains_udaf |= spec.is_udaf
+            if spec.argument is not None:
+                columns, __, __ = _collect_columns(spec.argument, registry)
+                referenced |= columns
+            continue
+        columns, udf_in_item, aggregate_in_item = _collect_columns(expr, registry)
+        if aggregate_in_item:
+            raise AnalysisError(
+                "aggregates must appear at the top level of a select item "
+                f"(offending item: {item.to_sql()})"
+            )
+        _check_columns_exist(columns, visible, "select list")
+        referenced |= columns
+        contains_udf |= udf_in_item
+        plain_items.append(item)
+
+    if aggregates and plain_items:
+        group_key_sql = {expr.to_sql() for expr in group_by}
+        for item in plain_items:
+            if isinstance(item.expression, ast.Star):
+                raise AnalysisError("SELECT * cannot be mixed with aggregates")
+            if item.expression.to_sql() not in group_key_sql:
+                raise AnalysisError(
+                    f"non-aggregated item {item.to_sql()!r} must appear in "
+                    "GROUP BY"
+                )
+
+    having = statement.having
+    if having is not None:
+        if not group_by:
+            raise AnalysisError("HAVING requires GROUP BY")
+        columns, udf_in_having, __ = _collect_columns(having, registry)
+        _check_columns_exist(columns, visible, "HAVING clause")
+        referenced |= columns
+        contains_udf |= udf_in_having
+
+    if inner is not None:
+        contains_udf |= inner.contains_udf
+        contains_udaf |= inner.contains_udaf
+        referenced |= inner.referenced_columns
+
+    sample_rate = source.sample.rate if source.sample else None
+
+    return AnalyzedQuery(
+        statement=statement,
+        source_table=source_table,
+        aggregates=tuple(aggregates),
+        group_by=tuple(group_by),
+        group_by_names=tuple(group_by_names),
+        where=where,
+        having=having,
+        referenced_columns=frozenset(referenced),
+        contains_udf=contains_udf,
+        contains_udaf=contains_udaf,
+        nested=nested,
+        inner=inner,
+        sample_rate=sample_rate,
+        plain_items=tuple(plain_items),
+    )
+
+
+def _output_schema(query: AnalyzedQuery) -> set[str]:
+    """Column names produced by an analyzed query (for nesting)."""
+    names = {spec.output_name for spec in query.aggregates}
+    for ordinal, item in enumerate(query.plain_items):
+        if isinstance(item.expression, ast.Star):
+            names |= query.referenced_columns
+        else:
+            names.add(item.output_name(ordinal))
+    return names
+
+
+def is_closed_form_applicable(
+    statement: ast.SelectStatement,
+    schema: dict[str, object] | set[str],
+    registry: FunctionRegistry | None = None,
+) -> bool:
+    """Convenience wrapper: does the paper's closed-form rule admit this query?"""
+    return analyze(statement, schema, registry).closed_form_applicable

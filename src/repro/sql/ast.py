@@ -1,0 +1,335 @@
+"""Abstract syntax tree for the supported SQL dialect.
+
+Nodes are frozen dataclasses.  Each expression node can render itself
+back to SQL (:meth:`Expression.to_sql`), which the tests use for
+parse/print round-trips, and supports generic traversal via
+:func:`walk`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
+
+
+class Expression:
+    """Base class for expression nodes."""
+
+    def children(self) -> Sequence["Expression"]:
+        """Direct child expressions, for generic traversal."""
+        return ()
+
+    def to_sql(self) -> str:
+        """Render this expression back to SQL text."""
+        raise NotImplementedError
+
+
+def walk(expr: Expression) -> Iterator[Expression]:
+    """Yield ``expr`` and every descendant expression, pre-order."""
+    yield expr
+    for child in expr.children():
+        yield from walk(child)
+
+
+def _quote_string(value: str) -> str:
+    return "'" + value.replace("'", "''") + "'"
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A numeric, string, boolean, or NULL literal."""
+
+    value: Any
+
+    def to_sql(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        if isinstance(self.value, str):
+            return _quote_string(self.value)
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """A reference to a column, optionally qualified (``table.column``)."""
+
+    name: str
+    table: Optional[str] = None
+
+    def to_sql(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Star(Expression):
+    """The ``*`` in ``COUNT(*)`` or ``SELECT *``."""
+
+    def to_sql(self) -> str:
+        return "*"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    """A unary operator: ``-expr`` or ``NOT expr``."""
+
+    op: str
+    operand: Expression
+
+    def children(self) -> Sequence[Expression]:
+        return (self.operand,)
+
+    def to_sql(self) -> str:
+        if self.op.upper() == "NOT":
+            return f"NOT ({self.operand.to_sql()})"
+        return f"{self.op}({self.operand.to_sql()})"
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """A binary operator: arithmetic, comparison, AND/OR."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def children(self) -> Sequence[Expression]:
+        return (self.left, self.right)
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.op} {self.right.to_sql()})"
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """A scalar function or UDF call, or an aggregate call.
+
+    The parser cannot always know whether a name is an aggregate (UDAFs
+    share syntax with scalar UDFs), so classification happens in the
+    analyzer.  ``distinct`` is only meaningful for aggregates.
+    """
+
+    name: str
+    args: tuple[Expression, ...]
+    distinct: bool = False
+
+    def children(self) -> Sequence[Expression]:
+        return self.args
+
+    def to_sql(self) -> str:
+        prefix = "DISTINCT " if self.distinct else ""
+        rendered = ", ".join(arg.to_sql() for arg in self.args)
+        return f"{self.name}({prefix}{rendered})"
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    """``expr [NOT] IN (value, ...)``."""
+
+    operand: Expression
+    items: tuple[Expression, ...]
+    negated: bool = False
+
+    def children(self) -> Sequence[Expression]:
+        return (self.operand, *self.items)
+
+    def to_sql(self) -> str:
+        op = "NOT IN" if self.negated else "IN"
+        rendered = ", ".join(item.to_sql() for item in self.items)
+        return f"({self.operand.to_sql()} {op} ({rendered}))"
+
+
+@dataclass(frozen=True)
+class Between(Expression):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    operand: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+    def children(self) -> Sequence[Expression]:
+        return (self.operand, self.low, self.high)
+
+    def to_sql(self) -> str:
+        op = "NOT BETWEEN" if self.negated else "BETWEEN"
+        return (
+            f"({self.operand.to_sql()} {op} {self.low.to_sql()} "
+            f"AND {self.high.to_sql()})"
+        )
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expression
+    negated: bool = False
+
+    def children(self) -> Sequence[Expression]:
+        return (self.operand,)
+
+    def to_sql(self) -> str:
+        suffix = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.operand.to_sql()} {suffix})"
+
+
+@dataclass(frozen=True)
+class Like(Expression):
+    """``expr [NOT] LIKE pattern`` with ``%`` and ``_`` wildcards."""
+
+    operand: Expression
+    pattern: str
+    negated: bool = False
+
+    def children(self) -> Sequence[Expression]:
+        return (self.operand,)
+
+    def to_sql(self) -> str:
+        op = "NOT LIKE" if self.negated else "LIKE"
+        return f"({self.operand.to_sql()} {op} {_quote_string(self.pattern)})"
+
+
+@dataclass(frozen=True)
+class CaseWhen(Expression):
+    """``CASE WHEN cond THEN value ... [ELSE value] END``."""
+
+    branches: tuple[tuple[Expression, Expression], ...]
+    default: Optional[Expression] = None
+
+    def children(self) -> Sequence[Expression]:
+        flat: list[Expression] = []
+        for condition, value in self.branches:
+            flat.extend((condition, value))
+        if self.default is not None:
+            flat.append(self.default)
+        return tuple(flat)
+
+    def to_sql(self) -> str:
+        parts = ["CASE"]
+        for condition, value in self.branches:
+            parts.append(f"WHEN {condition.to_sql()} THEN {value.to_sql()}")
+        if self.default is not None:
+            parts.append(f"ELSE {self.default.to_sql()}")
+        parts.append("END")
+        return " ".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Statement nodes
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SelectItem:
+    """One item of a SELECT list: an expression with an optional alias."""
+
+    expression: Expression
+    alias: Optional[str] = None
+
+    def output_name(self, ordinal: int) -> str:
+        """The result-column name: alias, bare column name, or ``_colN``."""
+        if self.alias:
+            return self.alias
+        if isinstance(self.expression, ColumnRef):
+            return self.expression.name
+        return f"_col{ordinal}"
+
+    def to_sql(self) -> str:
+        rendered = self.expression.to_sql()
+        return f"{rendered} AS {self.alias}" if self.alias else rendered
+
+
+@dataclass(frozen=True)
+class TableSample:
+    """The ``TABLESAMPLE POISSONIZED (rate)`` clause (§5.2).
+
+    ``rate`` is the Poisson rate parameter multiplied by 100, matching
+    the paper's SQL surface: ``POISSONIZED (100)`` means Poisson(1).
+    """
+
+    rate: float
+
+    def to_sql(self) -> str:
+        rendered = int(self.rate) if float(self.rate).is_integer() else self.rate
+        return f"TABLESAMPLE POISSONIZED ({rendered})"
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A FROM item: a named table or a parenthesised subquery."""
+
+    name: Optional[str] = None
+    subquery: Optional["SelectStatement"] = None
+    alias: Optional[str] = None
+    sample: Optional[TableSample] = None
+
+    def to_sql(self) -> str:
+        base = self.name if self.name else f"({self.subquery.to_sql()})"
+        if self.alias:
+            base = f"{base} AS {self.alias}"
+        if self.sample:
+            base = f"{base} {self.sample.to_sql()}"
+        return base
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key with direction."""
+
+    expression: Expression
+    ascending: bool = True
+
+    def to_sql(self) -> str:
+        direction = "ASC" if self.ascending else "DESC"
+        return f"{self.expression.to_sql()} {direction}"
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A full SELECT statement over a single table or subquery."""
+
+    items: tuple[SelectItem, ...]
+    source: TableRef
+    where: Optional[Expression] = None
+    group_by: tuple[Expression, ...] = field(default_factory=tuple)
+    having: Optional[Expression] = None
+    order_by: tuple[OrderItem, ...] = field(default_factory=tuple)
+    limit: Optional[int] = None
+
+    def to_sql(self) -> str:
+        parts = [
+            "SELECT " + ", ".join(item.to_sql() for item in self.items),
+            "FROM " + self.source.to_sql(),
+        ]
+        if self.where is not None:
+            parts.append("WHERE " + self.where.to_sql())
+        if self.group_by:
+            parts.append(
+                "GROUP BY " + ", ".join(expr.to_sql() for expr in self.group_by)
+            )
+        if self.having is not None:
+            parts.append("HAVING " + self.having.to_sql())
+        if self.order_by:
+            parts.append(
+                "ORDER BY " + ", ".join(item.to_sql() for item in self.order_by)
+            )
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        return " ".join(parts)
+
+
+UNION_ALL_SEPARATOR = " UNION ALL "
+
+
+@dataclass(frozen=True)
+class UnionAll:
+    """``SELECT ... UNION ALL SELECT ...`` — used by the §5.2 baseline."""
+
+    selects: tuple[SelectStatement, ...]
+
+    def to_sql(self) -> str:
+        return UNION_ALL_SEPARATOR.join(s.to_sql() for s in self.selects)
+
+
+Statement = Union[SelectStatement, UnionAll]

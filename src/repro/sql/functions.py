@@ -1,0 +1,143 @@
+"""Scalar function and UDF registries.
+
+The analyzer consults a :class:`FunctionRegistry` to classify each
+:class:`~repro.sql.ast.FunctionCall` as a built-in aggregate, a built-in
+scalar function, a user-defined scalar function (UDF), or a user-defined
+aggregate (UDAF).  UDFs matter to the paper because queries containing
+them are never amenable to closed-form error estimation (§2.3.2) and are
+a major failure category for the bootstrap (§3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.aggregates import (
+    AggregateFunction,
+    UserDefinedAggregate,
+    aggregate_registry,
+)
+from repro.errors import AnalysisError
+
+ScalarImpl = Callable[..., np.ndarray]
+
+
+def _if_function(condition: np.ndarray, when_true: np.ndarray, when_false: np.ndarray) -> np.ndarray:
+    return np.where(condition.astype(bool), when_true, when_false)
+
+
+def _log_safe(values: np.ndarray) -> np.ndarray:
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.log(values)
+
+
+def _builtin_scalars() -> dict[str, ScalarImpl]:
+    return {
+        "ABS": np.abs,
+        "SQRT": np.sqrt,
+        "LOG": _log_safe,
+        "LN": _log_safe,
+        "EXP": np.exp,
+        "FLOOR": np.floor,
+        "CEIL": np.ceil,
+        "ROUND": np.round,
+        "SIGN": np.sign,
+        "POW": np.power,
+        "POWER": np.power,
+        "GREATEST": np.maximum,
+        "LEAST": np.minimum,
+        "IF": _if_function,
+        "LENGTH": np.vectorize(len, otypes=[np.int64]),
+        "LOWER": np.vectorize(str.lower, otypes=[object]),
+        "UPPER": np.vectorize(str.upper, otypes=[object]),
+    }
+
+
+@dataclass
+class FunctionRegistry:
+    """Registry of scalar functions, UDFs, and UDAFs for one engine.
+
+    Built-in aggregates come from
+    :data:`repro.engine.aggregates.aggregate_registry` and are shared;
+    scalar UDFs and UDAFs are per-registry so that different
+    :class:`~repro.core.pipeline.AQPEngine` instances can carry different
+    user functions.
+    """
+
+    scalar_functions: dict[str, ScalarImpl] = field(default_factory=_builtin_scalars)
+    scalar_udfs: dict[str, ScalarImpl] = field(default_factory=dict)
+    udafs: dict[str, AggregateFunction] = field(default_factory=dict)
+
+    # -- registration -----------------------------------------------------
+    def register_udf(
+        self, name: str, fn: Callable, vectorized: bool = True
+    ) -> None:
+        """Register a scalar user-defined function.
+
+        Args:
+            name: SQL-visible name (case-insensitive).
+            fn: the implementation.  If ``vectorized`` it receives NumPy
+                arrays; otherwise it is applied elementwise.
+        """
+        key = name.upper()
+        if key in aggregate_registry:
+            raise AnalysisError(
+                f"cannot register UDF {name!r}: name collides with a "
+                "built-in aggregate"
+            )
+        implementation = fn if vectorized else np.vectorize(fn)
+        self.scalar_udfs[key] = implementation
+
+    def register_udaf(
+        self,
+        name: str,
+        fn: Callable[[np.ndarray], float],
+        weighted_fn: Callable[[np.ndarray, np.ndarray], float] | None = None,
+        outlier_sensitive: bool = False,
+    ) -> None:
+        """Register a user-defined aggregate (black-box statistic).
+
+        UDAF queries are only approximable via the bootstrap; the analyzer
+        marks them closed-form-incapable automatically.
+        """
+        key = name.upper()
+        self.udafs[key] = UserDefinedAggregate(
+            key, fn, weighted_fn, outlier_sensitive
+        )
+
+    # -- classification -----------------------------------------------------
+    def is_aggregate(self, name: str) -> bool:
+        key = name.upper()
+        return key in aggregate_registry or key in self.udafs
+
+    def is_udaf(self, name: str) -> bool:
+        return name.upper() in self.udafs
+
+    def is_scalar(self, name: str) -> bool:
+        key = name.upper()
+        return key in self.scalar_functions or key in self.scalar_udfs
+
+    def is_scalar_udf(self, name: str) -> bool:
+        return name.upper() in self.scalar_udfs
+
+    def scalar_implementation(self, name: str) -> ScalarImpl:
+        key = name.upper()
+        if key in self.scalar_functions:
+            return self.scalar_functions[key]
+        if key in self.scalar_udfs:
+            return self.scalar_udfs[key]
+        raise AnalysisError(f"unknown scalar function {name!r}")
+
+    def udaf_implementation(self, name: str) -> AggregateFunction:
+        key = name.upper()
+        if key not in self.udafs:
+            raise AnalysisError(f"unknown UDAF {name!r}")
+        return self.udafs[key]
+
+
+def default_function_registry() -> FunctionRegistry:
+    """A fresh registry with only the built-in scalar functions."""
+    return FunctionRegistry()

@@ -1,0 +1,200 @@
+"""Tokenizer for the supported SQL dialect.
+
+A hand-rolled scanner producing a flat list of :class:`Token` objects.
+Keywords are case-insensitive; identifiers preserve their original case.
+String literals use single quotes with ``''`` as the escape for a quote.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import TokenizeError
+
+
+class TokenType(enum.Enum):
+    """Lexical categories produced by :func:`tokenize`."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCTUATION = "punctuation"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "BY",
+        "HAVING",
+        "ORDER",
+        "ASC",
+        "DESC",
+        "LIMIT",
+        "AS",
+        "AND",
+        "OR",
+        "NOT",
+        "IN",
+        "BETWEEN",
+        "IS",
+        "NULL",
+        "LIKE",
+        "DISTINCT",
+        "TRUE",
+        "FALSE",
+        "CASE",
+        "WHEN",
+        "THEN",
+        "ELSE",
+        "END",
+        "TABLESAMPLE",
+        "POISSONIZED",
+        "UNION",
+        "ALL",
+    }
+)
+
+_OPERATORS = (
+    "<=",
+    ">=",
+    "<>",
+    "!=",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+)
+
+_PUNCTUATION = "(),."
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes:
+        type: lexical category.
+        value: canonical text — upper-cased for keywords, literal text for
+            everything else.
+        position: character offset of the token's first character.
+    """
+
+    type: TokenType
+    value: str
+    position: int
+
+    def matches(self, token_type: TokenType, value: str | None = None) -> bool:
+        """True when this token has the given type (and value, if given)."""
+        if self.type is not token_type:
+            return False
+        return value is None or self.value == value
+
+
+def tokenize(text: str) -> list[Token]:
+    """Scan ``text`` into a token list terminated by an EOF token.
+
+    Raises:
+        TokenizeError: on any character sequence outside the dialect.
+    """
+    tokens: list[Token] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("--", i):
+            newline = text.find("\n", i)
+            i = length if newline == -1 else newline + 1
+            continue
+        if ch == "'":
+            token, i = _scan_string(text, i)
+            tokens.append(token)
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < length and text[i + 1].isdigit()):
+            token, i = _scan_number(text, i)
+            tokens.append(token)
+            continue
+        if ch.isalpha() or ch == "_":
+            token, i = _scan_word(text, i)
+            tokens.append(token)
+            continue
+        matched_operator = next(
+            (op for op in _OPERATORS if text.startswith(op, i)), None
+        )
+        if matched_operator is not None:
+            tokens.append(Token(TokenType.OPERATOR, matched_operator, i))
+            i += len(matched_operator)
+            continue
+        if ch in _PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCTUATION, ch, i))
+            i += 1
+            continue
+        raise TokenizeError(f"unexpected character {ch!r} at position {i}", i)
+    tokens.append(Token(TokenType.EOF, "", length))
+    return tokens
+
+
+def _scan_string(text: str, start: int) -> tuple[Token, int]:
+    """Scan a single-quoted string literal starting at ``start``."""
+    i = start + 1
+    pieces: list[str] = []
+    while i < len(text):
+        ch = text[i]
+        if ch == "'":
+            if text.startswith("''", i):
+                pieces.append("'")
+                i += 2
+                continue
+            return Token(TokenType.STRING, "".join(pieces), start), i + 1
+        pieces.append(ch)
+        i += 1
+    raise TokenizeError(f"unterminated string literal at position {start}", start)
+
+
+def _scan_number(text: str, start: int) -> tuple[Token, int]:
+    """Scan an integer or decimal literal (with optional exponent)."""
+    i = start
+    seen_dot = False
+    seen_exponent = False
+    while i < len(text):
+        ch = text[i]
+        if ch.isdigit():
+            i += 1
+        elif ch == "." and not seen_dot and not seen_exponent:
+            seen_dot = True
+            i += 1
+        elif ch in "eE" and not seen_exponent and i > start:
+            seen_exponent = True
+            i += 1
+            if i < len(text) and text[i] in "+-":
+                i += 1
+        else:
+            break
+    literal = text[start:i]
+    if literal.endswith((".", "e", "E", "+", "-")):
+        raise TokenizeError(f"malformed number {literal!r} at position {start}", start)
+    return Token(TokenType.NUMBER, literal, start), i
+
+
+def _scan_word(text: str, start: int) -> tuple[Token, int]:
+    """Scan an identifier or keyword."""
+    i = start
+    while i < len(text) and (text[i].isalnum() or text[i] == "_"):
+        i += 1
+    word = text[start:i]
+    if word.upper() in KEYWORDS:
+        return Token(TokenType.KEYWORD, word.upper(), start), i
+    return Token(TokenType.IDENTIFIER, word, start), i

@@ -1,0 +1,347 @@
+"""Recursive-descent parser for the supported SQL dialect.
+
+Grammar (informally)::
+
+    statement   := select (UNION ALL select)*
+    select      := SELECT item (, item)* FROM table_ref
+                   [WHERE expr] [GROUP BY expr (, expr)*] [HAVING expr]
+                   [ORDER BY order (, order)*] [LIMIT int]
+    table_ref   := (identifier | '(' select ')') [AS? alias]
+                   [TABLESAMPLE POISSONIZED '(' number ')']
+    item        := expr [AS? alias] | '*'
+    expr        := or_expr with standard precedence:
+                   OR < AND < NOT < comparison/IN/BETWEEN/IS/LIKE
+                   < additive < multiplicative < unary minus < primary
+
+Only features the paper's pipeline needs are implemented; anything else
+raises :class:`~repro.errors.ParseError` with the offending position.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.sql import ast
+from repro.sql.lexer import Token, TokenType, tokenize
+
+_COMPARISON_OPS = {"=", "!=", "<>", "<", "<=", ">", ">="}
+
+
+class _Parser:
+    """Stateful cursor over a token list."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    # -- cursor helpers ----------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self._index += 1
+        return token
+
+    def check(self, token_type: TokenType, value: str | None = None) -> bool:
+        return self.current.matches(token_type, value)
+
+    def accept(self, token_type: TokenType, value: str | None = None) -> Token | None:
+        if self.check(token_type, value):
+            return self.advance()
+        return None
+
+    def expect(self, token_type: TokenType, value: str | None = None) -> Token:
+        if not self.check(token_type, value):
+            wanted = value or token_type.value
+            got = self.current.value or "end of input"
+            raise ParseError(
+                f"expected {wanted!r}, got {got!r} at position "
+                f"{self.current.position}",
+                self.current.position,
+            )
+        return self.advance()
+
+    # -- statements ---------------------------------------------------------
+    def parse_statement(self) -> ast.Statement:
+        selects = [self.parse_select()]
+        while self.accept(TokenType.KEYWORD, "UNION"):
+            self.expect(TokenType.KEYWORD, "ALL")
+            selects.append(self.parse_select())
+        self.expect(TokenType.EOF)
+        if len(selects) == 1:
+            return selects[0]
+        return ast.UnionAll(tuple(selects))
+
+    def parse_select(self) -> ast.SelectStatement:
+        self.expect(TokenType.KEYWORD, "SELECT")
+        items = [self._parse_select_item()]
+        while self.accept(TokenType.PUNCTUATION, ","):
+            items.append(self._parse_select_item())
+        self.expect(TokenType.KEYWORD, "FROM")
+        source = self._parse_table_ref()
+        where = None
+        if self.accept(TokenType.KEYWORD, "WHERE"):
+            where = self.parse_expression()
+        group_by: list[ast.Expression] = []
+        if self.accept(TokenType.KEYWORD, "GROUP"):
+            self.expect(TokenType.KEYWORD, "BY")
+            group_by.append(self.parse_expression())
+            while self.accept(TokenType.PUNCTUATION, ","):
+                group_by.append(self.parse_expression())
+        having = None
+        if self.accept(TokenType.KEYWORD, "HAVING"):
+            having = self.parse_expression()
+        order_by: list[ast.OrderItem] = []
+        if self.accept(TokenType.KEYWORD, "ORDER"):
+            self.expect(TokenType.KEYWORD, "BY")
+            order_by.append(self._parse_order_item())
+            while self.accept(TokenType.PUNCTUATION, ","):
+                order_by.append(self._parse_order_item())
+        limit = None
+        if self.accept(TokenType.KEYWORD, "LIMIT"):
+            token = self.expect(TokenType.NUMBER)
+            limit = int(float(token.value))
+        return ast.SelectStatement(
+            items=tuple(items),
+            source=source,
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+        )
+
+    def _parse_select_item(self) -> ast.SelectItem:
+        if self.check(TokenType.OPERATOR, "*") and self._next_ends_item():
+            self.advance()
+            return ast.SelectItem(ast.Star())
+        expression = self.parse_expression()
+        alias = None
+        if self.accept(TokenType.KEYWORD, "AS"):
+            alias = self.expect(TokenType.IDENTIFIER).value
+        elif self.check(TokenType.IDENTIFIER):
+            alias = self.advance().value
+        return ast.SelectItem(expression, alias)
+
+    def _next_ends_item(self) -> bool:
+        """Whether the token after the cursor terminates a select item.
+
+        Distinguishes ``SELECT *`` from ``SELECT a * b``: the bare star is
+        followed by a comma or FROM.
+        """
+        lookahead = self._tokens[self._index + 1]
+        return lookahead.matches(TokenType.PUNCTUATION, ",") or lookahead.matches(
+            TokenType.KEYWORD, "FROM"
+        )
+
+    def _parse_table_ref(self) -> ast.TableRef:
+        if self.accept(TokenType.PUNCTUATION, "("):
+            subquery = self.parse_select()
+            self.expect(TokenType.PUNCTUATION, ")")
+            name = None
+        else:
+            name = self.expect(TokenType.IDENTIFIER).value
+            subquery = None
+        alias = None
+        if self.accept(TokenType.KEYWORD, "AS"):
+            alias = self.expect(TokenType.IDENTIFIER).value
+        elif self.check(TokenType.IDENTIFIER):
+            alias = self.advance().value
+        sample = None
+        if self.accept(TokenType.KEYWORD, "TABLESAMPLE"):
+            self.expect(TokenType.KEYWORD, "POISSONIZED")
+            self.expect(TokenType.PUNCTUATION, "(")
+            rate_token = self.expect(TokenType.NUMBER)
+            self.expect(TokenType.PUNCTUATION, ")")
+            sample = ast.TableSample(rate=float(rate_token.value))
+        return ast.TableRef(name=name, subquery=subquery, alias=alias, sample=sample)
+
+    def _parse_order_item(self) -> ast.OrderItem:
+        expression = self.parse_expression()
+        ascending = True
+        if self.accept(TokenType.KEYWORD, "DESC"):
+            ascending = False
+        else:
+            self.accept(TokenType.KEYWORD, "ASC")
+        return ast.OrderItem(expression, ascending)
+
+    # -- expressions ----------------------------------------------------------
+    def parse_expression(self) -> ast.Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expression:
+        left = self._parse_and()
+        while self.accept(TokenType.KEYWORD, "OR"):
+            left = ast.BinaryOp("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.Expression:
+        left = self._parse_not()
+        while self.accept(TokenType.KEYWORD, "AND"):
+            left = ast.BinaryOp("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> ast.Expression:
+        if self.accept(TokenType.KEYWORD, "NOT"):
+            return ast.UnaryOp("NOT", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> ast.Expression:
+        left = self._parse_additive()
+        if self.check(TokenType.OPERATOR) and self.current.value in _COMPARISON_OPS:
+            op = self.advance().value
+            if op == "<>":
+                op = "!="
+            return ast.BinaryOp(op, left, self._parse_additive())
+        negated = bool(self.accept(TokenType.KEYWORD, "NOT"))
+        if self.accept(TokenType.KEYWORD, "IN"):
+            return self._parse_in_list(left, negated)
+        if self.accept(TokenType.KEYWORD, "BETWEEN"):
+            low = self._parse_additive()
+            self.expect(TokenType.KEYWORD, "AND")
+            high = self._parse_additive()
+            return ast.Between(left, low, high, negated)
+        if self.accept(TokenType.KEYWORD, "LIKE"):
+            pattern = self.expect(TokenType.STRING).value
+            return ast.Like(left, pattern, negated)
+        if negated:
+            raise ParseError(
+                "expected IN, BETWEEN, or LIKE after NOT at position "
+                f"{self.current.position}",
+                self.current.position,
+            )
+        if self.accept(TokenType.KEYWORD, "IS"):
+            is_negated = bool(self.accept(TokenType.KEYWORD, "NOT"))
+            self.expect(TokenType.KEYWORD, "NULL")
+            return ast.IsNull(left, is_negated)
+        return left
+
+    def _parse_in_list(self, operand: ast.Expression, negated: bool) -> ast.Expression:
+        self.expect(TokenType.PUNCTUATION, "(")
+        items = [self.parse_expression()]
+        while self.accept(TokenType.PUNCTUATION, ","):
+            items.append(self.parse_expression())
+        self.expect(TokenType.PUNCTUATION, ")")
+        return ast.InList(operand, tuple(items), negated)
+
+    def _parse_additive(self) -> ast.Expression:
+        left = self._parse_multiplicative()
+        while self.check(TokenType.OPERATOR) and self.current.value in ("+", "-"):
+            op = self.advance().value
+            left = ast.BinaryOp(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> ast.Expression:
+        left = self._parse_unary()
+        while self.check(TokenType.OPERATOR) and self.current.value in ("*", "/", "%"):
+            op = self.advance().value
+            left = ast.BinaryOp(op, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> ast.Expression:
+        if self.accept(TokenType.OPERATOR, "-"):
+            return ast.UnaryOp("-", self._parse_unary())
+        if self.accept(TokenType.OPERATOR, "+"):
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expression:
+        token = self.current
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            text = token.value
+            value = int(text) if text.isdigit() else float(text)
+            return ast.Literal(value)
+        if token.type is TokenType.STRING:
+            self.advance()
+            return ast.Literal(token.value)
+        if token.matches(TokenType.KEYWORD, "TRUE"):
+            self.advance()
+            return ast.Literal(True)
+        if token.matches(TokenType.KEYWORD, "FALSE"):
+            self.advance()
+            return ast.Literal(False)
+        if token.matches(TokenType.KEYWORD, "NULL"):
+            self.advance()
+            return ast.Literal(None)
+        if token.matches(TokenType.KEYWORD, "CASE"):
+            return self._parse_case()
+        if token.type is TokenType.PUNCTUATION and token.value == "(":
+            self.advance()
+            inner = self.parse_expression()
+            self.expect(TokenType.PUNCTUATION, ")")
+            return inner
+        if token.type is TokenType.IDENTIFIER:
+            return self._parse_identifier_expression()
+        raise ParseError(
+            f"unexpected token {token.value!r} at position {token.position}",
+            token.position,
+        )
+
+    def _parse_case(self) -> ast.Expression:
+        self.expect(TokenType.KEYWORD, "CASE")
+        branches: list[tuple[ast.Expression, ast.Expression]] = []
+        while self.accept(TokenType.KEYWORD, "WHEN"):
+            condition = self.parse_expression()
+            self.expect(TokenType.KEYWORD, "THEN")
+            branches.append((condition, self.parse_expression()))
+        if not branches:
+            raise ParseError(
+                f"CASE requires at least one WHEN at position "
+                f"{self.current.position}",
+                self.current.position,
+            )
+        default = None
+        if self.accept(TokenType.KEYWORD, "ELSE"):
+            default = self.parse_expression()
+        self.expect(TokenType.KEYWORD, "END")
+        return ast.CaseWhen(tuple(branches), default)
+
+    def _parse_identifier_expression(self) -> ast.Expression:
+        name = self.expect(TokenType.IDENTIFIER).value
+        if self.accept(TokenType.PUNCTUATION, "("):
+            return self._parse_call(name)
+        if self.accept(TokenType.PUNCTUATION, "."):
+            column = self.expect(TokenType.IDENTIFIER).value
+            return ast.ColumnRef(column, table=name)
+        return ast.ColumnRef(name)
+
+    def _parse_call(self, name: str) -> ast.Expression:
+        distinct = bool(self.accept(TokenType.KEYWORD, "DISTINCT"))
+        args: list[ast.Expression] = []
+        if self.accept(TokenType.OPERATOR, "*"):
+            args.append(ast.Star())
+        elif not self.check(TokenType.PUNCTUATION, ")"):
+            args.append(self.parse_expression())
+            while self.accept(TokenType.PUNCTUATION, ","):
+                args.append(self.parse_expression())
+        self.expect(TokenType.PUNCTUATION, ")")
+        return ast.FunctionCall(name.upper(), tuple(args), distinct)
+
+
+def parse(text: str) -> ast.Statement:
+    """Parse SQL ``text`` into an AST.
+
+    Raises:
+        TokenizeError: on lexical errors.
+        ParseError: on grammatical errors.
+    """
+    return _Parser(tokenize(text)).parse_statement()
+
+
+def parse_select(text: str) -> ast.SelectStatement:
+    """Parse text that must be a single SELECT (no UNION ALL)."""
+    statement = parse(text)
+    if not isinstance(statement, ast.SelectStatement):
+        raise ParseError("expected a single SELECT statement")
+    return statement
+
+
+def parse_expression(text: str) -> ast.Expression:
+    """Parse a standalone expression (used in tests and plan construction)."""
+    parser = _Parser(tokenize(text))
+    expression = parser.parse_expression()
+    parser.expect(TokenType.EOF)
+    return expression

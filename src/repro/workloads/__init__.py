@@ -1,0 +1,51 @@
+"""Synthetic workloads matching the paper's published statistics.
+
+The Facebook (69,438 Hive queries / 97.3 TB) and Conviva (18,321 queries
+/ 1.7 TB) traces are proprietary; the paper itself released a synthetic
+benchmark "that closely reflects the key characteristics of the Facebook
+and Conviva workloads ... both in terms of the distribution of
+underlying data and the query workload" (§3).  This package is our
+version of that benchmark:
+
+* :mod:`repro.workloads.datagen` — heavy-tailed tables shaped like web
+  event logs and media sessions;
+* :mod:`repro.workloads.queries` — a declarative single-aggregate query
+  model convertible to both SQL and ground-truth array form;
+* :mod:`repro.workloads.facebook` / :mod:`repro.workloads.conviva` —
+  query mixes matching the published aggregate-function shares and UDF
+  fractions;
+* :mod:`repro.workloads.qsets` — QSet-1/QSet-2 (§7) and the cost-model
+  specs for the cluster benchmarks.
+"""
+
+from repro.workloads.datagen import (
+    facebook_events_table,
+    conviva_sessions_table,
+)
+from repro.workloads.queries import (
+    TRANSFORMS,
+    WorkloadQuery,
+)
+from repro.workloads.facebook import FACEBOOK_MIX, facebook_workload
+from repro.workloads.conviva import CONVIVA_MIX, conviva_workload
+from repro.workloads.qsets import (
+    qset1_specs,
+    qset2_specs,
+    qset1_queries,
+    qset2_queries,
+)
+
+__all__ = [
+    "facebook_events_table",
+    "conviva_sessions_table",
+    "TRANSFORMS",
+    "WorkloadQuery",
+    "FACEBOOK_MIX",
+    "facebook_workload",
+    "CONVIVA_MIX",
+    "conviva_workload",
+    "qset1_specs",
+    "qset2_specs",
+    "qset1_queries",
+    "qset2_queries",
+]

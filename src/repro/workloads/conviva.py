@@ -1,0 +1,123 @@
+"""A Conviva-like query workload.
+
+Published statistics reproduced (§3, §4.2):
+
+* AVG, COUNT, PERCENTILE, and MAX are the most popular aggregates with
+  a combined share of 32.3 %;
+* 42.07 % of queries contain at least one UDF;
+* 62.79 % of queries are bootstrap-only (37.21 % closed-form capable).
+
+UDAFs (black-box aggregates like trimmed means) carry most of the UDF
+share; scalar transforms are sprinkled on the rest so that the expected
+UDF fraction lands at ≈ 42 % and the expected closed-form-applicable
+fraction at ≈ 37 %.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SamplingError
+from repro.workloads.queries import TRANSFORMS, WorkloadQuery
+
+#: Aggregate-function shares of the Conviva trace (AVG+COUNT+PERCENTILE+
+#: MAX = 0.323, the paper's "combined share of 32.3 %").
+CONVIVA_MIX: dict[str, float] = {
+    "AVG": 0.1200,
+    "COUNT": 0.0900,
+    "PERCENTILE": 0.0700,
+    "MAX": 0.0430,
+    "SUM": 0.1500,
+    "MIN": 0.0500,
+    "VARIANCE": 0.0500,
+    "STDEV": 0.0300,
+    "COUNT_DISTINCT": 0.0900,
+    "UDAF:trimmed_mean": 0.1000,
+    "UDAF:geometric_mean": 0.1000,
+    "UDAF:top_decile_share": 0.1070,
+}
+
+#: Scalar-transform rates, tuned so that the total UDF share (UDAFs plus
+#: transformed queries) is ≈ 0.42 and closed forms apply to ≈ 0.37:
+#: closed-form-type share 0.44 × (1 − 0.154) = 0.372.
+_TRANSFORM_RATE_CLOSED_FORM_TYPE = 0.154
+_TRANSFORM_RATE_OTHER = 0.25
+
+_CLOSED_FORM_TYPE = frozenset({"AVG", "COUNT", "SUM", "VARIANCE", "STDEV"})
+
+_VALUE_COLUMNS = (
+    "session_time",
+    "buffering_ratio",
+    "bytes_streamed",
+    "startup_ms",
+)
+
+_PERCENTILES = (0.5, 0.9, 0.95, 0.99)
+
+_FILTERS = (
+    ("session_time", ">", 50.0),
+    ("session_time", "<", 50.0),
+    ("buffering_ratio", ">", 0.1),
+    ("bitrate", ">", 1000.0),
+    ("bitrate", "<", 600.0),
+    ("city", "=", "city_00"),
+    ("isp", "=", "isp_0"),
+    ("startup_ms", ">", 1500.0),
+)
+
+_UNFILTERED_RATE = 0.3
+
+
+def conviva_workload(
+    num_queries: int,
+    rng: np.random.Generator | None = None,
+    table_name: str = "media_sessions",
+) -> list[WorkloadQuery]:
+    """Generate a Conviva-like workload of single-aggregate queries."""
+    if num_queries <= 0:
+        raise SamplingError(f"num_queries must be positive, got {num_queries}")
+    rng = rng or np.random.default_rng()
+    names = list(CONVIVA_MIX)
+    probabilities = np.array([CONVIVA_MIX[name] for name in names])
+    probabilities = probabilities / probabilities.sum()
+    transform_names = list(TRANSFORMS)
+
+    queries: list[WorkloadQuery] = []
+    for i in range(num_queries):
+        aggregate = names[rng.choice(len(names), p=probabilities)]
+        column = _VALUE_COLUMNS[rng.integers(0, len(_VALUE_COLUMNS))]
+        is_udaf = aggregate.startswith("UDAF:")
+        if aggregate in _CLOSED_FORM_TYPE:
+            transform_rate = _TRANSFORM_RATE_CLOSED_FORM_TYPE
+        elif is_udaf:
+            transform_rate = 0.0  # already a UDF by definition
+        else:
+            transform_rate = _TRANSFORM_RATE_OTHER
+        transform = None
+        if rng.random() < transform_rate:
+            transform = transform_names[rng.integers(0, len(transform_names))]
+        percentile = None
+        if aggregate == "PERCENTILE":
+            percentile = _PERCENTILES[rng.integers(0, len(_PERCENTILES))]
+        if aggregate == "COUNT_DISTINCT":
+            column = "content_id"
+        filter_column = filter_op = None
+        filter_value = None
+        if aggregate == "COUNT" or rng.random() > _UNFILTERED_RATE:
+            filter_column, filter_op, filter_value = _FILTERS[
+                rng.integers(0, len(_FILTERS))
+            ]
+        queries.append(
+            WorkloadQuery(
+                name=f"cv_q{i:04d}",
+                table_name=table_name,
+                aggregate_name=aggregate,
+                column=column,
+                percentile=percentile,
+                transform=transform,
+                filter_column=filter_column,
+                filter_op=filter_op or ">",
+                filter_value=filter_value,
+            )
+        )
+    return queries

@@ -1,0 +1,119 @@
+"""Synthetic dataset generators.
+
+Production analytic data is heavy-tailed: session durations are roughly
+lognormal, byte counts Pareto, popularity Zipfian.  Error-estimation
+failures in the paper are driven exactly by those tails (MIN/MAX and
+rare-value sensitivity, §2.3.1), so the generators lean into them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.table import Table
+from repro.errors import SamplingError
+
+
+def zipf_categories(
+    labels: list[str],
+    size: int,
+    rng: np.random.Generator,
+    exponent: float = 1.2,
+) -> np.ndarray:
+    """Draw category labels with a Zipfian popularity profile."""
+    if not labels:
+        raise SamplingError("zipf_categories requires at least one label")
+    ranks = np.arange(1, len(labels) + 1, dtype=np.float64)
+    probabilities = ranks**-exponent
+    probabilities /= probabilities.sum()
+    return np.asarray(labels)[rng.choice(len(labels), size=size, p=probabilities)]
+
+
+def zipf_ids(
+    num_entities: int,
+    size: int,
+    rng: np.random.Generator,
+    exponent: float = 1.3,
+) -> np.ndarray:
+    """Entity ids (0..num_entities-1) with Zipfian access frequency."""
+    ranks = np.arange(1, num_entities + 1, dtype=np.float64)
+    probabilities = ranks**-exponent
+    probabilities /= probabilities.sum()
+    return rng.choice(num_entities, size=size, p=probabilities)
+
+
+def facebook_events_table(
+    num_rows: int,
+    rng: np.random.Generator | None = None,
+    name: str = "events",
+) -> Table:
+    """A web-events table shaped like the Facebook trace's subjects.
+
+    Columns:
+        ``user_id``      Zipfian user popularity.
+        ``duration``     lognormal session/action durations (heavy tail).
+        ``bytes``        Pareto payload sizes (very heavy tail; the MIN/
+                         MAX failure driver).
+        ``score``        near-normal ranking score (benign column).
+        ``revenue``      zero-inflated lognormal (mixture: most rows 0).
+        ``age``          uniform integer demographic.
+        ``country``      Zipfian categorical with a long tail of values.
+        ``platform``     small categorical.
+    """
+    rng = rng or np.random.default_rng()
+    if num_rows <= 0:
+        raise SamplingError(f"num_rows must be positive, got {num_rows}")
+    countries = [f"C{i:02d}" for i in range(40)]
+    platforms = ["web", "ios", "android", "mweb"]
+    revenue = rng.lognormal(1.0, 1.2, num_rows)
+    revenue[rng.random(num_rows) < 0.85] = 0.0
+    return Table(
+        {
+            "user_id": zipf_ids(num_rows // 20 + 10, num_rows, rng),
+            "duration": rng.lognormal(3.0, 1.0, num_rows),
+            "bytes": (rng.pareto(2.3, num_rows) + 1.0) * 1000.0,
+            "score": rng.normal(50.0, 12.0, num_rows),
+            "revenue": revenue,
+            "age": rng.integers(13, 80, num_rows),
+            "country": zipf_categories(countries, num_rows, rng),
+            "platform": zipf_categories(platforms, num_rows, rng, 0.8),
+        },
+        name=name,
+    )
+
+
+def conviva_sessions_table(
+    num_rows: int,
+    rng: np.random.Generator | None = None,
+    name: str = "media_sessions",
+) -> Table:
+    """A video-session table shaped like Conviva's media-access records.
+
+    Columns:
+        ``session_time``     lognormal viewing durations.
+        ``buffering_ratio``  Beta-distributed fraction of time buffering.
+        ``bitrate``          categorical ladder of encoded bitrates.
+        ``bytes_streamed``   Pareto (heavy tail).
+        ``startup_ms``       Gamma startup latency.
+        ``content_id``       Zipfian content popularity.
+        ``city``, ``isp``    Zipfian categoricals.
+    """
+    rng = rng or np.random.default_rng()
+    if num_rows <= 0:
+        raise SamplingError(f"num_rows must be positive, got {num_rows}")
+    cities = [f"city_{i:02d}" for i in range(25)]
+    isps = [f"isp_{i}" for i in range(12)]
+    bitrates = np.array([235.0, 375.0, 560.0, 750.0, 1050.0, 1750.0, 2350.0, 3000.0])
+    return Table(
+        {
+            "session_time": rng.lognormal(4.0, 1.1, num_rows),
+            "buffering_ratio": rng.beta(1.2, 18.0, num_rows),
+            "bitrate": bitrates[rng.integers(0, len(bitrates), num_rows)],
+            "bytes_streamed": (rng.pareto(2.2, num_rows) + 1.0) * 5e6,
+            "startup_ms": rng.gamma(2.0, 400.0, num_rows),
+            "content_id": zipf_ids(num_rows // 50 + 10, num_rows, rng),
+            "city": zipf_categories(cities, num_rows, rng),
+            "isp": zipf_categories(isps, num_rows, rng, 1.0),
+        },
+        name=name,
+    )

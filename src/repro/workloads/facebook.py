@@ -1,0 +1,102 @@
+"""A Facebook-like query workload.
+
+Published statistics reproduced (§1, §3):
+
+* aggregate shares — MIN 33.35 %, COUNT 24.67 %, AVG 12.20 %,
+  SUM 10.11 %, MAX 2.87 % ("the most popular aggregate functions"),
+  with the remainder assigned to VARIANCE/STDEV;
+* 11.01 % of queries contain a UDF;
+* closed-form error estimation applies to 56.78 % of queries
+  (equivalently, 43.21 % are bootstrap-only, §3).
+
+With the shares below and UDFs assigned independently at 11.01 %, the
+expected closed-form-applicable fraction is
+(0.2467 + 0.1220 + 0.1011 + 0.10 + 0.068) × (1 − 0.1101) = 56.76 %.
+(Note the paper also quotes "37.21 % amenable to closed forms" in
+§2.3.2 — internally inconsistent with §1/§3; we target the §1/§3
+figure.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SamplingError
+from repro.workloads.queries import TRANSFORMS, WorkloadQuery
+
+#: Aggregate-function shares of the Facebook trace.
+FACEBOOK_MIX: dict[str, float] = {
+    "MIN": 0.3335,
+    "COUNT": 0.2467,
+    "AVG": 0.1220,
+    "SUM": 0.1011,
+    "VARIANCE": 0.1000,
+    "STDEV": 0.0680,
+    "MAX": 0.0287,
+}
+
+#: Fraction of queries containing a UDF.
+FACEBOOK_UDF_RATE = 0.1101
+
+#: Numeric columns aggregates draw their arguments from.
+_VALUE_COLUMNS = ("duration", "bytes", "score", "revenue")
+
+#: Simple predicates with a spread of selectivities.
+_FILTERS = (
+    ("duration", ">", 20.0),
+    ("duration", "<", 20.0),
+    ("age", "<", 30),
+    ("age", ">", 55),
+    ("country", "=", "C00"),
+    ("country", "=", "C05"),
+    ("platform", "=", "web"),
+    ("score", ">", 50.0),
+    ("score", ">", 65.0),
+)
+
+#: Fraction of queries with no WHERE clause.
+_UNFILTERED_RATE = 0.3
+
+
+def facebook_workload(
+    num_queries: int,
+    rng: np.random.Generator | None = None,
+    table_name: str = "events",
+) -> list[WorkloadQuery]:
+    """Generate a Facebook-like workload of single-aggregate queries."""
+    if num_queries <= 0:
+        raise SamplingError(f"num_queries must be positive, got {num_queries}")
+    rng = rng or np.random.default_rng()
+    names = list(FACEBOOK_MIX)
+    probabilities = np.array([FACEBOOK_MIX[name] for name in names])
+    probabilities = probabilities / probabilities.sum()
+    transform_names = list(TRANSFORMS)
+
+    queries: list[WorkloadQuery] = []
+    for i in range(num_queries):
+        aggregate = names[rng.choice(len(names), p=probabilities)]
+        column = _VALUE_COLUMNS[rng.integers(0, len(_VALUE_COLUMNS))]
+        transform = None
+        if rng.random() < FACEBOOK_UDF_RATE:
+            transform = transform_names[rng.integers(0, len(transform_names))]
+        filter_column = filter_op = None
+        filter_value = None
+        if aggregate == "COUNT" or rng.random() > _UNFILTERED_RATE:
+            # COUNT(*) without a filter has no sampling error; always
+            # give counts a predicate, like real trace queries do.
+            filter_column, filter_op, filter_value = _FILTERS[
+                rng.integers(0, len(_FILTERS))
+            ]
+        queries.append(
+            WorkloadQuery(
+                name=f"fb_q{i:04d}",
+                table_name=table_name,
+                aggregate_name=aggregate,
+                column=column,
+                transform=transform,
+                filter_column=filter_column,
+                filter_op=filter_op or ">",
+                filter_value=filter_value,
+            )
+        )
+    return queries

@@ -1,0 +1,111 @@
+"""QSet-1 / QSet-2 (§7) and their cost-model specifications.
+
+The paper's performance study uses two 100-query sets over the Conviva
+data: **QSet-1** — queries whose error bars admit closed forms (simple
+AVG/COUNT/SUM/STDEV/VARIANCE aggregates) — and **QSet-2** — queries that
+only the bootstrap can handle (complex aggregates, nested subqueries,
+UDFs).  Each query ran with a 10 % error bound on a cached sample of at
+most 20 GB drawn from 17 TB.
+
+Two views are provided:
+
+* :func:`qset1_queries` / :func:`qset2_queries` — executable
+  :class:`~repro.workloads.queries.WorkloadQuery` objects for the AQP
+  engine;
+* :func:`qset1_specs` / :func:`qset2_specs` —
+  :class:`~repro.cluster.jobs.AQPQuerySpec` cost descriptions for the
+  cluster simulator (Figs. 7–9), with per-query variety in sample size
+  and filter selectivity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.config import GB
+from repro.cluster.jobs import AQPQuerySpec
+from repro.errors import SamplingError
+from repro.workloads.conviva import conviva_workload
+from repro.workloads.queries import WorkloadQuery
+
+#: Average width of a Conviva media-access record in our cost model.
+ROW_BYTES = 500
+
+
+def qset1_queries(
+    num_queries: int = 100,
+    rng: np.random.Generator | None = None,
+) -> list[WorkloadQuery]:
+    """Closed-form-capable Conviva queries (§7's QSet-1)."""
+    rng = rng or np.random.default_rng()
+    queries: list[WorkloadQuery] = []
+    while len(queries) < num_queries:
+        for query in conviva_workload(4 * num_queries, rng):
+            if query.closed_form_applicable:
+                queries.append(query)
+                if len(queries) == num_queries:
+                    break
+    return queries
+
+
+def qset2_queries(
+    num_queries: int = 100,
+    rng: np.random.Generator | None = None,
+) -> list[WorkloadQuery]:
+    """Bootstrap-only Conviva queries (§7's QSet-2)."""
+    rng = rng or np.random.default_rng()
+    queries: list[WorkloadQuery] = []
+    while len(queries) < num_queries:
+        for query in conviva_workload(4 * num_queries, rng):
+            if not query.closed_form_applicable:
+                queries.append(query)
+                if len(queries) == num_queries:
+                    break
+    return queries
+
+
+def _specs(
+    num_queries: int,
+    closed_form: bool,
+    rng: np.random.Generator,
+    cached_fraction: float,
+) -> list[AQPQuerySpec]:
+    if num_queries <= 0:
+        raise SamplingError(f"num_queries must be positive, got {num_queries}")
+    specs = []
+    for __ in range(num_queries):
+        # "a cached random sample of at most 20 GB": sizes vary per query.
+        sample_bytes = float(rng.uniform(2, 20)) * GB
+        selectivity = float(np.clip(rng.lognormal(-1.6, 0.8), 0.005, 1.0))
+        specs.append(
+            AQPQuerySpec(
+                sample_bytes=sample_bytes,
+                sample_rows=int(sample_bytes / ROW_BYTES),
+                selectivity=selectivity,
+                closed_form=closed_form,
+                cached_fraction=cached_fraction,
+            )
+        )
+    return specs
+
+
+def qset1_specs(
+    num_queries: int = 100,
+    rng: np.random.Generator | None = None,
+    cached_fraction: float = 1.0,
+) -> list[AQPQuerySpec]:
+    """Cost-model specs for QSet-1 (closed-form error estimation)."""
+    return _specs(
+        num_queries, True, rng or np.random.default_rng(), cached_fraction
+    )
+
+
+def qset2_specs(
+    num_queries: int = 100,
+    rng: np.random.Generator | None = None,
+    cached_fraction: float = 1.0,
+) -> list[AQPQuerySpec]:
+    """Cost-model specs for QSet-2 (bootstrap-only error estimation)."""
+    return _specs(
+        num_queries, False, rng or np.random.default_rng(), cached_fraction
+    )

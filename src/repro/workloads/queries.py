@@ -1,0 +1,214 @@
+"""A declarative model of single-aggregate workload queries.
+
+The paper's evaluation unit is "a single aggregate function that returns
+a single real number" (§2.1).  :class:`WorkloadQuery` captures one such
+query — aggregate, argument column, optional scalar-UDF transform,
+optional filter — and renders it two ways:
+
+* :meth:`WorkloadQuery.sql` — SQL text for the AQP engine;
+* :meth:`WorkloadQuery.dataset_query` — the array-form
+  :class:`~repro.core.ground_truth.DatasetQuery` used by the §3
+  ground-truth evaluation and the Fig. 3/4 benchmarks.
+
+Keeping one definition for both paths guarantees the SQL the engine runs
+and the arrays the evaluation uses describe the same θ.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.ground_truth import DatasetQuery
+from repro.engine.aggregates import (
+    AggregateFunction,
+    PercentileAggregate,
+    UserDefinedAggregate,
+    get_aggregate,
+)
+from repro.engine.table import Table
+from repro.errors import AnalysisError
+from repro.sql.analyzer import CLOSED_FORM_AGGREGATES, EXTENSIVE_AGGREGATES
+
+
+def _trimmed_mean(values: np.ndarray) -> float:
+    if len(values) < 10:
+        return float(np.mean(values)) if len(values) else float("nan")
+    trim = len(values) // 10
+    return float(np.mean(np.sort(values)[trim:-trim]))
+
+
+def _geometric_mean(values: np.ndarray) -> float:
+    positive = values[values > 0]
+    if len(positive) == 0:
+        return float("nan")
+    return float(np.exp(np.mean(np.log(positive))))
+
+
+def _top_decile_share(values: np.ndarray) -> float:
+    if len(values) == 0:
+        return float("nan")
+    total = float(values.sum())
+    if total == 0:
+        return float("nan")
+    threshold = np.quantile(values, 0.9)
+    return float(values[values >= threshold].sum() / total)
+
+
+#: Scalar UDF transforms applied inside aggregate arguments.  These are
+#: the "User Defined Functions" of the traces: row-wise feature
+#: engineering that blocks closed-form error estimation.
+TRANSFORMS: dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "log1p_scale": lambda v: np.log1p(np.abs(v)) * 10.0,
+    "squash": lambda v: v / (1.0 + np.abs(v) / 1000.0),
+    "dedupe_key": lambda v: np.floor(v / 16.0),
+    "engagement": lambda v: np.sqrt(np.abs(v)) * np.sign(v),
+}
+
+#: Black-box user-defined aggregates (the UDAF side of "queries with
+#: multiple aggregate operators, nested subqueries or UDFs", §7).
+UDAF_FUNCTIONS: dict[str, Callable[[np.ndarray], float]] = {
+    "trimmed_mean": _trimmed_mean,
+    "geometric_mean": _geometric_mean,
+    "top_decile_share": _top_decile_share,
+}
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One single-aggregate query over a workload table.
+
+    Attributes:
+        name: unique label within its workload.
+        table_name: table the query runs on.
+        aggregate_name: one of the built-in aggregate names, or a key of
+            :data:`UDAF_FUNCTIONS` prefixed with ``"UDAF:"``.
+        column: argument column (ignored for ``COUNT``).
+        percentile: fraction for PERCENTILE aggregates.
+        transform: key of :data:`TRANSFORMS` applied to the argument, or
+            ``None``.  Marks the query as containing a UDF.
+        filter_column / filter_op / filter_value: optional simple WHERE
+            predicate (op is one of ``>``, ``<``, ``=``).
+    """
+
+    name: str
+    table_name: str
+    aggregate_name: str
+    column: str
+    percentile: Optional[float] = None
+    transform: Optional[str] = None
+    filter_column: Optional[str] = None
+    filter_op: str = ">"
+    filter_value: object = None
+
+    # -- classification -----------------------------------------------------
+    @property
+    def is_udaf(self) -> bool:
+        return self.aggregate_name.startswith("UDAF:")
+
+    @property
+    def has_udf(self) -> bool:
+        """Whether the query contains any user-defined function."""
+        return self.transform is not None or self.is_udaf
+
+    @property
+    def base_aggregate_name(self) -> str:
+        if self.is_udaf:
+            return self.aggregate_name.split(":", 1)[1]
+        return self.aggregate_name
+
+    @property
+    def closed_form_applicable(self) -> bool:
+        """The paper's closed-form rule applied to this query."""
+        return (
+            self.aggregate_name in CLOSED_FORM_AGGREGATES
+            and not self.has_udf
+        )
+
+    @property
+    def extensive(self) -> bool:
+        return self.aggregate_name in EXTENSIVE_AGGREGATES
+
+    @property
+    def outlier_sensitive(self) -> bool:
+        return self.make_aggregate().outlier_sensitive
+
+    # -- instantiation ----------------------------------------------------------
+    def make_aggregate(self) -> AggregateFunction:
+        if self.is_udaf:
+            key = self.base_aggregate_name
+            if key not in UDAF_FUNCTIONS:
+                raise AnalysisError(f"unknown UDAF {key!r}")
+            return UserDefinedAggregate(key, UDAF_FUNCTIONS[key])
+        if self.aggregate_name == "PERCENTILE":
+            if self.percentile is None:
+                raise AnalysisError("PERCENTILE query needs a fraction")
+            return PercentileAggregate(self.percentile)
+        return get_aggregate(self.aggregate_name)
+
+    def sql(self) -> str:
+        """Render the query as SQL for the AQP engine."""
+        if self.aggregate_name == "COUNT" and self.transform is None:
+            select = "COUNT(*)"
+        else:
+            argument = self.column
+            if self.transform is not None:
+                argument = f"{self.transform}({argument})"
+            if self.aggregate_name == "PERCENTILE":
+                select = f"PERCENTILE({argument}, {self.percentile})"
+            elif self.aggregate_name == "COUNT_DISTINCT":
+                select = f"COUNT(DISTINCT {argument})"
+            elif self.is_udaf:
+                select = f"{self.base_aggregate_name}({argument})"
+            else:
+                select = f"{self.aggregate_name}({argument})"
+        sql = f"SELECT {select} AS v FROM {self.table_name}"
+        if self.filter_column is not None:
+            value = self.filter_value
+            rendered = f"'{value}'" if isinstance(value, str) else repr(value)
+            sql += f" WHERE {self.filter_column} {self.filter_op} {rendered}"
+        return sql
+
+    # -- array form ----------------------------------------------------------
+    def argument_values(self, table: Table) -> np.ndarray:
+        if self.aggregate_name == "COUNT" and self.transform is None:
+            return np.ones(table.num_rows, dtype=np.float64)
+        values = table.column(self.column).astype(np.float64)
+        if self.transform is not None:
+            if self.transform not in TRANSFORMS:
+                raise AnalysisError(f"unknown transform {self.transform!r}")
+            values = TRANSFORMS[self.transform](values)
+        return values
+
+    def filter_mask(self, table: Table) -> Optional[np.ndarray]:
+        if self.filter_column is None:
+            return None
+        column = table.column(self.filter_column)
+        if self.filter_op == ">":
+            return column > self.filter_value
+        if self.filter_op == "<":
+            return column < self.filter_value
+        if self.filter_op == "=":
+            return column == self.filter_value
+        raise AnalysisError(f"unsupported filter op {self.filter_op!r}")
+
+    def dataset_query(self, table: Table) -> DatasetQuery:
+        """The ground-truth array form of this query over ``table``."""
+        return DatasetQuery(
+            values=self.argument_values(table),
+            aggregate=self.make_aggregate(),
+            mask=self.filter_mask(table),
+            extensive=self.extensive,
+            label=self.name,
+        )
+
+
+def register_workload_functions(engine) -> None:
+    """Register the workload's UDFs and UDAFs on an AQP engine."""
+    for name, fn in TRANSFORMS.items():
+        engine.register_udf(name, fn)
+    for name, fn in UDAF_FUNCTIONS.items():
+        engine.register_udaf(name, fn)

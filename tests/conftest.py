@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import Table
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for reproducible tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def sessions_table(rng) -> Table:
+    """A small sessions-like table used across tests.
+
+    Columns mirror the paper's running example: per-session time, city,
+    and a numeric bytes column with a heavy tail.
+    """
+    n = 2000
+    cities = np.array(["NYC", "SF", "LA", "CHI"])
+    return Table(
+        {
+            "time": rng.lognormal(mean=3.0, sigma=1.0, size=n),
+            "city": cities[rng.integers(0, len(cities), size=n)],
+            "bytes": rng.pareto(2.5, size=n) * 1000.0,
+            "user_id": rng.integers(0, 500, size=n),
+        },
+        name="sessions",
+    )
+
+
+@pytest.fixture
+def tiny_table() -> Table:
+    """A deterministic 6-row table for exact-value assertions."""
+    return Table(
+        {
+            "x": np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0]),
+            "y": np.array([10.0, 20.0, 30.0, 40.0, 50.0, 60.0]),
+            "g": np.array(["a", "a", "b", "b", "c", "c"]),
+        },
+        name="tiny",
+    )

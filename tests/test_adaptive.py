@@ -1,0 +1,93 @@
+"""Unit tests for the adaptive bootstrap (auto-tuned K)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BootstrapEstimator, EstimationTarget
+from repro.core.adaptive import AdaptiveBootstrapEstimator
+from repro.engine.aggregates import get_aggregate
+from repro.errors import EstimationError
+
+
+@pytest.fixture
+def easy_target(rng):
+    return EstimationTarget(
+        rng.normal(100.0, 5.0, size=10_000), get_aggregate("AVG")
+    )
+
+
+@pytest.fixture
+def hard_target(rng):
+    # Extreme quantile on heavy-tailed data: widths stabilise slowly.
+    return EstimationTarget(
+        (rng.pareto(1.5, size=10_000) + 1.0) * 10.0,
+        get_aggregate("PERCENTILE", 0.99),
+    )
+
+
+class TestAdaptiveBootstrap:
+    def test_converges_on_easy_statistic(self, easy_target, rng):
+        estimator = AdaptiveBootstrapEstimator(rng=rng)
+        result = estimator.run(easy_target)
+        assert result.converged
+        assert result.num_resamples <= estimator.max_resamples
+
+    def test_easy_statistic_stops_early(self, easy_target, rng):
+        estimator = AdaptiveBootstrapEstimator(
+            initial_resamples=50, max_resamples=1600, rng=rng
+        )
+        result = estimator.run(easy_target)
+        assert result.num_resamples < 1600
+
+    def test_hard_statistic_uses_more_resamples(
+        self, easy_target, hard_target, rng
+    ):
+        estimator = AdaptiveBootstrapEstimator(
+            initial_resamples=25, tolerance=0.02, rng=rng
+        )
+        easy = estimator.run(easy_target, rng=np.random.default_rng(1))
+        hard = estimator.run(hard_target, rng=np.random.default_rng(1))
+        assert hard.num_resamples >= easy.num_resamples
+
+    def test_respects_cap(self, hard_target, rng):
+        estimator = AdaptiveBootstrapEstimator(
+            initial_resamples=10,
+            max_resamples=40,
+            tolerance=0.001,
+            rng=rng,
+        )
+        result = estimator.run(hard_target)
+        assert result.num_resamples <= 40
+
+    def test_interval_matches_fixed_k_statistically(self, easy_target, rng):
+        adaptive = AdaptiveBootstrapEstimator(rng=rng).estimate(
+            easy_target, 0.95, np.random.default_rng(2)
+        )
+        fixed = BootstrapEstimator(400, np.random.default_rng(3)).estimate(
+            easy_target, 0.95
+        )
+        assert adaptive.half_width == pytest.approx(fixed.half_width, rel=0.3)
+
+    def test_width_history_recorded(self, easy_target, rng):
+        result = AdaptiveBootstrapEstimator(rng=rng).run(easy_target)
+        assert len(result.width_history) >= 2
+        assert all(w > 0 for w in result.width_history)
+
+    def test_estimate_interface(self, easy_target, rng):
+        interval = AdaptiveBootstrapEstimator(rng=rng).estimate(easy_target)
+        assert interval.method == "bootstrap"
+        assert interval.contains(easy_target.point_estimate())
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"initial_resamples": 1},
+            {"growth_factor": 1.0},
+            {"tolerance": 0.0},
+            {"tolerance": 1.0},
+            {"initial_resamples": 100, "max_resamples": 50},
+        ],
+    )
+    def test_invalid_construction(self, kwargs):
+        with pytest.raises(EstimationError):
+            AdaptiveBootstrapEstimator(**kwargs)

@@ -1,0 +1,327 @@
+"""Unit tests for weighted aggregate functions."""
+
+import numpy as np
+import pytest
+
+from repro.engine.aggregates import (
+    AvgAggregate,
+    CountAggregate,
+    CountDistinctAggregate,
+    MaxAggregate,
+    MinAggregate,
+    PercentileAggregate,
+    StdevAggregate,
+    SumAggregate,
+    UserDefinedAggregate,
+    VarianceAggregate,
+    get_aggregate,
+    register_aggregate,
+    weighted_quantile,
+)
+from repro.errors import EstimationError, SamplingError
+
+VALUES = np.array([3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0])
+WEIGHTS = np.array([1, 0, 2, 1, 1, 0, 3, 1])
+
+
+def expanded():
+    """The with-replacement expansion the weights encode."""
+    return np.repeat(VALUES, WEIGHTS)
+
+
+class TestUnweightedCompute:
+    def test_count(self):
+        assert CountAggregate().compute(VALUES) == 8.0
+
+    def test_sum(self):
+        assert SumAggregate().compute(VALUES) == VALUES.sum()
+
+    def test_avg(self):
+        assert AvgAggregate().compute(VALUES) == pytest.approx(VALUES.mean())
+
+    def test_variance(self):
+        assert VarianceAggregate().compute(VALUES) == pytest.approx(
+            VALUES.var(ddof=1)
+        )
+
+    def test_stdev(self):
+        assert StdevAggregate().compute(VALUES) == pytest.approx(
+            VALUES.std(ddof=1)
+        )
+
+    def test_min_max(self):
+        assert MinAggregate().compute(VALUES) == 1.0
+        assert MaxAggregate().compute(VALUES) == 9.0
+
+    def test_percentile_median(self):
+        assert PercentileAggregate(0.5).compute(VALUES) == np.quantile(
+            VALUES, 0.5, method="inverted_cdf"
+        )
+
+    def test_count_distinct(self):
+        assert CountDistinctAggregate().compute(VALUES) == 7.0
+
+    def test_avg_empty_is_nan(self):
+        assert np.isnan(AvgAggregate().compute(np.array([])))
+
+    def test_variance_single_value_is_nan(self):
+        assert np.isnan(VarianceAggregate().compute(np.array([1.0])))
+
+    def test_min_empty_is_nan(self):
+        assert np.isnan(MinAggregate().compute(np.array([])))
+
+
+class TestWeightedCompute:
+    """Weighted evaluation must match explicit row repetition."""
+
+    def test_count_weighted(self):
+        assert CountAggregate().compute(VALUES, WEIGHTS) == len(expanded())
+
+    def test_sum_weighted(self):
+        assert SumAggregate().compute(VALUES, WEIGHTS) == pytest.approx(
+            expanded().sum()
+        )
+
+    def test_avg_weighted(self):
+        assert AvgAggregate().compute(VALUES, WEIGHTS) == pytest.approx(
+            expanded().mean()
+        )
+
+    def test_variance_weighted(self):
+        assert VarianceAggregate().compute(VALUES, WEIGHTS) == pytest.approx(
+            expanded().var(ddof=1)
+        )
+
+    def test_min_weighted_ignores_zero_weight_rows(self):
+        # The global minimum 1.0 at index 1 has weight 0 but index 3 has
+        # weight 1, so MIN stays 1.0; drop index 3's weight to see it move.
+        weights = WEIGHTS.copy()
+        weights[3] = 0
+        assert MinAggregate().compute(VALUES, weights) == 2.0
+
+    def test_max_weighted_ignores_zero_weight_rows(self):
+        assert MaxAggregate().compute(VALUES, WEIGHTS) == 6.0  # 9.0 has w=0
+
+    def test_percentile_weighted(self):
+        result = PercentileAggregate(0.5).compute(VALUES, WEIGHTS)
+        assert result == np.quantile(expanded(), 0.5, method="inverted_cdf")
+
+    def test_count_distinct_weighted(self):
+        assert CountDistinctAggregate().compute(VALUES, WEIGHTS) == len(
+            np.unique(expanded())
+        )
+
+    def test_weight_shape_mismatch_rejected(self):
+        with pytest.raises(SamplingError, match="weights shape"):
+            SumAggregate().compute(VALUES, np.ones(3))
+
+    def test_two_dimensional_values_rejected(self):
+        with pytest.raises(SamplingError, match="one-dimensional"):
+            SumAggregate().compute(np.zeros((2, 2)))
+
+
+class TestResampleMatrix:
+    """compute_resamples must agree column-by-column with compute(weights)."""
+
+    @pytest.fixture
+    def weight_matrix(self, rng):
+        return rng.poisson(1.0, size=(len(VALUES), 16))
+
+    @pytest.mark.parametrize(
+        "aggregate",
+        [
+            CountAggregate(),
+            SumAggregate(),
+            AvgAggregate(),
+            VarianceAggregate(),
+            StdevAggregate(),
+            MinAggregate(),
+            MaxAggregate(),
+            PercentileAggregate(0.5),
+            PercentileAggregate(0.9),
+            CountDistinctAggregate(),
+        ],
+        ids=lambda agg: agg.name + getattr(agg, "fraction", 0.0).__repr__(),
+    )
+    def test_matrix_matches_per_column(self, aggregate, weight_matrix):
+        batch = aggregate.compute_resamples(VALUES, weight_matrix)
+        for k in range(weight_matrix.shape[1]):
+            single = aggregate.compute(VALUES, weight_matrix[:, k])
+            if np.isnan(single):
+                assert np.isnan(batch[k])
+            else:
+                assert batch[k] == pytest.approx(single)
+
+    def test_matrix_shape_mismatch_rejected(self):
+        with pytest.raises(SamplingError, match="weight matrix"):
+            SumAggregate().compute_resamples(VALUES, np.ones((3, 4)))
+
+    def test_min_all_zero_column_is_nan(self):
+        matrix = np.zeros((len(VALUES), 2), dtype=np.int64)
+        matrix[:, 1] = 1
+        result = MinAggregate().compute_resamples(VALUES, matrix)
+        assert np.isnan(result[0])
+        assert result[1] == 1.0
+
+
+class TestPartialAggregation:
+    """Partition-merge must equal whole-array evaluation."""
+
+    @pytest.mark.parametrize(
+        "aggregate",
+        [
+            CountAggregate(),
+            SumAggregate(),
+            AvgAggregate(),
+            VarianceAggregate(),
+            StdevAggregate(),
+            MinAggregate(),
+            MaxAggregate(),
+            PercentileAggregate(0.25),
+            CountDistinctAggregate(),
+        ],
+        ids=lambda agg: agg.name,
+    )
+    def test_split_merge_equals_whole(self, aggregate):
+        whole = aggregate.compute(VALUES, WEIGHTS)
+        state_a = aggregate.make_state(VALUES[:3], WEIGHTS[:3])
+        state_b = aggregate.make_state(VALUES[3:], WEIGHTS[3:])
+        merged = aggregate.finalize_state(aggregate.merge_states(state_a, state_b))
+        assert merged == pytest.approx(whole)
+
+    def test_min_merge_with_nan_partition(self):
+        aggregate = MinAggregate()
+        empty_state = aggregate.make_state(np.array([]))
+        full_state = aggregate.make_state(VALUES)
+        merged = aggregate.merge_states(empty_state, full_state)
+        assert aggregate.finalize_state(merged) == 1.0
+
+
+class TestClosedForms:
+    def test_avg_closed_form_matches_formula(self):
+        se = AvgAggregate().closed_form_std_error(VALUES)
+        assert se == pytest.approx(np.sqrt(VALUES.var(ddof=1) / len(VALUES)))
+
+    def test_count_requires_total_rows(self):
+        with pytest.raises(EstimationError, match="pre-filter"):
+            CountAggregate().closed_form_std_error(VALUES)
+
+    def test_count_binomial_std_error(self):
+        matched = np.ones(25)
+        se = CountAggregate().closed_form_std_error(matched, total_sample_rows=100)
+        assert se == pytest.approx(np.sqrt(100 * 0.25 * 0.75))
+
+    def test_sum_requires_total_rows(self):
+        with pytest.raises(EstimationError, match="pre-filter"):
+            SumAggregate().closed_form_std_error(VALUES)
+
+    def test_sum_std_error_without_filter(self):
+        n = len(VALUES)
+        se = SumAggregate().closed_form_std_error(VALUES, total_sample_rows=n)
+        assert se == pytest.approx(np.sqrt(n * VALUES.var()))
+
+    def test_variance_closed_form(self):
+        dev = VALUES - VALUES.mean()
+        m2, m4 = np.mean(dev**2), np.mean(dev**4)
+        se = VarianceAggregate().closed_form_std_error(VALUES)
+        assert se == pytest.approx(np.sqrt((m4 - m2**2) / len(VALUES)))
+
+    def test_min_has_no_closed_form(self):
+        with pytest.raises(EstimationError, match="no closed-form"):
+            MinAggregate().closed_form_std_error(VALUES)
+
+    def test_avg_requires_two_rows(self):
+        with pytest.raises(EstimationError):
+            AvgAggregate().closed_form_std_error(np.array([1.0]))
+
+    def test_stdev_delta_method_relation(self):
+        var_se = VarianceAggregate().closed_form_std_error(VALUES)
+        std_se = StdevAggregate().closed_form_std_error(VALUES)
+        s = np.sqrt(np.mean((VALUES - VALUES.mean()) ** 2))
+        assert std_se == pytest.approx(var_se / (2 * s))
+
+
+class TestUserDefinedAggregate:
+    def test_plain_compute(self):
+        udaf = UserDefinedAggregate("trimmed", lambda v: float(np.mean(v)))
+        assert udaf.compute(VALUES) == pytest.approx(VALUES.mean())
+
+    def test_weighted_expansion(self):
+        udaf = UserDefinedAggregate("m", lambda v: float(np.mean(v)))
+        assert udaf.compute(VALUES, WEIGHTS) == pytest.approx(expanded().mean())
+
+    def test_weighted_fast_path_preferred(self):
+        calls = []
+
+        def weighted(values, weights):
+            calls.append(True)
+            return float((values * weights).sum() / weights.sum())
+
+        udaf = UserDefinedAggregate("m", lambda v: 0.0, weighted_fn=weighted)
+        result = udaf.compute(VALUES, WEIGHTS)
+        assert calls
+        assert result == pytest.approx(expanded().mean())
+
+    def test_resamples_loop(self, rng):
+        udaf = UserDefinedAggregate("m", lambda v: float(np.mean(v)))
+        matrix = rng.poisson(1.0, size=(len(VALUES), 4))
+        batch = udaf.compute_resamples(VALUES, matrix)
+        assert len(batch) == 4
+
+    def test_partial_protocol(self):
+        udaf = UserDefinedAggregate("m", lambda v: float(np.mean(v)))
+        state_a = udaf.make_state(VALUES[:4])
+        state_b = udaf.make_state(VALUES[4:])
+        merged = udaf.finalize_state(udaf.merge_states(state_a, state_b))
+        assert merged == pytest.approx(VALUES.mean())
+
+    def test_no_closed_form(self):
+        udaf = UserDefinedAggregate("m", lambda v: float(np.mean(v)))
+        with pytest.raises(EstimationError):
+            udaf.closed_form_std_error(VALUES)
+
+
+class TestRegistry:
+    def test_lookup_case_insensitive(self):
+        assert get_aggregate("avg").name == "AVG"
+        assert get_aggregate("AVG").name == "AVG"
+
+    def test_percentile_with_fraction(self):
+        agg = get_aggregate("percentile", 0.9)
+        assert agg.fraction == 0.9
+
+    def test_median_alias(self):
+        agg = get_aggregate("median")
+        assert isinstance(agg, PercentileAggregate)
+        assert agg.fraction == 0.5
+
+    def test_unknown_aggregate_raises(self):
+        with pytest.raises(EstimationError, match="unknown aggregate"):
+            get_aggregate("frobnicate")
+
+    def test_register_custom(self):
+        register_aggregate("double_sum", lambda: UserDefinedAggregate(
+            "double_sum", lambda v: 2.0 * v.sum()
+        ))
+        assert get_aggregate("double_sum").compute(VALUES) == pytest.approx(
+            2 * VALUES.sum()
+        )
+
+    def test_invalid_percentile_fraction(self):
+        with pytest.raises(SamplingError):
+            PercentileAggregate(1.5)
+
+
+class TestWeightedQuantile:
+    def test_matches_expansion(self):
+        for fraction in (0.1, 0.25, 0.5, 0.75, 0.9):
+            assert weighted_quantile(VALUES, WEIGHTS.astype(float), fraction) == (
+                np.quantile(expanded(), fraction, method="inverted_cdf")
+            )
+
+    def test_zero_total_weight_is_nan(self):
+        assert np.isnan(weighted_quantile(VALUES, np.zeros(len(VALUES)), 0.5))
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(SamplingError):
+            weighted_quantile(VALUES, WEIGHTS.astype(float), 1.5)

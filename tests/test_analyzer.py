@@ -1,0 +1,236 @@
+"""Unit tests for semantic analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.sql.analyzer import analyze, is_closed_form_applicable
+from repro.sql.functions import default_function_registry
+from repro.sql.parser import parse_select
+
+SCHEMA = {"time", "city", "bytes", "user_id"}
+
+
+def analyzed(text, registry=None):
+    return analyze(parse_select(text), SCHEMA, registry)
+
+
+class TestAggregateExtraction:
+    def test_single_aggregate(self):
+        query = analyzed("SELECT AVG(time) FROM sessions")
+        assert len(query.aggregates) == 1
+        assert query.aggregates[0].function.name == "AVG"
+
+    def test_count_star_has_no_argument(self):
+        query = analyzed("SELECT COUNT(*) FROM sessions")
+        assert query.aggregates[0].argument is None
+
+    def test_multiple_aggregates(self):
+        query = analyzed("SELECT AVG(time), SUM(bytes), COUNT(*) FROM sessions")
+        assert [a.function.name for a in query.aggregates] == [
+            "AVG",
+            "SUM",
+            "COUNT",
+        ]
+
+    def test_output_names_from_aliases(self):
+        query = analyzed("SELECT AVG(time) AS avg_time FROM sessions")
+        assert query.aggregates[0].output_name == "avg_time"
+
+    def test_default_output_names(self):
+        query = analyzed("SELECT AVG(time), SUM(bytes) FROM sessions")
+        assert query.aggregates[0].output_name == "_col0"
+        assert query.aggregates[1].output_name == "_col1"
+
+    def test_percentile_fraction_extracted(self):
+        query = analyzed("SELECT PERCENTILE(time, 0.99) FROM sessions")
+        assert query.aggregates[0].function.fraction == 0.99
+
+    def test_percentile_requires_literal_fraction(self):
+        with pytest.raises(AnalysisError, match="PERCENTILE"):
+            analyzed("SELECT PERCENTILE(time, bytes) FROM sessions")
+
+    def test_count_distinct_becomes_count_distinct_aggregate(self):
+        query = analyzed("SELECT COUNT(DISTINCT user_id) FROM sessions")
+        assert query.aggregates[0].function.name == "COUNT_DISTINCT"
+
+    def test_aggregate_over_expression(self):
+        query = analyzed("SELECT AVG(bytes / time) FROM sessions")
+        assert query.aggregates[0].argument is not None
+
+    def test_nested_aggregate_rejected(self):
+        with pytest.raises(AnalysisError, match="nested aggregate"):
+            analyzed("SELECT AVG(SUM(time)) FROM sessions")
+
+    def test_extensive_flags(self):
+        query = analyzed("SELECT COUNT(*), SUM(bytes), AVG(time) FROM sessions")
+        assert [a.extensive for a in query.aggregates] == [True, True, False]
+
+
+class TestClosedFormApplicability:
+    """The paper's §2.3.2 rule for when CLT closed forms apply."""
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "SELECT AVG(time) FROM sessions",
+            "SELECT SUM(bytes) FROM sessions WHERE city = 'NYC'",
+            "SELECT COUNT(*) FROM sessions",
+            "SELECT VARIANCE(time) FROM sessions",
+            "SELECT STDEV(time) FROM sessions GROUP BY city",
+            "SELECT AVG(time), SUM(bytes) FROM sessions",
+        ],
+    )
+    def test_applicable(self, text):
+        assert analyzed(text).closed_form_applicable
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "SELECT MIN(time) FROM sessions",
+            "SELECT MAX(time) FROM sessions",
+            "SELECT PERCENTILE(time, 0.5) FROM sessions",
+            "SELECT COUNT(DISTINCT user_id) FROM sessions",
+            "SELECT AVG(time), MAX(bytes) FROM sessions",  # one bad apple
+            "SELECT city FROM sessions GROUP BY city",  # no aggregates
+        ],
+    )
+    def test_not_applicable(self, text):
+        assert not analyzed(text).closed_form_applicable
+
+    def test_nested_query_not_applicable(self):
+        query = analyze(
+            parse_select(
+                "SELECT AVG(v) FROM (SELECT time AS v FROM sessions) AS q"
+            ),
+            SCHEMA,
+        )
+        assert query.nested
+        assert not query.closed_form_applicable
+
+    def test_udf_in_aggregate_blocks_closed_form(self):
+        registry = default_function_registry()
+        registry.register_udf("sessionize", lambda v: v * 2.0)
+        query = analyzed("SELECT AVG(sessionize(time)) FROM sessions", registry)
+        assert query.contains_udf
+        assert not query.closed_form_applicable
+
+    def test_udaf_blocks_closed_form(self):
+        registry = default_function_registry()
+        registry.register_udaf("trimmed_mean", lambda v: float(np.mean(v)))
+        query = analyzed("SELECT trimmed_mean(time) FROM sessions", registry)
+        assert query.contains_udaf
+        assert not query.closed_form_applicable
+
+    def test_convenience_wrapper(self):
+        assert is_closed_form_applicable(
+            parse_select("SELECT AVG(time) FROM sessions"), SCHEMA
+        )
+
+
+class TestOutlierSensitivity:
+    def test_min_max_sensitive(self):
+        assert analyzed("SELECT MIN(time) FROM sessions").outlier_sensitive
+        assert analyzed("SELECT MAX(time) FROM sessions").outlier_sensitive
+
+    def test_avg_not_sensitive(self):
+        assert not analyzed("SELECT AVG(time) FROM sessions").outlier_sensitive
+
+    def test_extreme_percentile_sensitive(self):
+        assert analyzed(
+            "SELECT PERCENTILE(time, 0.999) FROM sessions"
+        ).outlier_sensitive
+
+    def test_median_not_sensitive(self):
+        assert not analyzed(
+            "SELECT PERCENTILE(time, 0.5) FROM sessions"
+        ).outlier_sensitive
+
+
+class TestValidation:
+    def test_unknown_column_in_where(self):
+        with pytest.raises(AnalysisError, match="unknown column"):
+            analyzed("SELECT AVG(time) FROM sessions WHERE nope = 1")
+
+    def test_unknown_column_in_aggregate(self):
+        with pytest.raises(AnalysisError, match="unknown column"):
+            analyzed("SELECT AVG(nope) FROM sessions")
+
+    def test_unknown_function(self):
+        with pytest.raises(AnalysisError, match="unknown function"):
+            analyzed("SELECT AVG(frobnicate(time)) FROM sessions")
+
+    def test_aggregate_in_where_rejected(self):
+        with pytest.raises(AnalysisError, match="WHERE"):
+            analyzed("SELECT AVG(time) FROM sessions WHERE AVG(time) > 1")
+
+    def test_aggregate_in_group_by_rejected(self):
+        with pytest.raises(AnalysisError, match="GROUP BY"):
+            analyzed("SELECT AVG(time) FROM sessions GROUP BY SUM(bytes)")
+
+    def test_having_without_group_by_rejected(self):
+        with pytest.raises(AnalysisError, match="HAVING requires"):
+            analyzed("SELECT AVG(time) FROM sessions HAVING AVG(time) > 1")
+
+    def test_non_grouped_item_rejected(self):
+        with pytest.raises(AnalysisError, match="GROUP BY"):
+            analyzed("SELECT city, AVG(time) FROM sessions")
+
+    def test_grouped_item_accepted(self):
+        query = analyzed("SELECT city, AVG(time) FROM sessions GROUP BY city")
+        assert query.group_by_names == ("city",)
+
+    def test_star_with_aggregate_rejected(self):
+        with pytest.raises(AnalysisError, match=r"SELECT \*"):
+            analyzed("SELECT *, AVG(time) FROM sessions")
+
+    def test_aggregate_inside_expression_rejected(self):
+        with pytest.raises(AnalysisError, match="top level"):
+            analyzed("SELECT AVG(time) + 1 FROM sessions")
+
+
+class TestReferencedColumns:
+    def test_collects_from_all_clauses(self):
+        query = analyzed(
+            "SELECT city, AVG(time) FROM sessions "
+            "WHERE bytes > 10 GROUP BY city"
+        )
+        assert query.referenced_columns == {"city", "time", "bytes"}
+
+    def test_sample_rate_from_tablesample(self):
+        query = analyzed(
+            "SELECT AVG(time) FROM sessions TABLESAMPLE POISSONIZED (100)"
+        )
+        assert query.sample_rate == 100.0
+
+
+class TestNestedQueries:
+    def test_inner_analysis_attached(self):
+        query = analyze(
+            parse_select(
+                "SELECT MAX(v) FROM "
+                "(SELECT time AS v FROM sessions WHERE city = 'NYC') AS q"
+            ),
+            SCHEMA,
+        )
+        assert query.inner is not None
+        assert query.inner.where is not None
+        assert query.source_table == "sessions"
+
+    def test_outer_sees_inner_output_columns(self):
+        query = analyze(
+            parse_select(
+                "SELECT AVG(v) FROM (SELECT time AS v FROM sessions) AS q"
+            ),
+            SCHEMA,
+        )
+        assert query.aggregates[0].function.name == "AVG"
+
+    def test_outer_referencing_missing_inner_column_rejected(self):
+        with pytest.raises(AnalysisError, match="unknown column"):
+            analyze(
+                parse_select(
+                    "SELECT AVG(missing) FROM (SELECT time AS v FROM sessions) AS q"
+                ),
+                SCHEMA,
+            )

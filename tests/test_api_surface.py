@@ -1,0 +1,89 @@
+"""Public API surface guards: exports exist and stay importable."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_is_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.core",
+            "repro.engine",
+            "repro.sql",
+            "repro.plan",
+            "repro.sampling",
+            "repro.cluster",
+            "repro.workloads",
+            "repro.cli",
+            "repro.errors",
+        ],
+    )
+    def test_subpackages_importable(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module is not None
+
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.core",
+            "repro.engine",
+            "repro.sql",
+            "repro.plan",
+            "repro.sampling",
+            "repro.cluster",
+            "repro.workloads",
+        ],
+    )
+    def test_subpackage_all_resolves(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+    def test_key_classes_at_top_level(self):
+        # The objects the README quickstart depends on.
+        from repro import (  # noqa: F401
+            AQPEngine,
+            BootstrapEstimator,
+            ClosedFormEstimator,
+            ConfidenceInterval,
+            DiagnosticConfig,
+            HoeffdingEstimator,
+            Table,
+            diagnose,
+        )
+
+    def test_estimators_share_interface(self):
+        from repro import (
+            BernsteinEstimator,
+            BootstrapEstimator,
+            ClosedFormEstimator,
+            ErrorEstimator,
+            HoeffdingEstimator,
+        )
+        from repro.core import (
+            AdaptiveBootstrapEstimator,
+            QuantileClosedFormEstimator,
+        )
+
+        for estimator_type in (
+            BootstrapEstimator,
+            ClosedFormEstimator,
+            HoeffdingEstimator,
+            BernsteinEstimator,
+            AdaptiveBootstrapEstimator,
+            QuantileClosedFormEstimator,
+        ):
+            assert issubclass(estimator_type, ErrorEstimator)
+            assert estimator_type.name

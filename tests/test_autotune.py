@@ -1,0 +1,77 @@
+"""Unit tests for automatic parallelism tuning."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    AQPQuerySpec,
+    ClusterSimulator,
+    PAPER_CLUSTER,
+    build_phases,
+    tune_parallelism,
+)
+from repro.cluster.config import GB
+from repro.cluster.simulator import Job, Stage
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def sim():
+    return ClusterSimulator(PAPER_CLUSTER)
+
+
+@pytest.fixture
+def phases():
+    spec = AQPQuerySpec(
+        sample_bytes=20 * GB,
+        sample_rows=40_000_000,
+        selectivity=0.2,
+        closed_form=False,
+    )
+    return build_phases(spec, optimized=True)
+
+
+class TestTuneParallelism:
+    def test_finds_interior_optimum(self, sim, phases, rng):
+        jobs = [phases.execution, phases.error_estimation, phases.diagnostics]
+        result = tune_parallelism(sim, jobs, repetitions=3, rng=rng)
+        # The Fig. 8(c) shape: neither serial nor the full fleet.
+        assert 4 <= result.best_machines <= 64
+        assert result.best_seconds > 0
+
+    def test_beats_default_full_fleet(self, sim, phases, rng):
+        jobs = [phases.execution, phases.error_estimation, phases.diagnostics]
+        result = tune_parallelism(sim, jobs, repetitions=3, rng=rng)
+        full_fleet = result.evaluated[PAPER_CLUSTER.num_machines]
+        assert result.best_seconds <= full_fleet
+
+    def test_single_job_accepted(self, sim, phases, rng):
+        result = tune_parallelism(
+            sim, phases.execution, repetitions=2, rng=rng
+        )
+        assert result.best_machines >= 1
+
+    def test_evaluated_includes_fleet_and_one(self, sim, phases, rng):
+        result = tune_parallelism(
+            sim, phases.execution, repetitions=2, rng=rng
+        )
+        assert 1 in result.evaluated
+        assert PAPER_CLUSTER.num_machines in result.evaluated
+
+    def test_huge_scan_prefers_wide_parallelism(self, sim, rng):
+        job = Job(
+            name="wide", stages=(Stage(name="s", total_bytes=2000 * GB),)
+        )
+        result = tune_parallelism(sim, job, repetitions=2, rng=rng)
+        assert result.best_machines >= 50
+
+    def test_tiny_job_prefers_narrow_parallelism(self, sim, rng):
+        job = Job(
+            name="tiny", stages=(Stage(name="s", total_bytes=64 * 2**20),)
+        )
+        result = tune_parallelism(sim, job, repetitions=3, rng=rng)
+        assert result.best_machines <= 20
+
+    def test_invalid_repetitions(self, sim, phases, rng):
+        with pytest.raises(SimulationError):
+            tune_parallelism(sim, phases.execution, repetitions=0, rng=rng)

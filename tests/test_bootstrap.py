@@ -1,0 +1,150 @@
+"""Unit tests for bootstrap error estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.bootstrap import (
+    BootstrapEstimator,
+    bootstrap_table_interval,
+    bootstrap_table_statistic,
+)
+from repro.core.estimators import EstimationTarget
+from repro.engine import Table
+from repro.engine.aggregates import get_aggregate
+from repro.errors import EstimationError
+
+
+@pytest.fixture
+def avg_target(rng):
+    return EstimationTarget(
+        rng.normal(50.0, 10.0, size=5000), get_aggregate("AVG")
+    )
+
+
+class TestBootstrapEstimator:
+    def test_interval_centered_on_point_estimate(self, avg_target, rng):
+        estimator = BootstrapEstimator(100, rng)
+        ci = estimator.estimate(avg_target, 0.95)
+        assert ci.estimate == pytest.approx(avg_target.point_estimate())
+        assert ci.method == "bootstrap"
+
+    def test_half_width_matches_clt_for_mean(self, avg_target, rng):
+        """Bootstrap on a well-behaved mean agrees with σ/√n."""
+        estimator = BootstrapEstimator(400, rng)
+        ci = estimator.estimate(avg_target, 0.95)
+        clt_half = 1.96 * avg_target.values.std(ddof=1) / np.sqrt(5000)
+        assert ci.half_width == pytest.approx(clt_half, rel=0.2)
+
+    def test_higher_confidence_wider(self, avg_target, rng):
+        estimator = BootstrapEstimator(200, rng)
+        narrow = estimator.estimate(avg_target, 0.80, np.random.default_rng(1))
+        wide = estimator.estimate(avg_target, 0.99, np.random.default_rng(1))
+        assert wide.half_width > narrow.half_width
+
+    def test_width_shrinks_with_sample_size(self, rng):
+        estimator = BootstrapEstimator(200, rng)
+        small = EstimationTarget(
+            rng.normal(0, 1, size=500), get_aggregate("AVG")
+        )
+        large = EstimationTarget(
+            rng.normal(0, 1, size=50_000), get_aggregate("AVG")
+        )
+        assert (
+            estimator.estimate(large, 0.95).half_width
+            < estimator.estimate(small, 0.95).half_width
+        )
+
+    def test_respects_filter_mask(self, rng):
+        values = np.concatenate([np.zeros(1000), np.full(1000, 100.0)])
+        mask = values > 50
+        target = EstimationTarget(values, get_aggregate("AVG"), mask=mask)
+        ci = BootstrapEstimator(50, rng).estimate(target)
+        assert ci.estimate == pytest.approx(100.0)
+
+    def test_empty_filter_rejected(self, rng):
+        target = EstimationTarget(
+            np.arange(10.0),
+            get_aggregate("AVG"),
+            mask=np.zeros(10, dtype=bool),
+        )
+        with pytest.raises(EstimationError, match="matched no"):
+            BootstrapEstimator(50, rng).estimate(target)
+
+    def test_too_few_resamples_rejected(self, rng):
+        with pytest.raises(EstimationError, match="at least 2"):
+            BootstrapEstimator(1, rng)
+
+    def test_applicable_to_everything(self, avg_target, rng):
+        assert BootstrapEstimator(10, rng).applicable(avg_target)
+
+    def test_resample_distribution_shape(self, avg_target, rng):
+        estimator = BootstrapEstimator(64, rng)
+        distribution = estimator.resample_distribution(avg_target)
+        assert distribution.shape == (64,)
+
+    def test_deterministic_given_rng(self, avg_target):
+        estimator = BootstrapEstimator(50)
+        first = estimator.estimate(avg_target, 0.95, np.random.default_rng(9))
+        second = estimator.estimate(avg_target, 0.95, np.random.default_rng(9))
+        assert first.half_width == second.half_width
+
+
+class TestBlackBoxTableBootstrap:
+    @pytest.fixture
+    def table(self, rng):
+        return Table({"v": rng.normal(10.0, 2.0, size=2000)})
+
+    def test_replicates_shape(self, table, rng):
+        replicates = bootstrap_table_statistic(
+            table, lambda t: float(t.column("v").mean()), 32, rng
+        )
+        assert replicates.shape == (32,)
+
+    def test_replicates_center_near_statistic(self, table, rng):
+        replicates = bootstrap_table_statistic(
+            table, lambda t: float(t.column("v").mean()), 100, rng
+        )
+        assert replicates.mean() == pytest.approx(
+            table.column("v").mean(), abs=0.2
+        )
+
+    def test_exact_method_gives_exact_sizes(self, table, rng):
+        sizes = bootstrap_table_statistic(
+            table, lambda t: float(t.num_rows), 16, rng, method="exact"
+        )
+        assert (sizes == 2000).all()
+
+    def test_poisson_method_gives_near_sizes(self, table, rng):
+        sizes = bootstrap_table_statistic(
+            table, lambda t: float(t.num_rows), 16, rng, method="poisson"
+        )
+        assert (np.abs(sizes - 2000) < 5 * np.sqrt(2000)).all()
+
+    def test_unknown_method_rejected(self, table, rng):
+        with pytest.raises(EstimationError, match="unknown resampling"):
+            bootstrap_table_statistic(table, lambda t: 0.0, 8, rng, method="bad")
+
+    def test_empty_table_rejected(self, rng):
+        empty = Table({"v": np.array([])})
+        with pytest.raises(EstimationError, match="empty"):
+            bootstrap_table_statistic(empty, lambda t: 0.0, 8, rng)
+
+    def test_interval_wrapper(self, table, rng):
+        ci = bootstrap_table_interval(
+            table, lambda t: float(t.column("v").mean()), 0.95, 64, rng
+        )
+        assert ci.method == "bootstrap"
+        assert ci.contains(table.column("v").mean())
+
+    def test_agrees_with_weighted_fast_path(self, table, rng):
+        """Black-box and weight-matrix bootstraps estimate the same spread."""
+        target = EstimationTarget(table.column("v"), get_aggregate("AVG"))
+        fast = BootstrapEstimator(300, np.random.default_rng(3)).estimate(target)
+        slow = bootstrap_table_interval(
+            table,
+            lambda t: float(t.column("v").mean()),
+            0.95,
+            300,
+            np.random.default_rng(4),
+        )
+        assert fast.half_width == pytest.approx(slow.half_width, rel=0.25)

@@ -1,0 +1,105 @@
+"""Unit tests for confidence intervals and the δ metric."""
+
+import numpy as np
+import pytest
+
+from repro.core.ci import (
+    ConfidenceInterval,
+    interval_from_distribution,
+    relative_width_deviation,
+    symmetric_half_width,
+)
+from repro.errors import EstimationError
+
+
+class TestConfidenceInterval:
+    def test_geometry(self):
+        ci = ConfidenceInterval(10.0, 2.0, 0.95, "test")
+        assert ci.lower == 8.0
+        assert ci.upper == 12.0
+        assert ci.width == 4.0
+        assert ci.relative_error == pytest.approx(0.2)
+
+    def test_contains(self):
+        ci = ConfidenceInterval(10.0, 2.0, 0.95, "test")
+        assert ci.contains(10.0)
+        assert ci.contains(8.0)
+        assert ci.contains(12.0)
+        assert not ci.contains(12.1)
+
+    def test_relative_error_zero_estimate(self):
+        assert ConfidenceInterval(0.0, 1.0, 0.9, "t").relative_error == float("inf")
+        assert ConfidenceInterval(0.0, 0.0, 0.9, "t").relative_error == 0.0
+
+    def test_invalid_confidence(self):
+        with pytest.raises(EstimationError):
+            ConfidenceInterval(0.0, 1.0, 1.0, "t")
+        with pytest.raises(EstimationError):
+            ConfidenceInterval(0.0, 1.0, 0.0, "t")
+
+    def test_negative_half_width_rejected(self):
+        with pytest.raises(EstimationError):
+            ConfidenceInterval(0.0, -1.0, 0.9, "t")
+
+    def test_str_mentions_method(self):
+        assert "bootstrap" in str(ConfidenceInterval(1.0, 0.1, 0.95, "bootstrap"))
+
+
+class TestSymmetricHalfWidth:
+    def test_covers_requested_fraction(self, rng):
+        distribution = rng.normal(0.0, 1.0, size=10_000)
+        half = symmetric_half_width(distribution, 0.0, 0.95)
+        covered = np.mean(np.abs(distribution) <= half)
+        assert covered >= 0.95
+        assert covered < 0.96  # smallest such interval
+
+    def test_matches_normal_quantile(self, rng):
+        distribution = rng.normal(0.0, 1.0, size=200_000)
+        half = symmetric_half_width(distribution, 0.0, 0.95)
+        assert half == pytest.approx(1.96, abs=0.03)
+
+    def test_off_center_widens(self, rng):
+        distribution = rng.normal(0.0, 1.0, size=10_000)
+        centered = symmetric_half_width(distribution, 0.0, 0.9)
+        shifted = symmetric_half_width(distribution, 2.0, 0.9)
+        assert shifted > centered
+
+    def test_ignores_nans(self):
+        distribution = np.array([1.0, np.nan, -1.0, 0.5, np.nan])
+        half = symmetric_half_width(distribution, 0.0, 0.99)
+        assert half == 1.0
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(EstimationError, match="all-NaN"):
+            symmetric_half_width(np.array([np.nan, np.nan]), 0.0, 0.9)
+
+    def test_invalid_confidence(self):
+        with pytest.raises(EstimationError):
+            symmetric_half_width(np.array([1.0, 2.0]), 0.0, 0.0)
+
+    def test_degenerate_distribution_zero_width(self):
+        distribution = np.full(100, 5.0)
+        assert symmetric_half_width(distribution, 5.0, 0.95) == 0.0
+
+    def test_interval_from_distribution(self):
+        distribution = np.array([9.0, 10.0, 11.0, 10.5, 9.5])
+        ci = interval_from_distribution(distribution, 10.0, 0.8, "m")
+        assert ci.estimate == 10.0
+        assert ci.method == "m"
+        assert ci.half_width > 0
+
+
+class TestDelta:
+    def test_sign_convention_pessimistic_positive(self):
+        """Too-wide estimates must give positive δ (paper §3 prose)."""
+        assert relative_width_deviation(1.0, 2.0) == pytest.approx(1.0)
+
+    def test_sign_convention_optimistic_negative(self):
+        assert relative_width_deviation(1.0, 0.5) == pytest.approx(-0.5)
+
+    def test_exact_match_is_zero(self):
+        assert relative_width_deviation(3.0, 3.0) == 0.0
+
+    def test_zero_truth_rejected(self):
+        with pytest.raises(EstimationError, match="positive"):
+            relative_width_deviation(0.0, 1.0)

@@ -1,0 +1,102 @@
+"""Unit tests for closed-form (CLT) error estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.bootstrap import BootstrapEstimator
+from repro.core.closed_form import ClosedFormEstimator, normal_quantile
+from repro.core.estimators import EstimationTarget
+from repro.engine.aggregates import get_aggregate
+from repro.errors import EstimationError
+
+
+class TestNormalQuantile:
+    def test_95_percent(self):
+        assert normal_quantile(0.95) == pytest.approx(1.959964, abs=1e-5)
+
+    def test_99_percent(self):
+        assert normal_quantile(0.99) == pytest.approx(2.575829, abs=1e-5)
+
+    def test_invalid(self):
+        with pytest.raises(EstimationError):
+            normal_quantile(1.0)
+
+
+class TestApplicability:
+    @pytest.mark.parametrize("name", ["AVG", "SUM", "COUNT", "VARIANCE", "STDEV"])
+    def test_applicable(self, name, rng):
+        target = EstimationTarget(rng.normal(size=100), get_aggregate(name))
+        assert ClosedFormEstimator().applicable(target)
+
+    @pytest.mark.parametrize("name", ["MIN", "MAX", "COUNT_DISTINCT"])
+    def test_not_applicable(self, name, rng):
+        target = EstimationTarget(rng.normal(size=100), get_aggregate(name))
+        estimator = ClosedFormEstimator()
+        assert not estimator.applicable(target)
+        with pytest.raises(EstimationError, match="does not apply"):
+            estimator.estimate(target)
+
+    def test_percentile_not_applicable(self, rng):
+        target = EstimationTarget(
+            rng.normal(size=100), get_aggregate("PERCENTILE", 0.5)
+        )
+        assert not ClosedFormEstimator().applicable(target)
+
+
+class TestIntervals:
+    def test_avg_formula(self, rng):
+        values = rng.normal(10.0, 3.0, size=4000)
+        target = EstimationTarget(values, get_aggregate("AVG"))
+        ci = ClosedFormEstimator().estimate(target, 0.95)
+        expected = 1.959964 * values.std(ddof=1) / np.sqrt(4000)
+        assert ci.half_width == pytest.approx(expected, rel=1e-6)
+        assert ci.method == "closed_form"
+
+    def test_scaled_sum(self, rng):
+        values = rng.normal(10.0, 3.0, size=4000)
+        target = EstimationTarget(
+            values, get_aggregate("SUM"), dataset_rows=400_000, extensive=True
+        )
+        ci = ClosedFormEstimator().estimate(target, 0.95)
+        assert ci.estimate == pytest.approx(100.0 * values.sum())
+        # Half-width is in full-dataset units too.
+        assert ci.relative_error < 0.05
+
+    def test_filtered_count(self, rng):
+        values = np.ones(10_000)
+        mask = rng.random(10_000) < 0.3
+        target = EstimationTarget(
+            values,
+            get_aggregate("COUNT"),
+            mask=mask,
+            dataset_rows=1_000_000,
+            extensive=True,
+        )
+        ci = ClosedFormEstimator().estimate(target, 0.95)
+        assert ci.estimate == pytest.approx(100.0 * mask.sum())
+        p = mask.mean()
+        expected = 1.959964 * 100.0 * np.sqrt(10_000 * p * (1 - p))
+        assert ci.half_width == pytest.approx(expected, rel=1e-6)
+
+    def test_agrees_with_bootstrap_on_gaussian_mean(self, rng):
+        """On benign data the two cheap estimators coincide (§2.3)."""
+        values = rng.normal(0.0, 1.0, size=20_000)
+        target = EstimationTarget(values, get_aggregate("AVG"))
+        cf = ClosedFormEstimator().estimate(target, 0.95)
+        boot = BootstrapEstimator(400, rng).estimate(target, 0.95)
+        assert cf.half_width == pytest.approx(boot.half_width, rel=0.15)
+
+    def test_variance_aggregate_interval(self, rng):
+        values = rng.normal(0.0, 2.0, size=50_000)
+        target = EstimationTarget(values, get_aggregate("VARIANCE"))
+        ci = ClosedFormEstimator().estimate(target, 0.95)
+        assert ci.contains(4.0)
+
+    def test_deterministic(self, rng):
+        values = rng.normal(size=1000)
+        target = EstimationTarget(values, get_aggregate("AVG"))
+        estimator = ClosedFormEstimator()
+        assert (
+            estimator.estimate(target).half_width
+            == estimator.estimate(target).half_width
+        )

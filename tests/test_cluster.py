@@ -1,0 +1,313 @@
+"""Unit tests for the cluster simulator."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    AQPQuerySpec,
+    ClusterConfig,
+    ClusterSimulator,
+    Job,
+    PAPER_CLUSTER,
+    Stage,
+    build_phases,
+    straggler_multipliers,
+)
+from repro.cluster.config import GB, MB
+from repro.cluster.simulator import _lpt_makespan
+from repro.cluster.stragglers import apply_speculative_mitigation
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def sim():
+    return ClusterSimulator(PAPER_CLUSTER)
+
+
+@pytest.fixture
+def spec():
+    return AQPQuerySpec(
+        sample_bytes=20 * GB,
+        sample_rows=40_000_000,
+        selectivity=0.2,
+        closed_form=False,
+    )
+
+
+class TestConfig:
+    def test_paper_cluster_shape(self):
+        assert PAPER_CLUSTER.num_machines == 100
+        assert PAPER_CLUSTER.total_slots == 400
+        assert PAPER_CLUSTER.total_ram_bytes == 100 * int(7.5 * GB)
+
+    def test_with_machines(self):
+        smaller = PAPER_CLUSTER.with_machines(10)
+        assert smaller.total_slots == 40
+
+    def test_scan_seconds_cache_speedup(self):
+        cached = PAPER_CLUSTER.scan_seconds(1 * GB, 1.0)
+        uncached = PAPER_CLUSTER.scan_seconds(1 * GB, 0.0)
+        assert uncached > 5 * cached
+
+    def test_scan_seconds_invalid_fraction(self):
+        with pytest.raises(SimulationError):
+            PAPER_CLUSTER.scan_seconds(1 * GB, 1.5)
+
+    def test_invalid_configs(self):
+        with pytest.raises(SimulationError):
+            ClusterConfig(num_machines=0)
+        with pytest.raises(SimulationError):
+            ClusterConfig(straggler_probability=1.5)
+
+
+class TestLptMakespan:
+    def test_fewer_tasks_than_slots(self):
+        assert _lpt_makespan(np.array([3.0, 1.0]), 4) == 3.0
+
+    def test_perfect_packing(self):
+        assert _lpt_makespan(np.array([1.0] * 8), 4) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert _lpt_makespan(np.array([]), 4) == 0.0
+
+    def test_dominant_task(self):
+        durations = np.array([10.0] + [0.1] * 100)
+        assert _lpt_makespan(durations, 8) >= 10.0
+
+    def test_zero_slots_rejected(self):
+        with pytest.raises(SimulationError):
+            _lpt_makespan(np.array([1.0]), 0)
+
+
+class TestStragglers:
+    def test_no_stragglers_when_probability_zero(self, rng):
+        config = ClusterConfig(straggler_probability=0.0)
+        multipliers = straggler_multipliers(1000, config, rng)
+        assert (multipliers == 1.0).all()
+
+    def test_some_stragglers_at_default_probability(self, rng):
+        multipliers = straggler_multipliers(10_000, PAPER_CLUSTER, rng)
+        fraction_slow = (multipliers > 1.0).mean()
+        assert 0.03 < fraction_slow < 0.07
+        assert multipliers.min() == 1.0
+
+    def test_negative_tasks_rejected(self, rng):
+        with pytest.raises(SimulationError):
+            straggler_multipliers(-1, PAPER_CLUSTER, rng)
+
+    def test_mitigation_never_slows_tasks(self, rng):
+        base = np.full(100, 1.0)
+        durations = base * straggler_multipliers(100, PAPER_CLUSTER, rng)
+        mitigated, extra = apply_speculative_mitigation(
+            durations, base, PAPER_CLUSTER, rng
+        )
+        assert (mitigated <= durations).all()
+        assert extra == 10
+
+    def test_mitigation_on_empty(self, rng):
+        durations, extra = apply_speculative_mitigation(
+            np.array([]), np.array([]), PAPER_CLUSTER, rng
+        )
+        assert extra == 0
+
+
+class TestSimulate:
+    def test_basic_job(self, sim, rng):
+        job = Job(
+            name="scan",
+            stages=(Stage(name="s", total_bytes=10 * GB, total_rows=10**7),),
+        )
+        timing = sim.simulate(job, rng=rng)
+        assert timing.total_seconds > 0
+        assert timing.tasks_launched >= 80  # 10GB / 128MB partitions
+        assert "s" in timing.stage_seconds
+
+    def test_more_machines_speed_up_big_scans(self, sim, rng):
+        job = Job(
+            name="scan",
+            stages=(Stage(name="s", total_bytes=100 * GB),),
+        )
+        slow = sim.simulate(job, num_machines=2, rng=rng).total_seconds
+        fast = sim.simulate(job, num_machines=50, rng=rng).total_seconds
+        assert fast < slow / 3
+
+    def test_excess_parallelism_hurts_small_jobs(self, sim, rng):
+        """The Fig. 8(c) effect: coordination overhead dominates tiny jobs."""
+        job = Job(
+            name="tiny",
+            stages=(Stage(name="s", total_bytes=256 * MB),),
+        )
+        narrow = np.mean(
+            [sim.simulate(job, num_machines=5, rng=rng).total_seconds
+             for __ in range(10)]
+        )
+        wide = np.mean(
+            [sim.simulate(job, num_machines=100, rng=rng).total_seconds
+             for __ in range(10)]
+        )
+        assert wide > narrow
+
+    def test_fixed_tasks_respected(self, sim, rng):
+        job = Job(
+            name="subqueries",
+            stages=(
+                Stage(name="s", total_bytes=1 * GB, fixed_tasks=500),
+            ),
+        )
+        timing = sim.simulate(job, rng=rng)
+        assert timing.tasks_launched == 500
+
+    def test_fixed_task_overhead_dominates(self, sim, rng):
+        """Thousands of tiny subqueries are slower than one elastic stage
+        over the same data — the §5.2 baseline's failure mode."""
+        elastic = Job(
+            name="elastic",
+            stages=(Stage(name="s", total_bytes=2 * GB),),
+        )
+        shattered = Job(
+            name="shattered",
+            stages=(Stage(name="s", total_bytes=2 * GB, fixed_tasks=10_000),),
+        )
+        fast = sim.simulate(elastic, rng=rng).total_seconds
+        slow = sim.simulate(shattered, rng=rng).total_seconds
+        assert slow > 3 * fast
+
+    def test_cache_makes_scans_faster(self, sim, rng):
+        hot = Job(
+            name="hot",
+            stages=(Stage(name="s", total_bytes=50 * GB, cached_fraction=1.0),),
+        )
+        cold = Job(
+            name="cold",
+            stages=(Stage(name="s", total_bytes=50 * GB, cached_fraction=0.0),),
+        )
+        assert (
+            sim.simulate(hot, rng=rng).total_seconds
+            < sim.simulate(cold, rng=rng).total_seconds
+        )
+
+    def test_spill_penalty_applies(self, sim, rng):
+        stage = Stage(name="s", total_rows=10**9, spillable=True)
+        fits = Job(name="fits", stages=(stage,), intermediate_bytes=1 * GB)
+        spills = Job(
+            name="spills",
+            stages=(stage,),
+            cached_input_bytes=700 * GB,
+            intermediate_bytes=400 * GB,
+        )
+        fit_time = sim.simulate(fits, rng=rng)
+        spill_time = sim.simulate(spills, rng=rng)
+        assert not fit_time.spilled
+        assert spill_time.spilled
+        assert spill_time.total_seconds > fit_time.total_seconds
+
+    def test_mitigation_reduces_straggler_impact(self, rng):
+        config = ClusterConfig(
+            straggler_probability=0.2, straggler_mean_slowdown=5.0
+        )
+        sim = ClusterSimulator(config)
+        job = Job(
+            name="j", stages=(Stage(name="s", total_bytes=50 * GB),)
+        )
+        plain = np.mean(
+            [sim.simulate(job, rng=rng).total_seconds for __ in range(10)]
+        )
+        mitigated = np.mean(
+            [
+                sim.simulate(job, straggler_mitigation=True, rng=rng).total_seconds
+                for __ in range(10)
+            ]
+        )
+        assert mitigated < plain
+
+    def test_invalid_machine_count(self, sim, rng):
+        job = Job(name="j", stages=(Stage(name="s", total_bytes=GB),))
+        with pytest.raises(SimulationError):
+            sim.simulate(job, num_machines=0, rng=rng)
+
+    def test_sweep_machines(self, sim, spec, rng):
+        job = build_phases(spec, optimized=True).execution
+        sweep = sim.sweep_machines(job, [5, 20, 100], rng=rng, repetitions=3)
+        assert set(sweep) == {5, 20, 100}
+        assert all(v > 0 for v in sweep.values())
+
+
+class TestPhaseJobs:
+    def test_spec_validation(self):
+        with pytest.raises(SimulationError):
+            AQPQuerySpec(sample_bytes=0, sample_rows=1)
+        with pytest.raises(SimulationError):
+            AQPQuerySpec(sample_bytes=GB, sample_rows=10, selectivity=0.0)
+
+    def test_naive_bootstrap_has_k_passes(self, spec):
+        job = build_phases(spec, optimized=False).error_estimation
+        stage = job.stages[0]
+        assert stage.total_bytes == pytest.approx(spec.sample_bytes * 100)
+        assert stage.fixed_tasks == 100 * 160  # K × 128MB partitions
+
+    def test_optimized_bootstrap_no_extra_scan(self, spec):
+        job = build_phases(spec, optimized=True).error_estimation
+        stage = job.stages[0]
+        assert stage.total_bytes == 0
+        assert stage.total_weight_cells == pytest.approx(
+            spec.sample_rows * spec.selectivity * 100
+        )
+
+    def test_pushdown_saves_weight_cells(self):
+        selective = AQPQuerySpec(
+            sample_bytes=GB, sample_rows=10**6, selectivity=0.01
+        )
+        broad = AQPQuerySpec(
+            sample_bytes=GB, sample_rows=10**6, selectivity=1.0
+        )
+        selective_cells = build_phases(
+            selective, optimized=True
+        ).error_estimation.stages[0].total_weight_cells
+        broad_cells = build_phases(
+            broad, optimized=True
+        ).error_estimation.stages[0].total_weight_cells
+        assert selective_cells == pytest.approx(broad_cells / 100)
+
+    def test_naive_diagnostics_task_explosion(self, spec):
+        job = build_phases(spec, optimized=False).diagnostics
+        total_tasks = sum(stage.fixed_tasks for stage in job.stages)
+        # p=100 × K=100 per size × 3 sizes = 30,000 subqueries (§5.2).
+        assert total_tasks == 30_000
+
+    def test_closed_form_diagnostics_fewer_subqueries(self, spec):
+        closed = replace(spec, closed_form=True)
+        job = build_phases(closed, optimized=False).diagnostics
+        assert sum(stage.fixed_tasks for stage in job.stages) == 300
+
+    def test_end_to_end_speedup_shape(self, sim, spec, rng):
+        """Fig. 7 vs Fig. 9: optimisation buys order-of-magnitude speedups."""
+        naive = build_phases(spec, optimized=False)
+        optimized = build_phases(spec, optimized=True)
+
+        def total(phases, **kwargs):
+            return sum(
+                sim.simulate(job, rng=rng, **kwargs).total_seconds
+                for job in (
+                    phases.execution,
+                    phases.error_estimation,
+                    phases.diagnostics,
+                )
+            )
+
+        naive_seconds = total(naive)
+        optimized_seconds = total(
+            optimized, num_machines=20, straggler_mitigation=True
+        )
+        assert naive_seconds > 10 * optimized_seconds
+        assert optimized_seconds < 10  # "interactive": a few seconds
+
+    def test_qset1_cheaper_than_qset2(self, sim, spec, rng):
+        qset2 = build_phases(spec, optimized=False)
+        qset1 = build_phases(replace(spec, closed_form=True), optimized=False)
+
+        def diag_seconds(phases):
+            return sim.simulate(phases.diagnostics, rng=rng).total_seconds
+
+        assert diag_seconds(qset1) < diag_seconds(qset2) / 3

@@ -1,0 +1,219 @@
+"""Unit tests for the Kleiner et al. diagnostic (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bootstrap import BootstrapEstimator
+from repro.core.closed_form import ClosedFormEstimator
+from repro.core.diagnostics import (
+    DiagnosticConfig,
+    diagnose,
+)
+from repro.core.estimators import EstimationTarget
+from repro.engine.aggregates import get_aggregate
+from repro.errors import DiagnosticError
+
+#: A compact configuration that keeps unit tests fast while preserving
+#: the algorithm's structure (p subsamples at k doubling sizes).
+FAST_CONFIG = DiagnosticConfig(num_subsamples=40, num_sizes=3)
+
+
+@pytest.fixture(scope="module")
+def sample_values():
+    return np.random.default_rng(7).lognormal(2.0, 1.0, size=40_000)
+
+
+@pytest.fixture(scope="module")
+def benign_values():
+    """Moderately-skewed data on which error estimation is reliable.
+
+    Pass/fail unit tests need headroom from the diagnostic's decision
+    boundary; with p=40 subsamples the heavy lognormal(σ=1) tail makes
+    some well-estimated queries borderline (genuine false negatives,
+    which Fig. 4 reports at 3–9 %), so positive cases use σ=0.5.
+    """
+    return np.random.default_rng(11).lognormal(2.0, 0.5, size=40_000)
+
+
+class TestConfig:
+    def test_resolve_derives_doubling_ladder(self):
+        config = DiagnosticConfig(num_subsamples=100, num_sizes=3)
+        sizes = config.resolve_sizes(100_000)
+        assert sizes == (250, 500, 1000)
+
+    def test_explicit_sizes_sorted(self):
+        config = DiagnosticConfig(subsample_sizes=(200, 50, 100), num_subsamples=10)
+        assert config.resolve_sizes(10_000) == (50, 100, 200)
+
+    def test_duplicate_sizes_rejected(self):
+        config = DiagnosticConfig(subsample_sizes=(100, 100), num_subsamples=10)
+        with pytest.raises(DiagnosticError, match="distinct"):
+            config.resolve_sizes(10_000)
+
+    def test_oversized_ladder_rejected(self):
+        config = DiagnosticConfig(subsample_sizes=(5000,), num_subsamples=10)
+        with pytest.raises(DiagnosticError, match="exceeds the sample"):
+            config.resolve_sizes(10_000)
+
+    def test_tiny_sample_rejected(self):
+        config = DiagnosticConfig(num_subsamples=100, num_sizes=3)
+        with pytest.raises(DiagnosticError, match="too small"):
+            config.resolve_sizes(500)
+
+    def test_tiny_explicit_size_rejected(self):
+        config = DiagnosticConfig(subsample_sizes=(1,), num_subsamples=2)
+        with pytest.raises(DiagnosticError, match="too small"):
+            config.resolve_sizes(100)
+
+
+class TestDiagnosePassFail:
+    def test_bootstrap_passes_on_mean(self, sample_values, rng):
+        target = EstimationTarget(sample_values, get_aggregate("AVG"))
+        result = diagnose(
+            target, BootstrapEstimator(60, rng), 0.95, FAST_CONFIG, rng
+        )
+        assert result.passed
+        assert bool(result)
+        assert result.reason == ""
+
+    def test_closed_form_passes_on_mean(self, sample_values, rng):
+        target = EstimationTarget(sample_values, get_aggregate("AVG"))
+        result = diagnose(
+            target, ClosedFormEstimator(), 0.95, FAST_CONFIG, rng
+        )
+        assert result.passed
+
+    def test_bootstrap_fails_on_max(self, sample_values, rng):
+        target = EstimationTarget(sample_values, get_aggregate("MAX"))
+        result = diagnose(
+            target, BootstrapEstimator(60, rng), 0.95, FAST_CONFIG, rng
+        )
+        assert not result.passed
+        assert result.reason
+
+    def test_bootstrap_fails_on_extreme_percentile(self, sample_values, rng):
+        target = EstimationTarget(
+            sample_values, get_aggregate("PERCENTILE", 0.999)
+        )
+        result = diagnose(
+            target, BootstrapEstimator(60, rng), 0.95, FAST_CONFIG, rng
+        )
+        assert not result.passed
+
+    def test_not_applicable_estimator_fails_fast(self, sample_values, rng):
+        target = EstimationTarget(sample_values, get_aggregate("MAX"))
+        result = diagnose(target, ClosedFormEstimator(), 0.95, FAST_CONFIG, rng)
+        assert not result.passed
+        assert "not applicable" in result.reason
+        assert result.num_subqueries == 0
+
+    def test_degenerate_statistic_fails(self, rng):
+        target = EstimationTarget(np.ones(20_000), get_aggregate("AVG"))
+        result = diagnose(
+            target, BootstrapEstimator(20, rng), 0.95, FAST_CONFIG, rng
+        )
+        assert not result.passed
+        assert "degenerate" in result.reason
+
+
+class TestDiagnoseReports:
+    def test_reports_one_per_size(self, sample_values, rng):
+        target = EstimationTarget(sample_values, get_aggregate("AVG"))
+        result = diagnose(
+            target, ClosedFormEstimator(), 0.95, FAST_CONFIG, rng
+        )
+        assert len(result.reports) == 3
+        sizes = [r.size for r in result.reports]
+        assert sizes == sorted(sizes)
+
+    def test_first_report_has_no_acceptance_flags(self, sample_values, rng):
+        target = EstimationTarget(sample_values, get_aggregate("AVG"))
+        result = diagnose(target, ClosedFormEstimator(), 0.95, FAST_CONFIG, rng)
+        assert result.reports[0].deviation_acceptable is None
+        assert result.reports[1].deviation_acceptable is not None
+
+    def test_subquery_count(self, sample_values, rng):
+        target = EstimationTarget(sample_values, get_aggregate("AVG"))
+        result = diagnose(target, ClosedFormEstimator(), 0.95, FAST_CONFIG, rng)
+        assert result.num_subqueries == 40 * 3
+
+    def test_true_widths_shrink_with_size(self, sample_values, rng):
+        """x_i reflects θ's sampling error, which shrinks as b_i grows."""
+        target = EstimationTarget(sample_values, get_aggregate("AVG"))
+        result = diagnose(target, ClosedFormEstimator(), 0.95, FAST_CONFIG, rng)
+        widths = [r.true_half_width for r in result.reports]
+        assert widths[0] > widths[-1]
+
+    def test_good_case_high_final_proportion(self, sample_values, rng):
+        target = EstimationTarget(sample_values, get_aggregate("AVG"))
+        result = diagnose(target, ClosedFormEstimator(), 0.95, FAST_CONFIG, rng)
+        assert result.reports[-1].proportion_close >= 0.95
+
+
+class TestDiagnoseWithFiltersAndScaling:
+    def test_filtered_avg_passes(self, benign_values, rng):
+        mask = benign_values > np.median(benign_values)
+        target = EstimationTarget(benign_values, get_aggregate("AVG"), mask=mask)
+        result = diagnose(target, ClosedFormEstimator(), 0.95, FAST_CONFIG, rng)
+        assert result.passed
+
+    def test_filtered_count_passes(self, sample_values, rng):
+        """COUNT with a filter must vary across subsamples (mask retained)."""
+        mask = sample_values > np.median(sample_values)
+        target = EstimationTarget(
+            np.ones_like(sample_values),
+            get_aggregate("COUNT"),
+            mask=mask,
+            dataset_rows=4_000_000,
+            extensive=True,
+        )
+        result = diagnose(target, ClosedFormEstimator(), 0.95, FAST_CONFIG, rng)
+        assert result.passed
+
+    def test_unfiltered_count_is_degenerate(self, sample_values, rng):
+        """COUNT(*) without a filter has no sampling error: θ(subsample)
+        is deterministic, which the diagnostic reports as degenerate."""
+        target = EstimationTarget(
+            np.ones_like(sample_values),
+            get_aggregate("COUNT"),
+            dataset_rows=4_000_000,
+            extensive=True,
+        )
+        result = diagnose(target, ClosedFormEstimator(), 0.95, FAST_CONFIG, rng)
+        assert not result.passed
+        assert "degenerate" in result.reason
+
+    def test_scaled_sum_passes(self, benign_values, rng):
+        target = EstimationTarget(
+            benign_values,
+            get_aggregate("SUM"),
+            dataset_rows=4_000_000,
+            extensive=True,
+        )
+        result = diagnose(
+            target, BootstrapEstimator(60, rng), 0.95, FAST_CONFIG, rng
+        )
+        assert result.passed
+
+
+class TestDeterminism:
+    def test_same_rng_same_result(self, sample_values):
+        target = EstimationTarget(sample_values, get_aggregate("AVG"))
+        first = diagnose(
+            target,
+            BootstrapEstimator(30),
+            0.95,
+            FAST_CONFIG,
+            np.random.default_rng(5),
+        )
+        second = diagnose(
+            target,
+            BootstrapEstimator(30),
+            0.95,
+            FAST_CONFIG,
+            np.random.default_rng(5),
+        )
+        assert first.passed == second.passed
+        assert [r.deviation for r in first.reports] == [
+            r.deviation for r in second.reports
+        ]

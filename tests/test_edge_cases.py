@@ -1,0 +1,197 @@
+"""Failure-injection and edge-case tests across the pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BootstrapEstimator,
+    ClosedFormEstimator,
+    EstimationTarget,
+    diagnose,
+)
+from repro.core.diagnostics import DiagnosticConfig
+from repro.core.pipeline import AQPEngine, EngineConfig
+from repro.engine import Table
+from repro.engine.aggregates import get_aggregate
+from repro.errors import DiagnosticError, EstimationError
+
+
+@pytest.fixture
+def engine(rng):
+    engine = AQPEngine(seed=9)
+    n = 40_000
+    engine.register_table(
+        "t",
+        Table(
+            {
+                "v": rng.lognormal(2.0, 0.5, n),
+                "tag": rng.choice(["a", "b"], n, p=[0.999, 0.001]),
+                "constant": np.full(n, 7.0),
+                "with_nan": np.where(
+                    rng.random(n) < 0.01, np.nan, rng.normal(size=n)
+                ),
+            }
+        ),
+    )
+    engine.create_sample("t", size=10_000, name="s")
+    return engine
+
+
+class TestEmptyAndTinyFilterResults:
+    def test_filter_matching_nothing_falls_back_exact(self, engine):
+        result = engine.execute(
+            "SELECT AVG(v) FROM t WHERE tag = 'missing_tag'",
+            run_diagnostics=False,
+        )
+        value = result.single()
+        assert value.fell_back
+        assert value.method == "exact"
+        assert np.isnan(value.estimate)  # exact answer over zero rows
+
+    def test_rare_group_filter_still_estimates_or_falls_back(self, engine):
+        # ~0.1% selectivity: the sample holds only a handful of matches.
+        result = engine.execute(
+            "SELECT AVG(v) FROM t WHERE tag = 'b'", run_diagnostics=False
+        )
+        value = result.single()
+        # Either a (wide) estimate or a clean fallback — never a crash.
+        assert np.isfinite(value.estimate) or value.fell_back
+
+    def test_count_of_empty_filter_is_zero(self, engine):
+        result = engine.execute(
+            "SELECT COUNT(*) FROM t WHERE tag = 'missing_tag'",
+            run_diagnostics=False,
+        )
+        value = result.single()
+        assert value.estimate == 0.0
+
+
+class TestDegenerateColumns:
+    def test_avg_of_constant_column(self, engine):
+        result = engine.execute(
+            "SELECT AVG(constant) FROM t", run_diagnostics=False
+        )
+        value = result.single()
+        assert value.estimate == 7.0
+        assert value.interval.half_width == 0.0
+
+    def test_diagnostic_on_constant_column_fails_cleanly(self, engine):
+        result = engine.execute("SELECT AVG(constant) FROM t")
+        value = result.single()
+        # Degenerate sampling distribution: the diagnostic cannot
+        # validate, so the value must have been rerouted.
+        assert value.fell_back
+        assert value.estimate == 7.0
+
+    def test_bootstrap_zero_width_on_constant(self, rng):
+        target = EstimationTarget(np.full(1000, 3.0), get_aggregate("AVG"))
+        interval = BootstrapEstimator(50, rng).estimate(target)
+        assert interval.half_width == 0.0
+
+    def test_closed_form_zero_width_on_constant(self):
+        target = EstimationTarget(np.full(1000, 3.0), get_aggregate("AVG"))
+        interval = ClosedFormEstimator().estimate(target)
+        assert interval.half_width == 0.0
+
+
+class TestNaNPropagation:
+    def test_nan_column_average_is_nan_exact(self, engine):
+        result = engine.execute_exact("SELECT AVG(with_nan) AS a FROM t")
+        assert np.isnan(result.column("a")[0])
+
+    def test_is_not_null_filter_cleans_nans(self, engine):
+        result = engine.execute(
+            "SELECT AVG(with_nan) FROM t WHERE with_nan IS NOT NULL",
+            run_diagnostics=False,
+        )
+        value = result.single()
+        assert np.isfinite(value.estimate)
+        assert abs(value.estimate) < 0.2  # standard normal mean
+
+
+class TestSmallSamples:
+    def test_two_row_target_closed_form(self):
+        target = EstimationTarget(
+            np.array([1.0, 2.0]), get_aggregate("AVG")
+        )
+        interval = ClosedFormEstimator().estimate(target)
+        assert interval.half_width > 0
+
+    def test_single_row_target_closed_form_rejected(self):
+        target = EstimationTarget(np.array([1.0]), get_aggregate("AVG"))
+        with pytest.raises(EstimationError):
+            ClosedFormEstimator().estimate(target)
+
+    def test_diagnostic_on_tiny_sample_rejected(self, rng):
+        target = EstimationTarget(rng.normal(size=50), get_aggregate("AVG"))
+        with pytest.raises(DiagnosticError, match="too small"):
+            diagnose(
+                target,
+                ClosedFormEstimator(),
+                0.95,
+                DiagnosticConfig(num_subsamples=100, num_sizes=3),
+                rng,
+            )
+
+    def test_engine_auto_diagnostic_skips_tiny_samples(self, rng):
+        engine = AQPEngine(seed=2)
+        engine.register_table("tiny", Table({"v": rng.normal(size=120)}))
+        engine.create_sample("tiny", size=60, name="s")
+        # Diagnostics requested but impossible at this size: the engine
+        # skips them rather than crashing.
+        result = engine.execute("SELECT AVG(v) FROM tiny")
+        value = result.single()
+        assert value.diagnostic is None
+        assert np.isfinite(value.estimate)
+
+
+class TestUnicodeAndStrings:
+    def test_unicode_group_keys(self, rng):
+        engine = AQPEngine(seed=4)
+        cities = np.array(["北京", "München", "São Paulo"])
+        n = 9000
+        engine.register_table(
+            "world",
+            Table(
+                {
+                    "city": cities[rng.integers(0, 3, n)],
+                    "v": rng.normal(10, 2, n),
+                }
+            ),
+        )
+        engine.create_sample("world", size=3000, name="s")
+        result = engine.execute(
+            "SELECT city, AVG(v) AS a FROM world GROUP BY city",
+            run_diagnostics=False,
+        )
+        assert {row.group["city"] for row in result.rows} == set(cities)
+
+    def test_unicode_string_filter(self, rng):
+        engine = AQPEngine(seed=4)
+        n = 5000
+        labels = np.array(["α", "β"])
+        engine.register_table(
+            "greek",
+            Table({"l": labels[rng.integers(0, 2, n)], "v": np.ones(n)}),
+        )
+        engine.create_sample("greek", size=2000, name="s")
+        result = engine.execute(
+            "SELECT COUNT(*) FROM greek WHERE l = 'α'",
+            run_diagnostics=False,
+        )
+        assert result.single().estimate == pytest.approx(n / 2, rel=0.15)
+
+
+class TestExtremeScaleFactors:
+    def test_huge_scale_factor_sum(self, rng):
+        """A 0.01% sample: scale factor 10,000."""
+        n = 2_000_000
+        values = rng.normal(100.0, 5.0, n)
+        engine = AQPEngine(seed=8)
+        engine.register_table("big", Table({"v": values}))
+        engine.create_sample("big", size=200, name="tiny")
+        result = engine.execute(
+            "SELECT SUM(v) FROM big", run_diagnostics=False
+        )
+        value = result.single()
+        assert value.estimate == pytest.approx(values.sum(), rel=0.05)

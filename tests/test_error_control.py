@@ -1,0 +1,125 @@
+"""Unit tests for error-controlled sample-size selection."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BootstrapEstimator,
+    ClosedFormEstimator,
+    EstimationTarget,
+)
+from repro.core.error_control import (
+    SampleSizeSelector,
+    predict_half_width,
+    required_sample_size,
+)
+from repro.engine.aggregates import get_aggregate
+from repro.errors import EstimationError
+
+
+class TestPredictHalfWidth:
+    def test_sqrt_scaling(self):
+        assert predict_half_width(1.0, 100, 400) == pytest.approx(0.5)
+        assert predict_half_width(1.0, 400, 100) == pytest.approx(2.0)
+
+    def test_same_size_identity(self):
+        assert predict_half_width(0.7, 500, 500) == pytest.approx(0.7)
+
+    def test_invalid_rows(self):
+        with pytest.raises(EstimationError):
+            predict_half_width(1.0, 0, 100)
+        with pytest.raises(EstimationError):
+            predict_half_width(1.0, 100, 0)
+
+
+class TestRequiredSampleSize:
+    def test_inverse_square_law(self):
+        # Half-width 10% of estimate at n=1000 → 4× rows for 5%.
+        n = required_sample_size(1.0, 10.0, 1000, 0.05)
+        assert n == 4000
+
+    def test_target_already_met(self):
+        n = required_sample_size(0.1, 10.0, 1000, 0.05)
+        assert n <= 1000
+
+    def test_zero_width_trivial(self):
+        assert required_sample_size(0.0, 10.0, 1000, 0.01) == 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(EstimationError, match="positive"):
+            required_sample_size(1.0, 10.0, 1000, 0.0)
+        with pytest.raises(EstimationError, match="zero estimate"):
+            required_sample_size(1.0, 0.0, 1000, 0.1)
+
+
+@pytest.fixture(scope="module")
+def population():
+    return np.random.default_rng(3).lognormal(2.0, 0.7, 500_000)
+
+
+class TestSampleSizeSelector:
+    def test_recommendation_is_accurate(self, population, rng):
+        """A sample of the recommended size actually meets the target."""
+        pilot = EstimationTarget(population[:2000], get_aggregate("AVG"))
+        selector = SampleSizeSelector(ClosedFormEstimator())
+        recommendation = selector.recommend(
+            pilot, target_relative_error=0.02, dataset_rows=len(population)
+        )
+        assert recommendation.feasible
+        rows = min(recommendation.required_rows, len(population))
+        verify = EstimationTarget(
+            population[:rows], get_aggregate("AVG")
+        )
+        achieved = ClosedFormEstimator().estimate(verify, 0.95)
+        assert achieved.relative_error <= 0.02 * 1.2
+
+    def test_infeasible_target_flagged(self, population):
+        pilot = EstimationTarget(population[:2000], get_aggregate("AVG"))
+        selector = SampleSizeSelector(ClosedFormEstimator())
+        recommendation = selector.recommend(
+            pilot, target_relative_error=1e-6, dataset_rows=len(population)
+        )
+        assert not recommendation.feasible
+
+    def test_pick_smallest_sufficient(self, population, rng):
+        pilot = EstimationTarget(population[:2000], get_aggregate("AVG"))
+        selector = SampleSizeSelector(ClosedFormEstimator())
+        sizes = [1000, 10_000, 100_000, 400_000]
+        chosen, recommendation = selector.pick_sample(
+            pilot, sizes, target_relative_error=0.02,
+            dataset_rows=len(population),
+        )
+        assert chosen in sizes
+        assert chosen >= recommendation.required_rows
+        smaller = [s for s in sizes if s < chosen]
+        assert all(s < recommendation.required_rows for s in smaller)
+
+    def test_pick_none_when_nothing_suffices(self, population):
+        pilot = EstimationTarget(population[:2000], get_aggregate("AVG"))
+        selector = SampleSizeSelector(ClosedFormEstimator())
+        chosen, __ = selector.pick_sample(
+            pilot, [100, 1000], target_relative_error=1e-5
+        )
+        assert chosen is None
+
+    def test_works_with_bootstrap_pilot(self, population, rng):
+        pilot = EstimationTarget(
+            population[:2000], get_aggregate("PERCENTILE", 0.5)
+        )
+        selector = SampleSizeSelector(BootstrapEstimator(100, rng))
+        recommendation = selector.recommend(pilot, 0.05, len(population))
+        assert recommendation.required_rows > 0
+        assert recommendation.pilot_interval.method == "bootstrap"
+
+    def test_safety_factor_inflates(self, population):
+        pilot = EstimationTarget(population[:2000], get_aggregate("AVG"))
+        plain = SampleSizeSelector(ClosedFormEstimator(), safety_factor=1.0)
+        padded = SampleSizeSelector(ClosedFormEstimator(), safety_factor=2.0)
+        assert (
+            padded.recommend(pilot, 0.02).required_rows
+            > plain.recommend(pilot, 0.02).required_rows
+        )
+
+    def test_invalid_safety_factor(self):
+        with pytest.raises(EstimationError):
+            SampleSizeSelector(ClosedFormEstimator(), safety_factor=0.5)

@@ -1,0 +1,123 @@
+"""Unit tests for estimation targets and the estimator interface."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import EstimationTarget
+from repro.engine.aggregates import get_aggregate
+from repro.errors import EstimationError
+
+
+@pytest.fixture
+def values(rng):
+    return rng.lognormal(1.0, 0.5, size=1000)
+
+
+@pytest.fixture
+def mask(rng):
+    return rng.random(1000) < 0.4
+
+
+class TestTargetGeometry:
+    def test_total_rows_is_prefilter(self, values, mask):
+        target = EstimationTarget(values, get_aggregate("AVG"), mask=mask)
+        assert target.total_sample_rows == 1000
+
+    def test_matched_values_applies_mask(self, values, mask):
+        target = EstimationTarget(values, get_aggregate("AVG"), mask=mask)
+        assert len(target.matched_values) == mask.sum()
+
+    def test_no_mask_means_all(self, values):
+        target = EstimationTarget(values, get_aggregate("AVG"))
+        assert len(target.matched_values) == 1000
+
+    def test_mask_shape_validated(self, values):
+        with pytest.raises(EstimationError, match="mask shape"):
+            EstimationTarget(values, get_aggregate("AVG"), mask=np.ones(5, dtype=bool))
+
+    def test_mask_dtype_validated(self, values):
+        with pytest.raises(EstimationError, match="boolean"):
+            EstimationTarget(values, get_aggregate("AVG"), mask=np.ones(1000))
+
+
+class TestScaling:
+    def test_intensive_scale_is_one(self, values):
+        target = EstimationTarget(
+            values, get_aggregate("AVG"), dataset_rows=10**6, extensive=False
+        )
+        assert target.scale_factor == 1.0
+
+    def test_extensive_scale(self, values):
+        target = EstimationTarget(
+            values, get_aggregate("SUM"), dataset_rows=10**6, extensive=True
+        )
+        assert target.scale_factor == pytest.approx(1000.0)
+
+    def test_extensive_without_dataset_rows_unscaled(self, values):
+        target = EstimationTarget(values, get_aggregate("SUM"), extensive=True)
+        assert target.scale_factor == 1.0
+
+    def test_point_estimate_scaled_sum(self, values):
+        target = EstimationTarget(
+            values, get_aggregate("SUM"), dataset_rows=10**6, extensive=True
+        )
+        assert target.point_estimate() == pytest.approx(1000.0 * values.sum())
+
+    def test_point_estimate_avg_unscaled(self, values, mask):
+        target = EstimationTarget(
+            values, get_aggregate("AVG"), mask=mask, dataset_rows=10**6
+        )
+        assert target.point_estimate() == pytest.approx(values[mask].mean())
+
+    def test_count_estimates_filtered_cardinality(self, values, mask):
+        target = EstimationTarget(
+            values,
+            get_aggregate("COUNT"),
+            mask=mask,
+            dataset_rows=100_000,
+            extensive=True,
+        )
+        assert target.point_estimate() == pytest.approx(100 * mask.sum())
+
+
+class TestSubset:
+    def test_subset_shrinks_and_rescales(self, values):
+        target = EstimationTarget(
+            values, get_aggregate("SUM"), dataset_rows=10**6, extensive=True
+        )
+        sub = target.subset(np.arange(100))
+        assert sub.total_sample_rows == 100
+        assert sub.scale_factor == pytest.approx(10_000.0)
+
+    def test_subset_slices_mask(self, values, mask):
+        target = EstimationTarget(values, get_aggregate("AVG"), mask=mask)
+        sub = target.subset(np.arange(50))
+        assert len(sub.matched_values) == mask[:50].sum()
+
+    def test_subset_point_estimates_are_comparable_units(self, values):
+        """Extensive subsample estimates stay in full-data units."""
+        target = EstimationTarget(
+            values, get_aggregate("SUM"), dataset_rows=10**6, extensive=True
+        )
+        sub = target.subset(np.arange(500))
+        # Both estimate the same |D|-level total, so they agree to within
+        # sampling noise (generous factor-two band).
+        assert sub.point_estimate() == pytest.approx(
+            target.point_estimate(), rel=0.5
+        )
+
+    def test_resample_estimates_scaled(self, values, rng):
+        target = EstimationTarget(
+            values, get_aggregate("SUM"), dataset_rows=10**6, extensive=True
+        )
+        weights = rng.poisson(1.0, size=(1000, 8))
+        stats = target.resample_estimates(weights)
+        assert stats.shape == (8,)
+        assert stats.mean() == pytest.approx(target.point_estimate(), rel=0.2)
+
+    def test_zero_row_scale_rejected(self):
+        target = EstimationTarget(
+            np.array([]), get_aggregate("SUM"), dataset_rows=100, extensive=True
+        )
+        with pytest.raises(EstimationError, match="zero-row"):
+            target.scale_factor

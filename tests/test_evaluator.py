@@ -1,0 +1,200 @@
+"""Unit tests for vectorised expression evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Table
+from repro.engine.evaluator import evaluate, evaluate_predicate
+from repro.errors import ExecutionError
+from repro.sql.functions import default_function_registry
+from repro.sql.parser import parse_expression
+
+
+def eval_on(text, table, registry=None):
+    return evaluate(parse_expression(text), table, registry)
+
+
+class TestLeaves:
+    def test_column_reference(self, tiny_table):
+        np.testing.assert_array_equal(
+            eval_on("x", tiny_table), tiny_table.column("x")
+        )
+
+    def test_numeric_literal_broadcast(self, tiny_table):
+        result = eval_on("42", tiny_table)
+        assert len(result) == 6
+        assert (result == 42).all()
+
+    def test_string_literal_broadcast(self, tiny_table):
+        result = eval_on("'a'", tiny_table)
+        assert (result == "a").all()
+
+    def test_null_literal_is_nan(self, tiny_table):
+        assert np.isnan(eval_on("NULL", tiny_table)).all()
+
+
+class TestArithmetic:
+    def test_addition(self, tiny_table):
+        np.testing.assert_allclose(
+            eval_on("x + y", tiny_table),
+            tiny_table.column("x") + tiny_table.column("y"),
+        )
+
+    def test_mixed_expression(self, tiny_table):
+        np.testing.assert_allclose(
+            eval_on("2 * x - y / 10", tiny_table),
+            2 * tiny_table.column("x") - tiny_table.column("y") / 10,
+        )
+
+    def test_division_by_zero_is_inf(self, tiny_table):
+        result = eval_on("x / 0", tiny_table)
+        assert np.isinf(result).all()
+
+    def test_modulo(self, tiny_table):
+        np.testing.assert_allclose(
+            eval_on("x % 2", tiny_table), tiny_table.column("x") % 2
+        )
+
+    def test_unary_minus(self, tiny_table):
+        np.testing.assert_allclose(
+            eval_on("-x", tiny_table), -tiny_table.column("x")
+        )
+
+
+class TestPredicates:
+    def test_comparison(self, tiny_table):
+        mask = evaluate_predicate(parse_expression("x > 3"), tiny_table)
+        assert mask.sum() == 3
+
+    def test_equality_on_strings(self, tiny_table):
+        mask = evaluate_predicate(parse_expression("g = 'a'"), tiny_table)
+        assert mask.sum() == 2
+
+    def test_and_or_not(self, tiny_table):
+        mask = evaluate_predicate(
+            parse_expression("x > 1 AND x < 5 OR NOT g = 'a'"), tiny_table
+        )
+        expected = ((tiny_table.column("x") > 1) & (tiny_table.column("x") < 5)) | (
+            tiny_table.column("g") != "a"
+        )
+        np.testing.assert_array_equal(mask, expected)
+
+    def test_in_list(self, tiny_table):
+        mask = evaluate_predicate(
+            parse_expression("g IN ('a', 'c')"), tiny_table
+        )
+        assert mask.sum() == 4
+
+    def test_not_in_list(self, tiny_table):
+        mask = evaluate_predicate(
+            parse_expression("g NOT IN ('a', 'c')"), tiny_table
+        )
+        assert mask.sum() == 2
+
+    def test_in_list_requires_literals(self, tiny_table):
+        with pytest.raises(ExecutionError, match="literals"):
+            evaluate(parse_expression("x IN (y)"), tiny_table)
+
+    def test_between(self, tiny_table):
+        mask = evaluate_predicate(
+            parse_expression("x BETWEEN 2 AND 4"), tiny_table
+        )
+        assert mask.sum() == 3
+
+    def test_not_between(self, tiny_table):
+        mask = evaluate_predicate(
+            parse_expression("x NOT BETWEEN 2 AND 4"), tiny_table
+        )
+        assert mask.sum() == 3
+
+    def test_is_null_on_floats(self):
+        table = Table({"v": np.array([1.0, np.nan, 3.0])})
+        mask = evaluate_predicate(parse_expression("v IS NULL"), table)
+        np.testing.assert_array_equal(mask, [False, True, False])
+
+    def test_is_not_null(self):
+        table = Table({"v": np.array([1.0, np.nan, 3.0])})
+        mask = evaluate_predicate(parse_expression("v IS NOT NULL"), table)
+        assert mask.sum() == 2
+
+    def test_is_null_on_strings_always_false(self, tiny_table):
+        mask = evaluate_predicate(parse_expression("g IS NULL"), tiny_table)
+        assert not mask.any()
+
+    def test_like_prefix(self):
+        table = Table({"s": np.array(["apple", "apricot", "banana"])})
+        mask = evaluate_predicate(parse_expression("s LIKE 'ap%'"), table)
+        np.testing.assert_array_equal(mask, [True, True, False])
+
+    def test_like_single_char_wildcard(self):
+        table = Table({"s": np.array(["cat", "cut", "coat"])})
+        mask = evaluate_predicate(parse_expression("s LIKE 'c_t'"), table)
+        np.testing.assert_array_equal(mask, [True, True, False])
+
+    def test_like_escapes_regex_chars(self):
+        table = Table({"s": np.array(["a.b", "axb"])})
+        mask = evaluate_predicate(parse_expression("s LIKE 'a.b'"), table)
+        np.testing.assert_array_equal(mask, [True, False])
+
+
+class TestCaseWhen:
+    def test_first_matching_branch_wins(self, tiny_table):
+        result = eval_on(
+            "CASE WHEN x < 3 THEN 1 WHEN x < 5 THEN 2 ELSE 3 END", tiny_table
+        )
+        np.testing.assert_array_equal(result, [1, 1, 2, 2, 3, 3])
+
+    def test_missing_else_gives_nan(self, tiny_table):
+        result = eval_on("CASE WHEN x < 3 THEN 1 END", tiny_table)
+        assert np.isnan(result[-1])
+        assert result[0] == 1
+
+
+class TestScalarFunctions:
+    def test_abs_and_sqrt(self, tiny_table):
+        np.testing.assert_allclose(
+            eval_on("SQRT(ABS(-x))", tiny_table),
+            np.sqrt(tiny_table.column("x")),
+        )
+
+    def test_log_of_nonpositive_is_not_an_error(self):
+        table = Table({"v": np.array([-1.0, 0.0, 1.0])})
+        result = eval_on("LOG(v)", table)
+        assert np.isnan(result[0])
+        assert np.isinf(result[1])
+        assert result[2] == 0.0
+
+    def test_if_function(self, tiny_table):
+        result = eval_on("IF(x > 3, 1, 0)", tiny_table)
+        np.testing.assert_array_equal(result, [0, 0, 0, 1, 1, 1])
+
+    def test_string_functions(self):
+        table = Table({"s": np.array(["Ab", "cD"])})
+        np.testing.assert_array_equal(eval_on("UPPER(s)", table), ["AB", "CD"])
+        np.testing.assert_array_equal(eval_on("LENGTH(s)", table), [2, 2])
+
+    def test_udf_applies(self, tiny_table):
+        registry = default_function_registry()
+        registry.register_udf("double_it", lambda v: v * 2)
+        result = eval_on("double_it(x)", tiny_table, registry)
+        np.testing.assert_allclose(result, tiny_table.column("x") * 2)
+
+    def test_non_vectorized_udf(self, tiny_table):
+        registry = default_function_registry()
+        registry.register_udf("slow_inc", lambda v: v + 1, vectorized=False)
+        result = eval_on("slow_inc(x)", tiny_table, registry)
+        np.testing.assert_allclose(result, tiny_table.column("x") + 1)
+
+    def test_udf_failure_wrapped(self, tiny_table):
+        registry = default_function_registry()
+
+        def broken(values):
+            raise ValueError("boom")
+
+        registry.register_udf("broken", broken)
+        with pytest.raises(ExecutionError, match="BROKEN failed: boom"):
+            eval_on("broken(x)", tiny_table, registry)
+
+    def test_aggregate_rejected_rowwise(self, tiny_table):
+        with pytest.raises(ExecutionError, match="row-wise"):
+            eval_on("AVG(x)", tiny_table)

@@ -1,0 +1,65 @@
+"""Smoke tests: every example runs end-to-end at reduced scale."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+@pytest.fixture(autouse=True)
+def examples_on_path():
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    yield
+    sys.path.remove(str(EXAMPLES_DIR))
+
+
+def test_quickstart(capsys):
+    import quickstart
+
+    quickstart.main(num_rows=30_000)
+    out = capsys.readouterr().out
+    assert "±" in out
+    assert "closed_form" in out
+    assert "fell back" in out  # the MAX query reroutes
+
+def test_error_estimation_failures(capsys):
+    import error_estimation_failures
+
+    error_estimation_failures.main(
+        num_rows=60_000, sample_size=4000, num_trials=10
+    )
+    out = capsys.readouterr().out
+    assert "pessimistic" in out  # Hoeffding column
+    assert "n/a" in out  # closed form on MAX
+
+
+def test_conviva_dashboard(capsys):
+    import conviva_dashboard
+
+    conviva_dashboard.main(num_rows=60_000)
+    out = capsys.readouterr().out
+    assert "Session quality overview" in out
+    assert "bootstrap" in out
+    assert "city_" in out
+
+
+def test_diagnostic_deep_dive(capsys):
+    import diagnostic_deep_dive
+
+    diagnostic_deep_dive.main(num_rows=30_000, num_subsamples=40)
+    out = capsys.readouterr().out
+    assert "PASS" in out
+    assert "FAIL" in out
+    assert "reason" in out
+
+
+def test_cluster_performance(capsys):
+    import cluster_performance
+
+    cluster_performance.main()
+    out = capsys.readouterr().out
+    assert "naive" in out
+    assert "fully tuned" in out
+    assert "machines" in out

@@ -1,0 +1,257 @@
+"""Unit tests for exact query execution and costed plan running."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Table
+from repro.errors import ExecutionError, PlanError
+from repro.plan.executor import PlanRunner, QueryExecutor, analyze_sql
+from repro.plan.logical import (
+    ResampleSpec,
+    build_error_estimation_plan,
+    build_naive_error_plan,
+    build_plain_plan,
+)
+from repro.plan.rewriter import rewrite_plan
+from repro.sampling import SampleCatalog
+from repro.sql.functions import default_function_registry
+
+
+@pytest.fixture
+def table(rng):
+    n = 10_000
+    cities = np.array(["NYC", "SF", "LA", "CHI"])
+    return Table(
+        {
+            "time": rng.lognormal(3.0, 1.0, n),
+            "city": cities[rng.integers(0, 4, n)],
+            "bytes": rng.pareto(2.0, n) * 100.0,
+        },
+        name="sessions",
+    )
+
+
+@pytest.fixture
+def catalog(table):
+    catalog = SampleCatalog(seed=3)
+    catalog.register_table("sessions", table)
+    catalog.create_sample("sessions", size=4000, name="s4k")
+    return catalog
+
+
+class TestExactExecution:
+    def test_scalar_average(self, table):
+        query = analyze_sql("SELECT AVG(time) FROM sessions", table)
+        result = QueryExecutor().scalar(query, table)
+        assert result == pytest.approx(table.column("time").mean())
+
+    def test_filtered_aggregate(self, table):
+        query = analyze_sql(
+            "SELECT SUM(bytes) FROM sessions WHERE city = 'NYC'", table
+        )
+        expected = table.column("bytes")[table.column("city") == "NYC"].sum()
+        assert QueryExecutor().scalar(query, table) == pytest.approx(expected)
+
+    def test_count_star(self, table):
+        query = analyze_sql("SELECT COUNT(*) FROM sessions", table)
+        assert QueryExecutor().scalar(query, table) == table.num_rows
+
+    def test_multiple_aggregates(self, table):
+        query = analyze_sql(
+            "SELECT AVG(time) AS a, MAX(time) AS m FROM sessions", table
+        )
+        result = QueryExecutor().execute(query, table)
+        assert result.num_rows == 1
+        assert result.column("m")[0] == table.column("time").max()
+
+    def test_group_by(self, table):
+        query = analyze_sql(
+            "SELECT city, AVG(time) AS a FROM sessions GROUP BY city", table
+        )
+        result = QueryExecutor().execute(query, table)
+        assert result.num_rows == 4
+        nyc_row = result.filter(result.column("city") == "NYC")
+        expected = table.column("time")[table.column("city") == "NYC"].mean()
+        assert nyc_row.column("a")[0] == pytest.approx(expected)
+
+    def test_group_by_multiple_keys(self, rng):
+        table = Table(
+            {
+                "a": np.array(["x", "x", "y", "y"]),
+                "b": np.array([1, 2, 1, 1]),
+                "v": np.array([1.0, 2.0, 3.0, 5.0]),
+            }
+        )
+        query = analyze_sql(
+            "SELECT a, b, SUM(v) AS s FROM t GROUP BY a, b", table
+        )
+        result = QueryExecutor().execute(query, table)
+        assert result.num_rows == 3
+        rows = {
+            (r["a"], r["b"]): r["s"] for r in result.to_rows()
+        }
+        assert rows[("y", 1)] == 8.0
+
+    def test_having_filters_groups(self, table):
+        query = analyze_sql(
+            "SELECT city, COUNT(*) AS n FROM sessions GROUP BY city "
+            "HAVING COUNT(*) > 100",
+            table,
+        )
+        result = QueryExecutor().execute(query, table)
+        assert (result.column("n") > 100).all()
+
+    def test_having_with_aggregate_not_in_select(self, table):
+        query = analyze_sql(
+            "SELECT city, COUNT(*) AS n FROM sessions GROUP BY city "
+            "HAVING AVG(time) > 0",
+            table,
+        )
+        result = QueryExecutor().execute(query, table)
+        assert result.num_rows == 4
+        assert result.column_names == ["city", "n"]
+
+    def test_order_by_and_limit(self, table):
+        query = analyze_sql(
+            "SELECT city, AVG(time) AS a FROM sessions GROUP BY city "
+            "ORDER BY a DESC LIMIT 2",
+            table,
+        )
+        result = QueryExecutor().execute(query, table)
+        assert result.num_rows == 2
+        assert result.column("a")[0] >= result.column("a")[1]
+
+    def test_projection_query(self, table):
+        query = analyze_sql(
+            "SELECT time, bytes / 1000 AS kb FROM sessions WHERE time > 100",
+            table,
+        )
+        result = QueryExecutor().execute(query, table)
+        assert result.column_names == ["time", "kb"]
+        assert (result.column("time") > 100).all()
+
+    def test_nested_subquery(self, table):
+        query = analyze_sql(
+            "SELECT AVG(v) FROM "
+            "(SELECT time AS v FROM sessions WHERE city = 'SF') AS q",
+            table,
+        )
+        expected = table.column("time")[table.column("city") == "SF"].mean()
+        assert QueryExecutor().scalar(query, table) == pytest.approx(expected)
+
+    def test_udf_in_projection(self, table):
+        registry = default_function_registry()
+        registry.register_udf("half", lambda v: v / 2.0)
+        query = analyze_sql(
+            "SELECT AVG(half(time)) FROM sessions", table, registry
+        )
+        result = QueryExecutor(registry).scalar(query, table)
+        assert result == pytest.approx(table.column("time").mean() / 2.0)
+
+    def test_scalar_rejects_multi_row(self, table):
+        query = analyze_sql(
+            "SELECT city, AVG(time) FROM sessions GROUP BY city", table
+        )
+        with pytest.raises(ExecutionError, match="exactly one value"):
+            QueryExecutor().scalar(query, table)
+
+
+class TestPlanRunner:
+    def test_plain_plan_single_pass(self, catalog, table):
+        query = analyze_sql("SELECT AVG(time) AS a FROM sessions", table)
+        plan = build_plain_plan(query, sample_name="s4k")
+        result = PlanRunner(catalog).run(plan)
+        assert result.cost.input_passes == 1
+        assert result.cost.rows_scanned == 4000
+        assert "a" in result.estimates
+
+    def test_naive_plan_costs_many_passes(self, catalog, table, rng):
+        query = analyze_sql(
+            "SELECT AVG(time) AS a FROM sessions WHERE city = 'NYC'", table
+        )
+        plan = build_naive_error_plan(query, 50, sample_name="s4k")
+        result = PlanRunner(catalog, rng=rng).run(plan)
+        assert result.cost.input_passes == 51
+        assert result.cost.subqueries == 51
+        # Naive position: weights generated for every scanned row.
+        assert result.cost.weight_cells == 50 * 4000
+        assert "a" in result.intervals
+
+    def test_rewritten_plan_single_pass_fewer_weights(self, catalog, table, rng):
+        query = analyze_sql(
+            "SELECT AVG(time) AS a FROM sessions WHERE city = 'NYC'", table
+        )
+        naive = build_naive_error_plan(query, 50, sample_name="s4k")
+        rewritten = rewrite_plan(naive).plan
+        result = PlanRunner(catalog, rng=rng).run(rewritten)
+        assert result.cost.input_passes == 1
+        # Pushdown: weights only for rows that pass the filter (~1/4).
+        assert result.cost.weight_cells < 50 * 4000 / 2
+        assert "a" in result.intervals
+
+    def test_naive_and_rewritten_agree_statistically(self, catalog, table):
+        query = analyze_sql(
+            "SELECT AVG(time) AS a FROM sessions WHERE city = 'NYC'", table
+        )
+        naive = build_naive_error_plan(query, 100, sample_name="s4k")
+        rewritten = rewrite_plan(naive).plan
+        naive_result = PlanRunner(catalog, rng=np.random.default_rng(1)).run(naive)
+        optimized_result = PlanRunner(
+            catalog, rng=np.random.default_rng(2)
+        ).run(rewritten)
+        assert naive_result.intervals["a"].estimate == pytest.approx(
+            optimized_result.intervals["a"].estimate
+        )
+        assert naive_result.intervals["a"].half_width == pytest.approx(
+            optimized_result.intervals["a"].half_width, rel=0.5
+        )
+
+    def test_consolidated_plan_direct(self, catalog, table, rng):
+        query = analyze_sql(
+            "SELECT SUM(bytes) AS s FROM sessions WHERE time > 10", table
+        )
+        plan = build_error_estimation_plan(
+            query, ResampleSpec(bootstrap_columns=80), sample_name="s4k"
+        )
+        result = PlanRunner(catalog, rng=rng).run(rewrite_plan(plan).plan)
+        assert len(result.resample_distributions["s"]) == 80
+        assert result.cost.weight_columns == 80
+
+    def test_group_by_plan_rejected(self, catalog, table):
+        query = analyze_sql(
+            "SELECT city, AVG(time) AS a FROM sessions GROUP BY city", table
+        )
+        plan = build_plain_plan(query, sample_name="s4k")
+        with pytest.raises(PlanError, match="GROUP BY"):
+            PlanRunner(catalog).run(plan)
+
+    def test_base_table_scan(self, catalog, table):
+        query = analyze_sql("SELECT COUNT(*) AS n FROM sessions", table)
+        plan = build_plain_plan(query)
+        result = PlanRunner(catalog).run(plan)
+        assert result.estimates["n"] == table.num_rows
+
+
+class TestPlanRunnerDiagnosticPlans:
+    def test_consolidated_plan_with_diagnostic_groups(self, catalog, table, rng):
+        """A Resample spec carrying diagnostic weight groups generates
+        the combined column count in one pass (Fig. 6(a) layout)."""
+        from repro.plan.logical import LogicalDiagnostic
+
+        query = analyze_sql(
+            "SELECT AVG(time) AS a FROM sessions WHERE city = 'NYC'", table
+        )
+        spec = ResampleSpec(
+            bootstrap_columns=20,
+            diagnostic_groups=((50, 5, 20), (100, 5, 20)),
+        )
+        plan = build_error_estimation_plan(
+            query, spec, sample_name="s4k"
+        )
+        assert isinstance(plan, LogicalDiagnostic)
+        rewritten = rewrite_plan(plan).plan
+        result = PlanRunner(catalog, rng=rng).run(rewritten)
+        expected_columns = 20 + 2 * 5 * 20
+        assert result.cost.weight_columns == expected_columns
+        assert result.cost.input_passes == 1
+        assert "a" in result.intervals

@@ -1,0 +1,90 @@
+"""Fuzz-style robustness tests: garbage in, clean exceptions out."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse
+
+
+class TestLexerNeverCrashes:
+    @given(st.text(max_size=200))
+    @settings(max_examples=200)
+    def test_arbitrary_text(self, text):
+        try:
+            tokens = tokenize(text)
+        except ReproError:
+            return  # a clean, library-typed rejection
+        # On success the stream must be EOF-terminated and positionally
+        # ordered.
+        positions = [t.position for t in tokens]
+        assert positions == sorted(positions)
+
+    @given(st.text(alphabet="SELECT FROMWHERE()*,.'0123456789abc<>=", max_size=120))
+    @settings(max_examples=200)
+    def test_sqlish_text(self, text):
+        try:
+            tokenize(text)
+        except ReproError:
+            pass
+
+
+class TestParserNeverCrashes:
+    @given(st.text(max_size=150))
+    @settings(max_examples=150)
+    def test_arbitrary_text(self, text):
+        try:
+            parse(text)
+        except ReproError:
+            pass  # TokenizeError/ParseError are the contract
+
+    @given(
+        st.lists(
+            st.sampled_from(
+                [
+                    "SELECT", "FROM", "WHERE", "GROUP", "BY", "AND", "OR",
+                    "AVG(x)", "COUNT(*)", "t", "x", ",", "(", ")", "1",
+                    "'s'", "=", ">", "UNION", "ALL", "AS", "y",
+                ]
+            ),
+            max_size=15,
+        )
+    )
+    @settings(max_examples=200)
+    def test_token_soup(self, words):
+        try:
+            parse(" ".join(words))
+        except ReproError:
+            pass
+
+
+class TestEngineRejectsGarbageCleanly:
+    @pytest.fixture
+    def engine(self, rng):
+        from repro.core.pipeline import AQPEngine
+        from repro.engine import Table
+
+        engine = AQPEngine(seed=1)
+        engine.register_table("t", Table({"v": rng.normal(size=5000)}))
+        engine.create_sample("t", size=2000, name="s")
+        return engine
+
+    @pytest.mark.parametrize(
+        "bad_sql",
+        [
+            "",
+            "SELECT",
+            "SELECT AVG(v FROM t",
+            "SELECT AVG(nope) FROM t",
+            "SELECT AVG(v) FROM missing_table",
+            "SELECT v FROM t",  # non-aggregate
+            "DROP TABLE t",
+            "SELECT AVG(v) FROM t WHERE frobnicate(v) > 1",
+            "SELECT AVG(v) FROM t GROUP BY",
+        ],
+    )
+    def test_bad_queries_raise_library_errors(self, engine, bad_sql):
+        with pytest.raises(ReproError):
+            engine.execute(bad_sql)

@@ -1,0 +1,144 @@
+"""Cross-module integration tests: workloads → engine → ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import AQPEngine
+from repro.errors import (
+    AnalysisError,
+    CatalogError,
+    DiagnosticError,
+    EstimationError,
+    ExecutionError,
+    ParseError,
+    PlanError,
+    ReproError,
+    SamplingError,
+    SchemaError,
+    SimulationError,
+    SqlError,
+    TokenizeError,
+)
+from repro.workloads import conviva_sessions_table, conviva_workload
+from repro.workloads.queries import register_workload_functions
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [
+            SqlError,
+            TokenizeError,
+            ParseError,
+            AnalysisError,
+            SchemaError,
+            ExecutionError,
+            PlanError,
+            EstimationError,
+            DiagnosticError,
+            SamplingError,
+            CatalogError,
+            SimulationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, ReproError)
+
+    def test_sql_errors_grouped(self):
+        assert issubclass(TokenizeError, SqlError)
+        assert issubclass(ParseError, SqlError)
+        assert issubclass(AnalysisError, SqlError)
+
+    def test_positions_carried(self):
+        assert TokenizeError("x", position=5).position == 5
+        assert ParseError("x", position=9).position == 9
+
+
+@pytest.fixture(scope="module")
+def workload_engine():
+    """An engine over Conviva-like data plus the generated workload."""
+    rng = np.random.default_rng(77)
+    table = conviva_sessions_table(150_000, rng)
+    engine = AQPEngine(seed=5)
+    engine.register_table("media_sessions", table)
+    register_workload_functions(engine)
+    engine.create_sample("media_sessions", size=40_000, name="wl")
+    queries = conviva_workload(30, np.random.default_rng(21))
+    return engine, table, queries
+
+
+class TestWorkloadThroughEngine:
+    """Generated queries run end-to-end and agree with array-form truth."""
+
+    def test_estimates_near_truth(self, workload_engine):
+        engine, table, queries = workload_engine
+        checked = 0
+        for query in queries:
+            if query.aggregate_name in (
+                "MIN",
+                "MAX",
+                "COUNT_DISTINCT",
+                "VARIANCE",
+                "STDEV",
+            ):
+                # Extreme/second-moment statistics on heavy tails carry
+                # legitimately large sampling error at this sample size.
+                continue
+            truth = query.dataset_query(table).true_answer()
+            if not np.isfinite(truth) or truth == 0:
+                continue
+            result = engine.execute(query.sql(), run_diagnostics=False)
+            estimate = result.single().estimate
+            assert estimate == pytest.approx(truth, rel=0.25), query.sql()
+            checked += 1
+        assert checked >= 10
+
+    def test_method_selection_matches_analysis(self, workload_engine):
+        engine, __, queries = workload_engine
+        for query in queries[:15]:
+            result = engine.execute(query.sql(), run_diagnostics=False)
+            method = result.single().method
+            if query.closed_form_applicable:
+                assert method == "closed_form", query.sql()
+            else:
+                assert method == "bootstrap", query.sql()
+
+    def test_intervals_cover_truth_mostly(self, workload_engine):
+        """95% intervals should cover the true answer for most benign
+        queries (a loose end-to-end coverage sanity check)."""
+        engine, table, queries = workload_engine
+        covered = 0
+        total = 0
+        for query in queries:
+            if query.outlier_sensitive or query.aggregate_name in (
+                "MIN",
+                "MAX",
+                "COUNT_DISTINCT",
+            ):
+                continue
+            truth = query.dataset_query(table).true_answer()
+            if not np.isfinite(truth):
+                continue
+            result = engine.execute(query.sql(), run_diagnostics=False)
+            value = result.single()
+            if value.interval is None:
+                continue
+            total += 1
+            covered += value.interval.contains(truth)
+        assert total >= 8
+        assert covered / total >= 0.7
+
+    def test_diagnosed_run_never_returns_untrusted_bootstrap_minmax(
+        self, workload_engine
+    ):
+        """With diagnostics on, MIN/MAX answers come back exact."""
+        engine, table, queries = workload_engine
+        minmax = [
+            q for q in queries if q.aggregate_name in ("MIN", "MAX")
+        ][:3]
+        for query in minmax:
+            result = engine.execute(query.sql())
+            value = result.single()
+            if value.fell_back:
+                truth = query.dataset_query(table).true_answer()
+                assert value.estimate == pytest.approx(truth)

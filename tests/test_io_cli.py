@@ -1,0 +1,201 @@
+"""Unit tests for CSV I/O and the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, format_result, main, make_engine
+from repro.engine import Table
+from repro.engine.io import load_csv, save_csv
+from repro.errors import ReproError, SchemaError
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    path = tmp_path / "sessions.csv"
+    path.write_text(
+        "time,city,hits\n"
+        "10.5,NYC,3\n"
+        "20.25,SF,1\n"
+        "7.75,NYC,4\n"
+        "30.0,LA,2\n"
+    )
+    return path
+
+
+class TestLoadCsv:
+    def test_loads_with_inferred_types(self, csv_file):
+        table = load_csv(csv_file)
+        assert table.name == "sessions"
+        assert table.num_rows == 4
+        assert table.schema["time"].kind == "f"
+        assert table.schema["hits"].kind == "i"
+        assert table.schema["city"].kind in ("U", "O")
+
+    def test_values_round(self, csv_file):
+        table = load_csv(csv_file)
+        np.testing.assert_allclose(
+            table.column("time"), [10.5, 20.25, 7.75, 30.0]
+        )
+        assert list(table.column("city")) == ["NYC", "SF", "NYC", "LA"]
+
+    def test_empty_cell_becomes_nan(self, tmp_path):
+        path = tmp_path / "gaps.csv"
+        path.write_text("k,v\na,1.5\nb,\nc,2.5\n")
+        table = load_csv(path)
+        assert np.isnan(table.column("v")[1])
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "blanks.csv"
+        path.write_text("v\n1.5\n\n2.5\n")
+        table = load_csv(path)
+        assert table.num_rows == 2
+
+    def test_custom_name_and_delimiter(self, tmp_path):
+        path = tmp_path / "data.tsv"
+        path.write_text("a\tb\n1\t2\n")
+        table = load_csv(path, name="custom", delimiter="\t")
+        assert table.name == "custom"
+        assert table.column("b")[0] == 2
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError, match="empty"):
+            load_csv(path)
+
+    def test_header_only_rejected(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(SchemaError, match="no data rows"):
+            load_csv(path)
+
+    def test_blank_header_rejected(self, tmp_path):
+        path = tmp_path / "blank.csv"
+        path.write_text("a,,c\n1,2,3\n")
+        with pytest.raises(SchemaError, match="header"):
+            load_csv(path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(SchemaError, match="expected 2 fields"):
+            load_csv(path)
+
+
+class TestSaveCsv:
+    def test_round_trip(self, tmp_path):
+        table = Table(
+            {
+                "x": np.array([1.5, 2.5]),
+                "label": np.array(["p", "q"]),
+                "n": np.array([1, 2]),
+            },
+            name="t",
+        )
+        path = tmp_path / "out.csv"
+        save_csv(table, path)
+        loaded = load_csv(path)
+        np.testing.assert_allclose(loaded.column("x"), table.column("x"))
+        assert list(loaded.column("label")) == ["p", "q"]
+        assert list(loaded.column("n")) == [1, 2]
+
+
+@pytest.fixture
+def big_csv(tmp_path, rng):
+    path = tmp_path / "events.csv"
+    n = 5000
+    cities = rng.choice(["NYC", "SF", "LA"], n)
+    times = rng.lognormal(3.0, 0.5, n)
+    lines = ["time,city"]
+    lines += [f"{t:.4f},{c}" for t, c in zip(times, cities)]
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+class TestCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["--table", "x.csv", "SELECT 1"])
+        assert args.sample_fraction == 0.1
+        assert args.confidence == 0.95
+        assert not args.exact
+
+    def test_requires_table(self, capsys):
+        assert main(["SELECT AVG(x) FROM t"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_approximate_query(self, big_csv, capsys):
+        exit_code = main(
+            [
+                "--table",
+                str(big_csv),
+                "--sample-fraction",
+                "0.5",
+                "--no-diagnostics",
+                "--seed",
+                "7",
+                "SELECT AVG(time) FROM events",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "±" in out
+        assert "closed_form" in out
+        assert "sample" in out
+
+    def test_exact_query(self, big_csv, capsys):
+        exit_code = main(
+            [
+                "--table",
+                str(big_csv),
+                "--exact",
+                "SELECT city, COUNT(*) AS n FROM events GROUP BY city",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "city" in out
+        assert "NYC" in out
+
+    def test_grouped_approximate_query(self, big_csv, capsys):
+        exit_code = main(
+            [
+                "--table",
+                str(big_csv),
+                "--sample-fraction",
+                "0.5",
+                "--no-diagnostics",
+                "--seed",
+                "7",
+                "SELECT city, AVG(time) AS t FROM events GROUP BY city",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "city=NYC" in out
+
+    def test_bad_sql_reports_error(self, big_csv, capsys):
+        exit_code = main(
+            ["--table", str(big_csv), "SELECT FROM nothing"]
+        )
+        assert exit_code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_make_engine_registers_samples(self, big_csv):
+        args = build_parser().parse_args(
+            ["--table", str(big_csv), "--sample-fraction", "0.2", "q"]
+        )
+        engine = make_engine(args)
+        info, __ = engine.catalog.select_sample("events")
+        assert info.rows == 1000
+
+    def test_format_result_shows_fallback(self, big_csv):
+        args = build_parser().parse_args(
+            ["--table", str(big_csv), "--sample-fraction", "0.5", "q"]
+        )
+        engine = make_engine(args)
+        result = engine.execute(
+            "SELECT AVG(time) FROM events", error_bound=1e-9,
+            run_diagnostics=False,
+        )
+        rendered = format_result(result)
+        assert "fallback" in rendered

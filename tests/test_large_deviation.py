@@ -1,0 +1,148 @@
+"""Unit tests for large-deviation-bound error estimation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.closed_form import ClosedFormEstimator
+from repro.core.estimators import EstimationTarget
+from repro.core.large_deviation import BernsteinEstimator, HoeffdingEstimator
+from repro.engine.aggregates import get_aggregate
+from repro.errors import EstimationError
+
+
+@pytest.fixture
+def uniform_target(rng):
+    return EstimationTarget(
+        rng.uniform(0.0, 1.0, size=10_000), get_aggregate("AVG")
+    )
+
+
+class TestHoeffding:
+    def test_formula_for_mean(self, uniform_target):
+        ci = HoeffdingEstimator(low=0.0, high=1.0).estimate(uniform_target, 0.95)
+        expected = math.sqrt(math.log(2 / 0.05) / (2 * 10_000))
+        assert ci.half_width == pytest.approx(expected, rel=1e-9)
+        assert ci.method == "hoeffding"
+
+    def test_falls_back_to_sample_range(self, uniform_target):
+        ci = HoeffdingEstimator().estimate(uniform_target, 0.95)
+        assert 0 < ci.half_width < 0.05
+
+    def test_wider_than_clt(self, uniform_target):
+        """The paper's Fig. 1 premise: Hoeffding > CLT width.
+
+        Uniform data is Hoeffding's best case (σ close to range), so the
+        factor is modest here; the heavy-tail test below shows the
+        order-of-magnitude gap of Fig. 1.
+        """
+        hoeffding = HoeffdingEstimator(0.0, 1.0).estimate(uniform_target, 0.95)
+        clt = ClosedFormEstimator().estimate(uniform_target, 0.95)
+        assert hoeffding.half_width > 2 * clt.half_width
+
+    def test_orders_of_magnitude_wider_on_heavy_tails(self, rng):
+        """Production-like heavy tails: range ≫ σ ⇒ Hoeffding ≫ CLT (Fig. 1)."""
+        values = rng.pareto(2.5, size=50_000) * 100.0
+        target = EstimationTarget(values, get_aggregate("AVG"))
+        hoeffding = HoeffdingEstimator(0.0, 1e6).estimate(target, 0.95)
+        clt = ClosedFormEstimator().estimate(target, 0.95)
+        assert hoeffding.half_width > 50 * clt.half_width
+
+    def test_guaranteed_coverage_of_truth(self, rng):
+        """Hoeffding intervals essentially never miss the true mean."""
+        misses = 0
+        for __ in range(50):
+            values = rng.uniform(0.0, 1.0, size=1000)
+            target = EstimationTarget(values, get_aggregate("AVG"))
+            ci = HoeffdingEstimator(0.0, 1.0).estimate(target, 0.95)
+            if not ci.contains(0.5):
+                misses += 1
+        assert misses == 0
+
+    def test_count_aggregate(self, rng):
+        mask = rng.random(10_000) < 0.5
+        target = EstimationTarget(
+            np.ones(10_000),
+            get_aggregate("COUNT"),
+            mask=mask,
+            dataset_rows=1_000_000,
+            extensive=True,
+        )
+        ci = HoeffdingEstimator().estimate(target, 0.95)
+        assert ci.contains(500_000 * mask.mean() * 2)
+
+    def test_sum_range_includes_zero(self, rng):
+        """Filtered SUM treats non-matching rows as zero contribution."""
+        values = rng.uniform(10.0, 20.0, size=1000)
+        mask = rng.random(1000) < 0.5
+        target = EstimationTarget(
+            values, get_aggregate("SUM"), mask=mask, extensive=True,
+            dataset_rows=1000,
+        )
+        ci = HoeffdingEstimator(10.0, 20.0).estimate(target, 0.95)
+        # Per-row range must be [0, 20], not [10, 20]: half-width exceeds
+        # the bound computed with the narrower range.
+        narrower = 10.0 * math.sqrt(1000 * math.log(2 / 0.05) / 2)
+        assert ci.half_width > narrower
+
+    def test_unsupported_aggregate(self, rng):
+        target = EstimationTarget(rng.normal(size=100), get_aggregate("MAX"))
+        estimator = HoeffdingEstimator()
+        assert not estimator.applicable(target)
+        with pytest.raises(EstimationError, match="only derived"):
+            estimator.estimate(target)
+
+    def test_variance_unsupported(self, rng):
+        target = EstimationTarget(
+            rng.normal(size=100), get_aggregate("VARIANCE")
+        )
+        assert not HoeffdingEstimator().applicable(target)
+
+    def test_invalid_range(self, uniform_target):
+        with pytest.raises(EstimationError, match="invalid value range"):
+            HoeffdingEstimator(low=1.0, high=0.0).estimate(uniform_target)
+
+    def test_shrinks_with_sample_size(self, rng):
+        small = EstimationTarget(
+            rng.uniform(size=100), get_aggregate("AVG")
+        )
+        large = EstimationTarget(
+            rng.uniform(size=100_000), get_aggregate("AVG")
+        )
+        estimator = HoeffdingEstimator(0.0, 1.0)
+        assert (
+            estimator.estimate(large).half_width
+            < estimator.estimate(small).half_width
+        )
+
+
+class TestBernstein:
+    def test_tighter_than_hoeffding_on_low_variance(self, rng):
+        """Variance adaptivity: Bernstein ≪ Hoeffding when spread ≪ range."""
+        values = np.clip(rng.normal(0.5, 0.01, size=10_000), 0.0, 1.0)
+        target = EstimationTarget(values, get_aggregate("AVG"))
+        bernstein = BernsteinEstimator(0.0, 1.0).estimate(target, 0.95)
+        hoeffding = HoeffdingEstimator(0.0, 1.0).estimate(target, 0.95)
+        assert bernstein.half_width < hoeffding.half_width / 3
+
+    def test_still_conservative_vs_clt(self, uniform_target):
+        bernstein = BernsteinEstimator(0.0, 1.0).estimate(uniform_target, 0.95)
+        clt = ClosedFormEstimator().estimate(uniform_target, 0.95)
+        assert bernstein.half_width > clt.half_width
+
+    def test_method_name(self, uniform_target):
+        ci = BernsteinEstimator().estimate(uniform_target)
+        assert ci.method == "bernstein"
+
+    def test_count_supported(self, rng):
+        mask = rng.random(1000) < 0.2
+        target = EstimationTarget(
+            np.ones(1000), get_aggregate("COUNT"), mask=mask
+        )
+        ci = BernsteinEstimator().estimate(target, 0.9)
+        assert ci.half_width > 0
+
+    def test_invalid_confidence(self, uniform_target):
+        with pytest.raises(EstimationError):
+            BernsteinEstimator().estimate(uniform_target, confidence=0.0)

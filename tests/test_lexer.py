@@ -1,0 +1,100 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import TokenizeError
+from repro.sql.lexer import Token, TokenType, tokenize
+
+
+def types_of(text):
+    return [t.type for t in tokenize(text)]
+
+
+def values_of(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_keywords_upper_cased(self):
+        assert values_of("select from where") == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_preserve_case(self):
+        assert values_of("myTable Col_1") == ["myTable", "Col_1"]
+
+    def test_eof_always_appended(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+        assert tokenize("SELECT")[-1].type is TokenType.EOF
+
+    def test_numbers(self):
+        assert values_of("1 2.5 .5 1e3 1.5E-2") == ["1", "2.5", ".5", "1e3", "1.5E-2"]
+
+    def test_number_type(self):
+        assert types_of("42")[0] is TokenType.NUMBER
+
+    def test_string_literal(self):
+        tokens = tokenize("'hello world'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "hello world"
+
+    def test_string_escape_doubles_quote(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_operators(self):
+        assert values_of("<= >= <> != = < > + - * / %") == [
+            "<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/", "%",
+        ]
+
+    def test_punctuation(self):
+        assert values_of("( ) , .") == ["(", ")", ",", "."]
+
+    def test_positions_recorded(self):
+        tokens = tokenize("SELECT x")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment_skipped(self):
+        assert values_of("SELECT -- a comment\n x") == ["SELECT", "x"]
+
+    def test_comment_at_end_of_input(self):
+        assert values_of("SELECT x -- trailing") == ["SELECT", "x"]
+
+    def test_mixed_whitespace(self):
+        assert values_of("SELECT\t\n  x") == ["SELECT", "x"]
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(TokenizeError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(TokenizeError, match="unexpected character"):
+            tokenize("SELECT #")
+
+    def test_malformed_number(self):
+        with pytest.raises(TokenizeError, match="malformed number"):
+            tokenize("1e")
+
+    def test_error_carries_position(self):
+        with pytest.raises(TokenizeError) as excinfo:
+            tokenize("ab @")
+        assert excinfo.value.position == 3
+
+
+class TestTokenMatches:
+    def test_matches_type_only(self):
+        token = Token(TokenType.KEYWORD, "SELECT", 0)
+        assert token.matches(TokenType.KEYWORD)
+
+    def test_matches_type_and_value(self):
+        token = Token(TokenType.KEYWORD, "SELECT", 0)
+        assert token.matches(TokenType.KEYWORD, "SELECT")
+        assert not token.matches(TokenType.KEYWORD, "FROM")
+
+    def test_tablesample_keywords(self):
+        assert values_of("TABLESAMPLE POISSONIZED") == [
+            "TABLESAMPLE",
+            "POISSONIZED",
+        ]

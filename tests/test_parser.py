@@ -1,0 +1,239 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast
+from repro.sql.parser import parse, parse_expression, parse_select
+
+
+class TestSelectStructure:
+    def test_minimal_select(self):
+        stmt = parse("SELECT x FROM t")
+        assert isinstance(stmt, ast.SelectStatement)
+        assert stmt.source.name == "t"
+        assert len(stmt.items) == 1
+
+    def test_select_star(self):
+        stmt = parse_select("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expression, ast.Star)
+
+    def test_multiple_items_with_aliases(self):
+        stmt = parse_select("SELECT a AS first, b second, c FROM t")
+        assert stmt.items[0].alias == "first"
+        assert stmt.items[1].alias == "second"
+        assert stmt.items[2].alias is None
+
+    def test_where_clause(self):
+        stmt = parse_select("SELECT x FROM t WHERE x > 5")
+        assert isinstance(stmt.where, ast.BinaryOp)
+        assert stmt.where.op == ">"
+
+    def test_group_by_multiple_keys(self):
+        stmt = parse_select("SELECT city, AVG(x) FROM t GROUP BY city, state")
+        assert len(stmt.group_by) == 2
+
+    def test_having(self):
+        stmt = parse_select(
+            "SELECT city, AVG(x) FROM t GROUP BY city HAVING AVG(x) > 3"
+        )
+        assert stmt.having is not None
+
+    def test_order_by_directions(self):
+        stmt = parse_select("SELECT x FROM t ORDER BY a ASC, b DESC, c")
+        assert [o.ascending for o in stmt.order_by] == [True, False, True]
+
+    def test_limit(self):
+        assert parse_select("SELECT x FROM t LIMIT 10").limit == 10
+
+    def test_subquery_in_from(self):
+        stmt = parse_select("SELECT AVG(v) FROM (SELECT x AS v FROM t) AS inner_q")
+        assert stmt.source.subquery is not None
+        assert stmt.source.alias == "inner_q"
+
+    def test_tablesample_poissonized(self):
+        stmt = parse_select("SELECT x FROM t TABLESAMPLE POISSONIZED (100)")
+        assert stmt.source.sample.rate == 100.0
+
+    def test_union_all(self):
+        stmt = parse("SELECT x FROM t UNION ALL SELECT x FROM t UNION ALL SELECT x FROM t")
+        assert isinstance(stmt, ast.UnionAll)
+        assert len(stmt.selects) == 3
+
+    def test_paper_baseline_query_shape(self):
+        """The §5.2 rewrite pattern parses end-to-end."""
+        text = (
+            "SELECT AVG(col_s) AS resample_answer FROM s "
+            "TABLESAMPLE POISSONIZED (100) "
+            "UNION ALL "
+            "SELECT AVG(col_s) AS resample_answer FROM s "
+            "TABLESAMPLE POISSONIZED (100)"
+        )
+        stmt = parse(text)
+        assert isinstance(stmt, ast.UnionAll)
+        assert all(s.source.sample.rate == 100.0 for s in stmt.selects)
+
+
+class TestExpressions:
+    def test_precedence_multiplication_over_addition(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_and_over_or(self):
+        expr = parse_expression("a OR b AND c")
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_not_binds_tighter_than_and(self):
+        expr = parse_expression("NOT a AND b")
+        assert expr.op == "AND"
+        assert isinstance(expr.left, ast.UnaryOp)
+
+    def test_parentheses_override(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_minus(self):
+        expr = parse_expression("-x")
+        assert isinstance(expr, ast.UnaryOp)
+        assert expr.op == "-"
+
+    def test_unary_plus_is_dropped(self):
+        expr = parse_expression("+x")
+        assert isinstance(expr, ast.ColumnRef)
+
+    def test_comparison_normalises_diamond(self):
+        expr = parse_expression("a <> b")
+        assert expr.op == "!="
+
+    def test_in_list(self):
+        expr = parse_expression("city IN ('NYC', 'SF')")
+        assert isinstance(expr, ast.InList)
+        assert len(expr.items) == 2
+
+    def test_not_in_list(self):
+        expr = parse_expression("city NOT IN ('NYC')")
+        assert expr.negated
+
+    def test_between(self):
+        expr = parse_expression("x BETWEEN 1 AND 10")
+        assert isinstance(expr, ast.Between)
+
+    def test_not_between(self):
+        expr = parse_expression("x NOT BETWEEN 1 AND 10")
+        assert expr.negated
+
+    def test_is_null_and_is_not_null(self):
+        assert not parse_expression("x IS NULL").negated
+        assert parse_expression("x IS NOT NULL").negated
+
+    def test_like(self):
+        expr = parse_expression("name LIKE 'A%'")
+        assert isinstance(expr, ast.Like)
+        assert expr.pattern == "A%"
+
+    def test_case_when(self):
+        expr = parse_expression("CASE WHEN x > 1 THEN 2 ELSE 3 END")
+        assert isinstance(expr, ast.CaseWhen)
+        assert len(expr.branches) == 1
+        assert expr.default is not None
+
+    def test_case_without_else(self):
+        expr = parse_expression("CASE WHEN x > 1 THEN 2 END")
+        assert expr.default is None
+
+    def test_qualified_column(self):
+        expr = parse_expression("t.x")
+        assert expr.table == "t"
+        assert expr.name == "x"
+
+    def test_function_call_upper_cased(self):
+        expr = parse_expression("avg(x)")
+        assert expr.name == "AVG"
+
+    def test_count_star(self):
+        expr = parse_expression("COUNT(*)")
+        assert isinstance(expr.args[0], ast.Star)
+
+    def test_count_distinct(self):
+        expr = parse_expression("COUNT(DISTINCT x)")
+        assert expr.distinct
+
+    def test_percentile_two_args(self):
+        expr = parse_expression("PERCENTILE(x, 0.95)")
+        assert len(expr.args) == 2
+
+    def test_boolean_and_null_literals(self):
+        assert parse_expression("TRUE").value is True
+        assert parse_expression("FALSE").value is False
+        assert parse_expression("NULL").value is None
+
+    def test_integer_vs_float_literals(self):
+        assert isinstance(parse_expression("3").value, int)
+        assert isinstance(parse_expression("3.5").value, float)
+
+    def test_select_star_vs_multiplication(self):
+        stmt = parse_select("SELECT a * b FROM t")
+        assert isinstance(stmt.items[0].expression, ast.BinaryOp)
+
+
+class TestRoundTrips:
+    """Parsing the printed SQL must yield the identical AST."""
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "SELECT AVG(time) FROM sessions WHERE city = 'NYC'",
+            "SELECT COUNT(*) FROM t",
+            "SELECT city, SUM(bytes) AS total FROM t GROUP BY city",
+            "SELECT x FROM t WHERE a > 1 AND b < 2 OR NOT c = 3",
+            "SELECT PERCENTILE(latency, 0.99) FROM requests",
+            "SELECT x FROM t WHERE v BETWEEN 1 AND 2",
+            "SELECT x FROM t WHERE city IN ('NYC', 'SF')",
+            "SELECT x FROM t WHERE name LIKE 'A_%'",
+            "SELECT MAX(x) FROM (SELECT y AS x FROM u) AS sub",
+            "SELECT x FROM t TABLESAMPLE POISSONIZED (100)",
+            "SELECT x FROM t ORDER BY x DESC LIMIT 5",
+            "SELECT CASE WHEN x > 0 THEN 1 ELSE 0 END AS sgn FROM t",
+            "SELECT COUNT(DISTINCT user_id) FROM visits",
+        ],
+    )
+    def test_round_trip(self, text):
+        first = parse(text)
+        second = parse(first.to_sql())
+        assert first == second
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "SELECT",
+            "SELECT FROM t",
+            "SELECT x",
+            "SELECT x FROM",
+            "SELECT x FROM t WHERE",
+            "SELECT x FROM t GROUP city",
+            "SELECT x FROM t UNION SELECT x FROM t",  # missing ALL
+            "SELECT x FROM t LIMIT x",
+            "SELECT x FROM (SELECT y FROM u",  # unclosed subquery
+            "SELECT f(x FROM t",
+            "SELECT x FROM t WHERE a NOT b",
+            "SELECT CASE END FROM t",
+            "SELECT x FROM t extra garbage (",
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(ParseError):
+            parse(text)
+
+    def test_error_reports_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse("SELECT x FROM t WHERE ")
+        assert excinfo.value.position is not None
+
+    def test_parse_select_rejects_union(self):
+        with pytest.raises(ParseError, match="single SELECT"):
+            parse_select("SELECT x FROM t UNION ALL SELECT x FROM t")

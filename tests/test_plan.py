@@ -1,0 +1,229 @@
+"""Unit tests for logical plans and the §5.3 rewriter."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.plan.logical import (
+    LogicalAggregate,
+    LogicalBootstrapSummary,
+    LogicalDiagnostic,
+    LogicalFilter,
+    LogicalProject,
+    LogicalResample,
+    LogicalScan,
+    LogicalUnionAll,
+    ResampleSpec,
+    build_error_estimation_plan,
+    build_naive_error_plan,
+    build_plain_plan,
+    count_scans,
+    explain,
+    walk_plan,
+)
+from repro.plan.rewriter import (
+    consolidate_scans,
+    push_down_resample,
+    rewrite_plan,
+)
+from repro.sql.analyzer import analyze
+from repro.sql.parser import parse_select
+
+SCHEMA = {"time", "city", "bytes"}
+
+
+def analyzed(text):
+    return analyze(parse_select(text), SCHEMA)
+
+
+@pytest.fixture
+def avg_query():
+    return analyzed("SELECT AVG(time) AS a FROM sessions WHERE city = 'NYC'")
+
+
+class TestResampleSpec:
+    def test_total_columns_bootstrap_only(self):
+        assert ResampleSpec(bootstrap_columns=100).total_weight_columns == 100
+
+    def test_total_columns_with_diagnostics(self):
+        spec = ResampleSpec(
+            bootstrap_columns=100,
+            diagnostic_groups=((50, 100, 100), (100, 100, 100), (200, 100, 100)),
+        )
+        # The paper's Fig. 6(a) layout: 100 bootstrap + 3 × 100 × 100.
+        assert spec.total_weight_columns == 100 + 3 * 100 * 100
+
+    def test_closed_form_diagnostics_need_no_columns(self):
+        spec = ResampleSpec(diagnostic_groups=((50, 100, 0),))
+        assert spec.total_weight_columns == 0
+
+
+class TestPlainPlan:
+    def test_shape(self, avg_query):
+        plan = build_plain_plan(avg_query, sample_name="s")
+        assert isinstance(plan, LogicalAggregate)
+        assert isinstance(plan.child, LogicalFilter)
+        assert isinstance(plan.child.child, LogicalScan)
+        assert plan.child.child.sample_name == "s"
+
+    def test_no_filter(self):
+        plan = build_plain_plan(analyzed("SELECT AVG(time) FROM sessions"))
+        assert isinstance(plan.child, LogicalScan)
+
+    def test_projection_query(self):
+        plan = build_plain_plan(analyzed("SELECT time FROM sessions"))
+        assert isinstance(plan, LogicalProject)
+
+    def test_explain_renders_tree(self, avg_query):
+        text = explain(build_plain_plan(avg_query))
+        assert "Aggregate(AVG)" in text
+        assert "Filter" in text
+        assert "Scan(sessions)" in text
+
+
+class TestNaivePlan:
+    def test_one_subquery_per_resample_plus_plain(self, avg_query):
+        plan = build_naive_error_plan(avg_query, 100)
+        union = plan.child
+        assert isinstance(union, LogicalUnionAll)
+        assert len(union.subplans) == 101
+
+    def test_each_resample_subquery_rescans(self, avg_query):
+        plan = build_naive_error_plan(avg_query, 50)
+        assert count_scans(plan) == 51
+
+    def test_resample_sits_right_after_scan(self, avg_query):
+        """The un-optimised position: weights computed before filters."""
+        plan = build_naive_error_plan(avg_query, 3)
+        resample_nodes = [
+            node
+            for node in walk_plan(plan)
+            if isinstance(node, LogicalResample)
+        ]
+        assert len(resample_nodes) == 3
+        assert all(isinstance(n.child, LogicalScan) for n in resample_nodes)
+
+    def test_rejects_non_aggregate_query(self):
+        with pytest.raises(PlanError, match="aggregate"):
+            build_naive_error_plan(analyzed("SELECT time FROM sessions"), 10)
+
+    def test_rejects_zero_resamples(self, avg_query):
+        with pytest.raises(PlanError, match="positive"):
+            build_naive_error_plan(avg_query, 0)
+
+
+class TestConsolidatedPlan:
+    def test_single_scan(self, avg_query):
+        plan = build_error_estimation_plan(
+            avg_query, ResampleSpec(bootstrap_columns=100)
+        )
+        assert count_scans(plan) == 1
+
+    def test_diagnostic_operator_added_when_requested(self, avg_query):
+        plan = build_error_estimation_plan(
+            avg_query,
+            ResampleSpec(
+                bootstrap_columns=100, diagnostic_groups=((50, 10, 10),)
+            ),
+        )
+        assert isinstance(plan, LogicalDiagnostic)
+
+    def test_no_diagnostic_operator_without_groups(self, avg_query):
+        plan = build_error_estimation_plan(
+            avg_query, ResampleSpec(bootstrap_columns=100)
+        )
+        assert isinstance(plan, LogicalBootstrapSummary)
+
+
+class TestScanConsolidation:
+    def test_collapses_union(self, avg_query):
+        naive = build_naive_error_plan(avg_query, 100)
+        consolidated, changed = consolidate_scans(naive)
+        assert changed
+        assert count_scans(consolidated) == 1
+
+    def test_combined_weight_columns(self, avg_query):
+        naive = build_naive_error_plan(avg_query, 64)
+        consolidated, __ = consolidate_scans(naive)
+        resample = next(
+            node
+            for node in walk_plan(consolidated)
+            if isinstance(node, LogicalResample)
+        )
+        assert resample.spec.total_weight_columns == 64
+
+    def test_idempotent(self, avg_query):
+        naive = build_naive_error_plan(avg_query, 10)
+        once, __ = consolidate_scans(naive)
+        twice, changed = consolidate_scans(once)
+        assert not changed
+        assert twice == once
+
+    def test_plain_plan_unchanged(self, avg_query):
+        plan = build_plain_plan(avg_query)
+        rewritten, changed = consolidate_scans(plan)
+        assert not changed
+        assert rewritten == plan
+
+
+class TestOperatorPushdown:
+    def test_moves_resample_below_aggregate(self, avg_query):
+        plan = build_error_estimation_plan(
+            avg_query, ResampleSpec(bootstrap_columns=10)
+        )
+        pushed, changed = push_down_resample(plan)
+        assert changed
+        resample = next(
+            node for node in walk_plan(pushed) if isinstance(node, LogicalResample)
+        )
+        # After pushdown the Resample sits on top of the Filter.
+        assert isinstance(resample.child, LogicalFilter)
+
+    def test_aggregate_directly_consumes_resample(self, avg_query):
+        plan = build_error_estimation_plan(
+            avg_query, ResampleSpec(bootstrap_columns=10)
+        )
+        pushed, __ = push_down_resample(plan)
+        aggregate = next(
+            node for node in walk_plan(pushed) if isinstance(node, LogicalAggregate)
+        )
+        assert isinstance(aggregate.child, LogicalResample)
+
+    def test_no_filter_means_nothing_to_push(self):
+        query = analyzed("SELECT AVG(time) FROM sessions")
+        plan = build_error_estimation_plan(
+            query, ResampleSpec(bootstrap_columns=10)
+        )
+        __, changed = push_down_resample(plan)
+        assert not changed
+
+    def test_idempotent(self, avg_query):
+        plan = build_error_estimation_plan(
+            avg_query, ResampleSpec(bootstrap_columns=10)
+        )
+        once, __ = push_down_resample(plan)
+        twice, changed = push_down_resample(once)
+        assert not changed
+        assert twice == once
+
+
+class TestRewritePlan:
+    def test_full_rewrite_of_naive_plan(self, avg_query):
+        naive = build_naive_error_plan(avg_query, 100)
+        report = rewrite_plan(naive)
+        assert report.rules_applied == (
+            "scan_consolidation",
+            "resample_pushdown",
+        )
+        assert report.scans_before == 101
+        assert report.scans_after == 1
+
+    def test_rewrite_preserves_summary_operator(self, avg_query):
+        naive = build_naive_error_plan(avg_query, 10)
+        report = rewrite_plan(naive)
+        assert isinstance(report.plan, LogicalBootstrapSummary)
+
+    def test_rewrite_of_plain_plan_is_noop(self, avg_query):
+        plan = build_plain_plan(avg_query)
+        report = rewrite_plan(plan)
+        assert report.rules_applied == ()
+        assert report.plan == plan

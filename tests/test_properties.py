@@ -1,0 +1,323 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.cluster.simulator import _lpt_makespan
+from repro.core.ci import symmetric_half_width
+from repro.core.ground_truth import Verdict, classify_deltas
+from repro.engine import Table, concat_tables
+from repro.engine.aggregates import (
+    AvgAggregate,
+    CountAggregate,
+    MaxAggregate,
+    MinAggregate,
+    PercentileAggregate,
+    SumAggregate,
+    VarianceAggregate,
+    weighted_quantile,
+)
+from repro.sql import ast
+from repro.sql.parser import parse
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+value_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=60),
+    elements=finite_floats,
+)
+
+
+@st.composite
+def values_with_weights(draw):
+    values = draw(value_arrays)
+    weights = draw(
+        hnp.arrays(
+            dtype=np.int64,
+            shape=len(values),
+            elements=st.integers(min_value=0, max_value=5),
+        )
+    )
+    return values, weights
+
+
+class TestWeightedAggregatesMatchExpansion:
+    """compute(values, weights) ≡ compute(np.repeat(values, weights))."""
+
+    @given(values_with_weights())
+    @settings(max_examples=60)
+    def test_sum(self, data):
+        values, weights = data
+        expanded = np.repeat(values, weights)
+        assert np.isclose(
+            SumAggregate().compute(values, weights),
+            expanded.sum(),
+            rtol=1e-9,
+            atol=1e-6,
+        )
+
+    @given(values_with_weights())
+    @settings(max_examples=60)
+    def test_count(self, data):
+        values, weights = data
+        assert CountAggregate().compute(values, weights) == weights.sum()
+
+    @given(values_with_weights())
+    @settings(max_examples=60)
+    def test_avg(self, data):
+        values, weights = data
+        expanded = np.repeat(values, weights)
+        result = AvgAggregate().compute(values, weights)
+        if len(expanded) == 0:
+            assert np.isnan(result)
+        else:
+            assert np.isclose(result, expanded.mean(), rtol=1e-9, atol=1e-6)
+
+    @given(values_with_weights())
+    @settings(max_examples=60)
+    def test_variance(self, data):
+        values, weights = data
+        expanded = np.repeat(values, weights)
+        result = VarianceAggregate().compute(values, weights)
+        if len(expanded) < 2:
+            assert np.isnan(result)
+        else:
+            assert np.isclose(
+                result, expanded.var(ddof=1), rtol=1e-7, atol=1e-5
+            )
+
+    @given(values_with_weights())
+    @settings(max_examples=60)
+    def test_min_max(self, data):
+        values, weights = data
+        expanded = np.repeat(values, weights)
+        min_result = MinAggregate().compute(values, weights)
+        max_result = MaxAggregate().compute(values, weights)
+        if len(expanded) == 0:
+            assert np.isnan(min_result) and np.isnan(max_result)
+        else:
+            assert min_result == expanded.min()
+            assert max_result == expanded.max()
+
+    @given(
+        values_with_weights(),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60)
+    def test_quantile(self, data, fraction):
+        values, weights = data
+        expanded = np.repeat(values, weights)
+        result = weighted_quantile(values, weights.astype(float), fraction)
+        if len(expanded) == 0:
+            assert np.isnan(result)
+        else:
+            assert result == np.quantile(
+                expanded, fraction, method="inverted_cdf"
+            )
+
+
+class TestPartialAggregationInvariants:
+    """Split-merge must equal whole-array evaluation at any split point."""
+
+    @given(values_with_weights(), st.integers(min_value=0, max_value=60))
+    @settings(max_examples=60)
+    def test_split_anywhere(self, data, raw_split):
+        values, weights = data
+        split = min(raw_split, len(values))
+        for aggregate in (SumAggregate(), AvgAggregate(), VarianceAggregate()):
+            whole = aggregate.compute(values, weights)
+            left = aggregate.make_state(values[:split], weights[:split])
+            right = aggregate.make_state(values[split:], weights[split:])
+            merged = aggregate.finalize_state(
+                aggregate.merge_states(left, right)
+            )
+            if np.isnan(whole):
+                assert np.isnan(merged)
+            else:
+                # Raw-moment merging carries cancellation error on the
+                # scale of values² · machine epsilon.
+                scale_atol = 1e-9 * (1.0 + float(np.abs(values).max()) ** 2)
+                assert np.isclose(
+                    merged, whole, rtol=1e-7, atol=max(1e-5, scale_atol)
+                )
+
+    @given(values_with_weights())
+    @settings(max_examples=40)
+    def test_merge_commutative(self, data):
+        values, weights = data
+        split = len(values) // 2
+        aggregate = VarianceAggregate()
+        left = aggregate.make_state(values[:split], weights[:split])
+        right = aggregate.make_state(values[split:], weights[split:])
+        forward = aggregate.merge_states(left, right)
+        backward = aggregate.merge_states(right, left)
+        assert np.allclose(forward, backward)
+
+
+class TestSymmetricIntervalProperties:
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.integers(min_value=5, max_value=200),
+            elements=finite_floats,
+        ),
+        st.floats(min_value=0.05, max_value=0.99),
+    )
+    @settings(max_examples=80)
+    def test_coverage_at_least_alpha(self, distribution, confidence):
+        center = float(np.median(distribution))
+        half = symmetric_half_width(distribution, center, confidence)
+        covered = np.mean(np.abs(distribution - center) <= half)
+        assert covered >= confidence - 1e-12
+
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.integers(min_value=5, max_value=100),
+            elements=finite_floats,
+        )
+    )
+    @settings(max_examples=60)
+    def test_monotone_in_confidence(self, distribution):
+        center = float(distribution.mean())
+        narrow = symmetric_half_width(distribution, center, 0.5)
+        wide = symmetric_half_width(distribution, center, 0.95)
+        assert wide >= narrow
+
+
+class TestClassifyDeltasProperties:
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.integers(min_value=1, max_value=100),
+            elements=st.floats(
+                min_value=-0.19, max_value=0.19,
+                allow_nan=False, allow_infinity=False,
+            ),
+        )
+    )
+    @settings(max_examples=50)
+    def test_in_band_always_correct(self, deltas):
+        assert classify_deltas(deltas) is Verdict.CORRECT
+
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.integers(min_value=1, max_value=100),
+            elements=st.floats(
+                min_value=0.21, max_value=10.0,
+                allow_nan=False, allow_infinity=False,
+            ),
+        )
+    )
+    @settings(max_examples=50)
+    def test_all_above_band_pessimistic(self, deltas):
+        assert classify_deltas(deltas) is Verdict.PESSIMISTIC
+
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.integers(min_value=1, max_value=100),
+            elements=st.floats(
+                min_value=-10.0, max_value=10.0,
+                allow_nan=False, allow_infinity=False,
+            ),
+        )
+    )
+    @settings(max_examples=50)
+    def test_negation_swaps_failure_direction(self, deltas):
+        verdict = classify_deltas(deltas)
+        mirrored = classify_deltas(-deltas)
+        swap = {
+            Verdict.PESSIMISTIC: Verdict.OPTIMISTIC,
+            Verdict.OPTIMISTIC: Verdict.PESSIMISTIC,
+            Verdict.CORRECT: Verdict.CORRECT,
+        }
+        # Ties (equal exceedance both sides) resolve to OPTIMISTIC on
+        # both, so allow the tie case through.
+        if verdict is not mirrored:
+            assert mirrored is swap[verdict]
+
+
+class TestTableInvariants:
+    @given(value_arrays, st.data())
+    @settings(max_examples=50)
+    def test_filter_row_count(self, values, data):
+        table = Table({"v": values})
+        mask = data.draw(
+            hnp.arrays(dtype=np.bool_, shape=len(values))
+        )
+        assert table.filter(mask).num_rows == int(mask.sum())
+
+    @given(value_arrays, st.integers(min_value=1, max_value=7))
+    @settings(max_examples=50)
+    def test_partition_concat_round_trip(self, values, parts):
+        table = Table({"v": values})
+        reassembled = concat_tables(table.partition(parts))
+        assert reassembled == table
+
+    @given(value_arrays, st.integers(min_value=1, max_value=20))
+    @settings(max_examples=50)
+    def test_partition_rows_covers_everything(self, values, rows_per_part):
+        table = Table({"v": values})
+        parts = table.partition_rows(rows_per_part)
+        assert sum(p.num_rows for p in parts) == table.num_rows
+        assert all(p.num_rows <= rows_per_part for p in parts)
+
+
+class TestLptMakespanBounds:
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.integers(min_value=1, max_value=60),
+            elements=st.floats(
+                min_value=0.001, max_value=100.0,
+                allow_nan=False, allow_infinity=False,
+            ),
+        ),
+        st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=60)
+    def test_bounds(self, durations, slots):
+        makespan = _lpt_makespan(durations, slots)
+        # Lower bounds: the longest task, and perfect load balance.
+        assert makespan >= durations.max() - 1e-9
+        assert makespan >= durations.sum() / slots - 1e-9
+        # Upper bound: the LPT guarantee (sum/slots + max).
+        assert makespan <= durations.sum() / slots + durations.max() + 1e-9
+
+
+class TestParserRoundTripProperty:
+    """Randomly composed queries survive a parse → print → parse cycle."""
+
+    identifiers = st.sampled_from(["a", "b", "c", "col_1", "value"])
+    numbers = st.integers(min_value=0, max_value=999)
+
+    @st.composite
+    def simple_query(draw):
+        agg = draw(st.sampled_from(["AVG", "SUM", "COUNT", "MIN", "MAX"]))
+        column = draw(TestParserRoundTripProperty.identifiers)
+        table = draw(st.sampled_from(["t", "sessions", "events"]))
+        argument = "*" if agg == "COUNT" and draw(st.booleans()) else column
+        sql = f"SELECT {agg}({argument}) FROM {table}"
+        if draw(st.booleans()):
+            threshold = draw(TestParserRoundTripProperty.numbers)
+            op = draw(st.sampled_from([">", "<", "=", ">=", "<=", "!="]))
+            other = draw(TestParserRoundTripProperty.identifiers)
+            sql += f" WHERE {other} {op} {threshold}"
+        if draw(st.booleans()):
+            key = draw(TestParserRoundTripProperty.identifiers)
+            sql += f" GROUP BY {key}"
+        return sql
+
+    @given(simple_query())
+    @settings(max_examples=100)
+    def test_round_trip(self, sql):
+        first = parse(sql)
+        second = parse(first.to_sql())
+        assert first == second
+        assert isinstance(first, ast.SelectStatement)

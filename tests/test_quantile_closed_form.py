@@ -1,0 +1,137 @@
+"""Unit tests for the closed-form quantile estimator (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BootstrapEstimator, EstimationTarget, diagnose
+from repro.core.diagnostics import DiagnosticConfig
+from repro.core.ground_truth import DatasetQuery, true_interval
+from repro.core.quantile_closed_form import (
+    QuantileClosedFormEstimator,
+    kde_density_at,
+    silverman_bandwidth,
+)
+from repro.engine.aggregates import get_aggregate
+from repro.errors import EstimationError
+
+
+class TestBandwidthAndDensity:
+    def test_bandwidth_positive_and_shrinks_with_n(self, rng):
+        small = silverman_bandwidth(rng.normal(size=100))
+        large = silverman_bandwidth(rng.normal(size=100_000))
+        assert 0 < large < small
+
+    def test_bandwidth_rejects_constant_data(self):
+        with pytest.raises(EstimationError, match="degenerate"):
+            silverman_bandwidth(np.full(100, 3.0))
+
+    def test_bandwidth_needs_two_values(self):
+        with pytest.raises(EstimationError):
+            silverman_bandwidth(np.array([1.0]))
+
+    def test_density_matches_normal_pdf(self, rng):
+        values = rng.normal(0.0, 1.0, 100_000)
+        estimated = kde_density_at(values, 0.0)
+        truth = 1.0 / np.sqrt(2 * np.pi)
+        assert estimated == pytest.approx(truth, rel=0.1)
+
+    def test_density_in_tail_is_small(self, rng):
+        values = rng.normal(0.0, 1.0, 50_000)
+        assert kde_density_at(values, 0.0) > 10 * kde_density_at(values, 3.5)
+
+
+class TestApplicability:
+    def test_applies_to_central_percentiles(self, rng):
+        target = EstimationTarget(
+            rng.normal(size=1000), get_aggregate("PERCENTILE", 0.5)
+        )
+        assert QuantileClosedFormEstimator().applicable(target)
+
+    @pytest.mark.parametrize("fraction", [0.001, 0.999])
+    def test_rejects_extreme_percentiles(self, rng, fraction):
+        target = EstimationTarget(
+            rng.normal(size=1000), get_aggregate("PERCENTILE", fraction)
+        )
+        estimator = QuantileClosedFormEstimator()
+        assert not estimator.applicable(target)
+        with pytest.raises(EstimationError, match="non-extreme"):
+            estimator.estimate(target)
+
+    def test_rejects_non_percentile_aggregates(self, rng):
+        target = EstimationTarget(rng.normal(size=1000), get_aggregate("AVG"))
+        assert not QuantileClosedFormEstimator().applicable(target)
+
+    def test_needs_enough_rows(self, rng):
+        target = EstimationTarget(
+            rng.normal(size=10), get_aggregate("PERCENTILE", 0.5)
+        )
+        with pytest.raises(EstimationError, match="at least 30"):
+            QuantileClosedFormEstimator().estimate(target)
+
+
+class TestAccuracy:
+    def test_matches_bootstrap_on_smooth_data(self, rng):
+        values = rng.lognormal(2.0, 0.6, 30_000)
+        target = EstimationTarget(values, get_aggregate("PERCENTILE", 0.5))
+        closed = QuantileClosedFormEstimator().estimate(target, 0.95)
+        boot = BootstrapEstimator(300, rng).estimate(target, 0.95)
+        assert closed.half_width == pytest.approx(boot.half_width, rel=0.25)
+
+    def test_matches_ground_truth_width(self, rng):
+        dataset = rng.normal(10.0, 2.0, 400_000)
+        query = DatasetQuery(dataset, get_aggregate("PERCENTILE", 0.75))
+        truth = true_interval(query, 10_000, 0.95, 300, rng)
+        target = query.sample_target(10_000, rng)
+        closed = QuantileClosedFormEstimator().estimate(target, 0.95)
+        assert closed.half_width == pytest.approx(truth.half_width, rel=0.3)
+
+    def test_respects_filter_mask(self, rng):
+        values = rng.normal(size=20_000)
+        mask = values > 0
+        target = EstimationTarget(
+            values, get_aggregate("PERCENTILE", 0.5), mask=mask
+        )
+        interval = QuantileClosedFormEstimator().estimate(target, 0.95)
+        assert interval.estimate == pytest.approx(
+            np.median(values[values > 0]), abs=0.05
+        )
+
+    def test_deterministic(self, rng):
+        target = EstimationTarget(
+            rng.lognormal(1.0, 0.5, 5000), get_aggregate("PERCENTILE", 0.9)
+        )
+        estimator = QuantileClosedFormEstimator()
+        assert (
+            estimator.estimate(target).half_width
+            == estimator.estimate(target).half_width
+        )
+
+
+class TestDiagnosticIntegration:
+    """The paper's generalisation claim: the diagnostic validates any ξ."""
+
+    def test_diagnostic_passes_on_smooth_data(self, rng):
+        values = np.random.default_rng(3).lognormal(2.0, 0.5, 60_000)
+        target = EstimationTarget(values, get_aggregate("PERCENTILE", 0.5))
+        result = diagnose(
+            target,
+            QuantileClosedFormEstimator(),
+            0.95,
+            DiagnosticConfig(num_subsamples=40, num_sizes=3),
+            rng,
+        )
+        assert result.passed
+
+    def test_diagnostic_fails_on_lumpy_data(self, rng):
+        # Data with atoms: a discrete ladder where the density assumption
+        # is violated (the quantile sits on a point mass).
+        values = np.random.default_rng(4).integers(0, 5, 60_000).astype(float)
+        target = EstimationTarget(values, get_aggregate("PERCENTILE", 0.5))
+        result = diagnose(
+            target,
+            QuantileClosedFormEstimator(),
+            0.95,
+            DiagnosticConfig(num_subsamples=40, num_sizes=3),
+            rng,
+        )
+        assert not result.passed

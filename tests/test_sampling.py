@@ -1,0 +1,277 @@
+"""Unit tests for the sampling and resampling module."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Table
+from repro.errors import CatalogError, DiagnosticError, SamplingError
+from repro.sampling import (
+    PoissonizedResampler,
+    SampleCatalog,
+    TupleAugmentationResampler,
+    disjoint_subsamples,
+    exact_resample_counts,
+    materialize_exact_resample,
+    materialize_poisson_resample,
+    poisson_weight_matrix,
+    poisson_weights,
+    simple_random_sample,
+    subsample_index_blocks,
+)
+
+
+class TestSimpleRandomSample:
+    def test_by_size(self, sessions_table, rng):
+        sample = simple_random_sample(sessions_table, size=100, rng=rng)
+        assert sample.num_rows == 100
+
+    def test_by_fraction(self, sessions_table, rng):
+        sample = simple_random_sample(sessions_table, fraction=0.1, rng=rng)
+        assert sample.num_rows == 200
+
+    def test_both_parameters_rejected(self, sessions_table, rng):
+        with pytest.raises(SamplingError, match="exactly one"):
+            simple_random_sample(sessions_table, size=10, fraction=0.1, rng=rng)
+
+    def test_neither_parameter_rejected(self, sessions_table, rng):
+        with pytest.raises(SamplingError, match="exactly one"):
+            simple_random_sample(sessions_table, rng=rng)
+
+    def test_fraction_out_of_range(self, sessions_table, rng):
+        with pytest.raises(SamplingError, match="fraction"):
+            simple_random_sample(sessions_table, fraction=1.5, rng=rng)
+
+    def test_oversized_without_replacement(self, sessions_table, rng):
+        with pytest.raises(SamplingError, match="without replacement"):
+            simple_random_sample(sessions_table, size=10**6, rng=rng)
+
+    def test_with_replacement_allows_oversize(self, tiny_table, rng):
+        sample = simple_random_sample(
+            tiny_table, size=50, rng=rng, replacement=True
+        )
+        assert sample.num_rows == 50
+
+    def test_values_come_from_dataset(self, sessions_table, rng):
+        sample = simple_random_sample(sessions_table, size=50, rng=rng)
+        assert set(sample.column("city")) <= set(sessions_table.column("city"))
+
+
+class TestPoissonWeights:
+    def test_vector_shape_and_dtype(self, rng):
+        weights = poisson_weights(1000, rng)
+        assert weights.shape == (1000,)
+        assert weights.dtype == np.int64
+
+    def test_matrix_shape(self, rng):
+        matrix = poisson_weight_matrix(500, 64, rng)
+        assert matrix.shape == (500, 64)
+
+    def test_mean_close_to_rate(self, rng):
+        matrix = poisson_weight_matrix(2000, 50, rng, rate=1.0)
+        assert matrix.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_custom_rate(self, rng):
+        matrix = poisson_weight_matrix(2000, 50, rng, rate=2.0)
+        assert matrix.mean() == pytest.approx(2.0, abs=0.05)
+
+    def test_resample_size_concentration(self, rng):
+        """Column sums concentrate around n (the §5.1 claim)."""
+        n = 10_000
+        matrix = poisson_weight_matrix(n, 100, rng)
+        sizes = matrix.sum(axis=0)
+        # 5 sigma band: nearly every resample is within n ± 5*sqrt(n).
+        assert (np.abs(sizes - n) < 5 * np.sqrt(n)).all()
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(SamplingError):
+            poisson_weights(-1, rng)
+        with pytest.raises(SamplingError):
+            poisson_weights(10, rng, rate=0.0)
+        with pytest.raises(SamplingError):
+            poisson_weight_matrix(10, 0, rng)
+
+    def test_materialized_resample_size_near_n(self, sessions_table, rng):
+        resample = materialize_poisson_resample(sessions_table, rng)
+        n = sessions_table.num_rows
+        assert abs(resample.num_rows - n) < 5 * np.sqrt(n)
+
+
+class TestPoissonizedResampler:
+    def test_blocks_cover_rows(self, rng):
+        resampler = PoissonizedResampler(10, rng, block_rows=300)
+        blocks = list(resampler.weight_blocks(1000))
+        assert [len(b) for b in blocks] == [300, 300, 300, 100]
+        assert all(b.shape[1] == 10 for b in blocks)
+
+    def test_full_matrix(self, rng):
+        resampler = PoissonizedResampler(5, rng, block_rows=64)
+        matrix = resampler.full_matrix(200)
+        assert matrix.shape == (200, 5)
+
+    def test_zero_rows(self, rng):
+        resampler = PoissonizedResampler(5, rng)
+        assert resampler.full_matrix(0).shape == (0, 5)
+
+    def test_invalid_construction(self, rng):
+        with pytest.raises(SamplingError):
+            PoissonizedResampler(0, rng)
+        with pytest.raises(SamplingError):
+            PoissonizedResampler(5, rng, block_rows=0)
+
+
+class TestTupleAugmentation:
+    def test_counts_sum_exactly_to_n(self, rng):
+        counts = exact_resample_counts(1000, rng)
+        assert counts.sum() == 1000
+
+    def test_zero_rows(self, rng):
+        assert exact_resample_counts(0, rng).shape == (0,)
+
+    def test_negative_rejected(self, rng):
+        with pytest.raises(SamplingError):
+            exact_resample_counts(-1, rng)
+
+    def test_materialized_resample_exact_size(self, sessions_table, rng):
+        resample = materialize_exact_resample(sessions_table, rng)
+        assert resample.num_rows == sessions_table.num_rows
+
+    def test_count_matrix_columns_each_sum_to_n(self, rng):
+        resampler = TupleAugmentationResampler(rng)
+        matrix = resampler.count_matrix(500, 8)
+        assert matrix.shape == (500, 8)
+        assert (matrix.sum(axis=0) == 500).all()
+
+    def test_materialized_stream(self, tiny_table, rng):
+        resampler = TupleAugmentationResampler(rng)
+        resamples = list(resampler.materialized_resamples(tiny_table, 3))
+        assert len(resamples) == 3
+        assert all(r.num_rows == tiny_table.num_rows for r in resamples)
+
+    def test_invalid_num_resamples(self, tiny_table, rng):
+        resampler = TupleAugmentationResampler(rng)
+        with pytest.raises(SamplingError):
+            list(resampler.materialized_resamples(tiny_table, 0))
+        with pytest.raises(SamplingError):
+            list(resampler.count_vectors(10, 0))
+
+
+class TestDisjointSubsamples:
+    def test_blocks_are_disjoint_and_sized(self, rng):
+        blocks = subsample_index_blocks(1000, 100, 8, rng)
+        assert len(blocks) == 8
+        all_indices = np.concatenate(blocks)
+        assert len(all_indices) == len(np.unique(all_indices))
+        assert all(len(b) == 100 for b in blocks)
+
+    def test_without_rng_uses_natural_order(self):
+        blocks = subsample_index_blocks(10, 3, 3)
+        np.testing.assert_array_equal(blocks[0], [0, 1, 2])
+        np.testing.assert_array_equal(blocks[2], [6, 7, 8])
+
+    def test_too_many_subsamples_rejected(self):
+        with pytest.raises(DiagnosticError, match="disjoint"):
+            subsample_index_blocks(100, 30, 4)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DiagnosticError):
+            subsample_index_blocks(100, 0, 4)
+        with pytest.raises(DiagnosticError):
+            subsample_index_blocks(100, 10, 0)
+
+    def test_table_subsamples(self, sessions_table, rng):
+        subs = disjoint_subsamples(sessions_table, 200, 5, rng)
+        assert len(subs) == 5
+        assert all(s.num_rows == 200 for s in subs)
+
+
+class TestSampleCatalog:
+    def test_register_and_get(self, sessions_table):
+        catalog = SampleCatalog(seed=1)
+        catalog.register_table("sessions", sessions_table)
+        assert catalog.table("sessions") is sessions_table
+        assert catalog.has_table("sessions")
+        assert catalog.table_names() == ["sessions"]
+
+    def test_unknown_table(self):
+        catalog = SampleCatalog()
+        with pytest.raises(CatalogError, match="unknown table"):
+            catalog.table("nope")
+
+    def test_create_sample_by_fraction(self, sessions_table):
+        catalog = SampleCatalog(seed=1)
+        catalog.register_table("sessions", sessions_table)
+        info = catalog.create_sample("sessions", fraction=0.1)
+        assert info.rows == 200
+        assert info.scale_factor == pytest.approx(10.0)
+        assert info.sampling_fraction == pytest.approx(0.1)
+
+    def test_default_sample_name(self, sessions_table):
+        catalog = SampleCatalog(seed=1)
+        catalog.register_table("sessions", sessions_table)
+        info = catalog.create_sample("sessions", size=100)
+        assert info.name == "sessions_sample_100"
+
+    def test_sample_lookup(self, sessions_table):
+        catalog = SampleCatalog(seed=1)
+        catalog.register_table("sessions", sessions_table)
+        catalog.create_sample("sessions", size=100, name="small")
+        info, table = catalog.sample("sessions", "small")
+        assert info.name == "small"
+        assert table.num_rows == 100
+
+    def test_unknown_sample(self, sessions_table):
+        catalog = SampleCatalog(seed=1)
+        catalog.register_table("sessions", sessions_table)
+        with pytest.raises(CatalogError, match="no sample"):
+            catalog.sample("sessions", "nope")
+
+    def test_select_sample_largest_within_budget(self, sessions_table):
+        catalog = SampleCatalog(seed=1)
+        catalog.register_table("sessions", sessions_table)
+        catalog.create_sample("sessions", size=100, name="s100")
+        catalog.create_sample("sessions", size=500, name="s500")
+        catalog.create_sample("sessions", size=1000, name="s1000")
+        info, __ = catalog.select_sample("sessions", max_rows=600)
+        assert info.name == "s500"
+
+    def test_select_sample_no_budget_picks_largest(self, sessions_table):
+        catalog = SampleCatalog(seed=1)
+        catalog.register_table("sessions", sessions_table)
+        catalog.create_sample("sessions", size=100, name="s100")
+        catalog.create_sample("sessions", size=500, name="s500")
+        info, __ = catalog.select_sample("sessions")
+        assert info.name == "s500"
+
+    def test_select_sample_nothing_fits(self, sessions_table):
+        catalog = SampleCatalog(seed=1)
+        catalog.register_table("sessions", sessions_table)
+        catalog.create_sample("sessions", size=500, name="s500")
+        with pytest.raises(CatalogError, match="fits within"):
+            catalog.select_sample("sessions", max_rows=100)
+
+    def test_select_sample_without_samples(self, sessions_table):
+        catalog = SampleCatalog(seed=1)
+        catalog.register_table("sessions", sessions_table)
+        with pytest.raises(CatalogError, match="no samples"):
+            catalog.select_sample("sessions")
+
+    def test_samples_for_lists_metadata(self, sessions_table):
+        catalog = SampleCatalog(seed=1)
+        catalog.register_table("sessions", sessions_table)
+        catalog.create_sample("sessions", size=100, name="a")
+        catalog.create_sample("sessions", size=200, name="b")
+        names = {info.name for info in catalog.samples_for("sessions")}
+        assert names == {"a", "b"}
+
+    def test_sample_is_shuffled_relative_to_source(self, sessions_table):
+        """Stored samples must be in random order (footnote 10)."""
+        catalog = SampleCatalog(seed=1)
+        catalog.register_table("sessions", sessions_table)
+        __, sample = catalog.sample(
+            "sessions", catalog.create_sample("sessions", size=2000).name
+        )
+        # A full-size without-replacement sample is a permutation; it must
+        # not be the identity permutation.
+        assert not np.array_equal(
+            sample.column("time"), sessions_table.column("time")
+        )

@@ -1,0 +1,202 @@
+"""Unit tests for the columnar Table."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Table, concat_tables
+from repro.errors import SchemaError
+
+
+class TestConstruction:
+    def test_basic_construction(self):
+        table = Table({"a": [1, 2, 3], "b": [4.0, 5.0, 6.0]})
+        assert table.num_rows == 3
+        assert table.column_names == ["a", "b"]
+
+    def test_empty_mapping_rejected(self):
+        with pytest.raises(SchemaError, match="at least one column"):
+            Table({})
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(SchemaError, match="rows"):
+            Table({"a": [1, 2, 3], "b": [1, 2]})
+
+    def test_two_dimensional_column_rejected(self):
+        with pytest.raises(SchemaError, match="one-dimensional"):
+            Table({"a": np.zeros((2, 2))})
+
+    def test_zero_row_table_allowed(self):
+        table = Table({"a": np.array([])})
+        assert table.num_rows == 0
+
+    def test_schema_reports_dtypes(self):
+        table = Table({"a": np.array([1, 2]), "b": np.array([1.0, 2.0])})
+        assert table.schema["a"].kind == "i"
+        assert table.schema["b"].kind == "f"
+
+    def test_column_order_preserved(self):
+        table = Table({"z": [1], "a": [2], "m": [3]})
+        assert table.column_names == ["z", "a", "m"]
+
+    def test_repr_mentions_name_and_rows(self):
+        table = Table({"a": [1]}, name="things")
+        assert "things" in repr(table)
+        assert "rows=1" in repr(table)
+
+
+class TestAccess:
+    def test_column_access(self, tiny_table):
+        np.testing.assert_array_equal(
+            tiny_table.column("x"), [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        )
+
+    def test_unknown_column_raises(self, tiny_table):
+        with pytest.raises(SchemaError, match="unknown column"):
+            tiny_table.column("nope")
+
+    def test_contains(self, tiny_table):
+        assert "x" in tiny_table
+        assert "nope" not in tiny_table
+
+    def test_len(self, tiny_table):
+        assert len(tiny_table) == 6
+
+    def test_equality(self, tiny_table):
+        clone = Table(tiny_table.columns())
+        assert tiny_table == clone
+
+    def test_inequality_on_values(self, tiny_table):
+        other = tiny_table.with_column("x", np.zeros(6))
+        assert tiny_table != other
+
+    def test_estimated_bytes_positive(self, tiny_table):
+        assert tiny_table.estimated_bytes() > 0
+
+
+class TestTransformations:
+    def test_filter(self, tiny_table):
+        result = tiny_table.filter(tiny_table.column("x") > 3)
+        assert result.num_rows == 3
+        np.testing.assert_array_equal(result.column("x"), [4.0, 5.0, 6.0])
+
+    def test_filter_requires_bool_mask(self, tiny_table):
+        with pytest.raises(SchemaError, match="boolean"):
+            tiny_table.filter(np.ones(6))
+
+    def test_filter_requires_matching_length(self, tiny_table):
+        with pytest.raises(SchemaError, match="entries"):
+            tiny_table.filter(np.ones(3, dtype=bool))
+
+    def test_take_with_repeats(self, tiny_table):
+        result = tiny_table.take(np.array([0, 0, 5]))
+        np.testing.assert_array_equal(result.column("x"), [1.0, 1.0, 6.0])
+
+    def test_slice(self, tiny_table):
+        result = tiny_table.slice(2, 4)
+        np.testing.assert_array_equal(result.column("x"), [3.0, 4.0])
+
+    def test_head(self, tiny_table):
+        assert tiny_table.head(2).num_rows == 2
+        assert tiny_table.head(100).num_rows == 6
+
+    def test_select_projects_and_orders(self, tiny_table):
+        result = tiny_table.select(["y", "x"])
+        assert result.column_names == ["y", "x"]
+
+    def test_with_column_adds(self, tiny_table):
+        result = tiny_table.with_column("z", np.arange(6))
+        assert "z" in result
+        assert "z" not in tiny_table  # original unchanged
+
+    def test_with_column_replaces(self, tiny_table):
+        result = tiny_table.with_column("x", np.zeros(6))
+        assert result.column("x").sum() == 0
+
+    def test_with_column_length_check(self, tiny_table):
+        with pytest.raises(SchemaError):
+            tiny_table.with_column("z", np.arange(3))
+
+    def test_drop(self, tiny_table):
+        result = tiny_table.drop(["y"])
+        assert result.column_names == ["x", "g"]
+
+    def test_drop_all_rejected(self, tiny_table):
+        with pytest.raises(SchemaError, match="every column"):
+            tiny_table.drop(["x", "y", "g"])
+
+    def test_rename(self, tiny_table):
+        result = tiny_table.rename({"x": "value"})
+        assert "value" in result
+        assert "x" not in result
+
+
+class TestSamplingAndPartitioning:
+    def test_sample_without_replacement_size(self, sessions_table, rng):
+        sample = sessions_table.sample_rows(100, rng)
+        assert sample.num_rows == 100
+
+    def test_sample_without_replacement_too_large(self, tiny_table, rng):
+        with pytest.raises(SchemaError, match="without replacement"):
+            tiny_table.sample_rows(100, rng)
+
+    def test_sample_with_replacement_can_exceed(self, tiny_table, rng):
+        sample = tiny_table.sample_rows(20, rng, replacement=True)
+        assert sample.num_rows == 20
+
+    def test_negative_sample_size_rejected(self, tiny_table, rng):
+        with pytest.raises(SchemaError, match="non-negative"):
+            tiny_table.sample_rows(-1, rng)
+
+    def test_shuffle_preserves_multiset(self, tiny_table, rng):
+        shuffled = tiny_table.shuffle(rng)
+        assert sorted(shuffled.column("x")) == sorted(tiny_table.column("x"))
+
+    def test_partition_covers_all_rows(self, sessions_table):
+        parts = sessions_table.partition(7)
+        assert len(parts) == 7
+        assert sum(p.num_rows for p in parts) == sessions_table.num_rows
+
+    def test_partition_sizes_near_equal(self, sessions_table):
+        parts = sessions_table.partition(7)
+        sizes = [p.num_rows for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_partition_invalid_count(self, tiny_table):
+        with pytest.raises(SchemaError):
+            tiny_table.partition(0)
+
+    def test_partition_rows(self, tiny_table):
+        parts = tiny_table.partition_rows(4)
+        assert [p.num_rows for p in parts] == [4, 2]
+
+    def test_partition_rows_invalid(self, tiny_table):
+        with pytest.raises(SchemaError):
+            tiny_table.partition_rows(0)
+
+
+class TestConversion:
+    def test_from_rows_round_trip(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.5}]
+        table = Table.from_rows(rows)
+        assert table.to_rows() == rows
+
+    def test_from_rows_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Table.from_rows([])
+
+    def test_iter_rows(self, tiny_table):
+        first = next(tiny_table.iter_rows())
+        assert first == (1.0, 10.0, "a")
+
+    def test_concat_tables(self, tiny_table):
+        doubled = concat_tables([tiny_table, tiny_table])
+        assert doubled.num_rows == 12
+
+    def test_concat_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            concat_tables([])
+
+    def test_concat_schema_mismatch_rejected(self, tiny_table):
+        other = tiny_table.rename({"x": "q"})
+        with pytest.raises(SchemaError, match="differing columns"):
+            concat_tables([tiny_table, other])

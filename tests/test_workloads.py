@@ -1,0 +1,264 @@
+"""Unit tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import AQPEngine
+from repro.errors import AnalysisError, SamplingError
+from repro.workloads import (
+    CONVIVA_MIX,
+    FACEBOOK_MIX,
+    WorkloadQuery,
+    conviva_sessions_table,
+    conviva_workload,
+    facebook_events_table,
+    facebook_workload,
+    qset1_queries,
+    qset1_specs,
+    qset2_queries,
+    qset2_specs,
+)
+from repro.workloads.queries import register_workload_functions
+
+
+class TestDataGenerators:
+    def test_facebook_table_shape(self, rng):
+        table = facebook_events_table(5000, rng)
+        assert table.num_rows == 5000
+        assert {"duration", "bytes", "country", "platform"} <= set(
+            table.column_names
+        )
+
+    def test_facebook_heavy_tails(self, rng):
+        table = facebook_events_table(50_000, rng)
+        data = table.column("bytes")
+        # Pareto tail: max dwarfs the median.
+        assert data.max() > 50 * np.median(data)
+
+    def test_facebook_revenue_zero_inflated(self, rng):
+        table = facebook_events_table(20_000, rng)
+        zero_fraction = (table.column("revenue") == 0).mean()
+        assert 0.8 < zero_fraction < 0.9
+
+    def test_conviva_table_shape(self, rng):
+        table = conviva_sessions_table(5000, rng)
+        assert table.num_rows == 5000
+        assert {"session_time", "buffering_ratio", "bitrate", "city"} <= set(
+            table.column_names
+        )
+
+    def test_conviva_buffering_ratio_bounded(self, rng):
+        table = conviva_sessions_table(20_000, rng)
+        ratios = table.column("buffering_ratio")
+        assert ratios.min() >= 0.0
+        assert ratios.max() <= 1.0
+
+    def test_zipf_popularity(self, rng):
+        table = facebook_events_table(50_000, rng)
+        __, counts = np.unique(table.column("country"), return_counts=True)
+        counts = np.sort(counts)[::-1]
+        assert counts[0] > 3 * counts[len(counts) // 2]
+
+    def test_invalid_sizes(self, rng):
+        with pytest.raises(SamplingError):
+            facebook_events_table(0, rng)
+        with pytest.raises(SamplingError):
+            conviva_sessions_table(-5, rng)
+
+
+class TestMixes:
+    def test_mixes_sum_to_one(self):
+        assert sum(FACEBOOK_MIX.values()) == pytest.approx(1.0, abs=0.001)
+        assert sum(CONVIVA_MIX.values()) == pytest.approx(1.0, abs=0.001)
+
+    def test_facebook_popular_aggregates_match_paper(self, rng):
+        queries = facebook_workload(8000, rng)
+        shares = {
+            name: sum(q.aggregate_name == name for q in queries) / len(queries)
+            for name in ("MIN", "COUNT", "AVG", "SUM", "MAX")
+        }
+        assert shares["MIN"] == pytest.approx(0.3335, abs=0.03)
+        assert shares["COUNT"] == pytest.approx(0.2467, abs=0.03)
+        assert shares["AVG"] == pytest.approx(0.1220, abs=0.02)
+
+    def test_facebook_udf_rate(self, rng):
+        queries = facebook_workload(8000, rng)
+        udf_rate = sum(q.has_udf for q in queries) / len(queries)
+        assert udf_rate == pytest.approx(0.1101, abs=0.02)
+
+    def test_facebook_closed_form_share(self, rng):
+        """§1: closed forms apply to ≈56.78% of Facebook queries."""
+        queries = facebook_workload(8000, rng)
+        share = sum(q.closed_form_applicable for q in queries) / len(queries)
+        assert share == pytest.approx(0.5678, abs=0.03)
+
+    def test_conviva_udf_rate(self, rng):
+        """§3: 42.07% of Conviva queries contain a UDF."""
+        queries = conviva_workload(8000, rng)
+        udf_rate = sum(q.has_udf for q in queries) / len(queries)
+        assert udf_rate == pytest.approx(0.4207, abs=0.03)
+
+    def test_conviva_bootstrap_only_share(self, rng):
+        """§3: 62.79% of Conviva queries are bootstrap-only."""
+        queries = conviva_workload(8000, rng)
+        share = sum(not q.closed_form_applicable for q in queries) / len(queries)
+        assert share == pytest.approx(0.6279, abs=0.03)
+
+    def test_conviva_top_aggregates_combined_share(self, rng):
+        queries = conviva_workload(8000, rng)
+        top = sum(
+            q.aggregate_name in ("AVG", "COUNT", "PERCENTILE", "MAX")
+            for q in queries
+        ) / len(queries)
+        assert top == pytest.approx(0.323, abs=0.03)
+
+    def test_count_queries_always_filtered(self, rng):
+        queries = facebook_workload(2000, rng)
+        counts = [q for q in queries if q.aggregate_name == "COUNT"]
+        assert counts
+        assert all(q.filter_column is not None for q in counts)
+
+    def test_invalid_query_count(self, rng):
+        with pytest.raises(SamplingError):
+            facebook_workload(0, rng)
+        with pytest.raises(SamplingError):
+            conviva_workload(-1, rng)
+
+
+class TestWorkloadQuery:
+    def test_sql_rendering_plain(self):
+        query = WorkloadQuery(
+            name="q", table_name="t", aggregate_name="AVG", column="x"
+        )
+        assert query.sql() == "SELECT AVG(x) AS v FROM t"
+
+    def test_sql_rendering_full(self):
+        query = WorkloadQuery(
+            name="q",
+            table_name="t",
+            aggregate_name="PERCENTILE",
+            column="x",
+            percentile=0.99,
+            transform="log1p_scale",
+            filter_column="city",
+            filter_op="=",
+            filter_value="NYC",
+        )
+        assert query.sql() == (
+            "SELECT PERCENTILE(log1p_scale(x), 0.99) AS v FROM t "
+            "WHERE city = 'NYC'"
+        )
+
+    def test_sql_count_star(self):
+        query = WorkloadQuery(
+            name="q",
+            table_name="t",
+            aggregate_name="COUNT",
+            column="x",
+            filter_column="a",
+            filter_op=">",
+            filter_value=1.5,
+        )
+        assert query.sql() == "SELECT COUNT(*) AS v FROM t WHERE a > 1.5"
+
+    def test_sql_count_distinct(self):
+        query = WorkloadQuery(
+            name="q", table_name="t", aggregate_name="COUNT_DISTINCT", column="u"
+        )
+        assert "COUNT(DISTINCT u)" in query.sql()
+
+    def test_udaf_properties(self):
+        query = WorkloadQuery(
+            name="q",
+            table_name="t",
+            aggregate_name="UDAF:trimmed_mean",
+            column="x",
+        )
+        assert query.is_udaf
+        assert query.has_udf
+        assert not query.closed_form_applicable
+        assert "TRIMMED_MEAN" == query.make_aggregate().name
+
+    def test_dataset_query_round_trip(self, rng):
+        table = facebook_events_table(5000, rng)
+        query = WorkloadQuery(
+            name="q",
+            table_name="events",
+            aggregate_name="AVG",
+            column="duration",
+            filter_column="age",
+            filter_op="<",
+            filter_value=30,
+        )
+        dataset_query = query.dataset_query(table)
+        mask = table.column("age") < 30
+        assert dataset_query.true_answer() == pytest.approx(
+            table.column("duration")[mask].mean()
+        )
+
+    def test_transform_applied_in_dataset_query(self, rng):
+        table = facebook_events_table(2000, rng)
+        query = WorkloadQuery(
+            name="q",
+            table_name="events",
+            aggregate_name="AVG",
+            column="duration",
+            transform="log1p_scale",
+        )
+        expected = (np.log1p(np.abs(table.column("duration"))) * 10).mean()
+        assert query.dataset_query(table).true_answer() == pytest.approx(expected)
+
+    def test_unknown_transform_rejected(self, rng):
+        table = facebook_events_table(100, rng)
+        query = WorkloadQuery(
+            name="q",
+            table_name="events",
+            aggregate_name="AVG",
+            column="duration",
+            transform="nope",
+        )
+        with pytest.raises(AnalysisError, match="unknown transform"):
+            query.dataset_query(table)
+
+    def test_sql_and_array_forms_agree(self, rng):
+        """The SQL the engine runs equals the array form on the same data."""
+        table = conviva_sessions_table(30_000, rng)
+        engine = AQPEngine(seed=0)
+        engine.register_table("media_sessions", table)
+        register_workload_functions(engine)
+        for query in conviva_workload(12, np.random.default_rng(3)):
+            exact = engine.execute_exact(query.sql())
+            array_answer = query.dataset_query(table).true_answer()
+            sql_answer = float(exact.column("v")[0])
+            if np.isnan(array_answer):
+                assert np.isnan(sql_answer)
+            else:
+                assert sql_answer == pytest.approx(array_answer, rel=1e-9)
+
+
+class TestQSets:
+    def test_qset1_all_closed_form(self, rng):
+        queries = qset1_queries(30, rng)
+        assert len(queries) == 30
+        assert all(q.closed_form_applicable for q in queries)
+
+    def test_qset2_none_closed_form(self, rng):
+        queries = qset2_queries(30, rng)
+        assert len(queries) == 30
+        assert not any(q.closed_form_applicable for q in queries)
+
+    def test_specs_shapes(self, rng):
+        specs = qset1_specs(20, rng)
+        assert len(specs) == 20
+        assert all(s.closed_form for s in specs)
+        assert all(2 * 2**30 <= s.sample_bytes <= 20 * 2**30 for s in specs)
+
+    def test_qset2_specs_bootstrap(self, rng):
+        specs = qset2_specs(20, rng)
+        assert not any(s.closed_form for s in specs)
+
+    def test_selectivity_varies(self, rng):
+        specs = qset2_specs(50, rng)
+        selectivities = [s.selectivity for s in specs]
+        assert min(selectivities) < 0.1
+        assert max(selectivities) > 0.3
