@@ -1,0 +1,24 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check lint test bench bench-baseline
+
+check: lint test
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check .; \
+	elif $(PYTHON) -c "import ruff" >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check .; \
+	else \
+		echo "ruff not installed; skipping lint (pip install ruff)"; \
+	fi
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ -q
+
+bench-baseline:
+	$(PYTHON) benchmarks/record_bench.py

@@ -6,6 +6,12 @@ compute the true confidence interval from repeated samples of the full
 dataset, then judge each estimator's per-sample δ deviations
 (correct / optimistic / pessimistic), and separately ask the diagnostic
 for its runtime prediction.
+
+Workload queries are independent of one another, so the evaluation fans
+out *per query* when given a pool (or worker count): the dataset's
+columns go into shared memory once, and query ``q`` always draws from
+child RNG stream ``q`` of a single root seed — verdicts are
+bit-identical at any worker count.
 """
 
 from __future__ import annotations
@@ -24,6 +30,16 @@ from repro.core import (
     evaluate_estimator,
 )
 from repro.errors import EstimationError
+from repro.parallel import (
+    WorkerPool,
+    detach,
+    pool_scope,
+    resolve_table,
+    seed_from_rng,
+    share_table,
+    spawn_children,
+)
+from repro.parallel.shm import SharedArena
 from repro.workloads import WorkloadQuery
 
 
@@ -41,6 +57,66 @@ class QueryEvaluation:
         return not self.verdicts
 
 
+def _evaluate_query_kernel(
+    table,
+    query: WorkloadQuery,
+    sample_size: int,
+    stream: np.random.SeedSequence,
+    *,
+    num_trials: int,
+    bootstrap_k: int,
+    truth_trials: int,
+) -> dict[str, Verdict]:
+    """The §3 verdicts for one query, from its own RNG stream."""
+    rng = np.random.default_rng(stream)
+    estimators = {
+        "bootstrap": BootstrapEstimator(bootstrap_k, rng),
+        "closed_form": ClosedFormEstimator(),
+    }
+    dataset_query = query.dataset_query(table)
+    verdicts: dict[str, Verdict] = {}
+    truth = None
+    for name, estimator in estimators.items():
+        try:
+            outcome = evaluate_estimator(
+                dataset_query,
+                estimator,
+                sample_size,
+                rng,
+                num_trials=num_trials,
+                truth_trials=truth_trials,
+                true_ci=truth,
+            )
+        except EstimationError:
+            # Degenerate sampling distribution (e.g. a saturated
+            # distinct count): excluded, like a zero-variance trace
+            # query would be.
+            return {}
+        if outcome.true_ci is not None:
+            truth = outcome.true_ci
+        verdicts[name] = outcome.verdict
+    return verdicts
+
+
+def _evaluate_query_task(payload: dict) -> dict[str, Verdict]:
+    segments: list = []
+    try:
+        table = resolve_table(
+            payload["columns"], segments, name=payload["table_name"]
+        )
+        return _evaluate_query_kernel(
+            table,
+            payload["query"],
+            payload["sample_size"],
+            payload["stream"],
+            num_trials=payload["num_trials"],
+            bootstrap_k=payload["bootstrap_k"],
+            truth_trials=payload["truth_trials"],
+        )
+    finally:
+        detach(segments)
+
+
 def evaluate_workload(
     table,
     queries: list[WorkloadQuery],
@@ -49,6 +125,7 @@ def evaluate_workload(
     num_trials: int = 16,
     bootstrap_k: int = 100,
     truth_trials: int = 500,
+    pool: WorkerPool | int | None = None,
 ) -> list[QueryEvaluation]:
     """§3 protocol: verdicts for bootstrap and closed forms per query.
 
@@ -56,38 +133,46 @@ def evaluate_workload(
     interval.  It must be high: the same true width is reused for every
     trial δ of a query, so reference error shifts all of them coherently
     and flips borderline verdicts.
+
+    Queries fan out across ``pool`` (a
+    :class:`~repro.parallel.pool.WorkerPool`, a worker count, or
+    ``None`` for inline); query ``q`` always evaluates from child
+    stream ``q`` of one seed drawn from ``rng``, so the verdicts do not
+    depend on the worker count.
     """
-    estimators = {
-        "bootstrap": BootstrapEstimator(bootstrap_k, rng),
-        "closed_form": ClosedFormEstimator(),
-    }
-    evaluations: list[QueryEvaluation] = []
-    for query in queries:
-        dataset_query = query.dataset_query(table)
-        verdicts: dict[str, Verdict] = {}
-        truth = None
-        for name, estimator in estimators.items():
-            try:
-                outcome = evaluate_estimator(
-                    dataset_query,
-                    estimator,
-                    sample_size,
-                    rng,
-                    num_trials=num_trials,
-                    truth_trials=truth_trials,
-                    true_ci=truth,
+    children = spawn_children(seed_from_rng(rng), len(queries))
+    params = dict(
+        num_trials=num_trials,
+        bootstrap_k=bootstrap_k,
+        truth_trials=truth_trials,
+    )
+    with pool_scope(pool) as scoped:
+        if scoped is None:
+            all_verdicts = [
+                _evaluate_query_kernel(
+                    table, query, sample_size, child, **params
                 )
-            except EstimationError:
-                # Degenerate sampling distribution (e.g. a saturated
-                # distinct count): excluded, like a zero-variance trace
-                # query would be.
-                verdicts = {}
-                break
-            if outcome.true_ci is not None:
-                truth = outcome.true_ci
-            verdicts[name] = outcome.verdict
-        evaluations.append(QueryEvaluation(query=query, verdicts=verdicts))
-    return evaluations
+                for query, child in zip(queries, children)
+            ]
+        else:
+            with SharedArena() as arena:
+                columns = share_table(arena, table)
+                payloads = [
+                    {
+                        "columns": columns,
+                        "table_name": table.name,
+                        "query": query,
+                        "sample_size": sample_size,
+                        "stream": child,
+                        **params,
+                    }
+                    for query, child in zip(queries, children)
+                ]
+                all_verdicts = scoped.map(_evaluate_query_task, payloads)
+    return [
+        QueryEvaluation(query=query, verdicts=verdicts)
+        for query, verdicts in zip(queries, all_verdicts)
+    ]
 
 
 def verdict_breakdown(
@@ -142,22 +227,34 @@ def run_diagnostics(
     rng: np.random.Generator,
     num_subsamples: int = 50,
     bootstrap_k: int = 100,
+    pool: WorkerPool | int | None = None,
 ) -> None:
-    """Attach a runtime diagnostic prediction to each evaluation (Fig. 4)."""
+    """Attach a runtime diagnostic prediction to each evaluation (Fig. 4).
+
+    Each query's p×k subsample evaluations fan out across ``pool``; the
+    query draws from its own child stream (excluded queries still
+    consume theirs, keeping the stream layout a pure function of the
+    evaluation list), so predictions are worker-count independent.
+    """
     config = DiagnosticConfig(num_subsamples=num_subsamples, num_sizes=3)
-    for evaluation in evaluations:
-        if evaluation.excluded:
-            continue
-        dataset_query = evaluation.query.dataset_query(table)
-        target = dataset_query.sample_target(sample_size, rng)
-        estimator = (
-            ClosedFormEstimator()
-            if estimator_name == "closed_form"
-            else BootstrapEstimator(bootstrap_k, rng)
-        )
-        result = diagnose(target, estimator, 0.95, config, rng)
-        evaluation.diagnostic_passed = result.passed
-        evaluation.diagnostic_estimator = estimator_name
+    children = spawn_children(seed_from_rng(rng), len(evaluations))
+    with pool_scope(pool) as scoped:
+        for evaluation, child in zip(evaluations, children):
+            if evaluation.excluded:
+                continue
+            query_rng = np.random.default_rng(child)
+            dataset_query = evaluation.query.dataset_query(table)
+            target = dataset_query.sample_target(sample_size, query_rng)
+            estimator = (
+                ClosedFormEstimator()
+                if estimator_name == "closed_form"
+                else BootstrapEstimator(bootstrap_k, query_rng)
+            )
+            result = diagnose(
+                target, estimator, 0.95, config, query_rng, pool=scoped
+            )
+            evaluation.diagnostic_passed = result.passed
+            evaluation.diagnostic_estimator = estimator_name
 
 
 def diagnostic_confusion(

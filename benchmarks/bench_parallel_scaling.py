@@ -1,0 +1,146 @@
+"""Multicore scaling — serial vs fanned-out execution at 1/2/4/8 workers.
+
+Times the three fanned-out hot loops (bootstrap replicates, diagnostic
+subsample evaluations, ground-truth trials) at increasing worker counts
+and prints per-op speedup tables.  The determinism contract is asserted,
+not just reported: every worker count must reproduce the serial results
+bit for bit.
+
+Speedups only materialise with physical cores to spare — on a 1-CPU
+host every parallel row is pure IPC overhead, which this bench reports
+honestly rather than hiding.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.bootstrap import BootstrapEstimator
+from repro.core.diagnostics import DiagnosticConfig, diagnose
+from repro.core.estimators import EstimationTarget
+from repro.core.ground_truth import DatasetQuery, sampling_distribution
+from repro.engine.aggregates import get_aggregate
+from repro.parallel import WorkerPool
+
+from _bench_utils import scaled
+
+WORKER_COUNTS = (1, 2, 4, 8)
+SAMPLE_ROWS = scaled(200_000)
+DATASET_ROWS = scaled(1_000_000)
+BOOTSTRAP_K = scaled(400)
+TRUTH_TRIALS = scaled(200)
+
+
+def _target(rng: np.random.Generator) -> EstimationTarget:
+    return EstimationTarget(
+        values=rng.lognormal(1.0, 0.6, SAMPLE_ROWS),
+        aggregate=get_aggregate("AVG"),
+        mask=rng.random(SAMPLE_ROWS) < 0.8,
+        dataset_rows=DATASET_ROWS,
+    )
+
+
+def _ops(rng: np.random.Generator):
+    """The timed operations: name -> fn(pool) returning a result array."""
+    target = _target(rng)
+    query = DatasetQuery(
+        values=rng.lognormal(1.0, 0.6, scaled(300_000)),
+        aggregate=get_aggregate("AVG"),
+    )
+    diag_config = DiagnosticConfig(num_subsamples=scaled(60), num_sizes=3)
+
+    def run_bootstrap(pool):
+        estimator = BootstrapEstimator(
+            BOOTSTRAP_K, np.random.default_rng(17), pool=pool
+        )
+        return estimator.resample_distribution(target)
+
+    def run_diagnostic(pool):
+        result = diagnose(
+            target,
+            BootstrapEstimator(scaled(100), np.random.default_rng(19)),
+            0.95,
+            diag_config,
+            np.random.default_rng(19),
+            pool=pool,
+        )
+        return np.array(
+            [r.mean_estimated_half_width for r in result.reports]
+        )
+
+    def run_ground_truth(pool):
+        return sampling_distribution(
+            query,
+            scaled(20_000),
+            TRUTH_TRIALS,
+            np.random.default_rng(23),
+            pool=pool,
+        )
+
+    return {
+        "bootstrap replicates": run_bootstrap,
+        "diagnostic subsamples": run_diagnostic,
+        "ground-truth trials": run_ground_truth,
+    }
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rng = np.random.default_rng(29)
+    ops = _ops(rng)
+    timings: dict[str, dict[int, float]] = {name: {} for name in ops}
+    references: dict[str, np.ndarray] = {}
+    mismatches: list[str] = []
+    for workers in WORKER_COUNTS:
+        pool = None if workers <= 1 else WorkerPool(workers)
+        try:
+            for name, op in ops.items():
+                start = time.perf_counter()
+                result = op(pool)
+                timings[name][workers] = time.perf_counter() - start
+                if workers == 1:
+                    references[name] = result
+                elif not np.array_equal(
+                    result, references[name], equal_nan=True
+                ):
+                    mismatches.append(f"{name} @ {workers} workers")
+        finally:
+            if pool is not None:
+                pool.shutdown()
+    return timings, mismatches
+
+
+def test_parallel_scaling(benchmark, sweep, figure_report):
+    benchmark.pedantic(lambda: None, rounds=1)
+    timings, mismatches = sweep
+    cpus = os.cpu_count() or 1
+    lines = [
+        f"host: {cpus} CPU(s); speedup = serial time / parallel time",
+        f"sample rows {SAMPLE_ROWS:,}, K={BOOTSTRAP_K}, "
+        f"truth trials {TRUTH_TRIALS}",
+        "",
+    ]
+    for name, by_workers in timings.items():
+        serial = by_workers[1]
+        row = [f"  {name:24s}"]
+        for workers in WORKER_COUNTS:
+            elapsed = by_workers[workers]
+            row.append(f"{workers}w {elapsed:6.2f}s ({serial / elapsed:4.2f}x)")
+        lines.append("  ".join(row))
+    lines += [
+        "",
+        "determinism: "
+        + ("all worker counts bit-identical" if not mismatches else
+           f"MISMATCHES: {mismatches}"),
+    ]
+    figure_report("Multicore scaling — worker-count sweep", lines)
+
+    # The load-bearing guarantee at any core count: exact reproducibility.
+    assert not mismatches
+    # Sanity: every configuration actually ran.
+    for by_workers in timings.values():
+        assert set(by_workers) == set(WORKER_COUNTS)

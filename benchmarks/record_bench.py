@@ -1,0 +1,185 @@
+"""Perf-regression harness: record a wall-clock baseline for this host.
+
+Times a handful of representative operations (the fanned-out hot loops
+plus an end-to-end engine query) and writes ``BENCH_baseline.json`` at
+the repo root: machine info + per-bench wall-clock seconds.  Future PRs
+rerun this and diff against the committed baseline, so the perf
+trajectory of the reproduction is recorded rather than anecdotal.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record_bench.py            # write baseline
+    PYTHONPATH=src python benchmarks/record_bench.py --compare  # diff vs baseline
+
+Workloads are fixed-seed, so run-to-run variation is scheduling noise,
+not statistical noise.  ``REPRO_WORKERS`` applies as usual; the
+baseline records which setting was used.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.bootstrap import BootstrapEstimator, bootstrap_table_statistic
+from repro.core.diagnostics import DiagnosticConfig, diagnose
+from repro.core.estimators import EstimationTarget
+from repro.core.ground_truth import DatasetQuery, sampling_distribution
+from repro.core.pipeline import AQPEngine, EngineConfig
+from repro.engine.aggregates import get_aggregate
+from repro.engine.table import Table
+from repro.parallel.pool import resolve_num_workers
+
+BASELINE_PATH = REPO_ROOT / "BENCH_baseline.json"
+
+#: Warn when a bench regresses by more than this factor in --compare.
+REGRESSION_FACTOR = 1.25
+
+ROWS = 200_000
+
+
+def _sum_b(table: Table) -> float:
+    return float(table.column("b").sum())
+
+
+def _benches():
+    rng = np.random.default_rng(20140622)
+    target = EstimationTarget(
+        values=rng.lognormal(1.0, 0.6, ROWS),
+        aggregate=get_aggregate("AVG"),
+        mask=rng.random(ROWS) < 0.8,
+        dataset_rows=5 * ROWS,
+    )
+    table = Table(
+        {"a": rng.lognormal(1.0, 0.5, ROWS), "b": rng.normal(50, 8, ROWS)},
+        name="t",
+    )
+    query = DatasetQuery(
+        values=rng.lognormal(1.0, 0.6, 300_000), aggregate=get_aggregate("AVG")
+    )
+
+    def bootstrap_fast_path():
+        estimator = BootstrapEstimator(400, np.random.default_rng(17))
+        return estimator.resample_distribution(target)
+
+    def bootstrap_black_box():
+        return bootstrap_table_statistic(
+            table.head(20_000), _sum_b, 100, np.random.default_rng(19)
+        )
+
+    def diagnostic():
+        return diagnose(
+            target,
+            BootstrapEstimator(100, np.random.default_rng(23)),
+            0.95,
+            DiagnosticConfig(num_subsamples=60, num_sizes=3),
+            np.random.default_rng(23),
+        )
+
+    def ground_truth():
+        return sampling_distribution(
+            query, 20_000, 200, np.random.default_rng(29)
+        )
+
+    def engine_end_to_end():
+        engine = AQPEngine(EngineConfig(), seed=31)
+        engine.register_table("t", table)
+        engine.create_sample("t", size=50_000)
+        with engine:
+            for _ in range(5):
+                engine.execute("SELECT AVG(a) FROM t WHERE b > 45")
+        return engine.plan_cache_info()
+
+    return {
+        "bootstrap_fast_path": bootstrap_fast_path,
+        "bootstrap_black_box": bootstrap_black_box,
+        "diagnostic": diagnostic,
+        "ground_truth_trials": ground_truth,
+        "engine_end_to_end": engine_end_to_end,
+    }
+
+
+def machine_info() -> dict:
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpus": os.cpu_count(),
+        "num_workers": resolve_num_workers(None),
+    }
+
+
+def run_benches(repeats: int = 3) -> dict[str, float]:
+    """Best-of-``repeats`` wall-clock seconds per bench."""
+    results: dict[str, float] = {}
+    for name, fn in _benches().items():
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        results[name] = round(best, 4)
+        print(f"  {name:24s} {results[name]:8.3f}s")
+    return results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="compare against the committed baseline instead of rewriting it",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args()
+
+    print(f"recording benches (best of {args.repeats}):")
+    timings = run_benches(args.repeats)
+
+    if args.compare:
+        if not BASELINE_PATH.exists():
+            print(f"no baseline at {BASELINE_PATH}; run without --compare")
+            return 2
+        baseline = json.loads(BASELINE_PATH.read_text())
+        regressions = []
+        print("\nvs baseline:")
+        for name, now in timings.items():
+            then = baseline["benches"].get(name)
+            if then is None:
+                print(f"  {name:24s} (new bench, no baseline)")
+                continue
+            ratio = now / then if then else float("inf")
+            flag = "  REGRESSION" if ratio > REGRESSION_FACTOR else ""
+            print(f"  {name:24s} {then:8.3f}s -> {now:8.3f}s ({ratio:4.2f}x){flag}")
+            if ratio > REGRESSION_FACTOR:
+                regressions.append(name)
+        if regressions:
+            print(f"\n{len(regressions)} bench(es) regressed: {regressions}")
+            return 1
+        print("\nno regressions")
+        return 0
+
+    payload = {
+        "schema": 1,
+        "machine": machine_info(),
+        "repeats": args.repeats,
+        "benches": timings,
+    }
+    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {BASELINE_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,12 @@ Two implementations are provided:
   per-table statistics (e.g. nested aggregation queries), which
   materialises resample tables; this mirrors the §5.2 baseline and the
   EARL-style execution model.
+
+Both paths execute through :mod:`repro.parallel.ops`: replicates are
+cut into fixed-size chunks, chunk *i* always consumes child RNG stream
+*i* of a single root seed, and chunks either run inline (serial) or fan
+out across a :class:`~repro.parallel.pool.WorkerPool` — with bit-
+identical results either way.
 """
 
 from __future__ import annotations
@@ -28,8 +34,13 @@ from repro.core.ci import ConfidenceInterval, interval_from_distribution
 from repro.core.estimators import ErrorEstimator, EstimationTarget
 from repro.engine.table import Table
 from repro.errors import EstimationError
-from repro.sampling.poisson import materialize_poisson_resample, poisson_weight_matrix
-from repro.sampling.tuple_augmentation import materialize_exact_resample
+from repro.parallel.ops import (
+    DEFAULT_REPLICATE_CHUNK,
+    bootstrap_replicates,
+    table_statistic_replicates,
+)
+from repro.parallel.pool import WorkerPool
+from repro.parallel.rng import seed_from_rng
 
 #: The paper's default number of bootstrap resamples.
 DEFAULT_NUM_RESAMPLES = 100
@@ -42,6 +53,9 @@ class BootstrapEstimator(ErrorEstimator):
         num_resamples: K, the number of resamples (paper default 100).
         rng: default random generator used when ``estimate`` is not given
             one explicitly.
+        pool: optional worker pool; replicate chunks fan out across it.
+            Results are bit-identical with and without a pool.
+        chunk_size: resamples per chunk (and per child RNG stream).
     """
 
     name = "bootstrap"
@@ -50,13 +64,24 @@ class BootstrapEstimator(ErrorEstimator):
         self,
         num_resamples: int = DEFAULT_NUM_RESAMPLES,
         rng: np.random.Generator | None = None,
+        pool: WorkerPool | None = None,
+        chunk_size: int = DEFAULT_REPLICATE_CHUNK,
     ):
         if num_resamples < 2:
             raise EstimationError(
                 f"bootstrap needs at least 2 resamples, got {num_resamples}"
             )
         self.num_resamples = num_resamples
+        self.chunk_size = chunk_size
         self._rng = rng or np.random.default_rng()
+        self._pool = pool
+
+    def __getstate__(self):
+        # Estimators travel to worker processes inside diagnostic tasks;
+        # pools are process-local and must never nest.
+        state = self.__dict__.copy()
+        state["_pool"] = None
+        return state
 
     def resample_distribution(
         self,
@@ -69,17 +94,19 @@ class BootstrapEstimator(ErrorEstimator):
         this is exactly the resampling-operator pushdown of §5.3.2 (the
         Poisson weights of filtered-out rows can never reach the
         aggregate, so they are never drawn).
+
+        The replicates are computed in fixed-size chunks, each from its
+        own child stream of one seed drawn from ``rng``, so the result
+        does not depend on the worker count.
         """
         rng = rng or self._rng
-        matched = target.matched_values
-        if len(matched) == 0:
-            raise EstimationError(
-                "cannot bootstrap a query whose filter matched no sample rows"
-            )
-        weights = poisson_weight_matrix(
-            len(matched), self.num_resamples, rng, dtype=np.int32
+        return bootstrap_replicates(
+            target,
+            self.num_resamples,
+            seed_from_rng(rng),
+            chunk_size=self.chunk_size,
+            pool=self._pool,
         )
-        return target.resample_estimates(weights, rng)
 
     def estimate(
         self,
@@ -100,18 +127,25 @@ def bootstrap_table_statistic(
     num_resamples: int = DEFAULT_NUM_RESAMPLES,
     rng: np.random.Generator | None = None,
     method: str = "poisson",
+    pool: WorkerPool | None = None,
+    chunk_size: int = DEFAULT_REPLICATE_CHUNK,
 ) -> np.ndarray:
     """Bootstrap replicate values of a black-box per-table statistic.
 
     Args:
         table: the sample S.
         statistic: θ as a function of a table (e.g. "execute this nested
-            SQL query and return its single output value").
+            SQL query and return its single output value").  Must be
+            picklable for the fan-out to leave the calling process;
+            otherwise the chunks run inline with identical results.
         num_resamples: K.
         rng: random generator.
         method: ``"poisson"`` for Poissonized resamples (approximate
             size, cheap) or ``"exact"`` for multinomial Tuple-Augmentation
             resamples (exact size n, the 8–9× slower baseline of §5.1).
+        pool: optional worker pool; the table's columns are shared with
+            workers via shared memory and chunks of resamples fan out.
+        chunk_size: resamples per chunk (and per child RNG stream).
 
     Returns:
         Array of K replicate statistic values.
@@ -123,18 +157,15 @@ def bootstrap_table_statistic(
     if table.num_rows == 0:
         raise EstimationError("cannot bootstrap an empty table")
     rng = rng or np.random.default_rng()
-    if method == "poisson":
-        make_resample = materialize_poisson_resample
-    elif method == "exact":
-        make_resample = materialize_exact_resample
-    else:
-        raise EstimationError(
-            f"unknown resampling method {method!r}; use 'poisson' or 'exact'"
-        )
-    replicates = np.empty(num_resamples, dtype=np.float64)
-    for k in range(num_resamples):
-        replicates[k] = statistic(make_resample(table, rng))
-    return replicates
+    return table_statistic_replicates(
+        table,
+        statistic,
+        num_resamples,
+        seed_from_rng(rng),
+        method=method,
+        chunk_size=chunk_size,
+        pool=pool,
+    )
 
 
 def bootstrap_table_interval(
@@ -144,11 +175,12 @@ def bootstrap_table_interval(
     num_resamples: int = DEFAULT_NUM_RESAMPLES,
     rng: np.random.Generator | None = None,
     method: str = "poisson",
+    pool: WorkerPool | None = None,
 ) -> ConfidenceInterval:
     """Symmetric centered bootstrap CI for a black-box table statistic."""
     center = statistic(table)
     distribution = bootstrap_table_statistic(
-        table, statistic, num_resamples, rng, method
+        table, statistic, num_resamples, rng, method, pool
     )
     return interval_from_distribution(
         distribution, center, confidence, "bootstrap"

@@ -35,7 +35,10 @@ import numpy as np
 
 from repro.core.ci import symmetric_half_width
 from repro.core.estimators import ErrorEstimator, EstimationTarget
-from repro.errors import DiagnosticError, EstimationError
+from repro.errors import DiagnosticError
+from repro.parallel.ops import diagnostic_evaluations
+from repro.parallel.pool import WorkerPool, pool_scope
+from repro.parallel.rng import seed_from_rng
 from repro.sampling.subsample import subsample_index_blocks
 
 #: Paper defaults (Appendix A).
@@ -149,8 +152,14 @@ def diagnose(
     confidence: float = 0.95,
     config: DiagnosticConfig | None = None,
     rng: np.random.Generator | None = None,
+    pool: WorkerPool | int | None = None,
 ) -> DiagnosticResult:
     """Run Algorithm 1 for ``estimator`` on ``target``.
+
+    Each of the p×k (subsample, ξ) evaluations is independent, so they
+    fan out across ``pool`` when one is given; every subsample ``j`` of
+    a size is bound to child RNG stream ``j`` of a seed drawn once from
+    ``rng``, making the verdict bit-identical at any worker count.
 
     Args:
         target: the query bound to its sample (any object providing
@@ -160,6 +169,8 @@ def diagnose(
         confidence: α, the coverage level of the intervals under test.
         config: algorithm parameters; paper defaults when omitted.
         rng: randomness for subsample cutting and resampling.
+        pool: a :class:`~repro.parallel.pool.WorkerPool`, a worker
+            count, or ``None`` for inline execution.
 
     Returns:
         A :class:`DiagnosticResult`; truthy iff error estimation is
@@ -171,6 +182,18 @@ def diagnose(
     """
     config = config or DiagnosticConfig()
     rng = rng or np.random.default_rng()
+    with pool_scope(pool) as scoped:
+        return _diagnose(target, estimator, confidence, config, rng, scoped)
+
+
+def _diagnose(
+    target: EstimationTarget,
+    estimator: ErrorEstimator,
+    confidence: float,
+    config: DiagnosticConfig,
+    rng: np.random.Generator,
+    pool: WorkerPool | None,
+) -> DiagnosticResult:
     if not estimator.applicable(target):
         return DiagnosticResult(
             passed=False,
@@ -188,21 +211,14 @@ def diagnose(
     num_subqueries = 0
     for size in sizes:
         blocks = subsample_index_blocks(num_rows, size, p, rng)
-        point_estimates = np.empty(p, dtype=np.float64)
-        estimated_half_widths = np.empty(p, dtype=np.float64)
-        for j, block in enumerate(blocks):
-            subsample = target.subset(block)
-            point_estimates[j] = subsample.point_estimate()
-            try:
-                estimated_half_widths[j] = estimator.estimate(
-                    subsample, confidence, rng
-                ).half_width
-            except EstimationError:
-                # ξ can fail on a tiny subsample (e.g. a selective filter
-                # leaves < 2 matched rows).  That *is* evidence against
-                # reliable estimation at this size: keep it as NaN, which
-                # counts against the closeness proportion π.
-                estimated_half_widths[j] = np.nan
+        point_estimates, estimated_half_widths = diagnostic_evaluations(
+            target,
+            estimator,
+            confidence,
+            blocks,
+            seed_from_rng(rng),
+            pool=pool,
+        )
         num_subqueries += p
 
         true_half_width = symmetric_half_width(

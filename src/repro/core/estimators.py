@@ -30,6 +30,52 @@ from repro.engine.aggregates import AggregateFunction
 from repro.errors import EstimationError
 
 
+def resample_estimates_kernel(
+    matched_values: np.ndarray,
+    aggregate: AggregateFunction,
+    weight_matrix: np.ndarray,
+    rng: np.random.Generator | None,
+    *,
+    extensive: bool,
+    dataset_rows: Optional[int],
+    total_sample_rows: int,
+) -> np.ndarray:
+    """θ over K resamples, as a pure function of its inputs.
+
+    This is the single source of truth shared by
+    :meth:`EstimationTarget.resample_estimates` and the chunked workers
+    of :mod:`repro.parallel` — both paths call exactly this code with
+    per-chunk RNG streams, which is what makes parallel execution
+    bit-identical to serial.
+
+    See :meth:`EstimationTarget.resample_estimates` for the statistics
+    (realised-size normalisation of extensive aggregates under
+    Poissonization, and the unmatched-weight-total draws that operator
+    pushdown makes necessary).
+    """
+    raw = aggregate.compute_resamples(matched_values, weight_matrix)
+    if not extensive or dataset_rows is None:
+        return raw
+    if total_sample_rows == 0:
+        raise EstimationError("cannot scale a zero-row sample")
+    matched_weight_totals = weight_matrix.sum(axis=0, dtype=np.float64)
+    unmatched_rows = total_sample_rows - len(matched_values)
+    if unmatched_rows > 0:
+        rng = rng or np.random.default_rng()
+        unmatched_totals = rng.poisson(
+            unmatched_rows, size=weight_matrix.shape[1]
+        ).astype(np.float64)
+    else:
+        unmatched_totals = 0.0
+    realized_sizes = matched_weight_totals + unmatched_totals
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.where(
+            realized_sizes > 0,
+            dataset_rows * raw / realized_sizes,
+            np.nan,
+        )
+
+
 @dataclass(frozen=True)
 class EstimationTarget:
     """One aggregate statistic evaluated on one sample.
@@ -117,27 +163,15 @@ class EstimationTarget:
                 (for the unmatched-weight-total draws); a fresh default
                 generator is used when omitted.
         """
-        raw = self.aggregate.compute_resamples(
-            self.matched_values, weight_matrix
+        return resample_estimates_kernel(
+            self.matched_values,
+            self.aggregate,
+            weight_matrix,
+            rng,
+            extensive=self.extensive,
+            dataset_rows=self.dataset_rows,
+            total_sample_rows=self.total_sample_rows,
         )
-        if not self.extensive or self.dataset_rows is None:
-            return self.scale_factor * raw
-        matched_weight_totals = weight_matrix.sum(axis=0, dtype=np.float64)
-        unmatched_rows = self.total_sample_rows - len(self.matched_values)
-        if unmatched_rows > 0:
-            rng = rng or np.random.default_rng()
-            unmatched_totals = rng.poisson(
-                unmatched_rows, size=weight_matrix.shape[1]
-            ).astype(np.float64)
-        else:
-            unmatched_totals = 0.0
-        realized_sizes = matched_weight_totals + unmatched_totals
-        with np.errstate(divide="ignore", invalid="ignore"):
-            return np.where(
-                realized_sizes > 0,
-                self.dataset_rows * raw / realized_sizes,
-                np.nan,
-            )
 
     def subset(self, indices: np.ndarray) -> "EstimationTarget":
         """The target restricted to a row subset of the sample.

@@ -30,6 +30,9 @@ from repro.core.ci import (
 from repro.core.estimators import ErrorEstimator, EstimationTarget
 from repro.engine.aggregates import AggregateFunction
 from repro.errors import EstimationError
+from repro.parallel.ops import ground_truth_trials
+from repro.parallel.pool import WorkerPool, pool_scope
+from repro.parallel.rng import seed_from_rng
 
 #: The paper's acceptance band for δ and trial-failure tolerance (§3).
 DEFAULT_DELTA_BAND = 0.2
@@ -109,13 +112,32 @@ def sampling_distribution(
     sample_size: int,
     num_trials: int,
     rng: np.random.Generator,
+    pool: WorkerPool | int | None = None,
 ) -> np.ndarray:
-    """θ(S) over ``num_trials`` independent samples of ``sample_size``."""
+    """θ(S) over ``num_trials`` independent samples of ``sample_size``.
+
+    Trial ``t`` always draws from child RNG stream ``t`` of a seed
+    taken once from ``rng``, so the distribution is identical whether
+    the trials run inline or fan out across ``pool``.
+    """
     if num_trials < 2:
         raise EstimationError(f"need at least 2 trials, got {num_trials}")
-    estimates = np.empty(num_trials, dtype=np.float64)
-    for t in range(num_trials):
-        estimates[t] = query.sample_target(sample_size, rng).point_estimate()
+    if sample_size > query.dataset_rows:
+        raise EstimationError(
+            f"sample size {sample_size} exceeds dataset rows "
+            f"{query.dataset_rows}"
+        )
+    with pool_scope(pool) as scoped:
+        estimates, _ = ground_truth_trials(
+            query.values,
+            query.mask,
+            query.aggregate,
+            extensive=query.extensive,
+            sample_size=sample_size,
+            num_trials=num_trials,
+            seed=seed_from_rng(rng),
+            pool=scoped,
+        )
     return estimates
 
 
@@ -125,6 +147,7 @@ def true_interval(
     confidence: float,
     num_trials: int,
     rng: np.random.Generator,
+    pool: WorkerPool | int | None = None,
 ) -> ConfidenceInterval:
     """The paper's *true confidence interval* (§2.2).
 
@@ -132,7 +155,9 @@ def true_interval(
     ``confidence`` of the sampling distribution of θ(S) at this sample
     size.  Deterministic up to Monte-Carlo error in ``num_trials``.
     """
-    distribution = sampling_distribution(query, sample_size, num_trials, rng)
+    distribution = sampling_distribution(
+        query, sample_size, num_trials, rng, pool
+    )
     return interval_from_distribution(
         distribution, query.true_answer(), confidence, "ground_truth"
     )
@@ -202,6 +227,7 @@ def evaluate_estimator(
     band: float = DEFAULT_DELTA_BAND,
     tolerance: float = DEFAULT_FAILURE_TOLERANCE,
     true_ci: ConfidenceInterval | None = None,
+    pool: WorkerPool | int | None = None,
 ) -> EstimatorEvaluation:
     """Run the full §3 evaluation of one estimator on one query.
 
@@ -219,6 +245,8 @@ def evaluate_estimator(
         band, tolerance: the δ acceptance band and failure tolerance.
         true_ci: pass a precomputed ground-truth interval to avoid
             recomputing it when evaluating several estimators.
+        pool: optional worker pool (or count) — ground-truth trials and
+            per-trial ξ runs fan out with bit-identical results.
     """
     probe = query.sample_target(min(sample_size, query.dataset_rows), rng)
     if not estimator.applicable(probe):
@@ -228,29 +256,42 @@ def evaluate_estimator(
             true_ci=None,
             estimator_name=estimator.name,
         )
-    if true_ci is None:
-        true_ci = true_interval(
-            query,
-            sample_size,
-            confidence,
-            truth_trials or max(200, 2 * num_trials),
-            rng,
-        )
-    if true_ci.half_width <= 0:
+    if sample_size > query.dataset_rows:
         raise EstimationError(
-            f"query {query.label or query.aggregate.name!r} has a degenerate "
-            "sampling distribution; δ is undefined"
+            f"sample size {sample_size} exceeds dataset rows "
+            f"{query.dataset_rows}"
         )
-    deltas = np.empty(num_trials, dtype=np.float64)
-    for t in range(num_trials):
-        target = query.sample_target(sample_size, rng)
-        estimated = estimator.estimate(target, confidence, rng)
-        deltas[t] = relative_width_deviation(
-            true_ci.half_width, estimated.half_width
+    with pool_scope(pool) as scoped:
+        if true_ci is None:
+            true_ci = true_interval(
+                query,
+                sample_size,
+                confidence,
+                truth_trials or max(200, 2 * num_trials),
+                rng,
+                scoped,
+            )
+        if true_ci.half_width <= 0:
+            raise EstimationError(
+                f"query {query.label or query.aggregate.name!r} has a "
+                "degenerate sampling distribution; δ is undefined"
+            )
+        _, estimated_half_widths = ground_truth_trials(
+            query.values,
+            query.mask,
+            query.aggregate,
+            extensive=query.extensive,
+            sample_size=sample_size,
+            num_trials=num_trials,
+            seed=seed_from_rng(rng),
+            confidence=confidence,
+            estimator=estimator,
+            pool=scoped,
         )
+    deltas = relative_width_deviation(true_ci.half_width, estimated_half_widths)
     return EstimatorEvaluation(
         verdict=classify_deltas(deltas, band, tolerance),
-        deltas=deltas,
+        deltas=np.asarray(deltas, dtype=np.float64),
         true_ci=true_ci,
         estimator_name=estimator.name,
     )

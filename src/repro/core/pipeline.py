@@ -16,11 +16,23 @@ The decision logic mirrors §5–§6:
    (resampling whole tables), everything else the consolidated
    weight-matrix fast path.
 4. A failed diagnostic triggers the configured fallback.
+
+Two engine-level performance features ride on top:
+
+* ``EngineConfig.num_workers`` fans bootstrap replicates, black-box
+  statistics, and diagnostic evaluations across a
+  :class:`~repro.parallel.pool.WorkerPool` (results bit-identical to
+  serial; ``1`` never spawns a process).
+* analyzed queries are memoised in an LRU keyed by SQL text
+  (``EngineConfig.plan_cache_size``), so repeated workload queries skip
+  parse→analyze entirely; registration of tables/UDFs/UDAFs
+  invalidates it.
 """
 
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Optional
 
@@ -42,6 +54,7 @@ from repro.core.large_deviation import HoeffdingEstimator
 from repro.engine.evaluator import ExpressionEvaluator
 from repro.engine.table import Table
 from repro.errors import AnalysisError, EstimationError, PlanError
+from repro.parallel.pool import WorkerPool, resolve_num_workers
 from repro.plan.executor import QueryExecutor
 from repro.sampling.catalog import SampleCatalog, SampleInfo
 from repro.sql.analyzer import AnalyzedQuery, analyze
@@ -78,6 +91,24 @@ class TableQueryTarget:
         return replace(self, table=self.table.take(indices))
 
 
+@dataclass(frozen=True)
+class _ScalarQueryStatistic:
+    """A picklable θ: run an analyzed query and return its scalar.
+
+    Replaces the obvious lambda so the black-box bootstrap's resample
+    statistics can be shipped to worker processes (lambdas cannot); if
+    the query or executor still refuses to pickle — e.g. lambda UDFs in
+    the registry — the fan-out transparently degrades to inline
+    execution with identical results.
+    """
+
+    query: AnalyzedQuery
+    executor: QueryExecutor
+
+    def __call__(self, table: Table) -> float:
+        return self.executor.scalar(self.query, table)
+
+
 class BlackBoxBootstrapEstimator(ErrorEstimator):
     """Bootstrap ξ for :class:`TableQueryTarget` (materialised resamples).
 
@@ -92,18 +123,28 @@ class BlackBoxBootstrapEstimator(ErrorEstimator):
         self,
         num_resamples: int = 100,
         rng: np.random.Generator | None = None,
+        pool: WorkerPool | None = None,
     ):
         self.num_resamples = num_resamples
         self._rng = rng or np.random.default_rng()
+        self._pool = pool
+
+    def __getstate__(self):
+        # Estimators travel to worker processes inside diagnostic tasks;
+        # pools are process-local and must never nest.
+        state = self.__dict__.copy()
+        state["_pool"] = None
+        return state
 
     def estimate(self, target, confidence=0.95, rng=None):
         rng = rng or self._rng
         center = target.point_estimate()
         distribution = bootstrap_table_statistic(
             target.table,
-            lambda t: target.executor.scalar(target.query, t),
+            _ScalarQueryStatistic(target.query, target.executor),
             self.num_resamples,
             rng,
+            pool=self._pool,
         )
         return interval_from_distribution(
             distribution, center, confidence, self.name
@@ -206,12 +247,27 @@ class EngineConfig:
     #: aggregates instead of the bootstrap (an extension ξ; the
     #: diagnostic still validates it per query).
     use_quantile_closed_form: bool = False
+    #: Degree of parallelism for bootstrap replicates, black-box
+    #: resample statistics, and diagnostic subsample evaluations.
+    #: ``None`` reads the ``REPRO_WORKERS`` environment variable
+    #: (default 1); ``<= 0`` means one worker per CPU.  Results are
+    #: bit-identical at any setting; ``1`` never spawns a process.
+    num_workers: Optional[int] = None
+    #: Entries kept in the engine's analyzed-query (plan) LRU cache;
+    #: repeated workload queries skip parse→analyze→plan→rewrite.
+    #: ``0`` disables caching.
+    plan_cache_size: int = 128
 
     def __post_init__(self):
         if self.fallback not in ("exact", "large_deviation", "none"):
             raise PlanError(
                 f"unknown fallback policy {self.fallback!r}; expected "
                 "'exact', 'large_deviation', or 'none'"
+            )
+        if self.plan_cache_size < 0:
+            raise PlanError(
+                f"plan_cache_size must be non-negative, got "
+                f"{self.plan_cache_size}"
             )
 
 
@@ -229,11 +285,54 @@ class AQPEngine:
         self._executor = QueryExecutor(self.registry)
         self._evaluator = ExpressionEvaluator(self.registry)
         self._rng = np.random.default_rng(seed)
+        self._pool: Optional[WorkerPool] = None
+        self._plan_cache: OrderedDict[str, AnalyzedQuery] = OrderedDict()
+        self._plan_cache_hits = 0
+        self._plan_cache_misses = 0
+
+    # -- worker pool -------------------------------------------------------
+    @property
+    def worker_pool(self) -> Optional[WorkerPool]:
+        """The engine's pool, or ``None`` in serial mode.
+
+        Created lazily on first parallel use; ``num_workers=1`` (the
+        default) never constructs a pool, so no process is ever
+        spawned.
+        """
+        workers = resolve_num_workers(self.config.num_workers)
+        if workers <= 1:
+            return None
+        if self._pool is None or self._pool.num_workers != workers:
+            if self._pool is not None:
+                self._pool.shutdown()
+            self._pool = WorkerPool(workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down worker processes (idempotent; engine stays usable)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "AQPEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # -- setup ------------------------------------------------------------
     def register_table(self, name: str, table: Table) -> None:
         """Register a base table."""
         self.catalog.register_table(name, table)
+        # A replaced table may change the schema the cached analyses
+        # were resolved against.
+        self.clear_plan_cache()
 
     def create_sample(
         self,
@@ -250,13 +349,51 @@ class AQPEngine:
     def register_udf(self, name: str, fn, vectorized: bool = True) -> None:
         """Register a scalar UDF (disables closed forms for its queries)."""
         self.registry.register_udf(name, fn, vectorized)
+        self.clear_plan_cache()
 
     def register_udaf(self, name: str, fn, weighted_fn=None) -> None:
         """Register a black-box aggregate (bootstrap-only error bars)."""
         self.registry.register_udaf(name, fn, weighted_fn)
+        self.clear_plan_cache()
+
+    # -- plan cache --------------------------------------------------------
+    def clear_plan_cache(self) -> None:
+        """Drop every cached analyzed query (stats are retained)."""
+        self._plan_cache.clear()
+
+    def plan_cache_info(self) -> dict[str, int]:
+        """Hit/miss counters and current size of the plan cache."""
+        return {
+            "hits": self._plan_cache_hits,
+            "misses": self._plan_cache_misses,
+            "size": len(self._plan_cache),
+            "max_size": self.config.plan_cache_size,
+        }
 
     # -- execution ---------------------------------------------------------
     def analyze_sql(self, sql: str) -> AnalyzedQuery:
+        """Parse and semantically analyze ``sql``, with an LRU cache.
+
+        Workload queries repeat; caching the analyzed form (keyed by
+        the exact SQL text) lets repeated executions skip
+        parse→analyze→plan→rewrite entirely.  Registering a table, UDF,
+        or UDAF invalidates the cache, since those change name
+        resolution.
+        """
+        cached = self._plan_cache.get(sql)
+        if cached is not None:
+            self._plan_cache_hits += 1
+            self._plan_cache.move_to_end(sql)
+            return cached
+        self._plan_cache_misses += 1
+        analyzed = self._analyze_sql_uncached(sql)
+        if self.config.plan_cache_size > 0:
+            self._plan_cache[sql] = analyzed
+            while len(self._plan_cache) > self.config.plan_cache_size:
+                self._plan_cache.popitem(last=False)
+        return analyzed
+
+    def _analyze_sql_uncached(self, sql: str) -> AnalyzedQuery:
         statement = parse_select(sql)
         if statement.source.subquery is not None:
             base = self._base_table_of(statement)
@@ -543,7 +680,9 @@ class _ExecutionState:
                 if quantile_estimator.applicable(probe):
                     return quantile_estimator
         return BootstrapEstimator(
-            self.engine.config.num_bootstrap_resamples, self.engine._rng
+            self.engine.config.num_bootstrap_resamples,
+            self.engine._rng,
+            pool=self.engine.worker_pool,
         )
 
     def _diagnose(self, target, estimator) -> DiagnosticResult | None:
@@ -553,7 +692,12 @@ class _ExecutionState:
         if config is None:
             return None
         result = diagnose(
-            target, estimator, self.confidence, config, self.engine._rng
+            target,
+            estimator,
+            self.confidence,
+            config,
+            self.engine._rng,
+            pool=self.engine.worker_pool,
         )
         self.diagnostic_subqueries += result.num_subqueries
         return result
@@ -564,7 +708,9 @@ class _ExecutionState:
             table=self.sample, query=self.query, executor=self.engine._executor
         )
         estimator = BlackBoxBootstrapEstimator(
-            self.engine.config.num_bootstrap_resamples, self.engine._rng
+            self.engine.config.num_bootstrap_resamples,
+            self.engine._rng,
+            pool=self.engine.worker_pool,
         )
         spec = self.query.aggregates[0]
         interval = estimator.estimate(target, self.confidence)
@@ -581,6 +727,7 @@ class _ExecutionState:
                     self.confidence,
                     config,
                     self.engine._rng,
+                    pool=self.engine.worker_pool,
                 )
                 self.diagnostic_subqueries += diagnostic.num_subqueries
         if diagnostic is not None and not diagnostic.passed:

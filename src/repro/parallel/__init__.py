@@ -1,0 +1,72 @@
+"""Multicore execution layer: shared-memory fan-out with determinism.
+
+The paper's bootstrap + diagnostics only become interactive through
+embarrassing parallelism (§5.1, §6).  This package supplies the
+in-process counterpart for real multicore machines:
+
+* :mod:`repro.parallel.pool` — ``REPRO_WORKERS`` worker processes with
+  a strict inline fallback (``num_workers=1`` spawns nothing);
+* :mod:`repro.parallel.shm` — the sample's column arrays shared with
+  workers via ``multiprocessing.shared_memory`` (zero-copy reads, no
+  per-task data pickling);
+* :mod:`repro.parallel.rng` — per-unit RNG streams spawned from one
+  :class:`numpy.random.SeedSequence`, making results **bit-identical
+  to serial execution at any worker count**;
+* :mod:`repro.parallel.ops` — the fanned-out hot loops: bootstrap
+  replicates, black-box table statistics, diagnostic subsample
+  evaluations, and ground-truth trials.
+"""
+
+from repro.parallel.ops import (
+    DEFAULT_REPLICATE_CHUNK,
+    DEFAULT_TRIAL_CHUNK,
+    DEFAULT_UNIT_BATCH,
+    bootstrap_replicates,
+    diagnostic_evaluations,
+    ground_truth_trials,
+    resolve_table,
+    share_table,
+    table_statistic_replicates,
+)
+from repro.parallel.pool import (
+    START_METHOD_ENV,
+    WORKERS_ENV,
+    WorkerPool,
+    pool_scope,
+    resolve_num_workers,
+)
+from repro.parallel.rng import chunk_spans, seed_from_rng, spawn_children
+from repro.parallel.shm import (
+    SEGMENT_PREFIX,
+    SharedArena,
+    SharedArrayRef,
+    attach,
+    detach,
+    resolve,
+)
+
+__all__ = [
+    "attach",
+    "detach",
+    "resolve",
+    "DEFAULT_REPLICATE_CHUNK",
+    "DEFAULT_TRIAL_CHUNK",
+    "DEFAULT_UNIT_BATCH",
+    "SEGMENT_PREFIX",
+    "START_METHOD_ENV",
+    "SharedArena",
+    "SharedArrayRef",
+    "WORKERS_ENV",
+    "WorkerPool",
+    "bootstrap_replicates",
+    "chunk_spans",
+    "diagnostic_evaluations",
+    "ground_truth_trials",
+    "pool_scope",
+    "resolve_num_workers",
+    "resolve_table",
+    "seed_from_rng",
+    "share_table",
+    "spawn_children",
+    "table_statistic_replicates",
+]

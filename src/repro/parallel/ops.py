@@ -1,0 +1,502 @@
+"""Fanned-out implementations of the hot loops of the reproduction.
+
+Each operation here is one of the embarrassingly parallel loops the
+paper identifies (§5.1, §6): bootstrap replicate computation, black-box
+resample-table statistics, the diagnostic's p×k independent subsample
+evaluations, and ground-truth trial sampling.  All four share the same
+structure:
+
+1. the caller supplies a root seed (one draw from its generator — see
+   :func:`repro.parallel.rng.seed_from_rng`);
+2. the work is cut into *logical units* whose layout depends only on
+   the workload, and unit ``i`` is bound to child RNG stream ``i``;
+3. with a parallel :class:`~repro.parallel.pool.WorkerPool`, the big
+   arrays go into shared memory once and units are dispatched in small
+   batches; without one, the very same unit kernels run inline.
+
+Because serial and parallel execution run identical kernels on
+identical streams, results are **bit-identical at any worker count** —
+the property the determinism tests enforce.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.core.estimators import EstimationTarget, resample_estimates_kernel
+from repro.engine.table import Table
+from repro.errors import EstimationError
+from repro.parallel.pool import WorkerPool
+from repro.parallel.rng import chunk_spans, spawn_children
+from repro.parallel.shm import SharedArena, detach, resolve
+from repro.sampling.poisson import (
+    materialize_poisson_resample,
+    poisson_weight_matrix,
+)
+from repro.sampling.tuple_augmentation import materialize_exact_resample
+
+__all__ = [
+    "DEFAULT_REPLICATE_CHUNK",
+    "DEFAULT_TRIAL_CHUNK",
+    "DEFAULT_UNIT_BATCH",
+    "bootstrap_replicates",
+    "diagnostic_evaluations",
+    "ground_truth_trials",
+    "resolve_table",
+    "share_table",
+    "table_statistic_replicates",
+]
+
+#: Bootstrap replicates per chunk (and per child RNG stream).  Part of
+#: the determinism contract: changing it changes the streams, so it is
+#: a constant of the scheme, never derived from the worker count.
+DEFAULT_REPLICATE_CHUNK = 8
+
+#: Ground-truth trials per dispatch chunk (one stream per trial, so
+#: this one is pure batching and only affects IPC overhead).
+DEFAULT_TRIAL_CHUNK = 16
+
+#: Diagnostic subsample evaluations per dispatch batch (one stream per
+#: subsample; batching is IPC-only).
+DEFAULT_UNIT_BATCH = 4
+
+
+def _usable(pool: WorkerPool | None) -> bool:
+    return pool is not None and pool.is_parallel
+
+
+# ---------------------------------------------------------------------------
+# Table sharing helpers
+# ---------------------------------------------------------------------------
+def share_table(arena: SharedArena, table: Table) -> dict[str, Any]:
+    """Export every column of ``table`` through ``arena``.
+
+    Numeric and fixed-width columns become shared-memory refs;
+    object-dtype columns ride along as plain arrays.
+    """
+    return {name: arena.share(col) for name, col in table.columns().items()}
+
+
+def resolve_table(
+    refs: dict[str, Any],
+    segments: list,
+    name: str | None = None,
+) -> Table:
+    """Rebuild a (read-only, zero-copy) table from shared column refs."""
+    return Table(
+        {col: resolve(ref, segments) for col, ref in refs.items()}, name=name
+    )
+
+
+# ---------------------------------------------------------------------------
+# Bootstrap replicates: the consolidated weight-matrix fast path
+# ---------------------------------------------------------------------------
+def _replicate_chunk_kernel(
+    matched: np.ndarray,
+    aggregate,
+    count: int,
+    child: np.random.SeedSequence,
+    *,
+    extensive: bool,
+    dataset_rows: Optional[int],
+    total_rows: int,
+    rate: float,
+) -> np.ndarray:
+    rng = np.random.default_rng(child)
+    weights = poisson_weight_matrix(
+        len(matched), count, rng, rate, dtype=np.int32
+    )
+    return np.asarray(
+        resample_estimates_kernel(
+            matched,
+            aggregate,
+            weights,
+            rng,
+            extensive=extensive,
+            dataset_rows=dataset_rows,
+            total_sample_rows=total_rows,
+        ),
+        dtype=np.float64,
+    )
+
+
+def _replicate_chunk_task(payload: dict) -> np.ndarray:
+    segments: list = []
+    try:
+        matched = resolve(payload["values"], segments)
+        return _replicate_chunk_kernel(
+            matched,
+            payload["aggregate"],
+            payload["count"],
+            payload["child"],
+            extensive=payload["extensive"],
+            dataset_rows=payload["dataset_rows"],
+            total_rows=payload["total_rows"],
+            rate=payload["rate"],
+        )
+    finally:
+        detach(segments)
+
+
+def bootstrap_replicates(
+    target: EstimationTarget,
+    num_resamples: int,
+    seed: int,
+    *,
+    rate: float = 1.0,
+    chunk_size: int = DEFAULT_REPLICATE_CHUNK,
+    pool: WorkerPool | None = None,
+) -> np.ndarray:
+    """The K Poissonized bootstrap replicate estimates for ``target``.
+
+    Chunk ``i`` of ``chunk_size`` resamples always consumes child
+    stream ``i`` of ``seed``; the returned distribution is therefore
+    independent of ``pool``.
+    """
+    matched = target.matched_values
+    if len(matched) == 0:
+        raise EstimationError(
+            "cannot bootstrap a query whose filter matched no sample rows"
+        )
+    spans = chunk_spans(num_resamples, chunk_size)
+    children = spawn_children(seed, len(spans))
+    common = dict(
+        extensive=target.extensive,
+        dataset_rows=target.dataset_rows,
+        total_rows=target.total_sample_rows,
+        rate=rate,
+    )
+    if not _usable(pool):
+        parts = [
+            _replicate_chunk_kernel(
+                matched, target.aggregate, stop - start, child, **common
+            )
+            for (start, stop), child in zip(spans, children)
+        ]
+        return np.concatenate(parts)
+    with SharedArena() as arena:
+        shared_values = arena.share(np.ascontiguousarray(matched))
+        payloads = [
+            {
+                "values": shared_values,
+                "aggregate": target.aggregate,
+                "count": stop - start,
+                "child": child,
+                **common,
+            }
+            for (start, stop), child in zip(spans, children)
+        ]
+        parts = pool.map(_replicate_chunk_task, payloads)
+    return np.concatenate(parts)
+
+
+# ---------------------------------------------------------------------------
+# Black-box per-table statistics (the §5.2 execution model)
+# ---------------------------------------------------------------------------
+_RESAMPLERS: dict[str, Callable] = {
+    "poisson": materialize_poisson_resample,
+    "exact": materialize_exact_resample,
+}
+
+
+def _table_chunk_kernel(
+    table: Table,
+    statistic: Callable[[Table], float],
+    method: str,
+    count: int,
+    child: np.random.SeedSequence,
+) -> np.ndarray:
+    make_resample = _RESAMPLERS[method]
+    rng = np.random.default_rng(child)
+    out = np.empty(count, dtype=np.float64)
+    for k in range(count):
+        out[k] = statistic(make_resample(table, rng))
+    return out
+
+
+def _table_chunk_task(payload: dict) -> np.ndarray:
+    segments: list = []
+    try:
+        table = resolve_table(
+            payload["columns"], segments, name=payload["table_name"]
+        )
+        return _table_chunk_kernel(
+            table,
+            payload["statistic"],
+            payload["method"],
+            payload["count"],
+            payload["child"],
+        )
+    finally:
+        detach(segments)
+
+
+def table_statistic_replicates(
+    table: Table,
+    statistic: Callable[[Table], float],
+    num_resamples: int,
+    seed: int,
+    *,
+    method: str = "poisson",
+    chunk_size: int = DEFAULT_REPLICATE_CHUNK,
+    pool: WorkerPool | None = None,
+) -> np.ndarray:
+    """K replicate values of a black-box per-table statistic.
+
+    The sample's columns are shared with workers once; each chunk
+    materialises its resamples from its own child stream.  Unpicklable
+    statistics (lambdas over engine state) silently run inline — same
+    streams, same values.
+    """
+    if method not in _RESAMPLERS:
+        raise EstimationError(
+            f"unknown resampling method {method!r}; use 'poisson' or 'exact'"
+        )
+    spans = chunk_spans(num_resamples, chunk_size)
+    children = spawn_children(seed, len(spans))
+    if not _usable(pool):
+        parts = [
+            _table_chunk_kernel(table, statistic, method, stop - start, child)
+            for (start, stop), child in zip(spans, children)
+        ]
+        return np.concatenate(parts)
+    with SharedArena() as arena:
+        columns = share_table(arena, table)
+        payloads = [
+            {
+                "columns": columns,
+                "table_name": table.name,
+                "statistic": statistic,
+                "method": method,
+                "count": stop - start,
+                "child": child,
+            }
+            for (start, stop), child in zip(spans, children)
+        ]
+        parts = pool.map(_table_chunk_task, payloads)
+    return np.concatenate(parts)
+
+
+# ---------------------------------------------------------------------------
+# Diagnostic subsample evaluations (Algorithm 1's p independent units)
+# ---------------------------------------------------------------------------
+def _diagnostic_unit_kernel(
+    target,
+    estimator,
+    confidence: float,
+    indices: np.ndarray,
+    child: np.random.SeedSequence,
+) -> tuple[float, float]:
+    subsample = target.subset(indices)
+    point = subsample.point_estimate()
+    rng = np.random.default_rng(child)
+    try:
+        half_width = estimator.estimate(subsample, confidence, rng).half_width
+    except EstimationError:
+        # ξ can fail on a tiny subsample (e.g. a selective filter leaves
+        # < 2 matched rows).  That *is* evidence against reliable
+        # estimation at this size: NaN counts against the closeness
+        # proportion π.
+        half_width = float("nan")
+    return float(point), float(half_width)
+
+
+def _diagnostic_batch_task(payload: dict) -> list[tuple[float, float]]:
+    segments: list = []
+    try:
+        target = EstimationTarget(
+            values=resolve(payload["values"], segments),
+            aggregate=payload["aggregate"],
+            mask=resolve(payload["mask"], segments),
+            dataset_rows=payload["dataset_rows"],
+            extensive=payload["extensive"],
+        )
+        order = resolve(payload["order"], segments)
+        estimator = payload["estimator"]
+        confidence = payload["confidence"]
+        return [
+            _diagnostic_unit_kernel(
+                target, estimator, confidence, order[start:stop], child
+            )
+            for (start, stop), child in payload["units"]
+        ]
+    finally:
+        detach(segments)
+
+
+def diagnostic_evaluations(
+    target,
+    estimator,
+    confidence: float,
+    blocks: Sequence[np.ndarray],
+    seed: int,
+    *,
+    pool: WorkerPool | None = None,
+    unit_batch: int = DEFAULT_UNIT_BATCH,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Point estimates and estimated half-widths over disjoint subsamples.
+
+    One child stream per subsample ``j``; batching (``unit_batch``
+    units per dispatched task) only amortises IPC and cannot perturb
+    results.  Targets that are not array-backed
+    :class:`~repro.core.estimators.EstimationTarget` instances (e.g.
+    black-box whole-table targets) always evaluate inline.
+    """
+    blocks = list(blocks)
+    children = spawn_children(seed, len(blocks))
+    parallelizable = _usable(pool) and isinstance(target, EstimationTarget)
+    if not parallelizable:
+        pairs = [
+            _diagnostic_unit_kernel(target, estimator, confidence, block, child)
+            for block, child in zip(blocks, children)
+        ]
+    else:
+        order = np.concatenate(blocks) if blocks else np.empty(0, np.int64)
+        sizes = [len(block) for block in blocks]
+        offsets = np.concatenate([[0], np.cumsum(sizes)])
+        units = [
+            ((int(offsets[j]), int(offsets[j + 1])), children[j])
+            for j in range(len(blocks))
+        ]
+        with SharedArena() as arena:
+            shared = {
+                "values": arena.share(np.ascontiguousarray(target.values)),
+                "mask": (
+                    None
+                    if target.mask is None
+                    else arena.share(np.ascontiguousarray(target.mask))
+                ),
+                "order": arena.share(np.ascontiguousarray(order)),
+                "aggregate": target.aggregate,
+                "dataset_rows": target.dataset_rows,
+                "extensive": target.extensive,
+                "estimator": estimator,
+                "confidence": confidence,
+            }
+            payloads = [
+                {**shared, "units": units[i : i + unit_batch]}
+                for i in range(0, len(units), unit_batch)
+            ]
+            batches = pool.map(_diagnostic_batch_task, payloads)
+        pairs = [pair for batch in batches for pair in batch]
+    points = np.array([p for p, _ in pairs], dtype=np.float64)
+    half_widths = np.array([h for _, h in pairs], dtype=np.float64)
+    return points, half_widths
+
+
+# ---------------------------------------------------------------------------
+# Ground-truth trials (§3 evaluation protocol)
+# ---------------------------------------------------------------------------
+def _trial_chunk_kernel(
+    values: np.ndarray,
+    mask: Optional[np.ndarray],
+    aggregate,
+    *,
+    extensive: bool,
+    sample_size: int,
+    replacement: bool,
+    confidence: float,
+    estimator,
+    children: Sequence[np.random.SeedSequence],
+) -> tuple[np.ndarray, np.ndarray]:
+    dataset_rows = len(values)
+    points = np.empty(len(children), dtype=np.float64)
+    half_widths = np.empty(len(children), dtype=np.float64)
+    for i, child in enumerate(children):
+        rng = np.random.default_rng(child)
+        indices = rng.choice(dataset_rows, size=sample_size, replace=replacement)
+        target = EstimationTarget(
+            values=values[indices],
+            aggregate=aggregate,
+            mask=None if mask is None else mask[indices],
+            dataset_rows=dataset_rows,
+            extensive=extensive,
+        )
+        points[i] = target.point_estimate()
+        half_widths[i] = (
+            estimator.estimate(target, confidence, rng).half_width
+            if estimator is not None
+            else np.nan
+        )
+    return points, half_widths
+
+
+def _trial_chunk_task(payload: dict) -> tuple[np.ndarray, np.ndarray]:
+    segments: list = []
+    try:
+        return _trial_chunk_kernel(
+            resolve(payload["values"], segments),
+            resolve(payload["mask"], segments),
+            payload["aggregate"],
+            extensive=payload["extensive"],
+            sample_size=payload["sample_size"],
+            replacement=payload["replacement"],
+            confidence=payload["confidence"],
+            estimator=payload["estimator"],
+            children=payload["children"],
+        )
+    finally:
+        detach(segments)
+
+
+def ground_truth_trials(
+    values: np.ndarray,
+    mask: Optional[np.ndarray],
+    aggregate,
+    *,
+    extensive: bool,
+    sample_size: int,
+    num_trials: int,
+    seed: int,
+    replacement: bool = True,
+    confidence: float = 0.95,
+    estimator=None,
+    chunk_size: int = DEFAULT_TRIAL_CHUNK,
+    pool: WorkerPool | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-trial θ(S) (and optionally ξ half-widths) over fresh samples.
+
+    Trial ``t`` always consumes child stream ``t``: it draws its sample
+    indices and then (when ``estimator`` is given) runs ξ from the same
+    stream.  Returns ``(points, half_widths)``; half-widths are NaN
+    when no estimator was supplied.
+    """
+    children = spawn_children(seed, num_trials)
+    spans = chunk_spans(num_trials, chunk_size)
+    common = dict(
+        extensive=extensive,
+        sample_size=sample_size,
+        replacement=replacement,
+        confidence=confidence,
+        estimator=estimator,
+    )
+    if not _usable(pool):
+        parts = [
+            _trial_chunk_kernel(
+                values, mask, aggregate, children=children[start:stop], **common
+            )
+            for start, stop in spans
+        ]
+    else:
+        with SharedArena() as arena:
+            shared_values = arena.share(np.ascontiguousarray(values))
+            shared_mask = (
+                None if mask is None else arena.share(np.ascontiguousarray(mask))
+            )
+            payloads = [
+                {
+                    "values": shared_values,
+                    "mask": shared_mask,
+                    "aggregate": aggregate,
+                    "children": children[start:stop],
+                    **common,
+                }
+                for start, stop in spans
+            ]
+            parts = pool.map(_trial_chunk_task, payloads)
+    points = np.concatenate([p for p, _ in parts])
+    half_widths = np.concatenate([h for _, h in parts])
+    return points, half_widths

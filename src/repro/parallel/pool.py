@@ -1,0 +1,174 @@
+"""The worker pool: process fan-out with a strict serial fallback.
+
+``REPRO_WORKERS`` (or :class:`~repro.core.pipeline.EngineConfig`'s
+``num_workers``) selects the degree of parallelism, mirroring the
+paper's §6 observation that bootstrap + diagnostics only become
+interactive through tuned parallel execution.  The contract:
+
+* ``num_workers <= 1`` → every ``map`` runs inline in the calling
+  process; **no worker process is ever spawned** and no shared-memory
+  segment is created by the callers (they skip the arena entirely).
+* ``num_workers > 1`` → a lazily created ``multiprocessing`` pool runs
+  task batches; results come back in submission order, so determinism
+  is entirely the responsibility of the per-unit RNG streams
+  (:mod:`repro.parallel.rng`), never of scheduling.
+* Payloads that cannot be pickled (user lambdas, bound closures) make
+  the operation fall back to the inline path instead of failing — the
+  serial and parallel paths are bit-identical by construction, so the
+  fallback is invisible except in wall-clock.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.pool
+import os
+import pickle
+from collections.abc import Callable, Iterator, Sequence
+from contextlib import contextmanager
+from typing import Any
+
+__all__ = [
+    "WORKERS_ENV",
+    "START_METHOD_ENV",
+    "WorkerPool",
+    "pool_scope",
+    "resolve_num_workers",
+]
+
+#: Environment knob read when ``num_workers`` is not given explicitly.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Override the multiprocessing start method ("fork" is the default on
+#: platforms that support it; "spawn" works but pays interpreter boot
+#: per worker).
+START_METHOD_ENV = "REPRO_MP_START"
+
+
+def resolve_num_workers(num_workers: int | None = None) -> int:
+    """Resolve a worker count: explicit value → env → serial.
+
+    ``0`` and negative values mean "one worker per CPU".
+    """
+    if num_workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            num_workers = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV} must be an integer, got {raw!r}"
+            ) from None
+    if num_workers <= 0:
+        return os.cpu_count() or 1
+    return num_workers
+
+
+def _start_method() -> str:
+    method = os.environ.get(START_METHOD_ENV, "").strip()
+    if method:
+        return method
+    if "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return multiprocessing.get_start_method()
+
+
+class WorkerPool:
+    """A lazily spawned process pool with an inline serial mode.
+
+    Args:
+        num_workers: degree of parallelism; ``None`` reads
+            ``REPRO_WORKERS``, ``<= 0`` means one per CPU, and ``1`` is
+            the guaranteed-inline serial mode.
+    """
+
+    def __init__(self, num_workers: int | None = None):
+        self.num_workers = resolve_num_workers(num_workers)
+        self._pool: multiprocessing.pool.Pool | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def is_parallel(self) -> bool:
+        return self.num_workers > 1
+
+    @property
+    def processes_spawned(self) -> bool:
+        """Whether any worker process actually exists (tested contract)."""
+        return self._pool is not None
+
+    def _ensure_pool(self) -> multiprocessing.pool.Pool:
+        if self._pool is None:
+            context = multiprocessing.get_context(_start_method())
+            self._pool = context.Pool(processes=self.num_workers)
+        return self._pool
+
+    def shutdown(self) -> None:
+        """Terminate worker processes (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __del__(self):
+        try:
+            self.shutdown()
+        except Exception:
+            pass
+
+    # -- execution ---------------------------------------------------------
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Sequence[Any],
+    ) -> list[Any]:
+        """Apply ``fn`` to every payload, preserving order.
+
+        Runs inline when serial, when there is at most one payload, or
+        when a payload refuses to pickle; fans out otherwise.
+        """
+        payloads = list(payloads)
+        if not self.is_parallel or len(payloads) <= 1:
+            return [fn(payload) for payload in payloads]
+        try:
+            pickle.dumps((fn, payloads), protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            # Unpicklable work (user lambdas / closures): identical
+            # results inline, just without the fan-out.
+            return [fn(payload) for payload in payloads]
+        pool = self._ensure_pool()
+        return pool.map(fn, payloads, chunksize=1)
+
+
+@contextmanager
+def pool_scope(
+    pool: "WorkerPool | int | None",
+) -> "Iterator[WorkerPool | None]":
+    """Normalise a ``pool=`` argument for the duration of one operation.
+
+    ``WorkerPool`` instances pass through (caller owns their lifetime);
+    integers create a pool scoped to the ``with`` block; ``None`` and
+    serial counts yield ``None`` so call sites can skip the
+    shared-memory arena entirely.
+    """
+    if isinstance(pool, WorkerPool):
+        yield pool if pool.is_parallel else None
+        return
+    if pool is None:
+        yield None
+        return
+    resolved = resolve_num_workers(int(pool))
+    if resolved <= 1:
+        yield None
+        return
+    scoped = WorkerPool(resolved)
+    try:
+        yield scoped
+    finally:
+        scoped.shutdown()

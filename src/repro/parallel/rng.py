@@ -1,0 +1,64 @@
+"""Deterministic chunked randomness for the multicore execution layer.
+
+The determinism contract of :mod:`repro.parallel` is *bit-identical
+results at any worker count*.  The mechanism (§5.1's "streaming,
+embarrassingly parallel" weight generation, made reproducible) is:
+
+1. The caller draws **one** 63-bit seed from its generator
+   (:func:`seed_from_rng`) — consuming the same amount of parent-side
+   randomness whether the work then runs serially or on 8 workers.
+2. The seed becomes a :class:`numpy.random.SeedSequence`, which is
+   spawned into one child stream per *logical work unit* (bootstrap
+   replicate chunk, diagnostic subsample, ground-truth trial).
+3. Unit ``i`` always consumes child stream ``i`` — regardless of which
+   worker process executes it, and regardless of how units are batched
+   for dispatch.
+
+Chunk layout is therefore a pure function of the workload (task count
+and a fixed chunk size), never of the worker count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["seed_from_rng", "spawn_children", "chunk_spans"]
+
+
+def seed_from_rng(rng: np.random.Generator) -> int:
+    """Draw a single root seed from ``rng``.
+
+    This is the only randomness the parent consumes for a fanned-out
+    operation, so the parent generator advances identically for every
+    worker count (including the inline serial path).
+    """
+    return int(rng.integers(0, 2**63 - 1))
+
+
+def spawn_children(seed: int, count: int) -> list[np.random.SeedSequence]:
+    """``count`` independent child streams of the root ``seed``.
+
+    Child ``i`` is always the same stream for the same root seed;
+    :class:`~numpy.random.SeedSequence` guarantees the children are
+    statistically independent of each other and of the root.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return list(np.random.SeedSequence(seed).spawn(count))
+
+
+def chunk_spans(total: int, chunk_size: int) -> list[tuple[int, int]]:
+    """Half-open ``[start, stop)`` spans covering ``range(total)``.
+
+    The layout depends only on ``total`` and ``chunk_size`` — never on
+    the number of workers — so span ``i`` can be bound to child stream
+    ``i`` without breaking the determinism contract.
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    return [
+        (start, min(start + chunk_size, total))
+        for start in range(0, total, chunk_size)
+    ]

@@ -1,0 +1,165 @@
+"""Zero-copy column sharing via POSIX shared memory.
+
+Fan-out would be pointless if every task pickled the sample's column
+arrays: serialisation would cost more than the aggregate it feeds.
+Instead the parent copies each large array **once** into a
+:class:`multiprocessing.shared_memory.SharedMemory` segment; tasks carry
+only a tiny :class:`SharedArrayRef` (segment name + shape + dtype) and
+workers map the segment read-only — a zero-copy view, no per-task data
+movement.
+
+Ownership is explicit: a :class:`SharedArena` owns every segment it
+creates and unlinks them all on :meth:`SharedArena.close` (or context
+exit), including when a worker raised mid-operation.  Workers attach
+per task batch and detach immediately after computing their (small)
+results, so a parent-side ``close`` frees the memory promptly and no
+segment ever outlives its operation.
+
+Arrays that cannot live in shared memory — object-dtype columns and
+zero-length arrays — are passed through verbatim and travel with the
+task payload instead (they are small or unavoidable either way).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+__all__ = [
+    "SEGMENT_PREFIX",
+    "SharedArrayRef",
+    "SharedArena",
+    "attach",
+    "detach",
+    "resolve",
+    "sharable",
+]
+
+#: Prefix of every segment created here; tests glob ``/dev/shm`` for it
+#: to prove nothing leaked.
+SEGMENT_PREFIX = "repro"
+
+
+@dataclass(frozen=True)
+class SharedArrayRef:
+    """Picklable description of an array living in a shared segment."""
+
+    segment: str
+    shape: tuple[int, ...]
+    dtype: str
+
+
+def sharable(array: np.ndarray) -> bool:
+    """Whether ``array`` can be placed in a shared-memory segment."""
+    return not array.dtype.hasobject and array.nbytes > 0
+
+
+class SharedArena:
+    """Parent-side owner of the shared segments of one fan-out operation."""
+
+    _counter = 0
+
+    def __init__(self):
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._closed = False
+
+    def share(self, array: np.ndarray) -> SharedArrayRef | np.ndarray:
+        """Copy ``array`` into a shared segment, returning a ref.
+
+        Non-sharable arrays (object dtype, zero length) are returned
+        unchanged so callers can transparently embed them in the task
+        payload instead.
+        """
+        if self._closed:
+            raise ValueError("cannot share through a closed arena")
+        array = np.ascontiguousarray(array)
+        if not sharable(array):
+            return array
+        SharedArena._counter += 1
+        name = f"{SEGMENT_PREFIX}_{os.getpid()}_{SharedArena._counter}"
+        segment = shared_memory.SharedMemory(
+            name=name, create=True, size=array.nbytes
+        )
+        self._segments.append(segment)
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        view[...] = array
+        return SharedArrayRef(
+            segment=segment.name.lstrip("/"),
+            shape=array.shape,
+            dtype=array.dtype.str,
+        )
+
+    def close(self) -> None:
+        """Close and unlink every segment this arena created."""
+        if self._closed:
+            return
+        self._closed = True
+        for segment in self._segments:
+            try:
+                segment.close()
+            finally:
+                try:
+                    segment.unlink()
+                except FileNotFoundError:
+                    pass
+        self._segments.clear()
+
+    def __enter__(self) -> "SharedArena":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def attach(ref: SharedArrayRef) -> tuple[np.ndarray, shared_memory.SharedMemory]:
+    """Map a shared segment read-only in the current process.
+
+    Pre-3.13 ``SharedMemory`` registers *attachments* with the resource
+    tracker too, which makes the tracker try to double-unlink segments
+    the parent owns.  Suppressing registration during attach is the
+    stdlib-sanctioned workaround (it is exactly what the 3.13
+    ``track=False`` parameter does).
+    """
+    register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        segment = shared_memory.SharedMemory(name=ref.segment, create=False)
+    finally:
+        resource_tracker.register = register
+    array = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=segment.buf)
+    array.flags.writeable = False
+    return array, segment
+
+
+def detach(segments: list[shared_memory.SharedMemory]) -> None:
+    """Unmap previously attached segments (results must be copies)."""
+    for segment in segments:
+        try:
+            segment.close()
+        except Exception:
+            pass
+
+
+def resolve(
+    ref: SharedArrayRef | np.ndarray | None,
+    segments: list[shared_memory.SharedMemory],
+) -> np.ndarray | None:
+    """Materialise a payload entry: attach refs, pass arrays through.
+
+    Appends any segment opened here to ``segments`` so the caller can
+    :func:`detach` them in one place after the batch completes.
+    """
+    if ref is None or isinstance(ref, np.ndarray):
+        return ref
+    array, segment = attach(ref)
+    segments.append(segment)
+    return array

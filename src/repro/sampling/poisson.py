@@ -16,19 +16,56 @@ when pipelined into weighted aggregates.
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+import os
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 
 from repro.engine.table import Table
 from repro.errors import SamplingError
 
+#: Default ceiling on the bytes a single materialised weight matrix may
+#: occupy.  Poisson(1) counts comfortably fit ``int32`` (overflow would
+#: need a count of 2³¹ in one cell), so the audit standardised every
+#: weight-matrix default on ``int32`` — half the footprint of the old
+#: ``int64`` default — and this guard turns a would-be NumPy OOM into a
+#: diagnosable :class:`~repro.errors.SamplingError`.  Override per call
+#: with ``max_bytes`` or globally via ``REPRO_WEIGHT_MATRIX_BUDGET``
+#: (bytes).
+DEFAULT_WEIGHT_MATRIX_BUDGET = 2 * 1024**3
+
+WEIGHT_BUDGET_ENV = "REPRO_WEIGHT_MATRIX_BUDGET"
+
+
+def weight_matrix_budget() -> int:
+    """The active weight-matrix byte budget (env override or default)."""
+    raw = os.environ.get(WEIGHT_BUDGET_ENV, "").strip()
+    return int(raw) if raw else DEFAULT_WEIGHT_MATRIX_BUDGET
+
+
+def _check_weight_budget(
+    num_rows: int,
+    num_resamples: int,
+    dtype: np.dtype | type,
+    max_bytes: int | None,
+) -> None:
+    budget = weight_matrix_budget() if max_bytes is None else max_bytes
+    required = num_rows * num_resamples * np.dtype(dtype).itemsize
+    if required > budget:
+        raise SamplingError(
+            f"weight matrix of {num_rows} rows × {num_resamples} resamples "
+            f"({np.dtype(dtype).name}) needs {required:,} bytes, exceeding "
+            f"the {budget:,}-byte budget; stream it in blocks "
+            f"(PoissonizedResampler), lower K, or raise the budget via "
+            f"{WEIGHT_BUDGET_ENV} or max_bytes"
+        )
+
 
 def poisson_weights(
     num_rows: int,
     rng: np.random.Generator,
     rate: float = 1.0,
-    dtype: np.dtype | type = np.int64,
+    dtype: np.dtype | type = np.int32,
 ) -> np.ndarray:
     """One vector of independent ``Poisson(rate)`` resampling weights.
 
@@ -53,12 +90,19 @@ def poisson_weight_matrix(
     num_resamples: int,
     rng: np.random.Generator,
     rate: float = 1.0,
-    dtype: np.dtype | type = np.int64,
+    dtype: np.dtype | type = np.int32,
+    max_bytes: int | None = None,
 ) -> np.ndarray:
     """A ``(num_rows, num_resamples)`` matrix of independent Poisson weights.
 
     This is the consolidated-scan representation (§5.3.1): one column per
     resample, generated in a single pass and fed to weighted aggregates.
+
+    Raises:
+        SamplingError: when the materialised matrix would exceed the
+            byte budget (``max_bytes``, or the
+            ``REPRO_WEIGHT_MATRIX_BUDGET`` env default) — a clear error
+            instead of a NumPy out-of-memory crash.
     """
     if num_resamples <= 0:
         raise SamplingError(
@@ -68,9 +112,41 @@ def poisson_weight_matrix(
         raise SamplingError(f"num_rows must be non-negative, got {num_rows}")
     if rate <= 0:
         raise SamplingError(f"Poisson rate must be positive, got {rate}")
+    _check_weight_budget(num_rows, num_resamples, dtype, max_bytes)
     return rng.poisson(rate, size=(num_rows, num_resamples)).astype(
         dtype, copy=False
     )
+
+
+def chunked_poisson_weight_matrices(
+    num_rows: int,
+    chunk_resamples: Sequence[int],
+    streams: Sequence[np.random.SeedSequence | np.random.Generator],
+    rate: float = 1.0,
+    dtype: np.dtype | type = np.int32,
+    max_bytes: int | None = None,
+) -> Iterator[np.ndarray]:
+    """Column-chunked weight matrices, one independent RNG stream each.
+
+    This is the §5.1 "streaming, embarrassingly parallel" form made
+    reproducible: chunk ``i`` of ``chunk_resamples[i]`` resample columns
+    is generated from ``streams[i]`` regardless of which process runs
+    it, so a fanned-out bootstrap sees exactly the weights a serial one
+    would.
+    """
+    if len(chunk_resamples) != len(streams):
+        raise SamplingError(
+            f"{len(chunk_resamples)} chunks but {len(streams)} RNG streams"
+        )
+    for count, stream in zip(chunk_resamples, streams):
+        rng = (
+            stream
+            if isinstance(stream, np.random.Generator)
+            else np.random.default_rng(stream)
+        )
+        yield poisson_weight_matrix(
+            num_rows, count, rng, rate, dtype, max_bytes
+        )
 
 
 def materialize_poisson_resample(
@@ -135,6 +211,7 @@ class PoissonizedResampler:
 
     def full_matrix(self, num_rows: int) -> np.ndarray:
         """Materialise the full weight matrix (concatenated blocks)."""
+        _check_weight_budget(num_rows, self.num_resamples, self._dtype, None)
         blocks = list(self.weight_blocks(num_rows))
         if not blocks:
             return np.zeros((0, self.num_resamples), dtype=self._dtype)

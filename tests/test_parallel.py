@@ -1,0 +1,415 @@
+"""The multicore execution layer: determinism, cleanup, and caching.
+
+Three contracts are enforced here:
+
+1. **Determinism** — every fanned-out operation (bootstrap replicates,
+   black-box table statistics, diagnostic subsample evaluations,
+   ground-truth trials, and engine-level execution) is bit-identical at
+   any worker count, because unit ``i`` always consumes child RNG
+   stream ``i`` of one root seed.
+2. **Resource hygiene** — ``num_workers=1`` never spawns a process, and
+   no shared-memory segment survives an operation, even when a worker
+   raises mid-flight.
+3. **Caching and guards** — the engine's plan LRU behaves like an LRU
+   and invalidates on registration; oversized weight matrices raise
+   :class:`~repro.errors.SamplingError` instead of OOM-ing.
+"""
+
+from __future__ import annotations
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.core.bootstrap import BootstrapEstimator, bootstrap_table_statistic
+from repro.core.diagnostics import DiagnosticConfig, diagnose
+from repro.core.estimators import EstimationTarget
+from repro.core.ground_truth import DatasetQuery, sampling_distribution
+from repro.core.pipeline import AQPEngine, EngineConfig
+from repro.engine.aggregates import get_aggregate
+from repro.engine.table import Table
+from repro.errors import PlanError, SamplingError
+from repro.parallel import (
+    SEGMENT_PREFIX,
+    SharedArena,
+    WorkerPool,
+    attach,
+    chunk_spans,
+    detach,
+    ground_truth_trials,
+    pool_scope,
+    resolve_num_workers,
+    seed_from_rng,
+    spawn_children,
+)
+from repro.sampling.poisson import (
+    WEIGHT_BUDGET_ENV,
+    PoissonizedResampler,
+    poisson_weight_matrix,
+    poisson_weights,
+)
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def leaked_segments() -> list[str]:
+    return glob.glob(f"/dev/shm/{SEGMENT_PREFIX}_*")
+
+
+@pytest.fixture
+def target() -> EstimationTarget:
+    rng = np.random.default_rng(101)
+    return EstimationTarget(
+        values=rng.lognormal(1.0, 0.5, 6000),
+        aggregate=get_aggregate("AVG"),
+        mask=rng.random(6000) < 0.8,
+        dataset_rows=60_000,
+    )
+
+
+@pytest.fixture
+def table() -> Table:
+    rng = np.random.default_rng(103)
+    return Table(
+        {"a": rng.normal(10, 2, 4000), "b": rng.integers(0, 5, 4000)},
+        name="t",
+    )
+
+
+def _run_at(workers: int, op):
+    with pool_scope(workers if workers > 1 else None) as pool:
+        return op(pool)
+
+
+# ---------------------------------------------------------------------------
+# RNG scheme
+# ---------------------------------------------------------------------------
+class TestRngScheme:
+    def test_seed_from_rng_advances_parent(self):
+        rng = np.random.default_rng(7)
+        assert seed_from_rng(rng) != seed_from_rng(rng)
+
+    def test_same_seed_same_children(self):
+        a = spawn_children(99, 4)
+        b = spawn_children(99, 4)
+        for x, y in zip(a, b):
+            assert np.random.default_rng(x).integers(1 << 30) == (
+                np.random.default_rng(y).integers(1 << 30)
+            )
+
+    def test_chunk_spans_cover_exactly(self):
+        assert chunk_spans(10, 4) == [(0, 4), (4, 8), (8, 10)]
+        assert chunk_spans(0, 4) == []
+
+
+# ---------------------------------------------------------------------------
+# Determinism across worker counts
+# ---------------------------------------------------------------------------
+class TestDeterminism:
+    def test_bootstrap_replicates(self, target):
+        def op(pool):
+            estimator = BootstrapEstimator(
+                64, np.random.default_rng(5), pool=pool
+            )
+            return estimator.resample_distribution(target)
+
+        results = [_run_at(w, op) for w in WORKER_COUNTS]
+        for other in results[1:]:
+            np.testing.assert_array_equal(results[0], other)
+
+    def test_black_box_table_statistic(self, table):
+        def op(pool):
+            return bootstrap_table_statistic(
+                table,
+                _mean_of_a,
+                32,
+                np.random.default_rng(5),
+                pool=pool,
+            )
+
+        results = [_run_at(w, op) for w in WORKER_COUNTS]
+        for other in results[1:]:
+            np.testing.assert_array_equal(results[0], other)
+
+    def test_diagnostic_verdict_and_reports(self, target):
+        def op(pool):
+            result = diagnose(
+                target,
+                BootstrapEstimator(24, np.random.default_rng(5)),
+                0.95,
+                DiagnosticConfig(num_subsamples=12, num_sizes=2),
+                np.random.default_rng(5),
+                pool=pool,
+            )
+            return (
+                result.passed,
+                tuple(
+                    (r.true_half_width, r.mean_estimated_half_width, r.spread)
+                    for r in result.reports
+                ),
+            )
+
+        results = [_run_at(w, op) for w in WORKER_COUNTS]
+        assert results[0] == results[1] == results[2]
+
+    def test_ground_truth_distribution(self):
+        rng = np.random.default_rng(11)
+        query = DatasetQuery(
+            values=rng.lognormal(1.0, 0.5, 20_000),
+            aggregate=get_aggregate("SUM"),
+            extensive=True,
+        )
+
+        def op(pool):
+            return sampling_distribution(
+                query, 2000, 48, np.random.default_rng(5), pool
+            )
+
+        results = [_run_at(w, op) for w in WORKER_COUNTS]
+        for other in results[1:]:
+            np.testing.assert_array_equal(results[0], other)
+
+    def test_engine_execute(self, table):
+        def run(workers):
+            engine = AQPEngine(EngineConfig(num_workers=workers), seed=42)
+            engine.register_table("t", table)
+            engine.create_sample("t", size=2000)
+            with engine:
+                result = engine.execute("SELECT AVG(a) FROM t WHERE b < 3")
+            value = next(iter(result.rows[0].values.values()))
+            interval = value.interval
+            return (
+                value.estimate,
+                None if interval is None else (interval.lower, interval.upper),
+                value.method,
+            )
+
+        results = [run(w) for w in WORKER_COUNTS]
+        assert results[0] == results[1] == results[2]
+
+    def test_serial_equals_scoped_parallel_trials(self):
+        rng = np.random.default_rng(13)
+        values = rng.normal(0, 1, 10_000)
+        kwargs = dict(
+            extensive=False, sample_size=500, num_trials=32, seed=77
+        )
+        serial, _ = ground_truth_trials(
+            values, None, get_aggregate("AVG"), **kwargs
+        )
+        with pool_scope(2) as pool:
+            parallel, _ = ground_truth_trials(
+                values, None, get_aggregate("AVG"), pool=pool, **kwargs
+            )
+        np.testing.assert_array_equal(serial, parallel)
+
+
+def _mean_of_a(table: Table) -> float:
+    return float(table.column("a").mean())
+
+
+def _boom(table: Table) -> float:
+    raise RuntimeError("worker exploded")
+
+
+# ---------------------------------------------------------------------------
+# Pool contracts
+# ---------------------------------------------------------------------------
+class TestWorkerPool:
+    def test_serial_pool_never_spawns(self):
+        pool = WorkerPool(1)
+        assert not pool.is_parallel
+        results = pool.map(abs, [-1, -2, -3])
+        assert results == [1, 2, 3]
+        assert not pool.processes_spawned
+
+    def test_engine_workers_one_never_spawns(self, table):
+        engine = AQPEngine(EngineConfig(num_workers=1), seed=1)
+        engine.register_table("t", table)
+        engine.create_sample("t", size=1000)
+        with engine:
+            engine.execute("SELECT SUM(a) FROM t")
+            assert engine.worker_pool is None
+            assert engine._pool is None
+
+    def test_unpicklable_payload_runs_inline(self):
+        captured = []
+        with WorkerPool(2) as pool:
+            results = pool.map(
+                lambda x: captured.append(x) or x * 2, [1, 2, 3]
+            )
+            assert results == [2, 4, 6]
+            # The lambda cannot pickle, so everything ran in-process.
+            assert captured == [1, 2, 3]
+            assert not pool.processes_spawned
+
+    def test_resolve_num_workers_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_num_workers(None) == 1
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_num_workers(None) == 3
+        assert resolve_num_workers(2) == 2
+        monkeypatch.setenv("REPRO_WORKERS", "banana")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_num_workers(None)
+
+    def test_engine_rejects_negative_cache(self):
+        with pytest.raises(PlanError):
+            EngineConfig(plan_cache_size=-1)
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory hygiene
+# ---------------------------------------------------------------------------
+class TestSharedMemoryCleanup:
+    def test_arena_roundtrip_and_unlink(self):
+        data = np.arange(1000, dtype=np.float64)
+        with SharedArena() as arena:
+            ref = arena.share(data)
+            view, segment = attach(ref)
+            np.testing.assert_array_equal(view, data)
+            assert not view.flags.writeable
+            detach([segment])
+        assert leaked_segments() == []
+
+    def test_object_columns_pass_through(self):
+        strings = np.array(["a", "b"], dtype=object)
+        with SharedArena() as arena:
+            assert arena.share(strings) is not None
+            assert isinstance(arena.share(strings), np.ndarray)
+        assert leaked_segments() == []
+
+    def test_no_leak_after_parallel_ops(self, target):
+        def op(pool):
+            estimator = BootstrapEstimator(
+                32, np.random.default_rng(5), pool=pool
+            )
+            return estimator.resample_distribution(target)
+
+        _run_at(4, op)
+        assert leaked_segments() == []
+
+    def test_no_leak_when_worker_raises(self, table):
+        with pool_scope(2) as pool:
+            with pytest.raises(RuntimeError, match="worker exploded"):
+                bootstrap_table_statistic(
+                    table, _boom, 16, np.random.default_rng(5), pool=pool
+                )
+        assert leaked_segments() == []
+
+    def test_engine_close_is_idempotent(self, table):
+        engine = AQPEngine(EngineConfig(num_workers=2), seed=2)
+        engine.register_table("t", table)
+        engine.create_sample("t", size=1000)
+        engine.execute("SELECT AVG(a) FROM t")
+        engine.close()
+        engine.close()
+        assert engine._pool is None
+        assert leaked_segments() == []
+
+
+# ---------------------------------------------------------------------------
+# Weight-matrix memory guard + dtype audit
+# ---------------------------------------------------------------------------
+class TestWeightMatrixGuard:
+    def test_budget_exceeded_raises(self):
+        rng = np.random.default_rng(5)
+        with pytest.raises(SamplingError, match="exceeding"):
+            poisson_weight_matrix(10_000, 100, rng, max_bytes=1000)
+
+    def test_error_reports_byte_arithmetic(self):
+        rng = np.random.default_rng(5)
+        with pytest.raises(SamplingError) as excinfo:
+            poisson_weight_matrix(1000, 100, rng, max_bytes=4096)
+        message = str(excinfo.value)
+        # 1000 × 100 × 4 bytes (int32)
+        assert "400,000" in message
+        assert "4,096" in message
+        assert WEIGHT_BUDGET_ENV in message
+
+    def test_env_budget(self, monkeypatch):
+        rng = np.random.default_rng(5)
+        monkeypatch.setenv(WEIGHT_BUDGET_ENV, "512")
+        with pytest.raises(SamplingError):
+            poisson_weight_matrix(1000, 100, rng)
+        monkeypatch.delenv(WEIGHT_BUDGET_ENV)
+        assert poisson_weight_matrix(1000, 100, rng).shape == (1000, 100)
+
+    def test_within_budget_passes(self):
+        rng = np.random.default_rng(5)
+        matrix = poisson_weight_matrix(100, 10, rng, max_bytes=100 * 10 * 4)
+        assert matrix.shape == (100, 10)
+
+    def test_int32_default_dtype(self):
+        rng = np.random.default_rng(5)
+        assert poisson_weights(100, rng).dtype == np.int32
+        assert poisson_weight_matrix(10, 10, rng).dtype == np.int32
+        resampler = PoissonizedResampler(8, rng)
+        assert resampler.full_matrix(100).dtype == np.int32
+
+    def test_streaming_resampler_checks_full_matrix(self, monkeypatch):
+        rng = np.random.default_rng(5)
+        resampler = PoissonizedResampler(1000, rng, block_rows=100)
+        # 10_000 × 1000 × 4 bytes ≈ 40 MB > the 1 MB budget.
+        monkeypatch.setenv(WEIGHT_BUDGET_ENV, "1000000")
+        with pytest.raises(SamplingError):
+            resampler.full_matrix(10_000)
+
+
+# ---------------------------------------------------------------------------
+# Plan cache
+# ---------------------------------------------------------------------------
+class TestPlanCache:
+    def _engine(self, table, cache_size=128):
+        engine = AQPEngine(
+            EngineConfig(plan_cache_size=cache_size, run_diagnostics=False),
+            seed=3,
+        )
+        engine.register_table("t", table)
+        engine.create_sample("t", size=1000)
+        return engine
+
+    def test_repeat_query_hits(self, table):
+        engine = self._engine(table)
+        engine.execute("SELECT AVG(a) FROM t")
+        engine.execute("SELECT AVG(a) FROM t")
+        info = engine.plan_cache_info()
+        assert info["hits"] >= 1
+        assert info["size"] == 1
+
+    def test_cached_plan_is_same_object(self, table):
+        engine = self._engine(table)
+        first = engine.analyze_sql("SELECT SUM(a) FROM t")
+        second = engine.analyze_sql("SELECT SUM(a) FROM t")
+        assert first is second
+
+    def test_lru_eviction_order(self, table):
+        engine = self._engine(table, cache_size=2)
+        a = engine.analyze_sql("SELECT AVG(a) FROM t")
+        engine.analyze_sql("SELECT SUM(a) FROM t")
+        # Touch the first entry so the second is the LRU victim.
+        assert engine.analyze_sql("SELECT AVG(a) FROM t") is a
+        engine.analyze_sql("SELECT COUNT(a) FROM t")
+        info = engine.plan_cache_info()
+        assert info["size"] == 2
+        assert engine.analyze_sql("SELECT AVG(a) FROM t") is a
+
+    def test_register_table_invalidates(self, table):
+        engine = self._engine(table)
+        engine.analyze_sql("SELECT AVG(a) FROM t")
+        engine.register_table("t2", table)
+        assert engine.plan_cache_info()["size"] == 0
+
+    def test_register_udf_invalidates(self, table):
+        engine = self._engine(table)
+        engine.analyze_sql("SELECT AVG(a) FROM t")
+        engine.register_udf("double_it", lambda v: v * 2)
+        assert engine.plan_cache_info()["size"] == 0
+
+    def test_zero_size_disables_caching(self, table):
+        engine = self._engine(table, cache_size=0)
+        engine.analyze_sql("SELECT AVG(a) FROM t")
+        engine.analyze_sql("SELECT AVG(a) FROM t")
+        info = engine.plan_cache_info()
+        assert info["size"] == 0
+        assert info["hits"] == 0

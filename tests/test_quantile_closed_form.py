@@ -111,13 +111,17 @@ class TestDiagnosticIntegration:
     """The paper's generalisation claim: the diagnostic validates any ξ."""
 
     def test_diagnostic_passes_on_smooth_data(self, rng):
-        values = np.random.default_rng(3).lognormal(2.0, 0.5, 60_000)
+        # Paper-default p=100 and a sample large enough for a
+        # 600/1200/2400 subsample ladder: at smaller p or smaller
+        # subsamples the verdict is borderline (Δ hovers near c₁) and
+        # flips with the RNG stream rather than the estimator's merit.
+        values = np.random.default_rng(3).lognormal(2.0, 0.5, 240_000)
         target = EstimationTarget(values, get_aggregate("PERCENTILE", 0.5))
         result = diagnose(
             target,
             QuantileClosedFormEstimator(),
             0.95,
-            DiagnosticConfig(num_subsamples=40, num_sizes=3),
+            DiagnosticConfig(num_subsamples=100, num_sizes=3),
             rng,
         )
         assert result.passed

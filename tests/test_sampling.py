@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.engine import Table
 from repro.errors import CatalogError, DiagnosticError, SamplingError
 from repro.sampling import (
     PoissonizedResampler,
@@ -60,7 +59,7 @@ class TestPoissonWeights:
     def test_vector_shape_and_dtype(self, rng):
         weights = poisson_weights(1000, rng)
         assert weights.shape == (1000,)
-        assert weights.dtype == np.int64
+        assert weights.dtype == np.int32
 
     def test_matrix_shape(self, rng):
         matrix = poisson_weight_matrix(500, 64, rng)
