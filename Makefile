@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test bench bench-baseline
+.PHONY: check lint test faults bench bench-baseline
 
 check: lint test
 
@@ -16,6 +16,11 @@ lint:
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Fault-tolerance suite under forced parallelism: injected crashes,
+# hangs, shm failures, and degradation paths at 4 workers.
+faults:
+	REPRO_WORKERS=4 $(PYTHON) -m pytest tests/test_faults.py -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q

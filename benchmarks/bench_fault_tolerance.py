@@ -1,0 +1,142 @@
+"""CI coverage under injected failures (fault-tolerance experiment).
+
+The §3 evaluation protocol, rerun with the execution layer under fire:
+every bootstrap fan-out executes under supervision with a deterministic
+:class:`~repro.faults.FaultPlan` crashing a seeded 5% of task batches on
+their first attempt.  Three claims are measured:
+
+1. **Recovered faults change nothing.**  A retried unit re-runs on the
+   same child RNG stream, so every interval is bit-identical to the
+   clean run's — coverage is *exactly* preserved, not approximately.
+2. **Permanent losses widen honestly.**  When a replicate chunk fails on
+   every attempt, the CI is computed from the completed replicates and
+   inflated by sqrt(K/K'); coverage stays at or above the clean rate
+   (wider bars can only cover more).
+3. The :class:`~repro.parallel.supervise.ExecutionReport` accounts for
+   every crash and retry.
+
+Run directly for a report, or under pytest as a smoke test::
+
+    PYTHONPATH=src python benchmarks/bench_fault_tolerance.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.core.bootstrap import BootstrapEstimator
+from repro.core.estimators import EstimationTarget
+from repro.engine.aggregates import get_aggregate
+from repro.faults import FaultPlan
+from repro.parallel.supervise import RetryPolicy, Supervision
+
+DATASET_ROWS = 100_000
+SAMPLE_ROWS = 2_000
+TRIALS = 200
+BOOTSTRAP_K = 100
+CRASH_RATE = 0.05
+
+
+def _supervised(plan: FaultPlan | None) -> Supervision:
+    return Supervision(
+        plan=plan,
+        policy=RetryPolicy(backoff_base_seconds=0.0, backoff_jitter=0.0),
+        allow_partial=True,
+    )
+
+
+def coverage_run(fault_mode: str, seed: int = 2014):
+    """Coverage of 95% bootstrap CIs for AVG over fresh samples.
+
+    ``fault_mode``: ``"clean"``, ``"crash_rate"`` (recoverable 5% crash
+    rate), or ``"chunk_loss"`` (first replicate chunk permanently lost).
+    """
+    rng = np.random.default_rng(seed)
+    population = rng.lognormal(mean=3.0, sigma=0.8, size=DATASET_ROWS)
+    truth = float(population.mean())
+    aggregate = get_aggregate("AVG")
+
+    covered = 0
+    widths = []
+    crashes = retries = 0
+    replicates_completed = replicates_requested = 0
+    trial_rng = np.random.default_rng(seed + 1)
+    for trial in range(TRIALS):
+        indices = trial_rng.choice(DATASET_ROWS, size=SAMPLE_ROWS, replace=True)
+        target = EstimationTarget(
+            values=population[indices],
+            aggregate=aggregate,
+            dataset_rows=DATASET_ROWS,
+        )
+        if fault_mode == "clean":
+            plan = None
+        elif fault_mode == "crash_rate":
+            plan = FaultPlan(seed=trial).with_crash_rate(CRASH_RATE)
+        elif fault_mode == "chunk_loss":
+            plan = FaultPlan(seed=trial).with_crash(0, attempt=None)
+        else:
+            raise ValueError(fault_mode)
+        supervision = _supervised(plan)
+        estimator = BootstrapEstimator(
+            BOOTSTRAP_K,
+            np.random.default_rng(seed + 2 + trial),
+            supervision=supervision,
+        )
+        interval = estimator.estimate(target, 0.95)
+        if abs(truth - interval.estimate) <= interval.half_width:
+            covered += 1
+        widths.append(interval.half_width)
+        crashes += supervision.report.worker_crashes
+        retries += supervision.report.task_retries
+        replicates_completed += supervision.report.replicates_completed
+        replicates_requested += supervision.report.replicates_requested
+    return {
+        "coverage": covered / TRIALS,
+        "mean_half_width": float(np.mean(widths)),
+        "crashes": crashes,
+        "retries": retries,
+        "replicates_completed": replicates_completed,
+        "replicates_requested": replicates_requested,
+    }
+
+
+def test_coverage_preserved_under_crash_rate():
+    """Smoke version for pytest: fewer trials, same invariants."""
+    global TRIALS
+    saved = TRIALS
+    TRIALS = 25
+    try:
+        clean = coverage_run("clean")
+        faulted = coverage_run("crash_rate")
+        lossy = coverage_run("chunk_loss")
+    finally:
+        TRIALS = saved
+    # Recoverable crashes: bit-identical intervals, identical coverage.
+    assert faulted["coverage"] == clean["coverage"]
+    assert faulted["mean_half_width"] == clean["mean_half_width"]
+    assert faulted["crashes"] > 0 and faulted["retries"] > 0
+    # Permanent chunk loss: wider intervals, coverage not below clean.
+    assert lossy["mean_half_width"] > clean["mean_half_width"]
+    assert lossy["coverage"] >= clean["coverage"]
+    assert lossy["replicates_completed"] < lossy["replicates_requested"]
+
+
+def main():
+    for mode in ("clean", "crash_rate", "chunk_loss"):
+        stats = coverage_run(mode)
+        print(
+            f"{mode:>11}: coverage {stats['coverage']:.3f}  "
+            f"mean half-width {stats['mean_half_width']:.4f}  "
+            f"crashes {stats['crashes']}  retries {stats['retries']}  "
+            f"replicates {stats['replicates_completed']}/"
+            f"{stats['replicates_requested']}"
+        )
+
+
+if __name__ == "__main__":
+    main()

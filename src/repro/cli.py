@@ -22,6 +22,7 @@ from pathlib import Path
 from repro.core.pipeline import AQPEngine, AQPResult, EngineConfig
 from repro.engine.io import load_csv
 from repro.errors import ReproError
+from repro.faults import FaultPlan
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -74,6 +75,29 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=None, help="random seed"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for bootstrap/diagnostic fan-out "
+        "(default: REPRO_WORKERS or 1; results are bit-identical at "
+        "any setting)",
+    )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault-injection spec, e.g. 'crash@0', "
+        "'hang@2:0.5', 'rate:0.05' (comma-separated; see repro.faults)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="whole-query deadline; unfinished work is dropped and the "
+        "answer degrades honestly",
+    )
     return parser
 
 
@@ -81,8 +105,19 @@ def make_engine(args: argparse.Namespace) -> AQPEngine:
     """Build an engine with the requested tables and samples loaded."""
     if not args.table:
         raise ReproError("at least one --table CSV is required")
+    fault_plan = None
+    if getattr(args, "faults", None):
+        fault_plan = FaultPlan.from_spec(
+            args.faults, seed=args.seed or 0
+        )
     engine = AQPEngine(
-        config=EngineConfig(confidence=args.confidence), seed=args.seed
+        config=EngineConfig(
+            confidence=args.confidence,
+            num_workers=getattr(args, "workers", None),
+            fault_plan=fault_plan,
+            query_deadline_seconds=getattr(args, "deadline", None),
+        ),
+        seed=args.seed,
     )
     for csv_path in args.table:
         table = load_csv(Path(csv_path))
@@ -116,6 +151,14 @@ def format_result(result: AQPResult) -> str:
         f"-- sample {result.sample.name} ({result.sample.rows:,} rows), "
         f"{result.elapsed_seconds * 1e3:.0f} ms"
     )
+    report = result.execution_report
+    if report is not None and (
+        report.degraded
+        or report.recovered
+        or report.degraded_to_inline
+        or report.fallbacks
+    ):
+        lines.append(f"-- execution: {report.summary()}")
     return "\n".join(lines)
 
 

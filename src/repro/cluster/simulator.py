@@ -108,6 +108,14 @@ class JobTiming:
     tasks_launched: int = 0
     speculative_tasks: int = 0
     spilled: bool = False
+    #: Tasks hit by an injected fault schedule (crashed-and-reexecuted
+    #: or hung), summed over stages.
+    faulted_tasks: int = 0
+
+
+#: Simulated seconds before the supervisor notices a lost task (a
+#: crashed task pays this plus one full re-execution).
+FAULT_DETECTION_SECONDS = 5.0
 
 
 def _lpt_makespan(durations: np.ndarray, slots: int) -> float:
@@ -181,6 +189,8 @@ class ClusterSimulator:
         num_machines: int | None = None,
         straggler_mitigation: bool = False,
         rng: np.random.Generator | None = None,
+        fault_plan=None,
+        fault_detection_seconds: float = FAULT_DETECTION_SECONDS,
     ) -> JobTiming:
         """Simulate ``job`` on up to ``num_machines`` machines.
 
@@ -190,6 +200,14 @@ class ClusterSimulator:
                 §6.1 degree-of-parallelism knob.
             straggler_mitigation: enable §6.3 speculative execution.
             rng: randomness for stragglers (fresh generator if omitted).
+            fault_plan: optional :class:`~repro.faults.plan.FaultPlan`;
+                the same deterministic schedules that drive the
+                in-process fault tests price crashes (detection delay +
+                re-execution) and hangs (stalls) here, per stage.
+                Speculative mitigation applies *after* fault delays, so
+                §6.3 also rescues fault-induced stragglers.
+            fault_detection_seconds: simulated time before the
+                supervisor notices a crashed task.
         """
         rng = rng or np.random.default_rng()
         if num_machines is not None and num_machines <= 0:
@@ -205,6 +223,7 @@ class ClusterSimulator:
         stage_seconds: dict[str, float] = {}
         tasks_launched = 0
         speculative_total = 0
+        faulted_total = 0
         for stage in job.stages:
             work = self._work_seconds(stage, spill_factor)
             num_tasks = self._num_tasks(stage, slots, work)
@@ -217,6 +236,12 @@ class ClusterSimulator:
             durations = base * straggler_multipliers(
                 num_tasks, self.config, rng
             )
+            if fault_plan is not None:
+                extra, faulted = fault_plan.simulated_task_delays(
+                    num_tasks, per_task, fault_detection_seconds
+                )
+                durations = durations + extra
+                faulted_total += faulted
             speculative = 0
             if straggler_mitigation:
                 durations, speculative = apply_speculative_mitigation(
@@ -242,6 +267,7 @@ class ClusterSimulator:
             tasks_launched=tasks_launched,
             speculative_tasks=speculative_total,
             spilled=spilled,
+            faulted_tasks=faulted_total,
         )
 
     def sweep_machines(

@@ -41,6 +41,7 @@ from repro.parallel.ops import (
 )
 from repro.parallel.pool import WorkerPool
 from repro.parallel.rng import seed_from_rng
+from repro.parallel.supervise import Supervision
 
 #: The paper's default number of bootstrap resamples.
 DEFAULT_NUM_RESAMPLES = 100
@@ -56,6 +57,11 @@ class BootstrapEstimator(ErrorEstimator):
         pool: optional worker pool; replicate chunks fan out across it.
             Results are bit-identical with and without a pool.
         chunk_size: resamples per chunk (and per child RNG stream).
+        supervision: optional fault-tolerance context.  When it allows
+            partial results and some replicate chunks stay failed after
+            retries, the CI is computed from the completed replicates
+            and widened by the Monte-Carlo inflation factor
+            ``sqrt(K_requested / K_completed)``.
     """
 
     name = "bootstrap"
@@ -66,6 +72,7 @@ class BootstrapEstimator(ErrorEstimator):
         rng: np.random.Generator | None = None,
         pool: WorkerPool | None = None,
         chunk_size: int = DEFAULT_REPLICATE_CHUNK,
+        supervision: Supervision | None = None,
     ):
         if num_resamples < 2:
             raise EstimationError(
@@ -75,12 +82,15 @@ class BootstrapEstimator(ErrorEstimator):
         self.chunk_size = chunk_size
         self._rng = rng or np.random.default_rng()
         self._pool = pool
+        self._supervision = supervision
 
     def __getstate__(self):
         # Estimators travel to worker processes inside diagnostic tasks;
-        # pools are process-local and must never nest.
+        # pools and supervision contexts are process-local and must
+        # never nest.
         state = self.__dict__.copy()
         state["_pool"] = None
+        state["_supervision"] = None
         return state
 
     def resample_distribution(
@@ -106,6 +116,7 @@ class BootstrapEstimator(ErrorEstimator):
             seed_from_rng(rng),
             chunk_size=self.chunk_size,
             pool=self._pool,
+            supervision=self._supervision,
         )
 
     def estimate(
@@ -116,9 +127,24 @@ class BootstrapEstimator(ErrorEstimator):
     ) -> ConfidenceInterval:
         center = target.point_estimate()
         distribution = self.resample_distribution(target, rng)
-        return interval_from_distribution(
+        interval = interval_from_distribution(
             distribution, center, confidence, self.name
         )
+        if len(distribution) < self.num_resamples:
+            # Fewer replicates survived than requested: the quantile
+            # estimate itself is noisier, so widen by the Monte-Carlo
+            # inflation factor sqrt(K/K') — honest error bars from
+            # partial work, never a silently optimistic interval.
+            inflation = float(
+                np.sqrt(self.num_resamples / len(distribution))
+            )
+            interval = ConfidenceInterval(
+                estimate=interval.estimate,
+                half_width=interval.half_width * inflation,
+                confidence=interval.confidence,
+                method=interval.method,
+            )
+        return interval
 
 
 def bootstrap_table_statistic(
@@ -129,6 +155,7 @@ def bootstrap_table_statistic(
     method: str = "poisson",
     pool: WorkerPool | None = None,
     chunk_size: int = DEFAULT_REPLICATE_CHUNK,
+    supervision: Supervision | None = None,
 ) -> np.ndarray:
     """Bootstrap replicate values of a black-box per-table statistic.
 
@@ -165,6 +192,7 @@ def bootstrap_table_statistic(
         method=method,
         chunk_size=chunk_size,
         pool=pool,
+        supervision=supervision,
     )
 
 

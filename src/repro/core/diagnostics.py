@@ -39,6 +39,7 @@ from repro.errors import DiagnosticError
 from repro.parallel.ops import diagnostic_evaluations
 from repro.parallel.pool import WorkerPool, pool_scope
 from repro.parallel.rng import seed_from_rng
+from repro.parallel.supervise import Supervision
 from repro.sampling.subsample import subsample_index_blocks
 
 #: Paper defaults (Appendix A).
@@ -153,6 +154,7 @@ def diagnose(
     config: DiagnosticConfig | None = None,
     rng: np.random.Generator | None = None,
     pool: WorkerPool | int | None = None,
+    supervision: Supervision | None = None,
 ) -> DiagnosticResult:
     """Run Algorithm 1 for ``estimator`` on ``target``.
 
@@ -171,6 +173,10 @@ def diagnose(
         rng: randomness for subsample cutting and resampling.
         pool: a :class:`~repro.parallel.pool.WorkerPool`, a worker
             count, or ``None`` for inline execution.
+        supervision: optional fault-tolerance context; with partial
+            results allowed, the verdict is computed over whichever
+            subsample evaluations completed (the reduced p is reflected
+            in ``num_subqueries`` and in the supervision report).
 
     Returns:
         A :class:`DiagnosticResult`; truthy iff error estimation is
@@ -183,7 +189,9 @@ def diagnose(
     config = config or DiagnosticConfig()
     rng = rng or np.random.default_rng()
     with pool_scope(pool) as scoped:
-        return _diagnose(target, estimator, confidence, config, rng, scoped)
+        return _diagnose(
+            target, estimator, confidence, config, rng, scoped, supervision
+        )
 
 
 def _diagnose(
@@ -193,6 +201,7 @@ def _diagnose(
     config: DiagnosticConfig,
     rng: np.random.Generator,
     pool: WorkerPool | None,
+    supervision: Supervision | None = None,
 ) -> DiagnosticResult:
     if not estimator.applicable(target):
         return DiagnosticResult(
@@ -218,8 +227,21 @@ def _diagnose(
             blocks,
             seed_from_rng(rng),
             pool=pool,
+            supervision=supervision,
         )
-        num_subqueries += p
+        if len(point_estimates) == 0:
+            return DiagnosticResult(
+                passed=False,
+                reports=tuple(reports),
+                estimator_name=estimator.name,
+                reason=(
+                    f"no subsample evaluations completed at size {size}"
+                ),
+                num_subqueries=num_subqueries,
+            )
+        # Under degraded execution some of the p evaluations may have
+        # been dropped; account for the work actually done.
+        num_subqueries += len(point_estimates)
 
         true_half_width = symmetric_half_width(
             point_estimates, full_estimate, confidence

@@ -32,8 +32,9 @@ Two engine-level performance features ride on top:
 from __future__ import annotations
 
 import time
+import warnings
 from collections import OrderedDict
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 import numpy as np
@@ -53,8 +54,20 @@ from repro.core.estimators import ErrorEstimator, EstimationTarget
 from repro.core.large_deviation import HoeffdingEstimator
 from repro.engine.evaluator import ExpressionEvaluator
 from repro.engine.table import Table
-from repro.errors import AnalysisError, EstimationError, PlanError
+from repro.errors import (
+    AnalysisError,
+    DegradedResultWarning,
+    EstimationError,
+    ExecutionError,
+    PlanError,
+)
+from repro.faults import FaultPlan, resolve_fault_plan
 from repro.parallel.pool import WorkerPool, resolve_num_workers
+from repro.parallel.supervise import (
+    ExecutionReport,
+    RetryPolicy,
+    Supervision,
+)
 from repro.plan.executor import QueryExecutor
 from repro.sampling.catalog import SampleCatalog, SampleInfo
 from repro.sql.analyzer import AnalyzedQuery, analyze
@@ -124,16 +137,20 @@ class BlackBoxBootstrapEstimator(ErrorEstimator):
         num_resamples: int = 100,
         rng: np.random.Generator | None = None,
         pool: WorkerPool | None = None,
+        supervision: Supervision | None = None,
     ):
         self.num_resamples = num_resamples
         self._rng = rng or np.random.default_rng()
         self._pool = pool
+        self._supervision = supervision
 
     def __getstate__(self):
         # Estimators travel to worker processes inside diagnostic tasks;
-        # pools are process-local and must never nest.
+        # pools and supervision contexts are process-local and must
+        # never nest.
         state = self.__dict__.copy()
         state["_pool"] = None
+        state["_supervision"] = None
         return state
 
     def estimate(self, target, confidence=0.95, rng=None):
@@ -145,10 +162,22 @@ class BlackBoxBootstrapEstimator(ErrorEstimator):
             self.num_resamples,
             rng,
             pool=self._pool,
+            supervision=self._supervision,
         )
-        return interval_from_distribution(
+        interval = interval_from_distribution(
             distribution, center, confidence, self.name
         )
+        if len(distribution) < self.num_resamples:
+            inflation = float(
+                np.sqrt(self.num_resamples / len(distribution))
+            )
+            interval = ConfidenceInterval(
+                estimate=interval.estimate,
+                half_width=interval.half_width * inflation,
+                confidence=interval.confidence,
+                method=interval.method,
+            )
+        return interval
 
 
 # ---------------------------------------------------------------------------
@@ -204,6 +233,18 @@ class AQPResult:
     elapsed_seconds: float
     bootstrap_subqueries: int = 0
     diagnostic_subqueries: int = 0
+    #: Structured account of how the query's fan-out executed: retries,
+    #: crashes, timeouts, replicate/subsample completion, degradations
+    #: and fallbacks.  The degraded-but-honest contract lives here.
+    execution_report: Optional[ExecutionReport] = None
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any value was computed from less than the full work."""
+        return (
+            self.execution_report is not None
+            and self.execution_report.degraded
+        )
 
     def single(self) -> ApproximateValue:
         """The one value of a single-aggregate, ungrouped query."""
@@ -257,6 +298,23 @@ class EngineConfig:
     #: repeated workload queries skip parse→analyze→plan→rewrite.
     #: ``0`` disables caching.
     plan_cache_size: int = 128
+    #: Deterministic fault-injection schedule for tests and failure
+    #: experiments.  ``None`` reads the ``REPRO_FAULTS`` environment
+    #: variable (see :func:`repro.faults.resolve_fault_plan`).
+    fault_plan: Optional[FaultPlan] = None
+    #: Per-task deadline in seconds; a task exceeding it is declared
+    #: hung and retried.  ``None`` disables hang detection.
+    task_timeout_seconds: Optional[float] = None
+    #: Whole-query deadline in seconds; work not started by the
+    #: deadline is dropped and the answer degrades honestly.
+    query_deadline_seconds: Optional[float] = None
+    #: Extra attempts per failed task batch (transient failures only).
+    max_task_retries: int = 2
+    #: Base of the capped exponential retry backoff.
+    retry_backoff_seconds: float = 0.05
+    #: Consecutive pool-level failures tolerated before the engine
+    #: degrades permanently to inline execution for the session.
+    max_pool_failures: int = 2
 
     def __post_init__(self):
         if self.fallback not in ("exact", "large_deviation", "none"):
@@ -307,6 +365,25 @@ class AQPEngine:
                 self._pool.shutdown()
             self._pool = WorkerPool(workers)
         return self._pool
+
+    def _new_supervision(self) -> Supervision:
+        """A fresh supervision context for one execute() call."""
+        config = self.config
+        policy = RetryPolicy(
+            max_task_retries=config.max_task_retries,
+            backoff_base_seconds=config.retry_backoff_seconds,
+            task_timeout_seconds=config.task_timeout_seconds,
+            max_pool_failures=config.max_pool_failures,
+        )
+        deadline = None
+        if config.query_deadline_seconds is not None:
+            deadline = time.monotonic() + config.query_deadline_seconds
+        return Supervision(
+            plan=resolve_fault_plan(config.fault_plan),
+            policy=policy,
+            deadline=deadline,
+            allow_partial=True,
+        )
 
     def close(self) -> None:
         """Shut down worker processes (idempotent; engine stays usable)."""
@@ -459,6 +536,7 @@ class AQPEngine:
                 query.source_table, max_rows=max_sample_rows
             )
 
+        supervision = self._new_supervision()
         bootstrap_subqueries = 0
         diagnostic_subqueries = 0
         while True:
@@ -471,6 +549,7 @@ class AQPEngine:
                 confidence=confidence,
                 should_diagnose=should_diagnose,
                 error_bound=error_bound,
+                supervision=supervision,
             )
             rows = state.run()
             bootstrap_subqueries += state.bootstrap_subqueries
@@ -479,6 +558,11 @@ class AQPEngine:
             if escalation is None:
                 break
             info, sample = escalation
+        report = supervision.report
+        if report.degraded:
+            warnings.warn(
+                DegradedResultWarning(report.summary()), stacklevel=2
+            )
         return AQPResult(
             sql=sql,
             rows=tuple(rows),
@@ -486,6 +570,7 @@ class AQPEngine:
             elapsed_seconds=time.perf_counter() - started,
             bootstrap_subqueries=bootstrap_subqueries,
             diagnostic_subqueries=diagnostic_subqueries,
+            execution_report=report,
         )
 
     def _next_larger_sample(
@@ -534,6 +619,7 @@ class _ExecutionState:
     confidence: float
     should_diagnose: bool
     error_bound: Optional[float]
+    supervision: Supervision = field(default_factory=Supervision.default)
     bootstrap_subqueries: int = 0
     diagnostic_subqueries: int = 0
     _exact_result: Optional[Table] = None
@@ -625,6 +711,12 @@ class _ExecutionState:
             interval = estimator.estimate(target, self.confidence, rng)
         except EstimationError as exc:
             return self._fall_back(spec, target, reason=str(exc), group=group)
+        except ExecutionError as exc:
+            # The bootstrap fan-out is entirely unavailable (every
+            # replicate chunk failed).  Degrade honestly instead of
+            # crashing: substitute a reliable estimate when one exists,
+            # else flag the point estimate as unreliable.
+            return self._degraded_value(spec, target, str(exc), group=group)
         if estimator.name == "bootstrap":
             self.bootstrap_subqueries += self.engine.config.num_bootstrap_resamples
 
@@ -683,6 +775,7 @@ class _ExecutionState:
             self.engine.config.num_bootstrap_resamples,
             self.engine._rng,
             pool=self.engine.worker_pool,
+            supervision=self.supervision,
         )
 
     def _diagnose(self, target, estimator) -> DiagnosticResult | None:
@@ -691,16 +784,80 @@ class _ExecutionState:
         )
         if config is None:
             return None
-        result = diagnose(
-            target,
-            estimator,
-            self.confidence,
-            config,
-            self.engine._rng,
-            pool=self.engine.worker_pool,
-        )
+        try:
+            result = diagnose(
+                target,
+                estimator,
+                self.confidence,
+                config,
+                self.engine._rng,
+                pool=self.engine.worker_pool,
+                supervision=self.supervision,
+            )
+        except ExecutionError as exc:
+            # No subsample evaluation completed at some size: the
+            # diagnostic could not run, which is *not* evidence that
+            # error estimation works — treat it as a failed verdict so
+            # the configured fallback engages.
+            result = DiagnosticResult(
+                passed=False,
+                reports=(),
+                estimator_name=estimator.name,
+                reason=f"diagnostic execution failed: {exc}",
+            )
         self.diagnostic_subqueries += result.num_subqueries
         return result
+
+    def _degraded_value(
+        self,
+        spec,
+        target: EstimationTarget | None,
+        reason: str,
+        group: dict | None = None,
+    ) -> ApproximateValue:
+        """Honest answer when the bootstrap fan-out is entirely down.
+
+        Falls back to the closed-form error estimate when one is
+        mathematically applicable to this aggregate (even for queries
+        the planner routed to the bootstrap), otherwise returns the
+        sample point estimate with no interval, flagged ``unreliable``.
+        Never a silent wrong answer, never a spurious crash.
+        """
+        report = self.supervision.report
+        report.note_degradation(f"bootstrap unavailable: {reason}")
+        closed = ClosedFormEstimator()
+        if (
+            isinstance(target, EstimationTarget)
+            and closed.applicable(target)
+        ):
+            report.note_fallback(
+                "bootstrap unavailable; closed-form error estimate "
+                "substituted"
+            )
+            interval = closed.estimate(target, self.confidence)
+            return ApproximateValue(
+                name=spec.output_name,
+                estimate=interval.estimate,
+                interval=interval,
+                method=closed.name,
+                fell_back=True,
+                fallback_reason=reason,
+            )
+        report.note_fallback(
+            "no error estimate available; point estimate returned "
+            "flagged unreliable"
+        )
+        estimate = (
+            target.point_estimate() if target is not None else float("nan")
+        )
+        return ApproximateValue(
+            name=spec.output_name,
+            estimate=estimate,
+            interval=None,
+            method="unreliable",
+            fell_back=True,
+            fallback_reason=reason,
+        )
 
     # -- black-box path for nested aggregation ---------------------------------
     def _run_black_box(self) -> AQPRow:
@@ -711,9 +868,14 @@ class _ExecutionState:
             self.engine.config.num_bootstrap_resamples,
             self.engine._rng,
             pool=self.engine.worker_pool,
+            supervision=self.supervision,
         )
         spec = self.query.aggregates[0]
-        interval = estimator.estimate(target, self.confidence)
+        try:
+            interval = estimator.estimate(target, self.confidence)
+        except ExecutionError as exc:
+            value = self._degraded_value(spec, target, str(exc))
+            return AQPRow(group={}, values={spec.output_name: value})
         self.bootstrap_subqueries += self.engine.config.num_bootstrap_resamples
         diagnostic = None
         if self.should_diagnose:
@@ -721,14 +883,23 @@ class _ExecutionState:
                 target.total_sample_rows, black_box=True
             )
             if config is not None:
-                diagnostic = diagnose(
-                    target,
-                    estimator,
-                    self.confidence,
-                    config,
-                    self.engine._rng,
-                    pool=self.engine.worker_pool,
-                )
+                try:
+                    diagnostic = diagnose(
+                        target,
+                        estimator,
+                        self.confidence,
+                        config,
+                        self.engine._rng,
+                        pool=self.engine.worker_pool,
+                        supervision=self.supervision,
+                    )
+                except ExecutionError as exc:
+                    diagnostic = DiagnosticResult(
+                        passed=False,
+                        reports=(),
+                        estimator_name=estimator.name,
+                        reason=f"diagnostic execution failed: {exc}",
+                    )
                 self.diagnostic_subqueries += diagnostic.num_subqueries
         if diagnostic is not None and not diagnostic.passed:
             value = self._fall_back(

@@ -53,6 +53,31 @@ class ExecutionError(ReproError):
     """A physical plan failed while executing."""
 
 
+class WorkerCrashError(ExecutionError):
+    """A worker process died (or was simulated to die) mid-task.
+
+    Raised inline for injected crashes; real worker deaths surface in
+    the parent as a lost task and are re-raised under this type by the
+    supervised pool after retries are exhausted.
+    """
+
+
+class TaskTimeoutError(ExecutionError):
+    """A dispatched task exceeded its per-task or per-query deadline."""
+
+
+class DegradedResultWarning(UserWarning):
+    """A query completed, but in a degraded (honestly reported) mode.
+
+    Emitted when part of the bootstrap or diagnostic work failed and the
+    engine computed the answer from what completed — wider error bars,
+    reduced diagnostic evidence, or an explicitly unreliable point
+    estimate.  The accompanying
+    :class:`~repro.parallel.supervise.ExecutionReport` carries the
+    details; the warning exists so no degraded answer is ever silent.
+    """
+
+
 class PlanError(ReproError):
     """A logical plan could not be built, rewritten, or lowered."""
 

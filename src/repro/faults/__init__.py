@@ -1,0 +1,26 @@
+"""Deterministic fault injection for fault-tolerance tests and experiments.
+
+The paper's thesis — *know when you're wrong* — extends to the execution
+layer: a partially failed bootstrap must surface as honestly widened
+error bars, never as a silent wrong answer or a spurious crash.  This
+package provides the seedable :class:`FaultPlan` schedules that let unit
+tests and §6-style failure experiments drive the exact same worker
+crashes, hangs, shared-memory failures, and pickling failures through
+:mod:`repro.parallel` and the cluster simulator.
+"""
+
+from repro.faults.plan import (
+    CRASH_EXIT_CODE,
+    FAULTS_ENV,
+    FaultPlan,
+    FaultSpec,
+    resolve_fault_plan,
+)
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "FAULTS_ENV",
+    "FaultPlan",
+    "FaultSpec",
+    "resolve_fault_plan",
+]

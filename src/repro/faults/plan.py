@@ -1,0 +1,337 @@
+"""Deterministic fault injection for the execution layer.
+
+A :class:`FaultPlan` is a seedable, picklable schedule of failures:
+*crash on task N*, *hang for T seconds on task N*, *fail shared-memory
+allocation*, *fail payload pickling*, or *crash a seeded fraction of all
+tasks*.  The plan travels inside task payloads, so the same schedule
+fires identically whether a unit runs inline in the parent or inside a
+real worker process:
+
+* **crash** — in a real worker process the plan calls ``os._exit``;
+  the parent observes a lost task, exactly like a SIGKILLed worker.
+  Inline, the plan raises :class:`~repro.errors.WorkerCrashError`
+  instead, which the supervised runner treats identically.
+* **hang** — in a worker the plan sleeps for the configured duration
+  and the parent's per-task deadline fires.  Inline (where a sleep
+  cannot be preempted) a hang longer than the active task timeout is
+  simulated by raising :class:`~repro.errors.TaskTimeoutError`; shorter
+  hangs really sleep, modelling a straggler.
+* **shm / pickle** — fail every shared-memory allocation or the
+  pre-dispatch pickling probe, forcing the fan-out onto its fallback
+  paths (payload-embedded arrays / inline execution).
+
+Faults carry an ``attempt`` filter (default: first attempt only), so a
+retried task succeeds and results stay bit-identical to a clean run —
+the property the fault-tolerance tests assert.  ``attempt=None`` makes
+a fault fire on every attempt, which is how permanent failures and the
+pool's terminal inline degradation are exercised.
+
+The same schedules drive the cluster simulator:
+:meth:`FaultPlan.simulated_task_delays` converts task faults into extra
+per-task seconds (re-execution after detection for crashes, stall time
+for hangs) for §6-style straggler/failure experiments.
+
+Plans are activated programmatically via ``EngineConfig.fault_plan`` or
+from the environment via ``REPRO_FAULTS`` (see :func:`FaultPlan.from_spec`
+for the spec grammar).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.errors import TaskTimeoutError, WorkerCrashError
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "FAULTS_ENV",
+    "FaultPlan",
+    "FaultSpec",
+    "resolve_fault_plan",
+]
+
+#: Environment variable holding a fault spec string (see
+#: :func:`FaultPlan.from_spec`); read once per engine query.
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Exit code used for injected hard crashes in real worker processes,
+#: so an unexpected worker death in CI logs is recognisable as injected.
+CRASH_EXIT_CODE = 86
+
+#: Fault kinds understood by :meth:`FaultPlan.apply`.
+_KINDS = ("crash", "hang", "shm", "pickle")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    Attributes:
+        kind: ``"crash"``, ``"hang"``, ``"shm"``, or ``"pickle"``.
+        task: logical task index the fault binds to (``None`` for
+            site-wide faults like shm/pickle, or rate-based crashes).
+        attempt: attempt number the fault fires on (``0`` = first try,
+            so a retry recovers); ``None`` fires on every attempt.
+        seconds: hang duration.
+        rate: crash probability per task for rate-based faults
+            (seeded; deterministic per task index).
+        worker_only: fire only inside a real worker process — lets a
+            test crash the pool repeatedly while the inline fallback
+            path stays healthy.
+    """
+
+    kind: str
+    task: int | None = None
+    attempt: int | None = 0
+    seconds: float = 0.0
+    rate: float | None = None
+    worker_only: bool = False
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {_KINDS}"
+            )
+        if self.rate is not None and not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {self.rate}")
+        if self.seconds < 0:
+            raise ValueError(f"hang duration must be >= 0, got {self.seconds}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic, picklable schedule of injected faults.
+
+    Build plans fluently::
+
+        plan = (
+            FaultPlan(seed=7)
+            .with_crash(task=2)
+            .with_hang(task=5, seconds=0.5)
+            .with_crash_rate(0.05)
+        )
+
+    The plan records the constructing process's pid so that, after
+    travelling (pickled) into a worker, :meth:`apply` can tell a real
+    worker process from inline execution and pick the right failure
+    mode (hard exit vs raised exception).
+    """
+
+    seed: int = 0
+    specs: tuple[FaultSpec, ...] = ()
+    parent_pid: int = field(default_factory=os.getpid)
+
+    # -- construction ------------------------------------------------------
+    def with_spec(self, spec: FaultSpec) -> "FaultPlan":
+        return replace(self, specs=(*self.specs, spec))
+
+    def with_crash(
+        self,
+        task: int,
+        attempt: int | None = 0,
+        worker_only: bool = False,
+    ) -> "FaultPlan":
+        """Crash (hard-exit in a worker, raise inline) on ``task``."""
+        return self.with_spec(
+            FaultSpec(
+                kind="crash", task=task, attempt=attempt,
+                worker_only=worker_only,
+            )
+        )
+
+    def with_hang(
+        self, task: int, seconds: float, attempt: int | None = 0
+    ) -> "FaultPlan":
+        """Stall ``task`` for ``seconds`` (timeout fires if configured)."""
+        return self.with_spec(
+            FaultSpec(kind="hang", task=task, attempt=attempt, seconds=seconds)
+        )
+
+    def with_crash_rate(self, rate: float) -> "FaultPlan":
+        """Crash a seeded ``rate`` fraction of tasks (first attempt only)."""
+        return self.with_spec(FaultSpec(kind="crash", task=None, rate=rate))
+
+    def with_shm_failure(self) -> "FaultPlan":
+        """Fail every shared-memory allocation (forces payload embedding)."""
+        return self.with_spec(FaultSpec(kind="shm", attempt=None))
+
+    def with_pickle_failure(self) -> "FaultPlan":
+        """Fail the pre-dispatch pickling probe (forces inline execution)."""
+        return self.with_spec(FaultSpec(kind="pickle", attempt=None))
+
+    # -- parsing -----------------------------------------------------------
+    @classmethod
+    def from_spec(cls, text: str, seed: int = 0) -> "FaultPlan":
+        """Parse a ``REPRO_FAULTS`` spec string into a plan.
+
+        Grammar (comma-separated, whitespace ignored)::
+
+            crash@N          crash task N on its first attempt
+            crash@N:A        crash task N on attempt A ('*' = every attempt)
+            crash@N!worker   crash task N only in real worker processes
+            hang@N:T         stall task N for T seconds (first attempt)
+            rate:P           crash a seeded fraction P of tasks
+            shm              fail every shared-memory allocation
+            pickle           fail the pre-dispatch pickling probe
+
+        Example: ``REPRO_FAULTS="crash@2,hang@5:0.5,rate:0.05"``.
+        """
+        plan = cls(seed=seed)
+        for raw_token in text.split(","):
+            token = raw_token.strip()
+            if not token:
+                continue
+            worker_only = token.endswith("!worker")
+            if worker_only:
+                token = token[: -len("!worker")]
+            if token == "shm":
+                plan = plan.with_shm_failure()
+            elif token == "pickle":
+                plan = plan.with_pickle_failure()
+            elif token.startswith("rate:"):
+                plan = plan.with_crash_rate(float(token[len("rate:"):]))
+            elif token.startswith("crash@"):
+                body = token[len("crash@"):]
+                task_text, _, attempt_text = body.partition(":")
+                attempt: int | None = 0
+                if attempt_text:
+                    attempt = (
+                        None if attempt_text == "*" else int(attempt_text)
+                    )
+                plan = plan.with_crash(
+                    int(task_text), attempt=attempt, worker_only=worker_only
+                )
+            elif token.startswith("hang@"):
+                body = token[len("hang@"):]
+                task_text, _, seconds_text = body.partition(":")
+                if not seconds_text:
+                    raise ValueError(
+                        f"hang fault needs a duration: {raw_token.strip()!r} "
+                        "(use hang@N:SECONDS)"
+                    )
+                plan = plan.with_hang(int(task_text), float(seconds_text))
+            else:
+                raise ValueError(
+                    f"unparseable fault token {raw_token.strip()!r}; expected "
+                    "crash@N[:A][!worker], hang@N:T, rate:P, shm, or pickle"
+                )
+        return plan
+
+    # -- interrogation -----------------------------------------------------
+    @property
+    def in_worker(self) -> bool:
+        """Whether the current process is a worker, not the plan's parent."""
+        return os.getpid() != self.parent_pid
+
+    def _rate_hits(self, index: int, rate: float) -> bool:
+        """Seeded, per-index deterministic draw for rate-based faults."""
+        state = np.random.SeedSequence([self.seed, index]).generate_state(1)[0]
+        return state / 2**32 < rate
+
+    def _matches(self, spec: FaultSpec, index: int, attempt: int) -> bool:
+        if spec.worker_only and not self.in_worker:
+            return False
+        if spec.attempt is not None and spec.attempt != attempt:
+            return False
+        if spec.rate is not None:
+            return attempt == 0 and self._rate_hits(index, spec.rate)
+        return spec.task is None or spec.task == index
+
+    def fails_pickling(self) -> bool:
+        """Whether the pre-dispatch pickling probe should fail."""
+        return any(spec.kind == "pickle" for spec in self.specs)
+
+    def fails_shm(self) -> bool:
+        """Whether shared-memory allocation should fail."""
+        return any(spec.kind == "shm" for spec in self.specs)
+
+    # -- execution-time injection ------------------------------------------
+    def apply(
+        self,
+        index: int,
+        attempt: int,
+        timeout: float | None = None,
+    ) -> None:
+        """Fire any task fault scheduled for ``(index, attempt)``.
+
+        Crashes hard-exit real worker processes (the parent sees a lost
+        task) and raise :class:`WorkerCrashError` inline.  Hangs sleep
+        in workers; inline they sleep when shorter than ``timeout`` and
+        raise :class:`TaskTimeoutError` when they would exceed it.
+        """
+        for spec in self.specs:
+            if spec.kind not in ("crash", "hang"):
+                continue
+            if not self._matches(spec, index, attempt):
+                continue
+            if spec.kind == "crash":
+                if self.in_worker:
+                    os._exit(CRASH_EXIT_CODE)
+                raise WorkerCrashError(
+                    f"injected worker crash on task {index} "
+                    f"(attempt {attempt})"
+                )
+            if self.in_worker or timeout is None or spec.seconds <= timeout:
+                time.sleep(spec.seconds)
+            else:
+                raise TaskTimeoutError(
+                    f"injected hang of {spec.seconds:g}s on task {index} "
+                    f"exceeds the {timeout:g}s task deadline "
+                    f"(attempt {attempt})"
+                )
+
+    # -- cluster-simulator view --------------------------------------------
+    def simulated_task_delays(
+        self,
+        num_tasks: int,
+        per_task_seconds: float,
+        detection_seconds: float,
+    ) -> tuple[np.ndarray, int]:
+        """Extra seconds each simulated task loses to this plan.
+
+        A crashed task pays a detection delay (the supervisor noticing
+        the loss) plus one full re-execution; a hung task stalls for its
+        configured duration before completing.  Rate-based crashes use
+        the plan's seed, so the same schedule that drives the in-process
+        tests prices the same §6-style experiment in the simulator.
+
+        Returns:
+            ``(extra_seconds, faulted_tasks)`` — per-task delay vector
+            and how many tasks were hit.
+        """
+        extra = np.zeros(num_tasks, dtype=np.float64)
+        faulted = set()
+        crash_cost = detection_seconds + per_task_seconds
+        for spec in self.specs:
+            if spec.kind == "crash":
+                if spec.rate is not None:
+                    for index in range(num_tasks):
+                        if self._rate_hits(index, spec.rate):
+                            extra[index] += crash_cost
+                            faulted.add(index)
+                elif spec.task is not None and spec.task < num_tasks:
+                    extra[spec.task] += crash_cost
+                    faulted.add(spec.task)
+            elif spec.kind == "hang":
+                if spec.task is not None and spec.task < num_tasks:
+                    extra[spec.task] += spec.seconds
+                    faulted.add(spec.task)
+        return extra, len(faulted)
+
+
+def resolve_fault_plan(explicit: FaultPlan | None = None) -> FaultPlan | None:
+    """An explicitly configured plan, else one parsed from ``REPRO_FAULTS``.
+
+    Returns ``None`` when fault injection is inactive (the common case:
+    no configured plan and an empty/unset environment variable).
+    """
+    if explicit is not None:
+        return explicit
+    text = os.environ.get(FAULTS_ENV, "").strip()
+    if not text:
+        return None
+    return FaultPlan.from_spec(text)

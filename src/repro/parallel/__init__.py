@@ -14,7 +14,11 @@ in-process counterpart for real multicore machines:
   to serial execution at any worker count**;
 * :mod:`repro.parallel.ops` — the fanned-out hot loops: bootstrap
   replicates, black-box table statistics, diagnostic subsample
-  evaluations, and ground-truth trials.
+  evaluations, and ground-truth trials;
+* :mod:`repro.parallel.supervise` — fault-tolerant supervision:
+  retry policies with capped deterministic backoff, per-task and
+  per-query deadlines, and the :class:`ExecutionReport` that makes
+  degraded answers honest.
 """
 
 from repro.parallel.ops import (
@@ -43,6 +47,14 @@ from repro.parallel.shm import (
     attach,
     detach,
     resolve,
+    sweep_orphans,
+)
+from repro.parallel.supervise import (
+    TASK_FAILED,
+    ExecutionReport,
+    RetryPolicy,
+    Supervision,
+    run_supervised_inline,
 )
 
 __all__ = [
@@ -52,12 +64,18 @@ __all__ = [
     "DEFAULT_REPLICATE_CHUNK",
     "DEFAULT_TRIAL_CHUNK",
     "DEFAULT_UNIT_BATCH",
+    "ExecutionReport",
+    "RetryPolicy",
     "SEGMENT_PREFIX",
     "START_METHOD_ENV",
     "SharedArena",
     "SharedArrayRef",
+    "Supervision",
+    "TASK_FAILED",
     "WORKERS_ENV",
     "WorkerPool",
+    "run_supervised_inline",
+    "sweep_orphans",
     "bootstrap_replicates",
     "chunk_spans",
     "diagnostic_evaluations",

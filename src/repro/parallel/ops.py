@@ -17,6 +17,16 @@ structure:
 Because serial and parallel execution run identical kernels on
 identical streams, results are **bit-identical at any worker count** —
 the property the determinism tests enforce.
+
+Every operation optionally takes a
+:class:`~repro.parallel.supervise.Supervision` context.  Under
+supervision, failed or timed-out units are retried (same child stream →
+same values); with ``allow_partial`` the units that stay failed are
+*dropped* rather than fatal, and the operation returns what completed —
+recording the shortfall in the
+:class:`~repro.parallel.supervise.ExecutionReport` so the caller can
+widen error bars honestly.  A failed shared-memory allocation degrades
+to embedding the arrays in the task payloads (slower, still correct).
 """
 
 from __future__ import annotations
@@ -28,10 +38,15 @@ import numpy as np
 
 from repro.core.estimators import EstimationTarget, resample_estimates_kernel
 from repro.engine.table import Table
-from repro.errors import EstimationError
+from repro.errors import EstimationError, ExecutionError
 from repro.parallel.pool import WorkerPool
 from repro.parallel.rng import chunk_spans, spawn_children
 from repro.parallel.shm import SharedArena, detach, resolve
+from repro.parallel.supervise import (
+    TASK_FAILED,
+    Supervision,
+    run_supervised_inline,
+)
 from repro.sampling.poisson import (
     materialize_poisson_resample,
     poisson_weight_matrix,
@@ -68,16 +83,67 @@ def _usable(pool: WorkerPool | None) -> bool:
     return pool is not None and pool.is_parallel
 
 
+def _share_or_embed(
+    arena: SharedArena, array: np.ndarray, supervision: Supervision
+) -> Any:
+    """Share through the arena, or embed the array on allocation failure.
+
+    An embedded array travels (pickled) with every task payload — the
+    pre-shared-memory cost model — which is strictly slower but still
+    correct, so shm exhaustion degrades throughput, never answers.
+    """
+    try:
+        return arena.share(array)
+    except (ExecutionError, OSError, MemoryError):
+        supervision.report.note_fallback(
+            "shared-memory allocation failed; arrays embedded in task "
+            "payloads"
+        )
+        return np.ascontiguousarray(array)
+
+
+def _keep_completed(
+    parts: list[Any], total_label: str, supervision: Supervision
+) -> list[Any]:
+    """Drop failed units, recording the shortfall; fail if nothing survived."""
+    kept = [part for part in parts if part is not TASK_FAILED]
+    if not parts:
+        return kept
+    if not kept:
+        raise ExecutionError(
+            f"all {len(parts)} {total_label} failed; nothing completed"
+        )
+    if len(kept) < len(parts):
+        supervision.report.note_degradation(
+            f"{len(parts) - len(kept)} of {len(parts)} {total_label} "
+            "failed; result computed from completed units only"
+        )
+    return kept
+
+
 # ---------------------------------------------------------------------------
 # Table sharing helpers
 # ---------------------------------------------------------------------------
-def share_table(arena: SharedArena, table: Table) -> dict[str, Any]:
+def share_table(
+    arena: SharedArena,
+    table: Table,
+    supervision: Supervision | None = None,
+) -> dict[str, Any]:
     """Export every column of ``table`` through ``arena``.
 
     Numeric and fixed-width columns become shared-memory refs;
-    object-dtype columns ride along as plain arrays.
+    object-dtype columns ride along as plain arrays.  With a
+    supervision context, allocation failures degrade to embedding the
+    column in the payload instead of failing the operation.
     """
-    return {name: arena.share(col) for name, col in table.columns().items()}
+    if supervision is None:
+        return {
+            name: arena.share(col) for name, col in table.columns().items()
+        }
+    return {
+        name: _share_or_embed(arena, col, supervision)
+        for name, col in table.columns().items()
+    }
 
 
 def resolve_table(
@@ -149,13 +215,19 @@ def bootstrap_replicates(
     rate: float = 1.0,
     chunk_size: int = DEFAULT_REPLICATE_CHUNK,
     pool: WorkerPool | None = None,
+    supervision: Supervision | None = None,
 ) -> np.ndarray:
     """The K Poissonized bootstrap replicate estimates for ``target``.
 
     Chunk ``i`` of ``chunk_size`` resamples always consumes child
     stream ``i`` of ``seed``; the returned distribution is therefore
-    independent of ``pool``.
+    independent of ``pool``.  Under supervision with partial results
+    allowed, chunks that fail after retries are dropped and the
+    distribution holds the replicates that completed (the report
+    records the shortfall); if *every* chunk fails,
+    :class:`~repro.errors.ExecutionError` is raised.
     """
+    supervision = supervision or Supervision.default()
     matched = target.matched_values
     if len(matched) == 0:
         raise EstimationError(
@@ -163,6 +235,7 @@ def bootstrap_replicates(
         )
     spans = chunk_spans(num_resamples, chunk_size)
     children = spawn_children(seed, len(spans))
+    supervision.report.replicates_requested += num_resamples
     common = dict(
         extensive=target.extensive,
         dataset_rows=target.dataset_rows,
@@ -170,27 +243,36 @@ def bootstrap_replicates(
         rate=rate,
     )
     if not _usable(pool):
-        parts = [
-            _replicate_chunk_kernel(
+
+        def unit(args):
+            (start, stop), child = args
+            return _replicate_chunk_kernel(
                 matched, target.aggregate, stop - start, child, **common
             )
-            for (start, stop), child in zip(spans, children)
-        ]
-        return np.concatenate(parts)
-    with SharedArena() as arena:
-        shared_values = arena.share(np.ascontiguousarray(matched))
-        payloads = [
-            {
-                "values": shared_values,
-                "aggregate": target.aggregate,
-                "count": stop - start,
-                "child": child,
-                **common,
-            }
-            for (start, stop), child in zip(spans, children)
-        ]
-        parts = pool.map(_replicate_chunk_task, payloads)
-    return np.concatenate(parts)
+
+        parts = run_supervised_inline(
+            unit, list(zip(spans, children)), supervision
+        )
+    else:
+        with SharedArena(fault_plan=supervision.plan) as arena:
+            shared_values = _share_or_embed(
+                arena, np.ascontiguousarray(matched), supervision
+            )
+            payloads = [
+                {
+                    "values": shared_values,
+                    "aggregate": target.aggregate,
+                    "count": stop - start,
+                    "child": child,
+                    **common,
+                }
+                for (start, stop), child in zip(spans, children)
+            ]
+            parts = pool.map(_replicate_chunk_task, payloads, supervision)
+    kept = _keep_completed(parts, "bootstrap replicate chunks", supervision)
+    out = np.concatenate(kept)
+    supervision.report.replicates_completed += len(out)
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -243,6 +325,7 @@ def table_statistic_replicates(
     method: str = "poisson",
     chunk_size: int = DEFAULT_REPLICATE_CHUNK,
     pool: WorkerPool | None = None,
+    supervision: Supervision | None = None,
 ) -> np.ndarray:
     """K replicate values of a black-box per-table statistic.
 
@@ -255,29 +338,40 @@ def table_statistic_replicates(
         raise EstimationError(
             f"unknown resampling method {method!r}; use 'poisson' or 'exact'"
         )
+    supervision = supervision or Supervision.default()
     spans = chunk_spans(num_resamples, chunk_size)
     children = spawn_children(seed, len(spans))
+    supervision.report.replicates_requested += num_resamples
     if not _usable(pool):
-        parts = [
-            _table_chunk_kernel(table, statistic, method, stop - start, child)
-            for (start, stop), child in zip(spans, children)
-        ]
-        return np.concatenate(parts)
-    with SharedArena() as arena:
-        columns = share_table(arena, table)
-        payloads = [
-            {
-                "columns": columns,
-                "table_name": table.name,
-                "statistic": statistic,
-                "method": method,
-                "count": stop - start,
-                "child": child,
-            }
-            for (start, stop), child in zip(spans, children)
-        ]
-        parts = pool.map(_table_chunk_task, payloads)
-    return np.concatenate(parts)
+
+        def unit(args):
+            (start, stop), child = args
+            return _table_chunk_kernel(
+                table, statistic, method, stop - start, child
+            )
+
+        parts = run_supervised_inline(
+            unit, list(zip(spans, children)), supervision
+        )
+    else:
+        with SharedArena(fault_plan=supervision.plan) as arena:
+            columns = share_table(arena, table, supervision)
+            payloads = [
+                {
+                    "columns": columns,
+                    "table_name": table.name,
+                    "statistic": statistic,
+                    "method": method,
+                    "count": stop - start,
+                    "child": child,
+                }
+                for (start, stop), child in zip(spans, children)
+            ]
+            parts = pool.map(_table_chunk_task, payloads, supervision)
+    kept = _keep_completed(parts, "table-statistic chunks", supervision)
+    out = np.concatenate(kept)
+    supervision.report.replicates_completed += len(out)
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -336,6 +430,7 @@ def diagnostic_evaluations(
     *,
     pool: WorkerPool | None = None,
     unit_batch: int = DEFAULT_UNIT_BATCH,
+    supervision: Supervision | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Point estimates and estimated half-widths over disjoint subsamples.
 
@@ -343,16 +438,31 @@ def diagnostic_evaluations(
     units per dispatched task) only amortises IPC and cannot perturb
     results.  Targets that are not array-backed
     :class:`~repro.core.estimators.EstimationTarget` instances (e.g.
-    black-box whole-table targets) always evaluate inline.
+    black-box whole-table targets) always evaluate inline.  Under
+    supervision with partial results allowed, subsamples whose
+    evaluations stay failed after retries are dropped and the
+    diagnostic proceeds on the reduced set (fault indices bind to
+    subsamples inline and to dispatch batches in a pool).
     """
+    supervision = supervision or Supervision.default()
     blocks = list(blocks)
     children = spawn_children(seed, len(blocks))
+    supervision.report.subsamples_requested += len(blocks)
     parallelizable = _usable(pool) and isinstance(target, EstimationTarget)
     if not parallelizable:
-        pairs = [
-            _diagnostic_unit_kernel(target, estimator, confidence, block, child)
-            for block, child in zip(blocks, children)
-        ]
+
+        def unit(args):
+            block, child = args
+            return _diagnostic_unit_kernel(
+                target, estimator, confidence, block, child
+            )
+
+        results = run_supervised_inline(
+            unit, list(zip(blocks, children)), supervision
+        )
+        pairs = _keep_completed(
+            results, "diagnostic subsample evaluations", supervision
+        )
     else:
         order = np.concatenate(blocks) if blocks else np.empty(0, np.int64)
         sizes = [len(block) for block in blocks]
@@ -361,15 +471,21 @@ def diagnostic_evaluations(
             ((int(offsets[j]), int(offsets[j + 1])), children[j])
             for j in range(len(blocks))
         ]
-        with SharedArena() as arena:
+        with SharedArena(fault_plan=supervision.plan) as arena:
             shared = {
-                "values": arena.share(np.ascontiguousarray(target.values)),
+                "values": _share_or_embed(
+                    arena, np.ascontiguousarray(target.values), supervision
+                ),
                 "mask": (
                     None
                     if target.mask is None
-                    else arena.share(np.ascontiguousarray(target.mask))
+                    else _share_or_embed(
+                        arena, np.ascontiguousarray(target.mask), supervision
+                    )
                 ),
-                "order": arena.share(np.ascontiguousarray(order)),
+                "order": _share_or_embed(
+                    arena, np.ascontiguousarray(order), supervision
+                ),
                 "aggregate": target.aggregate,
                 "dataset_rows": target.dataset_rows,
                 "extensive": target.extensive,
@@ -380,8 +496,12 @@ def diagnostic_evaluations(
                 {**shared, "units": units[i : i + unit_batch]}
                 for i in range(0, len(units), unit_batch)
             ]
-            batches = pool.map(_diagnostic_batch_task, payloads)
-        pairs = [pair for batch in batches for pair in batch]
+            batches = pool.map(_diagnostic_batch_task, payloads, supervision)
+        kept_batches = _keep_completed(
+            batches, "diagnostic evaluation batches", supervision
+        )
+        pairs = [pair for batch in kept_batches for pair in batch]
+    supervision.report.subsamples_completed += len(pairs)
     points = np.array([p for p, _ in pairs], dtype=np.float64)
     half_widths = np.array([h for _, h in pairs], dtype=np.float64)
     return points, half_widths
@@ -456,6 +576,7 @@ def ground_truth_trials(
     estimator=None,
     chunk_size: int = DEFAULT_TRIAL_CHUNK,
     pool: WorkerPool | None = None,
+    supervision: Supervision | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Per-trial θ(S) (and optionally ξ half-widths) over fresh samples.
 
@@ -464,6 +585,7 @@ def ground_truth_trials(
     stream.  Returns ``(points, half_widths)``; half-widths are NaN
     when no estimator was supplied.
     """
+    supervision = supervision or Supervision.default()
     children = spawn_children(seed, num_trials)
     spans = chunk_spans(num_trials, chunk_size)
     common = dict(
@@ -474,17 +596,25 @@ def ground_truth_trials(
         estimator=estimator,
     )
     if not _usable(pool):
-        parts = [
-            _trial_chunk_kernel(
+
+        def unit(span):
+            start, stop = span
+            return _trial_chunk_kernel(
                 values, mask, aggregate, children=children[start:stop], **common
             )
-            for start, stop in spans
-        ]
+
+        parts = run_supervised_inline(unit, spans, supervision)
     else:
-        with SharedArena() as arena:
-            shared_values = arena.share(np.ascontiguousarray(values))
+        with SharedArena(fault_plan=supervision.plan) as arena:
+            shared_values = _share_or_embed(
+                arena, np.ascontiguousarray(values), supervision
+            )
             shared_mask = (
-                None if mask is None else arena.share(np.ascontiguousarray(mask))
+                None
+                if mask is None
+                else _share_or_embed(
+                    arena, np.ascontiguousarray(mask), supervision
+                )
             )
             payloads = [
                 {
@@ -496,7 +626,8 @@ def ground_truth_trials(
                 }
                 for start, stop in spans
             ]
-            parts = pool.map(_trial_chunk_task, payloads)
-    points = np.concatenate([p for p, _ in parts])
-    half_widths = np.concatenate([h for _, h in parts])
+            parts = pool.map(_trial_chunk_task, payloads, supervision)
+    kept = _keep_completed(parts, "ground-truth trial chunks", supervision)
+    points = np.concatenate([p for p, _ in kept])
+    half_widths = np.concatenate([h for _, h in kept])
     return points, half_widths

@@ -1,4 +1,4 @@
-"""The worker pool: process fan-out with a strict serial fallback.
+"""The worker pool: supervised process fan-out with a strict serial fallback.
 
 ``REPRO_WORKERS`` (or :class:`~repro.core.pipeline.EngineConfig`'s
 ``num_workers``) selects the degree of parallelism, mirroring the
@@ -16,6 +16,19 @@ interactive through tuned parallel execution.  The contract:
   the operation fall back to the inline path instead of failing — the
   serial and parallel paths are bit-identical by construction, so the
   fallback is invisible except in wall-clock.
+
+On top of the fan-out sits **supervision** (PR 2): ``map`` detects
+crashed and hung workers (a lost task surfaces as a timeout; a changed
+worker-pid set distinguishes a crash), retries failed task batches with
+capped exponential backoff and deterministic jitter, enforces per-task
+and per-query deadlines, restarts the pool (sweeping orphaned
+shared-memory segments) after a pool-level failure, and after
+``RetryPolicy.max_pool_failures`` consecutive pool failures degrades
+*permanently* to the inline serial path for the rest of the session,
+recording why in the :class:`~repro.parallel.supervise.ExecutionReport`.
+Because a retried unit re-runs with the same child RNG stream, a run
+whose failures were all recovered by retry is bit-identical to a clean
+run — degraded availability never silently changes answers.
 """
 
 from __future__ import annotations
@@ -24,11 +37,22 @@ import multiprocessing
 import multiprocessing.pool
 import os
 import pickle
+import time
 from collections.abc import Callable, Iterator, Sequence
 from contextlib import contextmanager
-from typing import Any
+from typing import Any, Optional
+
+from repro.errors import TaskTimeoutError, WorkerCrashError
+from repro.faults.plan import FaultPlan
+from repro.parallel.supervise import (
+    TASK_FAILED,
+    Supervision,
+    backoff_seconds,
+    run_supervised_inline,
+)
 
 __all__ = [
+    "DEFAULT_CRASH_DETECTION_SECONDS",
     "WORKERS_ENV",
     "START_METHOD_ENV",
     "WorkerPool",
@@ -44,12 +68,24 @@ WORKERS_ENV = "REPRO_WORKERS"
 #: per worker).
 START_METHOD_ENV = "REPRO_MP_START"
 
+#: Patience used for hang/crash detection when a fault plan is active
+#: but no explicit task timeout was configured — prevents an injected
+#: crash from wedging the parent forever on a result that cannot come.
+DEFAULT_CRASH_DETECTION_SECONDS = 30.0
+
 
 def resolve_num_workers(num_workers: int | None = None) -> int:
     """Resolve a worker count: explicit value → env → serial.
 
-    ``0`` and negative values mean "one worker per CPU".
+    ``0`` and negative values mean "one worker per CPU"; explicit and
+    environment-supplied counts are capped at ``os.cpu_count()`` —
+    oversubscribing cores only adds context-switch overhead to what are
+    CPU-bound kernels.  An invalid ``REPRO_MP_START`` is rejected here,
+    eagerly, with the allowed start methods listed — not deep inside
+    ``multiprocessing`` at first fan-out.
     """
+    _validate_start_method()
+    cpus = os.cpu_count() or 1
     if num_workers is None:
         raw = os.environ.get(WORKERS_ENV, "").strip()
         if not raw:
@@ -61,11 +97,22 @@ def resolve_num_workers(num_workers: int | None = None) -> int:
                 f"{WORKERS_ENV} must be an integer, got {raw!r}"
             ) from None
     if num_workers <= 0:
-        return os.cpu_count() or 1
-    return num_workers
+        return cpus
+    return min(num_workers, cpus)
+
+
+def _validate_start_method() -> None:
+    method = os.environ.get(START_METHOD_ENV, "").strip()
+    if method and method not in multiprocessing.get_all_start_methods():
+        allowed = ", ".join(sorted(multiprocessing.get_all_start_methods()))
+        raise ValueError(
+            f"{START_METHOD_ENV}={method!r} is not a valid multiprocessing "
+            f"start method on this platform; allowed: {allowed}"
+        )
 
 
 def _start_method() -> str:
+    _validate_start_method()
     method = os.environ.get(START_METHOD_ENV, "").strip()
     if method:
         return method
@@ -74,28 +121,54 @@ def _start_method() -> str:
     return multiprocessing.get_start_method()
 
 
+def _invoke_task(
+    fn: Callable[[Any], Any],
+    payload: Any,
+    plan: FaultPlan | None,
+    index: int,
+    attempt: int,
+) -> Any:
+    """Worker-side task body: fire scheduled faults, then run the unit.
+
+    Runs inside a worker process; an injected crash hard-exits here and
+    the parent observes the lost task exactly as it would a SIGKILLed
+    worker.
+    """
+    if plan is not None:
+        plan.apply(index, attempt)
+    return fn(payload)
+
+
 class WorkerPool:
-    """A lazily spawned process pool with an inline serial mode.
+    """A lazily spawned, supervised process pool with an inline serial mode.
 
     Args:
         num_workers: degree of parallelism; ``None`` reads
             ``REPRO_WORKERS``, ``<= 0`` means one per CPU, and ``1`` is
-            the guaranteed-inline serial mode.
+            the guaranteed-inline serial mode.  Counts above
+            ``os.cpu_count()`` are capped.
     """
 
     def __init__(self, num_workers: int | None = None):
         self.num_workers = resolve_num_workers(num_workers)
         self._pool: multiprocessing.pool.Pool | None = None
+        self._pool_failures = 0
+        self._degraded_reason: str | None = None
 
     # -- lifecycle ---------------------------------------------------------
     @property
     def is_parallel(self) -> bool:
-        return self.num_workers > 1
+        return self.num_workers > 1 and self._degraded_reason is None
 
     @property
     def processes_spawned(self) -> bool:
         """Whether any worker process actually exists (tested contract)."""
         return self._pool is not None
+
+    @property
+    def degraded_reason(self) -> str | None:
+        """Why the pool permanently fell back to inline execution, if it did."""
+        return self._degraded_reason
 
     def _ensure_pool(self) -> multiprocessing.pool.Pool:
         if self._pool is None:
@@ -103,12 +176,25 @@ class WorkerPool:
             self._pool = context.Pool(processes=self.num_workers)
         return self._pool
 
+    def _worker_pids(self) -> tuple[int, ...]:
+        if self._pool is None:
+            return ()
+        return tuple(sorted(proc.pid for proc in self._pool._pool))
+
     def shutdown(self) -> None:
         """Terminate worker processes (idempotent)."""
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
             self._pool = None
+
+    def _restart_pool(self, supervision: Supervision) -> None:
+        """Tear down a failed pool and sweep segments dead workers left."""
+        from repro.parallel.shm import sweep_orphans
+
+        self.shutdown()
+        supervision.report.pool_restarts += 1
+        supervision.report.swept_segments += len(sweep_orphans())
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -127,23 +213,163 @@ class WorkerPool:
         self,
         fn: Callable[[Any], Any],
         payloads: Sequence[Any],
+        supervision: Supervision | None = None,
     ) -> list[Any]:
-        """Apply ``fn`` to every payload, preserving order.
+        """Apply ``fn`` to every payload, preserving order, supervised.
 
-        Runs inline when serial, when there is at most one payload, or
-        when a payload refuses to pickle; fans out otherwise.
+        Runs inline when serial, permanently degraded, when there is at
+        most one payload, or when a payload refuses to pickle; fans out
+        otherwise.  Transient failures (worker crashes, task timeouts)
+        are retried per ``supervision.policy``; with
+        ``supervision.allow_partial`` the slots of units that exhausted
+        their retries hold :data:`~repro.parallel.supervise.TASK_FAILED`
+        instead of raising.
         """
         payloads = list(payloads)
-        if not self.is_parallel or len(payloads) <= 1:
-            return [fn(payload) for payload in payloads]
+        supervision = supervision or Supervision.default()
+        if (
+            not self.is_parallel
+            or len(payloads) <= 1
+            or supervision.expired()
+        ):
+            return run_supervised_inline(fn, payloads, supervision)
+        plan = supervision.plan
+        if plan is not None and plan.fails_pickling():
+            supervision.report.note_fallback(
+                "injected pickling failure; ran inline"
+            )
+            return run_supervised_inline(fn, payloads, supervision)
         try:
             pickle.dumps((fn, payloads), protocol=pickle.HIGHEST_PROTOCOL)
         except Exception:
             # Unpicklable work (user lambdas / closures): identical
             # results inline, just without the fan-out.
-            return [fn(payload) for payload in payloads]
-        pool = self._ensure_pool()
-        return pool.map(fn, payloads, chunksize=1)
+            return run_supervised_inline(fn, payloads, supervision)
+        return self._map_parallel(fn, payloads, supervision)
+
+    def _task_patience(self, supervision: Supervision) -> Optional[float]:
+        patience = supervision.task_patience()
+        if patience is None and supervision.plan is not None:
+            # A fault plan without an explicit deadline still needs hang
+            # detection, or an injected crash would block get() forever.
+            return DEFAULT_CRASH_DETECTION_SECONDS
+        return patience
+
+    def _map_parallel(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: list[Any],
+        supervision: Supervision,
+    ) -> list[Any]:
+        policy = supervision.policy
+        report = supervision.report
+        results: list[Any] = [TASK_FAILED] * len(payloads)
+        pending = list(range(len(payloads)))
+        errors: dict[int, Exception] = {}
+        report.tasks_attempted += len(payloads)
+
+        for attempt in range(policy.max_task_retries + 1):
+            if not pending or self._degraded_reason is not None:
+                break
+            if attempt > 0:
+                report.task_retries += len(pending)
+                time.sleep(backoff_seconds(policy, attempt, pending[0]))
+            if supervision.expired():
+                report.deadline_hit = True
+                break
+            pool = self._ensure_pool()
+            pids_before = self._worker_pids()
+            dispatched = {
+                index: pool.apply_async(
+                    _invoke_task,
+                    (fn, payloads[index], supervision.plan, index, attempt),
+                )
+                for index in pending
+            }
+            failed: list[int] = []
+            pool_failure = False
+            for index in pending:
+                try:
+                    results[index] = dispatched[index].get(
+                        timeout=self._task_patience(supervision)
+                    )
+                    report.tasks_completed += 1
+                except multiprocessing.TimeoutError:
+                    # A hung worker and a crashed worker both present as
+                    # a result that never arrives; a changed worker-pid
+                    # set identifies the crash.  The baseline is
+                    # refreshed after each classification so one crash
+                    # does not make every later hang look like a crash.
+                    pool_failure = True
+                    pids_now = self._worker_pids()
+                    if pids_now != pids_before:
+                        pids_before = pids_now
+                        report.worker_crashes += 1
+                        errors[index] = WorkerCrashError(
+                            f"task {index} was lost to a crashed worker "
+                            f"(attempt {attempt})"
+                        )
+                    else:
+                        report.task_timeouts += 1
+                        errors[index] = TaskTimeoutError(
+                            f"task {index} exceeded its deadline "
+                            f"(attempt {attempt})"
+                        )
+                    failed.append(index)
+                except (WorkerCrashError, TaskTimeoutError) as error:
+                    # Transient error raised by the task body itself
+                    # (e.g. an injected fault on a non-fork platform).
+                    if isinstance(error, WorkerCrashError):
+                        report.worker_crashes += 1
+                    else:
+                        report.task_timeouts += 1
+                    errors[index] = error
+                    failed.append(index)
+                # Any other exception is deterministic task-body failure:
+                # it propagates immediately, exactly as before supervision.
+            if pool_failure:
+                self._pool_failures += 1
+                self._restart_pool(supervision)
+                if self._pool_failures >= policy.max_pool_failures:
+                    self._degraded_reason = (
+                        f"pool failed {self._pool_failures} consecutive "
+                        "times (crashed or hung workers); running inline "
+                        "for the rest of the session"
+                    )
+                    report.degraded_to_inline = True
+                    report.note_fallback(self._degraded_reason)
+            else:
+                self._pool_failures = 0
+            pending = failed
+
+        if pending and self._degraded_reason is not None:
+            # Terminal degradation: finish the remaining units inline
+            # (attempt counters continue; they were already counted).
+            inline = run_supervised_inline(
+                fn,
+                [payloads[index] for index in pending],
+                supervision,
+                indices=pending,
+                count_attempts=False,
+            )
+            for index, outcome in zip(pending, inline):
+                results[index] = outcome
+            pending = []
+
+        for index in pending:
+            error = errors.get(
+                index, TaskTimeoutError("query deadline exceeded")
+            )
+            results[index] = _fail_pending(supervision, index, error)
+        return results
+
+
+def _fail_pending(
+    supervision: Supervision, index: int, error: Exception
+) -> Any:
+    from repro.parallel.supervise import _fail_unit
+
+    return _fail_unit(supervision, index, error)
 
 
 @contextmanager

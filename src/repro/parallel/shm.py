@@ -22,11 +22,14 @@ task payload instead (they are small or unavoidable either way).
 
 from __future__ import annotations
 
+import glob
 import os
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
+
+from repro.errors import ExecutionError
 
 __all__ = [
     "SEGMENT_PREFIX",
@@ -36,6 +39,7 @@ __all__ = [
     "detach",
     "resolve",
     "sharable",
+    "sweep_orphans",
 ]
 
 #: Prefix of every segment created here; tests glob ``/dev/shm`` for it
@@ -58,13 +62,21 @@ def sharable(array: np.ndarray) -> bool:
 
 
 class SharedArena:
-    """Parent-side owner of the shared segments of one fan-out operation."""
+    """Parent-side owner of the shared segments of one fan-out operation.
+
+    Args:
+        fault_plan: optional :class:`~repro.faults.plan.FaultPlan`;
+            plans with an shm fault make every allocation raise
+            :class:`~repro.errors.ExecutionError`, exercising the
+            callers' embed-in-payload fallback path.
+    """
 
     _counter = 0
 
-    def __init__(self):
+    def __init__(self, fault_plan=None):
         self._segments: list[shared_memory.SharedMemory] = []
         self._closed = False
+        self._fault_plan = fault_plan
 
     def share(self, array: np.ndarray) -> SharedArrayRef | np.ndarray:
         """Copy ``array`` into a shared segment, returning a ref.
@@ -75,6 +87,10 @@ class SharedArena:
         """
         if self._closed:
             raise ValueError("cannot share through a closed arena")
+        if self._fault_plan is not None and self._fault_plan.fails_shm():
+            raise ExecutionError(
+                "injected shared-memory allocation failure"
+            )
         array = np.ascontiguousarray(array)
         if not sharable(array):
             return array
@@ -83,7 +99,16 @@ class SharedArena:
         segment = shared_memory.SharedMemory(
             name=name, create=True, size=array.nbytes
         )
-        self._segments.append(segment)
+        # Register ownership *before* anything else can observe the
+        # name (or raise): if the copy below dies — or the process is
+        # interrupted between create and register — close() still knows
+        # to unlink this segment instead of leaking it.
+        try:
+            self._segments.append(segment)
+        except BaseException:
+            segment.close()
+            segment.unlink()
+            raise
         view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
         view[...] = array
         return SharedArrayRef(
@@ -147,6 +172,50 @@ def detach(segments: list[shared_memory.SharedMemory]) -> None:
             segment.close()
         except Exception:
             pass
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        # The pid exists but belongs to someone else; not ours to sweep.
+        return True
+    return True
+
+
+def sweep_orphans() -> list[str]:
+    """Unlink ``repro``-prefixed segments whose owning process is dead.
+
+    Every segment name embeds the creating pid
+    (``repro_<pid>_<counter>``), so the janitor can tell an orphan — a
+    segment whose owner crashed before its arena could unlink it — from
+    a segment a live arena still owns.  Called by the supervised pool
+    after an abnormal worker exit forces a pool restart, and usable
+    directly to clean up after a killed parent process.
+
+    Returns:
+        The names of the segments that were swept.
+    """
+    swept: list[str] = []
+    for path in glob.glob(f"/dev/shm/{SEGMENT_PREFIX}_*"):
+        name = os.path.basename(path)
+        parts = name.split("_")
+        if len(parts) < 3:
+            continue
+        try:
+            owner_pid = int(parts[1])
+        except ValueError:
+            continue
+        if _pid_alive(owner_pid):
+            continue
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            continue
+        swept.append(name)
+    return swept
 
 
 def resolve(

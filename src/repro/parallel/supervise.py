@@ -1,0 +1,337 @@
+"""Supervision primitives for fault-tolerant fan-out.
+
+This module defines the vocabulary the supervised execution paths share:
+
+* :class:`RetryPolicy` — how failed task batches are retried (capped
+  exponential backoff with deterministic jitter), when a task is
+  declared hung, and how many pool-level failures are tolerated before
+  the session degrades permanently to inline execution.
+* :class:`ExecutionReport` — the structured account of one query's
+  execution attached to results: tasks attempted/completed, retries,
+  crashes, timeouts, pool restarts, replicate/subsample completion
+  counts, and every degradation or fallback with its reason.  This is
+  the "degraded but honest" half of the paper's contract: an answer
+  computed from partial work must say so.
+* :class:`Supervision` — one operation's bundle of fault plan, retry
+  policy, report, query deadline, and partial-result policy, threaded
+  from :class:`~repro.core.pipeline.AQPEngine` through the estimators
+  down to :mod:`repro.parallel.ops`.
+* :func:`run_supervised_inline` — the serial counterpart of the
+  supervised pool: the same retry/deadline/fault semantics applied to
+  units running in the calling process, so fault schedules behave
+  identically at any worker count (including 1).
+
+Only *transient* failures — worker crashes and task timeouts — are
+retried.  Deterministic exceptions raised by the task body itself would
+fail identically on every attempt and propagate immediately, preserving
+the pre-supervision error behaviour.
+
+Determinism: retries re-run a unit with the same child RNG stream, so a
+run whose failures were all recovered by retry is bit-identical to a
+clean run.  Backoff jitter is seeded from ``(attempt, index)``, never
+from wall-clock randomness.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.errors import ExecutionError, TaskTimeoutError, WorkerCrashError
+from repro.faults.plan import FaultPlan
+
+__all__ = [
+    "TASK_FAILED",
+    "ExecutionReport",
+    "RetryPolicy",
+    "Supervision",
+    "TRANSIENT_ERRORS",
+    "backoff_seconds",
+    "run_supervised_inline",
+]
+
+#: Exception types the supervisor treats as transient (retryable).
+TRANSIENT_ERRORS = (WorkerCrashError, TaskTimeoutError)
+
+
+class _TaskFailed:
+    """Sentinel marking a unit that failed after exhausting retries."""
+
+    _instance: "_TaskFailed | None" = None
+
+    def __new__(cls) -> "_TaskFailed":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<TASK_FAILED>"
+
+    def __reduce__(self):
+        return (_TaskFailed, ())
+
+
+#: Singleton placeholder for a permanently failed unit's result slot.
+TASK_FAILED = _TaskFailed()
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the supervisor retries, times out, and gives up.
+
+    Attributes:
+        max_task_retries: extra attempts per task batch after the first
+            (``2`` → up to 3 executions).
+        backoff_base_seconds: backoff before retry attempt 1; doubles
+            per attempt.
+        backoff_cap_seconds: upper bound on any single backoff sleep.
+        backoff_jitter: fractional jitter added to each backoff
+            (deterministic per ``(attempt, index)``).
+        task_timeout_seconds: per-task deadline; ``None`` disables hang
+            detection (a lost worker then only surfaces through the
+            query deadline).
+        max_pool_failures: consecutive pool-level failures (crashed or
+            hung workers forcing a pool restart) tolerated before the
+            pool degrades permanently to inline execution for the rest
+            of the session.
+    """
+
+    max_task_retries: int = 2
+    backoff_base_seconds: float = 0.05
+    backoff_cap_seconds: float = 2.0
+    backoff_jitter: float = 0.5
+    task_timeout_seconds: Optional[float] = None
+    max_pool_failures: int = 2
+
+    def __post_init__(self):
+        if self.max_task_retries < 0:
+            raise ValueError(
+                f"max_task_retries must be >= 0, got {self.max_task_retries}"
+            )
+        if self.max_pool_failures < 1:
+            raise ValueError(
+                f"max_pool_failures must be >= 1, got {self.max_pool_failures}"
+            )
+
+
+def backoff_seconds(policy: RetryPolicy, attempt: int, index: int) -> float:
+    """Capped exponential backoff with deterministic jitter.
+
+    ``attempt`` is the retry number (1 = first retry).  Jitter derives
+    from ``(attempt, index)`` via a :class:`~numpy.random.SeedSequence`
+    so supervision never perturbs the parent RNG or the wall clock's
+    randomness budget — backoff is reproducible like everything else.
+    """
+    base = min(
+        policy.backoff_cap_seconds,
+        policy.backoff_base_seconds * 2 ** (attempt - 1),
+    )
+    if policy.backoff_jitter <= 0 or base <= 0:
+        return base
+    draw = np.random.SeedSequence([attempt, index]).generate_state(1)[0]
+    return base * (1.0 + policy.backoff_jitter * (draw / 2**32))
+
+
+@dataclass
+class ExecutionReport:
+    """Structured account of how a query's fan-out actually executed.
+
+    Attached to :class:`~repro.core.pipeline.AQPResult`; every degraded
+    answer points at the entry here that explains *why* it is degraded
+    and what the engine did about it.
+    """
+
+    tasks_attempted: int = 0
+    tasks_completed: int = 0
+    task_retries: int = 0
+    worker_crashes: int = 0
+    task_timeouts: int = 0
+    pool_restarts: int = 0
+    replicates_requested: int = 0
+    replicates_completed: int = 0
+    subsamples_requested: int = 0
+    subsamples_completed: int = 0
+    deadline_hit: bool = False
+    degraded_to_inline: bool = False
+    swept_segments: int = 0
+    degradation_reasons: list[str] = field(default_factory=list)
+    fallbacks: list[str] = field(default_factory=list)
+
+    def note_degradation(self, reason: str) -> None:
+        if reason not in self.degradation_reasons:
+            self.degradation_reasons.append(reason)
+
+    def note_fallback(self, what: str) -> None:
+        if what not in self.fallbacks:
+            self.fallbacks.append(what)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any part of the answer came from less than full work."""
+        return bool(self.degradation_reasons) or self.deadline_hit
+
+    @property
+    def recovered(self) -> bool:
+        """Whether failures occurred but retries recovered all of them."""
+        return (
+            self.task_retries > 0
+            and not self.degraded
+            and self.tasks_completed >= self.tasks_attempted
+        )
+
+    def summary(self) -> str:
+        """One-paragraph human-readable account (CLI / logs)."""
+        parts = [
+            f"{self.tasks_completed}/{self.tasks_attempted} tasks completed"
+        ]
+        if self.task_retries:
+            parts.append(f"{self.task_retries} retries")
+        if self.worker_crashes:
+            parts.append(f"{self.worker_crashes} worker crashes")
+        if self.task_timeouts:
+            parts.append(f"{self.task_timeouts} task timeouts")
+        if self.pool_restarts:
+            parts.append(f"{self.pool_restarts} pool restarts")
+        if self.swept_segments:
+            parts.append(f"{self.swept_segments} orphaned segments swept")
+        if self.degraded_to_inline:
+            parts.append("degraded to inline execution")
+        if self.deadline_hit:
+            parts.append("query deadline hit")
+        text = ", ".join(parts)
+        for reason in self.degradation_reasons:
+            text += f"; degraded: {reason}"
+        for fallback in self.fallbacks:
+            text += f"; fallback: {fallback}"
+        return text
+
+
+@dataclass
+class Supervision:
+    """One operation's supervision context.
+
+    Attributes:
+        plan: active fault-injection schedule, or ``None``.
+        policy: retry/deadline policy.
+        report: accumulator the execution writes its account into.
+        deadline: absolute :func:`time.monotonic` instant the whole
+            query must finish by, or ``None``.
+        allow_partial: whether exhausted units become
+            :data:`TASK_FAILED` placeholders (graceful degradation)
+            instead of raising :class:`~repro.errors.ExecutionError`.
+    """
+
+    plan: Optional[FaultPlan] = None
+    policy: RetryPolicy = field(default_factory=RetryPolicy)
+    report: ExecutionReport = field(default_factory=ExecutionReport)
+    deadline: Optional[float] = None
+    allow_partial: bool = False
+
+    @classmethod
+    def default(cls) -> "Supervision":
+        """A strict context: no faults, default retries, fail loudly."""
+        return cls()
+
+    def expired(self) -> bool:
+        return self.deadline is not None and time.monotonic() >= self.deadline
+
+    def remaining_seconds(self) -> Optional[float]:
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - time.monotonic())
+
+    def task_patience(self) -> Optional[float]:
+        """Longest the supervisor waits on one task before declaring it hung."""
+        per_task = self.policy.task_timeout_seconds
+        remaining = self.remaining_seconds()
+        if per_task is None:
+            return remaining
+        if remaining is None:
+            return per_task
+        return min(per_task, remaining)
+
+
+def _fail_unit(
+    supervision: Supervision, index: int, error: Exception
+) -> Any:
+    """Record a permanently failed unit; raise unless partials are allowed."""
+    supervision.report.note_degradation(f"task {index} failed: {error}")
+    if supervision.allow_partial:
+        return TASK_FAILED
+    raise ExecutionError(
+        f"task {index} failed after "
+        f"{supervision.policy.max_task_retries} retries: {error}"
+    ) from error
+
+
+def run_supervised_inline(
+    fn: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    supervision: Supervision,
+    indices: Sequence[int] | None = None,
+    count_attempts: bool = True,
+) -> list[Any]:
+    """Serial supervised execution: same semantics as the supervised pool.
+
+    Applies the fault plan, per-task retries with backoff, and the query
+    deadline to units running in the calling process.  Failed units
+    become :data:`TASK_FAILED` when partial results are allowed;
+    deterministic (non-transient) exceptions propagate immediately.
+
+    Args:
+        fn: the unit kernel.
+        payloads: one payload per unit.
+        supervision: active supervision context.
+        indices: logical unit indices (for fault-plan binding and
+            reporting) when the payloads are a subset of a larger
+            operation; defaults to ``range(len(payloads))``.
+        count_attempts: set to ``False`` when the units were already
+            counted as attempted by a pool round that degraded and
+            handed them over.
+    """
+    policy = supervision.policy
+    if indices is None:
+        indices = range(len(payloads))
+    results: list[Any] = []
+    for index, payload in zip(indices, payloads):
+        if supervision.expired():
+            supervision.report.deadline_hit = True
+            results.append(
+                _fail_unit(
+                    supervision,
+                    index,
+                    TaskTimeoutError("query deadline exceeded"),
+                )
+            )
+            continue
+        if count_attempts:
+            supervision.report.tasks_attempted += 1
+        last_error: Exception | None = None
+        outcome: Any = TASK_FAILED
+        for attempt in range(policy.max_task_retries + 1):
+            if attempt > 0:
+                supervision.report.task_retries += 1
+                time.sleep(backoff_seconds(policy, attempt, index))
+            try:
+                if supervision.plan is not None:
+                    supervision.plan.apply(
+                        index, attempt, timeout=supervision.task_patience()
+                    )
+                outcome = fn(payload)
+                supervision.report.tasks_completed += 1
+                last_error = None
+                break
+            except TRANSIENT_ERRORS as error:
+                last_error = error
+                if isinstance(error, WorkerCrashError):
+                    supervision.report.worker_crashes += 1
+                else:
+                    supervision.report.task_timeouts += 1
+        if last_error is not None:
+            outcome = _fail_unit(supervision, index, last_error)
+        results.append(outcome)
+    return results

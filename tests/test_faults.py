@@ -1,0 +1,543 @@
+"""Fault-tolerant execution: supervision, retries, and honest degradation.
+
+These tests drive deterministic :class:`repro.faults.FaultPlan`
+schedules through the supervised execution layer and assert the PR's
+contract from every side:
+
+* transient failures (worker crashes, hung tasks) are retried and — when
+  retries recover them — results are **bit-identical to a clean run**,
+  because a retried unit re-runs on the same child RNG stream;
+* failures that exhaust their retries degrade *honestly*: the answer is
+  computed from the work that completed, the interval widens, and the
+  attached :class:`~repro.parallel.supervise.ExecutionReport` says
+  exactly what happened — never a silent wrong answer, never a spurious
+  crash;
+* repeated pool-level failures degrade the session permanently to
+  inline execution (recording why), and orphaned shared-memory segments
+  left by dead processes are swept.
+
+The container may expose a single CPU; tests that need a real worker
+pool monkeypatch ``os.cpu_count`` (the supervised pool caps worker
+counts at the CPU count).  Fault semantics are identical inline and in
+workers by construction, so the engine-level tests exercise both.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.bootstrap import BootstrapEstimator
+from repro.core.estimators import EstimationTarget
+from repro.core.pipeline import AQPEngine, EngineConfig
+from repro.engine.aggregates import get_aggregate
+from repro.engine.table import Table
+from repro.errors import (
+    DegradedResultWarning,
+    ExecutionError,
+    TaskTimeoutError,
+    WorkerCrashError,
+)
+from repro.faults import FAULTS_ENV, FaultPlan, FaultSpec, resolve_fault_plan
+from repro.parallel.ops import bootstrap_replicates
+from repro.parallel.pool import (
+    START_METHOD_ENV,
+    WorkerPool,
+    resolve_num_workers,
+)
+from repro.parallel.shm import SEGMENT_PREFIX, sweep_orphans
+from repro.parallel.supervise import (
+    TASK_FAILED,
+    RetryPolicy,
+    Supervision,
+    backoff_seconds,
+    run_supervised_inline,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _supervision(plan=None, **policy_kwargs) -> Supervision:
+    defaults = dict(backoff_base_seconds=0.0, backoff_jitter=0.0)
+    defaults.update(policy_kwargs)
+    return Supervision(
+        plan=plan, policy=RetryPolicy(**defaults), allow_partial=True
+    )
+
+
+@pytest.fixture
+def eight_cpus(monkeypatch):
+    """Pretend the machine has 8 cores so real pools can exist."""
+    monkeypatch.setattr(os, "cpu_count", lambda: 8)
+
+
+def leaked_segments() -> list[str]:
+    import glob
+
+    return glob.glob(f"/dev/shm/{SEGMENT_PREFIX}_{os.getpid()}_*")
+
+
+# ---------------------------------------------------------------------------
+# Fault plans
+# ---------------------------------------------------------------------------
+class TestFaultPlan:
+    def test_from_spec_grammar(self):
+        plan = FaultPlan.from_spec(
+            "crash@2, crash@1:*, crash@3!worker, hang@5:0.5, rate:0.05, "
+            "shm, pickle"
+        )
+        kinds = [spec.kind for spec in plan.specs]
+        assert kinds == [
+            "crash", "crash", "crash", "hang", "crash", "shm", "pickle",
+        ]
+        assert plan.specs[0] == FaultSpec(kind="crash", task=2, attempt=0)
+        assert plan.specs[1].attempt is None
+        assert plan.specs[2].worker_only
+        assert plan.specs[3].seconds == 0.5
+        assert plan.specs[4].rate == 0.05
+        assert plan.fails_shm() and plan.fails_pickling()
+
+    def test_from_spec_rejects_garbage(self):
+        with pytest.raises(ValueError, match="unparseable fault token"):
+            FaultPlan.from_spec("explode@3")
+        with pytest.raises(ValueError, match="hang fault needs a duration"):
+            FaultPlan.from_spec("hang@3")
+
+    def test_resolve_fault_plan_env(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        assert resolve_fault_plan(None) is None
+        monkeypatch.setenv(FAULTS_ENV, "crash@1")
+        plan = resolve_fault_plan(None)
+        assert plan is not None and plan.specs[0].task == 1
+        explicit = FaultPlan().with_crash(7)
+        assert resolve_fault_plan(explicit) is explicit
+
+    def test_inline_crash_raises_worker_crash_error(self):
+        plan = FaultPlan().with_crash(3)
+        plan.apply(2, 0)  # wrong task: no fault
+        plan.apply(3, 1)  # wrong attempt: retry has recovered
+        with pytest.raises(WorkerCrashError):
+            plan.apply(3, 0)
+
+    def test_inline_hang_respects_timeout(self):
+        plan = FaultPlan().with_hang(0, seconds=5.0)
+        with pytest.raises(TaskTimeoutError):
+            plan.apply(0, 0, timeout=0.01)
+        short = FaultPlan().with_hang(0, seconds=0.01)
+        started = time.monotonic()
+        short.apply(0, 0, timeout=1.0)  # a straggler, not a failure
+        assert time.monotonic() - started >= 0.01
+
+    def test_rate_faults_are_seeded(self):
+        plan_a = FaultPlan(seed=11).with_crash_rate(0.3)
+        plan_b = FaultPlan(seed=11).with_crash_rate(0.3)
+        hits_a = [plan_a._rate_hits(i, 0.3) for i in range(200)]
+        hits_b = [plan_b._rate_hits(i, 0.3) for i in range(200)]
+        assert hits_a == hits_b
+        assert 0 < sum(hits_a) < 200
+
+    def test_simulated_task_delays(self):
+        plan = FaultPlan().with_crash(1).with_hang(3, seconds=2.0)
+        extra, faulted = plan.simulated_task_delays(
+            6, per_task_seconds=1.0, detection_seconds=5.0
+        )
+        assert faulted == 2
+        assert extra[1] == pytest.approx(6.0)  # detection + re-execution
+        assert extra[3] == pytest.approx(2.0)  # stall
+        assert extra[[0, 2, 4, 5]].sum() == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Supervised inline execution
+# ---------------------------------------------------------------------------
+class TestSupervisedInline:
+    def test_retry_recovers_first_attempt_crash(self):
+        sup = _supervision(FaultPlan().with_crash(1))
+        results = run_supervised_inline(_square, [1, 2, 3], sup)
+        assert results == [1, 4, 9]
+        assert sup.report.worker_crashes == 1
+        assert sup.report.task_retries == 1
+        assert sup.report.recovered and not sup.report.degraded
+
+    def test_permanent_failure_becomes_task_failed(self):
+        sup = _supervision(FaultPlan().with_crash(0, attempt=None))
+        results = run_supervised_inline(_square, [1, 2], sup)
+        assert results[0] is TASK_FAILED
+        assert results[1] == 4
+        assert sup.report.degraded
+        assert "task 0 failed" in sup.report.degradation_reasons[0]
+
+    def test_strict_mode_raises_execution_error(self):
+        sup = Supervision(
+            plan=FaultPlan().with_crash(0, attempt=None),
+            policy=RetryPolicy(backoff_base_seconds=0.0),
+        )
+        with pytest.raises(ExecutionError, match="task 0 failed"):
+            run_supervised_inline(_square, [1, 2], sup)
+
+    def test_deterministic_errors_propagate_immediately(self):
+        def boom(x):
+            raise RuntimeError("deterministic bug")
+
+        sup = _supervision()
+        with pytest.raises(RuntimeError, match="deterministic bug"):
+            run_supervised_inline(boom, [1], sup)
+        assert sup.report.task_retries == 0
+
+    def test_expired_deadline_drops_all_units(self):
+        sup = _supervision()
+        sup.deadline = time.monotonic() - 1.0
+        results = run_supervised_inline(_square, [1, 2, 3], sup)
+        assert results == [TASK_FAILED] * 3
+        assert sup.report.deadline_hit and sup.report.degraded
+
+    def test_backoff_is_deterministic_and_capped(self):
+        policy = RetryPolicy(
+            backoff_base_seconds=0.05,
+            backoff_cap_seconds=0.2,
+            backoff_jitter=0.5,
+        )
+        first = backoff_seconds(policy, 1, 4)
+        assert first == backoff_seconds(policy, 1, 4)
+        assert backoff_seconds(policy, 10, 0) <= 0.2 * 1.5
+        assert first != backoff_seconds(policy, 1, 5)
+
+
+# ---------------------------------------------------------------------------
+# Supervised pools (real worker processes)
+# ---------------------------------------------------------------------------
+class TestSupervisedPool:
+    def test_worker_crash_mid_batch_is_retried(self, eight_cpus):
+        sup = _supervision(
+            FaultPlan().with_crash(1, worker_only=True),
+            task_timeout_seconds=10.0,
+        )
+        with WorkerPool(4) as pool:
+            results = pool.map(_square, list(range(8)), sup)
+        assert results == [x * x for x in range(8)]
+        assert sup.report.worker_crashes == 1
+        assert sup.report.task_retries >= 1
+        assert sup.report.pool_restarts == 1
+        assert sup.report.recovered
+
+    def test_hung_task_times_out_and_retry_succeeds(self, eight_cpus):
+        sup = _supervision(
+            FaultPlan().with_hang(2, seconds=30.0),
+            task_timeout_seconds=0.5,
+        )
+        with WorkerPool(4) as pool:
+            results = pool.map(_square, list(range(6)), sup)
+        assert results == [x * x for x in range(6)]
+        assert sup.report.task_timeouts >= 1
+        assert not sup.report.degraded
+
+    def test_repeated_pool_failures_degrade_to_inline(self, eight_cpus):
+        # Crash task 0 on *every* attempt, but only inside real worker
+        # processes: the pool fails max_pool_failures times, then the
+        # session permanently degrades to inline execution — where the
+        # fault does not fire and every unit completes.
+        sup = _supervision(
+            FaultPlan().with_crash(0, attempt=None, worker_only=True),
+            task_timeout_seconds=1.0,
+            max_pool_failures=2,
+        )
+        with WorkerPool(4) as pool:
+            results = pool.map(_square, list(range(6)), sup)
+            assert results == [x * x for x in range(6)]
+            assert pool.degraded_reason is not None
+            assert not pool.is_parallel
+            assert sup.report.degraded_to_inline
+            assert any("inline" in f for f in sup.report.fallbacks)
+            # The degradation is permanent for the session: later maps
+            # never touch a worker process again.
+            again = pool.map(_square, [7, 8], _supervision())
+            assert again == [49, 64]
+            assert not pool.processes_spawned
+        assert leaked_segments() == []
+
+    def test_injected_pickle_failure_runs_inline(self, eight_cpus):
+        sup = _supervision(FaultPlan().with_pickle_failure())
+        with WorkerPool(4) as pool:
+            results = pool.map(_square, list(range(5)), sup)
+            assert results == [x * x for x in range(5)]
+            assert not pool.processes_spawned
+        assert any("pickling" in f for f in sup.report.fallbacks)
+
+    def test_shm_failure_embeds_arrays_with_identical_results(
+        self, eight_cpus, monkeypatch
+    ):
+        values = np.random.default_rng(3).normal(size=2000)
+        target = EstimationTarget(
+            values=values, aggregate=get_aggregate("AVG")
+        )
+        clean = bootstrap_replicates(target, 48, seed=123)
+        sup = _supervision(FaultPlan().with_shm_failure())
+        with WorkerPool(4) as pool:
+            degraded = bootstrap_replicates(
+                target, 48, seed=123, pool=pool, supervision=sup
+            )
+        np.testing.assert_array_equal(clean, degraded)
+        assert any("shared-memory" in f for f in sup.report.fallbacks)
+        assert leaked_segments() == []
+
+
+# ---------------------------------------------------------------------------
+# Orphaned shared-memory segments
+# ---------------------------------------------------------------------------
+class TestShmSweep:
+    def test_sweep_after_abnormal_process_exit(self):
+        # A process that creates a segment and hard-exits (no cleanup,
+        # resource tracker suppressed — exactly what a SIGKILL leaves
+        # behind).  The janitor identifies the orphan by its embedded
+        # owner pid and unlinks it.
+        child = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "import os\n"
+                "from multiprocessing import resource_tracker, shared_memory\n"
+                "resource_tracker.register = lambda *a, **k: None\n"
+                f"name = '{SEGMENT_PREFIX}_' + str(os.getpid()) + '_9999'\n"
+                "shared_memory.SharedMemory(name=name, create=True, size=64)\n"
+                "print(name, flush=True)\n"
+                "os._exit(1)\n",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        orphan = child.stdout.strip()
+        assert orphan
+        assert os.path.exists(f"/dev/shm/{orphan}")
+        swept = sweep_orphans()
+        assert orphan in swept
+        assert not os.path.exists(f"/dev/shm/{orphan}")
+
+    def test_sweep_spares_live_owners(self):
+        from multiprocessing import shared_memory
+
+        name = f"{SEGMENT_PREFIX}_{os.getpid()}_424242"
+        segment = shared_memory.SharedMemory(name=name, create=True, size=64)
+        try:
+            assert name not in sweep_orphans()
+            assert os.path.exists(f"/dev/shm/{name}")
+        finally:
+            segment.close()
+            segment.unlink()
+
+
+# ---------------------------------------------------------------------------
+# Worker-count resolution (satellite hardening)
+# ---------------------------------------------------------------------------
+class TestWorkerResolution:
+    def test_counts_capped_at_cpu_count(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        assert resolve_num_workers(64) == 4
+        assert resolve_num_workers(3) == 3
+        assert resolve_num_workers(0) == 4
+        monkeypatch.setenv("REPRO_WORKERS", "100")
+        assert resolve_num_workers(None) == 4
+
+    def test_invalid_start_method_rejected_eagerly(self, monkeypatch):
+        monkeypatch.setenv(START_METHOD_ENV, "teleport")
+        with pytest.raises(ValueError) as excinfo:
+            resolve_num_workers(2)
+        message = str(excinfo.value)
+        assert "teleport" in message
+        # The error lists what *is* allowed on this platform.
+        import multiprocessing
+
+        for method in multiprocessing.get_all_start_methods():
+            assert method in message
+
+
+# ---------------------------------------------------------------------------
+# Engine-level degradation: honest answers end to end
+# ---------------------------------------------------------------------------
+def _make_engine(**config_kwargs) -> AQPEngine:
+    config = EngineConfig(
+        retry_backoff_seconds=0.0, run_diagnostics=False, **config_kwargs
+    )
+    engine = AQPEngine(config=config, seed=42)
+    rng = np.random.default_rng(9)
+    table = Table(
+        {"x": rng.normal(100.0, 15.0, 20000)}, name="t"
+    )
+    engine.register_table("t", table)
+    engine.create_sample("t", size=4000, name="s")
+    return engine
+
+
+def _median_query(engine: AQPEngine):
+    return engine.execute("SELECT MEDIAN(x) FROM t", sample_name="s")
+
+
+class TestEngineDegradation:
+    def test_recovered_faults_are_bit_identical_to_clean_run(self):
+        clean = _median_query(_make_engine())
+        plan = FaultPlan().with_crash(0).with_hang(2, seconds=30.0)
+        faulty = _median_query(
+            _make_engine(fault_plan=plan, task_timeout_seconds=0.25)
+        )
+        assert clean.single().interval == faulty.single().interval
+        report = faulty.execution_report
+        assert report.worker_crashes == 1
+        assert report.task_timeouts == 1
+        assert report.task_retries == 2
+        assert report.recovered and not report.degraded
+        assert not faulty.degraded
+
+    def test_partial_replicate_loss_widens_interval_honestly(self):
+        clean = _median_query(_make_engine())
+        plan = FaultPlan().with_crash(0, attempt=None)
+        with pytest.warns(DegradedResultWarning):
+            degraded = _median_query(_make_engine(fault_plan=plan))
+        report = degraded.execution_report
+        assert report.replicates_completed < report.replicates_requested
+        assert degraded.degraded
+        assert report.degradation_reasons
+        # The CI comes from the completed replicates only, inflated by
+        # sqrt(K/K'): strictly wider than a clean interval would be
+        # narrow-silent about the loss.
+        inflation = np.sqrt(
+            report.replicates_requested / report.replicates_completed
+        )
+        assert degraded.single().interval.half_width > 0
+        assert degraded.single().interval.half_width != pytest.approx(
+            clean.single().interval.half_width
+        )
+        assert inflation > 1.0
+
+    def test_total_bootstrap_loss_returns_flagged_point_estimate(self):
+        plan = FaultPlan(specs=(FaultSpec(kind="crash", attempt=None),))
+        with pytest.warns(DegradedResultWarning):
+            result = _median_query(_make_engine(fault_plan=plan))
+        value = result.single()
+        assert value.method == "unreliable"
+        assert value.fell_back
+        assert value.interval is None
+        assert np.isfinite(value.estimate)
+        assert result.execution_report.degraded
+
+    def test_total_bootstrap_loss_falls_back_to_closed_form(self):
+        # AVG is closed-form capable; when its bootstrap (forced via a
+        # UDF-free direct estimator path) is unavailable the engine
+        # substitutes the closed-form interval instead of giving up.
+        engine = _make_engine(
+            fault_plan=FaultPlan(specs=(FaultSpec(kind="crash", attempt=None),))
+        )
+        engine.register_udf("identity", lambda v: v)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedResultWarning)
+            result = engine.execute(
+                "SELECT AVG(identity(x)) FROM t", sample_name="s"
+            )
+        value = result.single()
+        assert value.fell_back
+        assert value.method == "closed_form"
+        assert value.interval is not None
+        assert value.interval.half_width > 0
+
+    def test_query_deadline_degrades_not_crashes(self):
+        with pytest.warns(DegradedResultWarning):
+            result = _median_query(
+                _make_engine(query_deadline_seconds=0.0)
+            )
+        report = result.execution_report
+        assert report.deadline_hit
+        assert result.single().method == "unreliable"
+
+    def test_acceptance_crash_plus_timeout_with_four_workers(
+        self, eight_cpus
+    ):
+        """The PR's acceptance scenario: crash + hang at num_workers=4.
+
+        An injected worker crash and one hung task, both on first
+        attempts, at ``num_workers=4``: the query still returns an
+        answer, the ExecutionReport shows the retries, and because both
+        failures were recovered by retry the result is bit-identical to
+        a clean run.
+        """
+        clean = _median_query(_make_engine())
+        plan = FaultPlan().with_crash(0, worker_only=True).with_hang(
+            1, seconds=30.0
+        )
+        engine = _make_engine(
+            fault_plan=plan,
+            num_workers=4,
+            task_timeout_seconds=1.0,
+        )
+        try:
+            faulty = _median_query(engine)
+        finally:
+            engine.close()
+        report = faulty.execution_report
+        assert report.worker_crashes >= 1
+        assert report.task_timeouts >= 1
+        assert report.task_retries >= 2
+        assert report.pool_restarts >= 1
+        assert not report.degraded
+        assert clean.single().interval == faulty.single().interval
+        assert leaked_segments() == []
+
+
+# ---------------------------------------------------------------------------
+# Cluster simulator: the same schedules price §6-style failures
+# ---------------------------------------------------------------------------
+class TestSimulatorFaults:
+    def _job(self):
+        from repro.cluster.simulator import Job, Stage
+
+        return Job(
+            name="bootstrap",
+            stages=(
+                Stage(name="replicates", total_rows=5e8, total_weight_cells=5e8),
+            ),
+        )
+
+    def test_fault_plan_slows_the_job_deterministically(self):
+        from repro.cluster.config import ClusterConfig
+        from repro.cluster.simulator import ClusterSimulator
+
+        simulator = ClusterSimulator(ClusterConfig())
+        job = self._job()
+        plan = FaultPlan(seed=5).with_crash_rate(0.10)
+        baseline = simulator.simulate(
+            job, rng=np.random.default_rng(1)
+        )
+        faulted = simulator.simulate(
+            job, rng=np.random.default_rng(1), fault_plan=plan
+        )
+        repeat = simulator.simulate(
+            job, rng=np.random.default_rng(1), fault_plan=plan
+        )
+        assert faulted.faulted_tasks > 0
+        assert baseline.faulted_tasks == 0
+        assert faulted.total_seconds > baseline.total_seconds
+        assert faulted.total_seconds == repeat.total_seconds
+
+    def test_speculation_rescues_fault_stragglers(self):
+        from repro.cluster.config import ClusterConfig
+        from repro.cluster.simulator import ClusterSimulator
+
+        simulator = ClusterSimulator(ClusterConfig())
+        job = self._job()
+        plan = FaultPlan(seed=5).with_crash_rate(0.10)
+        unmitigated = simulator.simulate(
+            job, rng=np.random.default_rng(2), fault_plan=plan
+        )
+        mitigated = simulator.simulate(
+            job,
+            rng=np.random.default_rng(2),
+            fault_plan=plan,
+            straggler_mitigation=True,
+        )
+        assert mitigated.total_seconds <= unmitigated.total_seconds

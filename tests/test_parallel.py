@@ -18,6 +18,7 @@ Three contracts are enforced here:
 from __future__ import annotations
 
 import glob
+import os
 
 import numpy as np
 import pytest
@@ -246,9 +247,16 @@ class TestWorkerPool:
     def test_resolve_num_workers_env(self, monkeypatch):
         monkeypatch.delenv("REPRO_WORKERS", raising=False)
         assert resolve_num_workers(None) == 1
+        # Requests are capped at the machine's CPU count: oversubscribing
+        # cores only adds context-switch overhead.
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
         monkeypatch.setenv("REPRO_WORKERS", "3")
         assert resolve_num_workers(None) == 3
         assert resolve_num_workers(2) == 2
+        assert resolve_num_workers(64) == 8
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        monkeypatch.setenv("REPRO_WORKERS", "16")
+        assert resolve_num_workers(None) == 2
         monkeypatch.setenv("REPRO_WORKERS", "banana")
         with pytest.raises(ValueError, match="REPRO_WORKERS"):
             resolve_num_workers(None)
