@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test faults bench bench-baseline
+.PHONY: check lint test faults bench bench-baseline bench-smoke
 
 check: lint test
 
@@ -27,3 +27,10 @@ bench:
 
 bench-baseline:
 	$(PYTHON) benchmarks/record_bench.py
+
+# Seconds-long CI canary: shrunken bench workloads recorded to
+# BENCH_smoke.json plus one traced query exported as chrome://tracing
+# JSON; both are uploaded as build artifacts.
+bench-smoke:
+	$(PYTHON) benchmarks/record_bench.py --smoke \
+		--out BENCH_smoke.json --trace-sample trace_sample.json

@@ -10,6 +10,15 @@ Usage::
 
     PYTHONPATH=src python benchmarks/record_bench.py            # write baseline
     PYTHONPATH=src python benchmarks/record_bench.py --compare  # diff vs baseline
+    PYTHONPATH=src python benchmarks/record_bench.py --smoke \\
+        --out BENCH_smoke.json --trace-sample trace_sample.json
+
+``--smoke`` shrinks every workload so the whole recording finishes in
+seconds — a CI-friendly canary (``make bench-smoke``) whose JSON is
+uploaded as a build artifact rather than diffed against the committed
+baseline.  ``--trace-sample FILE`` additionally runs one traced engine
+query and exports its span tree as ``chrome://tracing`` JSON, so every
+CI run leaves an inspectable query timeline behind.
 
 Workloads are fixed-seed, so run-to-run variation is scheduling noise,
 not statistical noise.  ``REPRO_WORKERS`` applies as usual; the
@@ -47,54 +56,63 @@ REGRESSION_FACTOR = 1.25
 
 ROWS = 200_000
 
+#: --smoke divides sizes/iteration counts by this factor.
+SMOKE_FACTOR = 10
+
 
 def _sum_b(table: Table) -> float:
     return float(table.column("b").sum())
 
 
-def _benches():
+def _benches(smoke: bool = False):
+    scale = SMOKE_FACTOR if smoke else 1
+    rows = ROWS // scale
     rng = np.random.default_rng(20140622)
     target = EstimationTarget(
-        values=rng.lognormal(1.0, 0.6, ROWS),
+        values=rng.lognormal(1.0, 0.6, rows),
         aggregate=get_aggregate("AVG"),
-        mask=rng.random(ROWS) < 0.8,
-        dataset_rows=5 * ROWS,
+        mask=rng.random(rows) < 0.8,
+        dataset_rows=5 * rows,
     )
     table = Table(
-        {"a": rng.lognormal(1.0, 0.5, ROWS), "b": rng.normal(50, 8, ROWS)},
+        {"a": rng.lognormal(1.0, 0.5, rows), "b": rng.normal(50, 8, rows)},
         name="t",
     )
     query = DatasetQuery(
-        values=rng.lognormal(1.0, 0.6, 300_000), aggregate=get_aggregate("AVG")
+        values=rng.lognormal(1.0, 0.6, 300_000 // scale),
+        aggregate=get_aggregate("AVG"),
     )
 
     def bootstrap_fast_path():
-        estimator = BootstrapEstimator(400, np.random.default_rng(17))
+        estimator = BootstrapEstimator(400 // scale, np.random.default_rng(17))
         return estimator.resample_distribution(target)
 
     def bootstrap_black_box():
         return bootstrap_table_statistic(
-            table.head(20_000), _sum_b, 100, np.random.default_rng(19)
+            table.head(20_000 // scale),
+            _sum_b,
+            100 // scale,
+            np.random.default_rng(19),
         )
 
     def diagnostic():
         return diagnose(
             target,
-            BootstrapEstimator(100, np.random.default_rng(23)),
+            BootstrapEstimator(100 // scale, np.random.default_rng(23)),
             0.95,
-            DiagnosticConfig(num_subsamples=60, num_sizes=3),
+            DiagnosticConfig(num_subsamples=60 // scale, num_sizes=3),
             np.random.default_rng(23),
         )
 
     def ground_truth():
         return sampling_distribution(
-            query, 20_000, 200, np.random.default_rng(29)
+            query, 20_000 // scale, 200 // scale, np.random.default_rng(29)
         )
 
     def engine_end_to_end():
         engine = AQPEngine(EngineConfig(), seed=31)
         engine.register_table("t", table)
-        engine.create_sample("t", size=50_000)
+        engine.create_sample("t", size=50_000 // scale)
         with engine:
             for _ in range(5):
                 engine.execute("SELECT AVG(a) FROM t WHERE b > 45")
@@ -120,10 +138,29 @@ def machine_info() -> dict:
     }
 
 
-def run_benches(repeats: int = 3) -> dict[str, float]:
+def write_trace_sample(path: Path) -> Path:
+    """Run one traced engine query and export its chrome://tracing JSON."""
+    from repro.obs import write_chrome_trace
+
+    rng = np.random.default_rng(43)
+    engine = AQPEngine(EngineConfig(), seed=43)
+    engine.register_table(
+        "t",
+        Table(
+            {"a": rng.lognormal(1.0, 0.5, 40_000), "b": rng.normal(50, 8, 40_000)},
+            name="t",
+        ),
+    )
+    engine.create_sample("t", size=10_000)
+    with engine:
+        result = engine.execute("SELECT MEDIAN(a) FROM t WHERE b > 45")
+    return write_chrome_trace(result.trace, path)
+
+
+def run_benches(repeats: int = 3, smoke: bool = False) -> dict[str, float]:
     """Best-of-``repeats`` wall-clock seconds per bench."""
     results: dict[str, float] = {}
-    for name, fn in _benches().items():
+    for name, fn in _benches(smoke).items():
         best = float("inf")
         for _ in range(repeats):
             start = time.perf_counter()
@@ -142,10 +179,37 @@ def main() -> int:
         help="compare against the committed baseline instead of rewriting it",
     )
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrink workloads ~10x for a seconds-long CI canary run",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="output JSON path (default: BENCH_baseline.json at repo root)",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="also run one traced query and write its chrome://tracing JSON",
+    )
     args = parser.parse_args()
+    out_path = args.out or BASELINE_PATH
+    if args.smoke and args.out is None:
+        parser.error("--smoke requires --out (refusing to overwrite baseline)")
 
-    print(f"recording benches (best of {args.repeats}):")
-    timings = run_benches(args.repeats)
+    mode = "smoke" if args.smoke else "full"
+    print(f"recording benches ({mode}, best of {args.repeats}):")
+    timings = run_benches(args.repeats, smoke=args.smoke)
+
+    if args.trace_sample is not None:
+        path = write_trace_sample(args.trace_sample)
+        print(f"wrote sample trace to {path} (load in chrome://tracing)")
 
     if args.compare:
         if not BASELINE_PATH.exists():
@@ -172,12 +236,13 @@ def main() -> int:
 
     payload = {
         "schema": 1,
+        "mode": mode,
         "machine": machine_info(),
         "repeats": args.repeats,
         "benches": timings,
     }
-    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"\nwrote {BASELINE_PATH}")
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {out_path}")
     return 0
 
 

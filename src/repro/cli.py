@@ -11,11 +11,22 @@ a uniform sample, runs the query through the full AQP pipeline —
 approximate answer, error bars, diagnostic, fallback — and prints the
 result.  ``--exact`` bypasses approximation.  Without a query argument,
 starts a tiny REPL.
+
+Observability surfaces:
+
+* ``EXPLAIN ANALYZE <query>`` — run the query, then print its span tree
+  (per-stage wall time, % of total, per-worker task timelines).
+* ``--trace-out FILE`` — export the last query's trace as Chrome
+  ``chrome://tracing`` / Perfetto JSON.
+* ``\\stats`` in the REPL — dump the process-wide metrics registry.
+* ``--log-level`` / ``REPRO_LOG_LEVEL`` — stdlib logging level for the
+  ``repro`` package (default WARNING).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -23,6 +34,16 @@ from repro.core.pipeline import AQPEngine, AQPResult, EngineConfig
 from repro.engine.io import load_csv
 from repro.errors import ReproError
 from repro.faults import FaultPlan
+from repro.obs import (
+    METRICS,
+    configure_logging,
+    format_duration,
+    render_span_tree,
+    write_chrome_trace,
+)
+
+#: Case-insensitive prefix that turns a query into a traced explanation.
+EXPLAIN_ANALYZE_PREFIX = "EXPLAIN ANALYZE"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -98,6 +119,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="whole-query deadline; unfinished work is dropped and the "
         "answer degrades honestly",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write the query's trace as chrome://tracing JSON "
+        "(in the REPL, each query overwrites the file)",
+    )
+    parser.add_argument(
+        "--no-tracing",
+        action="store_true",
+        help="disable query-lifecycle tracing (answers are bit-identical "
+        "either way)",
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        metavar="LEVEL",
+        help="logging level for the repro package (DEBUG, INFO, WARNING, "
+        "ERROR; default: REPRO_LOG_LEVEL or WARNING)",
+    )
     return parser
 
 
@@ -116,6 +157,7 @@ def make_engine(args: argparse.Namespace) -> AQPEngine:
             num_workers=getattr(args, "workers", None),
             fault_plan=fault_plan,
             query_deadline_seconds=getattr(args, "deadline", None),
+            tracing=not getattr(args, "no_tracing", False),
         ),
         seed=args.seed,
     )
@@ -149,7 +191,7 @@ def format_result(result: AQPResult) -> str:
             lines.append(prefix + body)
     lines.append(
         f"-- sample {result.sample.name} ({result.sample.rows:,} rows), "
-        f"{result.elapsed_seconds * 1e3:.0f} ms"
+        f"{format_duration(result.elapsed_seconds)}"
     )
     report = result.execution_report
     if report is not None and (
@@ -162,7 +204,22 @@ def format_result(result: AQPResult) -> str:
     return "\n".join(lines)
 
 
+def strip_explain_analyze(sql: str) -> tuple[str, bool]:
+    """Split an optional ``EXPLAIN ANALYZE`` prefix off ``sql``."""
+    stripped = sql.lstrip()
+    if stripped[: len(EXPLAIN_ANALYZE_PREFIX)].upper() == (
+        EXPLAIN_ANALYZE_PREFIX
+    ):
+        remainder = stripped[len(EXPLAIN_ANALYZE_PREFIX):]
+        if remainder[:1].isspace() or remainder == "":
+            return remainder.strip(), True
+    return sql, False
+
+
 def run_query(engine: AQPEngine, sql: str, args: argparse.Namespace) -> str:
+    sql, explain = strip_explain_analyze(sql)
+    if explain and not sql:
+        raise ReproError("EXPLAIN ANALYZE requires a query")
     if args.exact:
         table = engine.execute_exact(sql)
         header = "  ".join(table.column_names)
@@ -176,28 +233,56 @@ def run_query(engine: AQPEngine, sql: str, args: argparse.Namespace) -> str:
         error_bound=args.error_bound,
         run_diagnostics=not args.no_diagnostics,
     )
-    return format_result(result)
+    out = format_result(result)
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out and result.trace is not None:
+        path = write_chrome_trace(result.trace, trace_out)
+        out += f"\n-- trace written to {path} (load in chrome://tracing)"
+    if explain:
+        if result.trace is None:
+            out += "\n-- no trace: tracing is disabled (--no-tracing)"
+        else:
+            out += "\n\n" + render_span_tree(result.trace)
+    return out
+
+
+def format_stats() -> str:
+    """The REPL's ``\\stats``: the metrics registry as indented JSON."""
+    return json.dumps(METRICS.snapshot(), indent=2, sort_keys=True)
 
 
 def repl(engine: AQPEngine, args: argparse.Namespace) -> int:
-    print("repro> approximate SQL shell; empty line or Ctrl-D to exit")
+    print(
+        "repro> approximate SQL shell; empty line or Ctrl-D to exit "
+        "(\\stats for metrics, EXPLAIN ANALYZE <query> for a trace)"
+    )
     while True:
         try:
             line = input("repro> ").strip()
         except EOFError:
             print()
             return 0
+        except KeyboardInterrupt:
+            # Ctrl-C abandons the current input line, not the shell.
+            print()
+            continue
         if not line:
             return 0
+        if line == "\\stats":
+            print(format_stats())
+            continue
         try:
             print(run_query(engine, line, args))
         except ReproError as error:
             print(f"error: {error}", file=sys.stderr)
+        except KeyboardInterrupt:
+            print("query interrupted", file=sys.stderr)
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    configure_logging(args.log_level)
     try:
         engine = make_engine(args)
         if args.query is None:

@@ -34,6 +34,7 @@ from repro.core.ci import ConfidenceInterval, interval_from_distribution
 from repro.core.estimators import ErrorEstimator, EstimationTarget
 from repro.engine.table import Table
 from repro.errors import EstimationError
+from repro.obs.trace import trace_counter, trace_span
 from repro.parallel.ops import (
     DEFAULT_REPLICATE_CHUNK,
     bootstrap_replicates,
@@ -125,26 +126,28 @@ class BootstrapEstimator(ErrorEstimator):
         confidence: float = 0.95,
         rng: np.random.Generator | None = None,
     ) -> ConfidenceInterval:
-        center = target.point_estimate()
-        distribution = self.resample_distribution(target, rng)
-        interval = interval_from_distribution(
-            distribution, center, confidence, self.name
-        )
-        if len(distribution) < self.num_resamples:
-            # Fewer replicates survived than requested: the quantile
-            # estimate itself is noisier, so widen by the Monte-Carlo
-            # inflation factor sqrt(K/K') — honest error bars from
-            # partial work, never a silently optimistic interval.
-            inflation = float(
-                np.sqrt(self.num_resamples / len(distribution))
+        with trace_span("bootstrap.estimate", resamples=self.num_resamples):
+            center = target.point_estimate()
+            distribution = self.resample_distribution(target, rng)
+            trace_counter("replicates", len(distribution))
+            interval = interval_from_distribution(
+                distribution, center, confidence, self.name
             )
-            interval = ConfidenceInterval(
-                estimate=interval.estimate,
-                half_width=interval.half_width * inflation,
-                confidence=interval.confidence,
-                method=interval.method,
-            )
-        return interval
+            if len(distribution) < self.num_resamples:
+                # Fewer replicates survived than requested: the quantile
+                # estimate itself is noisier, so widen by the Monte-Carlo
+                # inflation factor sqrt(K/K') — honest error bars from
+                # partial work, never a silently optimistic interval.
+                inflation = float(
+                    np.sqrt(self.num_resamples / len(distribution))
+                )
+                interval = ConfidenceInterval(
+                    estimate=interval.estimate,
+                    half_width=interval.half_width * inflation,
+                    confidence=interval.confidence,
+                    method=interval.method,
+                )
+            return interval
 
 
 def bootstrap_table_statistic(

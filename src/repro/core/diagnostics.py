@@ -36,6 +36,8 @@ import numpy as np
 from repro.core.ci import symmetric_half_width
 from repro.core.estimators import ErrorEstimator, EstimationTarget
 from repro.errors import DiagnosticError
+from repro.obs.metrics import METRICS
+from repro.obs.trace import trace_span
 from repro.parallel.ops import diagnostic_evaluations
 from repro.parallel.pool import WorkerPool, pool_scope
 from repro.parallel.rng import seed_from_rng
@@ -188,10 +190,21 @@ def diagnose(
     """
     config = config or DiagnosticConfig()
     rng = rng or np.random.default_rng()
-    with pool_scope(pool) as scoped:
-        return _diagnose(
-            target, estimator, confidence, config, rng, scoped, supervision
-        )
+    with trace_span("diagnostic", estimator=estimator.name) as span:
+        with pool_scope(pool) as scoped:
+            result = _diagnose(
+                target, estimator, confidence, config, rng, scoped, supervision
+            )
+    if span is not None:
+        span.tags["verdict"] = "passed" if result.passed else "failed"
+        if result.reason:
+            span.tags["reason"] = result.reason
+        span.add_counter("subqueries", result.num_subqueries)
+    METRICS.counter(
+        "diagnostic.verdicts."
+        + ("passed" if result.passed else "failed")
+    ).inc()
+    return result
 
 
 def _diagnose(
@@ -219,16 +232,17 @@ def _diagnose(
     reports: list[SubsampleSizeReport] = []
     num_subqueries = 0
     for size in sizes:
-        blocks = subsample_index_blocks(num_rows, size, p, rng)
-        point_estimates, estimated_half_widths = diagnostic_evaluations(
-            target,
-            estimator,
-            confidence,
-            blocks,
-            seed_from_rng(rng),
-            pool=pool,
-            supervision=supervision,
-        )
+        with trace_span("diagnostic.size", size=size, subsamples=p):
+            blocks = subsample_index_blocks(num_rows, size, p, rng)
+            point_estimates, estimated_half_widths = diagnostic_evaluations(
+                target,
+                estimator,
+                confidence,
+                blocks,
+                seed_from_rng(rng),
+                pool=pool,
+                supervision=supervision,
+            )
         if len(point_estimates) == 0:
             return DiagnosticResult(
                 passed=False,

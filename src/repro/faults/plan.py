@@ -38,6 +38,7 @@ for the spec grammar).
 
 from __future__ import annotations
 
+import logging
 import os
 import time
 from dataclasses import dataclass, field, replace
@@ -45,6 +46,8 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.errors import TaskTimeoutError, WorkerCrashError
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "CRASH_EXIT_CODE",
@@ -269,12 +272,24 @@ class FaultPlan:
             if not self._matches(spec, index, attempt):
                 continue
             if spec.kind == "crash":
+                logger.warning(
+                    "injected crash firing on task %d (attempt %d, %s)",
+                    index,
+                    attempt,
+                    "worker" if self.in_worker else "inline",
+                )
                 if self.in_worker:
                     os._exit(CRASH_EXIT_CODE)
                 raise WorkerCrashError(
                     f"injected worker crash on task {index} "
                     f"(attempt {attempt})"
                 )
+            logger.warning(
+                "injected hang of %gs firing on task %d (attempt %d)",
+                spec.seconds,
+                index,
+                attempt,
+            )
             if self.in_worker or timeout is None or spec.seconds <= timeout:
                 time.sleep(spec.seconds)
             else:

@@ -1,0 +1,69 @@
+"""Observability: query-lifecycle tracing, metrics, logging, export.
+
+The paper's thesis is *knowing when you're wrong*; this package is the
+operational half of that promise — knowing where the time went and what
+the execution layer actually did.  It provides:
+
+* :mod:`repro.obs.trace` — a zero-dependency span tracer.  Each engine
+  query builds a :class:`Trace` tree (parse → analyze → sampling →
+  bootstrap fan-out → diagnostics → fallback, with per-task worker
+  timelines merged across process boundaries).  Default-on, near-zero
+  overhead, provably non-perturbing: traced and untraced runs are
+  bit-identical.
+* :mod:`repro.obs.metrics` — a process-wide registry of counters,
+  gauges, and fixed-bucket histograms, snapshotable as JSON (the REPL's
+  ``\\stats``).
+* :mod:`repro.obs.export` — the ``EXPLAIN ANALYZE`` span-tree renderer
+  and the ``chrome://tracing`` JSON exporter (``--trace-out``).
+* :mod:`repro.obs.logs` — stdlib-logging wiring (``REPRO_LOG_LEVEL`` /
+  ``--log-level``).
+"""
+
+from repro.obs.export import (
+    chrome_trace_events,
+    format_duration,
+    render_span_tree,
+    write_chrome_trace,
+)
+from repro.obs.logs import LOG_LEVEL_ENV, configure_logging
+from repro.obs.metrics import (
+    METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    Span,
+    Trace,
+    activate_trace,
+    current_trace,
+    deactivate_trace,
+    suppress_tracing,
+    trace_counter,
+    trace_event,
+    trace_span,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LOG_LEVEL_ENV",
+    "METRICS",
+    "MetricsRegistry",
+    "Span",
+    "Trace",
+    "activate_trace",
+    "chrome_trace_events",
+    "configure_logging",
+    "current_trace",
+    "deactivate_trace",
+    "format_duration",
+    "render_span_tree",
+    "suppress_tracing",
+    "trace_counter",
+    "trace_event",
+    "trace_span",
+    "write_chrome_trace",
+]

@@ -1,0 +1,225 @@
+"""Trace rendering and export: EXPLAIN ANALYZE trees and Chrome JSON.
+
+Two consumers of a :class:`~repro.obs.trace.Trace`:
+
+* :func:`render_span_tree` — the ``EXPLAIN ANALYZE`` surface: an ASCII
+  tree with per-stage wall time and percentage of the query total.
+  Large sibling fan-outs (per-task worker timelines, per-group
+  estimates) are aggregated into one summary line per span name so a
+  4-worker bootstrap reads as a sentence, not 50 lines.
+* :func:`chrome_trace_events` / :func:`write_chrome_trace` — the
+  ``chrome://tracing`` / Perfetto JSON array format.  Worker-executed
+  spans keep their real pid, so each worker process renders as its own
+  timeline row — the §6 straggler view, but for one in-process query.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.trace import Span, Trace
+
+__all__ = [
+    "SIBLING_AGGREGATION_THRESHOLD",
+    "chrome_trace_events",
+    "format_duration",
+    "render_span_tree",
+    "write_chrome_trace",
+]
+
+#: More same-named siblings than this collapse into one summary line.
+SIBLING_AGGREGATION_THRESHOLD = 6
+
+
+def format_duration(seconds: float) -> str:
+    """Adaptive-precision human duration: 740 µs, 9.3 ms, 1.24 s."""
+    if seconds < 0:
+        return f"-{format_duration(-seconds)}"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f} µs"
+    if seconds < 0.1:
+        return f"{seconds * 1e3:.2f} ms"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.0f} ms"
+    if seconds < 60.0:
+        return f"{seconds:.2f} s"
+    return f"{seconds / 60.0:.1f} min"
+
+
+def _format_tags(span: Span) -> str:
+    parts = []
+    for key, value in span.tags.items():
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.4g}")
+        else:
+            parts.append(f"{key}={value}")
+    for key, value in span.counters.items():
+        parts.append(f"{key}={value:g}")
+    return f"  [{', '.join(parts)}]" if parts else ""
+
+
+def _percent(span_seconds: float, total_seconds: float) -> str:
+    if total_seconds <= 0:
+        return "  --%"
+    return f"{100.0 * span_seconds / total_seconds:5.1f}%"
+
+
+def _render_line(
+    lines: list[str], prefix: str, connector: str, body: str
+) -> None:
+    lines.append(f"{prefix}{connector}{body}")
+
+
+def _render_children(
+    lines: list[str],
+    span: Span,
+    prefix: str,
+    total_seconds: float,
+) -> None:
+    # Group runs of same-named siblings; big groups collapse.
+    groups: list[tuple[str, list[Span]]] = []
+    for child in span.children:
+        if groups and groups[-1][0] == child.name:
+            groups[-1][1].append(child)
+        else:
+            groups.append((child.name, [child]))
+
+    rendered: list[tuple[str, list[Span] | Span]] = []
+    for name, members in groups:
+        if len(members) > SIBLING_AGGREGATION_THRESHOLD:
+            rendered.append((name, members))
+        else:
+            rendered.extend((name, member) for member in members)
+
+    for position, (name, item) in enumerate(rendered):
+        last = position == len(rendered) - 1
+        connector = "└─ " if last else "├─ "
+        child_prefix = prefix + ("   " if last else "│  ")
+        if isinstance(item, list):
+            durations = [member.duration_seconds for member in item]
+            total = sum(durations)
+            pids = {member.pid for member in item if member.pid is not None}
+            retries = sum(
+                1 for member in item if member.tags.get("attempt", 0)
+            )
+            failures = sum(
+                1
+                for member in item
+                if member.tags.get("outcome", "ok") != "ok"
+            )
+            detail = (
+                f"{name} ×{len(item)}  {format_duration(total)} "
+                f"{_percent(total, total_seconds)}  "
+                f"(mean {format_duration(total / len(item))}, "
+                f"max {format_duration(max(durations))}"
+            )
+            if len(pids) > 0:
+                detail += f", {len(pids)} worker(s)"
+            if retries:
+                detail += f", {retries} retried"
+            if failures:
+                detail += f", {failures} failed"
+            detail += ")"
+            _render_line(lines, prefix, connector, detail)
+        else:
+            span_item = item
+            body = (
+                f"{span_item.name}  "
+                f"{format_duration(span_item.duration_seconds)} "
+                f"{_percent(span_item.duration_seconds, total_seconds)}"
+                f"{_format_tags(span_item)}"
+            )
+            _render_line(lines, prefix, connector, body)
+            _render_children(lines, span_item, child_prefix, total_seconds)
+
+
+def render_span_tree(trace: Trace) -> str:
+    """The EXPLAIN ANALYZE view: per-stage wall time and % of total."""
+    root = trace.root
+    total = trace.total_seconds
+    lines = [
+        f"{root.name}  {format_duration(total)} total{_format_tags(root)}"
+    ]
+    _render_children(lines, root, "", total)
+    if trace.dropped_spans:
+        lines.append(
+            f"({trace.dropped_spans} span(s) dropped beyond the "
+            f"{trace.max_spans}-span cap)"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace export
+# ---------------------------------------------------------------------------
+def chrome_trace_events(trace: Trace) -> list[dict[str, Any]]:
+    """The trace as Chrome ``traceEvents`` (complete + instant events).
+
+    Timestamps are microseconds relative to the trace root; each span
+    carries the pid it executed in, so ``chrome://tracing`` lays worker
+    timelines out as separate process tracks.
+    """
+    origin = trace.root.start
+    root_pid = trace.root.pid
+    events: list[dict[str, Any]] = []
+    pids_seen: set[int] = set()
+
+    for span in trace.root.walk():
+        pid = span.pid if span.pid is not None else root_pid
+        pids_seen.add(pid)
+        start_us = (span.start - origin) * 1e6
+        duration_us = span.duration_seconds * 1e6
+        args = {key: _jsonable(value) for key, value in span.tags.items()}
+        args.update(span.counters)
+        event: dict[str, Any] = {
+            "name": span.name,
+            "cat": "repro",
+            "pid": pid,
+            "tid": pid,
+            "ts": round(start_us, 3),
+            "args": args,
+        }
+        if duration_us <= 0 and span.end is not None and not span.children:
+            event["ph"] = "i"
+            event["s"] = "t"
+        else:
+            event["ph"] = "X"
+            event["dur"] = round(duration_us, 3)
+        events.append(event)
+
+    for pid in sorted(pids_seen):
+        label = "engine" if pid == root_pid else f"worker-{pid}"
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": pid,
+                "args": {"name": label},
+            }
+        )
+    return events
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def write_chrome_trace(trace: Trace, path: str | Path) -> Path:
+    """Write ``trace`` as a ``chrome://tracing``-loadable JSON file."""
+    path = Path(path)
+    payload = {
+        "traceEvents": chrome_trace_events(trace),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.obs",
+            "num_spans": trace.num_spans,
+            "dropped_spans": trace.dropped_spans,
+        },
+    }
+    path.write_text(json.dumps(payload, indent=1) + "\n")
+    return path

@@ -1,0 +1,72 @@
+"""Logging setup for the ``repro`` package.
+
+Every module takes the standard ``logging.getLogger(__name__)`` route;
+this module only decides *where those records go*.  Nothing is
+configured at import time — as a library, ``repro`` stays silent unless
+the application configures logging (the stdlib contract).  The CLI and
+tools call :func:`configure_logging`, which honours, in order:
+
+1. an explicit ``level`` argument (the ``--log-level`` CLI flag);
+2. the ``REPRO_LOG_LEVEL`` environment variable;
+3. the default, WARNING — so injected faults, retries, degradations,
+   and swept shared-memory segments are visible by default while the
+   per-span DEBUG firehose stays opt-in.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from typing import Optional
+
+__all__ = ["LOG_LEVEL_ENV", "ROOT_LOGGER_NAME", "configure_logging"]
+
+#: Environment variable naming the default log level (e.g. ``DEBUG``,
+#: ``INFO``, ``WARNING``, ``ERROR``, or a numeric level).
+LOG_LEVEL_ENV = "REPRO_LOG_LEVEL"
+
+#: The package's root logger; every module logger is a child of it.
+ROOT_LOGGER_NAME = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+#: Marker attribute set on the handler we install, so reconfiguration
+#: replaces our handler instead of stacking duplicates.
+_HANDLER_MARKER = "_repro_obs_handler"
+
+
+def _resolve_level(level: Optional[str | int]) -> int:
+    if level is None:
+        level = os.environ.get(LOG_LEVEL_ENV, "").strip() or "WARNING"
+    if isinstance(level, int):
+        return level
+    text = str(level).strip().upper()
+    if text.isdigit():
+        return int(text)
+    resolved = logging.getLevelName(text)
+    if not isinstance(resolved, int):
+        raise ValueError(
+            f"unknown log level {level!r}; use DEBUG, INFO, WARNING, "
+            "ERROR, CRITICAL, or a number"
+        )
+    return resolved
+
+
+def configure_logging(level: Optional[str | int] = None) -> logging.Logger:
+    """Attach a stream handler to the ``repro`` logger at ``level``.
+
+    Idempotent: calling again replaces the previously installed handler
+    (and its level) rather than duplicating output.  Returns the
+    package root logger.
+    """
+    resolved = _resolve_level(level)
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_MARKER, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    setattr(handler, _HANDLER_MARKER, True)
+    logger.addHandler(handler)
+    logger.setLevel(resolved)
+    return logger

@@ -1,0 +1,223 @@
+"""A process-wide metrics registry: counters, gauges, histograms.
+
+Where a :class:`~repro.obs.trace.Trace` explains *one* query, the
+metrics registry accumulates across the process lifetime — the surface
+a production deployment would scrape.  Three instrument kinds, all
+deliberately boring:
+
+* :class:`Counter` — monotonically increasing totals
+  (``plan_cache.hit``, ``bootstrap.replicates``, ``pool.retries``,
+  ``degraded_results``).
+* :class:`Gauge` — last-written values (``pool.workers``).
+* :class:`Histogram` — fixed-bucket latency/size distributions
+  (``query.seconds``); fixed bucket edges keep observation O(#buckets)
+  with zero allocation and make snapshots mergeable across processes.
+
+Everything is guarded by one lock per instrument operation — contention
+is negligible at the rates the engine emits (tens of updates per query)
+and correctness under the worker pool's threads is not worth racing
+for.  ``snapshot()`` returns plain JSON-serialisable dicts; ``reset()``
+exists for tests and for the REPL's ``\\stats`` baseline.
+
+The module-level :data:`METRICS` registry is the default sink used by
+the engine and the execution layer; code that wants isolation (tests,
+embedded uses) constructs its own :class:`MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from typing import Any, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "METRICS",
+    "MetricsRegistry",
+]
+
+#: Default histogram bucket upper bounds, in seconds: 1 ms … 60 s on a
+#: roughly ×2.5 ladder — wide enough for both sub-millisecond cached
+#: plans and multi-second exact fallbacks.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self._value}
+
+
+class Gauge:
+    """A last-written value."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, amount: float) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "gauge", "value": self._value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max summary statistics.
+
+    ``buckets`` are upper bounds; observations above the last bound land
+    in an implicit overflow bucket.  Bucket counts are cumulative in the
+    snapshot (Prometheus-style ``le`` semantics) so consumers can
+    compute quantile estimates without the raw stream.
+    """
+
+    __slots__ = ("name", "buckets", "_counts", "_count", "_sum",
+                 "_min", "_max", "_lock")
+
+    def __init__(
+        self, name: str, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+    ):
+        edges = tuple(sorted(float(b) for b in buckets))
+        if not edges:
+            raise ValueError(f"histogram {name!r} needs at least one bucket")
+        if len(set(edges)) != len(edges):
+            raise ValueError(f"histogram {name!r} buckets must be distinct")
+        self.name = name
+        self.buckets = edges
+        self._counts = [0] * (len(edges) + 1)  # +1 overflow
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = bisect_right(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def snapshot(self) -> dict[str, Any]:
+        cumulative = []
+        running = 0
+        for raw in self._counts[:-1]:
+            running += raw
+            cumulative.append(running)
+        return {
+            "type": "histogram",
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min if self._count else None,
+            "max": self._max if self._count else None,
+            "mean": (self._sum / self._count) if self._count else None,
+            "buckets": {
+                f"le_{bound:g}": cumulative[i]
+                for i, bound in enumerate(self.buckets)
+            },
+            "overflow": self._counts[-1],
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, snapshotable as JSON."""
+
+    def __init__(self):
+        self._instruments: dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, kind, *args):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._instruments.get(name)
+                if instrument is None:
+                    instrument = kind(name, *args)
+                    self._instruments[name] = instrument
+        if not isinstance(instrument, kind):
+            raise TypeError(
+                f"metric {name!r} is a {type(instrument).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        if buckets is None:
+            return self._get_or_create(name, Histogram)
+        return self._get_or_create(name, Histogram, buckets)
+
+    def snapshot(self) -> dict[str, Any]:
+        """All instruments as one JSON-serialisable dict, sorted by name."""
+        with self._lock:
+            items = sorted(self._instruments.items())
+        return {name: instrument.snapshot() for name, instrument in items}
+
+    def reset(self) -> None:
+        """Drop every instrument (tests; the REPL's stats baseline)."""
+        with self._lock:
+            self._instruments.clear()
+
+
+#: The process-wide default registry the engine reports into.
+METRICS = MetricsRegistry()

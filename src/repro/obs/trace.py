@@ -1,0 +1,343 @@
+"""A zero-dependency span tracer for query-lifecycle accounting.
+
+The paper's performance study (§6, Figs. 7–9) decomposes query response
+time into execution, error-estimation, and diagnostics phases and
+attributes tail latency to stragglers and retries.  This module is the
+in-process equivalent: every :class:`~repro.core.pipeline.AQPEngine`
+query builds one :class:`Trace` — a tree of :class:`Span` nodes with
+monotonic timestamps, tags, and counters — covering parse → analyze →
+sample selection → estimation → bootstrap fan-out → diagnostics →
+fallback, down to per-task worker timelines (queue wait, execution,
+retries, crash/hang classifications) merged across process boundaries.
+
+Design constraints, in priority order:
+
+1. **Never perturb answers.**  Tracing touches no RNG stream and never
+   changes a code path's inputs; traced and untraced runs are
+   bit-identical (enforced by ``tests/test_tracing.py``).
+2. **Near-zero overhead, default-on.**  The disabled path is one
+   :class:`contextvars.ContextVar` read returning a shared null context
+   manager; the enabled path is one ``perf_counter`` call plus a list
+   append per span.  ``benchmarks/bench_tracing_overhead.py`` keeps
+   this honest (<2 % on the Conviva query mix).
+3. **Bounded memory.**  A trace drops spans beyond ``max_spans``
+   (counting the drops), so pathological queries degrade the *trace*,
+   never the process.
+
+Timestamps come from :func:`time.perf_counter`, which on every platform
+we support reads a system-wide monotonic clock, so spans recorded
+inside worker processes (:mod:`repro.parallel.pool` ships back per-task
+``(pid, start, end)`` triples) land on the same axis as the parent's.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextvars import ContextVar
+from typing import Any, Iterator, Optional
+
+__all__ = [
+    "DEFAULT_MAX_SPANS",
+    "Span",
+    "Trace",
+    "activate_trace",
+    "current_trace",
+    "deactivate_trace",
+    "suppress_tracing",
+    "trace_counter",
+    "trace_event",
+    "trace_span",
+]
+
+#: Spans kept per trace before new ones are dropped (and counted).
+DEFAULT_MAX_SPANS = 20_000
+
+
+class Span:
+    """One timed node of a trace tree.
+
+    Attributes:
+        name: stage label (e.g. ``"analyze"``, ``"bootstrap.replicates"``,
+            ``"task"``).
+        start / end: :func:`time.perf_counter` seconds; ``end`` is
+            ``None`` while the span is open.
+        tags: arbitrary key → value annotations (sample name, chunk
+            index, failure classification, ...).
+        counters: numeric accumulators scoped to this span (replicate
+            counts, rows scanned, ...).
+        children: nested spans, in start order.
+        pid: process that executed the span (worker attribution).
+    """
+
+    __slots__ = ("name", "start", "end", "tags", "counters", "children", "pid")
+
+    def __init__(self, name: str, start: float, pid: int | None = None):
+        self.name = name
+        self.start = start
+        self.end: float | None = None
+        self.tags: dict[str, Any] = {}
+        self.counters: dict[str, float] = {}
+        self.children: list[Span] = []
+        self.pid = pid
+
+    @property
+    def duration_seconds(self) -> float:
+        """Wall-clock seconds; 0.0 while the span is still open."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def add_counter(self, name: str, amount: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable nested form (durations in seconds)."""
+        node: dict[str, Any] = {
+            "name": self.name,
+            "start": self.start,
+            "duration_seconds": self.duration_seconds,
+        }
+        if self.tags:
+            node["tags"] = dict(self.tags)
+        if self.counters:
+            node["counters"] = dict(self.counters)
+        if self.pid is not None:
+            node["pid"] = self.pid
+        if self.children:
+            node["children"] = [child.to_dict() for child in self.children]
+        return node
+
+    def __repr__(self) -> str:
+        return (
+            f"<Span {self.name!r} {self.duration_seconds * 1e3:.2f}ms "
+            f"children={len(self.children)}>"
+        )
+
+
+class _NullSpanContext:
+    """Shared do-nothing context manager for the tracing-disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class _SpanContext:
+    """Context manager that closes ``span`` and pops the trace stack."""
+
+    __slots__ = ("_trace", "_span")
+
+    def __init__(self, trace: "Trace", span: Span):
+        self._trace = trace
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self._span.tags.setdefault("error", exc_type.__name__)
+        self._trace._finish(self._span)
+        return False
+
+
+class Trace:
+    """The span tree of one query execution.
+
+    A trace owns a root span (opened at construction, closed by
+    :meth:`close`) and a stack of currently open spans; :meth:`span`
+    nests under whatever is open.  Spans that completed elsewhere —
+    notably per-task worker timelines shipped back across the process
+    boundary — are grafted in with :meth:`add_span`.
+    """
+
+    def __init__(
+        self,
+        name: str = "query",
+        max_spans: int = DEFAULT_MAX_SPANS,
+        **tags: Any,
+    ):
+        self.max_spans = max_spans
+        self.dropped_spans = 0
+        # Live spans are always recorded in the process that owns the
+        # trace (workers ship completed timelines through add_span), so
+        # the pid can be read once instead of per span.
+        self._pid = os.getpid()
+        self.root = Span(name, time.perf_counter(), pid=self._pid)
+        if tags:
+            self.root.tags.update(tags)
+        self._stack: list[Span] = [self.root]
+        self._num_spans = 1
+
+    # -- recording ---------------------------------------------------------
+    def span(self, name: str, **tags: Any) -> "_SpanContext | _NullSpanContext":
+        """Open a child span of the innermost open span (context manager)."""
+        if self._num_spans >= self.max_spans:
+            self.dropped_spans += 1
+            return _NULL_SPAN
+        span = Span(name, time.perf_counter(), pid=self._pid)
+        if tags:
+            span.tags.update(tags)
+        self._stack[-1].children.append(span)
+        self._stack.append(span)
+        self._num_spans += 1
+        return _SpanContext(self, span)
+
+    def _finish(self, span: Span) -> None:
+        span.end = time.perf_counter()
+        # Unwind to this span even if an exception skipped inner exits.
+        while self._stack and self._stack[-1] is not self.root:
+            top = self._stack.pop()
+            if top is span:
+                break
+            if top.end is None:
+                top.end = span.end
+
+    def add_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        pid: int | None = None,
+        **tags: Any,
+    ) -> Optional[Span]:
+        """Graft an already-completed span under the innermost open span.
+
+        Used for timelines measured in another process (worker tasks):
+        ``start``/``end`` are the worker's own ``perf_counter`` readings,
+        comparable with the parent's because the clock is system-wide.
+        """
+        if self._num_spans >= self.max_spans:
+            self.dropped_spans += 1
+            return None
+        span = Span(name, start, pid=pid)
+        span.end = end
+        if tags:
+            span.tags.update(tags)
+        self._stack[-1].children.append(span)
+        self._num_spans += 1
+        return span
+
+    def add_event(self, name: str, **tags: Any) -> Optional[Span]:
+        """Record a zero-duration marker (retry, crash, fallback, ...)."""
+        now = time.perf_counter()
+        return self.add_span(name, now, now, pid=self._pid, **tags)
+
+    def counter(self, name: str, amount: float = 1.0) -> None:
+        """Bump a counter on the innermost open span."""
+        self._stack[-1].add_counter(name, amount)
+
+    def close(self) -> None:
+        """Close every open span, the root last (idempotent)."""
+        now = time.perf_counter()
+        while self._stack:
+            span = self._stack.pop()
+            if span.end is None:
+                span.end = now
+        self._stack = [self.root]
+
+    # -- interrogation -----------------------------------------------------
+    @property
+    def total_seconds(self) -> float:
+        return self.root.duration_seconds
+
+    @property
+    def num_spans(self) -> int:
+        return self._num_spans
+
+    def find(self, name: str) -> list[Span]:
+        """Every span named ``name``, depth first."""
+        return [span for span in self.root.walk() if span.name == name]
+
+    def span_names(self) -> set[str]:
+        return {span.name for span in self.root.walk()}
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "trace": self.root.to_dict(),
+            "num_spans": self._num_spans,
+            "dropped_spans": self.dropped_spans,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Ambient trace: instrumentation points find the active trace here
+# ---------------------------------------------------------------------------
+_ACTIVE: ContextVar[Optional[Trace]] = ContextVar(
+    "repro_active_trace", default=None
+)
+
+
+def current_trace() -> Optional[Trace]:
+    """The trace activated by the innermost engine query, if any."""
+    return _ACTIVE.get()
+
+
+def activate_trace(trace: Optional[Trace]):
+    """Make ``trace`` ambient; returns a token for :func:`deactivate_trace`."""
+    return _ACTIVE.set(trace)
+
+
+def deactivate_trace(token) -> None:
+    _ACTIVE.reset(token)
+
+
+class _SuppressContext:
+    """Temporarily hide the ambient trace (used inside unit kernels).
+
+    Per-unit work (a bootstrap chunk, one diagnostic subsample) is
+    recorded as a single leaf span by the supervised runners; the
+    fine-grained spans its body would emit (executor stages, nested
+    estimator calls — thousands per diagnostic) would flood the tree,
+    so the ambient trace is hidden for the duration of the unit body.
+    """
+
+    __slots__ = ("_token",)
+
+    def __enter__(self) -> None:
+        self._token = _ACTIVE.set(None)
+        return None
+
+    def __exit__(self, *exc_info) -> bool:
+        _ACTIVE.reset(self._token)
+        return False
+
+
+def suppress_tracing() -> _SuppressContext:
+    return _SuppressContext()
+
+
+def trace_span(name: str, **tags: Any):
+    """Open a span on the ambient trace; no-op (shared null CM) without one."""
+    trace = _ACTIVE.get()
+    if trace is None:
+        return _NULL_SPAN
+    return trace.span(name, **tags)
+
+
+def trace_event(name: str, **tags: Any) -> None:
+    """Record a zero-duration marker on the ambient trace, if any."""
+    trace = _ACTIVE.get()
+    if trace is not None:
+        trace.add_event(name, **tags)
+
+
+def trace_counter(name: str, amount: float = 1.0) -> None:
+    """Bump a counter on the ambient trace's innermost span, if any."""
+    trace = _ACTIVE.get()
+    if trace is not None:
+        trace.counter(name, amount)

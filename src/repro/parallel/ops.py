@@ -31,6 +31,7 @@ to embedding the arrays in the task payloads (slower, still correct).
 
 from __future__ import annotations
 
+import logging
 from collections.abc import Callable, Sequence
 from typing import Any, Optional
 
@@ -39,6 +40,8 @@ import numpy as np
 from repro.core.estimators import EstimationTarget, resample_estimates_kernel
 from repro.engine.table import Table
 from repro.errors import EstimationError, ExecutionError
+from repro.obs.metrics import METRICS
+from repro.obs.trace import trace_span
 from repro.parallel.pool import WorkerPool
 from repro.parallel.rng import chunk_spans, spawn_children
 from repro.parallel.shm import SharedArena, detach, resolve
@@ -52,6 +55,8 @@ from repro.sampling.poisson import (
     poisson_weight_matrix,
 )
 from repro.sampling.tuple_augmentation import materialize_exact_resample
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "DEFAULT_REPLICATE_CHUNK",
@@ -94,7 +99,13 @@ def _share_or_embed(
     """
     try:
         return arena.share(array)
-    except (ExecutionError, OSError, MemoryError):
+    except (ExecutionError, OSError, MemoryError) as error:
+        logger.warning(
+            "shared-memory allocation failed (%s); embedding a %d-byte "
+            "array in task payloads instead",
+            error,
+            array.nbytes,
+        )
         supervision.report.note_fallback(
             "shared-memory allocation failed; arrays embedded in task "
             "payloads"
@@ -242,36 +253,45 @@ def bootstrap_replicates(
         total_rows=target.total_sample_rows,
         rate=rate,
     )
-    if not _usable(pool):
+    with trace_span(
+        "bootstrap.replicates",
+        resamples=num_resamples,
+        chunks=len(spans),
+        parallel=_usable(pool),
+    ):
+        if not _usable(pool):
 
-        def unit(args):
-            (start, stop), child = args
-            return _replicate_chunk_kernel(
-                matched, target.aggregate, stop - start, child, **common
+            def unit(args):
+                (start, stop), child = args
+                return _replicate_chunk_kernel(
+                    matched, target.aggregate, stop - start, child, **common
+                )
+
+            parts = run_supervised_inline(
+                unit, list(zip(spans, children)), supervision
             )
-
-        parts = run_supervised_inline(
-            unit, list(zip(spans, children)), supervision
+        else:
+            with SharedArena(fault_plan=supervision.plan) as arena:
+                shared_values = _share_or_embed(
+                    arena, np.ascontiguousarray(matched), supervision
+                )
+                payloads = [
+                    {
+                        "values": shared_values,
+                        "aggregate": target.aggregate,
+                        "count": stop - start,
+                        "child": child,
+                        **common,
+                    }
+                    for (start, stop), child in zip(spans, children)
+                ]
+                parts = pool.map(_replicate_chunk_task, payloads, supervision)
+        kept = _keep_completed(
+            parts, "bootstrap replicate chunks", supervision
         )
-    else:
-        with SharedArena(fault_plan=supervision.plan) as arena:
-            shared_values = _share_or_embed(
-                arena, np.ascontiguousarray(matched), supervision
-            )
-            payloads = [
-                {
-                    "values": shared_values,
-                    "aggregate": target.aggregate,
-                    "count": stop - start,
-                    "child": child,
-                    **common,
-                }
-                for (start, stop), child in zip(spans, children)
-            ]
-            parts = pool.map(_replicate_chunk_task, payloads, supervision)
-    kept = _keep_completed(parts, "bootstrap replicate chunks", supervision)
-    out = np.concatenate(kept)
+        out = np.concatenate(kept)
     supervision.report.replicates_completed += len(out)
+    METRICS.counter("bootstrap.replicates").inc(len(out))
     return out
 
 
@@ -342,35 +362,43 @@ def table_statistic_replicates(
     spans = chunk_spans(num_resamples, chunk_size)
     children = spawn_children(seed, len(spans))
     supervision.report.replicates_requested += num_resamples
-    if not _usable(pool):
+    with trace_span(
+        "bootstrap.table_statistic",
+        resamples=num_resamples,
+        chunks=len(spans),
+        method=method,
+        parallel=_usable(pool),
+    ):
+        if not _usable(pool):
 
-        def unit(args):
-            (start, stop), child = args
-            return _table_chunk_kernel(
-                table, statistic, method, stop - start, child
+            def unit(args):
+                (start, stop), child = args
+                return _table_chunk_kernel(
+                    table, statistic, method, stop - start, child
+                )
+
+            parts = run_supervised_inline(
+                unit, list(zip(spans, children)), supervision
             )
-
-        parts = run_supervised_inline(
-            unit, list(zip(spans, children)), supervision
-        )
-    else:
-        with SharedArena(fault_plan=supervision.plan) as arena:
-            columns = share_table(arena, table, supervision)
-            payloads = [
-                {
-                    "columns": columns,
-                    "table_name": table.name,
-                    "statistic": statistic,
-                    "method": method,
-                    "count": stop - start,
-                    "child": child,
-                }
-                for (start, stop), child in zip(spans, children)
-            ]
-            parts = pool.map(_table_chunk_task, payloads, supervision)
-    kept = _keep_completed(parts, "table-statistic chunks", supervision)
-    out = np.concatenate(kept)
+        else:
+            with SharedArena(fault_plan=supervision.plan) as arena:
+                columns = share_table(arena, table, supervision)
+                payloads = [
+                    {
+                        "columns": columns,
+                        "table_name": table.name,
+                        "statistic": statistic,
+                        "method": method,
+                        "count": stop - start,
+                        "child": child,
+                    }
+                    for (start, stop), child in zip(spans, children)
+                ]
+                parts = pool.map(_table_chunk_task, payloads, supervision)
+        kept = _keep_completed(parts, "table-statistic chunks", supervision)
+        out = np.concatenate(kept)
     supervision.report.replicates_completed += len(out)
+    METRICS.counter("bootstrap.replicates").inc(len(out))
     return out
 
 
@@ -449,58 +477,67 @@ def diagnostic_evaluations(
     children = spawn_children(seed, len(blocks))
     supervision.report.subsamples_requested += len(blocks)
     parallelizable = _usable(pool) and isinstance(target, EstimationTarget)
-    if not parallelizable:
+    with trace_span(
+        "diagnostic.evaluations",
+        subsamples=len(blocks),
+        parallel=parallelizable,
+    ):
+        if not parallelizable:
 
-        def unit(args):
-            block, child = args
-            return _diagnostic_unit_kernel(
-                target, estimator, confidence, block, child
+            def unit(args):
+                block, child = args
+                return _diagnostic_unit_kernel(
+                    target, estimator, confidence, block, child
+                )
+
+            results = run_supervised_inline(
+                unit, list(zip(blocks, children)), supervision
             )
-
-        results = run_supervised_inline(
-            unit, list(zip(blocks, children)), supervision
-        )
-        pairs = _keep_completed(
-            results, "diagnostic subsample evaluations", supervision
-        )
-    else:
-        order = np.concatenate(blocks) if blocks else np.empty(0, np.int64)
-        sizes = [len(block) for block in blocks]
-        offsets = np.concatenate([[0], np.cumsum(sizes)])
-        units = [
-            ((int(offsets[j]), int(offsets[j + 1])), children[j])
-            for j in range(len(blocks))
-        ]
-        with SharedArena(fault_plan=supervision.plan) as arena:
-            shared = {
-                "values": _share_or_embed(
-                    arena, np.ascontiguousarray(target.values), supervision
-                ),
-                "mask": (
-                    None
-                    if target.mask is None
-                    else _share_or_embed(
-                        arena, np.ascontiguousarray(target.mask), supervision
-                    )
-                ),
-                "order": _share_or_embed(
-                    arena, np.ascontiguousarray(order), supervision
-                ),
-                "aggregate": target.aggregate,
-                "dataset_rows": target.dataset_rows,
-                "extensive": target.extensive,
-                "estimator": estimator,
-                "confidence": confidence,
-            }
-            payloads = [
-                {**shared, "units": units[i : i + unit_batch]}
-                for i in range(0, len(units), unit_batch)
+            pairs = _keep_completed(
+                results, "diagnostic subsample evaluations", supervision
+            )
+        else:
+            order = np.concatenate(blocks) if blocks else np.empty(0, np.int64)
+            sizes = [len(block) for block in blocks]
+            offsets = np.concatenate([[0], np.cumsum(sizes)])
+            units = [
+                ((int(offsets[j]), int(offsets[j + 1])), children[j])
+                for j in range(len(blocks))
             ]
-            batches = pool.map(_diagnostic_batch_task, payloads, supervision)
-        kept_batches = _keep_completed(
-            batches, "diagnostic evaluation batches", supervision
-        )
-        pairs = [pair for batch in kept_batches for pair in batch]
+            with SharedArena(fault_plan=supervision.plan) as arena:
+                shared = {
+                    "values": _share_or_embed(
+                        arena, np.ascontiguousarray(target.values), supervision
+                    ),
+                    "mask": (
+                        None
+                        if target.mask is None
+                        else _share_or_embed(
+                            arena,
+                            np.ascontiguousarray(target.mask),
+                            supervision,
+                        )
+                    ),
+                    "order": _share_or_embed(
+                        arena, np.ascontiguousarray(order), supervision
+                    ),
+                    "aggregate": target.aggregate,
+                    "dataset_rows": target.dataset_rows,
+                    "extensive": target.extensive,
+                    "estimator": estimator,
+                    "confidence": confidence,
+                }
+                payloads = [
+                    {**shared, "units": units[i : i + unit_batch]}
+                    for i in range(0, len(units), unit_batch)
+                ]
+                batches = pool.map(
+                    _diagnostic_batch_task, payloads, supervision
+                )
+            kept_batches = _keep_completed(
+                batches, "diagnostic evaluation batches", supervision
+            )
+            pairs = [pair for batch in kept_batches for pair in batch]
     supervision.report.subsamples_completed += len(pairs)
     points = np.array([p for p, _ in pairs], dtype=np.float64)
     half_widths = np.array([h for _, h in pairs], dtype=np.float64)
@@ -595,39 +632,49 @@ def ground_truth_trials(
         confidence=confidence,
         estimator=estimator,
     )
-    if not _usable(pool):
+    with trace_span(
+        "ground_truth.trials",
+        trials=num_trials,
+        chunks=len(spans),
+        parallel=_usable(pool),
+    ):
+        if not _usable(pool):
 
-        def unit(span):
-            start, stop = span
-            return _trial_chunk_kernel(
-                values, mask, aggregate, children=children[start:stop], **common
-            )
-
-        parts = run_supervised_inline(unit, spans, supervision)
-    else:
-        with SharedArena(fault_plan=supervision.plan) as arena:
-            shared_values = _share_or_embed(
-                arena, np.ascontiguousarray(values), supervision
-            )
-            shared_mask = (
-                None
-                if mask is None
-                else _share_or_embed(
-                    arena, np.ascontiguousarray(mask), supervision
-                )
-            )
-            payloads = [
-                {
-                    "values": shared_values,
-                    "mask": shared_mask,
-                    "aggregate": aggregate,
-                    "children": children[start:stop],
+            def unit(span):
+                start, stop = span
+                return _trial_chunk_kernel(
+                    values,
+                    mask,
+                    aggregate,
+                    children=children[start:stop],
                     **common,
-                }
-                for start, stop in spans
-            ]
-            parts = pool.map(_trial_chunk_task, payloads, supervision)
-    kept = _keep_completed(parts, "ground-truth trial chunks", supervision)
+                )
+
+            parts = run_supervised_inline(unit, spans, supervision)
+        else:
+            with SharedArena(fault_plan=supervision.plan) as arena:
+                shared_values = _share_or_embed(
+                    arena, np.ascontiguousarray(values), supervision
+                )
+                shared_mask = (
+                    None
+                    if mask is None
+                    else _share_or_embed(
+                        arena, np.ascontiguousarray(mask), supervision
+                    )
+                )
+                payloads = [
+                    {
+                        "values": shared_values,
+                        "mask": shared_mask,
+                        "aggregate": aggregate,
+                        "children": children[start:stop],
+                        **common,
+                    }
+                    for start, stop in spans
+                ]
+                parts = pool.map(_trial_chunk_task, payloads, supervision)
+        kept = _keep_completed(parts, "ground-truth trial chunks", supervision)
     points = np.concatenate([p for p, _ in kept])
     half_widths = np.concatenate([h for _, h in kept])
     return points, half_widths

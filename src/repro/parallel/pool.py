@@ -33,6 +33,7 @@ run — degraded availability never silently changes answers.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import multiprocessing.pool
 import os
@@ -44,12 +45,15 @@ from typing import Any, Optional
 
 from repro.errors import TaskTimeoutError, WorkerCrashError
 from repro.faults.plan import FaultPlan
+from repro.obs.trace import current_trace, suppress_tracing
 from repro.parallel.supervise import (
     TASK_FAILED,
     Supervision,
     backoff_seconds,
     run_supervised_inline,
 )
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "DEFAULT_CRASH_DETECTION_SECONDS",
@@ -127,16 +131,29 @@ def _invoke_task(
     plan: FaultPlan | None,
     index: int,
     attempt: int,
+    timed: bool = False,
 ) -> Any:
     """Worker-side task body: fire scheduled faults, then run the unit.
 
     Runs inside a worker process; an injected crash hard-exits here and
     the parent observes the lost task exactly as it would a SIGKILLed
-    worker.
+    worker.  With ``timed`` (parent is tracing) the return value is
+    ``(result, (pid, start, end))`` — ``perf_counter`` readings on the
+    system-wide monotonic clock, so the parent can graft this task onto
+    its trace timeline and derive queue wait from its dispatch time.
     """
+    if not timed:
+        if plan is not None:
+            plan.apply(index, attempt)
+        return fn(payload)
+    started = time.perf_counter()
     if plan is not None:
         plan.apply(index, attempt)
-    return fn(payload)
+    # A forked worker inherits the parent's ambient trace contextvar;
+    # spans recorded into that dead copy would be pure overhead.
+    with suppress_tracing():
+        result = fn(payload)
+    return result, (os.getpid(), started, time.perf_counter())
 
 
 class WorkerPool:
@@ -244,6 +261,11 @@ class WorkerPool:
         except Exception:
             # Unpicklable work (user lambdas / closures): identical
             # results inline, just without the fan-out.
+            logger.info(
+                "payloads for %s are not picklable; running %d task(s) inline",
+                getattr(fn, "__name__", fn),
+                len(payloads),
+            )
             return run_supervised_inline(fn, payloads, supervision)
         return self._map_parallel(fn, payloads, supervision)
 
@@ -263,6 +285,8 @@ class WorkerPool:
     ) -> list[Any]:
         policy = supervision.policy
         report = supervision.report
+        trace = current_trace()
+        timed = trace is not None
         results: list[Any] = [TASK_FAILED] * len(payloads)
         pending = list(range(len(payloads)))
         errors: dict[int, Exception] = {}
@@ -273,26 +297,55 @@ class WorkerPool:
                 break
             if attempt > 0:
                 report.task_retries += len(pending)
+                logger.warning(
+                    "retrying %d task(s) (attempt %d): %s",
+                    len(pending),
+                    attempt,
+                    errors.get(pending[0]),
+                )
                 time.sleep(backoff_seconds(policy, attempt, pending[0]))
             if supervision.expired():
                 report.deadline_hit = True
                 break
             pool = self._ensure_pool()
             pids_before = self._worker_pids()
-            dispatched = {
-                index: pool.apply_async(
+            dispatched = {}
+            dispatch_at = {}
+            for index in pending:
+                dispatch_at[index] = time.perf_counter()
+                dispatched[index] = pool.apply_async(
                     _invoke_task,
-                    (fn, payloads[index], supervision.plan, index, attempt),
+                    (
+                        fn,
+                        payloads[index],
+                        supervision.plan,
+                        index,
+                        attempt,
+                        timed,
+                    ),
                 )
-                for index in pending
-            }
             failed: list[int] = []
             pool_failure = False
             for index in pending:
                 try:
-                    results[index] = dispatched[index].get(
+                    outcome = dispatched[index].get(
                         timeout=self._task_patience(supervision)
                     )
+                    if timed:
+                        outcome, (pid, t_start, t_end) = outcome
+                        trace.add_span(
+                            "task",
+                            t_start,
+                            t_end,
+                            pid=pid,
+                            index=index,
+                            attempt=attempt,
+                            outcome="ok",
+                            queue_wait_s=round(
+                                max(0.0, t_start - dispatch_at[index]), 6
+                            ),
+                        )
+                    results[index] = outcome
                     report.tasks_completed += 1
                 except multiprocessing.TimeoutError:
                     # A hung worker and a crashed worker both present as
@@ -309,11 +362,26 @@ class WorkerPool:
                             f"task {index} was lost to a crashed worker "
                             f"(attempt {attempt})"
                         )
+                        classification = "crash"
                     else:
                         report.task_timeouts += 1
                         errors[index] = TaskTimeoutError(
                             f"task {index} exceeded its deadline "
                             f"(attempt {attempt})"
+                        )
+                        classification = "timeout"
+                    logger.warning(
+                        "task %d lost to worker %s (attempt %d)",
+                        index,
+                        classification,
+                        attempt,
+                    )
+                    if timed:
+                        trace.add_event(
+                            "task_lost",
+                            index=index,
+                            attempt=attempt,
+                            outcome=classification,
                         )
                     failed.append(index)
                 except (WorkerCrashError, TaskTimeoutError) as error:
@@ -321,15 +389,40 @@ class WorkerPool:
                     # (e.g. an injected fault on a non-fork platform).
                     if isinstance(error, WorkerCrashError):
                         report.worker_crashes += 1
+                        classification = "crash"
                     else:
                         report.task_timeouts += 1
+                        classification = "timeout"
+                    logger.warning(
+                        "task %d raised transient %s (attempt %d): %s",
+                        index,
+                        classification,
+                        attempt,
+                        error,
+                    )
+                    if timed:
+                        trace.add_event(
+                            "task_lost",
+                            index=index,
+                            attempt=attempt,
+                            outcome=classification,
+                        )
                     errors[index] = error
                     failed.append(index)
                 # Any other exception is deterministic task-body failure:
                 # it propagates immediately, exactly as before supervision.
             if pool_failure:
                 self._pool_failures += 1
+                logger.warning(
+                    "restarting worker pool after failure %d/%d",
+                    self._pool_failures,
+                    policy.max_pool_failures,
+                )
                 self._restart_pool(supervision)
+                if timed:
+                    trace.add_event(
+                        "pool_restart", failures=self._pool_failures
+                    )
                 if self._pool_failures >= policy.max_pool_failures:
                     self._degraded_reason = (
                         f"pool failed {self._pool_failures} consecutive "
@@ -338,6 +431,9 @@ class WorkerPool:
                     )
                     report.degraded_to_inline = True
                     report.note_fallback(self._degraded_reason)
+                    logger.error("%s", self._degraded_reason)
+                    if timed:
+                        trace.add_event("pool_degraded")
             else:
                 self._pool_failures = 0
             pending = failed

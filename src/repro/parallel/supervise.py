@@ -34,6 +34,7 @@ from wall-clock randomness.
 
 from __future__ import annotations
 
+import logging
 import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
@@ -43,6 +44,9 @@ import numpy as np
 
 from repro.errors import ExecutionError, TaskTimeoutError, WorkerCrashError
 from repro.faults.plan import FaultPlan
+from repro.obs.trace import current_trace, suppress_tracing
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "TASK_FAILED",
@@ -260,8 +264,26 @@ def _fail_unit(
 ) -> Any:
     """Record a permanently failed unit; raise unless partials are allowed."""
     supervision.report.note_degradation(f"task {index} failed: {error}")
+    trace = current_trace()
+    if trace is not None:
+        trace.add_event(
+            "task_failed", index=index, error=type(error).__name__
+        )
     if supervision.allow_partial:
+        logger.error(
+            "task %d permanently failed after %d retries: %s "
+            "(continuing with partial results)",
+            index,
+            supervision.policy.max_task_retries,
+            error,
+        )
         return TASK_FAILED
+    logger.error(
+        "task %d permanently failed after %d retries: %s",
+        index,
+        supervision.policy.max_task_retries,
+        error,
+    )
     raise ExecutionError(
         f"task {index} failed after "
         f"{supervision.policy.max_task_retries} retries: {error}"
@@ -294,6 +316,7 @@ def run_supervised_inline(
             handed them over.
     """
     policy = supervision.policy
+    trace = current_trace()
     if indices is None:
         indices = range(len(payloads))
     results: list[Any] = []
@@ -315,13 +338,37 @@ def run_supervised_inline(
         for attempt in range(policy.max_task_retries + 1):
             if attempt > 0:
                 supervision.report.task_retries += 1
+                logger.warning(
+                    "retrying task %d inline (attempt %d) after %s",
+                    index,
+                    attempt,
+                    last_error,
+                )
                 time.sleep(backoff_seconds(policy, attempt, index))
+            started = time.perf_counter() if trace is not None else 0.0
             try:
                 if supervision.plan is not None:
                     supervision.plan.apply(
                         index, attempt, timeout=supervision.task_patience()
                     )
-                outcome = fn(payload)
+                if trace is not None:
+                    # The unit body is one leaf of the timeline; its
+                    # internal spans (nested estimator/executor calls)
+                    # would flood the tree, so the ambient trace is
+                    # hidden for the duration of the kernel.
+                    with suppress_tracing():
+                        outcome = fn(payload)
+                    trace.add_span(
+                        "task",
+                        started,
+                        time.perf_counter(),
+                        index=index,
+                        attempt=attempt,
+                        outcome="ok",
+                        mode="inline",
+                    )
+                else:
+                    outcome = fn(payload)
                 supervision.report.tasks_completed += 1
                 last_error = None
                 break
@@ -329,8 +376,27 @@ def run_supervised_inline(
                 last_error = error
                 if isinstance(error, WorkerCrashError):
                     supervision.report.worker_crashes += 1
+                    classification = "crash"
                 else:
                     supervision.report.task_timeouts += 1
+                    classification = "timeout"
+                logger.warning(
+                    "task %d %s on attempt %d: %s",
+                    index,
+                    classification,
+                    attempt,
+                    error,
+                )
+                if trace is not None:
+                    trace.add_span(
+                        "task",
+                        started,
+                        time.perf_counter(),
+                        index=index,
+                        attempt=attempt,
+                        outcome=classification,
+                        mode="inline",
+                    )
         if last_error is not None:
             outcome = _fail_unit(supervision, index, last_error)
         results.append(outcome)

@@ -27,6 +27,7 @@ from repro.core.ci import ConfidenceInterval, interval_from_distribution
 from repro.engine.evaluator import ExpressionEvaluator
 from repro.engine.table import Table
 from repro.errors import ExecutionError, PlanError
+from repro.obs.trace import trace_span
 from repro.plan.logical import (
     LogicalAggregate,
     LogicalBootstrapSummary,
@@ -58,16 +59,20 @@ class QueryExecutor:
     # -- public API -----------------------------------------------------------
     def execute(self, query: AnalyzedQuery, table: Table) -> Table:
         """Run ``query`` exactly on ``table`` and return the result table."""
-        working = self._apply_inner(query, table)
-        if query.where is not None:
-            mask = self._predicate(query.where, working)
-            working = working.filter(mask)
-        if query.is_aggregate_query:
-            result = self._aggregate(query, working)
-        else:
-            result = self._project(query, working)
-        result = self._order_and_limit(query, result)
-        return result
+        with trace_span("executor.execute", rows=table.num_rows):
+            working = self._apply_inner(query, table)
+            if query.where is not None:
+                with trace_span("executor.filter"):
+                    mask = self._predicate(query.where, working)
+                    working = working.filter(mask)
+            if query.is_aggregate_query:
+                with trace_span("executor.aggregate"):
+                    result = self._aggregate(query, working)
+            else:
+                with trace_span("executor.project"):
+                    result = self._project(query, working)
+            result = self._order_and_limit(query, result)
+            return result
 
     def scalar(self, query: AnalyzedQuery, table: Table) -> float:
         """Run a single-aggregate query and return its one value.

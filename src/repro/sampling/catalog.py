@@ -12,13 +12,17 @@ disjoint subsamples without an extra permutation (§5.3.1, footnote 10).
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.engine.table import Table
 from repro.errors import CatalogError
+from repro.obs.trace import trace_span
 from repro.sampling.simple import simple_random_sample
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -105,16 +109,18 @@ class SampleCatalog:
         entry = self._entries.get(table_name)
         if entry is None:
             raise CatalogError(f"unknown table {table_name!r}")
-        sample = simple_random_sample(
-            entry.table,
-            size=size,
-            fraction=fraction,
-            rng=self._rng,
-            replacement=replacement,
-        )
-        # Shuffling here is what makes "any subset is a random sample" true
-        # downstream (diagnostic subsampling, partition-level execution).
-        sample = sample.shuffle(self._rng)
+        with trace_span("create_sample", table=table_name):
+            sample = simple_random_sample(
+                entry.table,
+                size=size,
+                fraction=fraction,
+                rng=self._rng,
+                replacement=replacement,
+            )
+            # Shuffling here is what makes "any subset is a random
+            # sample" true downstream (diagnostic subsampling,
+            # partition-level execution).
+            sample = sample.shuffle(self._rng)
         if name is None:
             name = f"{table_name}_sample_{sample.num_rows}"
         info = SampleInfo(
@@ -125,6 +131,13 @@ class SampleCatalog:
             cached_fraction=cached_fraction,
         )
         entry.samples[name] = (info, sample)
+        logger.info(
+            "created sample %r: %d of %d rows of table %r",
+            name,
+            sample.num_rows,
+            entry.table.num_rows,
+            table_name,
+        )
         return info
 
     def sample(self, table_name: str, sample_name: str) -> tuple[SampleInfo, Table]:

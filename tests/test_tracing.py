@@ -1,0 +1,560 @@
+"""Observability tests: tracing, metrics, export, logging, CLI surfaces.
+
+The load-bearing property is the non-perturbation contract: tracing is
+default-on, so traced and untraced runs must be *bit-identical* — at
+any worker count, and across injected-fault retries.  The rest covers
+the span tree's coverage of the pipeline stages, the Chrome export
+format, the metrics registry, and the CLI/REPL surfaces (EXPLAIN
+ANALYZE, ``--trace-out``, ``\\stats``, Ctrl-C handling).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import (
+    build_parser,
+    format_result,
+    format_stats,
+    repl,
+    run_query,
+    strip_explain_analyze,
+)
+from repro.core.pipeline import AQPEngine, EngineConfig
+from repro.engine.table import Table
+from repro.faults import FaultPlan
+from repro.obs import (
+    METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Trace,
+    activate_trace,
+    chrome_trace_events,
+    configure_logging,
+    current_trace,
+    deactivate_trace,
+    format_duration,
+    render_span_tree,
+    suppress_tracing,
+    trace_event,
+    trace_span,
+    write_chrome_trace,
+)
+from repro.obs.logs import LOG_LEVEL_ENV
+from repro.workloads import conviva_sessions_table, conviva_workload
+from repro.workloads.queries import register_workload_functions
+
+
+@pytest.fixture
+def eight_cpus(monkeypatch):
+    """Pretend the machine has 8 cores so real pools can exist."""
+    monkeypatch.setattr(os, "cpu_count", lambda: 8)
+
+
+def _make_engine(**config_kwargs) -> AQPEngine:
+    rng = np.random.default_rng(11)
+    table = Table({"x": rng.normal(10.0, 3.0, 20_000)}, name="t")
+    config_kwargs.setdefault("retry_backoff_seconds", 0.0)
+    config_kwargs.setdefault("run_diagnostics", False)
+    engine = AQPEngine(EngineConfig(**config_kwargs), seed=42)
+    engine.register_table("t", table)
+    engine.create_sample("t", size=4000, name="s")
+    return engine
+
+
+MEDIAN_SQL = "SELECT MEDIAN(x) AS m FROM t"
+
+
+def _key(result):
+    value = result.single()
+    return (value.estimate, value.interval.half_width)
+
+
+# ---------------------------------------------------------------------------
+# Trace core
+# ---------------------------------------------------------------------------
+class TestTrace:
+    def test_span_nesting_and_close(self):
+        trace = Trace("query")
+        with trace.span("a"):
+            with trace.span("b", tag=1):
+                pass
+        trace.close()
+        assert trace.total_seconds > 0
+        (a,) = trace.find("a")
+        (b,) = trace.find("b")
+        assert a.children == [b]
+        assert b.tags == {"tag": 1}
+        assert b.duration_seconds <= a.duration_seconds
+
+    def test_exception_tags_and_unwinds(self):
+        trace = Trace()
+        with pytest.raises(ValueError):
+            with trace.span("outer"):
+                raise ValueError("boom")
+        trace.close()
+        (outer,) = trace.find("outer")
+        assert outer.tags["error"] == "ValueError"
+        assert outer.end is not None
+
+    def test_span_cap_drops_and_counts(self):
+        trace = Trace(max_spans=3)
+        for _ in range(5):
+            with trace.span("s"):
+                pass
+        trace.close()
+        assert trace.num_spans == 3
+        assert trace.dropped_spans == 3
+        assert len(trace.find("s")) == 2
+
+    def test_add_span_grafts_foreign_timeline(self):
+        trace = Trace()
+        span = trace.add_span("task", 1.0, 2.5, pid=999, index=3)
+        trace.close()
+        assert span.pid == 999
+        assert span.duration_seconds == 1.5
+        assert trace.find("task")[0].tags["index"] == 3
+
+    def test_events_and_counters(self):
+        trace = Trace()
+        trace.add_event("retry", index=1)
+        trace.counter("rows", 5)
+        trace.counter("rows", 2)
+        trace.close()
+        assert trace.find("retry")[0].duration_seconds == 0.0
+        assert trace.root.counters["rows"] == 7.0
+
+    def test_to_dict_roundtrips_through_json(self):
+        trace = Trace("query", sql="SELECT 1")
+        with trace.span("stage"):
+            pass
+        trace.close()
+        payload = json.loads(json.dumps(trace.to_dict()))
+        assert payload["trace"]["name"] == "query"
+        assert payload["trace"]["children"][0]["name"] == "stage"
+
+    def test_ambient_helpers_no_op_without_trace(self):
+        assert current_trace() is None
+        with trace_span("nothing"):
+            pass
+        trace_event("nothing")  # must not raise
+
+    def test_activate_and_suppress(self):
+        trace = Trace()
+        token = activate_trace(trace)
+        try:
+            assert current_trace() is trace
+            with suppress_tracing():
+                assert current_trace() is None
+                with trace_span("hidden"):
+                    pass
+            assert current_trace() is trace
+        finally:
+            deactivate_trace(token)
+        trace.close()
+        assert trace.find("hidden") == []
+
+
+# ---------------------------------------------------------------------------
+# Metrics registry
+# ---------------------------------------------------------------------------
+class TestMetrics:
+    def test_counter_monotonic(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_gauge_set_and_add(self):
+        gauge = Gauge("g")
+        gauge.set(4)
+        gauge.add(-1.5)
+        assert gauge.value == 2.5
+
+    def test_histogram_buckets_cumulative(self):
+        hist = Histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 3
+        assert snap["buckets"] == {"le_1": 1, "le_10": 2}
+        assert snap["overflow"] == 1
+        assert snap["min"] == 0.5 and snap["max"] == 50.0
+
+    def test_registry_get_or_create_and_type_clash(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        with pytest.raises(TypeError, match="not a Gauge"):
+            registry.gauge("a")
+
+    def test_snapshot_is_json_serialisable(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.histogram("y").observe(0.02)
+        json.dumps(registry.snapshot())
+        registry.reset()
+        assert registry.snapshot() == {}
+
+
+# ---------------------------------------------------------------------------
+# Export: durations, tree rendering, Chrome JSON
+# ---------------------------------------------------------------------------
+class TestExport:
+    def test_format_duration_adaptive_precision(self):
+        assert format_duration(0.00074) == "740 µs"
+        assert format_duration(0.0093) == "9.30 ms"
+        assert format_duration(0.4) == "400 ms"
+        assert format_duration(1.237) == "1.24 s"
+        assert format_duration(90.0) == "1.5 min"
+
+    def test_render_tree_percentages_and_aggregation(self):
+        trace = Trace("query")
+        with trace.span("stage"):
+            for index in range(10):
+                trace.add_span("task", 0.0, 0.01, pid=100 + index % 2,
+                               index=index, attempt=index % 3)
+        trace.close()
+        text = render_span_tree(trace)
+        assert "query" in text and "stage" in text
+        assert "task ×10" in text
+        assert "2 worker(s)" in text
+        assert "retried" in text
+        assert "%" in text
+
+    def test_chrome_events_structure(self):
+        trace = Trace("query")
+        with trace.span("stage"):
+            trace.add_span("task", trace.root.start, trace.root.start + 0.01,
+                           pid=4242)
+        trace.add_event("marker")
+        trace.close()
+        events = chrome_trace_events(trace)
+        complete = [e for e in events if e.get("ph") == "X"]
+        instants = [e for e in events if e.get("ph") == "i"]
+        metadata = [e for e in events if e.get("ph") == "M"]
+        assert {e["name"] for e in complete} >= {"query", "stage", "task"}
+        assert instants and instants[0]["name"] == "marker"
+        labels = {e["args"]["name"] for e in metadata}
+        assert "engine" in labels and "worker-4242" in labels
+        for event in complete:
+            assert event["ts"] >= 0 and event["dur"] >= 0
+
+    def test_write_chrome_trace_loads(self, tmp_path):
+        trace = Trace("query")
+        with trace.span("stage"):
+            pass
+        trace.close()
+        path = write_chrome_trace(trace, tmp_path / "trace.json")
+        payload = json.loads(path.read_text())
+        assert payload["traceEvents"]
+        assert payload["otherData"]["num_spans"] == trace.num_spans
+
+
+# ---------------------------------------------------------------------------
+# The determinism contract: tracing never perturbs answers
+# ---------------------------------------------------------------------------
+class TestTraceDeterminism:
+    def test_bit_identical_serial(self):
+        traced = _make_engine(num_workers=1, tracing=True)
+        untraced = _make_engine(num_workers=1, tracing=False)
+        assert _key(traced.execute(MEDIAN_SQL)) == _key(
+            untraced.execute(MEDIAN_SQL)
+        )
+
+    def test_bit_identical_four_workers(self, eight_cpus):
+        results = {}
+        for label, kwargs in {
+            "serial_untraced": dict(num_workers=1, tracing=False),
+            "par4_traced": dict(num_workers=4, tracing=True),
+            "par4_untraced": dict(num_workers=4, tracing=False),
+        }.items():
+            with _make_engine(**kwargs) as engine:
+                results[label] = _key(engine.execute(MEDIAN_SQL))
+        assert len(set(results.values())) == 1
+
+    def test_bit_identical_under_injected_fault_retry(self, eight_cpus):
+        clean = _make_engine(num_workers=1, tracing=False)
+        expected = _key(clean.execute(MEDIAN_SQL))
+        plan = FaultPlan(seed=7).with_crash(task=2)
+        with _make_engine(
+            num_workers=4, tracing=True, fault_plan=plan
+        ) as engine:
+            result = engine.execute(MEDIAN_SQL)
+        assert _key(result) == expected
+        report = result.execution_report
+        assert report.task_retries >= 1 and report.recovered
+        # The retry is visible in the trace: a lost-task event fired and
+        # a later attempt of the same unit completed.
+        lost = result.trace.find("task_lost")
+        assert lost and lost[0].tags["index"] == 2
+        retried_ok = [
+            span
+            for span in result.trace.find("task")
+            if span.tags.get("attempt", 0) > 0
+            and span.tags.get("outcome") == "ok"
+        ]
+        assert retried_ok
+
+    def test_trace_attached_only_when_enabled(self):
+        with _make_engine(num_workers=1, tracing=False) as engine:
+            assert engine.execute(MEDIAN_SQL).trace is None
+        with _make_engine(num_workers=1, tracing=True) as engine:
+            trace = engine.execute(MEDIAN_SQL).trace
+        assert trace is not None and trace.total_seconds > 0
+
+
+# ---------------------------------------------------------------------------
+# Pipeline coverage: every stage appears in the span tree
+# ---------------------------------------------------------------------------
+class TestPipelineTraceCoverage:
+    def test_conviva_query_covers_all_stages(self):
+        rng = np.random.default_rng(7)
+        engine = AQPEngine(EngineConfig(), seed=42)
+        engine.register_table(
+            "media_sessions", conviva_sessions_table(20_000, rng)
+        )
+        engine.create_sample("media_sessions", size=4000, name="s")
+        register_workload_functions(engine)
+        sql = conviva_workload(1, np.random.default_rng(3))[0].sql()
+        result = engine.execute(sql)
+        names = result.trace.span_names()
+        assert {
+            "query",
+            "select_sample",
+            "execute_on_sample",
+            "prepare_sample",
+            "estimate",
+            "diagnostic",
+            "diagnostic.size",
+            "diagnostic.evaluations",
+            "task",
+        } <= names
+
+    def test_worker_timelines_merged_across_processes(self, eight_cpus):
+        with _make_engine(num_workers=4, tracing=True) as engine:
+            trace = engine.execute(MEDIAN_SQL).trace
+        tasks = [span for span in trace.find("task") if span.pid is not None]
+        assert len({span.pid for span in tasks}) >= 2
+        for span in tasks:
+            assert span.tags["queue_wait_s"] >= 0.0
+            assert span.pid != trace.root.pid
+
+    def test_plan_cache_events_and_metrics(self):
+        METRICS.reset()
+        with _make_engine(num_workers=1) as engine:
+            engine.execute(MEDIAN_SQL)
+            second = engine.execute(MEDIAN_SQL)
+        assert second.trace.find("plan_cache.hit")
+        assert not second.trace.find("analyze")
+        snap = METRICS.snapshot()
+        assert snap["plan_cache.hit"]["value"] == 1
+        assert snap["plan_cache.miss"]["value"] == 1
+        assert snap["bootstrap.replicates"]["value"] > 0
+        assert snap["query.seconds"]["count"] == 2
+
+    def test_fallback_recorded_in_trace(self):
+        engine = _make_engine(num_workers=1)
+        result = engine.execute(MEDIAN_SQL, error_bound=1e-9)
+        assert result.single().fell_back
+        events = result.trace.find("fallback")
+        assert events and "exceeds bound" in events[0].tags["reason"]
+        assert result.trace.find("exact_execution")
+
+    def test_diagnostic_verdict_metrics(self):
+        METRICS.reset()
+        engine = _make_engine(num_workers=1, run_diagnostics=True)
+        engine.execute("SELECT AVG(x) AS a FROM t")
+        snap = METRICS.snapshot()
+        verdicts = sum(
+            entry["value"]
+            for name, entry in snap.items()
+            if name.startswith("diagnostic.verdicts.")
+        )
+        assert verdicts >= 1
+
+    def test_span_flood_is_bounded_by_suppression(self):
+        engine = _make_engine(num_workers=1, run_diagnostics=True)
+        trace = engine.execute(MEDIAN_SQL).trace
+        # Unit kernels run with tracing suppressed, so nested
+        # executor/estimator calls do not flood the tree.
+        assert trace.num_spans < 2000
+        assert trace.dropped_spans == 0
+
+
+# ---------------------------------------------------------------------------
+# Logging satellite
+# ---------------------------------------------------------------------------
+class TestLogging:
+    def test_configure_logging_levels_and_idempotence(self):
+        logger = configure_logging("DEBUG")
+        assert logger.level == logging.DEBUG
+        handlers_before = len(logger.handlers)
+        logger = configure_logging("ERROR")
+        assert logger.level == logging.ERROR
+        assert len(logger.handlers) == handlers_before
+
+    def test_env_variable_respected(self, monkeypatch):
+        monkeypatch.setenv(LOG_LEVEL_ENV, "info")
+        assert configure_logging().level == logging.INFO
+        monkeypatch.delenv(LOG_LEVEL_ENV)
+        assert configure_logging().level == logging.WARNING
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging("LOUD")
+
+    def test_injected_fault_logs_warning(self, caplog):
+        plan = FaultPlan(seed=3).with_hang(task=1, seconds=0.0)
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            plan.apply(1, 0)
+        assert any("injected hang" in rec.message for rec in caplog.records)
+
+    def test_permanent_task_failure_logs_error(self, caplog):
+        engine = _make_engine(
+            num_workers=1,
+            fault_plan=FaultPlan(seed=5).with_crash(task=0, attempt=None),
+            max_task_retries=1,
+        )
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            with pytest.warns(Warning):
+                engine.execute(MEDIAN_SQL)
+        assert any(
+            rec.levelno == logging.ERROR
+            and "permanently failed" in rec.message
+            for rec in caplog.records
+        )
+
+
+# ---------------------------------------------------------------------------
+# CLI surfaces
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def cli_csv(tmp_path):
+    rng = np.random.default_rng(5)
+    rows = "\n".join(f"{value:.4f}" for value in rng.normal(10, 2, 400))
+    path = tmp_path / "sessions.csv"
+    path.write_text("time\n" + rows + "\n")
+    return path
+
+
+def _cli_args(cli_csv, *extra):
+    return build_parser().parse_args(
+        ["--table", str(cli_csv), "--seed", "3", *extra]
+    )
+
+
+class TestCliObservability:
+    def test_strip_explain_analyze(self):
+        sql, explain = strip_explain_analyze(
+            "  explain ANALYZE SELECT AVG(x) FROM t"
+        )
+        assert explain and sql == "SELECT AVG(x) FROM t"
+        sql, explain = strip_explain_analyze("SELECT AVG(x) FROM t")
+        assert not explain and sql == "SELECT AVG(x) FROM t"
+        # EXPLAIN ANALYZER is not the prefix.
+        _, explain = strip_explain_analyze("EXPLAIN ANALYZER x")
+        assert not explain
+
+    def test_explain_analyze_renders_span_tree(self, cli_csv):
+        from repro.cli import make_engine
+
+        args = _cli_args(cli_csv)
+        engine = make_engine(args)
+        out = run_query(
+            engine, "EXPLAIN ANALYZE SELECT AVG(time) FROM sessions", args
+        )
+        assert "query" in out and "estimate" in out
+        assert "% " in out or "%" in out
+        assert "total" in out
+
+    def test_trace_out_writes_chrome_json(self, cli_csv, tmp_path):
+        from repro.cli import make_engine
+
+        trace_path = tmp_path / "trace.json"
+        args = _cli_args(cli_csv, "--trace-out", str(trace_path))
+        engine = make_engine(args)
+        run_query(engine, "SELECT AVG(time) FROM sessions", args)
+        payload = json.loads(trace_path.read_text())
+        assert isinstance(payload["traceEvents"], list)
+        assert payload["traceEvents"]
+
+    def test_no_tracing_flag(self, cli_csv):
+        from repro.cli import make_engine
+
+        args = _cli_args(cli_csv, "--no-tracing")
+        engine = make_engine(args)
+        out = run_query(
+            engine, "EXPLAIN ANALYZE SELECT AVG(time) FROM sessions", args
+        )
+        assert "tracing is disabled" in out
+
+    def test_format_result_sub_ms_not_zero(self, cli_csv):
+        from repro.cli import make_engine
+        from repro.core.pipeline import AQPResult
+
+        args = _cli_args(cli_csv)
+        engine = make_engine(args)
+        result = engine.execute("SELECT AVG(time) FROM sessions")
+        fast = AQPResult(
+            sql=result.sql,
+            rows=result.rows,
+            sample=result.sample,
+            elapsed_seconds=4.2e-4,
+            execution_report=result.execution_report,
+        )
+        text = format_result(fast)
+        assert "0 ms" not in text
+        assert "µs" in text
+
+    def test_format_stats_is_json(self):
+        METRICS.reset()
+        METRICS.counter("queries").inc()
+        payload = json.loads(format_stats())
+        assert payload["queries"]["value"] == 1
+
+    def test_repl_stats_and_ctrl_c(self, cli_csv, monkeypatch, capsys):
+        from repro.cli import make_engine
+
+        args = _cli_args(cli_csv)
+        engine = make_engine(args)
+        inputs = iter(
+            [KeyboardInterrupt, "\\stats", "SELECT AVG(time) FROM sessions", ""]
+        )
+
+        def fake_input(prompt):
+            value = next(inputs)
+            if value is KeyboardInterrupt:
+                raise KeyboardInterrupt
+            return value
+
+        monkeypatch.setattr("builtins.input", fake_input)
+        assert repl(engine, args) == 0
+        out = capsys.readouterr().out
+        assert '"queries"' in out  # \stats JSON
+        assert "± " in out  # the query after Ctrl-C still ran
+
+    def test_repl_query_interrupt_does_not_kill_shell(
+        self, cli_csv, monkeypatch, capsys
+    ):
+        from repro.cli import make_engine
+
+        args = _cli_args(cli_csv)
+        engine = make_engine(args)
+        inputs = iter(["SELECT AVG(time) FROM sessions", ""])
+        monkeypatch.setattr("builtins.input", lambda prompt: next(inputs))
+
+        def interrupted(*a, **k):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(engine, "execute", interrupted)
+        assert repl(engine, args) == 0
+        assert "query interrupted" in capsys.readouterr().err
