@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test faults bench bench-baseline bench-smoke
+.PHONY: check lint test faults bench bench-baseline bench-smoke stress
 
 check: lint test
 
@@ -34,3 +34,11 @@ bench-baseline:
 bench-smoke:
 	$(PYTHON) benchmarks/record_bench.py --smoke \
 		--out BENCH_smoke.json --trace-sample trace_sample.json
+
+# Overload stress: concurrent clients vs. the query governor at a
+# quarter of the ungoverned peak memory.  Asserts zero crashes, zero
+# dishonest answers, and budget compliance; writes the shed-rate /
+# degradation-mix report to benchmarks/results/overload.json.
+stress:
+	$(PYTHON) benchmarks/bench_overload.py --smoke \
+		--out benchmarks/results/overload.json

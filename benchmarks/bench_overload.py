@@ -1,0 +1,350 @@
+"""Overload stress harness: the governor vs. an ungoverned engine.
+
+Drives concurrent clients issuing a Conviva-mix workload at an AQP
+engine two ways:
+
+* **ungoverned** — one engine per client, no admission control, no
+  memory budget (a shared track-only accountant records the peak
+  reserved footprint);
+* **governed** — a :class:`~repro.governor.QueryGovernor` with the
+  ``degrade`` shed policy and a memory budget of **one quarter of the
+  ungoverned peak**, so the same offered load must be absorbed by
+  queueing, stepping queries down the honest-degradation ladder, and
+  rejecting the remainder.
+
+Measured per mode: completion/shed counts, p50/p99 latency, the
+degradation mix (full / reduced-K / closed-form / point-estimate, plus
+per-result honesty: every completed answer either carries its stated
+confidence interval or is flagged degraded), and peak reserved bytes.
+The invariants the run must uphold:
+
+1. zero crashes in either mode;
+2. governed peak reserved bytes never exceed the budget;
+3. every degraded governed answer says so in its execution report.
+
+Run directly for a report (``--smoke`` for the deterministic
+seconds-long CI variant, which also writes a JSON artifact)::
+
+    PYTHONPATH=src python benchmarks/bench_overload.py --smoke
+
+or under pytest, where the smoke variant runs as a test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.core.pipeline import AQPEngine, EngineConfig
+from repro.errors import ReproError, ResourceError
+from repro.governor import (
+    DegradationLevel,
+    GovernorConfig,
+    MemoryAccountant,
+    QueryGovernor,
+)
+from repro.workloads.conviva import conviva_workload
+from repro.workloads.datagen import conviva_sessions_table
+from repro.workloads.queries import register_workload_functions
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def build_workload(num_queries: int, seed: int) -> list[str]:
+    """A deterministic Conviva-mix list of SQL texts."""
+    queries = conviva_workload(num_queries, np.random.default_rng(seed))
+    return [query.sql() for query in queries]
+
+
+def make_engine_factory(rows: int, sample_rows: int, seed: int):
+    """A factory producing identically seeded engines over one table.
+
+    The table and sample are built once; every engine shares them (the
+    catalog registers by reference), so factory calls are cheap and
+    deterministic.
+    """
+    table = conviva_sessions_table(rows, np.random.default_rng(seed))
+
+    def factory(memory: MemoryAccountant | None = None) -> AQPEngine:
+        engine = AQPEngine(
+            config=EngineConfig(run_diagnostics=False, tracing=False),
+            seed=seed,
+            memory=memory,
+        )
+        register_workload_functions(engine)
+        engine.register_table("media_sessions", table)
+        engine.create_sample("media_sessions", size=sample_rows)
+        return engine
+
+    return factory
+
+
+def _drive(client_queries: list[list[str]], execute_one):
+    """Run one thread per client; collect per-query outcome records."""
+    records: list[dict] = []
+    lock = threading.Lock()
+
+    def client(index: int, sqls: list[str]) -> None:
+        for sql in sqls:
+            started = time.perf_counter()
+            outcome: dict = {"client": index}
+            try:
+                result = execute_one(sql)
+                report = result.execution_report
+                outcome["status"] = "completed"
+                outcome["degraded"] = bool(result.degraded)
+                outcome["honest"] = bool(
+                    result.degraded
+                    or all(
+                        value.interval is not None or value.fell_back
+                        for row in result.rows
+                        for value in row.values.values()
+                    )
+                )
+                outcome["report"] = "" if report is None else report.summary()
+            except ResourceError as error:
+                outcome["status"] = "shed"
+                outcome["error"] = str(error)
+            except ReproError as error:
+                outcome["status"] = "query_error"
+                outcome["error"] = str(error)
+            except BaseException as error:  # the zero-crashes invariant
+                outcome["status"] = "crash"
+                outcome["error"] = f"{type(error).__name__}: {error}"
+            outcome["seconds"] = time.perf_counter() - started
+            with lock:
+                records.append(outcome)
+
+    threads = [
+        threading.Thread(target=client, args=(i, sqls), daemon=True)
+        for i, sqls in enumerate(client_queries)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return records
+
+
+def _summary(records: list[dict]) -> dict:
+    latencies = sorted(
+        record["seconds"]
+        for record in records
+        if record["status"] == "completed"
+    )
+    counts = {
+        status: sum(1 for r in records if r["status"] == status)
+        for status in ("completed", "shed", "query_error", "crash")
+    }
+    total = len(records)
+    return {
+        "queries": total,
+        **counts,
+        "shed_rate": counts["shed"] / total if total else 0.0,
+        "degraded": sum(1 for r in records if r.get("degraded")),
+        "dishonest": sum(
+            1
+            for r in records
+            if r["status"] == "completed" and not r.get("honest", True)
+        ),
+        "p50_seconds": float(np.percentile(latencies, 50)) if latencies else None,
+        "p99_seconds": float(np.percentile(latencies, 99)) if latencies else None,
+    }
+
+
+def run_overload(
+    clients: int = 8,
+    queries_per_client: int = 6,
+    rows: int = 200_000,
+    sample_rows: int = 5_000,
+    seed: int = 2014,
+    budget_fraction: float = 0.25,
+) -> dict:
+    """The full two-phase experiment; returns a JSON-friendly report."""
+    factory = make_engine_factory(rows, sample_rows, seed)
+    client_queries = [
+        build_workload(queries_per_client, seed + 100 + i)
+        for i in range(clients)
+    ]
+
+    # Phase 1: ungoverned.  One engine per client, one shared track-only
+    # accountant to learn the workload's peak reserved footprint.
+    tracker = MemoryAccountant(name="ungoverned")
+    engines = [factory(memory=tracker) for _ in range(clients)]
+    try:
+        ungoverned_records = _drive(
+            client_queries,
+            # Bind each call to the caller's own engine by thread ident.
+            _PerThreadExecutor(engines).execute,
+        )
+    finally:
+        for engine in engines:
+            engine.close()
+    ungoverned = _summary(ungoverned_records)
+    ungoverned["peak_reserved_bytes"] = tracker.peak_bytes
+
+    # Phase 2: governed, at a quarter of the observed peak.
+    budget = max(1, int(tracker.peak_bytes * budget_fraction))
+    config = GovernorConfig(
+        max_concurrency=max(1, clients // 4),
+        shed_policy="degrade",
+        max_overflow=max(1, clients // 4),
+        overflow_level=DegradationLevel.REDUCED_K,
+        max_queue_depth=clients,
+        queue_timeout_seconds=30.0,
+        memory_budget_bytes=budget,
+        memory_wait_seconds=0.2,
+    )
+    with QueryGovernor(lambda: factory(), config) as governor:
+        # The governor owns one shared accountant; engines built by its
+        # factory are re-pointed at it on checkout.
+        governed_records = _drive(client_queries, governor.execute)
+        governor_stats = governor.stats()
+    governed = _summary(governed_records)
+    governed["peak_reserved_bytes"] = governor.memory.peak_bytes
+    governed["budget_bytes"] = budget
+
+    return {
+        "config": {
+            "clients": clients,
+            "queries_per_client": queries_per_client,
+            "rows": rows,
+            "sample_rows": sample_rows,
+            "seed": seed,
+            "budget_fraction": budget_fraction,
+        },
+        "ungoverned": ungoverned,
+        "governed": governed,
+        "governor": governor_stats,
+    }
+
+
+class _PerThreadExecutor:
+    """Route each client thread to its own (ungoverned) engine."""
+
+    def __init__(self, engines: list[AQPEngine]):
+        self._engines = engines
+        self._assignment: dict[int, AQPEngine] = {}
+        self._lock = threading.Lock()
+
+    def execute(self, sql: str):
+        ident = threading.get_ident()
+        with self._lock:
+            engine = self._assignment.get(ident)
+            if engine is None:
+                engine = self._engines[len(self._assignment)]
+                self._assignment[ident] = engine
+        return engine.execute(sql)
+
+
+def _render(report: dict) -> list[str]:
+    lines = []
+    for mode in ("ungoverned", "governed"):
+        stats = report[mode]
+        lines.append(
+            f"{mode:>10}: {stats['completed']}/{stats['queries']} completed, "
+            f"{stats['shed']} shed ({stats['shed_rate']:.0%}), "
+            f"{stats['crash']} crashes, {stats['degraded']} degraded, "
+            f"p99 {stats['p99_seconds']:.3f}s"
+            if stats["p99_seconds"] is not None
+            else f"{mode:>10}: no completions"
+        )
+        lines.append(
+            f"{'':>10}  peak reserved "
+            f"{stats['peak_reserved_bytes']:,} bytes"
+            + (
+                f" (budget {stats['budget_bytes']:,})"
+                if "budget_bytes" in stats
+                else ""
+            )
+        )
+    levels = report["governor"]["levels"]
+    lines.append(
+        "  degradation mix: "
+        + ", ".join(f"{label}={count}" for label, count in levels.items())
+    )
+    memory = report["governor"]["memory"]
+    lines.append(
+        f"  governor memory: used {memory['used_bytes']:,} / budget "
+        f"{memory['budget_bytes']:,}, {memory['rejections']} rejections"
+    )
+    return lines
+
+
+def _check_invariants(report: dict) -> None:
+    assert report["ungoverned"]["crash"] == 0, report["ungoverned"]
+    assert report["governed"]["crash"] == 0, report["governed"]
+    assert report["governed"]["dishonest"] == 0, report["governed"]
+    budget = report["governed"]["budget_bytes"]
+    assert report["governed"]["peak_reserved_bytes"] <= budget
+    assert report["governor"]["memory"]["used_bytes"] == 0
+
+
+def test_overload_smoke(figure_report):
+    """Pytest smoke: tiny workload, every invariant enforced."""
+    report = run_overload(
+        clients=4,
+        queries_per_client=2,
+        rows=20_000,
+        sample_rows=2_000,
+    )
+    _check_invariants(report)
+    figure_report("Overload: governed vs ungoverned", _render(report))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--queries-per-client", type=int, default=6)
+    parser.add_argument("--rows", type=int, default=200_000)
+    parser.add_argument("--sample-rows", type=int, default=5_000)
+    parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument(
+        "--budget-fraction",
+        type=float,
+        default=0.25,
+        help="governed memory budget as a fraction of ungoverned peak",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="deterministic seconds-long variant (CI)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the JSON report here "
+        "(default benchmarks/results/overload.json)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.clients, args.queries_per_client = 4, 2
+        args.rows, args.sample_rows = 20_000, 2_000
+    report = run_overload(
+        clients=args.clients,
+        queries_per_client=args.queries_per_client,
+        rows=args.rows,
+        sample_rows=args.sample_rows,
+        seed=args.seed,
+        budget_fraction=args.budget_fraction,
+    )
+    _check_invariants(report)
+    print("\n".join(_render(report)))
+    out = Path(args.out) if args.out else RESULTS_DIR / "overload.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"-- report written to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

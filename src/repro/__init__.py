@@ -54,7 +54,20 @@ from repro.core import (
     true_interval,
 )
 from repro.engine import Table
-from repro.errors import ReproError
+from repro.errors import (
+    AdmissionRejectedError,
+    QueryCancelledError,
+    ReproError,
+    ResourceError,
+    ResourceExhaustedError,
+)
+from repro.governor import (
+    CancelToken,
+    DegradationLevel,
+    GovernorConfig,
+    MemoryAccountant,
+    QueryGovernor,
+)
 from repro.sampling import SampleCatalog
 
 __version__ = "1.0.0"
@@ -63,19 +76,28 @@ __all__ = [
     "AQPEngine",
     "AQPResult",
     "AQPRow",
+    "AdmissionRejectedError",
     "ApproximateValue",
     "BernsteinEstimator",
     "BootstrapEstimator",
+    "CancelToken",
     "ClosedFormEstimator",
     "ConfidenceInterval",
     "DatasetQuery",
+    "DegradationLevel",
     "DiagnosticConfig",
     "DiagnosticResult",
     "EngineConfig",
     "ErrorEstimator",
     "EstimationTarget",
+    "GovernorConfig",
     "HoeffdingEstimator",
+    "MemoryAccountant",
+    "QueryCancelledError",
+    "QueryGovernor",
     "ReproError",
+    "ResourceError",
+    "ResourceExhaustedError",
     "SampleCatalog",
     "Table",
     "Verdict",

@@ -27,12 +27,15 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 
 from repro.core.pipeline import AQPEngine, AQPResult, EngineConfig
 from repro.engine.io import load_csv
-from repro.errors import ReproError
+from repro.errors import QueryCancelledError, ReproError
+from repro.governor import CancelToken, update_resident_gauge
 from repro.faults import FaultPlan
 from repro.obs import (
     METRICS,
@@ -120,6 +123,23 @@ def build_parser() -> argparse.ArgumentParser:
         "answer degrades honestly",
     )
     parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="hard per-query timeout; past it the query is cancelled "
+        "cooperatively (unlike --deadline, which degrades the answer)",
+    )
+    parser.add_argument(
+        "--memory-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="byte budget for bootstrap matrices and shared memory; "
+        "over-budget plans degrade to cheaper estimates instead of "
+        "allocating (default: REPRO_MEMORY_BUDGET or unlimited)",
+    )
+    parser.add_argument(
         "--trace-out",
         default=None,
         metavar="FILE",
@@ -158,6 +178,7 @@ def make_engine(args: argparse.Namespace) -> AQPEngine:
             fault_plan=fault_plan,
             query_deadline_seconds=getattr(args, "deadline", None),
             tracing=not getattr(args, "no_tracing", False),
+            memory_budget_bytes=getattr(args, "memory_budget", None),
         ),
         seed=args.seed,
     )
@@ -216,6 +237,30 @@ def strip_explain_analyze(sql: str) -> tuple[str, bool]:
     return sql, False
 
 
+@contextmanager
+def _sigint_cancels(token: CancelToken):
+    """While a query runs, Ctrl-C flips its cancel token.
+
+    Cooperative cancellation unwinds through the normal cleanup paths
+    (shared memory released, workers not stranded) instead of a
+    KeyboardInterrupt landing at an arbitrary bytecode boundary.
+    Outside the main thread — or in an embedded interpreter that owns
+    SIGINT — this degrades to a no-op.
+    """
+    try:
+        previous = signal.signal(
+            signal.SIGINT,
+            lambda signum, frame: token.cancel("interrupted (Ctrl-C)"),
+        )
+    except ValueError:
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGINT, previous)
+
+
 def run_query(engine: AQPEngine, sql: str, args: argparse.Namespace) -> str:
     sql, explain = strip_explain_analyze(sql)
     if explain and not sql:
@@ -228,11 +273,19 @@ def run_query(engine: AQPEngine, sql: str, args: argparse.Namespace) -> str:
             for row in table.to_rows()
         ]
         return "\n".join([header, *rows])
-    result = engine.execute(
-        sql,
-        error_bound=args.error_bound,
-        run_diagnostics=not args.no_diagnostics,
+    timeout = getattr(args, "timeout", None)
+    token = (
+        CancelToken.with_timeout(timeout)
+        if timeout is not None
+        else CancelToken()
     )
+    with _sigint_cancels(token):
+        result = engine.execute(
+            sql,
+            error_bound=args.error_bound,
+            run_diagnostics=not args.no_diagnostics,
+            cancel=token,
+        )
     out = format_result(result)
     trace_out = getattr(args, "trace_out", None)
     if trace_out and result.trace is not None:
@@ -247,7 +300,13 @@ def run_query(engine: AQPEngine, sql: str, args: argparse.Namespace) -> str:
 
 
 def format_stats() -> str:
-    """The REPL's ``\\stats``: the metrics registry as indented JSON."""
+    """The REPL's ``\\stats``: the metrics registry as indented JSON.
+
+    Refreshes the ``process.resident_bytes`` gauge first, so the
+    governor's memory picture (budget usage, resident set) is current
+    at the moment of the snapshot.
+    """
+    update_resident_gauge()
     return json.dumps(METRICS.snapshot(), indent=2, sort_keys=True)
 
 
@@ -273,6 +332,10 @@ def repl(engine: AQPEngine, args: argparse.Namespace) -> int:
             continue
         try:
             print(run_query(engine, line, args))
+        except QueryCancelledError as error:
+            # Ctrl-C during a query flips its cancel token; the query
+            # unwinds cleanly and the shell lives on.
+            print(f"cancelled: {error}", file=sys.stderr)
         except ReproError as error:
             print(f"error: {error}", file=sys.stderr)
         except KeyboardInterrupt:

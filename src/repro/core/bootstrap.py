@@ -63,6 +63,11 @@ class BootstrapEstimator(ErrorEstimator):
             retries, the CI is computed from the completed replicates
             and widened by the Monte-Carlo inflation factor
             ``sqrt(K_requested / K_completed)``.
+        replicate_cap: optional governor budget on the number of
+            replicates actually computed (the reduced-K rung of the
+            degradation ladder).  The run truncates at a whole-chunk
+            boundary and the same inflation factor widens the CI, so a
+            capped answer is honest about its extra Monte-Carlo noise.
     """
 
     name = "bootstrap"
@@ -74,6 +79,7 @@ class BootstrapEstimator(ErrorEstimator):
         pool: WorkerPool | None = None,
         chunk_size: int = DEFAULT_REPLICATE_CHUNK,
         supervision: Supervision | None = None,
+        replicate_cap: int | None = None,
     ):
         if num_resamples < 2:
             raise EstimationError(
@@ -81,6 +87,7 @@ class BootstrapEstimator(ErrorEstimator):
             )
         self.num_resamples = num_resamples
         self.chunk_size = chunk_size
+        self.replicate_cap = replicate_cap
         self._rng = rng or np.random.default_rng()
         self._pool = pool
         self._supervision = supervision
@@ -118,6 +125,7 @@ class BootstrapEstimator(ErrorEstimator):
             chunk_size=self.chunk_size,
             pool=self._pool,
             supervision=self._supervision,
+            replicate_cap=self.replicate_cap,
         )
 
     def estimate(
@@ -159,6 +167,7 @@ def bootstrap_table_statistic(
     pool: WorkerPool | None = None,
     chunk_size: int = DEFAULT_REPLICATE_CHUNK,
     supervision: Supervision | None = None,
+    replicate_cap: int | None = None,
 ) -> np.ndarray:
     """Bootstrap replicate values of a black-box per-table statistic.
 
@@ -196,6 +205,7 @@ def bootstrap_table_statistic(
         chunk_size=chunk_size,
         pool=pool,
         supervision=supervision,
+        replicate_cap=replicate_cap,
     )
 
 

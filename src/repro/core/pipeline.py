@@ -31,6 +31,7 @@ Two engine-level performance features ride on top:
 
 from __future__ import annotations
 
+import logging
 import time
 import warnings
 from collections import OrderedDict
@@ -60,8 +61,12 @@ from repro.errors import (
     EstimationError,
     ExecutionError,
     PlanError,
+    ResourceExhaustedError,
 )
 from repro.faults import FaultPlan, resolve_fault_plan
+from repro.governor.breaker import DegradationLevel
+from repro.governor.cancel import CancelToken, cancel_scope
+from repro.governor.memory import MemoryAccountant, process_accountant
 from repro.obs.metrics import METRICS
 from repro.obs.trace import (
     Trace,
@@ -71,6 +76,7 @@ from repro.obs.trace import (
     trace_span,
 )
 from repro.parallel.pool import WorkerPool, resolve_num_workers
+from repro.parallel.shm import sweep_orphans
 from repro.parallel.supervise import (
     ExecutionReport,
     RetryPolicy,
@@ -81,6 +87,8 @@ from repro.sampling.catalog import SampleCatalog, SampleInfo
 from repro.sql.analyzer import AnalyzedQuery, analyze
 from repro.sql.functions import FunctionRegistry, default_function_registry
 from repro.sql.parser import parse_select
+
+logger = logging.getLogger(__name__)
 
 
 # ---------------------------------------------------------------------------
@@ -146,8 +154,10 @@ class BlackBoxBootstrapEstimator(ErrorEstimator):
         rng: np.random.Generator | None = None,
         pool: WorkerPool | None = None,
         supervision: Supervision | None = None,
+        replicate_cap: int | None = None,
     ):
         self.num_resamples = num_resamples
+        self.replicate_cap = replicate_cap
         self._rng = rng or np.random.default_rng()
         self._pool = pool
         self._supervision = supervision
@@ -171,6 +181,7 @@ class BlackBoxBootstrapEstimator(ErrorEstimator):
             rng,
             pool=self._pool,
             supervision=self._supervision,
+            replicate_cap=self.replicate_cap,
         )
         interval = interval_from_distribution(
             distribution, center, confidence, self.name
@@ -328,6 +339,16 @@ class EngineConfig:
     #: Consecutive pool-level failures tolerated before the engine
     #: degrades permanently to inline execution for the session.
     max_pool_failures: int = 2
+    #: Byte budget for allocation-heavy work (weight matrices, shared
+    #: arenas, resample tables, result buffers), reserved *before*
+    #: allocation through a :class:`~repro.governor.memory
+    #: .MemoryAccountant`.  ``None`` reads ``REPRO_MEMORY_BUDGET``
+    #: (unset → track-only, never rejects).  Engines without an
+    #: explicit budget share the process-wide accountant.
+    memory_budget_bytes: Optional[int] = None
+    #: How long a memory reservation may wait for a concurrent query to
+    #: release bytes before the plan is rejected/downgraded.
+    memory_wait_seconds: float = 0.2
     #: Build a query-lifecycle :class:`~repro.obs.trace.Trace` for every
     #: execute() call (``AQPResult.trace``; ``EXPLAIN ANALYZE`` in the
     #: CLI).  Default-on: the tracer touches no RNG stream, so traced
@@ -355,6 +376,7 @@ class AQPEngine:
         self,
         config: EngineConfig | None = None,
         seed: int | None = None,
+        memory: MemoryAccountant | None = None,
     ):
         self.config = config or EngineConfig()
         self.catalog = SampleCatalog(seed=seed)
@@ -366,6 +388,28 @@ class AQPEngine:
         self._plan_cache: OrderedDict[str, AnalyzedQuery] = OrderedDict()
         self._plan_cache_hits = 0
         self._plan_cache_misses = 0
+        # Memory governance: an explicit accountant (the query governor
+        # shares one across its engines) or an explicit budget makes a
+        # private ledger; otherwise draw from the process-wide one.
+        if memory is not None:
+            self.memory = memory
+        elif self.config.memory_budget_bytes is not None:
+            self.memory = MemoryAccountant(
+                self.config.memory_budget_bytes, name="engine"
+            )
+        else:
+            self.memory = process_accountant()
+        # Janitor pass: a previous process killed mid-query may have left
+        # shared-memory segments behind; engine startup is the natural
+        # place to reclaim them.
+        swept = sweep_orphans()
+        if swept:
+            logger.info(
+                "swept %d orphaned shared-memory segment(s) at startup: %s",
+                len(swept),
+                ", ".join(swept),
+            )
+            METRICS.counter("shm.orphans_swept").inc(len(swept))
 
     # -- worker pool -------------------------------------------------------
     @property
@@ -385,7 +429,9 @@ class AQPEngine:
             self._pool = WorkerPool(workers)
         return self._pool
 
-    def _new_supervision(self) -> Supervision:
+    def _new_supervision(
+        self, cancel: CancelToken | None = None
+    ) -> Supervision:
         """A fresh supervision context for one execute() call."""
         config = self.config
         policy = RetryPolicy(
@@ -402,6 +448,9 @@ class AQPEngine:
             policy=policy,
             deadline=deadline,
             allow_partial=True,
+            cancel=cancel,
+            memory=self.memory,
+            memory_wait_seconds=config.memory_wait_seconds,
         )
 
     def close(self) -> None:
@@ -525,6 +574,9 @@ class AQPEngine:
         max_sample_rows: int | None = None,
         error_bound: float | None = None,
         run_diagnostics: bool | None = None,
+        cancel: CancelToken | None = None,
+        timeout: float | None = None,
+        degradation: DegradationLevel | None = None,
     ) -> AQPResult:
         """Answer ``sql`` approximately with reliable error bars.
 
@@ -538,72 +590,104 @@ class AQPEngine:
             error_bound: maximum acceptable relative error; estimates
                 missing the bound trigger the fallback.
             run_diagnostics: override the engine-level diagnostics flag.
+            cancel: cooperative cancellation token; when it fires, the
+                query raises
+                :class:`~repro.errors.QueryCancelledError` at the next
+                stage/batch boundary, with all shared memory released.
+            timeout: hard per-query deadline in seconds (shorthand for
+                a self-cancelling token; ignored when ``cancel`` is
+                given).
+            degradation: fidelity floor imposed by the query governor
+                (:class:`~repro.governor.breaker.DegradationLevel`).
+                Any level above ``FULL`` is recorded in the execution
+                report, so a stepped-down answer is never silent.
         """
         started = time.perf_counter()
+        if cancel is None and timeout is not None:
+            cancel = CancelToken.with_timeout(timeout)
+        level = (
+            DegradationLevel(degradation)
+            if degradation is not None
+            else DegradationLevel.FULL
+        )
         trace = Trace("query", sql=sql) if self.config.tracing else None
         token = activate_trace(trace) if trace is not None else None
         try:
-            confidence = confidence or self.config.confidence
-            should_diagnose = (
-                self.config.run_diagnostics
-                if run_diagnostics is None
-                else run_diagnostics
-            )
-            query = self.analyze_sql(sql)
-            if not query.is_aggregate_query:
-                raise AnalysisError(
-                    "approximate execution requires an aggregate query; use "
-                    "execute_exact for projections"
+            with cancel_scope(cancel):
+                if cancel is not None:
+                    cancel.check()
+                confidence = confidence or self.config.confidence
+                should_diagnose = (
+                    self.config.run_diagnostics
+                    if run_diagnostics is None
+                    else run_diagnostics
                 )
-            with trace_span("select_sample") as sample_span:
-                if sample_name is not None:
-                    info, sample = self.catalog.sample(
-                        query.source_table, sample_name
+                query = self.analyze_sql(sql)
+                if not query.is_aggregate_query:
+                    raise AnalysisError(
+                        "approximate execution requires an aggregate query; "
+                        "use execute_exact for projections"
                     )
-                else:
-                    info, sample = self.catalog.select_sample(
-                        query.source_table, max_rows=max_sample_rows
-                    )
-                if sample_span is not None:
-                    sample_span.tags["sample"] = info.name
-                    sample_span.tags["rows"] = info.rows
+                with trace_span("select_sample") as sample_span:
+                    if sample_name is not None:
+                        info, sample = self.catalog.sample(
+                            query.source_table, sample_name
+                        )
+                    else:
+                        info, sample = self.catalog.select_sample(
+                            query.source_table, max_rows=max_sample_rows
+                        )
+                    if sample_span is not None:
+                        sample_span.tags["sample"] = info.name
+                        sample_span.tags["rows"] = info.rows
 
-            supervision = self._new_supervision()
-            bootstrap_subqueries = 0
-            diagnostic_subqueries = 0
-            attempt = 0
-            while True:
-                state = _ExecutionState(
-                    engine=self,
-                    query=query,
-                    sql=sql,
-                    sample_info=info,
-                    sample=sample,
-                    confidence=confidence,
-                    should_diagnose=should_diagnose,
-                    error_bound=error_bound,
-                    supervision=supervision,
-                )
-                with trace_span(
-                    "execute_on_sample",
-                    sample=info.name,
-                    rows=info.rows,
-                    escalation=attempt,
-                ):
-                    rows = state.run()
-                bootstrap_subqueries += state.bootstrap_subqueries
-                diagnostic_subqueries += state.diagnostic_subqueries
-                escalation = self._next_larger_sample(query, info, rows)
-                if escalation is None:
-                    break
-                info, sample = escalation
-                attempt += 1
-                trace_event("sample_escalation", to_sample=info.name)
-            report = supervision.report
-            if report.degraded:
-                warnings.warn(
-                    DegradedResultWarning(report.summary()), stacklevel=2
-                )
+                supervision = self._new_supervision(cancel)
+                if level is not DegradationLevel.FULL:
+                    supervision.report.note_degradation(
+                        f"governor degradation level {level.label!r} "
+                        "applied to this query"
+                    )
+                    trace_event("governor.degraded", level=level.label)
+                    METRICS.counter(
+                        f"engine.degradation.{level.label}"
+                    ).inc()
+                bootstrap_subqueries = 0
+                diagnostic_subqueries = 0
+                attempt = 0
+                while True:
+                    supervision.check_cancelled()
+                    state = _ExecutionState(
+                        engine=self,
+                        query=query,
+                        sql=sql,
+                        sample_info=info,
+                        sample=sample,
+                        confidence=confidence,
+                        should_diagnose=should_diagnose,
+                        error_bound=error_bound,
+                        supervision=supervision,
+                        degradation=level,
+                    )
+                    with trace_span(
+                        "execute_on_sample",
+                        sample=info.name,
+                        rows=info.rows,
+                        escalation=attempt,
+                    ):
+                        rows = state.run()
+                    bootstrap_subqueries += state.bootstrap_subqueries
+                    diagnostic_subqueries += state.diagnostic_subqueries
+                    escalation = self._next_larger_sample(query, info, rows)
+                    if escalation is None:
+                        break
+                    info, sample = escalation
+                    attempt += 1
+                    trace_event("sample_escalation", to_sample=info.name)
+                report = supervision.report
+                if report.degraded:
+                    warnings.warn(
+                        DegradedResultWarning(report.summary()), stacklevel=2
+                    )
         finally:
             if trace is not None:
                 deactivate_trace(token)
@@ -679,6 +763,7 @@ class _ExecutionState:
     should_diagnose: bool
     error_bound: Optional[float]
     supervision: Supervision = field(default_factory=Supervision.default)
+    degradation: DegradationLevel = DegradationLevel.FULL
     bootstrap_subqueries: int = 0
     diagnostic_subqueries: int = 0
     _exact_result: Optional[Table] = None
@@ -752,6 +837,7 @@ class _ExecutionState:
         mask: np.ndarray | None,
         group: dict | None = None,
     ) -> ApproximateValue:
+        self.supervision.check_cancelled()
         with trace_span("estimate", aggregate=spec.output_name) as span:
             if spec.argument is None:
                 argument_values = np.ones(working.num_rows, dtype=np.float64)
@@ -767,6 +853,25 @@ class _ExecutionState:
                 extensive=spec.extensive,
             )
             estimator = self._pick_estimator(spec)
+            if (
+                estimator.name == "bootstrap"
+                and self.degradation >= DegradationLevel.CLOSED_FORM
+            ):
+                # The governor floored this query below the bootstrap:
+                # substitute the closed form when it applies, else the
+                # flagged point estimate — never run the K replicates.
+                return self._degraded_value(
+                    spec,
+                    target,
+                    reason=(
+                        "governor degradation level "
+                        f"{self.degradation.label!r}"
+                    ),
+                    group=group,
+                    allow_closed_form=(
+                        self.degradation == DegradationLevel.CLOSED_FORM
+                    ),
+                )
             if span is not None:
                 span.tags["estimator"] = estimator.name
             rng = self.engine._rng
@@ -775,6 +880,13 @@ class _ExecutionState:
             except EstimationError as exc:
                 return self._fall_back(
                     spec, target, reason=str(exc), group=group
+                )
+            except ResourceExhaustedError as exc:
+                # The plan's memory footprint does not fit the budget:
+                # it was refused before allocation, so degrade to a
+                # cheaper (honest) estimate rather than crash or swap.
+                return self._degraded_value(
+                    spec, target, str(exc), group=group
                 )
             except ExecutionError as exc:
                 # The bootstrap fan-out is entirely unavailable (every
@@ -790,7 +902,7 @@ class _ExecutionState:
                 )
 
             diagnostic = None
-            if self.should_diagnose:
+            if self.should_diagnose and self._diagnostics_allowed:
                 diagnostic = self._diagnose(target, estimator)
                 if diagnostic is not None and not diagnostic.passed:
                     return self._fall_back(
@@ -822,6 +934,29 @@ class _ExecutionState:
                 diagnostic=diagnostic,
             )
 
+    @property
+    def _diagnostics_allowed(self) -> bool:
+        """Diagnostics only run at full fidelity.
+
+        Every rung below ``FULL`` exists to shed work under pressure,
+        and the diagnostic's p×k subsample evaluations are the most
+        expendable work there is: the result is already flagged
+        degraded, so skipping the diagnostic never hides anything.
+        """
+        return self.degradation is DegradationLevel.FULL
+
+    def _replicate_cap(self) -> Optional[int]:
+        """The reduced-K budget, or ``None`` at full fidelity.
+
+        A quarter of the configured K (at least 2); the ops layer
+        rounds it to a whole chunk so the computed replicates stay
+        bit-identical to the leading chunks of a full run, and the
+        estimator widens the CI by ``sqrt(K/K')``.
+        """
+        if self.degradation < DegradationLevel.REDUCED_K:
+            return None
+        return max(2, self.engine.config.num_bootstrap_resamples // 4)
+
     def _pick_estimator(self, spec) -> ErrorEstimator:
         if spec.closed_form_capable and not self.query.contains_udf:
             return ClosedFormEstimator()
@@ -845,6 +980,7 @@ class _ExecutionState:
             self.engine._rng,
             pool=self.engine.worker_pool,
             supervision=self.supervision,
+            replicate_cap=self._replicate_cap(),
         )
 
     def _diagnose(self, target, estimator) -> DiagnosticResult | None:
@@ -863,6 +999,15 @@ class _ExecutionState:
                 pool=self.engine.worker_pool,
                 supervision=self.supervision,
             )
+        except ResourceExhaustedError as exc:
+            # The diagnostic's footprint does not fit the memory budget.
+            # It is advisory work: skip it (recorded as a degradation)
+            # rather than trigger the exact fallback, whose full-data
+            # scan is the *most* expensive response to memory pressure.
+            self.supervision.report.note_degradation(
+                f"diagnostic skipped under memory pressure: {exc}"
+            )
+            return None
         except ExecutionError as exc:
             # No subsample evaluation completed at some size: the
             # diagnostic could not run, which is *not* evidence that
@@ -883,14 +1028,18 @@ class _ExecutionState:
         target: EstimationTarget | None,
         reason: str,
         group: dict | None = None,
+        allow_closed_form: bool = True,
     ) -> ApproximateValue:
-        """Honest answer when the bootstrap fan-out is entirely down.
+        """Honest answer when the bootstrap cannot (or must not) run.
 
-        Falls back to the closed-form error estimate when one is
-        mathematically applicable to this aggregate (even for queries
-        the planner routed to the bootstrap), otherwise returns the
-        sample point estimate with no interval, flagged ``unreliable``.
-        Never a silent wrong answer, never a spurious crash.
+        Used both when the fan-out is entirely down and when the
+        governor floors a query below the bootstrap.  Falls back to the
+        closed-form error estimate when one is mathematically
+        applicable to this aggregate (even for queries the planner
+        routed to the bootstrap), otherwise returns the sample point
+        estimate with no interval, flagged ``unreliable``.  Never a
+        silent wrong answer, never a spurious crash.  The
+        ``POINT_ESTIMATE`` ladder rung disables the closed form too.
         """
         report = self.supervision.report
         report.note_degradation(f"bootstrap unavailable: {reason}")
@@ -899,7 +1048,8 @@ class _ExecutionState:
         )
         closed = ClosedFormEstimator()
         if (
-            isinstance(target, EstimationTarget)
+            allow_closed_form
+            and isinstance(target, EstimationTarget)
             and closed.applicable(target)
         ):
             report.note_fallback(
@@ -937,24 +1087,38 @@ class _ExecutionState:
             return self._run_black_box_inner()
 
     def _run_black_box_inner(self) -> AQPRow:
+        self.supervision.check_cancelled()
         target = TableQueryTarget(
             table=self.sample, query=self.query, executor=self.engine._executor
         )
+        spec = self.query.aggregates[0]
+        if self.degradation >= DegradationLevel.CLOSED_FORM:
+            # No closed form exists for a black-box nested query, so
+            # both lower rungs collapse to the flagged point estimate.
+            value = self._degraded_value(
+                spec,
+                target,
+                reason=(
+                    "governor degradation level "
+                    f"{self.degradation.label!r}"
+                ),
+            )
+            return AQPRow(group={}, values={spec.output_name: value})
         estimator = BlackBoxBootstrapEstimator(
             self.engine.config.num_bootstrap_resamples,
             self.engine._rng,
             pool=self.engine.worker_pool,
             supervision=self.supervision,
+            replicate_cap=self._replicate_cap(),
         )
-        spec = self.query.aggregates[0]
         try:
             interval = estimator.estimate(target, self.confidence)
-        except ExecutionError as exc:
+        except (ExecutionError, ResourceExhaustedError) as exc:
             value = self._degraded_value(spec, target, str(exc))
             return AQPRow(group={}, values={spec.output_name: value})
         self.bootstrap_subqueries += self.engine.config.num_bootstrap_resamples
         diagnostic = None
-        if self.should_diagnose:
+        if self.should_diagnose and self._diagnostics_allowed:
             config = self.engine.config.diagnostic or _auto_diagnostic_config(
                 target.total_sample_rows, black_box=True
             )
@@ -969,6 +1133,11 @@ class _ExecutionState:
                         pool=self.engine.worker_pool,
                         supervision=self.supervision,
                     )
+                except ResourceExhaustedError as exc:
+                    self.supervision.report.note_degradation(
+                        f"diagnostic skipped under memory pressure: {exc}"
+                    )
+                    diagnostic = None
                 except ExecutionError as exc:
                     diagnostic = DiagnosticResult(
                         passed=False,
@@ -976,7 +1145,8 @@ class _ExecutionState:
                         estimator_name=estimator.name,
                         reason=f"diagnostic execution failed: {exc}",
                     )
-                self.diagnostic_subqueries += diagnostic.num_subqueries
+                if diagnostic is not None:
+                    self.diagnostic_subqueries += diagnostic.num_subqueries
         if diagnostic is not None and not diagnostic.passed:
             value = self._fall_back(
                 spec,

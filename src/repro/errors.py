@@ -98,6 +98,52 @@ class DiagnosticError(ReproError):
     """
 
 
+class ResourceError(ReproError):
+    """Base class for resource-governance failures (:mod:`repro.governor`).
+
+    These errors are *policy*, not bugs: the query governor refused,
+    curtailed, or interrupted work to keep the process alive and honest
+    under load.  Catch :class:`ResourceError` to handle "the system is
+    protecting itself" distinctly from SQL or execution failures.
+    """
+
+
+class ResourceExhaustedError(ResourceError):
+    """A memory (or other resource) reservation could not be satisfied.
+
+    Raised *before* any allocation happens: the
+    :class:`~repro.governor.memory.MemoryAccountant` reserves the full
+    footprint of an operation up front, so rejection never strands a
+    partially built weight matrix or shared-memory segment.
+
+    Attributes:
+        requested_bytes: size of the reservation that failed, or ``None``.
+    """
+
+    def __init__(self, message: str, requested_bytes: int | None = None):
+        super().__init__(message)
+        self.requested_bytes = requested_bytes
+
+
+class QueryCancelledError(ResourceError):
+    """A query was cooperatively cancelled mid-flight.
+
+    Raised at the next stage/batch boundary after a
+    :class:`~repro.governor.cancel.CancelToken` fires (caller cancel,
+    CLI ``--timeout``, REPL Ctrl-C).  Cleanup is guaranteed: shared
+    memory is released and no worker is left stuck.
+    """
+
+
+class AdmissionRejectedError(ResourceError):
+    """The governor refused to admit a query (load shedding).
+
+    Raised when the admission queue is full, the queue wait exceeded
+    its deadline, or the circuit breaker is open and fast-rejecting.
+    The caller should back off and retry later.
+    """
+
+
 class SamplingError(ReproError):
     """A sampling or resampling operation received invalid parameters."""
 

@@ -1,0 +1,78 @@
+"""The query governor: overload as a first-class, honest state.
+
+The paper's engine knows when its *error bars* are wrong (§4); this
+package makes the system know when its *resources* are wrong — and
+refuse, queue, cancel, or degrade instead of crashing.  Four pieces:
+
+* :mod:`repro.governor.memory` — a process-wide
+  :class:`MemoryAccountant` that reserves an operation's full byte
+  footprint *before* any allocation (weight matrices, shared-memory
+  arenas, resample tables, result buffers), so an over-budget plan is
+  rejected or downgraded while it is still a plan.
+* :mod:`repro.governor.cancel` — cooperative :class:`CancelToken`
+  cancellation and hard timeouts, checked at every stage/batch
+  boundary with guaranteed cleanup.
+* :mod:`repro.governor.admission` — :class:`QueryGovernor`:
+  concurrency slots, a bounded admission queue with deadlines, and
+  reject/queue/degrade load shedding.
+* :mod:`repro.governor.breaker` — a :class:`CircuitBreaker` that maps
+  sustained pressure onto the honest-degradation ladder
+  (:class:`DegradationLevel`): full bootstrap → reduced K with widened
+  CI → closed form → flagged point estimate.
+
+Quickstart::
+
+    from repro.governor import GovernorConfig, QueryGovernor
+
+    governor = QueryGovernor(
+        make_engine,                     # factory: one engine per slot
+        GovernorConfig(
+            max_concurrency=4,
+            shed_policy="degrade",
+            memory_budget_bytes=1 << 30,
+            default_timeout_seconds=10.0,
+        ),
+    )
+    result = governor.execute("SELECT AVG(time) FROM sessions")
+"""
+
+from repro.governor.admission import GovernorConfig, QueryGovernor
+from repro.governor.breaker import (
+    BreakerState,
+    CircuitBreaker,
+    DegradationLevel,
+)
+from repro.governor.cancel import (
+    CancelToken,
+    active_token,
+    cancel_scope,
+    check_cancelled,
+)
+from repro.governor.memory import (
+    MEMORY_BUDGET_ENV,
+    MemoryAccountant,
+    MemoryReservation,
+    process_accountant,
+    resident_memory_bytes,
+    resolve_memory_budget,
+    update_resident_gauge,
+)
+
+__all__ = [
+    "BreakerState",
+    "CancelToken",
+    "CircuitBreaker",
+    "DegradationLevel",
+    "GovernorConfig",
+    "MEMORY_BUDGET_ENV",
+    "MemoryAccountant",
+    "MemoryReservation",
+    "QueryGovernor",
+    "active_token",
+    "cancel_scope",
+    "check_cancelled",
+    "process_accountant",
+    "resident_memory_bytes",
+    "resolve_memory_budget",
+    "update_resident_gauge",
+]

@@ -1,0 +1,419 @@
+"""Admission control: concurrency slots, a bounded queue, load shedding.
+
+:class:`QueryGovernor` sits between callers and
+:class:`~repro.core.pipeline.AQPEngine` and makes overload a
+first-class, honestly degraded state instead of a crash:
+
+* at most ``max_concurrency`` queries execute at full fidelity;
+* arrivals beyond that are handled by the ``shed_policy`` —
+  ``"reject"`` (fail fast with
+  :class:`~repro.errors.AdmissionRejectedError`), ``"queue"`` (wait in
+  a bounded queue with a deadline), or ``"degrade"`` (admit up to
+  ``max_overflow`` extra queries, stepped down the degradation
+  ladder);
+* a :class:`~repro.governor.breaker.CircuitBreaker` watches recent
+  outcomes and, under sustained pressure, lowers the fidelity floor of
+  *every* admitted query — spending accuracy (with honest error bars)
+  to preserve availability;
+* one :class:`~repro.governor.memory.MemoryAccountant` is shared by
+  every engine the governor drives, so N concurrent callers draw from
+  a single process-wide byte budget.
+
+Determinism: a query admitted with no contention runs at
+``DegradationLevel.FULL`` on an idle engine — bit-identical to the
+same query on an ungoverned engine at any worker count.  The governor
+only changes *what work is attempted*, never the RNG streams of the
+work that runs.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import AdmissionRejectedError, ReproError, ResourceError
+from repro.governor.breaker import CircuitBreaker, DegradationLevel
+from repro.governor.cancel import CancelToken, cancel_scope
+from repro.governor.memory import (
+    MemoryAccountant,
+    update_resident_gauge,
+)
+from repro.obs.metrics import METRICS
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["GovernorConfig", "QueryGovernor"]
+
+#: Valid load-shedding policies.
+SHED_POLICIES = ("reject", "queue", "degrade")
+
+
+@dataclass
+class GovernorConfig:
+    """Tunable behaviour of :class:`QueryGovernor`.
+
+    Attributes:
+        max_concurrency: queries executing simultaneously at full
+            fidelity (and the number of engines a factory-backed
+            governor keeps).
+        shed_policy: what happens to arrivals beyond the slots:
+            ``"reject"``, ``"queue"``, or ``"degrade"``.
+        max_queue_depth: bounded queue length for the ``"queue"``
+            policy; a full queue always rejects.
+        queue_timeout_seconds: longest a queued query waits for a slot
+            before being shed.
+        max_overflow: extra degraded admissions for the ``"degrade"``
+            policy (beyond these, arrivals are queued briefly, then
+            shed).
+        overflow_level: ladder rung overflow admissions run at.
+        memory_budget_bytes: process-wide byte budget shared by every
+            engine under this governor; ``None`` reads
+            ``REPRO_MEMORY_BUDGET`` (unset → track-only).
+        memory_wait_seconds: how long an operation's memory
+            reservation may wait for another query to release before
+            the plan is downgraded.
+        default_timeout_seconds: deadline attached to every query that
+            arrives without its own timeout or token (``None`` → no
+            deadline).
+        breaker_failure_threshold / breaker_window / breaker_min_samples
+            / breaker_cooldown_seconds / breaker_open_level: circuit
+            breaker tuning (see
+            :class:`~repro.governor.breaker.CircuitBreaker`).
+    """
+
+    max_concurrency: int = 4
+    shed_policy: str = "queue"
+    max_queue_depth: int = 16
+    queue_timeout_seconds: float = 5.0
+    max_overflow: int = 4
+    overflow_level: DegradationLevel = DegradationLevel.REDUCED_K
+    memory_budget_bytes: Optional[int] = None
+    memory_wait_seconds: float = 0.2
+    default_timeout_seconds: Optional[float] = None
+    breaker_failure_threshold: float = 0.5
+    breaker_window: int = 20
+    breaker_min_samples: int = 5
+    breaker_cooldown_seconds: float = 2.0
+    breaker_open_level: DegradationLevel = DegradationLevel.CLOSED_FORM
+
+    def __post_init__(self):
+        if self.max_concurrency < 1:
+            raise ValueError(
+                f"max_concurrency must be >= 1, got {self.max_concurrency}"
+            )
+        if self.shed_policy not in SHED_POLICIES:
+            raise ValueError(
+                f"unknown shed_policy {self.shed_policy!r}; expected one of "
+                f"{SHED_POLICIES}"
+            )
+        if self.max_queue_depth < 0 or self.max_overflow < 0:
+            raise ValueError(
+                "max_queue_depth and max_overflow must be non-negative"
+            )
+
+
+@dataclass
+class _Admission:
+    """One admitted query's ticket: its fidelity level and slot kind."""
+
+    level: DegradationLevel
+    overflow: bool = False
+    queued_seconds: float = 0.0
+
+
+class QueryGovernor:
+    """Admission control + degradation ladder in front of AQP engines.
+
+    Args:
+        engine_or_factory: either a ready
+            :class:`~repro.core.pipeline.AQPEngine` (all admitted
+            queries share it, serialised by checkout — admission
+            limits still apply) or a zero-argument callable producing
+            engines (one per concurrency/overflow slot, enabling true
+            concurrent execution).
+        config: governor tuning; defaults are service-appropriate.
+    """
+
+    def __init__(
+        self,
+        engine_or_factory,
+        config: GovernorConfig | None = None,
+    ):
+        self.config = config or GovernorConfig()
+        self.memory = MemoryAccountant(
+            self.config.memory_budget_bytes, name="governor"
+        )
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_failure_threshold,
+            window=self.config.breaker_window,
+            min_samples=self.config.breaker_min_samples,
+            cooldown_seconds=self.config.breaker_cooldown_seconds,
+            open_level=self.config.breaker_open_level,
+        )
+        if callable(engine_or_factory):
+            self._factory: Optional[Callable] = engine_or_factory
+            self._idle_engines: list = []
+            self._engines_built = 0
+        else:
+            self._factory = None
+            self._idle_engines = [engine_or_factory]
+            self._engines_built = 1
+        self._owns_engines = self._factory is not None
+        self._condition = threading.Condition()
+        self._in_flight = 0
+        self._overflow_in_flight = 0
+        self._queue_depth = 0
+        self._closed = False
+        # Outcome tallies for stats()/the stress bench.
+        self._admitted = 0
+        self._rejected = 0
+        self._completed = 0
+        self._errors = 0
+        self._level_counts: dict[str, int] = {
+            level.label: 0 for level in DegradationLevel
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Shut down engines the governor created (idempotent)."""
+        with self._condition:
+            self._closed = True
+            engines, self._idle_engines = self._idle_engines, []
+            self._condition.notify_all()
+        if self._owns_engines:
+            for engine in engines:
+                engine.close()
+
+    def __enter__(self) -> "QueryGovernor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- engine checkout ---------------------------------------------------
+    @property
+    def _max_engines(self) -> int:
+        if self._factory is None:
+            return 1
+        return self.config.max_concurrency + self.config.max_overflow
+
+    def _checkout_engine(self, token: CancelToken):
+        with self._condition:
+            while True:
+                if self._closed:
+                    raise AdmissionRejectedError("governor is shut down")
+                if self._idle_engines:
+                    engine = self._idle_engines.pop()
+                    break
+                if (
+                    self._factory is not None
+                    and self._engines_built < self._max_engines
+                ):
+                    self._engines_built += 1
+                    engine = None  # build outside the lock
+                    break
+                token.check()
+                self._condition.wait(0.05)
+        if engine is None:
+            try:
+                engine = self._factory()
+            except BaseException:
+                with self._condition:
+                    self._engines_built -= 1
+                    self._condition.notify_all()
+                raise
+        # Every engine under this governor draws from one shared ledger.
+        engine.memory = self.memory
+        engine.config.memory_wait_seconds = self.config.memory_wait_seconds
+        return engine
+
+    def _checkin_engine(self, engine) -> None:
+        with self._condition:
+            if self._closed and self._owns_engines:
+                engine.close()
+                return
+            self._idle_engines.append(engine)
+            self._condition.notify_all()
+
+    # -- admission ---------------------------------------------------------
+    def _reject(self, reason: str) -> None:
+        with self._condition:
+            self._rejected += 1
+        METRICS.counter("governor.rejected").inc()
+        self.breaker.record(False)
+        raise AdmissionRejectedError(reason)
+
+    def _admit(self, token: CancelToken) -> _Admission:
+        config = self.config
+        with self._condition:
+            if self._closed:
+                raise AdmissionRejectedError("governor is shut down")
+            if self._in_flight < config.max_concurrency:
+                self._in_flight += 1
+                return self._granted(_Admission(self.breaker.floor_level()))
+            if config.shed_policy == "degrade" and (
+                self._overflow_in_flight < config.max_overflow
+            ):
+                self._in_flight += 1
+                self._overflow_in_flight += 1
+                level = max(
+                    config.overflow_level, self.breaker.floor_level()
+                )
+                return self._granted(_Admission(level, overflow=True))
+            if config.shed_policy == "reject" or (
+                self._queue_depth >= config.max_queue_depth
+            ):
+                pass  # fall through to rejection below
+            else:
+                return self._wait_in_queue(token)
+        self._reject(
+            f"admission refused: {config.max_concurrency} queries in "
+            f"flight and the {config.shed_policy!r} policy has no room"
+        )
+
+    def _wait_in_queue(self, token: CancelToken) -> _Admission:
+        """Wait (holding a queue slot) for an execution slot. Lock held."""
+        config = self.config
+        self._queue_depth += 1
+        METRICS.counter("governor.queued").inc()
+        METRICS.gauge("governor.queue_depth").set(self._queue_depth)
+        waited = 0.0
+        started = time.monotonic()
+        try:
+            while self._in_flight >= config.max_concurrency:
+                if self._closed:
+                    raise AdmissionRejectedError("governor is shut down")
+                token.check()
+                if waited >= config.queue_timeout_seconds:
+                    break
+                self._condition.wait(0.05)
+                waited = time.monotonic() - started
+            if self._in_flight < config.max_concurrency:
+                self._in_flight += 1
+                return self._granted(
+                    _Admission(
+                        self.breaker.floor_level(),
+                        queued_seconds=time.monotonic() - started,
+                    )
+                )
+        finally:
+            self._queue_depth -= 1
+            METRICS.gauge("governor.queue_depth").set(self._queue_depth)
+        # Queue deadline expired without a slot: shed.
+        self._rejected += 1
+        METRICS.counter("governor.rejected").inc()
+        self.breaker.record(False)
+        raise AdmissionRejectedError(
+            f"queued {waited:.2f}s without an execution slot "
+            f"(queue_timeout_seconds={config.queue_timeout_seconds})"
+        )
+
+    def _granted(self, admission: _Admission) -> _Admission:
+        self._admitted += 1
+        self._level_counts[admission.level.label] += 1
+        METRICS.counter("governor.admitted").inc()
+        METRICS.counter(f"governor.level.{admission.level.label}").inc()
+        return admission
+
+    def _release_slot(self, admission: _Admission) -> None:
+        with self._condition:
+            self._in_flight -= 1
+            if admission.overflow:
+                self._overflow_in_flight -= 1
+            self._condition.notify_all()
+
+    # -- execution ---------------------------------------------------------
+    def execute(
+        self,
+        sql: str,
+        timeout: float | None = None,
+        cancel: CancelToken | None = None,
+        **kwargs,
+    ):
+        """Admit and execute ``sql``, honestly degraded under load.
+
+        Args:
+            sql: the query text.
+            timeout: hard per-query deadline in seconds; past it the
+                query is cooperatively cancelled
+                (:class:`~repro.errors.QueryCancelledError`).  Ignored
+                when ``cancel`` already carries a deadline.
+            cancel: an external cancellation token (e.g. wired to a
+                client disconnect).
+            **kwargs: forwarded to
+                :meth:`~repro.core.pipeline.AQPEngine.execute`.
+
+        Raises:
+            AdmissionRejectedError: the query was shed at admission.
+            QueryCancelledError: the token fired mid-flight.
+        """
+        if cancel is not None:
+            token = cancel
+        elif timeout is not None:
+            token = CancelToken.with_timeout(timeout)
+        elif self.config.default_timeout_seconds is not None:
+            token = CancelToken.with_timeout(
+                self.config.default_timeout_seconds
+            )
+        else:
+            token = CancelToken()
+        token.check()
+        admission = self._admit(token)
+        engine = None
+        ok = False
+        try:
+            engine = self._checkout_engine(token)
+            result = engine.execute(
+                sql,
+                cancel=token,
+                degradation=admission.level,
+                **kwargs,
+            )
+            report = result.execution_report
+            # A query admitted at a reduced level that came back degraded
+            # executed exactly as planned; only *unplanned* degradation
+            # (admitted FULL, returned degraded) signals pressure to the
+            # breaker — otherwise overflow admissions would feed the
+            # breaker the very degradation it causes and never recover.
+            planned = admission.level > DegradationLevel.FULL
+            ok = planned or report is None or not report.degraded
+            with self._condition:
+                self._completed += 1
+            return result
+        except ResourceError:
+            with self._condition:
+                self._errors += 1
+            raise
+        except ReproError:
+            # SQL/plan errors are the caller's fault, not load: count
+            # them as completed work so they cannot trip the breaker.
+            ok = True
+            with self._condition:
+                self._errors += 1
+            raise
+        finally:
+            if engine is not None:
+                self._checkin_engine(engine)
+            self._release_slot(admission)
+            self.breaker.record(ok)
+            update_resident_gauge()
+
+    # -- introspection -----------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-friendly account of admissions, shedding, and pressure."""
+        with self._condition:
+            counts = {
+                "admitted": self._admitted,
+                "rejected": self._rejected,
+                "completed": self._completed,
+                "errors": self._errors,
+                "in_flight": self._in_flight,
+                "queue_depth": self._queue_depth,
+                "levels": dict(self._level_counts),
+            }
+        counts["breaker"] = self.breaker.snapshot()
+        counts["memory"] = self.memory.snapshot()
+        return counts

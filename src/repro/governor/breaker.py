@@ -1,0 +1,185 @@
+"""A sliding-window circuit breaker over query outcomes.
+
+Admission control handles *instantaneous* overload (too many queries in
+flight right now); the breaker handles *sustained* pressure: when a
+large fraction of recent queries shed, timed out, or were refused
+memory, letting new arrivals run at full fidelity only digs the hole
+deeper.  While the breaker is open, the governor lowers every admitted
+query onto the honest-degradation ladder (reduced K → closed form →
+flagged point estimate) and, at the limit, fast-rejects.
+
+States follow the classic pattern:
+
+* **closed** — normal operation; outcomes are recorded into a bounded
+  window.
+* **open** — the recent failure fraction crossed ``failure_threshold``
+  (with at least ``min_samples`` observations).  Admitted queries run
+  degraded; opens last ``cooldown_seconds``.
+* **half-open** — after the cooldown, probes run at full fidelity; a
+  clean probe closes the breaker, a failed one re-opens it.
+
+The clock is injectable so tests (and the deterministic stress
+scenario) can drive state transitions without real sleeps.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from enum import IntEnum
+from typing import Callable
+
+from repro.obs.metrics import METRICS
+
+__all__ = ["BreakerState", "CircuitBreaker", "DegradationLevel"]
+
+
+class DegradationLevel(IntEnum):
+    """The honest-degradation ladder, in order of decreasing fidelity.
+
+    The rungs are exactly the PR 2 fallback ladder, now driven
+    proactively by load rather than reactively by worker failures:
+
+    * ``FULL`` — full-K bootstrap plus diagnostics.
+    * ``REDUCED_K`` — a quarter of the configured replicates; the CI is
+      widened by the Monte-Carlo inflation factor ``sqrt(K/K')`` and
+      diagnostics are skipped.
+    * ``CLOSED_FORM`` — closed-form error estimates where the analyzer
+      says they apply; aggregates with no closed form drop to the next
+      rung.
+    * ``POINT_ESTIMATE`` — the sample point estimate, no interval,
+      explicitly flagged ``unreliable``.
+    """
+
+    FULL = 0
+    REDUCED_K = 1
+    CLOSED_FORM = 2
+    POINT_ESTIMATE = 3
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+class BreakerState(IntEnum):
+    CLOSED = 0
+    OPEN = 1
+    HALF_OPEN = 2
+
+
+class CircuitBreaker:
+    """Outcome-window breaker mapping sustained pressure to a ladder floor.
+
+    Args:
+        failure_threshold: fraction of failures in the window that
+            opens the breaker.
+        window: number of recent outcomes considered.
+        min_samples: observations required before the breaker may open.
+        cooldown_seconds: how long an open lasts before probing.
+        open_level: ladder floor applied while open.
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: float = 0.5,
+        window: int = 20,
+        min_samples: int = 5,
+        cooldown_seconds: float = 2.0,
+        open_level: DegradationLevel = DegradationLevel.CLOSED_FORM,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ValueError(
+                f"failure_threshold must be in (0, 1], got {failure_threshold}"
+            )
+        if window < 1 or min_samples < 1:
+            raise ValueError("window and min_samples must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.min_samples = min_samples
+        self.cooldown_seconds = cooldown_seconds
+        self.open_level = open_level
+        self._clock = clock
+        self._outcomes: deque[bool] = deque(maxlen=window)
+        self._state = BreakerState.CLOSED
+        self._opened_at = 0.0
+        self._trips = 0
+        self._lock = threading.Lock()
+
+    # -- state -------------------------------------------------------------
+    @property
+    def state(self) -> BreakerState:
+        with self._lock:
+            return self._effective_state()
+
+    @property
+    def trips(self) -> int:
+        return self._trips
+
+    def _effective_state(self) -> BreakerState:
+        if self._state == BreakerState.OPEN and (
+            self._clock() - self._opened_at >= self.cooldown_seconds
+        ):
+            self._state = BreakerState.HALF_OPEN
+        return self._state
+
+    def _failure_fraction(self) -> float:
+        if not self._outcomes:
+            return 0.0
+        return sum(1 for ok in self._outcomes if not ok) / len(self._outcomes)
+
+    def floor_level(self) -> DegradationLevel:
+        """The minimum ladder rung the breaker currently imposes.
+
+        Open → ``open_level``; half-open probes and closed operation run
+        at ``FULL``.
+        """
+        with self._lock:
+            if self._effective_state() == BreakerState.OPEN:
+                return self.open_level
+            return DegradationLevel.FULL
+
+    # -- outcome recording -------------------------------------------------
+    def record(self, ok: bool) -> None:
+        """Record one query outcome and update the state machine.
+
+        ``ok`` should be ``False`` for shed/cancelled/memory-refused
+        queries and for answers that had to degrade — the breaker's job
+        is to notice that *honesty is being spent* and cheapen the work
+        before dishonesty (an OOM crash) becomes the only option.
+        """
+        with self._lock:
+            state = self._effective_state()
+            if state == BreakerState.HALF_OPEN:
+                if ok:
+                    self._state = BreakerState.CLOSED
+                    self._outcomes.clear()
+                    METRICS.gauge("governor.breaker_open").set(0)
+                else:
+                    self._trip()
+                return
+            self._outcomes.append(ok)
+            if (
+                state == BreakerState.CLOSED
+                and len(self._outcomes) >= self.min_samples
+                and self._failure_fraction() >= self.failure_threshold
+            ):
+                self._trip()
+
+    def _trip(self) -> None:
+        self._state = BreakerState.OPEN
+        self._opened_at = self._clock()
+        self._trips += 1
+        self._outcomes.clear()
+        METRICS.counter("governor.breaker_trips").inc()
+        METRICS.gauge("governor.breaker_open").set(1)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._effective_state().name.lower(),
+                "failure_fraction": round(self._failure_fraction(), 4),
+                "trips": self._trips,
+                "window_size": len(self._outcomes),
+            }

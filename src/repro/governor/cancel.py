@@ -1,0 +1,162 @@
+"""Cooperative cancellation and hard query timeouts.
+
+A :class:`CancelToken` is the one-way switch a caller (or the CLI's
+``--timeout``, or the REPL's Ctrl-C handler) flips to stop an in-flight
+query.  Cancellation is *cooperative*: the execution layers poll the
+ambient token at their natural boundaries —
+
+* :mod:`repro.core.pipeline` between stages and per aggregate,
+* :mod:`repro.parallel.ops` between replicate/subsample batches,
+* :mod:`repro.parallel.pool` while waiting on dispatched tasks
+  (sub-100 ms wait slices, so a cancel interrupts even a long task
+  wait),
+* :mod:`repro.plan.executor` between physical operators (the exact
+  fallback is often the longest stage of all),
+
+— and raise :class:`~repro.errors.QueryCancelledError` at the first
+boundary after the flip.  Because the raise unwinds through the same
+context managers a success path uses, shared-memory arenas are
+unlinked, reservations are released, and no worker is left stuck: the
+guaranteed-cleanup half of the contract.
+
+The token travels ambiently (a :mod:`contextvars` variable, like the
+tracer) so deep layers need no new parameters; each client thread gets
+its own context, so concurrent governed queries cancel independently.
+Deadlines ride on the same mechanism: a token built with
+``CancelToken.with_timeout(s)`` fires itself when the clock passes its
+deadline, turning "timeout" into "cancellation with a timeout reason".
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator, Optional
+
+from repro.errors import QueryCancelledError
+from repro.obs.metrics import METRICS
+
+__all__ = [
+    "CancelToken",
+    "active_token",
+    "cancel_scope",
+    "check_cancelled",
+]
+
+_ACTIVE_TOKEN: ContextVar[Optional["CancelToken"]] = ContextVar(
+    "repro_cancel_token", default=None
+)
+
+
+class CancelToken:
+    """A thread-safe, one-way cancellation flag with an optional deadline.
+
+    Args:
+        deadline: absolute :func:`time.monotonic` instant after which
+            the token reports itself cancelled, or ``None``.
+    """
+
+    def __init__(self, deadline: float | None = None):
+        self._event = threading.Event()
+        self._reason = ""
+        self._deadline = deadline
+
+    @classmethod
+    def with_timeout(cls, seconds: float) -> "CancelToken":
+        """A token that self-cancels ``seconds`` from now."""
+        if seconds <= 0:
+            raise ValueError(f"timeout must be positive, got {seconds}")
+        return cls(deadline=time.monotonic() + seconds)
+
+    @property
+    def deadline(self) -> Optional[float]:
+        return self._deadline
+
+    @property
+    def reason(self) -> str:
+        if self._event.is_set():
+            return self._reason
+        if self._deadline_passed():
+            return "query timeout exceeded"
+        return ""
+
+    def _deadline_passed(self) -> bool:
+        return (
+            self._deadline is not None
+            and time.monotonic() >= self._deadline
+        )
+
+    def cancel(self, reason: str = "cancelled by caller") -> None:
+        """Flip the switch; idempotent (the first reason wins)."""
+        if not self._event.is_set():
+            self._reason = reason
+            self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set() or self._deadline_passed()
+
+    def remaining_seconds(self) -> Optional[float]:
+        """Seconds until the deadline, or ``None`` without one."""
+        if self._deadline is None:
+            return None
+        return max(0.0, self._deadline - time.monotonic())
+
+    def check(self) -> None:
+        """Raise :class:`~repro.errors.QueryCancelledError` if cancelled."""
+        if self.cancelled:
+            raise QueryCancelledError(
+                f"query cancelled: {self.reason or 'cancelled'}"
+            )
+
+    def wait(self, seconds: float) -> bool:
+        """Block up to ``seconds`` (capped at the deadline) for a cancel.
+
+        Returns ``True`` when the token is cancelled — the cooperative
+        replacement for bare ``time.sleep`` in retry backoffs.
+        """
+        remaining = self.remaining_seconds()
+        if remaining is not None:
+            seconds = min(seconds, remaining)
+        if seconds > 0:
+            self._event.wait(seconds)
+        return self.cancelled
+
+
+def active_token() -> Optional[CancelToken]:
+    """The cancellation token of the current context, if any."""
+    return _ACTIVE_TOKEN.get()
+
+
+def check_cancelled() -> None:
+    """Cooperative checkpoint: raise if the ambient token fired.
+
+    Free when no token is active (one contextvar read), so the hot
+    loops can call it unconditionally.
+    """
+    token = _ACTIVE_TOKEN.get()
+    if token is not None:
+        token.check()
+
+
+@contextmanager
+def cancel_scope(token: Optional[CancelToken]) -> Iterator[None]:
+    """Make ``token`` the ambient cancellation token for the block.
+
+    ``None`` is a no-op scope, so call sites can pass an optional token
+    through unconditionally.  A :class:`~repro.errors.QueryCancelledError`
+    escaping the block increments the ``governor.cancelled`` counter.
+    """
+    if token is None:
+        yield
+        return
+    handle = _ACTIVE_TOKEN.set(token)
+    try:
+        yield
+    except QueryCancelledError:
+        METRICS.counter("governor.cancelled").inc()
+        raise
+    finally:
+        _ACTIVE_TOKEN.reset(handle)

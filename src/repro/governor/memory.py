@@ -1,0 +1,261 @@
+"""Process-wide memory governance: reserve before you allocate.
+
+This module generalises the weight-matrix byte-budget guard of
+:mod:`repro.sampling.poisson` into an accountant every allocation-heavy
+operation consults *before* touching memory: bootstrap replicate
+matrices, shared-memory arenas, materialised resample tables, and
+result buffers all reserve their full estimated footprint up front and
+release it when the operation ends.
+
+The contract that makes rejection safe:
+
+* **All-or-nothing** — :meth:`MemoryAccountant.reserve` either grants
+  the whole request or raises
+  :class:`~repro.errors.ResourceExhaustedError` leaving the ledger
+  untouched.  A rejection therefore never happens *after* partial
+  allocation (the property tests enforce this).
+* **Reserve precedes allocation** — call sites reserve first, allocate
+  second, so an over-budget plan is refused while it is still just a
+  plan, instead of OOM-killing the process halfway through a NumPy
+  allocation.
+* **Bounded waiting** — under concurrency a reservation may briefly
+  wait for another query to release (``wait_seconds``); the wait
+  honours the ambient :class:`~repro.governor.cancel.CancelToken`.
+
+The budget resolves from (in priority order) an explicit constructor
+argument, ``EngineConfig.memory_budget_bytes``, or the
+``REPRO_MEMORY_BUDGET`` environment variable; with none of those the
+accountant only *tracks* usage and never rejects.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ResourceExhaustedError
+from repro.obs.metrics import METRICS, resident_memory_bytes
+
+__all__ = [
+    "MEMORY_BUDGET_ENV",
+    "MemoryAccountant",
+    "MemoryReservation",
+    "process_accountant",
+    "resident_memory_bytes",
+    "resolve_memory_budget",
+    "update_resident_gauge",
+]
+
+#: Environment knob for the process-wide byte budget (plain bytes).
+MEMORY_BUDGET_ENV = "REPRO_MEMORY_BUDGET"
+
+
+def resolve_memory_budget(budget: int | None = None) -> Optional[int]:
+    """Resolve a byte budget: explicit value → env → unlimited (None)."""
+    if budget is not None:
+        if budget <= 0:
+            raise ValueError(f"memory budget must be positive, got {budget}")
+        return int(budget)
+    raw = os.environ.get(MEMORY_BUDGET_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        parsed = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{MEMORY_BUDGET_ENV} must be an integer byte count, got {raw!r}"
+        ) from None
+    if parsed <= 0:
+        raise ValueError(
+            f"{MEMORY_BUDGET_ENV} must be positive, got {parsed}"
+        )
+    return parsed
+
+
+@dataclass
+class MemoryReservation:
+    """A granted reservation; release it exactly once (context manager)."""
+
+    accountant: "MemoryAccountant"
+    nbytes: int
+    label: str
+    _released: bool = False
+
+    def release(self) -> None:
+        if self._released:
+            return
+        self._released = True
+        self.accountant._release(self.nbytes)
+
+    def __enter__(self) -> "MemoryReservation":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class MemoryAccountant:
+    """Thread-safe ledger of reserved bytes against one budget.
+
+    Args:
+        budget_bytes: the ceiling; ``None`` resolves from
+            ``REPRO_MEMORY_BUDGET`` and falls back to unlimited
+            (track-only) when the variable is unset.
+        name: label used in metrics and error messages.
+    """
+
+    def __init__(
+        self, budget_bytes: int | None = None, name: str = "memory"
+    ):
+        self.name = name
+        self._budget = resolve_memory_budget(budget_bytes)
+        self._used = 0
+        self._peak = 0
+        self._rejections = 0
+        self._condition = threading.Condition()
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def budget_bytes(self) -> Optional[int]:
+        return self._budget
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def peak_bytes(self) -> int:
+        """High-water mark of reserved bytes over the accountant's life."""
+        return self._peak
+
+    @property
+    def rejections(self) -> int:
+        return self._rejections
+
+    def headroom_bytes(self) -> Optional[int]:
+        """Bytes still reservable, or ``None`` when unlimited."""
+        if self._budget is None:
+            return None
+        return max(0, self._budget - self._used)
+
+    def set_budget(self, budget_bytes: int | None) -> None:
+        """Re-point the budget (None → unlimited); wakes queued waiters."""
+        if budget_bytes is not None and budget_bytes <= 0:
+            raise ValueError(
+                f"memory budget must be positive, got {budget_bytes}"
+            )
+        with self._condition:
+            self._budget = budget_bytes
+            self._condition.notify_all()
+
+    # -- the ledger --------------------------------------------------------
+    def would_fit(self, nbytes: int) -> bool:
+        """Whether a reservation of ``nbytes`` could ever be granted."""
+        return self._budget is None or nbytes <= self._budget
+
+    def reserve(
+        self,
+        nbytes: int,
+        label: str = "",
+        wait_seconds: float = 0.0,
+        cancel=None,
+    ) -> MemoryReservation:
+        """Reserve ``nbytes`` atomically, or raise without side effects.
+
+        Args:
+            nbytes: full footprint of the operation (matrices + shared
+                segments + result buffers).  Zero-byte reservations are
+                granted trivially.
+            label: what the bytes are for (error messages, metrics).
+            wait_seconds: how long to wait for other reservations to
+                release before giving up; ``0`` rejects immediately.
+            cancel: optional :class:`~repro.governor.cancel.CancelToken`
+                checked while waiting.
+
+        Raises:
+            ResourceExhaustedError: the reservation cannot be granted —
+                either it exceeds the whole budget (immediate) or
+                headroom did not appear within ``wait_seconds``.  The
+                ledger is untouched in both cases.
+        """
+        if nbytes < 0:
+            raise ValueError(f"cannot reserve {nbytes} bytes")
+        with self._condition:
+            if self._budget is not None and nbytes > self._budget:
+                # Larger than the entire budget: waiting cannot help.
+                self._rejections += 1
+                METRICS.counter("governor.memory_rejected").inc()
+                raise ResourceExhaustedError(
+                    f"{label or 'operation'} needs {nbytes:,} bytes, more "
+                    f"than the whole {self._budget:,}-byte budget "
+                    f"({MEMORY_BUDGET_ENV} / memory_budget_bytes)",
+                    requested_bytes=nbytes,
+                )
+            waited = 0.0
+            while (
+                self._budget is not None
+                and self._used + nbytes > self._budget
+            ):
+                if cancel is not None:
+                    cancel.check()
+                if waited >= wait_seconds:
+                    self._rejections += 1
+                    METRICS.counter("governor.memory_rejected").inc()
+                    raise ResourceExhaustedError(
+                        f"{label or 'operation'} needs {nbytes:,} bytes but "
+                        f"only {self._budget - self._used:,} of the "
+                        f"{self._budget:,}-byte budget are free "
+                        f"(waited {waited:.2f}s)",
+                        requested_bytes=nbytes,
+                    )
+                slice_seconds = min(0.05, wait_seconds - waited)
+                self._condition.wait(slice_seconds)
+                waited += slice_seconds
+            self._used += nbytes
+            if self._used > self._peak:
+                self._peak = self._used
+            METRICS.gauge("governor.memory_used_bytes").set(self._used)
+        return MemoryReservation(self, nbytes, label)
+
+    def _release(self, nbytes: int) -> None:
+        with self._condition:
+            self._used = max(0, self._used - nbytes)
+            METRICS.gauge("governor.memory_used_bytes").set(self._used)
+            self._condition.notify_all()
+
+    def snapshot(self) -> dict:
+        """JSON-friendly state (REPL ``\\stats``, bench artifacts)."""
+        return {
+            "budget_bytes": self._budget,
+            "used_bytes": self._used,
+            "peak_bytes": self._peak,
+            "rejections": self._rejections,
+        }
+
+
+_PROCESS_LOCK = threading.Lock()
+_PROCESS_ACCOUNTANT: MemoryAccountant | None = None
+
+
+def process_accountant() -> MemoryAccountant:
+    """The lazily created process-wide accountant (env-resolved budget).
+
+    Engines without an explicit ``memory_budget_bytes`` share this one,
+    so concurrent queries in one process draw from a single ledger —
+    the "process-wide" half of the governance contract.
+    """
+    global _PROCESS_ACCOUNTANT
+    with _PROCESS_LOCK:
+        if _PROCESS_ACCOUNTANT is None:
+            _PROCESS_ACCOUNTANT = MemoryAccountant(name="process")
+        return _PROCESS_ACCOUNTANT
+
+
+def update_resident_gauge() -> Optional[int]:
+    """Refresh the ``process.resident_bytes`` gauge; returns the reading."""
+    rss = resident_memory_bytes()
+    if rss is not None:
+        METRICS.gauge("process.resident_bytes").set(rss)
+    return rss

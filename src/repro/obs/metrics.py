@@ -26,6 +26,7 @@ embedded uses) constructs its own :class:`MetricsRegistry`.
 
 from __future__ import annotations
 
+import os
 import threading
 from bisect import bisect_right
 from typing import Any, Optional, Sequence
@@ -37,7 +38,31 @@ __all__ = [
     "Histogram",
     "METRICS",
     "MetricsRegistry",
+    "resident_memory_bytes",
 ]
+
+
+def resident_memory_bytes() -> Optional[int]:
+    """Current resident set size of this process, or ``None`` if unknown.
+
+    Reads ``/proc/self/statm`` (Linux); other platforms fall back to
+    ``resource.getrusage`` peak RSS, and ``None`` when even that is
+    unavailable.  Feeds the ``process.resident_bytes`` gauge the query
+    governor maintains (REPL ``\\stats``, the overload bench).
+    """
+    try:
+        with open("/proc/self/statm") as statm:
+            resident_pages = int(statm.read().split()[1])
+        return resident_pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return int(peak_kb) * 1024
+    except Exception:
+        return None
 
 #: Default histogram bucket upper bounds, in seconds: 1 ms … 60 s on a
 #: roughly ×2.5 ladder — wide enough for both sub-millisecond cached

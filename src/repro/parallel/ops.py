@@ -31,6 +31,7 @@ to embedding the arrays in the task payloads (slower, still correct).
 
 from __future__ import annotations
 
+import contextlib
 import logging
 from collections.abc import Callable, Sequence
 from typing import Any, Optional
@@ -86,6 +87,59 @@ DEFAULT_UNIT_BATCH = 4
 
 def _usable(pool: WorkerPool | None) -> bool:
     return pool is not None and pool.is_parallel
+
+
+def _concurrency(pool: WorkerPool | None) -> int:
+    return pool.num_workers if _usable(pool) else 1
+
+
+def _reserve_memory(supervision: Supervision, nbytes: int, label: str):
+    """One consolidated reservation for an operation's full footprint.
+
+    Reserving everything up front — shared arrays, per-worker scratch
+    matrices, and the result buffer together — is what guarantees a
+    budget rejection can only happen *before* any allocation, never
+    after a partial one.  Without a governing accountant this is free.
+    """
+    memory = getattr(supervision, "memory", None)
+    if memory is None or nbytes <= 0:
+        return contextlib.nullcontext()
+    return memory.reserve(
+        int(nbytes),
+        label,
+        wait_seconds=supervision.memory_wait_seconds,
+        cancel=supervision.cancel_token(),
+    )
+
+
+def _apply_replicate_cap(
+    num_resamples: int,
+    chunk_size: int,
+    replicate_cap: Optional[int],
+    supervision: Supervision,
+) -> int:
+    """Cap the resample count at a whole-chunk boundary.
+
+    Chunk ``i`` always consumes child stream ``i`` and NumPy fills each
+    chunk's weight matrix in one draw, so only *whole leading chunks*
+    of the requested run are bit-identical to an ungoverned run.  The
+    cap therefore rounds down to a chunk multiple (but never below one
+    chunk); the caller's estimator widens the interval for the missing
+    replicates exactly as it does for dropped chunks.
+    """
+    if replicate_cap is None or replicate_cap >= num_resamples:
+        return num_resamples
+    if replicate_cap <= 0:
+        raise ValueError(
+            f"replicate_cap must be positive, got {replicate_cap}"
+        )
+    whole = max(1, replicate_cap // chunk_size) * chunk_size
+    effective = min(num_resamples, whole)
+    supervision.report.note_degradation(
+        f"replicate budget capped the bootstrap at {effective} of "
+        f"{num_resamples} requested resamples; interval widened to match"
+    )
+    return effective
 
 
 def _share_or_embed(
@@ -227,6 +281,7 @@ def bootstrap_replicates(
     chunk_size: int = DEFAULT_REPLICATE_CHUNK,
     pool: WorkerPool | None = None,
     supervision: Supervision | None = None,
+    replicate_cap: Optional[int] = None,
 ) -> np.ndarray:
     """The K Poissonized bootstrap replicate estimates for ``target``.
 
@@ -236,28 +291,46 @@ def bootstrap_replicates(
     allowed, chunks that fail after retries are dropped and the
     distribution holds the replicates that completed (the report
     records the shortfall); if *every* chunk fails,
-    :class:`~repro.errors.ExecutionError` is raised.
+    :class:`~repro.errors.ExecutionError` is raised.  A
+    ``replicate_cap`` (the governor's reduced-K rung) truncates the run
+    at a whole-chunk boundary, so the replicates that *are* computed
+    stay bit-identical to the leading chunks of an uncapped run.
     """
     supervision = supervision or Supervision.default()
+    supervision.check_cancelled()
     matched = target.matched_values
     if len(matched) == 0:
         raise EstimationError(
             "cannot bootstrap a query whose filter matched no sample rows"
         )
+    supervision.report.replicates_requested += num_resamples
+    num_resamples = _apply_replicate_cap(
+        num_resamples, chunk_size, replicate_cap, supervision
+    )
     spans = chunk_spans(num_resamples, chunk_size)
     children = spawn_children(seed, len(spans))
-    supervision.report.replicates_requested += num_resamples
     common = dict(
         extensive=target.extensive,
         dataset_rows=target.dataset_rows,
         total_rows=target.total_sample_rows,
         rate=rate,
     )
-    with trace_span(
+    # Full footprint, reserved before anything is allocated: the shared
+    # copy of the matched values (pool path), one int32 weight matrix
+    # per concurrently executing chunk, and the float64 result buffer.
+    parallel = _usable(pool)
+    footprint = (
+        (matched.nbytes if parallel else 0)
+        + _concurrency(pool) * len(matched) * chunk_size * 4
+        + num_resamples * 8
+    )
+    with _reserve_memory(
+        supervision, footprint, "bootstrap replicates"
+    ), trace_span(
         "bootstrap.replicates",
         resamples=num_resamples,
         chunks=len(spans),
-        parallel=_usable(pool),
+        parallel=parallel,
     ):
         if not _usable(pool):
 
@@ -346,23 +419,39 @@ def table_statistic_replicates(
     chunk_size: int = DEFAULT_REPLICATE_CHUNK,
     pool: WorkerPool | None = None,
     supervision: Supervision | None = None,
+    replicate_cap: Optional[int] = None,
 ) -> np.ndarray:
     """K replicate values of a black-box per-table statistic.
 
     The sample's columns are shared with workers once; each chunk
     materialises its resamples from its own child stream.  Unpicklable
     statistics (lambdas over engine state) silently run inline — same
-    streams, same values.
+    streams, same values.  ``replicate_cap`` truncates at a whole-chunk
+    boundary, as in :func:`bootstrap_replicates`.
     """
     if method not in _RESAMPLERS:
         raise EstimationError(
             f"unknown resampling method {method!r}; use 'poisson' or 'exact'"
         )
     supervision = supervision or Supervision.default()
+    supervision.check_cancelled()
+    supervision.report.replicates_requested += num_resamples
+    num_resamples = _apply_replicate_cap(
+        num_resamples, chunk_size, replicate_cap, supervision
+    )
     spans = chunk_spans(num_resamples, chunk_size)
     children = spawn_children(seed, len(spans))
-    supervision.report.replicates_requested += num_resamples
-    with trace_span(
+    # Footprint: shared column exports (pool path) plus one materialised
+    # resample of the whole table per concurrent chunk, plus results.
+    table_bytes = sum(col.nbytes for col in table.columns().values())
+    footprint = (
+        (table_bytes if _usable(pool) else 0)
+        + _concurrency(pool) * table_bytes
+        + num_resamples * 8
+    )
+    with _reserve_memory(
+        supervision, footprint, "table-statistic replicates"
+    ), trace_span(
         "bootstrap.table_statistic",
         resamples=num_resamples,
         chunks=len(spans),
@@ -473,11 +562,26 @@ def diagnostic_evaluations(
     subsamples inline and to dispatch batches in a pool).
     """
     supervision = supervision or Supervision.default()
+    supervision.check_cancelled()
     blocks = list(blocks)
     children = spawn_children(seed, len(blocks))
     supervision.report.subsamples_requested += len(blocks)
     parallelizable = _usable(pool) and isinstance(target, EstimationTarget)
-    with trace_span(
+    # Footprint: the shared value/mask/order arrays (pool path) plus one
+    # subsample copy per concurrent evaluation (values + inner bootstrap
+    # scratch, bounded by the largest block).
+    max_block = max((len(block) for block in blocks), default=0)
+    shared_bytes = 0
+    if parallelizable:
+        shared_bytes = target.values.nbytes + sum(
+            len(block) * 8 for block in blocks
+        )
+        if target.mask is not None:
+            shared_bytes += target.mask.nbytes
+    footprint = shared_bytes + _concurrency(pool) * max_block * 16
+    with _reserve_memory(
+        supervision, footprint, "diagnostic evaluations"
+    ), trace_span(
         "diagnostic.evaluations",
         subsamples=len(blocks),
         parallel=parallelizable,
@@ -623,6 +727,7 @@ def ground_truth_trials(
     when no estimator was supplied.
     """
     supervision = supervision or Supervision.default()
+    supervision.check_cancelled()
     children = spawn_children(seed, num_trials)
     spans = chunk_spans(num_trials, chunk_size)
     common = dict(
@@ -632,7 +737,22 @@ def ground_truth_trials(
         confidence=confidence,
         estimator=estimator,
     )
-    with trace_span(
+    # Footprint: shared value/mask arrays (pool path), one drawn sample
+    # (indices + values + mask) per concurrent trial, and the per-trial
+    # point/half-width result arrays.
+    shared_bytes = (
+        values.nbytes + (mask.nbytes if mask is not None else 0)
+        if _usable(pool)
+        else 0
+    )
+    footprint = (
+        shared_bytes
+        + _concurrency(pool) * sample_size * 24
+        + num_trials * 16
+    )
+    with _reserve_memory(
+        supervision, footprint, "ground-truth trials"
+    ), trace_span(
         "ground_truth.trials",
         trials=num_trials,
         chunks=len(spans),

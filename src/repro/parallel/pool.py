@@ -77,6 +77,39 @@ START_METHOD_ENV = "REPRO_MP_START"
 #: crash from wedging the parent forever on a result that cannot come.
 DEFAULT_CRASH_DETECTION_SECONDS = 30.0
 
+#: Longest single wait on a dispatched task before re-checking the
+#: cancellation token.  Bounds how stale a Ctrl-C / ``--timeout``
+#: cancel can get while the parent blocks on a worker result.
+CANCEL_POLL_SECONDS = 0.05
+
+
+def _await_result(
+    async_result, patience: Optional[float], supervision: Supervision
+):
+    """``AsyncResult.get`` in short slices, honouring cancellation.
+
+    Raises :class:`multiprocessing.TimeoutError` when ``patience``
+    elapses (the caller's crash/hang classification path), and
+    :class:`~repro.errors.QueryCancelledError` as soon as the
+    supervision's token fires — within one poll slice, not one task.
+    """
+    deadline = (
+        None if patience is None else time.monotonic() + patience
+    )
+    while True:
+        supervision.check_cancelled()
+        if deadline is None:
+            slice_seconds = CANCEL_POLL_SECONDS
+        else:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise multiprocessing.TimeoutError()
+            slice_seconds = min(CANCEL_POLL_SECONDS, remaining)
+        try:
+            return async_result.get(timeout=slice_seconds)
+        except multiprocessing.TimeoutError:
+            continue
+
 
 def resolve_num_workers(num_workers: int | None = None) -> int:
     """Resolve a worker count: explicit value → env → serial.
@@ -303,7 +336,7 @@ class WorkerPool:
                     attempt,
                     errors.get(pending[0]),
                 )
-                time.sleep(backoff_seconds(policy, attempt, pending[0]))
+                supervision.sleep(backoff_seconds(policy, attempt, pending[0]))
             if supervision.expired():
                 report.deadline_hit = True
                 break
@@ -328,8 +361,10 @@ class WorkerPool:
             pool_failure = False
             for index in pending:
                 try:
-                    outcome = dispatched[index].get(
-                        timeout=self._task_patience(supervision)
+                    outcome = _await_result(
+                        dispatched[index],
+                        self._task_patience(supervision),
+                        supervision,
                     )
                     if timed:
                         outcome, (pid, t_start, t_end) = outcome

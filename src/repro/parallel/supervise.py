@@ -44,6 +44,7 @@ import numpy as np
 
 from repro.errors import ExecutionError, TaskTimeoutError, WorkerCrashError
 from repro.faults.plan import FaultPlan
+from repro.governor.cancel import active_token
 from repro.obs.trace import current_trace, suppress_tracing
 
 logger = logging.getLogger(__name__)
@@ -227,6 +228,17 @@ class Supervision:
         allow_partial: whether exhausted units become
             :data:`TASK_FAILED` placeholders (graceful degradation)
             instead of raising :class:`~repro.errors.ExecutionError`.
+        cancel: cooperative cancellation token
+            (:class:`~repro.governor.cancel.CancelToken`); checked at
+            unit boundaries and while waiting on dispatched tasks.
+            ``None`` falls back to the ambient token, so cancellation
+            works even for callers that never construct a Supervision
+            explicitly.
+        memory: the :class:`~repro.governor.memory.MemoryAccountant`
+            fan-out operations reserve their footprint against before
+            allocating; ``None`` disables memory governance.
+        memory_wait_seconds: how long a reservation may wait for
+            another query to release before failing.
     """
 
     plan: Optional[FaultPlan] = None
@@ -234,11 +246,33 @@ class Supervision:
     report: ExecutionReport = field(default_factory=ExecutionReport)
     deadline: Optional[float] = None
     allow_partial: bool = False
+    cancel: Optional[Any] = None
+    memory: Optional[Any] = None
+    memory_wait_seconds: float = 0.0
 
     @classmethod
     def default(cls) -> "Supervision":
         """A strict context: no faults, default retries, fail loudly."""
         return cls()
+
+    def cancel_token(self):
+        """The effective token: explicit field, else the ambient one."""
+        return self.cancel if self.cancel is not None else active_token()
+
+    def check_cancelled(self) -> None:
+        """Raise :class:`~repro.errors.QueryCancelledError` if cancelled."""
+        token = self.cancel_token()
+        if token is not None:
+            token.check()
+
+    def sleep(self, seconds: float) -> None:
+        """Backoff sleep that a cancellation can interrupt."""
+        token = self.cancel_token()
+        if token is None:
+            time.sleep(seconds)
+        else:
+            token.wait(seconds)
+            token.check()
 
     def expired(self) -> bool:
         return self.deadline is not None and time.monotonic() >= self.deadline
@@ -321,6 +355,7 @@ def run_supervised_inline(
         indices = range(len(payloads))
     results: list[Any] = []
     for index, payload in zip(indices, payloads):
+        supervision.check_cancelled()
         if supervision.expired():
             supervision.report.deadline_hit = True
             results.append(
@@ -344,7 +379,7 @@ def run_supervised_inline(
                     attempt,
                     last_error,
                 )
-                time.sleep(backoff_seconds(policy, attempt, index))
+                supervision.sleep(backoff_seconds(policy, attempt, index))
             started = time.perf_counter() if trace is not None else 0.0
             try:
                 if supervision.plan is not None:

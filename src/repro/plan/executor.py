@@ -27,6 +27,7 @@ from repro.core.ci import ConfidenceInterval, interval_from_distribution
 from repro.engine.evaluator import ExpressionEvaluator
 from repro.engine.table import Table
 from repro.errors import ExecutionError, PlanError
+from repro.governor.cancel import check_cancelled
 from repro.obs.trace import trace_span
 from repro.plan.logical import (
     LogicalAggregate,
@@ -59,17 +60,24 @@ class QueryExecutor:
     # -- public API -----------------------------------------------------------
     def execute(self, query: AnalyzedQuery, table: Table) -> Table:
         """Run ``query`` exactly on ``table`` and return the result table."""
+        # The exact fallback over the full base table is often a query's
+        # single longest stage, so each physical operator boundary is a
+        # cooperative cancellation checkpoint (free with no token).
         with trace_span("executor.execute", rows=table.num_rows):
+            check_cancelled()
             working = self._apply_inner(query, table)
             if query.where is not None:
                 with trace_span("executor.filter"):
+                    check_cancelled()
                     mask = self._predicate(query.where, working)
                     working = working.filter(mask)
             if query.is_aggregate_query:
                 with trace_span("executor.aggregate"):
+                    check_cancelled()
                     result = self._aggregate(query, working)
             else:
                 with trace_span("executor.project"):
+                    check_cancelled()
                     result = self._project(query, working)
             result = self._order_and_limit(query, result)
             return result

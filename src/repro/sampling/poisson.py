@@ -49,6 +49,13 @@ def _check_weight_budget(
     dtype: np.dtype | type,
     max_bytes: int | None,
 ) -> None:
+    # Per-matrix defence in depth.  The process-wide generalisation of
+    # this guard is :class:`repro.governor.memory.MemoryAccountant`,
+    # which reserves a whole operation's footprint (all matrices,
+    # shared segments, result buffers) against one shared budget before
+    # anything is allocated; this local check stays as a backstop for
+    # direct callers and deliberately keeps raising
+    # :class:`~repro.errors.SamplingError` (its long-standing contract).
     budget = weight_matrix_budget() if max_bytes is None else max_bytes
     required = num_rows * num_resamples * np.dtype(dtype).itemsize
     if required > budget:

@@ -1,0 +1,670 @@
+"""The query governor: memory budgets, cancellation, admission, ladder.
+
+Covers the overload contract end to end:
+
+* the :class:`MemoryAccountant` is all-or-nothing — a rejected
+  reservation can never follow a partial allocation (property-based);
+* engine-level budget rejection degrades honestly *before* allocating
+  (no shared-memory segments, ledger back to zero);
+* cooperative cancellation interrupts a bootstrap mid-flight, leaves
+  no orphaned shared memory, and the engine stays usable;
+* admission control sheds by policy (reject / queue / degrade) and the
+  circuit breaker lowers the fidelity floor under sustained failure;
+* a governed, uncontended query is bit-identical to an ungoverned one.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pipeline import AQPEngine, AQPResult, EngineConfig
+from repro.errors import (
+    AdmissionRejectedError,
+    QueryCancelledError,
+    ReproError,
+    ResourceError,
+    ResourceExhaustedError,
+    SamplingError,
+)
+from repro.governor import (
+    CancelToken,
+    CircuitBreaker,
+    DegradationLevel,
+    GovernorConfig,
+    MemoryAccountant,
+    QueryGovernor,
+)
+from repro.governor.breaker import BreakerState
+from repro.parallel.ops import bootstrap_replicates
+from repro.parallel.shm import SEGMENT_PREFIX
+from repro.core.estimators import EstimationTarget
+from repro.engine.aggregates import get_aggregate
+from repro.engine.table import Table
+
+
+def _own_segments() -> list[str]:
+    return glob.glob(f"/dev/shm/{SEGMENT_PREFIX}_{os.getpid()}_*")
+
+
+def _make_engine(seed: int = 7, **config_kwargs) -> AQPEngine:
+    rng = np.random.default_rng(99)
+    engine = AQPEngine(
+        config=EngineConfig(tracing=False, **config_kwargs), seed=seed
+    )
+    engine.register_table(
+        "t",
+        Table(
+            {
+                "x": rng.lognormal(3.0, 1.0, 4000),
+                "g": rng.integers(0, 3, 4000).astype(np.float64),
+            }
+        ),
+    )
+    engine.create_sample("t", size=1500)
+    return engine
+
+
+# ---------------------------------------------------------------------------
+# Error taxonomy
+# ---------------------------------------------------------------------------
+class TestErrorTaxonomy:
+    def test_resource_errors_are_repro_errors(self):
+        for exc_type in (
+            ResourceExhaustedError,
+            QueryCancelledError,
+            AdmissionRejectedError,
+        ):
+            assert issubclass(exc_type, ResourceError)
+            assert issubclass(exc_type, ReproError)
+
+    def test_resource_errors_distinct_from_sampling(self):
+        # The per-matrix guard in sampling.poisson keeps raising
+        # SamplingError; the governor's taxonomy is a separate branch.
+        assert not issubclass(SamplingError, ResourceError)
+
+    def test_requested_bytes_attribute(self):
+        error = ResourceExhaustedError("too big", requested_bytes=123)
+        assert error.requested_bytes == 123
+
+
+# ---------------------------------------------------------------------------
+# Memory accountant
+# ---------------------------------------------------------------------------
+class TestMemoryAccountant:
+    def test_reserve_and_release(self):
+        accountant = MemoryAccountant(budget_bytes=1000)
+        with accountant.reserve(600, "a"):
+            assert accountant.used_bytes == 600
+            assert accountant.headroom_bytes() == 400
+        assert accountant.used_bytes == 0
+        assert accountant.peak_bytes == 600
+
+    def test_rejection_leaves_ledger_untouched(self):
+        accountant = MemoryAccountant(budget_bytes=1000)
+        holder = accountant.reserve(700, "held")
+        with pytest.raises(ResourceExhaustedError):
+            accountant.reserve(500, "too much")
+        assert accountant.used_bytes == 700
+        assert accountant.rejections == 1
+        holder.release()
+        assert accountant.used_bytes == 0
+
+    def test_over_whole_budget_rejects_immediately(self):
+        accountant = MemoryAccountant(budget_bytes=100)
+        started = time.monotonic()
+        with pytest.raises(ResourceExhaustedError) as info:
+            accountant.reserve(101, "huge", wait_seconds=5.0)
+        assert time.monotonic() - started < 1.0  # waiting cannot help
+        assert info.value.requested_bytes == 101
+
+    def test_unlimited_accountant_only_tracks(self):
+        accountant = MemoryAccountant()
+        assert accountant.budget_bytes is None
+        with accountant.reserve(10**12, "huge"):
+            assert accountant.used_bytes == 10**12
+        assert accountant.peak_bytes == 10**12
+
+    def test_waiting_reservation_proceeds_after_release(self):
+        accountant = MemoryAccountant(budget_bytes=1000)
+        holder = accountant.reserve(900, "held")
+        threading.Timer(0.1, holder.release).start()
+        with accountant.reserve(800, "waits", wait_seconds=2.0):
+            assert accountant.used_bytes == 800
+
+    def test_waiting_reservation_honours_cancel(self):
+        accountant = MemoryAccountant(budget_bytes=1000)
+        accountant.reserve(900, "held")
+        token = CancelToken()
+        threading.Timer(0.05, token.cancel).start()
+        with pytest.raises(QueryCancelledError):
+            accountant.reserve(800, "waits", wait_seconds=5.0, cancel=token)
+        assert accountant.used_bytes == 900
+
+    def test_release_is_idempotent(self):
+        accountant = MemoryAccountant(budget_bytes=1000)
+        reservation = accountant.reserve(400, "once")
+        reservation.release()
+        reservation.release()
+        assert accountant.used_bytes == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        budget=st.integers(min_value=1, max_value=10_000),
+        requests=st.lists(
+            st.integers(min_value=0, max_value=12_000), max_size=30
+        ),
+    )
+    def test_property_rejection_never_follows_partial_grant(
+        self, budget, requests
+    ):
+        """All-or-nothing: the ledger matches a model that only ever
+        applies whole grants, and never exceeds the budget."""
+        accountant = MemoryAccountant(budget_bytes=budget)
+        granted = []
+        model_used = 0
+        for nbytes in requests:
+            before = accountant.used_bytes
+            try:
+                granted.append(accountant.reserve(nbytes, "prop"))
+                model_used += nbytes
+            except ResourceExhaustedError:
+                # A rejection is side-effect free.
+                assert accountant.used_bytes == before
+            assert accountant.used_bytes == model_used
+            assert accountant.used_bytes <= budget
+        for reservation in granted:
+            reservation.release()
+        assert accountant.used_bytes == 0
+
+
+# ---------------------------------------------------------------------------
+# Cancellation token
+# ---------------------------------------------------------------------------
+class TestCancelToken:
+    def test_cancel_and_check(self):
+        token = CancelToken()
+        token.check()  # not cancelled: no-op
+        token.cancel("client went away")
+        assert token.cancelled
+        with pytest.raises(QueryCancelledError, match="client went away"):
+            token.check()
+
+    def test_timeout_token_self_cancels(self):
+        token = CancelToken.with_timeout(0.05)
+        assert not token.cancelled
+        time.sleep(0.08)
+        assert token.cancelled
+        with pytest.raises(QueryCancelledError, match="timeout"):
+            token.check()
+
+    def test_wait_returns_on_cancel(self):
+        token = CancelToken()
+        threading.Timer(0.05, token.cancel).start()
+        started = time.monotonic()
+        assert token.wait(5.0)
+        assert time.monotonic() - started < 1.0
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ValueError):
+            CancelToken.with_timeout(0)
+
+
+# ---------------------------------------------------------------------------
+# Engine-level memory governance
+# ---------------------------------------------------------------------------
+class TestEngineMemoryBudget:
+    def test_over_budget_bootstrap_degrades_before_allocating(self):
+        engine = _make_engine(
+            memory_budget_bytes=10_000, run_diagnostics=False
+        )
+        engine.register_udf("bump", lambda v: v + 1.0)
+        before_segments = _own_segments()
+        result = engine.execute("SELECT AVG(bump(x)) FROM t")
+        value = result.single()
+        # The bootstrap was refused pre-allocation; the closed form is
+        # mathematically applicable to AVG, so it substitutes.
+        assert value.fell_back
+        assert value.method == "closed_form"
+        assert result.degraded
+        assert "bytes" in value.fallback_reason
+        # Nothing was allocated, nothing leaked, nothing left reserved.
+        assert engine.memory.used_bytes == 0
+        assert _own_segments() == before_segments
+
+    def test_budget_rejection_counts(self):
+        engine = _make_engine(
+            memory_budget_bytes=10_000, run_diagnostics=False
+        )
+        engine.register_udf("bump", lambda v: v + 1.0)
+        engine.execute("SELECT AVG(bump(x)) FROM t")
+        assert engine.memory.rejections >= 1
+
+    def test_generous_budget_changes_nothing(self):
+        budgeted = _make_engine(
+            memory_budget_bytes=1 << 30, run_diagnostics=False
+        )
+        unbudgeted = _make_engine(run_diagnostics=False)
+        for engine in (budgeted, unbudgeted):
+            engine.register_udf("bump", lambda v: v + 1.0)
+        sql = "SELECT AVG(bump(x)) FROM t WHERE x > 20"
+        a = budgeted.execute(sql).single()
+        b = unbudgeted.execute(sql).single()
+        assert a.estimate == b.estimate
+        assert a.interval.half_width == b.interval.half_width
+        assert budgeted.memory.used_bytes == 0
+        assert budgeted.memory.peak_bytes > 0
+
+    def test_ops_reserve_consolidated_footprint(self):
+        values = np.random.default_rng(0).normal(size=512)
+        target = EstimationTarget(
+            values=values, aggregate=get_aggregate("AVG")
+        )
+        accountant = MemoryAccountant(budget_bytes=10**9)
+        from repro.parallel.supervise import Supervision
+
+        supervision = Supervision.default()
+        supervision.memory = accountant
+        bootstrap_replicates(target, 40, seed=1, supervision=supervision)
+        # One consolidated reservation, fully released afterwards.
+        assert accountant.peak_bytes > 0
+        assert accountant.used_bytes == 0
+
+
+# ---------------------------------------------------------------------------
+# Cancellation through the engine
+# ---------------------------------------------------------------------------
+class TestEngineCancellation:
+    def test_pre_cancelled_token_stops_immediately(self):
+        engine = _make_engine(run_diagnostics=False)
+        token = CancelToken()
+        token.cancel("already gone")
+        with pytest.raises(QueryCancelledError):
+            engine.execute("SELECT AVG(x) FROM t", cancel=token)
+
+    def test_cancel_mid_bootstrap_is_prompt_and_clean(self):
+        # A fault-injected stall makes chunk 0 slow; the canceller
+        # fires during it, and the very next chunk boundary raises.
+        from repro.faults import FaultPlan
+
+        engine = _make_engine(
+            run_diagnostics=False,
+            fault_plan=FaultPlan().with_hang(task=0, seconds=0.3),
+            num_bootstrap_resamples=200,
+        )
+        engine.register_udf("bump", lambda v: v + 1.0)
+        before_segments = _own_segments()
+        token = CancelToken()
+        threading.Timer(0.05, token.cancel).start()
+        started = time.monotonic()
+        with pytest.raises(QueryCancelledError):
+            engine.execute("SELECT AVG(bump(x)) FROM t", cancel=token)
+        elapsed = time.monotonic() - started
+        # One replicate-chunk boundary after the stall, well under the
+        # uncancelled runtime of 200 replicates.
+        assert elapsed < 1.5
+        assert _own_segments() == before_segments
+        # The engine survives and answers the next query normally.
+        follow_up = engine.execute("SELECT AVG(x) FROM t")
+        assert follow_up.single().estimate > 0
+
+    def test_timeout_parameter_cancels(self):
+        from repro.faults import FaultPlan
+
+        engine = _make_engine(
+            run_diagnostics=False,
+            fault_plan=FaultPlan().with_hang(task=0, seconds=0.4),
+            num_bootstrap_resamples=200,
+        )
+        engine.register_udf("bump", lambda v: v + 1.0)
+        with pytest.raises(QueryCancelledError, match="timeout"):
+            engine.execute("SELECT AVG(bump(x)) FROM t", timeout=0.05)
+
+    def test_exact_fallback_checks_cancellation(self):
+        engine = _make_engine(run_diagnostics=False)
+        token = CancelToken()
+        token.cancel()
+        from repro.governor.cancel import cancel_scope
+
+        with cancel_scope(token), pytest.raises(QueryCancelledError):
+            engine.execute_exact("SELECT SUM(x) FROM t")
+
+
+# ---------------------------------------------------------------------------
+# Startup sweep
+# ---------------------------------------------------------------------------
+class TestStartupSweep:
+    def test_engine_startup_sweeps_dead_owner_segments(self):
+        child = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "import os\n"
+                "from multiprocessing import resource_tracker, shared_memory\n"
+                "resource_tracker.register = lambda *a, **k: None\n"
+                f"name = '{SEGMENT_PREFIX}_' + str(os.getpid()) + '_7777'\n"
+                "shared_memory.SharedMemory(name=name, create=True, size=64)\n"
+                "print(name, flush=True)\n"
+                "os._exit(1)\n",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        orphan = child.stdout.strip()
+        assert os.path.exists(f"/dev/shm/{orphan}")
+        AQPEngine(config=EngineConfig(tracing=False))
+        assert not os.path.exists(f"/dev/shm/{orphan}")
+
+
+# ---------------------------------------------------------------------------
+# Degradation ladder through the engine
+# ---------------------------------------------------------------------------
+class TestDegradationLadder:
+    def test_levels_are_ordered(self):
+        assert (
+            DegradationLevel.FULL
+            < DegradationLevel.REDUCED_K
+            < DegradationLevel.CLOSED_FORM
+            < DegradationLevel.POINT_ESTIMATE
+        )
+
+    def test_reduced_k_widens_interval_and_is_flagged(self):
+        full = _make_engine(run_diagnostics=False)
+        reduced = _make_engine(run_diagnostics=False)
+        for engine in (full, reduced):
+            engine.register_udf("bump", lambda v: v + 1.0)
+        sql = "SELECT AVG(bump(x)) FROM t"
+        a = full.execute(sql).single()
+        b_result = reduced.execute(
+            sql, degradation=DegradationLevel.REDUCED_K
+        )
+        b = b_result.single()
+        assert b_result.degraded
+        assert b.method == "bootstrap"
+        # Fewer replicates, same center, honestly wider bars.
+        assert b.estimate == a.estimate
+        assert b.interval.half_width > 0
+
+    def test_closed_form_floor_skips_bootstrap(self):
+        engine = _make_engine(run_diagnostics=False)
+        engine.register_udf("bump", lambda v: v + 1.0)
+        result = engine.execute(
+            "SELECT AVG(bump(x)) FROM t",
+            degradation=DegradationLevel.CLOSED_FORM,
+        )
+        value = result.single()
+        assert value.method == "closed_form"
+        assert value.fell_back
+        assert result.degraded
+        assert result.bootstrap_subqueries == 0
+
+    def test_point_estimate_floor_is_flagged_unreliable(self):
+        engine = _make_engine(run_diagnostics=False)
+        engine.register_udf("bump", lambda v: v + 1.0)
+        result = engine.execute(
+            "SELECT AVG(bump(x)) FROM t",
+            degradation=DegradationLevel.POINT_ESTIMATE,
+        )
+        value = result.single()
+        assert value.method == "unreliable"
+        assert value.interval is None
+        assert value.fell_back
+        assert result.degraded
+
+    def test_reduced_k_replicates_match_leading_chunks(self):
+        values = np.random.default_rng(3).lognormal(3, 1, 600)
+        target = EstimationTarget(
+            values=values, aggregate=get_aggregate("AVG")
+        )
+        full = bootstrap_replicates(target, 96, seed=11)
+        capped = bootstrap_replicates(target, 96, seed=11, replicate_cap=25)
+        # 25 rounds down to 3 whole chunks of 8 = 24 replicates, and
+        # they are bit-identical to the first 24 of the full run.
+        assert len(capped) == 24
+        np.testing.assert_array_equal(capped, full[:24])
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaker
+# ---------------------------------------------------------------------------
+class TestCircuitBreaker:
+    def test_trips_and_recovers(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            failure_threshold=0.5,
+            window=10,
+            min_samples=4,
+            cooldown_seconds=1.0,
+            clock=lambda: clock[0],
+        )
+        assert breaker.floor_level() is DegradationLevel.FULL
+        for _ in range(4):
+            breaker.record(False)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.floor_level() is DegradationLevel.CLOSED_FORM
+        # Before the cooldown: still open.
+        clock[0] = 0.5
+        assert breaker.floor_level() is DegradationLevel.CLOSED_FORM
+        # After the cooldown: half-open probe at full fidelity.
+        clock[0] = 1.5
+        assert breaker.floor_level() is DegradationLevel.FULL
+        breaker.record(True)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_reopens_on_failed_probe(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            min_samples=2, window=4, cooldown_seconds=1.0,
+            clock=lambda: clock[0],
+        )
+        breaker.record(False)
+        breaker.record(False)
+        assert breaker.state is BreakerState.OPEN
+        clock[0] = 1.5
+        breaker.floor_level()
+        breaker.record(False)  # the probe fails
+        assert breaker.state is BreakerState.OPEN
+
+
+# ---------------------------------------------------------------------------
+# Admission control
+# ---------------------------------------------------------------------------
+class _FakeEngine:
+    """Just enough engine for admission tests: a gateable execute()."""
+
+    def __init__(self, gate: threading.Event | None = None):
+        self.config = EngineConfig(tracing=False)
+        self.gate = gate
+        self.seen_levels: list[DegradationLevel] = []
+        self.closed = False
+
+    def execute(self, sql, cancel=None, degradation=None, **kwargs):
+        self.seen_levels.append(degradation)
+        if self.gate is not None:
+            self.gate.wait(timeout=10.0)
+        return AQPResult(
+            sql=sql, rows=(), sample=None, elapsed_seconds=0.0
+        )
+
+    def close(self):
+        self.closed = True
+
+
+def _occupy(governor: QueryGovernor, gate: threading.Event) -> threading.Thread:
+    """Run one query that holds its slot until ``gate`` is set."""
+    entered = threading.Event()
+
+    def run():
+        entered.set()
+        governor.execute("SELECT 1")
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    entered.wait(timeout=5.0)
+    time.sleep(0.1)  # let it pass admission and block in execute()
+    return thread
+
+
+class TestAdmission:
+    def test_uncontended_admission_is_full_fidelity(self):
+        engine = _FakeEngine()
+        governor = QueryGovernor(
+            engine, GovernorConfig(max_concurrency=2)
+        )
+        governor.execute("SELECT 1")
+        assert engine.seen_levels == [DegradationLevel.FULL]
+        stats = governor.stats()
+        assert stats["admitted"] == 1
+        assert stats["rejected"] == 0
+
+    def test_reject_policy_sheds_fast(self):
+        gate = threading.Event()
+
+        def factory():
+            return _FakeEngine(gate)
+
+        governor = QueryGovernor(
+            factory,
+            GovernorConfig(max_concurrency=1, shed_policy="reject"),
+        )
+        thread = _occupy(governor, gate)
+        try:
+            with pytest.raises(AdmissionRejectedError):
+                governor.execute("SELECT 2")
+        finally:
+            gate.set()
+            thread.join(timeout=5.0)
+        assert governor.stats()["rejected"] == 1
+
+    def test_degrade_policy_admits_overflow_at_reduced_level(self):
+        gate = threading.Event()
+        engines: list[_FakeEngine] = []
+
+        def factory():
+            engine = _FakeEngine(gate)
+            engines.append(engine)
+            return engine
+
+        governor = QueryGovernor(
+            factory,
+            GovernorConfig(
+                max_concurrency=1,
+                shed_policy="degrade",
+                max_overflow=1,
+                overflow_level=DegradationLevel.REDUCED_K,
+            ),
+        )
+        thread = _occupy(governor, gate)
+        try:
+            done = threading.Event()
+            levels: list[DegradationLevel] = []
+
+            def overflow_client():
+                governor.execute("SELECT 2")
+                done.set()
+
+            overflow = threading.Thread(target=overflow_client, daemon=True)
+            overflow.start()
+            time.sleep(0.2)
+            gate.set()
+            assert done.wait(timeout=5.0)
+            overflow.join(timeout=5.0)
+            levels = [
+                level for engine in engines for level in engine.seen_levels
+            ]
+            assert DegradationLevel.REDUCED_K in levels
+        finally:
+            gate.set()
+            thread.join(timeout=5.0)
+        assert governor.stats()["levels"]["reduced_k"] == 1
+
+    def test_queue_policy_times_out(self):
+        gate = threading.Event()
+
+        def factory():
+            return _FakeEngine(gate)
+
+        governor = QueryGovernor(
+            factory,
+            GovernorConfig(
+                max_concurrency=1,
+                shed_policy="queue",
+                queue_timeout_seconds=0.2,
+            ),
+        )
+        thread = _occupy(governor, gate)
+        try:
+            with pytest.raises(AdmissionRejectedError, match="queued"):
+                governor.execute("SELECT 2")
+        finally:
+            gate.set()
+            thread.join(timeout=5.0)
+
+    def test_queue_policy_admits_when_slot_frees(self):
+        gate = threading.Event()
+
+        def factory():
+            return _FakeEngine(gate)
+
+        governor = QueryGovernor(
+            factory,
+            GovernorConfig(
+                max_concurrency=1,
+                shed_policy="queue",
+                queue_timeout_seconds=5.0,
+            ),
+        )
+        thread = _occupy(governor, gate)
+        threading.Timer(0.2, gate.set).start()
+        result = governor.execute("SELECT 2")  # waits, then runs
+        assert result is not None
+        thread.join(timeout=5.0)
+        assert governor.stats()["admitted"] == 2
+
+    def test_close_rejects_new_queries_and_closes_engines(self):
+        engines: list[_FakeEngine] = []
+
+        def factory():
+            engine = _FakeEngine()
+            engines.append(engine)
+            return engine
+
+        governor = QueryGovernor(factory, GovernorConfig())
+        governor.execute("SELECT 1")
+        governor.close()
+        with pytest.raises(AdmissionRejectedError):
+            governor.execute("SELECT 2")
+        assert all(engine.closed for engine in engines)
+
+
+# ---------------------------------------------------------------------------
+# Governed determinism
+# ---------------------------------------------------------------------------
+class TestGovernedDeterminism:
+    def test_uncontended_governed_query_is_bit_identical(self):
+        sql = "SELECT AVG(bump(x)) FROM t WHERE x > 15"
+
+        def factory():
+            engine = _make_engine(run_diagnostics=False)
+            engine.register_udf("bump", lambda v: v + 1.0)
+            return engine
+
+        ungoverned = factory()
+        plain = ungoverned.execute(sql).single()
+        with QueryGovernor(
+            factory,
+            GovernorConfig(max_concurrency=2, memory_budget_bytes=1 << 30),
+        ) as governor:
+            governed = governor.execute(sql).single()
+        assert governed.estimate == plain.estimate
+        assert governed.interval.half_width == plain.interval.half_width
+        assert governed.method == plain.method
