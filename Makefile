@@ -30,10 +30,16 @@ bench-baseline:
 
 # Seconds-long CI canary: shrunken bench workloads recorded to
 # BENCH_smoke.json plus one traced query exported as chrome://tracing
-# JSON; both are uploaded as build artifacts.
+# JSON; both are uploaded as build artifacts.  The timings are also
+# diffed against the committed BENCH_smoke_baseline.json — the target
+# FAILS if any tier-1 bench regresses by more than 25% beyond the noise
+# floor, and the per-bench comparison table is written to
+# bench_smoke_compare.json for the artifact upload.
 bench-smoke:
 	$(PYTHON) benchmarks/record_bench.py --smoke \
-		--out BENCH_smoke.json --trace-sample trace_sample.json
+		--out BENCH_smoke.json --trace-sample trace_sample.json \
+		--compare --baseline BENCH_smoke_baseline.json \
+		--compare-out bench_smoke_compare.json
 
 # Overload stress: concurrent clients vs. the query governor at a
 # quarter of the ungoverned peak memory.  Asserts zero crashes, zero

@@ -1,0 +1,111 @@
+"""Segmented vs reference grouped-bootstrap kernel speedup.
+
+Measures :func:`~repro.parallel.ops.grouped_bootstrap_replicates` in
+both kernel modes across group counts G ∈ {10, 1k, 100k} on a fixed
+200k-row sample, with K = 100 resamples (the paper's default).  The
+``reference`` mode re-runs the per-group masked loop the legacy engine
+used — its cost grows as O(G·n·K) because every group re-scans the
+sample — while the ``segmented`` kernel computes all groups from one
+Poissonized weight matrix via segmented reductions, so its cost is flat
+in G.  At G = 100k the reference mode is extrapolated from a reduced
+replicate count (a full run takes tens of minutes).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_grouped_bootstrap.py
+
+Prints a table and exits 1 if the G=1k speedup falls below the 5x
+acceptance floor.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.grouped import GroupedTarget
+from repro.engine.aggregates import get_aggregate
+from repro.parallel.ops import grouped_bootstrap_replicates
+
+ROWS = 200_000
+RESAMPLES = 100
+SPEEDUP_FLOOR_AT_G1K = 5.0
+
+#: (label, num_groups, reference replicate count) — the reference mode
+#: is measured at fewer resamples where a full run would be unreasonable
+#: and scaled linearly (its cost is linear in K).
+CASES = (
+    ("G=10", 10, RESAMPLES),
+    ("G=1k", 1_000, RESAMPLES),
+    ("G=100k", 100_000, 8),
+)
+
+
+def _target(num_groups: int) -> GroupedTarget:
+    rng = np.random.default_rng(20140622)
+    return GroupedTarget(
+        values=rng.lognormal(1.0, 0.6, ROWS),
+        group_ids=rng.integers(0, num_groups, ROWS),
+        num_groups=num_groups,
+        aggregate=get_aggregate("AVG"),
+        mask=rng.random(ROWS) < 0.8,
+    )
+
+
+def _time(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main() -> int:
+    print(
+        f"grouped bootstrap: n={ROWS:,} rows, K={RESAMPLES} resamples, "
+        f"AVG aggregate (best of 3)"
+    )
+    print(f"{'case':8s} {'segmented':>11s} {'reference':>11s} {'speedup':>9s}")
+    speedups = {}
+    for label, num_groups, reference_k in CASES:
+        target = _target(num_groups)
+        segmented = _time(
+            lambda: grouped_bootstrap_replicates(
+                target, RESAMPLES, seed=37, mode="segmented"
+            )
+        )
+        reference = _time(
+            lambda: grouped_bootstrap_replicates(
+                target, reference_k, seed=37, mode="reference"
+            ),
+            repeats=1 if reference_k < RESAMPLES else 3,
+        )
+        scaled = reference * (RESAMPLES / reference_k)
+        note = " (scaled)" if reference_k < RESAMPLES else ""
+        speedups[label] = scaled / segmented
+        print(
+            f"{label:8s} {segmented:10.3f}s {scaled:10.3f}s "
+            f"{speedups[label]:8.1f}x{note}"
+        )
+    if speedups["G=1k"] < SPEEDUP_FLOOR_AT_G1K:
+        print(
+            f"\nFAIL: G=1k speedup {speedups['G=1k']:.1f}x is below the "
+            f"{SPEEDUP_FLOOR_AT_G1K}x acceptance floor"
+        )
+        return 1
+    print(
+        f"\nOK: G=1k speedup {speedups['G=1k']:.1f}x >= "
+        f"{SPEEDUP_FLOOR_AT_G1K}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,16 +43,23 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.core.bootstrap import BootstrapEstimator, bootstrap_table_statistic
 from repro.core.diagnostics import DiagnosticConfig, diagnose
 from repro.core.estimators import EstimationTarget
+from repro.core.grouped import GroupedTarget
 from repro.core.ground_truth import DatasetQuery, sampling_distribution
 from repro.core.pipeline import AQPEngine, EngineConfig
 from repro.engine.aggregates import get_aggregate
 from repro.engine.table import Table
+from repro.parallel.ops import grouped_bootstrap_replicates
 from repro.parallel.pool import resolve_num_workers
 
 BASELINE_PATH = REPO_ROOT / "BENCH_baseline.json"
 
 #: Warn when a bench regresses by more than this factor in --compare.
 REGRESSION_FACTOR = 1.25
+
+#: Absolute slack under which a ratio blow-up is scheduling noise, not a
+#: regression: sub-hundredth-of-a-second benches easily double on a busy
+#: CI runner without any code change.
+NOISE_FLOOR_SECONDS = 0.02
 
 ROWS = 200_000
 
@@ -118,12 +125,42 @@ def _benches(smoke: bool = False):
                 engine.execute("SELECT AVG(a) FROM t WHERE b > 45")
         return engine.plan_cache_info()
 
+    # Segmented grouped-bootstrap kernel (§5.3.1 across GROUP BY): one
+    # weight matrix answers every group, so the cost should be flat in G.
+    grouped_values = rng.lognormal(1.0, 0.6, rows)
+    grouped_mask = rng.random(rows) < 0.8
+    grouped_targets = {
+        label: GroupedTarget(
+            values=grouped_values,
+            group_ids=rng.integers(0, num_groups, rows),
+            num_groups=num_groups,
+            aggregate=get_aggregate("AVG"),
+            mask=grouped_mask,
+        )
+        for label, num_groups in (
+            ("g10", 10),
+            ("g1k", 1000),
+            ("g100k", 100_000),
+        )
+    }
+
+    def grouped_bootstrap(label):
+        def bench():
+            return grouped_bootstrap_replicates(
+                grouped_targets[label], 100 // scale, seed=37
+            )
+
+        return bench
+
     return {
         "bootstrap_fast_path": bootstrap_fast_path,
         "bootstrap_black_box": bootstrap_black_box,
         "diagnostic": diagnostic,
         "ground_truth_trials": ground_truth,
         "engine_end_to_end": engine_end_to_end,
+        "grouped_bootstrap_g10": grouped_bootstrap("g10"),
+        "grouped_bootstrap_g1k": grouped_bootstrap("g1k"),
+        "grouped_bootstrap_g100k": grouped_bootstrap("g100k"),
     }
 
 
@@ -198,9 +235,26 @@ def main() -> int:
         metavar="FILE",
         help="also run one traced query and write its chrome://tracing JSON",
     )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "baseline JSON for --compare (default: BENCH_baseline.json; "
+            "pass BENCH_smoke_baseline.json for the CI smoke guard)"
+        ),
+    )
+    parser.add_argument(
+        "--compare-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the per-bench comparison table as JSON (CI artifact)",
+    )
     args = parser.parse_args()
     out_path = args.out or BASELINE_PATH
-    if args.smoke and args.out is None:
+    if args.smoke and args.out is None and not args.compare:
         parser.error("--smoke requires --out (refusing to overwrite baseline)")
 
     mode = "smoke" if args.smoke else "full"
@@ -211,29 +265,6 @@ def main() -> int:
         path = write_trace_sample(args.trace_sample)
         print(f"wrote sample trace to {path} (load in chrome://tracing)")
 
-    if args.compare:
-        if not BASELINE_PATH.exists():
-            print(f"no baseline at {BASELINE_PATH}; run without --compare")
-            return 2
-        baseline = json.loads(BASELINE_PATH.read_text())
-        regressions = []
-        print("\nvs baseline:")
-        for name, now in timings.items():
-            then = baseline["benches"].get(name)
-            if then is None:
-                print(f"  {name:24s} (new bench, no baseline)")
-                continue
-            ratio = now / then if then else float("inf")
-            flag = "  REGRESSION" if ratio > REGRESSION_FACTOR else ""
-            print(f"  {name:24s} {then:8.3f}s -> {now:8.3f}s ({ratio:4.2f}x){flag}")
-            if ratio > REGRESSION_FACTOR:
-                regressions.append(name)
-        if regressions:
-            print(f"\n{len(regressions)} bench(es) regressed: {regressions}")
-            return 1
-        print("\nno regressions")
-        return 0
-
     payload = {
         "schema": 1,
         "mode": mode,
@@ -241,8 +272,75 @@ def main() -> int:
         "repeats": args.repeats,
         "benches": timings,
     }
-    out_path.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"\nwrote {out_path}")
+    if args.out is not None:
+        args.out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {args.out}")
+
+    if args.compare:
+        baseline_path = args.baseline or BASELINE_PATH
+        if not baseline_path.exists():
+            print(f"no baseline at {baseline_path}; run without --compare")
+            return 2
+        baseline = json.loads(baseline_path.read_text())
+        comparison: dict[str, dict] = {}
+        regressions = []
+        print(f"\nvs baseline ({baseline_path.name}):")
+        for name, now in timings.items():
+            then = baseline["benches"].get(name)
+            if then is None:
+                print(f"  {name:24s} (new bench, no baseline)")
+                comparison[name] = {
+                    "baseline": None,
+                    "current": now,
+                    "ratio": None,
+                    "regression": False,
+                }
+                continue
+            ratio = now / then if then else float("inf")
+            # A regression needs both a relative blow-up and an absolute
+            # cost above the noise floor — micro-benches double for free
+            # on a loaded runner.
+            regressed = (
+                ratio > REGRESSION_FACTOR
+                and (now - then) > NOISE_FLOOR_SECONDS
+            )
+            flag = "  REGRESSION" if regressed else ""
+            print(f"  {name:24s} {then:8.3f}s -> {now:8.3f}s ({ratio:4.2f}x){flag}")
+            comparison[name] = {
+                "baseline": then,
+                "current": now,
+                "ratio": round(ratio, 4) if then else None,
+                "regression": regressed,
+            }
+            if regressed:
+                regressions.append(name)
+        if args.compare_out is not None:
+            args.compare_out.write_text(
+                json.dumps(
+                    {
+                        "schema": 1,
+                        "mode": mode,
+                        "baseline_file": baseline_path.name,
+                        "regression_factor": REGRESSION_FACTOR,
+                        "noise_floor_seconds": NOISE_FLOOR_SECONDS,
+                        "machine": machine_info(),
+                        "benches": comparison,
+                        "regressions": regressions,
+                    },
+                    indent=2,
+                )
+                + "\n"
+            )
+            print(f"wrote comparison to {args.compare_out}")
+        if regressions:
+            print(f"\n{len(regressions)} bench(es) regressed: {regressions}")
+            return 1
+        print("\nno regressions")
+        return 0
+
+    if args.out is None:
+        out_path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {out_path}")
     return 0
 
 

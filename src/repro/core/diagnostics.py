@@ -35,10 +35,15 @@ import numpy as np
 
 from repro.core.ci import symmetric_half_width
 from repro.core.estimators import ErrorEstimator, EstimationTarget
-from repro.errors import DiagnosticError
+from repro.core.grouped import GroupedTarget
+from repro.errors import DiagnosticError, EstimationError
 from repro.obs.metrics import METRICS
 from repro.obs.trace import trace_span
-from repro.parallel.ops import diagnostic_evaluations
+from repro.parallel.ops import (
+    DEFAULT_REPLICATE_CHUNK,
+    diagnostic_evaluations,
+    grouped_diagnostic_evaluations,
+)
 from repro.parallel.pool import WorkerPool, pool_scope
 from repro.parallel.rng import seed_from_rng
 from repro.parallel.supervise import Supervision
@@ -303,6 +308,211 @@ def _diagnose(
     return _apply_acceptance_criteria(
         reports, config, estimator.name, num_subqueries
     )
+
+
+def grouped_diagnose(
+    target: GroupedTarget,
+    full_estimates: np.ndarray,
+    estimator_kind: str,
+    estimator_name: str,
+    num_resamples: int,
+    confidence: float = 0.95,
+    config: DiagnosticConfig | None = None,
+    rng: np.random.Generator | None = None,
+    pool: WorkerPool | int | None = None,
+    supervision: Supervision | None = None,
+    mode: str = "segmented",
+    chunk_size: int = DEFAULT_REPLICATE_CHUNK,
+) -> tuple[list[DiagnosticResult], int]:
+    """Run Algorithm 1 for every group of a GROUP BY query in one pass.
+
+    The verdict semantics are per group and identical to
+    :func:`diagnose` — each group gets its own Δ/σ/π ladder, failure
+    reasons, and :class:`DiagnosticResult` — but the *work* is
+    consolidated per §5.3.1: each (size, subsample) cell is cut once
+    and evaluated for all groups from shared weight matrices via
+    :func:`~repro.parallel.ops.grouped_diagnostic_evaluations`.
+    (The legacy per-group path cut an independent set of subsamples per
+    group; sharing one set is statistically equivalent and is what
+    makes the cost independent of G.)
+
+    Args:
+        target: the grouped query bound to its sample.
+        full_estimates: ``(G,)`` per-group whole-sample point estimates
+            (the centers the true interval widths are measured around).
+        estimator_kind: ``"bootstrap"`` or ``"closed_form"`` — the ξ
+            under diagnosis.
+        estimator_name: the ξ's reported name (as on its intervals).
+        num_resamples: inner bootstrap K (ignored for closed form).
+        confidence / config / rng / pool / supervision: as
+            :func:`diagnose`.
+        mode: grouped kernel mode for the inner replicates.
+        chunk_size: replicate chunk width of the inner bootstrap.
+
+    Returns:
+        ``(results, shared_evaluations)`` — one
+        :class:`DiagnosticResult` per group, plus the number of
+        subsample evaluations actually performed (shared across groups;
+        each group's ``num_subqueries`` still reports its own ladder
+        for parity with the per-group path).
+    """
+    config = config or DiagnosticConfig()
+    rng = rng or np.random.default_rng()
+    with trace_span(
+        "diagnostic.grouped",
+        estimator=estimator_name,
+        groups=target.num_groups,
+    ) as span:
+        with pool_scope(pool) as scoped:
+            results, shared_evaluations = _grouped_diagnose(
+                target,
+                full_estimates,
+                estimator_kind,
+                estimator_name,
+                num_resamples,
+                confidence,
+                config,
+                rng,
+                scoped,
+                supervision,
+                mode,
+                chunk_size,
+            )
+    num_passed = sum(1 for result in results if result.passed)
+    if span is not None:
+        span.tags["passed"] = num_passed
+        span.tags["failed"] = len(results) - num_passed
+        span.add_counter("subqueries", shared_evaluations)
+    if num_passed:
+        METRICS.counter("diagnostic.verdicts.passed").inc(num_passed)
+    if len(results) - num_passed:
+        METRICS.counter("diagnostic.verdicts.failed").inc(
+            len(results) - num_passed
+        )
+    return results, shared_evaluations
+
+
+def _grouped_diagnose(
+    target: GroupedTarget,
+    full_estimates: np.ndarray,
+    estimator_kind: str,
+    estimator_name: str,
+    num_resamples: int,
+    confidence: float,
+    config: DiagnosticConfig,
+    rng: np.random.Generator,
+    pool: WorkerPool | None,
+    supervision: Supervision | None,
+    mode: str,
+    chunk_size: int,
+) -> tuple[list[DiagnosticResult], int]:
+    num_groups = target.num_groups
+    if (
+        estimator_kind == "closed_form"
+        and not target.aggregate.closed_form_capable
+    ):
+        not_applicable = DiagnosticResult(
+            passed=False,
+            reports=(),
+            estimator_name=estimator_name,
+            reason=f"{estimator_name} is not applicable to this query",
+        )
+        return [not_applicable] * num_groups, 0
+
+    num_rows = target.total_sample_rows
+    sizes = config.resolve_sizes(num_rows)
+    p = config.num_subsamples
+
+    results: list[Optional[DiagnosticResult]] = [None] * num_groups
+    reports: list[list[SubsampleSizeReport]] = [[] for _ in range(num_groups)]
+    group_subqueries = np.zeros(num_groups, dtype=np.int64)
+    shared_evaluations = 0
+
+    def fail(group: int, reason: str) -> None:
+        results[group] = DiagnosticResult(
+            passed=False,
+            reports=tuple(reports[group]),
+            estimator_name=estimator_name,
+            reason=reason,
+            num_subqueries=int(group_subqueries[group]),
+        )
+
+    for size in sizes:
+        active = [g for g in range(num_groups) if results[g] is None]
+        if not active:
+            break
+        with trace_span("diagnostic.size", size=size, subsamples=p):
+            blocks = subsample_index_blocks(num_rows, size, p, rng)
+            points, estimated_half_widths = grouped_diagnostic_evaluations(
+                target,
+                estimator_kind,
+                num_resamples,
+                confidence,
+                blocks,
+                seed_from_rng(rng),
+                chunk_size=chunk_size,
+                pool=pool,
+                supervision=supervision,
+                mode=mode,
+            )
+        completed = points.shape[0]
+        if completed == 0:
+            for g in active:
+                fail(g, f"no subsample evaluations completed at size {size}")
+            break
+        shared_evaluations += completed
+        for g in active:
+            # Under degraded execution some of the p evaluations may
+            # have been dropped; account for the work actually done.
+            group_subqueries[g] += completed
+            try:
+                true_half_width = symmetric_half_width(
+                    points[:, g], float(full_estimates[g]), confidence
+                )
+            except EstimationError as error:
+                fail(g, str(error))
+                continue
+            if true_half_width <= 0 or not np.isfinite(true_half_width):
+                fail(
+                    g,
+                    f"degenerate true interval at subsample size {size}; "
+                    "θ does not vary across subsamples",
+                )
+                continue
+            estimated = estimated_half_widths[:, g]
+            finite = estimated[np.isfinite(estimated)]
+            if len(finite) == 0:
+                fail(g, f"ξ produced no finite estimates at size {size}")
+                continue
+            deviation = (
+                abs(float(finite.mean()) - true_half_width) / true_half_width
+            )
+            spread = float(finite.std(ddof=0)) / true_half_width
+            proportion_close = float(
+                np.mean(
+                    np.abs(estimated - true_half_width) / true_half_width
+                    <= config.closeness_threshold
+                )
+            )
+            reports[g].append(
+                SubsampleSizeReport(
+                    size=size,
+                    true_half_width=true_half_width,
+                    mean_estimated_half_width=float(finite.mean()),
+                    deviation=deviation,
+                    spread=spread,
+                    proportion_close=proportion_close,
+                )
+            )
+
+    final: list[DiagnosticResult] = []
+    for g in range(num_groups):
+        if results[g] is None:
+            results[g] = _apply_acceptance_criteria(
+                reports[g], config, estimator_name, int(group_subqueries[g])
+            )
+        final.append(results[g])
+    return final, shared_evaluations
 
 
 def _apply_acceptance_criteria(

@@ -1,0 +1,397 @@
+"""Single-pass grouped-bootstrap kernels (§5.3.1 applied across groups).
+
+A GROUP BY query is, statistically, one estimation problem per group
+(§2.1): each group's point estimate and confidence interval are defined
+exactly as for a single-aggregate query whose WHERE clause additionally
+selects the group.  Executing it that way, however, costs O(n·G) — the
+naive path re-scans the sample, regenerates Poisson weights, and re-runs
+K replicate reductions once per group.
+
+This module collapses that to one pass: a single Poissonized weight
+matrix (chunked under the usual byte budget) is shared by *all* groups,
+and segmented reductions over a factorised :class:`GroupIndex` produce
+every group's point estimate, K replicate values, and closed-form
+moments at once.  Per-group estimation semantics are unchanged — only
+the schedule is.
+
+Two kernel modes exist so the consolidation can be validated:
+
+* ``segmented`` (default) — vectorised segmented reductions via
+  :meth:`AggregateFunction.compute_grouped_resamples`.
+* ``reference`` — a per-group masked loop over the *same* weight
+  matrix.  Given identical inputs the two modes are bit-identical for
+  selection-based aggregates and for sums of integer-representable
+  data; the property tests in ``tests/test_grouped_kernel.py`` pin
+  this down.
+
+The pipeline-level switch ``REPRO_GROUPED_KERNEL=reference`` restores
+the legacy one-estimation-per-group execution path end to end (per-group
+RNG streams and all); it exists as the statistical oracle and as the
+baseline for the ``grouped_bootstrap`` benchmarks.
+
+This module must not import :mod:`repro.parallel.ops` (which imports it
+for the chunked worker kernels).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from functools import cached_property
+from typing import Optional
+
+import numpy as np
+
+from repro.core.ci import symmetric_half_width
+from repro.core.closed_form import normal_quantile
+from repro.engine.aggregates import AggregateFunction, GroupIndex
+from repro.errors import EstimationError
+
+GROUPED_KERNEL_ENV = "REPRO_GROUPED_KERNEL"
+
+_KERNEL_MODES = ("segmented", "reference")
+
+
+def resolve_grouped_kernel_mode(mode: Optional[str] = None) -> str:
+    """The active grouped-kernel mode (explicit > env > segmented)."""
+    if mode is None:
+        mode = os.environ.get(GROUPED_KERNEL_ENV, "").strip() or "segmented"
+    if mode not in _KERNEL_MODES:
+        raise EstimationError(
+            f"unknown grouped kernel mode {mode!r}; expected one of "
+            f"{_KERNEL_MODES} (set via {GROUPED_KERNEL_ENV})"
+        )
+    return mode
+
+
+@dataclass(frozen=True)
+class GroupedTarget:
+    """Every aggregate-per-group of one GROUP BY query, as one target.
+
+    The geometry mirrors :class:`~repro.core.estimators.EstimationTarget`
+    with one addition: each of the ``n`` sample rows carries a group id.
+    Group ``g``'s matched rows are those with ``mask`` set *and*
+    ``group_ids == g`` — i.e. group membership acts as an extra filter
+    conjunct, which is exactly how the legacy per-group path modelled it
+    (``total_sample_rows`` and the extensive ``|D| / n`` scale factor are
+    whole-sample quantities, identical for every group).
+
+    Attributes:
+        values: aggregate argument on every sample row (pre-filter).
+        group_ids: ``(n,)`` integer group ids in ``[0, num_groups)``.
+        num_groups: number of groups ``G``.
+        aggregate: the weighted aggregate function.
+        mask: boolean WHERE mask, or ``None`` for no filter.
+        dataset_rows: ``|D|`` for extensive scaling; ``None`` if unknown.
+        extensive: whether the statistic needs the ``|D| / n`` factor.
+    """
+
+    values: np.ndarray
+    group_ids: np.ndarray
+    num_groups: int
+    aggregate: AggregateFunction
+    mask: Optional[np.ndarray] = None
+    dataset_rows: Optional[int] = None
+    extensive: bool = False
+
+    def __post_init__(self):
+        values = np.asarray(self.values)
+        group_ids = np.asarray(self.group_ids)
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "group_ids", group_ids)
+        if group_ids.shape != values.shape:
+            raise EstimationError(
+                f"group_ids shape {group_ids.shape} does not match values "
+                f"shape {values.shape}"
+            )
+        if self.mask is not None:
+            mask = np.asarray(self.mask)
+            if mask.shape != values.shape:
+                raise EstimationError(
+                    f"mask shape {mask.shape} does not match values shape "
+                    f"{values.shape}"
+                )
+            if mask.dtype != np.bool_:
+                raise EstimationError("mask must be boolean")
+            object.__setattr__(self, "mask", mask)
+
+    # -- basic geometry ------------------------------------------------------
+    @property
+    def total_sample_rows(self) -> int:
+        """Sample size before filtering (the n of the theory)."""
+        return len(self.values)
+
+    @cached_property
+    def matched_values(self) -> np.ndarray:
+        """Argument values of the rows that passed the WHERE filter."""
+        if self.mask is None:
+            return self.values
+        return self.values[self.mask]
+
+    @cached_property
+    def matched_group_ids(self) -> np.ndarray:
+        """Group ids of the rows that passed the WHERE filter."""
+        if self.mask is None:
+            return self.group_ids
+        return self.group_ids[self.mask]
+
+    @cached_property
+    def group_index(self) -> GroupIndex:
+        """Factorised index over the *matched* rows (built once)."""
+        return GroupIndex.from_ids(self.matched_group_ids, self.num_groups)
+
+    @property
+    def scale_factor(self) -> float:
+        """Factor applied to sample statistics to estimate θ(D)."""
+        if not self.extensive or self.dataset_rows is None:
+            return 1.0
+        if self.total_sample_rows == 0:
+            raise EstimationError("cannot scale a zero-row sample")
+        return self.dataset_rows / self.total_sample_rows
+
+    # -- evaluation ----------------------------------------------------------
+    def point_estimates(self) -> np.ndarray:
+        """Per-group plug-in estimates θ_g(S), scaled to full-data units."""
+        return self.scale_factor * self.aggregate.compute_grouped(
+            self.matched_values, self.group_index
+        )
+
+    def subset(self, indices: np.ndarray) -> "GroupedTarget":
+        """The target restricted to a row subset of the sample.
+
+        Used by the diagnostic: subsamples slice the *sample*, and the
+        group structure (with the full group count) rides along so every
+        group's statistic is re-evaluated on the subsample.
+        """
+        return replace(
+            self,
+            values=self.values[indices],
+            group_ids=self.group_ids[indices],
+            mask=None if self.mask is None else self.mask[indices],
+        )
+
+
+def grouped_resample_estimates_kernel(
+    matched_values: np.ndarray,
+    index: GroupIndex,
+    aggregate: AggregateFunction,
+    weight_matrix: np.ndarray,
+    rng: np.random.Generator | None,
+    *,
+    extensive: bool,
+    dataset_rows: Optional[int],
+    total_sample_rows: int,
+    mode: str = "segmented",
+) -> np.ndarray:
+    """θ_g over K resamples for every group, from one weight matrix.
+
+    The grouped analogue of
+    :func:`repro.core.estimators.resample_estimates_kernel` and, like
+    it, the single source of truth shared by the inline path and the
+    chunked parallel workers — which is what keeps fan-out over
+    replicate chunks bit-identical to serial execution at any worker
+    count.
+
+    Args:
+        matched_values: ``(m,)`` argument values of matched rows.
+        index: group index over those ``m`` rows.
+        aggregate: the weighted aggregate.
+        weight_matrix: ``(m, K)`` Poisson weights shared by all groups.
+        rng: stream used *after* the weight matrix for the
+            unmatched-weight-total draws of extensive aggregates.
+        extensive: whether to apply realised-size normalisation.
+        dataset_rows: ``|D|`` (or ``None`` to stay in sample units).
+        total_sample_rows: pre-filter sample size ``n``.
+        mode: ``"segmented"`` (vectorised) or ``"reference"``
+            (per-group masked loop over the same matrix).
+
+    Returns:
+        Array of shape ``(G, K)``.
+
+    Extensive aggregates are normalised by the *whole-sample* realised
+    resample size — the matched weight total of all groups plus one
+    Poisson draw for the ``n − m`` unmatched rows — mirroring the
+    ungrouped kernel.  (The legacy per-group path drew a separate
+    unmatched total per group; the two denominators are identically
+    distributed, so per-group estimates are statistically equivalent,
+    and sharing one denominator is what lets a single matrix serve all
+    groups.)
+    """
+    mode = resolve_grouped_kernel_mode(mode)
+    if mode == "segmented":
+        raw = aggregate.compute_grouped_resamples(
+            matched_values, index, weight_matrix
+        )
+    else:
+        matched_values = np.asarray(matched_values)
+        raw = np.empty(
+            (index.num_groups, weight_matrix.shape[1]), dtype=np.float64
+        )
+        for g in range(index.num_groups):
+            rows = index.group_ids == g
+            if not rows.any():
+                raw[g] = aggregate.compute(matched_values[:0])
+                continue
+            raw[g] = aggregate.compute_resamples(
+                matched_values[rows], weight_matrix[rows]
+            )
+    if not extensive or dataset_rows is None:
+        return raw
+    if total_sample_rows == 0:
+        raise EstimationError("cannot scale a zero-row sample")
+    matched_weight_totals = weight_matrix.sum(axis=0, dtype=np.float64)
+    unmatched_rows = total_sample_rows - index.num_rows
+    if unmatched_rows > 0:
+        rng = rng or np.random.default_rng()
+        unmatched_totals = rng.poisson(
+            unmatched_rows, size=weight_matrix.shape[1]
+        ).astype(np.float64)
+    else:
+        unmatched_totals = 0.0
+    realized_sizes = matched_weight_totals + unmatched_totals
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.where(
+            realized_sizes > 0,
+            dataset_rows * raw / realized_sizes,
+            np.nan,
+        )
+
+
+def _grouped_central_moments(
+    values: np.ndarray, index: GroupIndex
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-group (mean, m2, m4): mean and 2nd/4th central moments."""
+    counts = index.counts.astype(np.float64)
+    sums = index.segment_sum(values)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        means = np.where(counts > 0, sums / counts, np.nan)
+        values_sorted = values[index.order]
+        deviations = values_sorted - means[index.group_ids[index.order]]
+        squared = deviations * deviations
+        m2 = np.where(
+            counts > 0, index.segment_sum_sorted(squared) / counts, np.nan
+        )
+        m4 = np.where(
+            counts > 0,
+            index.segment_sum_sorted(squared * squared) / counts,
+            np.nan,
+        )
+    return means, m2, m4
+
+
+def grouped_closed_form_std_errors(target: GroupedTarget) -> np.ndarray:
+    """Per-group CLT standard errors, computed segment-wise.
+
+    The grouped analogue of
+    :meth:`AggregateFunction.closed_form_std_error` with the same
+    formulas per group; where the scalar method would raise for a group
+    (too few rows, degenerate data), that group's entry is NaN and the
+    caller routes it to the per-group fallback chain.
+
+    Raises:
+        EstimationError: when the aggregate has no closed form at all,
+            or the sample is empty (whole-query conditions, identical
+            for every group).
+    """
+    aggregate = target.aggregate
+    if not aggregate.closed_form_capable:
+        raise EstimationError(
+            f"no closed-form standard error is known for {aggregate.name}"
+        )
+    index = target.group_index
+    values = np.asarray(target.matched_values, dtype=np.float64)
+    counts = index.counts.astype(np.float64)
+    n = int(target.total_sample_rows)
+    name = aggregate.name
+    if name in ("COUNT", "SUM") and n <= 0:
+        raise EstimationError("sample must be non-empty")
+    with np.errstate(divide="ignore", invalid="ignore"):
+        if name == "COUNT":
+            matched_fraction = counts / n
+            return np.sqrt(n * matched_fraction * (1.0 - matched_fraction))
+        if name == "SUM":
+            # Rows outside the group (or failing the filter) contribute
+            # zero to y; Var(sum) = n · Var(y).
+            mean_y = index.segment_sum(values) / n
+            mean_y2 = index.segment_sum(values * values) / n
+            variance_y = np.maximum(mean_y2 - mean_y * mean_y, 0.0)
+            return np.sqrt(n * variance_y)
+        if name == "AVG":
+            __, m2, __ = _grouped_central_moments(values, index)
+            # Unbiased variance = m2 · m / (m − 1); se = sqrt(var / m).
+            variance = np.where(
+                counts > 1, m2 * counts / (counts - 1.0), np.nan
+            )
+            return np.where(counts > 1, np.sqrt(variance / counts), np.nan)
+        if name == "VARIANCE":
+            __, m2, m4 = _grouped_central_moments(values, index)
+            core = np.maximum(m4 - m2 * m2, 0.0) / counts
+            return np.where(counts > 1, np.sqrt(core), np.nan)
+        if name == "STDEV":
+            __, m2, m4 = _grouped_central_moments(values, index)
+            core = np.maximum(m4 - m2 * m2, 0.0) / counts
+            return np.where(
+                (counts > 1) & (m2 > 0),
+                np.sqrt(core / (4.0 * m2)),
+                np.nan,
+            )
+    raise EstimationError(
+        f"no closed-form standard error is known for {name}"
+    )
+
+
+def grouped_closed_form_intervals(
+    target: GroupedTarget, confidence: float = 0.95
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-group (point estimate, closed-form half-width) arrays.
+
+    NaN half-widths mark groups where the scalar closed form would have
+    raised; the pipeline re-routes those groups individually.
+    """
+    std_errors = grouped_closed_form_std_errors(target)
+    estimates = target.point_estimates()
+    half_widths = (
+        normal_quantile(confidence) * std_errors * target.scale_factor
+    )
+    return estimates, half_widths
+
+
+def grouped_half_widths(
+    replicates: np.ndarray,
+    centers: np.ndarray,
+    confidence: float,
+) -> tuple[np.ndarray, list[Optional[str]]]:
+    """Per-group symmetric half-widths from a ``(G, K)`` replicate matrix.
+
+    Vectorised over the common case (every replicate finite); groups
+    with NaN replicates fall back to the scalar
+    :func:`~repro.core.ci.symmetric_half_width`, and groups where that
+    raises (all replicates NaN) get a NaN half-width plus the error
+    message, so the caller can apply the same fallback policy the
+    per-group path would.
+
+    Returns:
+        ``(half_widths, failure_reasons)`` — shape ``(G,)`` and a
+        length-G list of ``None`` or the scalar error message.
+    """
+    replicates = np.asarray(replicates, dtype=np.float64)
+    centers = np.asarray(centers, dtype=np.float64)
+    num_groups = replicates.shape[0]
+    half_widths = np.full(num_groups, np.nan)
+    reasons: list[Optional[str]] = [None] * num_groups
+    vectorisable = np.isfinite(replicates).all(axis=1) & np.isfinite(centers)
+    if vectorisable.any():
+        deviations = np.abs(
+            replicates[vectorisable] - centers[vectorisable, None]
+        )
+        half_widths[vectorisable] = np.quantile(
+            deviations, confidence, axis=1, method="inverted_cdf"
+        )
+    for g in np.flatnonzero(~vectorisable):
+        try:
+            half_widths[g] = symmetric_half_width(
+                replicates[g], centers[g], confidence
+            )
+        except EstimationError as error:
+            reasons[g] = str(error)
+    return half_widths, reasons

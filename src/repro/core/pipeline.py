@@ -50,8 +50,15 @@ from repro.core.diagnostics import (
     DiagnosticConfig,
     DiagnosticResult,
     diagnose,
+    grouped_diagnose,
 )
 from repro.core.estimators import ErrorEstimator, EstimationTarget
+from repro.core.grouped import (
+    GroupedTarget,
+    grouped_closed_form_intervals,
+    grouped_half_widths,
+    resolve_grouped_kernel_mode,
+)
 from repro.core.large_deviation import HoeffdingEstimator
 from repro.engine.evaluator import ExpressionEvaluator
 from repro.engine.table import Table
@@ -75,7 +82,9 @@ from repro.obs.trace import (
     trace_event,
     trace_span,
 )
+from repro.parallel.ops import grouped_bootstrap_replicates
 from repro.parallel.pool import WorkerPool, resolve_num_workers
+from repro.parallel.rng import seed_from_rng
 from repro.parallel.shm import sweep_orphans
 from repro.parallel.supervise import (
     ExecutionReport,
@@ -802,7 +811,17 @@ class _ExecutionState:
     def _run_grouped(
         self, working: Table, where_mask: np.ndarray | None
     ) -> list[AQPRow]:
-        """One estimation problem per group (§2.1), any number of keys."""
+        """One estimation problem per group (§2.1), any number of keys.
+
+        Two kernels can compute those problems.  The default
+        ``segmented`` kernel answers *all* groups of an aggregate from
+        one scan: a single Poissonized weight matrix feeds segmented
+        reductions (§5.3.1 applied across the GROUP BY), so the cost is
+        O(n·K) instead of the legacy O(G·n·K).
+        ``REPRO_GROUPED_KERNEL=reference`` restores the per-group loop —
+        the statistical oracle the segmented kernel is validated
+        against.
+        """
         from repro.plan.executor import _group_rows
 
         key_arrays = [
@@ -810,16 +829,49 @@ class _ExecutionState:
             for expr in self.query.group_by
         ]
         group_ids, group_keys = _group_rows(key_arrays)
+        num_groups = len(group_keys[0]) if group_keys else 0
+        group_dicts = [
+            {
+                name: group_keys[key_index][g]
+                for key_index, name in enumerate(self.query.group_by_names)
+            }
+            for g in range(num_groups)
+        ]
+        if resolve_grouped_kernel_mode() == "reference":
+            return self._run_grouped_reference(
+                working, where_mask, group_ids, group_dicts
+            )
+        per_spec = [
+            self._estimate_grouped(
+                spec, working, where_mask, group_ids, num_groups, group_dicts
+            )
+            for spec in self.query.aggregates
+        ]
+        return [
+            AQPRow(
+                group=group_dicts[g],
+                values={
+                    spec.output_name: per_spec[index][g]
+                    for index, spec in enumerate(self.query.aggregates)
+                },
+            )
+            for g in range(num_groups)
+        ]
+
+    def _run_grouped_reference(
+        self,
+        working: Table,
+        where_mask: np.ndarray | None,
+        group_ids: np.ndarray,
+        group_dicts: list[dict],
+    ) -> list[AQPRow]:
+        """The reference kernel: one full estimation pipeline per group."""
         rows: list[AQPRow] = []
-        for g in range(len(group_keys[0])):
+        for g, group in enumerate(group_dicts):
             group_mask = group_ids == g
             combined = (
                 group_mask if where_mask is None else group_mask & where_mask
             )
-            group = {
-                name: group_keys[key_index][g]
-                for key_index, name in enumerate(self.query.group_by_names)
-            }
             values = {
                 spec.output_name: self._estimate_one(
                     spec, working, combined, group
@@ -828,6 +880,340 @@ class _ExecutionState:
             }
             rows.append(AQPRow(group=group, values=values))
         return rows
+
+    def _estimate_grouped(
+        self,
+        spec,
+        working: Table,
+        where_mask: np.ndarray | None,
+        group_ids: np.ndarray,
+        num_groups: int,
+        group_dicts: list[dict],
+    ) -> list[ApproximateValue]:
+        """Every group's estimate for one aggregate, from shared scans.
+
+        The routing mirrors :meth:`_estimate_one` decision-for-decision;
+        only the *work* is consolidated.  Groups the segmented formulas
+        cannot serve — emptied by the WHERE mask, or where the scalar
+        closed form would have raised — are routed through
+        :meth:`_estimate_one` individually, so their behaviour
+        (error messages, fallback policy) stays exactly legacy.
+        """
+        self.supervision.check_cancelled()
+        with trace_span(
+            "estimate", aggregate=spec.output_name, groups=num_groups
+        ) as span:
+            if spec.argument is None:
+                argument_values = np.ones(working.num_rows, dtype=np.float64)
+            else:
+                argument_values = self.engine._evaluator.evaluate(
+                    spec.argument, working
+                )
+            target = GroupedTarget(
+                values=np.asarray(argument_values, dtype=np.float64),
+                group_ids=group_ids,
+                num_groups=num_groups,
+                aggregate=spec.function,
+                mask=where_mask,
+                dataset_rows=self.sample_info.dataset_rows,
+                extensive=spec.extensive,
+            )
+
+            def route_one(g: int) -> ApproximateValue:
+                combined = group_ids == g
+                if where_mask is not None:
+                    combined = combined & where_mask
+                return self._estimate_one(
+                    spec, working, combined, group_dicts[g]
+                )
+
+            def scalar_target(g: int) -> EstimationTarget:
+                combined = group_ids == g
+                if where_mask is not None:
+                    combined = combined & where_mask
+                return EstimationTarget(
+                    values=target.values,
+                    aggregate=spec.function,
+                    mask=combined,
+                    dataset_rows=self.sample_info.dataset_rows,
+                    extensive=spec.extensive,
+                )
+
+            results: list[ApproximateValue] = [None] * num_groups
+            counts = target.group_index.counts
+            for g in np.flatnonzero(counts == 0):
+                # The WHERE mask emptied this group: the legacy scalar
+                # path owns that edge (COUNT's exact 0 ± 0 closed form,
+                # the bootstrap's matched-no-rows fallback).
+                results[g] = route_one(int(g))
+            active = np.flatnonzero(counts > 0)
+            if active.size == 0:
+                return results
+
+            if spec.closed_form_capable and not self.query.contains_udf:
+                return self._grouped_closed_form(
+                    spec, target, active, results, span,
+                    route_one, scalar_target, group_dicts,
+                )
+            if self.engine.config.use_quantile_closed_form:
+                from repro.core.quantile_closed_form import (
+                    QuantileClosedFormEstimator,
+                )
+                from repro.engine.aggregates import PercentileAggregate
+
+                if isinstance(
+                    spec.function, PercentileAggregate
+                ) and not spec.contains_udf:
+                    probe = EstimationTarget(
+                        values=np.empty(0), aggregate=spec.function
+                    )
+                    if QuantileClosedFormEstimator().applicable(probe):
+                        # The quantile closed form is an inherently
+                        # scalar derivation; evaluate it per group.
+                        for g in active:
+                            results[g] = route_one(int(g))
+                        return results
+            return self._grouped_bootstrap(
+                spec, target, active, results, span,
+                route_one, scalar_target, group_dicts,
+            )
+
+    def _grouped_closed_form(
+        self,
+        spec,
+        target: GroupedTarget,
+        active: np.ndarray,
+        results: list,
+        span,
+        route_one,
+        scalar_target,
+        group_dicts: list[dict],
+    ) -> list[ApproximateValue]:
+        if span is not None:
+            span.tags["estimator"] = "closed_form"
+        try:
+            points, half_widths = grouped_closed_form_intervals(
+                target, self.confidence
+            )
+        except EstimationError:
+            # The whole-sample geometry is degenerate (e.g. an empty
+            # sample): the scalar path raises the same way per group
+            # and applies the configured fallback.
+            for g in active:
+                results[g] = route_one(int(g))
+            return results
+        diagnostics = self._grouped_diagnostics(
+            target, points, "closed_form", "closed_form"
+        )
+        for g in active:
+            g = int(g)
+            if not np.isfinite(half_widths[g]):
+                # NaN marks "the scalar formula would have raised here"
+                # (e.g. AVG of a single row): replay it through the
+                # scalar path for the identical error and fallback.
+                results[g] = route_one(g)
+                continue
+            interval = ConfidenceInterval(
+                estimate=float(points[g]),
+                half_width=float(half_widths[g]),
+                confidence=self.confidence,
+                method="closed_form",
+            )
+            results[g] = self._finish_grouped_value(
+                spec, interval, "closed_form",
+                diagnostics[g] if diagnostics is not None else None,
+                scalar_target, g, group_dicts,
+            )
+        return results
+
+    def _grouped_bootstrap(
+        self,
+        spec,
+        target: GroupedTarget,
+        active: np.ndarray,
+        results: list,
+        span,
+        route_one,
+        scalar_target,
+        group_dicts: list[dict],
+    ) -> list[ApproximateValue]:
+        num_resamples = self.engine.config.num_bootstrap_resamples
+        if num_resamples < 2:
+            raise EstimationError(
+                f"bootstrap needs at least 2 resamples, got {num_resamples}"
+            )
+        if self.degradation >= DegradationLevel.CLOSED_FORM:
+            # The governor floored this query below the bootstrap:
+            # substitute per-group honest answers, never run replicates.
+            reason = (
+                f"governor degradation level {self.degradation.label!r}"
+            )
+            allow_closed_form = (
+                self.degradation == DegradationLevel.CLOSED_FORM
+            )
+            for g in active:
+                g = int(g)
+                results[g] = self._degraded_value(
+                    spec,
+                    scalar_target(g),
+                    reason=reason,
+                    group=group_dicts[g],
+                    allow_closed_form=allow_closed_form,
+                )
+            return results
+        if span is not None:
+            span.tags["estimator"] = "bootstrap"
+        try:
+            replicates = grouped_bootstrap_replicates(
+                target,
+                num_resamples,
+                seed_from_rng(self.engine._rng),
+                pool=self.engine.worker_pool,
+                supervision=self.supervision,
+                replicate_cap=self._replicate_cap(),
+            )
+        except EstimationError as exc:
+            for g in active:
+                g = int(g)
+                results[g] = self._fall_back(
+                    spec, scalar_target(g), reason=str(exc),
+                    group=group_dicts[g],
+                )
+            return results
+        except ResourceExhaustedError as exc:
+            for g in active:
+                g = int(g)
+                results[g] = self._degraded_value(
+                    spec, scalar_target(g), str(exc), group=group_dicts[g]
+                )
+            return results
+        except ExecutionError as exc:
+            for g in active:
+                g = int(g)
+                results[g] = self._degraded_value(
+                    spec, scalar_target(g), str(exc), group=group_dicts[g]
+                )
+            return results
+        # One consolidated scan answered every group: K resample
+        # subqueries total, not K per group (§5.3.1 accounting).
+        self.bootstrap_subqueries += num_resamples
+        points = target.point_estimates()
+        half_widths, reasons = grouped_half_widths(
+            replicates, points, self.confidence
+        )
+        inflation = 1.0
+        if replicates.shape[1] < num_resamples:
+            inflation = float(
+                np.sqrt(num_resamples / replicates.shape[1])
+            )
+        diagnostics = self._grouped_diagnostics(
+            target, points, "bootstrap", "bootstrap"
+        )
+        for g in active:
+            g = int(g)
+            if reasons[g] is not None:
+                results[g] = self._fall_back(
+                    spec, scalar_target(g), reason=reasons[g],
+                    group=group_dicts[g],
+                )
+                continue
+            interval = ConfidenceInterval(
+                estimate=float(points[g]),
+                half_width=float(half_widths[g]) * inflation,
+                confidence=self.confidence,
+                method="bootstrap",
+            )
+            results[g] = self._finish_grouped_value(
+                spec, interval, "bootstrap",
+                diagnostics[g] if diagnostics is not None else None,
+                scalar_target, g, group_dicts,
+            )
+        return results
+
+    def _finish_grouped_value(
+        self,
+        spec,
+        interval: ConfidenceInterval,
+        method: str,
+        diagnostic: DiagnosticResult | None,
+        scalar_target,
+        g: int,
+        group_dicts: list[dict],
+    ) -> ApproximateValue:
+        """Apply the verdict and error-bound gates to one group's value."""
+        if diagnostic is not None and not diagnostic.passed:
+            return self._fall_back(
+                spec,
+                scalar_target(g),
+                reason=f"diagnostic failed: {diagnostic.reason}",
+                diagnostic=diagnostic,
+                group=group_dicts[g],
+            )
+        if (
+            self.error_bound is not None
+            and interval.relative_error > self.error_bound
+        ):
+            return self._fall_back(
+                spec,
+                scalar_target(g),
+                reason=(
+                    f"relative error {interval.relative_error:.3f} "
+                    f"exceeds bound {self.error_bound}"
+                ),
+                diagnostic=diagnostic,
+                group=group_dicts[g],
+            )
+        return ApproximateValue(
+            name=spec.output_name,
+            estimate=interval.estimate,
+            interval=interval,
+            method=method,
+            diagnostic=diagnostic,
+        )
+
+    def _grouped_diagnostics(
+        self,
+        target: GroupedTarget,
+        points: np.ndarray,
+        estimator_kind: str,
+        estimator_name: str,
+    ) -> list[DiagnosticResult] | None:
+        """Per-group verdicts from one consolidated diagnostic pass."""
+        if not (self.should_diagnose and self._diagnostics_allowed):
+            return None
+        config = self.engine.config.diagnostic or _auto_diagnostic_config(
+            target.total_sample_rows
+        )
+        if config is None:
+            return None
+        try:
+            verdicts, shared_evaluations = grouped_diagnose(
+                target,
+                points,
+                estimator_kind,
+                estimator_name,
+                self.engine.config.num_bootstrap_resamples,
+                self.confidence,
+                config,
+                self.engine._rng,
+                pool=self.engine.worker_pool,
+                supervision=self.supervision,
+            )
+        except ResourceExhaustedError as exc:
+            self.supervision.report.note_degradation(
+                f"diagnostic skipped under memory pressure: {exc}"
+            )
+            return None
+        except ExecutionError as exc:
+            failed = DiagnosticResult(
+                passed=False,
+                reports=(),
+                estimator_name=estimator_name,
+                reason=f"diagnostic execution failed: {exc}",
+            )
+            return [failed] * target.num_groups
+        self.diagnostic_subqueries += shared_evaluations
+        return verdicts
 
     # -- per-aggregate estimation ------------------------------------------
     def _estimate_one(

@@ -23,17 +23,163 @@ UDAFs) carry their inputs.
 Closed-form (CLT) standard errors (§2.3.2) are provided by
 :meth:`AggregateFunction.closed_form_std_error` for the aggregates the
 paper lists as closed-form-capable: COUNT, SUM, AVG, VARIANCE and STDEV.
+
+GROUP BY execution adds a fourth mode (the §5.3.1 consolidation applied
+*across groups*): :meth:`AggregateFunction.compute_grouped` and
+:meth:`AggregateFunction.compute_grouped_resamples` evaluate every group
+of a factorised :class:`GroupIndex` in one pass.  Decomposable
+aggregates (COUNT, SUM, AVG, VARIANCE, STDEV, MIN, MAX) override them
+with segmented reductions — sort once by group id, then
+``ufunc.reduceat`` over contiguous segments — so the cost is
+O(n log n + n·K) regardless of the number of groups.  Non-decomposable
+(holistic) aggregates — PERCENTILE, COUNT DISTINCT, black-box UDAFs —
+fall back to the base implementation: the same single sort, then one
+:meth:`compute_resamples` call per contiguous group segment.  The
+fallback still avoids the O(n·G) per-group masking of the naive path
+and, because the sort is stable, each segment holds exactly the rows a
+per-group boolean mask would select, in the same order — so fallback
+results are bit-identical to per-group evaluation.
 """
 
 from __future__ import annotations
 
 import abc
 from collections.abc import Callable
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
 
 from repro.errors import EstimationError, SamplingError
+
+
+@dataclass(frozen=True)
+class GroupIndex:
+    """Factorised group structure shared by every segmented reduction.
+
+    Built once per (query, spec) from integer group ids; every grouped
+    aggregate call then reuses the same stable sort.
+
+    Attributes:
+        group_ids: ``(n,)`` integer ids in ``[0, num_groups)``.
+        num_groups: total number of groups ``G`` (groups may be empty —
+            a WHERE clause can filter every row of a group out).
+        order: stable argsort of ``group_ids``; applying it makes each
+            group a contiguous segment while preserving original row
+            order within the group.
+        counts: ``(G,)`` rows per group.
+        starts: ``(G,)`` start offset of each group's segment in the
+            sorted order (meaningful for empty groups too).
+    """
+
+    group_ids: np.ndarray
+    num_groups: int
+    order: np.ndarray
+    counts: np.ndarray
+    starts: np.ndarray
+
+    @classmethod
+    def from_ids(cls, group_ids: np.ndarray, num_groups: int) -> "GroupIndex":
+        group_ids = np.asarray(group_ids)
+        if group_ids.ndim != 1:
+            raise SamplingError(
+                f"group ids must be one-dimensional, got shape "
+                f"{group_ids.shape}"
+            )
+        if num_groups < 0:
+            raise SamplingError(
+                f"num_groups must be non-negative, got {num_groups}"
+            )
+        group_ids = group_ids.astype(np.int64, copy=False)
+        if len(group_ids) and (
+            group_ids.min() < 0 or group_ids.max() >= num_groups
+        ):
+            raise SamplingError(
+                f"group ids must lie in [0, {num_groups}), got range "
+                f"[{group_ids.min()}, {group_ids.max()}]"
+            )
+        order = np.argsort(group_ids, kind="stable")
+        counts = np.bincount(group_ids, minlength=num_groups).astype(np.int64)
+        starts = np.concatenate(
+            ([0], np.cumsum(counts)[:-1])
+        ).astype(np.int64) if num_groups else np.empty(0, dtype=np.int64)
+        return cls(
+            group_ids=group_ids,
+            num_groups=num_groups,
+            order=order,
+            counts=counts,
+            starts=starts,
+        )
+
+    @classmethod
+    def from_parts(
+        cls,
+        group_ids: np.ndarray,
+        num_groups: int,
+        order: np.ndarray,
+        counts: np.ndarray,
+        starts: np.ndarray,
+    ) -> "GroupIndex":
+        """Rebuild from precomputed arrays (worker processes; no re-sort)."""
+        return cls(
+            group_ids=np.asarray(group_ids, dtype=np.int64),
+            num_groups=int(num_groups),
+            order=np.asarray(order, dtype=np.int64),
+            counts=np.asarray(counts, dtype=np.int64),
+            starts=np.asarray(starts, dtype=np.int64),
+        )
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.group_ids)
+
+    @property
+    def nonempty(self) -> np.ndarray:
+        """Boolean mask of groups with at least one row."""
+        return self.counts > 0
+
+    def take_sorted(self, data: np.ndarray) -> np.ndarray:
+        """``data`` rearranged into group-sorted (segment) order."""
+        return np.asarray(data)[self.order]
+
+    def segment_sum_sorted(self, data_sorted: np.ndarray) -> np.ndarray:
+        """Per-group sums of already group-sorted ``(n,)`` / ``(n, K)`` data.
+
+        Empty groups sum to zero (``np.add.reduceat`` cannot represent
+        empty segments, so the reduction runs over non-empty segments
+        and scatters into a zero-filled output).
+        """
+        data_sorted = np.asarray(data_sorted, dtype=np.float64)
+        shape = (self.num_groups,) + data_sorted.shape[1:]
+        out = np.zeros(shape, dtype=np.float64)
+        alive = self.nonempty
+        if data_sorted.shape[0] and alive.any():
+            out[alive] = np.add.reduceat(
+                data_sorted, self.starts[alive], axis=0
+            )
+        return out
+
+    def segment_sum(self, data: np.ndarray) -> np.ndarray:
+        """Per-group sums of ``(n,)`` or ``(n, K)`` data in original order."""
+        return self.segment_sum_sorted(
+            np.asarray(data, dtype=np.float64)[self.order]
+        )
+
+    def segment_reduce_sorted(
+        self, data_sorted: np.ndarray, ufunc: np.ufunc, fill: float
+    ) -> np.ndarray:
+        """Per-group ``ufunc`` reduction of group-sorted data.
+
+        Empty groups receive ``fill`` (the reduction's identity or a
+        sentinel such as NaN).
+        """
+        data_sorted = np.asarray(data_sorted)
+        shape = (self.num_groups,) + data_sorted.shape[1:]
+        out = np.full(shape, fill, dtype=np.float64)
+        alive = self.nonempty
+        if data_sorted.shape[0] and alive.any():
+            out[alive] = ufunc.reduceat(data_sorted, self.starts[alive], axis=0)
+        return out
 
 
 def _validate_weighted_inputs(
@@ -63,6 +209,21 @@ def _validate_matrix(values: np.ndarray, matrix: np.ndarray) -> tuple[np.ndarray
             f"{values.shape[0]} values"
         )
     return values, matrix
+
+
+def _validate_grouped(values: np.ndarray, groups: GroupIndex) -> np.ndarray:
+    values = np.asarray(values)
+    if values.ndim != 1:
+        raise SamplingError(
+            f"grouped aggregate input must be one-dimensional, got shape "
+            f"{values.shape}"
+        )
+    if len(values) != groups.num_rows:
+        raise SamplingError(
+            f"grouped aggregate input has {len(values)} rows but the group "
+            f"index covers {groups.num_rows}"
+        )
+    return values
 
 
 def weighted_quantile(
@@ -135,6 +296,81 @@ class AggregateFunction(abc.ABC):
             Array of shape ``(K,)`` with one statistic per resample.
         """
 
+    # -- grouped evaluation -------------------------------------------------
+    def compute_grouped(
+        self, values: np.ndarray, groups: GroupIndex
+    ) -> np.ndarray:
+        """Evaluate the aggregate for every group of ``groups`` at once.
+
+        Args:
+            values: array of shape ``(n,)`` in original row order.
+            groups: factorised group structure over the same ``n`` rows.
+
+        Returns:
+            Array of shape ``(G,)``; empty groups evaluate to the
+            aggregate's empty-input result (0 for COUNT-like, NaN for
+            value aggregates).
+
+        This base implementation is the documented holistic fallback:
+        sort once by group id, then evaluate each contiguous segment
+        with :meth:`compute`.  Because the sort is stable, each segment
+        holds exactly the rows a per-group boolean mask would select,
+        in the same order — the fallback is bit-identical to per-group
+        evaluation while avoiding its O(n·G) masking cost.
+        Decomposable aggregates override this with segmented
+        reductions that need no per-group Python loop at all.
+        """
+        values = _validate_grouped(values, groups)
+        values_sorted = values[groups.order]
+        out = np.empty(groups.num_groups, dtype=np.float64)
+        for g in range(groups.num_groups):
+            start = groups.starts[g]
+            segment = values_sorted[start : start + groups.counts[g]]
+            out[g] = self.compute(segment)
+        return out
+
+    def compute_grouped_resamples(
+        self,
+        values: np.ndarray,
+        groups: GroupIndex,
+        weight_matrix: np.ndarray,
+    ) -> np.ndarray:
+        """Evaluate K resamples of every group from one weight matrix.
+
+        Args:
+            values: array of shape ``(n,)`` in original row order.
+            groups: factorised group structure over the same ``n`` rows.
+            weight_matrix: shape ``(n, K)`` of non-negative resampling
+                weights — one shared matrix covering *all* groups, per
+                the §5.3.1 consolidation.
+
+        Returns:
+            Array of shape ``(G, K)``; row ``g`` holds the K resample
+            statistics of group ``g``.  Empty groups get their
+            empty-input statistic in every column.
+
+        Base implementation: holistic fallback via one stable sort and
+        a per-segment :meth:`compute_resamples` call (see
+        :meth:`compute_grouped`).
+        """
+        values, weight_matrix = _validate_matrix(values, weight_matrix)
+        _validate_grouped(values, groups)
+        values_sorted = values[groups.order]
+        matrix_sorted = weight_matrix[groups.order]
+        num_resamples = weight_matrix.shape[1]
+        out = np.empty((groups.num_groups, num_resamples), dtype=np.float64)
+        for g in range(groups.num_groups):
+            count = groups.counts[g]
+            if count == 0:
+                out[g] = self.compute(values[:0])
+                continue
+            start = groups.starts[g]
+            out[g] = self.compute_resamples(
+                values_sorted[start : start + count],
+                matrix_sorted[start : start + count],
+            )
+        return out
+
     # -- partial aggregation protocol --------------------------------------
     @abc.abstractmethod
     def make_state(
@@ -201,6 +437,15 @@ class CountAggregate(AggregateFunction):
         values, weight_matrix = _validate_matrix(values, weight_matrix)
         return weight_matrix.sum(axis=0, dtype=np.float64)
 
+    def compute_grouped(self, values, groups):
+        _validate_grouped(values, groups)
+        return groups.counts.astype(np.float64)
+
+    def compute_grouped_resamples(self, values, groups, weight_matrix):
+        values, weight_matrix = _validate_matrix(values, weight_matrix)
+        _validate_grouped(values, groups)
+        return groups.segment_sum(weight_matrix)
+
     def make_state(self, values, weights=None):
         return (self.compute(values, weights),)
 
@@ -238,6 +483,16 @@ class SumAggregate(AggregateFunction):
         values, weight_matrix = _validate_matrix(values, weight_matrix)
         __, weighted_totals = _weight_sums(values, weight_matrix)
         return weighted_totals
+
+    def compute_grouped(self, values, groups):
+        values = _validate_grouped(values, groups)
+        return groups.segment_sum(values)
+
+    def compute_grouped_resamples(self, values, groups, weight_matrix):
+        values, weight_matrix = _validate_matrix(values, weight_matrix)
+        _validate_grouped(values, groups)
+        weighted = values.astype(np.float64)[:, None] * weight_matrix
+        return groups.segment_sum(weighted)
 
     def make_state(self, values, weights=None):
         return (self.compute(values, weights),)
@@ -286,6 +541,25 @@ class AvgAggregate(AggregateFunction):
     def compute_resamples(self, values, weight_matrix):
         values, weight_matrix = _validate_matrix(values, weight_matrix)
         weight_totals, weighted_totals = _weight_sums(values, weight_matrix)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(
+                weight_totals > 0, weighted_totals / weight_totals, np.nan
+            )
+
+    def compute_grouped(self, values, groups):
+        values = _validate_grouped(values, groups)
+        sums = groups.segment_sum(values)
+        counts = groups.counts.astype(np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(counts > 0, sums / counts, np.nan)
+
+    def compute_grouped_resamples(self, values, groups, weight_matrix):
+        values, weight_matrix = _validate_matrix(values, weight_matrix)
+        _validate_grouped(values, groups)
+        weight_totals = groups.segment_sum(weight_matrix)
+        weighted_totals = groups.segment_sum(
+            values.astype(np.float64)[:, None] * weight_matrix
+        )
         with np.errstate(divide="ignore", invalid="ignore"):
             return np.where(
                 weight_totals > 0, weighted_totals / weight_totals, np.nan
@@ -362,6 +636,42 @@ class VarianceAggregate(AggregateFunction):
                 weight_totals > 1, sum_sq_dev / (weight_totals - 1.0), np.nan
             )
 
+    def compute_grouped(self, values, groups):
+        values = _validate_grouped(values, groups).astype(np.float64)
+        counts = groups.counts.astype(np.float64)
+        sums = groups.segment_sum(values)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            means = np.where(counts > 0, sums / counts, np.nan)
+        # Two-pass (deviation) form, matching np.var's numerics rather
+        # than the raw-moment form used for resamples.
+        values_sorted = values[groups.order]
+        deviations = values_sorted - means[groups.group_ids[groups.order]]
+        sum_sq_dev = groups.segment_sum_sorted(deviations * deviations)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(counts > 1, sum_sq_dev / (counts - 1.0), np.nan)
+
+    def compute_grouped_resamples(self, values, groups, weight_matrix):
+        values, weight_matrix = _validate_matrix(values, weight_matrix)
+        _validate_grouped(values, groups)
+        values64 = values.astype(np.float64)
+        weight_totals = groups.segment_sum(weight_matrix)
+        weighted_totals = groups.segment_sum(
+            values64[:, None] * weight_matrix
+        )
+        weighted_squares = groups.segment_sum(
+            (values64 * values64)[:, None] * weight_matrix
+        )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            means = np.where(
+                weight_totals > 0, weighted_totals / weight_totals, np.nan
+            )
+            sum_sq_dev = np.maximum(
+                weighted_squares - weight_totals * means * means, 0.0
+            )
+            return np.where(
+                weight_totals > 1, sum_sq_dev / (weight_totals - 1.0), np.nan
+            )
+
     def make_state(self, values, weights=None):
         values, weights = _validate_weighted_inputs(values, weights)
         values64 = values.astype(np.float64)
@@ -412,6 +722,14 @@ class StdevAggregate(VarianceAggregate):
     def compute_resamples(self, values, weight_matrix):
         return np.sqrt(super().compute_resamples(values, weight_matrix))
 
+    def compute_grouped(self, values, groups):
+        return np.sqrt(super().compute_grouped(values, groups))
+
+    def compute_grouped_resamples(self, values, groups, weight_matrix):
+        return np.sqrt(
+            super().compute_grouped_resamples(values, groups, weight_matrix)
+        )
+
     def finalize_state(self, state):
         variance = super().finalize_state(state)
         return float(np.sqrt(variance)) if variance == variance else float("nan")
@@ -432,6 +750,7 @@ class _ExtremeAggregate(AggregateFunction):
 
     outlier_sensitive = True
     _reducer: Callable[..., np.ndarray]
+    _seg_reducer: np.ufunc
     _fill: float
 
     def compute(self, values, weights=None):
@@ -452,6 +771,33 @@ class _ExtremeAggregate(AggregateFunction):
             result = np.where(empty, np.nan, result)
         return result
 
+    def compute_grouped(self, values, groups):
+        values = _validate_grouped(values, groups)
+        return groups.segment_reduce_sorted(
+            values[groups.order].astype(np.float64),
+            self._seg_reducer,
+            np.nan,
+        )
+
+    def compute_grouped_resamples(self, values, groups, weight_matrix):
+        values, weight_matrix = _validate_matrix(values, weight_matrix)
+        _validate_grouped(values, groups)
+        values_sorted = values[groups.order].astype(np.float64)
+        present = weight_matrix[groups.order] > 0
+        masked = np.where(present, values_sorted[:, None], self._fill)
+        out = np.full(
+            (groups.num_groups, weight_matrix.shape[1]), np.nan
+        )
+        alive = groups.nonempty
+        if len(values) and alive.any():
+            starts = groups.starts[alive]
+            reduced = self._seg_reducer.reduceat(masked, starts, axis=0)
+            # A (group, resample) cell with no positive-weight row is an
+            # empty resample: NaN, matching compute_resamples.
+            any_present = np.logical_or.reduceat(present, starts, axis=0)
+            out[alive] = np.where(any_present, reduced, np.nan)
+        return out
+
     def make_state(self, values, weights=None):
         return (self.compute(values, weights),)
 
@@ -470,6 +816,7 @@ class MinAggregate(_ExtremeAggregate):
 
     name = "MIN"
     _reducer = staticmethod(np.min)
+    _seg_reducer = np.minimum
     _fill = float("inf")
 
 
@@ -478,6 +825,7 @@ class MaxAggregate(_ExtremeAggregate):
 
     name = "MAX"
     _reducer = staticmethod(np.max)
+    _seg_reducer = np.maximum
     _fill = float("-inf")
 
 
@@ -571,11 +919,31 @@ class CountDistinctAggregate(AggregateFunction):
 
     def compute_resamples(self, values, weight_matrix):
         values, weight_matrix = _validate_matrix(values, weight_matrix)
-        present = weight_matrix > 0
-        results = np.empty(weight_matrix.shape[1], dtype=np.float64)
-        for k in range(weight_matrix.shape[1]):
-            results[k] = len(np.unique(values[present[:, k]]))
-        return results
+        num_resamples = weight_matrix.shape[1]
+        if len(values) == 0:
+            return np.zeros(num_resamples, dtype=np.float64)
+        # One sort serves all K resamples: group equal values into runs,
+        # then a distinct value appears in resample k iff any row of its
+        # run has positive weight there.  Replaces the per-resample
+        # ``np.unique(values[present[:, k]])`` loop (K sorts) with a
+        # single sort plus two segmented passes.
+        order = np.argsort(values, kind="stable")
+        sorted_values = values[order]
+        present = weight_matrix[order] > 0
+        new_run = np.empty(len(sorted_values), dtype=bool)
+        new_run[0] = True
+        differs = sorted_values[1:] != sorted_values[:-1]
+        if sorted_values.dtype.kind == "f":
+            # NaN != NaN, but np.unique collapses NaNs into one value;
+            # collapse NaN runs the same way.
+            both_nan = np.isnan(sorted_values[1:]) & np.isnan(
+                sorted_values[:-1]
+            )
+            differs &= ~both_nan
+        new_run[1:] = differs
+        run_starts = np.flatnonzero(new_run)
+        run_present = np.logical_or.reduceat(present, run_starts, axis=0)
+        return run_present.sum(axis=0, dtype=np.float64)
 
     def make_state(self, values, weights=None):
         values, weights = _validate_weighted_inputs(values, weights)

@@ -39,12 +39,19 @@ from typing import Any, Optional
 import numpy as np
 
 from repro.core.estimators import EstimationTarget, resample_estimates_kernel
+from repro.core.grouped import (
+    GroupedTarget,
+    grouped_closed_form_intervals,
+    grouped_half_widths,
+    grouped_resample_estimates_kernel,
+)
+from repro.engine.aggregates import GroupIndex
 from repro.engine.table import Table
 from repro.errors import EstimationError, ExecutionError
 from repro.obs.metrics import METRICS
 from repro.obs.trace import trace_span
 from repro.parallel.pool import WorkerPool
-from repro.parallel.rng import chunk_spans, spawn_children
+from repro.parallel.rng import chunk_spans, seed_from_rng, spawn_children
 from repro.parallel.shm import SharedArena, detach, resolve
 from repro.parallel.supervise import (
     TASK_FAILED,
@@ -52,6 +59,7 @@ from repro.parallel.supervise import (
     run_supervised_inline,
 )
 from repro.sampling.poisson import (
+    chunked_weight_streams,
     materialize_poisson_resample,
     poisson_weight_matrix,
 )
@@ -66,6 +74,8 @@ __all__ = [
     "bootstrap_replicates",
     "diagnostic_evaluations",
     "ground_truth_trials",
+    "grouped_bootstrap_replicates",
+    "grouped_diagnostic_evaluations",
     "resolve_table",
     "share_table",
     "table_statistic_replicates",
@@ -366,6 +376,474 @@ def bootstrap_replicates(
     supervision.report.replicates_completed += len(out)
     METRICS.counter("bootstrap.replicates").inc(len(out))
     return out
+
+
+# ---------------------------------------------------------------------------
+# Grouped bootstrap replicates: one weight matrix serves every group
+# ---------------------------------------------------------------------------
+def _grouped_chunk_kernel(
+    matched: np.ndarray,
+    index: GroupIndex,
+    aggregate,
+    count: int,
+    child: np.random.SeedSequence,
+    *,
+    extensive: bool,
+    dataset_rows: Optional[int],
+    total_rows: int,
+    rate: float,
+    mode: str,
+) -> np.ndarray:
+    # One (m, count) weight matrix shared by all groups, plus the
+    # chunk's continuing stream for the extensive unmatched-total draws.
+    ((weights, rng),) = chunked_weight_streams(
+        len(matched), [count], [child], rate
+    )
+    return np.asarray(
+        grouped_resample_estimates_kernel(
+            matched,
+            index,
+            aggregate,
+            weights,
+            rng,
+            extensive=extensive,
+            dataset_rows=dataset_rows,
+            total_sample_rows=total_rows,
+            mode=mode,
+        ),
+        dtype=np.float64,
+    )
+
+
+def _grouped_chunk_task(payload: dict) -> np.ndarray:
+    segments: list = []
+    try:
+        matched = resolve(payload["values"], segments)
+        index = GroupIndex.from_parts(
+            resolve(payload["group_ids"], segments),
+            payload["num_groups"],
+            resolve(payload["order"], segments),
+            resolve(payload["counts"], segments),
+            resolve(payload["starts"], segments),
+        )
+        return _grouped_chunk_kernel(
+            matched,
+            index,
+            payload["aggregate"],
+            payload["count"],
+            payload["child"],
+            extensive=payload["extensive"],
+            dataset_rows=payload["dataset_rows"],
+            total_rows=payload["total_rows"],
+            rate=payload["rate"],
+            mode=payload["mode"],
+        )
+    finally:
+        detach(segments)
+
+
+def grouped_bootstrap_replicates(
+    target: GroupedTarget,
+    num_resamples: int,
+    seed: int,
+    *,
+    rate: float = 1.0,
+    chunk_size: int = DEFAULT_REPLICATE_CHUNK,
+    pool: WorkerPool | None = None,
+    supervision: Supervision | None = None,
+    replicate_cap: Optional[int] = None,
+    mode: str = "segmented",
+) -> np.ndarray:
+    """The ``(G, K)`` bootstrap replicate matrix for every group at once.
+
+    The grouped counterpart of :func:`bootstrap_replicates`: the fan-out
+    is over *replicate chunks*, never over groups, and chunk ``i`` of
+    ``chunk_size`` resample columns always consumes child stream ``i``
+    of ``seed`` — so the result is bit-identical at any worker count,
+    and column-aligned across groups (column ``k`` of every group comes
+    from the same shared weight matrix).  Supervision semantics match
+    :func:`bootstrap_replicates`: failed chunks drop whole columns (for
+    all groups alike), the report records the shortfall, and
+    ``replicate_cap`` truncates at a whole-chunk boundary.
+    """
+    supervision = supervision or Supervision.default()
+    supervision.check_cancelled()
+    matched = target.matched_values
+    if len(matched) == 0:
+        raise EstimationError(
+            "cannot bootstrap a query whose filter matched no sample rows"
+        )
+    index = target.group_index
+    num_groups = index.num_groups
+    supervision.report.replicates_requested += num_resamples
+    num_resamples = _apply_replicate_cap(
+        num_resamples, chunk_size, replicate_cap, supervision
+    )
+    spans = chunk_spans(num_resamples, chunk_size)
+    children = spawn_children(seed, len(spans))
+    common = dict(
+        extensive=target.extensive,
+        dataset_rows=target.dataset_rows,
+        total_rows=target.total_sample_rows,
+        rate=rate,
+        mode=mode,
+    )
+    # Full footprint: the shared matched values plus the group-index
+    # arrays (pool path), one int32 weight matrix and one (G, chunk)
+    # scratch block per concurrently executing chunk, and the (G, K)
+    # float64 result.
+    parallel = _usable(pool)
+    index_bytes = (
+        index.group_ids.nbytes
+        + index.order.nbytes
+        + index.counts.nbytes
+        + index.starts.nbytes
+    )
+    footprint = (
+        ((matched.nbytes + index_bytes) if parallel else 0)
+        + _concurrency(pool)
+        * (len(matched) * chunk_size * 4 + num_groups * chunk_size * 8)
+        + num_groups * num_resamples * 8
+    )
+    with _reserve_memory(
+        supervision, footprint, "grouped bootstrap replicates"
+    ), trace_span(
+        "bootstrap.grouped_replicates",
+        groups=num_groups,
+        resamples=num_resamples,
+        chunks=len(spans),
+        parallel=parallel,
+    ):
+        if not _usable(pool):
+
+            def unit(args):
+                (start, stop), child = args
+                return _grouped_chunk_kernel(
+                    matched, index, target.aggregate, stop - start, child,
+                    **common,
+                )
+
+            parts = run_supervised_inline(
+                unit, list(zip(spans, children)), supervision
+            )
+        else:
+            with SharedArena(fault_plan=supervision.plan) as arena:
+                shared = {
+                    "values": _share_or_embed(
+                        arena, np.ascontiguousarray(matched), supervision
+                    ),
+                    "group_ids": _share_or_embed(
+                        arena,
+                        np.ascontiguousarray(index.group_ids),
+                        supervision,
+                    ),
+                    "order": _share_or_embed(
+                        arena, np.ascontiguousarray(index.order), supervision
+                    ),
+                    "counts": _share_or_embed(
+                        arena, np.ascontiguousarray(index.counts), supervision
+                    ),
+                    "starts": _share_or_embed(
+                        arena, np.ascontiguousarray(index.starts), supervision
+                    ),
+                    "num_groups": num_groups,
+                    "aggregate": target.aggregate,
+                    **common,
+                }
+                payloads = [
+                    {**shared, "count": stop - start, "child": child}
+                    for (start, stop), child in zip(spans, children)
+                ]
+                parts = pool.map(_grouped_chunk_task, payloads, supervision)
+        kept = _keep_completed(
+            parts, "grouped bootstrap replicate chunks", supervision
+        )
+        out = np.concatenate(kept, axis=1)
+    supervision.report.replicates_completed += out.shape[1]
+    METRICS.counter("bootstrap.replicates").inc(out.shape[1])
+    return out
+
+
+def _grouped_replicates_seeded(
+    target: GroupedTarget,
+    num_resamples: int,
+    seed: int,
+    *,
+    rate: float,
+    chunk_size: int,
+    mode: str,
+) -> np.ndarray:
+    """Inline chunked grouped replicates (the diagnostic's inner loop).
+
+    Same chunk/stream layout as :func:`grouped_bootstrap_replicates`, so
+    a diagnostic subsample evaluation produces the same replicates no
+    matter which worker runs it.
+    """
+    matched = target.matched_values
+    if len(matched) == 0:
+        raise EstimationError(
+            "cannot bootstrap a query whose filter matched no sample rows"
+        )
+    index = target.group_index
+    spans = chunk_spans(num_resamples, chunk_size)
+    children = spawn_children(seed, len(spans))
+    parts = [
+        _grouped_chunk_kernel(
+            matched,
+            index,
+            target.aggregate,
+            stop - start,
+            child,
+            extensive=target.extensive,
+            dataset_rows=target.dataset_rows,
+            total_rows=target.total_sample_rows,
+            rate=rate,
+            mode=mode,
+        )
+        for (start, stop), child in zip(spans, children)
+    ]
+    return np.concatenate(parts, axis=1)
+
+
+def _grouped_diagnostic_unit_kernel(
+    target: GroupedTarget,
+    estimator_kind: str,
+    num_resamples: int,
+    confidence: float,
+    indices: np.ndarray,
+    child: np.random.SeedSequence,
+    *,
+    rate: float,
+    chunk_size: int,
+    mode: str,
+) -> tuple[np.ndarray, np.ndarray]:
+    subsample = target.subset(indices)
+    points = subsample.point_estimates()
+    rng = np.random.default_rng(child)
+    num_groups = target.num_groups
+    try:
+        if estimator_kind == "closed_form":
+            __, half_widths = grouped_closed_form_intervals(
+                subsample, confidence
+            )
+        else:
+            replicates = _grouped_replicates_seeded(
+                subsample,
+                num_resamples,
+                seed_from_rng(rng),
+                rate=rate,
+                chunk_size=chunk_size,
+                mode=mode,
+            )
+            half_widths, __ = grouped_half_widths(
+                replicates, points, confidence
+            )
+    except EstimationError:
+        # ξ can fail on a whole subsample (e.g. a selective filter leaves
+        # no matched rows at all); every group's NaN counts against π.
+        half_widths = np.full(num_groups, np.nan)
+    # Groups with no matched rows in this subsample are per-group ξ
+    # failures (the per-group path would raise there): NaN, not a number
+    # from an empty resample.
+    empty = ~subsample.group_index.nonempty
+    if empty.any():
+        half_widths = np.where(empty, np.nan, half_widths)
+    return np.asarray(points, dtype=np.float64), np.asarray(
+        half_widths, dtype=np.float64
+    )
+
+
+def _grouped_diagnostic_batch_task(
+    payload: dict,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    segments: list = []
+    try:
+        mask_ref = payload["mask"]
+        target = GroupedTarget(
+            values=resolve(payload["values"], segments),
+            group_ids=resolve(payload["group_ids"], segments),
+            num_groups=payload["num_groups"],
+            aggregate=payload["aggregate"],
+            mask=(
+                None if mask_ref is None else resolve(mask_ref, segments)
+            ),
+            dataset_rows=payload["dataset_rows"],
+            extensive=payload["extensive"],
+        )
+        order = resolve(payload["order"], segments)
+        return [
+            _grouped_diagnostic_unit_kernel(
+                target,
+                payload["estimator_kind"],
+                payload["num_resamples"],
+                payload["confidence"],
+                order[start:stop],
+                child,
+                rate=payload["rate"],
+                chunk_size=payload["chunk_size"],
+                mode=payload["mode"],
+            )
+            for (start, stop), child in payload["units"]
+        ]
+    finally:
+        detach(segments)
+
+
+def grouped_diagnostic_evaluations(
+    target: GroupedTarget,
+    estimator_kind: str,
+    num_resamples: int,
+    confidence: float,
+    blocks: Sequence[np.ndarray],
+    seed: int,
+    *,
+    rate: float = 1.0,
+    chunk_size: int = DEFAULT_REPLICATE_CHUNK,
+    pool: WorkerPool | None = None,
+    unit_batch: int = DEFAULT_UNIT_BATCH,
+    supervision: Supervision | None = None,
+    mode: str = "segmented",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-subsample, per-group diagnostic evaluations in one pass.
+
+    The grouped counterpart of :func:`diagnostic_evaluations`: each of
+    the ``p`` disjoint subsamples is one unit (child stream ``j`` for
+    subsample ``j``, exactly as in the ungrouped layout) and evaluates
+    *every* group's point estimate and ξ half-width from one shared
+    weight matrix per inner chunk.  ``estimator_kind`` selects the ξ
+    under diagnosis: ``"bootstrap"`` (inner chunked grouped replicates)
+    or ``"closed_form"`` (segmented CLT half-widths).
+
+    Returns:
+        ``(points, half_widths)`` of shape ``(p', G)`` where ``p'`` is
+        the number of subsamples that completed (failed units are
+        dropped under supervision, as in the ungrouped path).  NaN
+        half-width cells mark per-group ξ failures and count against
+        the closeness proportion π.
+    """
+    if estimator_kind not in ("bootstrap", "closed_form"):
+        raise EstimationError(
+            f"unknown grouped diagnostic estimator kind {estimator_kind!r}"
+        )
+    supervision = supervision or Supervision.default()
+    supervision.check_cancelled()
+    blocks = list(blocks)
+    children = spawn_children(seed, len(blocks))
+    supervision.report.subsamples_requested += len(blocks)
+    parallel = _usable(pool)
+    num_groups = target.num_groups
+    # Footprint: shared value/group-id/mask/order arrays (pool path)
+    # plus, per concurrent unit, one subsample copy and its inner
+    # chunked weight matrix and (G, K) replicate block.
+    max_block = max((len(block) for block in blocks), default=0)
+    shared_bytes = 0
+    if parallel:
+        shared_bytes = (
+            target.values.nbytes
+            + target.group_ids.nbytes
+            + sum(len(block) * 8 for block in blocks)
+        )
+        if target.mask is not None:
+            shared_bytes += target.mask.nbytes
+    per_unit = max_block * (16 + chunk_size * 4)
+    if estimator_kind == "bootstrap":
+        per_unit += num_groups * num_resamples * 8
+    footprint = (
+        shared_bytes
+        + _concurrency(pool) * per_unit
+        + len(blocks) * num_groups * 16
+    )
+    with _reserve_memory(
+        supervision, footprint, "grouped diagnostic evaluations"
+    ), trace_span(
+        "diagnostic.grouped_evaluations",
+        subsamples=len(blocks),
+        groups=num_groups,
+        estimator=estimator_kind,
+        parallel=parallel,
+    ):
+        if not parallel:
+
+            def unit(args):
+                block, child = args
+                return _grouped_diagnostic_unit_kernel(
+                    target,
+                    estimator_kind,
+                    num_resamples,
+                    confidence,
+                    block,
+                    child,
+                    rate=rate,
+                    chunk_size=chunk_size,
+                    mode=mode,
+                )
+
+            results = run_supervised_inline(
+                unit, list(zip(blocks, children)), supervision
+            )
+            pairs = _keep_completed(
+                results, "grouped diagnostic subsample evaluations",
+                supervision,
+            )
+        else:
+            order = np.concatenate(blocks) if blocks else np.empty(0, np.int64)
+            sizes = [len(block) for block in blocks]
+            offsets = np.concatenate([[0], np.cumsum(sizes)])
+            units = [
+                ((int(offsets[j]), int(offsets[j + 1])), children[j])
+                for j in range(len(blocks))
+            ]
+            with SharedArena(fault_plan=supervision.plan) as arena:
+                shared = {
+                    "values": _share_or_embed(
+                        arena, np.ascontiguousarray(target.values), supervision
+                    ),
+                    "group_ids": _share_or_embed(
+                        arena,
+                        np.ascontiguousarray(target.group_ids),
+                        supervision,
+                    ),
+                    "mask": (
+                        None
+                        if target.mask is None
+                        else _share_or_embed(
+                            arena,
+                            np.ascontiguousarray(target.mask),
+                            supervision,
+                        )
+                    ),
+                    "order": _share_or_embed(
+                        arena, np.ascontiguousarray(order), supervision
+                    ),
+                    "num_groups": num_groups,
+                    "aggregate": target.aggregate,
+                    "dataset_rows": target.dataset_rows,
+                    "extensive": target.extensive,
+                    "estimator_kind": estimator_kind,
+                    "num_resamples": num_resamples,
+                    "confidence": confidence,
+                    "rate": rate,
+                    "chunk_size": chunk_size,
+                    "mode": mode,
+                }
+                payloads = [
+                    {**shared, "units": units[i : i + unit_batch]}
+                    for i in range(0, len(units), unit_batch)
+                ]
+                batches = pool.map(
+                    _grouped_diagnostic_batch_task, payloads, supervision
+                )
+            kept_batches = _keep_completed(
+                batches, "grouped diagnostic evaluation batches", supervision
+            )
+            pairs = [pair for batch in kept_batches for pair in batch]
+    supervision.report.subsamples_completed += len(pairs)
+    if not pairs:
+        empty = np.empty((0, num_groups), dtype=np.float64)
+        return empty, empty.copy()
+    points = np.stack([p for p, __ in pairs])
+    half_widths = np.stack([h for __, h in pairs])
+    return points, half_widths
 
 
 # ---------------------------------------------------------------------------

@@ -24,6 +24,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.ci import ConfidenceInterval, interval_from_distribution
+from repro.engine.aggregates import GroupIndex
 from repro.engine.evaluator import ExpressionEvaluator
 from repro.engine.table import Table
 from repro.errors import ExecutionError, PlanError
@@ -142,20 +143,26 @@ class QueryExecutor:
         ]
         group_ids, group_keys = _group_rows(key_arrays)
         num_groups = len(group_keys[0])
+        index = GroupIndex.from_ids(group_ids, num_groups)
 
         columns: dict[str, np.ndarray] = {}
         for name, keys in zip(query.group_by_names, group_keys):
             columns[name] = keys
 
+        # Aggregate arguments are row-wise expressions, so each is
+        # evaluated once over the whole table and reduced segment-wise —
+        # one pass per spec instead of one filtered sub-table per group.
         aggregate_values: dict[str, np.ndarray] = {}
         having_specs = self._having_aggregates(query)
         all_specs = list(query.aggregates) + having_specs
         for spec in all_specs:
-            results = np.empty(num_groups, dtype=np.float64)
-            for g in range(num_groups):
-                group_table = table.filter(group_ids == g)
-                results[g] = self._aggregate_one(spec, group_table)
-            aggregate_values[spec.output_name] = results
+            if spec.argument is None:
+                values = np.ones(table.num_rows, dtype=np.float64)
+            else:
+                values = self._evaluator.evaluate(spec.argument, table)
+            aggregate_values[spec.output_name] = spec.function.compute_grouped(
+                values, index
+            )
 
         for spec in query.aggregates:
             columns[spec.output_name] = aggregate_values[spec.output_name]
@@ -224,25 +231,59 @@ class QueryExecutor:
         return result
 
 
+#: Mixed-radix codes must stay below this bound to avoid int64 overflow.
+_GROUP_CODE_LIMIT = 2**62
+
+
 def _group_rows(key_arrays: list[np.ndarray]) -> tuple[np.ndarray, list[np.ndarray]]:
-    """Assign group ids and return (ids, per-key unique values)."""
+    """Assign group ids and return (ids, per-key representative values).
+
+    Groups are numbered in lexicographic order of their (factorised) key
+    tuples.  Multi-key factorisation uses mixed-radix encoding of the
+    per-key inverse indices — one ``np.unique`` per key plus one over
+    the combined int64 codes, with no string/object composite round-trip
+    and no per-group scan for representatives.  When the product of the
+    per-key cardinalities cannot fit an int64 code, a lexsort over the
+    inverse-index columns takes over (same ordering, no overflow).
+    """
     if len(key_arrays) == 1:
         uniques, ids = np.unique(key_arrays[0], return_inverse=True)
-        return ids, [uniques]
-    # Multiple keys: factorise each, then combine into composite ids.
+        return ids.astype(np.int64, copy=False), [uniques]
+    num_rows = len(key_arrays[0])
+    if num_rows == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, [np.asarray(arr)[empty] for arr in key_arrays]
     factored = [np.unique(arr, return_inverse=True) for arr in key_arrays]
-    composite = np.zeros(len(key_arrays[0]), dtype=np.int64)
-    for uniques, ids in factored:
-        composite = composite * (len(uniques) + 1) + ids
-    unique_composite, group_ids = np.unique(composite, return_inverse=True)
+    id_columns = [ids.astype(np.int64, copy=False) for __, ids in factored]
+    radices = [max(len(uniques), 1) for uniques, __ in factored]
+    code_span = 1
+    for radix in radices:
+        code_span *= radix
+        if code_span > _GROUP_CODE_LIMIT:
+            break
+    if code_span <= _GROUP_CODE_LIMIT:
+        codes = np.zeros(num_rows, dtype=np.int64)
+        for ids, radix in zip(id_columns, radices):
+            codes = codes * radix + ids
+        __, first_rows, group_ids = np.unique(
+            codes, return_index=True, return_inverse=True
+        )
+    else:
+        # Primary sort key is the first GROUP BY expression; np.lexsort
+        # treats its *last* key as primary.
+        order = np.lexsort(tuple(reversed(id_columns)))
+        stacked = np.column_stack(id_columns)[order]
+        new_group = np.empty(num_rows, dtype=bool)
+        new_group[0] = True
+        new_group[1:] = (stacked[1:] != stacked[:-1]).any(axis=1)
+        sorted_ids = np.cumsum(new_group) - 1
+        group_ids = np.empty(num_rows, dtype=np.int64)
+        group_ids[order] = sorted_ids
+        first_rows = order[np.flatnonzero(new_group)]
     representatives = [
-        np.empty(len(unique_composite), dtype=arr.dtype) for arr in key_arrays
+        np.asarray(arr)[first_rows] for arr in key_arrays
     ]
-    for g, code in enumerate(unique_composite):
-        first_row = int(np.argmax(composite == code))
-        for column_index, arr in enumerate(key_arrays):
-            representatives[column_index][g] = arr[first_row]
-    return group_ids, representatives
+    return group_ids.astype(np.int64, copy=False), representatives
 
 
 def _hidden_name(call: ast.FunctionCall) -> str:

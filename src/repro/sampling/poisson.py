@@ -156,6 +156,41 @@ def chunked_poisson_weight_matrices(
         )
 
 
+def chunked_weight_streams(
+    num_rows: int,
+    chunk_resamples: Sequence[int],
+    streams: Sequence[np.random.SeedSequence | np.random.Generator],
+    rate: float = 1.0,
+    dtype: np.dtype | type = np.int32,
+    max_bytes: int | None = None,
+) -> Iterator[tuple[np.ndarray, np.random.Generator]]:
+    """Column-chunked weight matrices *with* their continuing RNG streams.
+
+    Like :func:`chunked_poisson_weight_matrices`, but each yielded pair
+    also exposes the chunk's generator positioned immediately after the
+    matrix draw.  The grouped-bootstrap kernel needs this: extensive
+    aggregates draw one unmatched-weight total per resample column from
+    the *same* stream that produced the column's weights, so chunk ``i``
+    consumes stream ``i`` identically whether it runs inline or on any
+    worker — the invariant behind bit-identical results at any worker
+    count.
+    """
+    if len(chunk_resamples) != len(streams):
+        raise SamplingError(
+            f"{len(chunk_resamples)} chunks but {len(streams)} RNG streams"
+        )
+    for count, stream in zip(chunk_resamples, streams):
+        rng = (
+            stream
+            if isinstance(stream, np.random.Generator)
+            else np.random.default_rng(stream)
+        )
+        yield (
+            poisson_weight_matrix(num_rows, count, rng, rate, dtype, max_bytes),
+            rng,
+        )
+
+
 def materialize_poisson_resample(
     sample: Table, rng: np.random.Generator, rate: float = 1.0
 ) -> Table:

@@ -1,0 +1,532 @@
+"""The segmented grouped-bootstrap kernel (§5.3.1 across GROUP BY).
+
+Four contracts are enforced here:
+
+1. **Kernel bit-identity** — given the same weight matrix,
+   :func:`~repro.core.grouped.grouped_resample_estimates_kernel` in
+   ``segmented`` mode is *bit-identical* to the ``reference`` per-group
+   masked path for every aggregate (property-based over random data,
+   group layouts, and matrices).
+2. **Grouped aggregate protocol** — ``compute_grouped`` /
+   ``compute_grouped_resamples`` match per-group ``compute`` /
+   ``compute_resamples`` (exactly for resamples; the variance family's
+   point estimates use a different but equivalent summation order).
+3. **Grouping** — multi-key ``_group_rows`` factorisation, including
+   the mixed-radix overflow fallback, preserves ids, representatives,
+   and ordering.
+4. **Engine bit-identity** — grouped queries on the segmented kernel
+   return identical results (values, intervals, diagnostic verdicts) at
+   any worker count, under injected faults, and at every degradation
+   level; ``REPRO_GROUPED_KERNEL=reference`` restores the legacy path.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.plan.executor as executor_mod
+from repro.core.grouped import (
+    GROUPED_KERNEL_ENV,
+    GroupedTarget,
+    grouped_closed_form_intervals,
+    grouped_half_widths,
+    grouped_resample_estimates_kernel,
+    resolve_grouped_kernel_mode,
+)
+from repro.core.pipeline import AQPEngine, EngineConfig
+from repro.engine.aggregates import GroupIndex, get_aggregate
+from repro.engine.table import Table
+from repro.errors import EstimationError
+from repro.faults import FaultPlan
+from repro.governor.breaker import DegradationLevel
+from repro.parallel.ops import grouped_bootstrap_replicates
+from repro.plan.executor import _group_rows
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture
+def eight_cpus(monkeypatch):
+    """Pretend the machine has 8 cores so real pools can exist.
+
+    Without this, ``resolve_num_workers`` caps every requested count to
+    ``os.cpu_count()`` and the multi-worker parametrisations silently
+    degenerate to inline execution on single-core hosts.
+    """
+    monkeypatch.setattr(os, "cpu_count", lambda: 8)
+
+#: Every aggregate the grouped kernel must serve, including the holistic
+#: ones (PERCENTILE, COUNT_DISTINCT) that ride the sorted-segment
+#: fallback, and the extremes whose resamples are selection-based.
+ALL_AGGREGATES = (
+    get_aggregate("COUNT"),
+    get_aggregate("SUM"),
+    get_aggregate("AVG"),
+    get_aggregate("VARIANCE"),
+    get_aggregate("STDEV"),
+    get_aggregate("MIN"),
+    get_aggregate("MAX"),
+    get_aggregate("PERCENTILE", 0.5),
+    get_aggregate("COUNT_DISTINCT"),
+)
+
+
+def _case_strategy():
+    """(values, group_ids, num_groups, weights) with empty groups allowed."""
+    return st.integers(min_value=1, max_value=60).flatmap(
+        lambda m: st.tuples(
+            st.lists(
+                st.integers(min_value=-50, max_value=50),
+                min_size=m,
+                max_size=m,
+            ),
+            st.integers(min_value=1, max_value=8).flatmap(
+                lambda g: st.tuples(
+                    st.just(g),
+                    st.lists(
+                        st.integers(min_value=0, max_value=g - 1),
+                        min_size=m,
+                        max_size=m,
+                    ),
+                )
+            ),
+            st.integers(min_value=2, max_value=12),
+            st.integers(min_value=0, max_value=2**31 - 1),
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# 1. Kernel bit-identity: segmented vs reference on one weight matrix
+# ---------------------------------------------------------------------------
+class TestKernelBitIdentity:
+    @settings(max_examples=25, deadline=None)
+    @given(case=_case_strategy())
+    def test_segmented_equals_reference(self, case):
+        raw_values, (num_groups, ids), num_resamples, seed = case
+        values = np.asarray(raw_values, dtype=np.float64)
+        group_ids = np.asarray(ids, dtype=np.int64)
+        index = GroupIndex.from_ids(group_ids, num_groups)
+        rng = np.random.default_rng(seed)
+        weights = rng.poisson(1.0, size=(len(values), num_resamples)).astype(
+            np.int32
+        )
+        for aggregate in ALL_AGGREGATES:
+            results = {}
+            for mode in ("segmented", "reference"):
+                results[mode] = grouped_resample_estimates_kernel(
+                    values,
+                    index,
+                    aggregate,
+                    weights,
+                    np.random.default_rng(seed + 1),
+                    extensive=False,
+                    dataset_rows=None,
+                    total_sample_rows=len(values),
+                    mode=mode,
+                )
+            np.testing.assert_array_equal(
+                results["segmented"],
+                results["reference"],
+                err_msg=f"{aggregate.name} diverged between kernel modes",
+            )
+
+    @settings(max_examples=15, deadline=None)
+    @given(case=_case_strategy())
+    def test_extensive_scaling_matches_between_modes(self, case):
+        raw_values, (num_groups, ids), num_resamples, seed = case
+        values = np.asarray(raw_values, dtype=np.float64)
+        group_ids = np.asarray(ids, dtype=np.int64)
+        index = GroupIndex.from_ids(group_ids, num_groups)
+        rng = np.random.default_rng(seed)
+        weights = rng.poisson(1.0, size=(len(values), num_resamples)).astype(
+            np.int32
+        )
+        results = {}
+        for mode in ("segmented", "reference"):
+            # Both modes must consume the post-matrix stream identically
+            # for the shared unmatched-weight draw.
+            results[mode] = grouped_resample_estimates_kernel(
+                values,
+                index,
+                get_aggregate("SUM"),
+                weights,
+                np.random.default_rng(seed + 1),
+                extensive=True,
+                dataset_rows=10 * (len(values) + 5),
+                total_sample_rows=len(values) + 5,
+                mode=mode,
+            )
+        np.testing.assert_array_equal(
+            results["segmented"], results["reference"]
+        )
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(EstimationError, match="unknown grouped kernel"):
+            resolve_grouped_kernel_mode("turbo")
+
+    def test_env_selects_mode(self, monkeypatch):
+        monkeypatch.setenv(GROUPED_KERNEL_ENV, "reference")
+        assert resolve_grouped_kernel_mode() == "reference"
+        monkeypatch.delenv(GROUPED_KERNEL_ENV)
+        assert resolve_grouped_kernel_mode() == "segmented"
+
+
+# ---------------------------------------------------------------------------
+# 2. Grouped aggregate protocol vs per-group scalars
+# ---------------------------------------------------------------------------
+class TestGroupedAggregates:
+    @settings(max_examples=25, deadline=None)
+    @given(case=_case_strategy())
+    def test_compute_grouped_matches_per_group(self, case):
+        raw_values, (num_groups, ids), _, __ = case
+        values = np.asarray(raw_values, dtype=np.float64)
+        group_ids = np.asarray(ids, dtype=np.int64)
+        index = GroupIndex.from_ids(group_ids, num_groups)
+        for aggregate in ALL_AGGREGATES:
+            grouped = aggregate.compute_grouped(values, index)
+            expected = np.array(
+                [
+                    aggregate.compute(values[group_ids == g])
+                    for g in range(num_groups)
+                ]
+            )
+            if aggregate.name in ("VARIANCE", "STDEV"):
+                # Different (equivalent) summation order: np.var is
+                # pairwise, the segmented form is a two-pass reduction.
+                np.testing.assert_allclose(
+                    grouped, expected, rtol=1e-9, equal_nan=True
+                )
+            else:
+                np.testing.assert_array_equal(grouped, expected)
+
+    def test_distinct_count_resamples_match_loop(self):
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 12, 200).astype(np.float64)
+        values[rng.random(200) < 0.15] = np.nan  # NaNs count as one value
+        weights = rng.poisson(1.0, size=(200, 16)).astype(np.int32)
+        aggregate = get_aggregate("COUNT_DISTINCT")
+        fast = aggregate.compute_resamples(values, weights)
+        present = weights > 0
+        slow = np.array(
+            [
+                float(len(np.unique(values[present[:, k]])))
+                for k in range(16)
+            ]
+        )
+        np.testing.assert_array_equal(fast, slow)
+
+    def test_group_index_empty_input(self):
+        index = GroupIndex.from_ids(np.empty(0, dtype=np.int64), 3)
+        np.testing.assert_array_equal(index.counts, [0, 0, 0])
+        sums = index.segment_sum(np.empty(0))
+        np.testing.assert_array_equal(sums, np.zeros(3))
+
+    def test_group_index_rejects_out_of_range(self):
+        from repro.errors import SamplingError
+
+        with pytest.raises(SamplingError):
+            GroupIndex.from_ids(np.array([0, 3]), 3)
+
+
+# ---------------------------------------------------------------------------
+# 3. Multi-key grouping: mixed radix and the overflow fallback
+# ---------------------------------------------------------------------------
+class TestGroupRows:
+    def test_multi_key_ids_and_representatives(self):
+        a = np.array([2, 1, 2, 1, 2, 1])
+        b = np.array(["x", "y", "x", "x", "y", "y"])
+        group_ids, keys = _group_rows([a, b])
+        # Lexicographic by factorised key order: (1,x) (1,y) (2,x) (2,y)
+        expected_groups = [(1, "x"), (1, "y"), (2, "x"), (2, "y")]
+        got = list(zip(keys[0].tolist(), keys[1].tolist()))
+        assert got == expected_groups
+        for row, gid in enumerate(group_ids):
+            assert (a[row], b[row]) == expected_groups[gid]
+
+    def test_overflow_fallback_matches_fast_path(self, monkeypatch):
+        rng = np.random.default_rng(5)
+        columns = [rng.integers(0, 7, 300) for _ in range(3)]
+        fast_ids, fast_keys = _group_rows(columns)
+        monkeypatch.setattr(executor_mod, "_GROUP_CODE_LIMIT", 10)
+        slow_ids, slow_keys = _group_rows(columns)
+        np.testing.assert_array_equal(fast_ids, slow_ids)
+        for fast, slow in zip(fast_keys, slow_keys):
+            np.testing.assert_array_equal(fast, slow)
+
+    def test_single_key_roundtrip(self):
+        values = np.array([5, 3, 5, 3, 9])
+        group_ids, keys = _group_rows([values])
+        np.testing.assert_array_equal(keys[0], [3, 5, 9])
+        np.testing.assert_array_equal(group_ids, [1, 0, 1, 0, 2])
+
+
+# ---------------------------------------------------------------------------
+# 4. Engine-level contracts
+# ---------------------------------------------------------------------------
+def _grouped_table(rows: int = 12_000) -> Table:
+    rng = np.random.default_rng(17)
+    return Table(
+        {
+            "cat": rng.integers(0, 8, rows),
+            "val": rng.lognormal(2.0, 0.4, rows),
+        },
+        name="t",
+    )
+
+
+def _make_engine(workers: int = 1, **config_kwargs) -> AQPEngine:
+    config = EngineConfig(
+        num_workers=workers, retry_backoff_seconds=0.0, **config_kwargs
+    )
+    engine = AQPEngine(config=config, seed=42)
+    engine.register_table("t", _grouped_table())
+    engine.create_sample("t", size=3000, name="s")
+    return engine
+
+
+def _nan_safe(number):
+    if isinstance(number, float) and np.isnan(number):
+        return "nan"
+    return number
+
+
+def _snapshot(result):
+    rows = []
+    for row in result.rows:
+        values = {}
+        for name, value in row.values.items():
+            interval = value.interval
+            diagnostic = value.diagnostic
+            values[name] = (
+                _nan_safe(value.estimate),
+                None
+                if interval is None
+                else (
+                    _nan_safe(interval.lower),
+                    _nan_safe(interval.upper),
+                    interval.method,
+                ),
+                value.method,
+                value.fell_back,
+                None if diagnostic is None else diagnostic.passed,
+            )
+        rows.append((tuple(sorted(row.group.items())), values))
+    return rows
+
+
+BOOTSTRAP_SQL = (
+    "SELECT cat, MEDIAN(val) AS m FROM t WHERE val > 3 GROUP BY cat"
+)
+CLOSED_FORM_SQL = (
+    "SELECT cat, COUNT(*) AS c, SUM(val) AS s, AVG(val) AS a "
+    "FROM t GROUP BY cat"
+)
+
+
+class TestEngineBitIdentity:
+    @pytest.mark.parametrize("sql", [BOOTSTRAP_SQL, CLOSED_FORM_SQL])
+    def test_identical_at_any_worker_count(self, sql, eight_cpus):
+        def run(workers):
+            engine = _make_engine(workers)
+            with engine:
+                import warnings
+
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore")
+                    return _snapshot(engine.execute(sql, sample_name="s"))
+
+        results = [run(w) for w in WORKER_COUNTS]
+        assert results[0] == results[1] == results[2]
+
+    def test_identical_under_recovered_faults(self, eight_cpus):
+        def run(plan):
+            engine = _make_engine(
+                2,
+                run_diagnostics=False,
+                fault_plan=plan,
+            )
+            with engine:
+                import warnings
+
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore")
+                    return _snapshot(
+                        engine.execute(BOOTSTRAP_SQL, sample_name="s")
+                    )
+
+        clean = run(None)
+        faulty = run(FaultPlan().with_crash(0))
+        assert clean == faulty
+
+    @pytest.mark.parametrize(
+        "level",
+        [
+            DegradationLevel.FULL,
+            DegradationLevel.REDUCED_K,
+            DegradationLevel.CLOSED_FORM,
+            DegradationLevel.POINT_ESTIMATE,
+        ],
+    )
+    def test_identical_at_every_degradation_level(self, level, eight_cpus):
+        def run(workers):
+            engine = _make_engine(workers, run_diagnostics=False)
+            with engine:
+                import warnings
+
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore")
+                    return _snapshot(
+                        engine.execute(
+                            BOOTSTRAP_SQL,
+                            sample_name="s",
+                            degradation=level,
+                        )
+                    )
+
+        results = [run(w) for w in WORKER_COUNTS]
+        assert results[0] == results[1] == results[2]
+
+    def test_reference_env_restores_per_group_accounting(self, monkeypatch):
+        # The consolidated scan answers all groups with K resample
+        # subqueries; the legacy path spends K per group — the cheapest
+        # observable proof that the env switch selects the other kernel.
+        import warnings
+
+        engine = _make_engine(1, run_diagnostics=False)
+        with engine, warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            segmented = engine.execute(BOOTSTRAP_SQL, sample_name="s")
+        monkeypatch.setenv(GROUPED_KERNEL_ENV, "reference")
+        engine = _make_engine(1, run_diagnostics=False)
+        with engine, warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            reference = engine.execute(BOOTSTRAP_SQL, sample_name="s")
+        assert len(segmented.rows) == len(reference.rows)
+        groups = len(segmented.rows)
+        assert groups > 1
+        assert (
+            reference.bootstrap_subqueries
+            == groups * segmented.bootstrap_subqueries
+        )
+        # Same estimand: the kernels agree statistically (they consume
+        # different RNG streams, so only the point estimates — which are
+        # resampling-free — must agree exactly).
+        for seg_row, ref_row in zip(segmented.rows, reference.rows):
+            assert seg_row.group == ref_row.group
+            for name in seg_row.values:
+                seg_value = seg_row.values[name]
+                ref_value = ref_row.values[name]
+                if seg_value.fell_back or ref_value.fell_back:
+                    continue
+                np.testing.assert_allclose(
+                    seg_value.estimate, ref_value.estimate, rtol=1e-9
+                )
+
+    def test_where_emptied_group_falls_back_like_legacy(self, monkeypatch):
+        import warnings
+
+        def run():
+            engine = _make_engine(
+                1, run_diagnostics=False, fallback="none"
+            )
+            sql = (
+                "SELECT cat, AVG(val) AS a FROM t "
+                "WHERE val > 1e12 GROUP BY cat"
+            )
+            with engine, warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                return engine.execute(sql, sample_name="s")
+
+        # Every group is emptied by the filter; the legacy scalar path
+        # owns the edge and the segmented kernel must route to it, so
+        # the two kernels agree exactly.
+        segmented = run()
+        monkeypatch.setenv(GROUPED_KERNEL_ENV, "reference")
+        reference = run()
+        assert _snapshot(segmented) == _snapshot(reference)
+        for row in segmented.rows:
+            value = row.values["a"]
+            assert value.fell_back and value.method == "untrusted"
+
+
+# ---------------------------------------------------------------------------
+# Ops-level determinism for the grouped fan-out
+# ---------------------------------------------------------------------------
+class TestGroupedReplicates:
+    def test_pool_matches_inline(self, eight_cpus):
+        from repro.parallel import pool_scope
+
+        rng = np.random.default_rng(23)
+        target = GroupedTarget(
+            values=rng.lognormal(1.0, 0.5, 6000),
+            group_ids=rng.integers(0, 12, 6000),
+            num_groups=12,
+            aggregate=get_aggregate("AVG"),
+            mask=rng.random(6000) < 0.8,
+        )
+        inline = grouped_bootstrap_replicates(target, 64, seed=99)
+        with pool_scope(3) as pool:
+            fanned = grouped_bootstrap_replicates(
+                target, 64, seed=99, pool=pool
+            )
+        np.testing.assert_array_equal(inline, fanned)
+
+    def test_columns_align_with_reference_mode(self):
+        # Integer-valued floats keep every weighted sum exact in both
+        # summation orders, so the modes agree to the bit.
+        rng = np.random.default_rng(29)
+        target = GroupedTarget(
+            values=rng.integers(0, 100, 2000).astype(np.float64),
+            group_ids=rng.integers(0, 5, 2000),
+            num_groups=5,
+            aggregate=get_aggregate("SUM"),
+        )
+        segmented = grouped_bootstrap_replicates(target, 32, seed=7)
+        reference = grouped_bootstrap_replicates(
+            target, 32, seed=7, mode="reference"
+        )
+        np.testing.assert_array_equal(segmented, reference)
+
+    def test_half_widths_match_scalar(self):
+        from repro.core.ci import symmetric_half_width
+
+        rng = np.random.default_rng(31)
+        replicates = rng.normal(10, 2, size=(6, 40))
+        replicates[3, 5] = np.nan  # scalar fallback row
+        replicates[4] = np.nan  # failure row
+        centers = replicates[:, 0].copy()
+        half_widths, reasons = grouped_half_widths(
+            replicates, centers, 0.95
+        )
+        for g in range(6):
+            try:
+                expected = symmetric_half_width(
+                    replicates[g], centers[g], 0.95
+                )
+            except EstimationError as error:
+                assert reasons[g] == str(error)
+                assert np.isnan(half_widths[g])
+            else:
+                assert reasons[g] is None
+                assert half_widths[g] == expected
+
+    def test_closed_form_intervals_flag_inapplicable_groups(self):
+        values = np.array([1.0, 2.0, 3.0, 10.0])
+        target = GroupedTarget(
+            values=values,
+            group_ids=np.array([0, 0, 1, 2]),
+            num_groups=3,
+            aggregate=get_aggregate("AVG"),
+        )
+        estimates, half_widths = grouped_closed_form_intervals(target, 0.95)
+        np.testing.assert_allclose(estimates[:2], [1.5, 3.0])
+        assert np.isfinite(half_widths[0])
+        # Single-row groups cannot estimate a variance: NaN marks them
+        # for per-group routing, exactly where the scalar form raises.
+        assert np.isnan(half_widths[1])
+        assert np.isnan(half_widths[2])
