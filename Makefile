@@ -34,12 +34,17 @@ bench-baseline:
 # diffed against the committed BENCH_smoke_baseline.json — the target
 # FAILS if any tier-1 bench regresses by more than 25% beyond the noise
 # floor, and the per-bench comparison table is written to
-# bench_smoke_compare.json for the artifact upload.
+# bench_smoke_compare.json for the artifact upload.  The catalog
+# serving bench then replays the Conviva dashboard mix cold vs. warm
+# and FAILS unless the warm hit rate is >= 90% and the median speedup
+# >= 20x (report in catalog_serving.json).
 bench-smoke:
 	$(PYTHON) benchmarks/record_bench.py --smoke \
 		--out BENCH_smoke.json --trace-sample trace_sample.json \
 		--compare --baseline BENCH_smoke_baseline.json \
 		--compare-out bench_smoke_compare.json
+	$(PYTHON) benchmarks/bench_catalog_serving.py --smoke \
+		--out catalog_serving.json --check
 
 # Overload stress: concurrent clients vs. the query governor at a
 # quarter of the ungoverned peak memory.  Asserts zero crashes, zero

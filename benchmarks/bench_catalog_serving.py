@@ -1,0 +1,176 @@
+"""Catalog serving benchmark: repeated Conviva dashboard traffic.
+
+Replays the dashboard slice of the Conviva workload (fixed query shapes
+with rotating predicate literals, see
+:func:`repro.workloads.conviva_dashboard_mix`) against two engines:
+
+* **cold** — catalog disabled; every refresh recomputes from the sample
+  (the pre-catalog behaviour);
+* **warm** — catalog enabled, one rollup cube over the drill-down
+  dimensions materialized, and one warm-up round so repeated shapes are
+  in the result store.
+
+Reports the warm rounds' exact/partial/miss mix and the p50/p99 latency
+speedup over the cold engine.  With ``--check`` the run fails unless
+the warm hit rate is ≥ 90 % and the median speedup is ≥ 20× — the
+acceptance bar for the materialized catalog.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_catalog_serving.py --smoke \\
+        --out benchmarks/results/catalog_serving.json --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.pipeline import AQPEngine, EngineConfig
+from repro.workloads.conviva import conviva_dashboard_mix
+from repro.workloads.datagen import conviva_sessions_table
+
+MIN_HIT_RATE = 0.90
+MIN_MEDIAN_SPEEDUP = 20.0
+
+
+def build_engine(table, catalog: bool, sample_size: int) -> AQPEngine:
+    engine = AQPEngine(config=EngineConfig(catalog=catalog), seed=42)
+    engine.register_table("media_sessions", table)
+    engine.create_sample("media_sessions", size=sample_size, name="dash")
+    return engine
+
+
+def timed_round(engine: AQPEngine, queries: list[str]):
+    """One pass over the mix; per-query seconds and catalog routes."""
+    latencies: list[float] = []
+    routes: list[str | None] = []
+    for sql in queries:
+        start = time.perf_counter()
+        result = engine.execute(sql)
+        latencies.append(time.perf_counter() - start)
+        routes.append(result.catalog_route)
+    return latencies, routes
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrink the table for a seconds-long CI canary run",
+    )
+    parser.add_argument("--rounds", type=int, default=None)
+    parser.add_argument(
+        "--out", type=Path, default=None, metavar="FILE",
+        help="write the report JSON here",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless hit rate >= 90%% and median "
+        "speedup >= 20x",
+    )
+    args = parser.parse_args()
+    num_rows = 60_000 if args.smoke else 200_000
+    sample_size = 10_000 if args.smoke else 20_000
+    rounds = args.rounds or (3 if args.smoke else 5)
+
+    rng = np.random.default_rng(7)
+    table = conviva_sessions_table(num_rows, rng)
+    queries = conviva_dashboard_mix()
+
+    print(f"dashboard mix: {len(queries)} shapes, {rounds} warm round(s)")
+
+    cold_engine = build_engine(table, catalog=False, sample_size=sample_size)
+    cold_latencies: list[float] = []
+    with cold_engine:
+        for _ in range(rounds):
+            latencies, __ = timed_round(cold_engine, queries)
+            cold_latencies.extend(latencies)
+
+    warm_engine = build_engine(table, catalog=True, sample_size=sample_size)
+    warm_latencies: list[float] = []
+    warm_routes: list[str | None] = []
+    with warm_engine:
+        warm_engine.materialize("media_sessions", ("city", "isp"))
+        # Warm-up round: misses run cold and populate the result store.
+        timed_round(warm_engine, queries)
+        for _ in range(rounds):
+            latencies, routes = timed_round(warm_engine, queries)
+            warm_latencies.extend(latencies)
+            warm_routes.extend(routes)
+
+    cold = np.array(cold_latencies)
+    warm = np.array(warm_latencies)
+    hits = sum(1 for r in warm_routes if r in ("exact", "partial"))
+    hit_rate = hits / len(warm_routes)
+    p50_speedup = float(np.percentile(cold, 50) / np.percentile(warm, 50))
+    p99_speedup = float(np.percentile(cold, 99) / np.percentile(warm, 99))
+
+    route_mix = {
+        route: warm_routes.count(route) for route in ("exact", "partial", "miss")
+    }
+    report = {
+        "schema": 1,
+        "mode": "smoke" if args.smoke else "full",
+        "num_rows": num_rows,
+        "sample_size": sample_size,
+        "rounds": rounds,
+        "queries_per_round": len(queries),
+        "hit_rate": round(hit_rate, 4),
+        "route_mix": route_mix,
+        "cold_p50_ms": round(float(np.percentile(cold, 50)) * 1e3, 3),
+        "cold_p99_ms": round(float(np.percentile(cold, 99)) * 1e3, 3),
+        "warm_p50_ms": round(float(np.percentile(warm, 50)) * 1e3, 3),
+        "warm_p99_ms": round(float(np.percentile(warm, 99)) * 1e3, 3),
+        "p50_speedup": round(p50_speedup, 1),
+        "p99_speedup": round(p99_speedup, 1),
+        "catalog": warm_engine.catalog_info(),
+    }
+
+    print(
+        f"warm hit rate {hit_rate:.1%} "
+        f"(exact {route_mix['exact']}, partial {route_mix['partial']}, "
+        f"miss {route_mix['miss']})"
+    )
+    print(
+        f"p50 {report['cold_p50_ms']:.1f}ms -> {report['warm_p50_ms']:.2f}ms "
+        f"({p50_speedup:.0f}x); "
+        f"p99 {report['cold_p99_ms']:.1f}ms -> {report['warm_p99_ms']:.2f}ms "
+        f"({p99_speedup:.0f}x)"
+    )
+
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.out}")
+
+    if args.check:
+        failures = []
+        if hit_rate < MIN_HIT_RATE:
+            failures.append(
+                f"hit rate {hit_rate:.1%} < {MIN_HIT_RATE:.0%}"
+            )
+        if p50_speedup < MIN_MEDIAN_SPEEDUP:
+            failures.append(
+                f"median speedup {p50_speedup:.1f}x < "
+                f"{MIN_MEDIAN_SPEEDUP:.0f}x"
+            )
+        if failures:
+            print("CHECK FAILED: " + "; ".join(failures))
+            return 1
+        print("check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -152,6 +152,42 @@ def _benches(smoke: bool = False):
 
         return bench
 
+    # Materialized catalog: repeated dashboard shapes served from the
+    # result store (exact) and from rollup-cube moments (partial).
+    cat_engine = AQPEngine(EngineConfig(), seed=41)
+    cat_engine.register_table(
+        "sessions",
+        Table(
+            {
+                "a": rng.lognormal(1.0, 0.5, rows),
+                "seg": np.char.add(
+                    "s", rng.integers(0, 8, rows).astype(str)
+                ),
+            },
+            name="sessions",
+        ),
+    )
+    cat_engine.create_sample("sessions", size=max(rows // 4, 2_000))
+    cat_engine.materialize("sessions", ("seg",))
+    cat_engine.execute(
+        "SELECT AVG(a) FROM sessions", run_diagnostics=False
+    )  # cold miss; stored for the exact-hit bench
+
+    def catalog_exact_hit():
+        for _ in range(100):
+            cat_engine.execute(
+                "SELECT AVG(a) FROM sessions", run_diagnostics=False
+            )
+
+    def catalog_partial_hit():
+        # Partial hits re-aggregate the cube each time (they are never
+        # stored), so every iteration exercises the serving path.
+        for _ in range(100):
+            cat_engine.execute(
+                "SELECT COUNT(*) FROM sessions WHERE seg = 's3'",
+                run_diagnostics=False,
+            )
+
     return {
         "bootstrap_fast_path": bootstrap_fast_path,
         "bootstrap_black_box": bootstrap_black_box,
@@ -161,7 +197,57 @@ def _benches(smoke: bool = False):
         "grouped_bootstrap_g10": grouped_bootstrap("g10"),
         "grouped_bootstrap_g1k": grouped_bootstrap("g1k"),
         "grouped_bootstrap_g100k": grouped_bootstrap("g100k"),
+        "catalog_exact_hit": catalog_exact_hit,
+        "catalog_partial_hit": catalog_partial_hit,
     }
+
+
+def compare_benches(
+    timings: dict[str, float], baseline_benches: dict[str, float]
+) -> tuple[dict[str, dict], list[str], list[str]]:
+    """Diff ``timings`` against a baseline's per-bench seconds.
+
+    Returns ``(comparison, regressions, unmatched)``: the per-bench
+    table, the names that regressed, and the names with no baseline
+    entry (plus baseline entries that were not run).  Unmatched names
+    are *not* a pass — a bench silently dropping out of the baseline is
+    exactly how a regression guard rots — so callers surface them
+    loudly and CI records them in the comparison artifact.
+    """
+    comparison: dict[str, dict] = {}
+    regressions: list[str] = []
+    unmatched: list[str] = []
+    for name, now in timings.items():
+        then = baseline_benches.get(name)
+        if then is None:
+            unmatched.append(name)
+            comparison[name] = {
+                "baseline": None,
+                "current": now,
+                "ratio": None,
+                "regression": False,
+            }
+            continue
+        ratio = now / then if then else float("inf")
+        # A regression needs both a relative blow-up and an absolute
+        # cost above the noise floor — micro-benches double for free
+        # on a loaded runner.
+        regressed = (
+            ratio > REGRESSION_FACTOR
+            and (now - then) > NOISE_FLOOR_SECONDS
+        )
+        comparison[name] = {
+            "baseline": then,
+            "current": now,
+            "ratio": round(ratio, 4) if then else None,
+            "regression": regressed,
+        }
+        if regressed:
+            regressions.append(name)
+    for name in baseline_benches:
+        if name not in timings:
+            unmatched.append(name)
+    return comparison, regressions, unmatched
 
 
 def machine_info() -> dict:
@@ -282,38 +368,24 @@ def main() -> int:
             print(f"no baseline at {baseline_path}; run without --compare")
             return 2
         baseline = json.loads(baseline_path.read_text())
-        comparison: dict[str, dict] = {}
-        regressions = []
+        comparison, regressions, unmatched = compare_benches(
+            timings, baseline["benches"]
+        )
         print(f"\nvs baseline ({baseline_path.name}):")
-        for name, now in timings.items():
-            then = baseline["benches"].get(name)
-            if then is None:
-                print(f"  {name:24s} (new bench, no baseline)")
-                comparison[name] = {
-                    "baseline": None,
-                    "current": now,
-                    "ratio": None,
-                    "regression": False,
-                }
+        for name, row in comparison.items():
+            if row["baseline"] is None:
                 continue
-            ratio = now / then if then else float("inf")
-            # A regression needs both a relative blow-up and an absolute
-            # cost above the noise floor — micro-benches double for free
-            # on a loaded runner.
-            regressed = (
-                ratio > REGRESSION_FACTOR
-                and (now - then) > NOISE_FLOOR_SECONDS
+            flag = "  REGRESSION" if row["regression"] else ""
+            print(
+                f"  {name:24s} {row['baseline']:8.3f}s -> "
+                f"{row['current']:8.3f}s ({row['ratio']:4.2f}x){flag}"
             )
-            flag = "  REGRESSION" if regressed else ""
-            print(f"  {name:24s} {then:8.3f}s -> {now:8.3f}s ({ratio:4.2f}x){flag}")
-            comparison[name] = {
-                "baseline": then,
-                "current": now,
-                "ratio": round(ratio, 4) if then else None,
-                "regression": regressed,
-            }
-            if regressed:
-                regressions.append(name)
+        for name in unmatched:
+            print(
+                f"  WARNING: {name!r} has no counterpart in "
+                f"{baseline_path.name} — not compared; re-record the "
+                "baseline so the regression guard covers it"
+            )
         if args.compare_out is not None:
             args.compare_out.write_text(
                 json.dumps(
@@ -326,6 +398,7 @@ def main() -> int:
                         "machine": machine_info(),
                         "benches": comparison,
                         "regressions": regressions,
+                        "unmatched": unmatched,
                     },
                     indent=2,
                 )

@@ -53,6 +53,12 @@ from repro.core import (
     evaluate_estimator,
     true_interval,
 )
+from repro.catalog import (
+    CatalogConfig,
+    MaterializedCatalog,
+    ResultKey,
+    RollupCube,
+)
 from repro.engine import Table
 from repro.errors import (
     AdmissionRejectedError,
@@ -69,6 +75,7 @@ from repro.governor import (
     QueryGovernor,
 )
 from repro.sampling import SampleCatalog
+from repro.sql.fingerprint import QueryFingerprint, fingerprint_statement
 
 __version__ = "1.0.0"
 
@@ -81,6 +88,7 @@ __all__ = [
     "BernsteinEstimator",
     "BootstrapEstimator",
     "CancelToken",
+    "CatalogConfig",
     "ClosedFormEstimator",
     "ConfidenceInterval",
     "DatasetQuery",
@@ -92,10 +100,14 @@ __all__ = [
     "EstimationTarget",
     "GovernorConfig",
     "HoeffdingEstimator",
+    "MaterializedCatalog",
     "MemoryAccountant",
     "QueryCancelledError",
+    "QueryFingerprint",
     "QueryGovernor",
     "ReproError",
+    "ResultKey",
+    "RollupCube",
     "ResourceError",
     "ResourceExhaustedError",
     "SampleCatalog",
@@ -104,6 +116,7 @@ __all__ = [
     "classify_deltas",
     "diagnose",
     "evaluate_estimator",
+    "fingerprint_statement",
     "true_interval",
     "__version__",
 ]

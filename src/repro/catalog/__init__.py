@@ -1,0 +1,34 @@
+"""Materialized-sample catalog and MV-first serving (BlinkDB/VerdictDB
+style): stored answers, rollup cubes with precomputed bootstrap replicate
+moments, and the router that serves repeated dashboard shapes from them.
+"""
+
+from repro.catalog.router import (
+    SERVABLE_AGGREGATES,
+    cube_can_serve,
+    materialization_hint,
+    serve_from_cube,
+)
+from repro.catalog.store import (
+    CATALOG_ENV,
+    CatalogConfig,
+    MaterializedCatalog,
+    ResultEntry,
+    ResultKey,
+    RollupCube,
+    resolve_catalog_enabled,
+)
+
+__all__ = [
+    "CATALOG_ENV",
+    "CatalogConfig",
+    "MaterializedCatalog",
+    "ResultEntry",
+    "ResultKey",
+    "RollupCube",
+    "SERVABLE_AGGREGATES",
+    "cube_can_serve",
+    "materialization_hint",
+    "resolve_catalog_enabled",
+    "serve_from_cube",
+]

@@ -1,0 +1,293 @@
+"""MV-first routing: serve queries from rollup-cube replicate moments.
+
+A cube can answer a query when the query's grouping keys are a subset of
+the cube's dimensions and its predicate touches only cube dimensions —
+then every sample row inside a cell shares the predicate's outcome, so
+filtering cells is *exactly* filtering rows, and the per-cell replicate
+moments re-aggregate to per-group replicate estimates by segment
+summation (the same reduction the grouped kernels run over rows, one
+granularity up).
+
+Servable aggregates are the closed-form family (COUNT/SUM/AVG/VARIANCE/
+STDEV): their resample statistics are functions of the cell moments
+``Σw``, ``Σw·v``, ``Σw·v²``.  Anything the cube cannot answer with the
+same semantics as the governed base path — emptied groups, failed cell
+diagnostics, missed error bounds, half-width failures — returns ``None``
+and the query falls through to a full execution (miss, never a wrong
+answer).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.catalog.store import RollupCube
+from repro.core.ci import ConfidenceInterval
+from repro.core.diagnostics import DiagnosticResult
+from repro.core.grouped import grouped_half_widths
+from repro.engine.aggregates import GroupIndex
+from repro.engine.table import Table
+from repro.sql import ast
+from repro.sql.analyzer import AnalyzedQuery
+
+#: Aggregates whose resample statistics the cell moments determine.
+SERVABLE_AGGREGATES = frozenset({"COUNT", "SUM", "AVG", "VARIANCE", "STDEV"})
+
+
+def _where_columns(expr: ast.Expression) -> set[str]:
+    return {
+        node.name for node in ast.walk(expr) if isinstance(node, ast.ColumnRef)
+    }
+
+
+def cube_can_serve(cube: RollupCube, query: AnalyzedQuery) -> bool:
+    """Structural servability: grouping subset + dim-only predicate."""
+    if query.nested or query.sample_rate is not None:
+        return False
+    if query.having is not None:
+        return False
+    if query.contains_udf or query.contains_udaf:
+        return False
+    if not query.aggregates:
+        return False
+    for expr in query.group_by:
+        if not isinstance(expr, ast.ColumnRef) or expr.name not in cube.dims:
+            return False
+    if query.where is not None:
+        if not _where_columns(query.where) <= set(cube.dims):
+            return False
+    for spec in query.aggregates:
+        if spec.distinct:
+            return False
+        name = spec.function.name
+        if name not in SERVABLE_AGGREGATES:
+            return False
+        if name == "COUNT":
+            if spec.argument is not None and not isinstance(
+                spec.argument, ast.ColumnRef
+            ):
+                return False
+        else:
+            if not isinstance(spec.argument, ast.ColumnRef):
+                return False
+            if spec.argument.name not in cube.measures:
+                return False
+    return True
+
+
+def materialization_hint(
+    query: AnalyzedQuery,
+) -> Optional[tuple[str, tuple[str, ...], tuple[str, ...]]]:
+    """A ``(table, dims, measures)`` recipe for a cube that would serve
+    this query — or ``None`` when no cube can (nested, UDFs, exotic
+    aggregates, expression group keys)."""
+    if query.nested or query.sample_rate is not None:
+        return None
+    if query.having is not None or query.contains_udf or query.contains_udaf:
+        return None
+    if not query.aggregates:
+        return None
+    dims: list[str] = []
+    for expr in query.group_by:
+        if not isinstance(expr, ast.ColumnRef):
+            return None
+        if expr.name not in dims:
+            dims.append(expr.name)
+    if query.where is not None:
+        for name in sorted(_where_columns(query.where)):
+            if name not in dims:
+                dims.append(name)
+    measures: list[str] = []
+    for spec in query.aggregates:
+        if spec.distinct or spec.function.name not in SERVABLE_AGGREGATES:
+            return None
+        if spec.function.name == "COUNT" and spec.argument is None:
+            continue
+        if not isinstance(spec.argument, ast.ColumnRef):
+            return None
+        if spec.argument.name not in measures:
+            measures.append(spec.argument.name)
+    if not dims:
+        return None
+    return (query.source_table, tuple(dims), tuple(measures))
+
+
+def _safe_div(num: np.ndarray, den: np.ndarray) -> np.ndarray:
+    """num/den with NaN where the denominator is non-positive."""
+    den = np.asarray(den, dtype=np.float64)
+    ok = den > 0
+    return np.where(ok, num / np.where(ok, den, 1.0), np.nan)
+
+
+def serve_from_cube(
+    cube: RollupCube,
+    query: AnalyzedQuery,
+    evaluator,
+    confidence: float,
+    error_bound: Optional[float],
+    should_diagnose: bool,
+) -> Optional[list]:
+    """Answer ``query`` from ``cube``, or ``None`` to fall through.
+
+    The returned rows mirror the base path's shape: every group present
+    in the sample *before* filtering appears (the base path derives its
+    group list pre-WHERE too), and each value carries a bootstrap CI
+    from the re-aggregated replicate moments.
+    """
+    from repro.core.pipeline import ApproximateValue, AQPRow
+
+    if not cube_can_serve(cube, query):
+        return None
+    num_cells = cube.num_cells
+    if num_cells == 0:
+        return None
+
+    cell_table = Table(dict(cube.cell_values), name="cube_cells")
+    if query.where is not None:
+        mask = np.asarray(evaluator.evaluate(query.where, cell_table))
+        mask = mask if mask.dtype == np.bool_ else mask.astype(bool)
+    else:
+        mask = np.ones(num_cells, dtype=bool)
+
+    if query.group_by:
+        from repro.plan.executor import _group_rows
+
+        names = list(query.group_by_names)
+        gids, reps = _group_rows([cube.cell_values[n] for n in names])
+        num_groups = len(reps[0])
+        group_dicts = [
+            {name: reps[i][g] for i, name in enumerate(names)}
+            for g in range(num_groups)
+        ]
+    else:
+        gids = np.zeros(num_cells, dtype=np.int64)
+        num_groups = 1
+        group_dicts = [{}]
+
+    # A group every one of whose cells the predicate removed would take
+    # the base path's empty-group edge handling (exact 0 ± 0 for COUNT,
+    # fallback otherwise); the cube declines rather than imitate it.
+    passing_per_group = np.bincount(gids[mask], minlength=num_groups)
+    if (passing_per_group == 0).any():
+        return None
+
+    # Diagnostics run at the granularity the query actually targets:
+    # grouping keys plus predicate columns.  Group membership and a
+    # dim-equality predicate are both filter conjuncts over the sample,
+    # so the cold path's per-group diagnostic target *is* this
+    # union-dims cell; wider predicates AND the verdicts of every cell
+    # they cover, which is strictly conservative.
+    union_dims = tuple(
+        d
+        for d in cube.dims
+        if d in set(query.group_by_names)
+        or (query.where is not None and d in _where_columns(query.where))
+    )
+    if union_dims:
+        from repro.plan.executor import _group_rows as _cell_group_rows
+
+        ucell_ids, __ = _cell_group_rows(
+            [cube.cell_values[d] for d in union_dims]
+        )
+    else:
+        ucell_ids = np.zeros(num_cells, dtype=np.int64)
+
+    index = GroupIndex.from_ids(gids[mask], num_groups)
+    rep_w = index.segment_sum(cube.rep_count[mask])  # (G, K)
+    counts = index.segment_sum(cube.counts[mask].astype(np.float64))  # (G,)
+    scale = cube.dataset_rows / cube.sample_rows
+    realized = np.where(cube.total_weight > 0, cube.total_weight, 1.0)
+
+    values_out: list[dict] = [{} for __ in range(num_groups)]
+    for spec in query.aggregates:
+        name = spec.function.name
+        measure = None
+        if name != "COUNT":
+            measure = spec.argument.name
+        if measure is not None:
+            rep_s = index.segment_sum(cube.rep_sums[measure][mask])
+            rep_q = index.segment_sum(cube.rep_sumsqs[measure][mask])
+            point_s = index.segment_sum(cube.point_sums[measure][mask])
+            point_q = index.segment_sum(cube.point_sumsqs[measure][mask])
+
+        if name == "COUNT":
+            replicates = cube.dataset_rows * rep_w / realized
+            points = scale * counts
+        elif name == "SUM":
+            replicates = cube.dataset_rows * rep_s / realized
+            points = scale * point_s
+        elif name == "AVG":
+            replicates = _safe_div(rep_s, rep_w)
+            points = point_s / counts
+        else:  # VARIANCE / STDEV (ddof=1 raw-moment form)
+            if (counts < 2).any():
+                return None
+            rep_mean = _safe_div(rep_s, rep_w)
+            ssd = np.maximum(rep_q - rep_w * rep_mean * rep_mean, 0.0)
+            replicates = np.where(
+                rep_w > 1, ssd / np.maximum(rep_w - 1.0, 1e-300), np.nan
+            )
+            mean = point_s / counts
+            points = np.maximum(point_q - counts * mean * mean, 0.0) / (
+                counts - 1.0
+            )
+            if name == "STDEV":
+                replicates = np.sqrt(replicates)
+                points = np.sqrt(points)
+
+        half_widths, reasons = grouped_half_widths(
+            replicates, points, confidence
+        )
+        if any(reason is not None for reason in reasons):
+            return None
+
+        diagnostic = None
+        if should_diagnose:
+            needed = np.unique(ucell_ids[mask])
+            verdicts = cube.cell_verdicts(
+                name, measure, confidence, union_dims, needed
+            )
+            if verdicts is None:
+                return None
+            # A group is trusted only when every union-dims cell the
+            # predicate kept inside it passed Algorithm 1.
+            if not all(verdicts[int(u)] for u in needed):
+                return None
+            diagnostic = DiagnosticResult(
+                passed=True,
+                reports=(),
+                estimator_name="bootstrap",
+                reason=(
+                    "validated against the cube's sample over "
+                    f"{len(needed)} diagnostic cell(s)"
+                ),
+            )
+
+        for g in range(num_groups):
+            interval = ConfidenceInterval(
+                estimate=float(points[g]),
+                half_width=float(half_widths[g]),
+                confidence=confidence,
+                method="bootstrap",
+            )
+            if (
+                error_bound is not None
+                and interval.relative_error > error_bound
+            ):
+                # The base path would escalate samples / fall back; let
+                # it.
+                return None
+            values_out[g][spec.output_name] = ApproximateValue(
+                name=spec.output_name,
+                estimate=float(points[g]),
+                interval=interval,
+                method="bootstrap",
+                diagnostic=diagnostic,
+            )
+
+    return [
+        AQPRow(group=group_dicts[g], values=values_out[g])
+        for g in range(num_groups)
+    ]

@@ -1,0 +1,794 @@
+"""The materialized catalog: stored answers and rollup cubes.
+
+Two layers of precomputed state serve repeated dashboard traffic:
+
+* **Result store** — finished :class:`~repro.core.pipeline.AQPResult`
+  rows keyed by :class:`ResultKey` (query fingerprint + the execution
+  parameters that shape the answer).  An exact hit replays the stored
+  rows — estimate, CI, and diagnostic verdict bit-identical to the run
+  that produced them.
+* **Rollup cubes** (:class:`RollupCube`) — VerdictDB-style scramble
+  state: per (table, grouping-key set), the sample's rows are grouped
+  into cells and a single Poissonized weight matrix is reduced to
+  per-cell *replicate moments* (Σw, Σw·v, Σw·v² per replicate, per
+  measure).  Those moments are sufficient statistics for
+  COUNT/SUM/AVG/VARIANCE/STDEV, so any query whose grouping keys are a
+  subset of the cube's dimensions and whose predicate touches only cube
+  dimensions re-aggregates by segment-summing cell moments — no base
+  data, no resampling.
+
+Cubes persist as single ``.npz`` files written to a ``staging/``
+directory and atomically promoted (``os.replace``) into ``ready/`` —
+a crash mid-write can never leave a torn cube where the loader looks.
+
+Staleness: every ``register_table``/``create_sample`` bumps the table's
+version; entries and cubes remember the version they were built against
+and are invalidated on mismatch.  Memory goes through the governor's
+reserve-before-allocate accountant — when the reservation is refused,
+the catalog simply declines to store (a cache must never be the reason
+a query fails).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import re
+import time
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.engine.aggregates import GroupIndex
+from repro.engine.table import Table
+from repro.errors import CatalogError, ResourceExhaustedError
+from repro.governor.memory import MemoryAccountant, MemoryReservation
+from repro.obs.metrics import METRICS
+from repro.sampling.catalog import SampleInfo
+
+logger = logging.getLogger(__name__)
+
+#: Environment switch for the materialized catalog (``off`` restores the
+#: always-recompute behaviour of earlier versions exactly).
+CATALOG_ENV = "REPRO_CATALOG"
+
+_OFF_VALUES = frozenset({"off", "0", "false", "no", "disabled"})
+_ON_VALUES = frozenset({"on", "1", "true", "yes", "enabled"})
+
+#: Seed-domain tag mixed into cube RNG streams so cube weights are
+#: decoupled from every engine stream (the catalog must consume no
+#: engine RNG — that is what keeps cold runs bit-identical with the
+#: catalog on or off).
+_CUBE_SEED_DOMAIN = 0x63756265  # "cube"
+
+
+def resolve_catalog_enabled(flag: Optional[bool] = None) -> bool:
+    """Whether the materialized catalog is active (explicit > env > on)."""
+    if flag is not None:
+        return bool(flag)
+    raw = os.environ.get(CATALOG_ENV, "").strip().lower()
+    if not raw:
+        return True
+    if raw in _OFF_VALUES:
+        return False
+    if raw in _ON_VALUES:
+        return True
+    raise CatalogError(
+        f"unknown {CATALOG_ENV} value {raw!r}; expected one of "
+        f"{sorted(_ON_VALUES | _OFF_VALUES)}"
+    )
+
+
+@dataclass(frozen=True)
+class CatalogConfig:
+    """Tuning knobs for the materialized catalog.
+
+    Attributes:
+        max_result_entries: LRU capacity of the stored-answer layer.
+        max_cubes: rollup cubes kept resident.
+        ttl_seconds: stored answers older than this are re-executed
+            (``None`` — never expire on age; registration-version
+            invalidation still applies).
+        directory: when set, cubes persist here (``staging/`` →
+            ``ready/`` promotion) and can be reloaded next session.
+        auto_materialize_after: consecutive misses of one query shape
+            before it is enqueued for background materialization.
+    """
+
+    max_result_entries: int = 256
+    max_cubes: int = 16
+    ttl_seconds: Optional[float] = None
+    directory: Optional[str] = None
+    auto_materialize_after: int = 3
+
+
+@dataclass(frozen=True)
+class ResultKey:
+    """Identity of one stored answer.
+
+    The fingerprint shape + bindings pin the query; the rest pin every
+    execution parameter that changes the answer (coverage, error bound,
+    sample choice, whether diagnostics ran).
+    """
+
+    shape: str
+    bindings: tuple
+    confidence: float
+    error_bound: Optional[float]
+    sample_name: Optional[str]
+    max_sample_rows: Optional[int]
+    diagnostics: bool
+
+
+@dataclass
+class ResultEntry:
+    """One stored answer plus the provenance of the run that made it."""
+
+    key: ResultKey
+    rows: tuple
+    sample_info: SampleInfo
+    table_name: str
+    table_version: int
+    created_at: float
+    nbytes: int
+    bootstrap_subqueries: int
+    diagnostic_subqueries: int
+    reservation: Optional[MemoryReservation] = None
+
+    def release(self) -> None:
+        if self.reservation is not None:
+            self.reservation.release()
+            self.reservation = None
+
+
+def _sanitize(token: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", token)
+
+
+@dataclass
+class RollupCube:
+    """Pre-aggregated replicate moments over one grouping-key set.
+
+    Cells are the distinct combinations of the cube's ``dims`` in the
+    stored sample.  For each measure ``m`` and each of the ``K``
+    bootstrap replicates, the cube keeps the cell-local weighted moments
+    ``Σw``, ``Σw·v``, ``Σw·v²`` plus the unweighted point moments — the
+    sufficient statistics for every closed-form-family aggregate.  A
+    query grouping by a *subset* of ``dims`` re-aggregates by summing
+    cell moments, which is exactly the segmented reduction the grouped
+    kernels perform over rows, applied to cells.
+    """
+
+    table_name: str
+    sample_name: str
+    sample_info: SampleInfo
+    dims: tuple[str, ...]
+    measures: tuple[str, ...]
+    cell_values: dict[str, np.ndarray]
+    counts: np.ndarray
+    point_sums: dict[str, np.ndarray]
+    point_sumsqs: dict[str, np.ndarray]
+    rep_count: np.ndarray
+    rep_sums: dict[str, np.ndarray]
+    rep_sumsqs: dict[str, np.ndarray]
+    total_weight: np.ndarray
+    sample_rows: int
+    dataset_rows: int
+    num_resamples: int
+    seed: int
+    table_version: int
+    created_at: float = 0.0
+    nbytes: int = 0
+    reservation: Optional[MemoryReservation] = None
+    #: Row-level state retained for lazy diagnostics (not persisted; a
+    #: loaded cube regains it via :meth:`attach_sample`).
+    sample: Optional[Table] = field(default=None, repr=False)
+    cell_group_ids: Optional[np.ndarray] = field(default=None, repr=False)
+    _diag_cache: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.counts)
+
+    def release(self) -> None:
+        if self.reservation is not None:
+            self.reservation.release()
+            self.reservation = None
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        table_name: str,
+        sample_info: SampleInfo,
+        sample: Table,
+        dims: tuple[str, ...],
+        measures: tuple[str, ...],
+        num_resamples: int,
+        seed: int,
+        table_version: int,
+        memory: Optional[MemoryAccountant] = None,
+        wait_seconds: float = 0.0,
+    ) -> "RollupCube":
+        """Group the sample into cells and reduce one weight matrix.
+
+        The weight matrix is drawn from a dedicated
+        :class:`~numpy.random.SeedSequence` stream (seed ⊕ cube domain)
+        — never from an engine stream — so materialization leaves every
+        query-visible RNG untouched.
+        """
+        from repro.plan.executor import _group_rows
+
+        n = sample.num_rows
+        k = int(num_resamples)
+        key_arrays = [sample.column(d) for d in dims]
+        cell_ids, representatives = _group_rows(list(key_arrays))
+        num_cells = len(representatives[0]) if n else 0
+        groups = GroupIndex.from_ids(cell_ids, num_cells)
+
+        # Transient cost: the (n, K) weight matrix. Retained cost: the
+        # cell moments. Reserve both up front; release the transient
+        # share after the reduction.
+        transient = n * k * 8
+        retained = max(num_cells * k * 8 * (1 + 2 * len(measures)), 1)
+        reservation = None
+        if memory is not None:
+            reservation = memory.reserve(
+                transient + retained,
+                label=f"catalog.cube.{table_name}",
+                wait_seconds=wait_seconds,
+            )
+        try:
+            rng = np.random.default_rng(
+                np.random.SeedSequence([_CUBE_SEED_DOMAIN, seed])
+            )
+            weights = rng.poisson(1.0, size=(n, k)).astype(np.float64)
+            rep_count = groups.segment_sum(weights)
+            total_weight = weights.sum(axis=0)
+            point_sums: dict[str, np.ndarray] = {}
+            point_sumsqs: dict[str, np.ndarray] = {}
+            rep_sums: dict[str, np.ndarray] = {}
+            rep_sumsqs: dict[str, np.ndarray] = {}
+            for name in measures:
+                values = np.asarray(
+                    sample.column(name), dtype=np.float64
+                )
+                point_sums[name] = groups.segment_sum(values)
+                point_sumsqs[name] = groups.segment_sum(values * values)
+                rep_sums[name] = groups.segment_sum(values[:, None] * weights)
+                rep_sumsqs[name] = groups.segment_sum(
+                    (values * values)[:, None] * weights
+                )
+            del weights
+        except BaseException:
+            if reservation is not None:
+                reservation.release()
+            raise
+        if reservation is not None:
+            # Shrink the hold to the retained arrays only.
+            reservation.release()
+            reservation = memory.reserve(
+                retained,
+                label=f"catalog.cube.{table_name}",
+                wait_seconds=wait_seconds,
+            )
+        return cls(
+            table_name=table_name,
+            sample_name=sample_info.name,
+            sample_info=sample_info,
+            dims=tuple(dims),
+            measures=tuple(measures),
+            cell_values={
+                d: np.asarray(representatives[i])
+                for i, d in enumerate(dims)
+            },
+            counts=groups.counts,
+            point_sums=point_sums,
+            point_sumsqs=point_sumsqs,
+            rep_count=rep_count,
+            rep_sums=rep_sums,
+            rep_sumsqs=rep_sumsqs,
+            total_weight=total_weight,
+            sample_rows=n,
+            dataset_rows=sample_info.dataset_rows,
+            num_resamples=k,
+            seed=int(seed),
+            table_version=int(table_version),
+            created_at=time.time(),
+            nbytes=retained,
+            reservation=reservation,
+            sample=sample,
+            cell_group_ids=cell_ids,
+        )
+
+    # -- diagnostics -------------------------------------------------------
+    def attach_sample(self, sample: Table) -> None:
+        """Re-attach row-level state after loading a persisted cube."""
+        from repro.plan.executor import _group_rows
+
+        if sample.num_rows != self.sample_rows:
+            raise CatalogError(
+                f"cube for {self.table_name!r} was built over "
+                f"{self.sample_rows} rows; got {sample.num_rows}"
+            )
+        cell_ids, __ = _group_rows(
+            [sample.column(d) for d in self.dims]
+        )
+        self.sample = sample
+        self.cell_group_ids = cell_ids
+
+    def row_group_ids(
+        self, dims: tuple[str, ...]
+    ) -> Optional[tuple[np.ndarray, int]]:
+        """Row-level group ids over a subset of this cube's dimensions.
+
+        Group numbering follows ``_group_rows`` (lexicographic over the
+        distinct key tuples), which is identical whether computed over
+        sample rows or over cube-cell representative values — every
+        distinct dim combination present in rows is present in cells.
+        """
+        if self.sample is None:
+            return None
+        cached = self._diag_cache.get(("gids", dims))
+        if cached is not None:
+            return cached
+        if not dims:
+            # Ungrouped, unfiltered: one global diagnostic target, the
+            # same granularity a cold scalar execution diagnoses at.
+            result = (np.zeros(self.sample_rows, dtype=np.int64), 1)
+        else:
+            from repro.plan.executor import _group_rows
+
+            gids, reps = _group_rows([self.sample.column(d) for d in dims])
+            result = (gids, len(reps[0]) if self.sample_rows else 0)
+        self._diag_cache[("gids", dims)] = result
+        return result
+
+    def cell_verdicts(
+        self,
+        aggregate_name: str,
+        measure: Optional[str],
+        confidence: float,
+        dims: tuple[str, ...],
+        cells: "np.ndarray | list[int]",
+    ) -> Optional[dict[int, bool]]:
+        """Algorithm-1 verdicts at the granularity a query targets.
+
+        ``dims`` is the union of the query's grouping keys and predicate
+        columns, and ``cells`` the ``dims``-cell ids the query's
+        predicate actually kept.  Group membership and a dim-equality
+        predicate both act as filter conjuncts on the sample, so each
+        requested cell is diagnosed the way a fresh execution diagnoses
+        a filtered query: the scalar diagnostic over the full sample
+        with the cell membership as the matched-row mask.  Verdicts are
+        computed lazily per cell and cached, so a dashboard that only
+        ever touches a few cells never pays for the rest.  Returns
+        ``None`` when no row-level sample is attached (persisted cube
+        not yet re-attached via :meth:`attach_sample`).
+        """
+        if self.sample is None or self.cell_group_ids is None:
+            return None
+        from repro.core.bootstrap import BootstrapEstimator
+        from repro.core.diagnostics import diagnose
+        from repro.core.estimators import EstimationTarget
+        from repro.core.pipeline import _auto_diagnostic_config
+        from repro.engine.aggregates import get_aggregate
+        from repro.errors import ReproError
+
+        grouping = self.row_group_ids(dims)
+        if grouping is None:
+            return None
+        gids, num_groups = grouping
+        base_key = (dims, aggregate_name, measure, round(confidence, 6))
+        config = _auto_diagnostic_config(self.sample_rows)
+        aggregate = get_aggregate(aggregate_name)
+        values: Optional[np.ndarray] = None
+        out: dict[int, bool] = {}
+        for cell in cells:
+            cell = int(cell)
+            cache_key = (*base_key, cell)
+            cached = self._diag_cache.get(cache_key)
+            if cached is not None:
+                out[cell] = bool(cached[0])
+                continue
+            if config is None:
+                # Sample too small for honest subsamples — the same
+                # situation in which the live path skips the diagnostic
+                # and trusts the estimate.
+                verdict = True
+            else:
+                if values is None:
+                    if measure is None:
+                        values = np.ones(self.sample_rows, dtype=np.float64)
+                    else:
+                        values = np.asarray(
+                            self.sample.column(measure), dtype=np.float64
+                        )
+                target = EstimationTarget(
+                    values=values,
+                    aggregate=aggregate,
+                    mask=(gids == cell) if dims else None,
+                    dataset_rows=self.dataset_rows,
+                    extensive=aggregate_name in ("COUNT", "SUM"),
+                )
+                # hash() is salted per process; derive the per-cell seed
+                # from a stable digest so verdicts reproduce across runs.
+                digest = zlib.crc32(repr(cache_key).encode("utf-8"))
+                rng = np.random.default_rng(
+                    np.random.SeedSequence(
+                        [_CUBE_SEED_DOMAIN, self.seed, 1 + digest]
+                    )
+                )
+                estimator = BootstrapEstimator(self.num_resamples, rng)
+                try:
+                    verdict = bool(
+                        diagnose(
+                            target, estimator, confidence, config, rng
+                        ).passed
+                    )
+                except ReproError:
+                    verdict = False
+            self._diag_cache[cache_key] = (verdict,)
+            out[cell] = verdict
+        return out
+
+    # -- persistence -------------------------------------------------------
+    def save(self, directory: str | os.PathLike) -> Path:
+        """Persist to ``<dir>/staging/`` then promote into ``<dir>/ready/``.
+
+        The promotion is a single ``os.replace`` — readers scanning
+        ``ready/`` can never observe a half-written cube.
+        """
+        root = Path(directory)
+        staging = root / "staging"
+        ready = root / "ready"
+        staging.mkdir(parents=True, exist_ok=True)
+        ready.mkdir(parents=True, exist_ok=True)
+        filename = (
+            f"{_sanitize(self.table_name)}."
+            f"{_sanitize('-'.join(self.dims))}."
+            f"{_sanitize(self.sample_name)}.npz"
+        )
+        meta = {
+            "schema_version": 1,
+            "table_name": self.table_name,
+            "sample_name": self.sample_name,
+            "dims": list(self.dims),
+            "measures": list(self.measures),
+            "sample_rows": self.sample_rows,
+            "dataset_rows": self.dataset_rows,
+            "num_resamples": self.num_resamples,
+            "seed": self.seed,
+            "table_version": self.table_version,
+            "created_at": self.created_at,
+            "sample_info": {
+                "name": self.sample_info.name,
+                "table_name": self.sample_info.table_name,
+                "rows": self.sample_info.rows,
+                "dataset_rows": self.sample_info.dataset_rows,
+                "cached_fraction": self.sample_info.cached_fraction,
+            },
+        }
+        arrays: dict[str, np.ndarray] = {
+            "counts": self.counts,
+            "rep_count": self.rep_count,
+            "total_weight": self.total_weight,
+        }
+        for i, d in enumerate(self.dims):
+            arrays[f"cell_{i}"] = self.cell_values[d]
+        for i, m in enumerate(self.measures):
+            arrays[f"psum_{i}"] = self.point_sums[m]
+            arrays[f"psumsq_{i}"] = self.point_sumsqs[m]
+            arrays[f"rsum_{i}"] = self.rep_sums[m]
+            arrays[f"rsumsq_{i}"] = self.rep_sumsqs[m]
+        staged = staging / filename
+        with open(staged, "wb") as handle:
+            np.savez(handle, meta=json.dumps(meta), **arrays)
+        final = ready / filename
+        os.replace(staged, final)
+        logger.info("promoted cube %s -> %s", staged, final)
+        return final
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "RollupCube":
+        """Load a promoted cube (row-level sample not attached)."""
+        with np.load(path, allow_pickle=True) as data:
+            meta = json.loads(str(data["meta"]))
+            if meta.get("schema_version") != 1:
+                raise CatalogError(
+                    f"unsupported cube schema in {path}: "
+                    f"{meta.get('schema_version')!r}"
+                )
+            dims = tuple(meta["dims"])
+            measures = tuple(meta["measures"])
+            info = SampleInfo(**meta["sample_info"])
+            arrays = {key: data[key] for key in data.files if key != "meta"}
+        retained = sum(a.nbytes for a in arrays.values())
+        return cls(
+            table_name=meta["table_name"],
+            sample_name=meta["sample_name"],
+            sample_info=info,
+            dims=dims,
+            measures=measures,
+            cell_values={
+                d: arrays[f"cell_{i}"] for i, d in enumerate(dims)
+            },
+            counts=arrays["counts"],
+            point_sums={
+                m: arrays[f"psum_{i}"] for i, m in enumerate(measures)
+            },
+            point_sumsqs={
+                m: arrays[f"psumsq_{i}"] for i, m in enumerate(measures)
+            },
+            rep_count=arrays["rep_count"],
+            rep_sums={
+                m: arrays[f"rsum_{i}"] for i, m in enumerate(measures)
+            },
+            rep_sumsqs={
+                m: arrays[f"rsumsq_{i}"] for i, m in enumerate(measures)
+            },
+            total_weight=arrays["total_weight"],
+            sample_rows=int(meta["sample_rows"]),
+            dataset_rows=int(meta["dataset_rows"]),
+            num_resamples=int(meta["num_resamples"]),
+            seed=int(meta["seed"]),
+            table_version=int(meta["table_version"]),
+            created_at=float(meta["created_at"]),
+            nbytes=retained,
+        )
+
+
+class MaterializedCatalog:
+    """Stored answers + rollup cubes with staleness-aware invalidation."""
+
+    def __init__(
+        self,
+        memory: Optional[MemoryAccountant] = None,
+        config: Optional[CatalogConfig] = None,
+    ):
+        self.config = config or CatalogConfig()
+        self.memory = memory
+        self._results: OrderedDict[ResultKey, ResultEntry] = OrderedDict()
+        self._cubes: list[RollupCube] = []
+        self._table_versions: dict[str, int] = {}
+        self._miss_counts: dict[str, int] = {}
+        self._materialization_queue: list[tuple] = []
+        self._queued_shapes: set[str] = set()
+        self.exact_hits = 0
+        self.partial_hits = 0
+        self.misses = 0
+
+    # -- staleness ---------------------------------------------------------
+    def table_version(self, table_name: str) -> int:
+        return self._table_versions.get(table_name, 0)
+
+    def note_table_changed(self, table_name: str) -> None:
+        """Bump the version and drop every entry built against the table."""
+        self._table_versions[table_name] = self.table_version(table_name) + 1
+        stale_keys = [
+            key
+            for key, entry in self._results.items()
+            if entry.table_name == table_name
+        ]
+        for key in stale_keys:
+            self._results.pop(key).release()
+        kept: list[RollupCube] = []
+        dropped = 0
+        for cube in self._cubes:
+            if cube.table_name == table_name:
+                cube.release()
+                dropped += 1
+            else:
+                kept.append(cube)
+        self._cubes = kept
+        if stale_keys or dropped:
+            METRICS.counter("catalog.invalidations").inc()
+        self._update_gauges()
+
+    # -- result store ------------------------------------------------------
+    def lookup_result(self, key: ResultKey) -> Optional[ResultEntry]:
+        entry = self._results.get(key)
+        if entry is None:
+            return None
+        if entry.table_version != self.table_version(entry.table_name):
+            self._results.pop(key).release()
+            return None
+        ttl = self.config.ttl_seconds
+        if ttl is not None and time.time() - entry.created_at > ttl:
+            self._results.pop(key).release()
+            METRICS.counter("catalog.expirations").inc()
+            return None
+        self._results.move_to_end(key)
+        return entry
+
+    def store_result(
+        self,
+        key: ResultKey,
+        rows: tuple,
+        sample_info: SampleInfo,
+        table_name: str,
+        bootstrap_subqueries: int,
+        diagnostic_subqueries: int,
+    ) -> bool:
+        """Store an answer; returns False when memory is refused."""
+        if self.config.max_result_entries <= 0:
+            return False
+        # Rough footprint: rows are small python objects; what matters
+        # is that the governor sees the catalog grow.
+        nbytes = 4096 + 1024 * len(rows)
+        reservation = None
+        if self.memory is not None:
+            try:
+                reservation = self.memory.reserve(
+                    nbytes, label="catalog.result", wait_seconds=0.0
+                )
+            except ResourceExhaustedError:
+                METRICS.counter("catalog.store_rejected").inc()
+                return False
+        old = self._results.pop(key, None)
+        if old is not None:
+            old.release()
+        self._results[key] = ResultEntry(
+            key=key,
+            rows=rows,
+            sample_info=sample_info,
+            table_name=table_name,
+            table_version=self.table_version(table_name),
+            created_at=time.time(),
+            nbytes=nbytes,
+            bootstrap_subqueries=bootstrap_subqueries,
+            diagnostic_subqueries=diagnostic_subqueries,
+            reservation=reservation,
+        )
+        while len(self._results) > self.config.max_result_entries:
+            __, evicted = self._results.popitem(last=False)
+            evicted.release()
+            METRICS.counter("catalog.evictions").inc()
+        self._update_gauges()
+        return True
+
+    # -- cubes -------------------------------------------------------------
+    def add_cube(self, cube: RollupCube) -> None:
+        kept: list[RollupCube] = []
+        for existing in self._cubes:
+            if (
+                existing.table_name == cube.table_name
+                and existing.dims == cube.dims
+                and existing.sample_name == cube.sample_name
+            ):
+                existing.release()
+            else:
+                kept.append(existing)
+        self._cubes = kept
+        self._cubes.append(cube)
+        while len(self._cubes) > self.config.max_cubes:
+            self._cubes.pop(0).release()
+            METRICS.counter("catalog.evictions").inc()
+        self._update_gauges()
+
+    def cubes_for(self, table_name: str) -> list[RollupCube]:
+        version = self.table_version(table_name)
+        return [
+            cube
+            for cube in self._cubes
+            if cube.table_name == table_name
+            and cube.table_version == version
+        ]
+
+    # -- persistence -------------------------------------------------------
+    def save_cubes(self, directory: str | os.PathLike | None = None) -> list[Path]:
+        target = directory or self.config.directory
+        if target is None:
+            raise CatalogError(
+                "no catalog directory configured; pass one or set "
+                "CatalogConfig.directory"
+            )
+        return [cube.save(target) for cube in self._cubes]
+
+    def load_cubes(self, directory: str | os.PathLike | None = None) -> int:
+        """Load every promoted cube from ``<dir>/ready/``; returns count."""
+        target = directory or self.config.directory
+        if target is None:
+            raise CatalogError(
+                "no catalog directory configured; pass one or set "
+                "CatalogConfig.directory"
+            )
+        ready = Path(target) / "ready"
+        if not ready.is_dir():
+            return 0
+        loaded = 0
+        for path in sorted(ready.glob("*.npz")):
+            cube = RollupCube.load(path)
+            # Loaded cubes adopt the current table version: reloading is
+            # an explicit operator action asserting the data still
+            # matches.
+            cube.table_version = self.table_version(cube.table_name)
+            self.add_cube(cube)
+            loaded += 1
+        return loaded
+
+    # -- accounting --------------------------------------------------------
+    def record_exact_hit(self) -> None:
+        self.exact_hits += 1
+        METRICS.counter("catalog.hit.exact").inc()
+        self._update_gauges()
+
+    def record_partial_hit(self) -> None:
+        self.partial_hits += 1
+        METRICS.counter("catalog.hit.partial").inc()
+        self._update_gauges()
+
+    def record_miss(
+        self, shape: str, hint: Optional[tuple] = None
+    ) -> None:
+        """Count a miss; enqueue ``hint`` once the shape misses enough.
+
+        ``hint`` is a ``(table_name, dims, measures)`` materialization
+        recipe derived from the query (``None`` when the shape is not
+        cube-servable — such shapes are counted but never enqueued).
+        """
+        self.misses += 1
+        METRICS.counter("catalog.miss").inc()
+        threshold = self.config.auto_materialize_after
+        if threshold > 0 and hint is not None:
+            count = self._miss_counts.get(shape, 0) + 1
+            self._miss_counts[shape] = count
+            if count == threshold and shape not in self._queued_shapes:
+                self._queued_shapes.add(shape)
+                self._materialization_queue.append(hint)
+        self._update_gauges()
+
+    def drain_materialization_queue(self) -> list[tuple]:
+        """Recipes whose shapes crossed the materialization threshold."""
+        queue, self._materialization_queue = self._materialization_queue, []
+        self._queued_shapes.clear()
+        self._miss_counts.clear()
+        return queue
+
+    def _update_gauges(self) -> None:
+        total = self.exact_hits + self.partial_hits + self.misses
+        if total:
+            METRICS.gauge("catalog.hit_rate").set(
+                (self.exact_hits + self.partial_hits) / total
+            )
+        METRICS.gauge("catalog.entries").set(len(self._results))
+        METRICS.gauge("catalog.cubes").set(len(self._cubes))
+        METRICS.gauge("catalog.bytes").set(
+            sum(entry.nbytes for entry in self._results.values())
+            + sum(cube.nbytes for cube in self._cubes)
+        )
+
+    def info(self) -> dict[str, Any]:
+        total = self.exact_hits + self.partial_hits + self.misses
+        return {
+            "exact_hits": self.exact_hits,
+            "partial_hits": self.partial_hits,
+            "misses": self.misses,
+            "hit_rate": (
+                (self.exact_hits + self.partial_hits) / total if total else 0.0
+            ),
+            "entries": len(self._results),
+            "cubes": len(self._cubes),
+            "bytes": (
+                sum(entry.nbytes for entry in self._results.values())
+                + sum(cube.nbytes for cube in self._cubes)
+            ),
+            "queued_materializations": len(self._materialization_queue),
+        }
+
+    def clear(self) -> None:
+        for entry in self._results.values():
+            entry.release()
+        self._results.clear()
+        for cube in self._cubes:
+            cube.release()
+        self._cubes.clear()
+        self._miss_counts.clear()
+        self._materialization_queue.clear()
+        self._queued_shapes.clear()
+        self._update_gauges()

@@ -153,6 +153,12 @@ def build_parser() -> argparse.ArgumentParser:
         "either way)",
     )
     parser.add_argument(
+        "--no-catalog",
+        action="store_true",
+        help="disable the materialized-sample catalog (every query "
+        "recomputes from scratch; same behaviour as REPRO_CATALOG=off)",
+    )
+    parser.add_argument(
         "--log-level",
         default=None,
         metavar="LEVEL",
@@ -178,6 +184,7 @@ def make_engine(args: argparse.Namespace) -> AQPEngine:
             fault_plan=fault_plan,
             query_deadline_seconds=getattr(args, "deadline", None),
             tracing=not getattr(args, "no_tracing", False),
+            catalog=(False if getattr(args, "no_catalog", False) else None),
             memory_budget_bytes=getattr(args, "memory_budget", None),
         ),
         seed=args.seed,
@@ -214,6 +221,8 @@ def format_result(result: AQPResult) -> str:
         f"-- sample {result.sample.name} ({result.sample.rows:,} rows), "
         f"{format_duration(result.elapsed_seconds)}"
     )
+    if result.catalog_route is not None:
+        lines.append(f"-- route: catalog {result.catalog_route}")
     report = result.execution_report
     if report is not None and (
         report.degraded

@@ -64,6 +64,7 @@ from repro.engine.evaluator import ExpressionEvaluator
 from repro.engine.table import Table
 from repro.errors import (
     AnalysisError,
+    CatalogError,
     DegradedResultWarning,
     EstimationError,
     ExecutionError,
@@ -91,9 +92,18 @@ from repro.parallel.supervise import (
     RetryPolicy,
     Supervision,
 )
+from repro.catalog.router import materialization_hint, serve_from_cube
+from repro.catalog.store import (
+    CatalogConfig,
+    MaterializedCatalog,
+    ResultKey,
+    RollupCube,
+    resolve_catalog_enabled,
+)
 from repro.plan.executor import QueryExecutor
 from repro.sampling.catalog import SampleCatalog, SampleInfo
 from repro.sql.analyzer import AnalyzedQuery, analyze
+from repro.sql.fingerprint import fingerprint_statement
 from repro.sql.functions import FunctionRegistry, default_function_registry
 from repro.sql.parser import parse_select
 
@@ -270,6 +280,11 @@ class AQPResult:
     #: :func:`repro.obs.write_chrome_trace`.  ``None`` when tracing is
     #: disabled.
     trace: Optional[Trace] = None
+    #: How the materialized catalog routed this query: ``"exact"``
+    #: (stored answer replayed), ``"partial"`` (re-aggregated from a
+    #: rollup cube), ``"miss"`` (full execution with the catalog on), or
+    #: ``None`` (catalog disabled).
+    catalog_route: Optional[str] = None
 
     @property
     def degraded(self) -> bool:
@@ -364,6 +379,14 @@ class EngineConfig:
     #: and untraced runs are bit-identical, and the per-span cost is one
     #: clock read plus a list append (benchmarked < 2 % end to end).
     tracing: bool = True
+    #: Materialized catalog + MV-first router.  ``None`` reads the
+    #: ``REPRO_CATALOG`` environment variable (unset → enabled).
+    #: Default-on is safe: routing and storing consume no engine RNG,
+    #: so the first (cold) execution of any query is bit-identical with
+    #: the catalog on or off, and exact hits replay that very answer.
+    catalog: Optional[bool] = None
+    #: Catalog sizing/TTL/persistence knobs (``None`` → defaults).
+    catalog_config: Optional[CatalogConfig] = None
 
     def __post_init__(self):
         if self.fallback not in ("exact", "large_deviation", "none"):
@@ -395,8 +418,12 @@ class AQPEngine:
         self._rng = np.random.default_rng(seed)
         self._pool: Optional[WorkerPool] = None
         self._plan_cache: OrderedDict[str, AnalyzedQuery] = OrderedDict()
+        self._shape_cache: OrderedDict[str, tuple[AnalyzedQuery, tuple]] = (
+            OrderedDict()
+        )
         self._plan_cache_hits = 0
         self._plan_cache_misses = 0
+        self._seed = seed
         # Memory governance: an explicit accountant (the query governor
         # shares one across its engines) or an explicit budget makes a
         # private ledger; otherwise draw from the process-wide one.
@@ -408,6 +435,12 @@ class AQPEngine:
             )
         else:
             self.memory = process_accountant()
+        # The materialized catalog rides on the same accountant, so its
+        # footprint competes with query execution under one budget.
+        self._catalog_enabled = resolve_catalog_enabled(self.config.catalog)
+        self.mv_catalog = MaterializedCatalog(
+            memory=self.memory, config=self.config.catalog_config
+        )
         # Janitor pass: a previous process killed mid-query may have left
         # shared-memory segments behind; engine startup is the natural
         # place to reclaim them.
@@ -485,8 +518,9 @@ class AQPEngine:
         """Register a base table."""
         self.catalog.register_table(name, table)
         # A replaced table may change the schema the cached analyses
-        # were resolved against.
+        # were resolved against; stored answers and cubes are stale too.
         self.clear_plan_cache()
+        self.mv_catalog.note_table_changed(name)
 
     def create_sample(
         self,
@@ -496,9 +530,14 @@ class AQPEngine:
         name: str | None = None,
     ) -> SampleInfo:
         """Precompute a uniform sample of a base table."""
-        return self.catalog.create_sample(
+        info = self.catalog.create_sample(
             table_name, size=size, fraction=fraction, name=name
         )
+        # A new sample can change which sample select_sample() picks, so
+        # answers stored against the old choice no longer reflect what a
+        # fresh execution would compute.
+        self.mv_catalog.note_table_changed(table_name)
+        return info
 
     def register_udf(self, name: str, fn, vectorized: bool = True) -> None:
         """Register a scalar UDF (disables closed forms for its queries)."""
@@ -514,6 +553,7 @@ class AQPEngine:
     def clear_plan_cache(self) -> None:
         """Drop every cached analyzed query (stats are retained)."""
         self._plan_cache.clear()
+        self._shape_cache.clear()
 
     def plan_cache_info(self) -> dict[str, int]:
         """Hit/miss counters and current size of the plan cache."""
@@ -521,18 +561,24 @@ class AQPEngine:
             "hits": self._plan_cache_hits,
             "misses": self._plan_cache_misses,
             "size": len(self._plan_cache),
+            "shape_size": len(self._shape_cache),
             "max_size": self.config.plan_cache_size,
         }
 
     # -- execution ---------------------------------------------------------
     def analyze_sql(self, sql: str) -> AnalyzedQuery:
-        """Parse and semantically analyze ``sql``, with an LRU cache.
+        """Parse and semantically analyze ``sql``, with a two-level LRU.
 
-        Workload queries repeat; caching the analyzed form (keyed by
-        the exact SQL text) lets repeated executions skip
-        parse→analyze→plan→rewrite entirely.  Registering a table, UDF,
-        or UDAF invalidates the cache, since those change name
-        resolution.
+        Workload queries repeat; caching the analyzed form lets repeated
+        executions skip parse→analyze→plan→rewrite.  Level 0 keys on the
+        exact SQL text (zero-parse fast path).  Level 1 keys on the
+        canonical query *shape* (:mod:`repro.sql.fingerprint`), so texts
+        differing only in whitespace, keyword case, or predicate
+        literals reuse the analyzed template: analysis metadata is
+        invariant under predicate-literal substitution, so a template is
+        rebound to the new statement with a ``dataclasses.replace``.
+        Registering a table, UDF, or UDAF invalidates both levels, since
+        those change name resolution.
         """
         cached = self._plan_cache.get(sql)
         if cached is not None:
@@ -541,18 +587,56 @@ class AQPEngine:
             trace_event("plan_cache.hit")
             self._plan_cache.move_to_end(sql)
             return cached
+        statement = parse_select(sql)
+        fingerprint = fingerprint_statement(statement)
+        shaped = self._shape_cache.get(fingerprint.shape)
+        if shaped is not None:
+            template, template_bindings = shaped
+            self._plan_cache_hits += 1
+            METRICS.counter("plan_cache.hit").inc()
+            trace_event("plan_cache.hit", level="shape")
+            self._shape_cache.move_to_end(fingerprint.shape)
+            if (
+                fingerprint.bindings == template_bindings
+                or not fingerprint.rebindable
+            ):
+                analyzed = template
+            else:
+                analyzed = replace(
+                    template,
+                    statement=statement,
+                    where=statement.where,
+                    having=statement.having,
+                )
+            self._remember_plan(sql, fingerprint, analyzed, shape=False)
+            return analyzed
         self._plan_cache_misses += 1
         METRICS.counter("plan_cache.miss").inc()
         with trace_span("analyze", cached=False):
-            analyzed = self._analyze_sql_uncached(sql)
-        if self.config.plan_cache_size > 0:
-            self._plan_cache[sql] = analyzed
-            while len(self._plan_cache) > self.config.plan_cache_size:
-                self._plan_cache.popitem(last=False)
+            analyzed = self._analyze_statement(statement)
+        self._remember_plan(sql, fingerprint, analyzed, shape=True)
         return analyzed
 
+    def _remember_plan(
+        self, sql: str, fingerprint, analyzed: AnalyzedQuery, shape: bool
+    ) -> None:
+        if self.config.plan_cache_size <= 0:
+            return
+        self._plan_cache[sql] = analyzed
+        while len(self._plan_cache) > self.config.plan_cache_size:
+            self._plan_cache.popitem(last=False)
+        if shape:
+            self._shape_cache[fingerprint.shape] = (
+                analyzed,
+                fingerprint.bindings,
+            )
+            while len(self._shape_cache) > self.config.plan_cache_size:
+                self._shape_cache.popitem(last=False)
+
     def _analyze_sql_uncached(self, sql: str) -> AnalyzedQuery:
-        statement = parse_select(sql)
+        return self._analyze_statement(parse_select(sql))
+
+    def _analyze_statement(self, statement) -> AnalyzedQuery:
         if statement.source.subquery is not None:
             base = self._base_table_of(statement)
         else:
@@ -637,66 +721,116 @@ class AQPEngine:
                         "approximate execution requires an aggregate query; "
                         "use execute_exact for projections"
                     )
-                with trace_span("select_sample") as sample_span:
-                    if sample_name is not None:
-                        info, sample = self.catalog.sample(
-                            query.source_table, sample_name
-                        )
-                    else:
-                        info, sample = self.catalog.select_sample(
-                            query.source_table, max_rows=max_sample_rows
-                        )
-                    if sample_span is not None:
-                        sample_span.tags["sample"] = info.name
-                        sample_span.tags["rows"] = info.rows
-
-                supervision = self._new_supervision(cancel)
-                if level is not DegradationLevel.FULL:
-                    supervision.report.note_degradation(
-                        f"governor degradation level {level.label!r} "
-                        "applied to this query"
-                    )
-                    trace_event("governor.degraded", level=level.label)
-                    METRICS.counter(
-                        f"engine.degradation.{level.label}"
-                    ).inc()
-                bootstrap_subqueries = 0
-                diagnostic_subqueries = 0
-                attempt = 0
-                while True:
-                    supervision.check_cancelled()
-                    state = _ExecutionState(
-                        engine=self,
-                        query=query,
-                        sql=sql,
-                        sample_info=info,
-                        sample=sample,
+                catalog_route: Optional[str] = None
+                result_key: Optional[ResultKey] = None
+                served = None
+                if self._catalog_enabled:
+                    fingerprint = fingerprint_statement(query.statement)
+                    result_key = ResultKey(
+                        shape=fingerprint.shape,
+                        bindings=fingerprint.bindings,
                         confidence=confidence,
-                        should_diagnose=should_diagnose,
                         error_bound=error_bound,
-                        supervision=supervision,
-                        degradation=level,
+                        sample_name=sample_name,
+                        max_sample_rows=max_sample_rows,
+                        diagnostics=should_diagnose,
                     )
-                    with trace_span(
-                        "execute_on_sample",
-                        sample=info.name,
-                        rows=info.rows,
-                        escalation=attempt,
-                    ):
-                        rows = state.run()
-                    bootstrap_subqueries += state.bootstrap_subqueries
-                    diagnostic_subqueries += state.diagnostic_subqueries
-                    escalation = self._next_larger_sample(query, info, rows)
-                    if escalation is None:
-                        break
-                    info, sample = escalation
-                    attempt += 1
-                    trace_event("sample_escalation", to_sample=info.name)
-                report = supervision.report
-                if report.degraded:
-                    warnings.warn(
-                        DegradedResultWarning(report.summary()), stacklevel=2
-                    )
+                    with trace_span("catalog.route") as route_span:
+                        served = self._catalog_serve(
+                            query,
+                            result_key,
+                            confidence,
+                            error_bound,
+                            should_diagnose
+                            and level is DegradationLevel.FULL,
+                            sample_name,
+                            max_sample_rows,
+                        )
+                        catalog_route = (
+                            served[2] if served is not None else "miss"
+                        )
+                        if route_span is not None:
+                            route_span.tags["route"] = catalog_route
+                    if served is None:
+                        self.mv_catalog.record_miss(
+                            result_key.shape, materialization_hint(query)
+                        )
+                if served is not None:
+                    # Served from the catalog: the stored/reconstructed
+                    # rows carry their own provenance; no sample scan,
+                    # no resampling, no engine RNG consumed.
+                    (
+                        rows,
+                        info,
+                        catalog_route,
+                        bootstrap_subqueries,
+                        diagnostic_subqueries,
+                    ) = served
+                    report = ExecutionReport()
+                else:
+                    with trace_span("select_sample") as sample_span:
+                        if sample_name is not None:
+                            info, sample = self.catalog.sample(
+                                query.source_table, sample_name
+                            )
+                        else:
+                            info, sample = self.catalog.select_sample(
+                                query.source_table, max_rows=max_sample_rows
+                            )
+                        if sample_span is not None:
+                            sample_span.tags["sample"] = info.name
+                            sample_span.tags["rows"] = info.rows
+
+                    supervision = self._new_supervision(cancel)
+                    if level is not DegradationLevel.FULL:
+                        supervision.report.note_degradation(
+                            f"governor degradation level {level.label!r} "
+                            "applied to this query"
+                        )
+                        trace_event("governor.degraded", level=level.label)
+                        METRICS.counter(
+                            f"engine.degradation.{level.label}"
+                        ).inc()
+                    bootstrap_subqueries = 0
+                    diagnostic_subqueries = 0
+                    attempt = 0
+                    while True:
+                        supervision.check_cancelled()
+                        state = _ExecutionState(
+                            engine=self,
+                            query=query,
+                            sql=sql,
+                            sample_info=info,
+                            sample=sample,
+                            confidence=confidence,
+                            should_diagnose=should_diagnose,
+                            error_bound=error_bound,
+                            supervision=supervision,
+                            degradation=level,
+                        )
+                        with trace_span(
+                            "execute_on_sample",
+                            sample=info.name,
+                            rows=info.rows,
+                            escalation=attempt,
+                        ):
+                            rows = state.run()
+                        bootstrap_subqueries += state.bootstrap_subqueries
+                        diagnostic_subqueries += state.diagnostic_subqueries
+                        escalation = self._next_larger_sample(
+                            query, info, rows
+                        )
+                        if escalation is None:
+                            break
+                        info, sample = escalation
+                        attempt += 1
+                        trace_event("sample_escalation", to_sample=info.name)
+                    report = supervision.report
+                    if report.degraded:
+                        warnings.warn(
+                            DegradedResultWarning(report.summary()),
+                            stacklevel=2,
+                        )
         finally:
             if trace is not None:
                 deactivate_trace(token)
@@ -714,7 +848,7 @@ class AQPEngine:
             METRICS.counter("pool.timeouts").inc(report.task_timeouts)
         if report.pool_restarts:
             METRICS.counter("pool.restarts").inc(report.pool_restarts)
-        return AQPResult(
+        result = AQPResult(
             sql=sql,
             rows=tuple(rows),
             sample=info,
@@ -723,7 +857,27 @@ class AQPEngine:
             diagnostic_subqueries=diagnostic_subqueries,
             execution_report=report,
             trace=trace,
+            catalog_route=catalog_route,
         )
+        if (
+            self._catalog_enabled
+            and catalog_route == "miss"
+            and result_key is not None
+            and level is DegradationLevel.FULL
+            and not report.degraded
+        ):
+            # Only full-fidelity, undegraded answers are worth replaying
+            # — a degraded answer stored today would silently serve a
+            # healthy dashboard tomorrow.
+            self.mv_catalog.store_result(
+                result_key,
+                result.rows,
+                info,
+                query.source_table,
+                bootstrap_subqueries,
+                diagnostic_subqueries,
+            )
+        return result
 
     def _next_larger_sample(
         self, query, info, rows
@@ -757,6 +911,146 @@ class AQPEngine:
         if not larger:
             return None
         return self.catalog.sample(query.source_table, larger[0].name)
+
+    # -- materialized catalog ----------------------------------------------
+    def _catalog_serve(
+        self,
+        query: AnalyzedQuery,
+        key: ResultKey,
+        confidence: float,
+        error_bound: Optional[float],
+        should_diagnose: bool,
+        sample_name: Optional[str],
+        max_sample_rows: Optional[int],
+    ) -> Optional[tuple]:
+        """Exact match first, then cube re-aggregation; ``None`` on miss."""
+        entry = self.mv_catalog.lookup_result(key)
+        if entry is not None:
+            self.mv_catalog.record_exact_hit()
+            trace_event("catalog.route", route="exact")
+            return (
+                list(entry.rows),
+                entry.sample_info,
+                "exact",
+                entry.bootstrap_subqueries,
+                entry.diagnostic_subqueries,
+            )
+        for cube in self.mv_catalog.cubes_for(query.source_table):
+            if sample_name is not None and cube.sample_name != sample_name:
+                continue
+            if (
+                max_sample_rows is not None
+                and cube.sample_rows > max_sample_rows
+            ):
+                continue
+            rows = serve_from_cube(
+                cube,
+                query,
+                self._evaluator,
+                confidence,
+                error_bound,
+                should_diagnose,
+            )
+            if rows is not None:
+                self.mv_catalog.record_partial_hit()
+                trace_event(
+                    "catalog.route",
+                    route="partial",
+                    cube="/".join(cube.dims),
+                )
+                return (rows, cube.sample_info, "partial", 0, 0)
+        return None
+
+    def materialize(
+        self,
+        table_name: str,
+        dims,
+        measures=None,
+        sample_name: Optional[str] = None,
+        num_resamples: Optional[int] = None,
+    ) -> RollupCube:
+        """Build (and register) a rollup cube over ``dims``.
+
+        Args:
+            table_name: base table; the cube is built over one of its
+                precomputed samples.
+            dims: grouping-key columns — the cube serves any query
+                grouping/filtering on a subset of these.
+            measures: numeric columns to pre-aggregate; defaults to
+                every numeric non-dim column of the sample.
+            sample_name: which sample to build over (default: the one
+                ``select_sample`` would pick).
+            num_resamples: bootstrap replicate count K (default: the
+                engine's ``num_bootstrap_resamples``).
+        """
+        if sample_name is not None:
+            info, sample = self.catalog.sample(table_name, sample_name)
+        else:
+            info, sample = self.catalog.select_sample(table_name)
+        dims = tuple(dims)
+        if measures is None:
+            measures = tuple(
+                name
+                for name, dtype in sample.schema.items()
+                if name not in dims and np.issubdtype(dtype, np.number)
+            )
+        else:
+            measures = tuple(measures)
+        with trace_span("catalog.materialize", table=table_name):
+            cube = RollupCube.build(
+                table_name=table_name,
+                sample_info=info,
+                sample=sample,
+                dims=dims,
+                measures=measures,
+                num_resamples=(
+                    num_resamples or self.config.num_bootstrap_resamples
+                ),
+                seed=self._seed if self._seed is not None else 0,
+                table_version=self.mv_catalog.table_version(table_name),
+                memory=self.memory,
+                wait_seconds=self.config.memory_wait_seconds,
+            )
+        self.mv_catalog.add_cube(cube)
+        directory = self.mv_catalog.config.directory
+        if directory is not None:
+            cube.save(directory)
+        METRICS.counter("catalog.materializations").inc()
+        return cube
+
+    def process_materialization_queue(
+        self, limit: Optional[int] = None
+    ) -> list[RollupCube]:
+        """Materialize cubes for shapes that keep missing (foreground).
+
+        The router only *enqueues* — this drains the queue, typically
+        called between dashboard refreshes or from a maintenance loop.
+        """
+        hints = self.mv_catalog.drain_materialization_queue()
+        if limit is not None:
+            hints = hints[:limit]
+        built: list[RollupCube] = []
+        for table_name, dims, measures in hints:
+            try:
+                built.append(
+                    self.materialize(
+                        table_name, dims, measures=measures or None
+                    )
+                )
+            except (CatalogError, ResourceExhaustedError) as exc:
+                logger.info(
+                    "skipping materialization of %s over %s: %s",
+                    table_name,
+                    dims,
+                    exc,
+                )
+        return built
+
+    def catalog_info(self) -> dict:
+        """Hit/miss counters and footprint of the materialized catalog."""
+        info = self.mv_catalog.info()
+        info["enabled"] = self._catalog_enabled
+        return info
 
 
 @dataclass

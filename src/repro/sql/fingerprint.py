@@ -1,0 +1,136 @@
+"""Query-shape fingerprinting for plan caching and the MV-first router.
+
+Dashboards and alerting traffic repeat a handful of query *shapes* with
+varying predicate literals ("sessions from city X in the last hour").
+:func:`fingerprint_statement` canonicalises a parsed SELECT into a
+:class:`QueryFingerprint`: the statement rendered back to SQL through
+the AST (which normalises whitespace, keyword case, and parenthesis
+style for free) with every predicate literal in WHERE/HAVING replaced by
+a ``?`` placeholder, plus the extracted literal values in traversal
+order.  Two queries that differ only in formatting share a fingerprint
+*and* bindings; two that differ only in predicate constants share the
+``shape`` with different ``bindings`` — exactly the split the plan
+cache (shape-level reuse) and the materialized catalog (shape = cube
+route, bindings = result key) need.
+
+Literals that change the *meaning of the plan* rather than a predicate
+constant stay structural and are never bound: GROUP BY expressions,
+select-list expressions (e.g. the PERCENTILE fraction), LIMIT, LIKE
+patterns, and TABLESAMPLE rates.  Nested (subquery) statements are
+fingerprinted whole with no binding — their analysis depends on inner
+structure too intricately for safe literal rebinding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from functools import lru_cache
+from typing import Any, Optional
+
+from repro.sql import ast
+
+
+@dataclass(frozen=True)
+class _Placeholder(ast.Expression):
+    """Stands in for a bound literal; renders as ``?``."""
+
+    ordinal: int
+
+    def to_sql(self) -> str:
+        return "?"
+
+
+@dataclass(frozen=True)
+class QueryFingerprint:
+    """Canonical shape plus the literal values bound out of it.
+
+    Attributes:
+        shape: canonical SQL with predicate literals replaced by ``?``.
+        bindings: the literal values, in predicate traversal order.
+        rebindable: whether an analyzed template for this shape may be
+            re-used with different bindings (false for nested queries,
+            whose shape keeps its literals inline and binds nothing).
+    """
+
+    shape: str
+    bindings: tuple[Any, ...]
+    rebindable: bool = True
+
+
+class _Binder:
+    """Rewrites an expression tree, pulling literals into a binding list."""
+
+    def __init__(self) -> None:
+        self.values: list[Any] = []
+
+    def bind(self, expr: ast.Expression) -> ast.Expression:
+        if isinstance(expr, ast.Literal):
+            placeholder = _Placeholder(len(self.values))
+            self.values.append(expr.value)
+            return placeholder
+        if isinstance(expr, ast.UnaryOp):
+            return ast.UnaryOp(expr.op, self.bind(expr.operand))
+        if isinstance(expr, ast.BinaryOp):
+            return ast.BinaryOp(
+                expr.op, self.bind(expr.left), self.bind(expr.right)
+            )
+        if isinstance(expr, ast.FunctionCall):
+            return ast.FunctionCall(
+                expr.name.upper(),
+                tuple(self.bind(arg) for arg in expr.args),
+                expr.distinct,
+            )
+        if isinstance(expr, ast.InList):
+            return ast.InList(
+                self.bind(expr.operand),
+                tuple(self.bind(item) for item in expr.items),
+                expr.negated,
+            )
+        if isinstance(expr, ast.Between):
+            return ast.Between(
+                self.bind(expr.operand),
+                self.bind(expr.low),
+                self.bind(expr.high),
+                expr.negated,
+            )
+        if isinstance(expr, ast.IsNull):
+            return ast.IsNull(self.bind(expr.operand), expr.negated)
+        if isinstance(expr, ast.Like):
+            # LIKE patterns stay structural: the pattern shapes which
+            # rows match in a way predicate-subsumption reasoning does
+            # not model, so variants must not share a shape.
+            return ast.Like(self.bind(expr.operand), expr.pattern, expr.negated)
+        if isinstance(expr, ast.CaseWhen):
+            return ast.CaseWhen(
+                tuple(
+                    (self.bind(condition), self.bind(value))
+                    for condition, value in expr.branches
+                ),
+                None if expr.default is None else self.bind(expr.default),
+            )
+        return expr
+
+
+@lru_cache(maxsize=512)
+def fingerprint_statement(statement: ast.SelectStatement) -> QueryFingerprint:
+    """Fingerprint a parsed SELECT (cached — statements are frozen)."""
+    if statement.source.subquery is not None:
+        return QueryFingerprint(
+            shape=statement.to_sql(), bindings=(), rebindable=False
+        )
+    binder = _Binder()
+    bound_where: Optional[ast.Expression] = None
+    if statement.where is not None:
+        bound_where = binder.bind(statement.where)
+    bound_having: Optional[ast.Expression] = None
+    if statement.having is not None:
+        bound_having = binder.bind(statement.having)
+    shaped = replace(statement, where=bound_where, having=bound_having)
+    return QueryFingerprint(
+        shape=shaped.to_sql(), bindings=tuple(binder.values)
+    )
+
+
+def canonical_sql(statement: ast.SelectStatement) -> str:
+    """Canonical rendering with literals inline (whitespace/case folded)."""
+    return statement.to_sql()

@@ -27,7 +27,11 @@ from repro.workloads.queries import (
     WorkloadQuery,
 )
 from repro.workloads.facebook import FACEBOOK_MIX, facebook_workload
-from repro.workloads.conviva import CONVIVA_MIX, conviva_workload
+from repro.workloads.conviva import (
+    CONVIVA_MIX,
+    conviva_dashboard_mix,
+    conviva_workload,
+)
 from repro.workloads.qsets import (
     qset1_specs,
     qset2_specs,
@@ -43,6 +47,7 @@ __all__ = [
     "FACEBOOK_MIX",
     "facebook_workload",
     "CONVIVA_MIX",
+    "conviva_dashboard_mix",
     "conviva_workload",
     "qset1_specs",
     "qset2_specs",

@@ -121,3 +121,63 @@ def conviva_workload(
             )
         )
     return queries
+
+
+#: The dashboard trace's drill-down dimensions and the literal values
+#: each rotates through (§3's "same queries with different constants").
+_DASHBOARD_CITIES = ("city_00", "city_03", "city_08", "city_12")
+_DASHBOARD_ISPS = ("isp_0", "isp_1", "isp_4")
+
+
+def conviva_dashboard_mix(table_name: str = "media_sessions") -> list[str]:
+    """The repeated-dashboard slice of the Conviva trace, as SQL text.
+
+    Real dashboards refresh a fixed panel of query *shapes* whose
+    predicate literals rotate (which city, which ISP, which hour).
+    This mix reproduces that traffic pattern: cube-servable shapes over
+    the ``city``/``isp`` drill-down dimensions with rotating literals
+    (the materialized catalog's partial-hit case), plus rollup panels
+    and a few non-servable shapes (PERCENTILE, MAX, metric-range
+    predicates) that only repeat verbatim (the exact-hit case).
+    """
+    queries: list[str] = []
+    for city in _DASHBOARD_CITIES:
+        queries.append(
+            f"SELECT COUNT(*) FROM {table_name} WHERE city = '{city}'"
+        )
+        queries.append(
+            f"SELECT AVG(buffering_ratio) FROM {table_name} "
+            f"WHERE city = '{city}'"
+        )
+    for isp in _DASHBOARD_ISPS:
+        queries.append(
+            f"SELECT COUNT(*) FROM {table_name} WHERE isp = '{isp}'"
+        )
+        queries.append(
+            f"SELECT AVG(startup_ms) FROM {table_name} WHERE isp = '{isp}'"
+        )
+    queries.append(
+        f"SELECT COUNT(*) FROM {table_name} "
+        f"WHERE city = '{_DASHBOARD_CITIES[0]}' "
+        f"AND isp = '{_DASHBOARD_ISPS[1]}'"
+    )
+    # Rollup panels: grouped over a cube dimension.
+    queries.append(
+        f"SELECT isp, COUNT(*) FROM {table_name} GROUP BY isp"
+    )
+    queries.append(
+        f"SELECT isp, AVG(buffering_ratio) FROM {table_name} GROUP BY isp"
+    )
+    # Shapes no rollup cube serves; repeats hit the result store only.
+    queries.append(
+        f"SELECT PERCENTILE(session_time, 0.95) FROM {table_name}"
+    )
+    queries.append(
+        f"SELECT MAX(startup_ms) FROM {table_name} "
+        f"WHERE city = '{_DASHBOARD_CITIES[1]}'"
+    )
+    queries.append(
+        f"SELECT AVG(session_time) FROM {table_name} "
+        f"WHERE buffering_ratio > 0.1"
+    )
+    return queries

@@ -1,0 +1,605 @@
+"""The materialized catalog and MV-first router.
+
+Covers the PR's contract from every side:
+
+* fingerprinting — formatting variants share a fingerprint, literal
+  variants share a *shape*, and structural literals stay structural;
+* the two-level plan cache built on those shapes (with
+  ``plan_cache.hit``/``plan_cache.miss`` metric assertions);
+* exact hits replay the stored answer **bit-identically** to what a
+  cold engine computes at the same seed — property-tested across
+  worker counts and under injected faults;
+* partial hits re-aggregate rollup-cube replicate moments and stay
+  statistically consistent with the cold answer;
+* staleness (table registration, new samples, TTL), persistence
+  (staging → ready promotion), memory-refusal, and the
+  ``REPRO_CATALOG`` kill switch that restores pre-catalog behaviour.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.catalog import (
+    CATALOG_ENV,
+    CatalogConfig,
+    MaterializedCatalog,
+    RollupCube,
+    cube_can_serve,
+    materialization_hint,
+    resolve_catalog_enabled,
+)
+from repro.core.pipeline import AQPEngine, EngineConfig
+from repro.engine.table import Table
+from repro.errors import CatalogError
+from repro.faults import FaultPlan
+from repro.governor.memory import MemoryAccountant
+from repro.obs.metrics import METRICS
+from repro.sql.fingerprint import fingerprint_statement
+from repro.sql.parser import parse_select
+
+ROWS = 6_000
+SAMPLE = 1_500
+
+
+def _sessions_table(rows: int = ROWS) -> Table:
+    rng = np.random.default_rng(123)
+    return Table(
+        {
+            "load_ms": rng.lognormal(3.0, 0.8, rows),
+            "score": rng.normal(40.0, 6.0, rows),
+            "city": np.char.add(
+                "c", rng.integers(0, 5, rows).astype(str)
+            ),
+            "isp": np.char.add("i", rng.integers(0, 3, rows).astype(str)),
+        },
+        name="sessions",
+    )
+
+
+def _engine(
+    catalog: bool | None = None,
+    seed: int = 11,
+    table: Table | None = None,
+    **config_kwargs,
+) -> AQPEngine:
+    engine = AQPEngine(
+        config=EngineConfig(catalog=catalog, **config_kwargs), seed=seed
+    )
+    engine.register_table("sessions", table or _sessions_table())
+    engine.create_sample("sessions", size=SAMPLE, name="s")
+    return engine
+
+
+def _nan_safe(number):
+    if isinstance(number, float) and np.isnan(number):
+        return "nan"
+    return number
+
+
+def _snapshot(result):
+    """Everything observable about an answer, in comparable form."""
+    rows = []
+    for row in result.rows:
+        values = {}
+        for name, value in row.values.items():
+            interval = value.interval
+            diagnostic = value.diagnostic
+            values[name] = (
+                _nan_safe(value.estimate),
+                None
+                if interval is None
+                else (
+                    _nan_safe(interval.lower),
+                    _nan_safe(interval.upper),
+                    interval.method,
+                ),
+                value.method,
+                value.fell_back,
+                None if diagnostic is None else diagnostic.passed,
+            )
+        rows.append((tuple(sorted(row.group.items())), values))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fingerprinting
+# ---------------------------------------------------------------------------
+
+
+class TestFingerprint:
+    def _fp(self, sql):
+        return fingerprint_statement(parse_select(sql))
+
+    def test_formatting_variants_share_fingerprint(self):
+        a = self._fp("SELECT AVG(x) FROM t WHERE y > 5")
+        b = self._fp("select avg(x)  from t\n where y > 5")
+        assert a == b
+
+    def test_literal_variants_share_shape_not_bindings(self):
+        a = self._fp("SELECT AVG(x) FROM t WHERE city = 'nyc'")
+        b = self._fp("SELECT AVG(x) FROM t WHERE city = 'sf'")
+        assert a.shape == b.shape
+        assert a.bindings == ("nyc",)
+        assert b.bindings == ("sf",)
+        assert "?" in a.shape and "'nyc'" not in a.shape
+
+    def test_different_predicates_differ(self):
+        a = self._fp("SELECT AVG(x) FROM t WHERE y > 5")
+        b = self._fp("SELECT AVG(x) FROM t WHERE y < 5")
+        assert a.shape != b.shape
+
+    def test_select_list_literals_stay_structural(self):
+        a = self._fp("SELECT PERCENTILE(x, 0.5) FROM t")
+        b = self._fp("SELECT PERCENTILE(x, 0.99) FROM t")
+        assert a.shape != b.shape
+        assert a.bindings == () and b.bindings == ()
+
+    def test_like_patterns_stay_structural(self):
+        a = self._fp("SELECT COUNT(*) FROM t WHERE name LIKE 'a%'")
+        b = self._fp("SELECT COUNT(*) FROM t WHERE name LIKE 'b%'")
+        assert a.shape != b.shape
+
+    def test_in_list_and_between_bind(self):
+        a = self._fp(
+            "SELECT SUM(x) FROM t WHERE y IN (1, 2) AND z BETWEEN 3 AND 9"
+        )
+        b = self._fp(
+            "SELECT SUM(x) FROM t WHERE y IN (7, 8) AND z BETWEEN 0 AND 4"
+        )
+        assert a.shape == b.shape
+        assert a.bindings == (1, 2, 3, 9)
+        assert b.bindings == (7, 8, 0, 4)
+
+    def test_nested_queries_not_rebindable(self):
+        fp = self._fp(
+            "SELECT AVG(x) FROM (SELECT x FROM t WHERE y > 5) AS sub"
+        )
+        assert not fp.rebindable
+        assert fp.bindings == ()
+
+
+# ---------------------------------------------------------------------------
+# Two-level plan cache (satellite: keyed on canonical shape, not raw SQL)
+# ---------------------------------------------------------------------------
+
+
+class TestPlanCacheShapes:
+    def test_literal_variant_is_a_cache_hit(self):
+        engine = _engine()
+        METRICS.reset()
+        engine.analyze_sql("SELECT AVG(load_ms) FROM sessions WHERE city = 'c0'")
+        snap = METRICS.snapshot()
+        assert snap["plan_cache.miss"]["value"] == 1
+        engine.analyze_sql("SELECT AVG(load_ms) FROM sessions WHERE city = 'c1'")
+        engine.analyze_sql("SELECT AVG(load_ms) FROM sessions WHERE city = 'c2'")
+        snap = METRICS.snapshot()
+        assert snap["plan_cache.hit"]["value"] == 2
+        assert snap["plan_cache.miss"]["value"] == 1
+
+    def test_formatting_variant_is_a_cache_hit(self):
+        engine = _engine()
+        METRICS.reset()
+        engine.analyze_sql("SELECT AVG(load_ms) FROM sessions WHERE score > 42")
+        engine.analyze_sql(
+            "select avg(load_ms) from sessions  where score > 42"
+        )
+        snap = METRICS.snapshot()
+        assert snap["plan_cache.hit"]["value"] == 1
+        assert snap["plan_cache.miss"]["value"] == 1
+
+    def test_rebound_plan_carries_the_new_literal(self):
+        engine = _engine()
+        r0 = engine.execute(
+            "SELECT COUNT(*) FROM sessions WHERE city = 'c0'"
+        )
+        r1 = engine.execute(
+            "SELECT COUNT(*) FROM sessions WHERE city = 'c1'"
+        )
+        # Different literals must give different answers even though the
+        # second analysis reused the first's template.
+        assert r0.single().estimate != r1.single().estimate
+
+    def test_exact_sql_repeat_stays_identity_cached(self):
+        engine = _engine()
+        a = engine.analyze_sql("SELECT AVG(load_ms) FROM sessions")
+        b = engine.analyze_sql("SELECT AVG(load_ms) FROM sessions")
+        assert a is b
+        assert engine.plan_cache_info()["hits"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Exact hits: bit-identical replay
+# ---------------------------------------------------------------------------
+
+_PROPERTY_QUERIES = (
+    "SELECT AVG(load_ms) FROM sessions WHERE city = '{city}'",
+    "SELECT COUNT(*) FROM sessions WHERE city = '{city}'",
+    "SELECT SUM(score) FROM sessions WHERE isp = 'i1'",
+    "SELECT city, COUNT(*) FROM sessions GROUP BY city",
+    "SELECT AVG(score) FROM sessions",
+)
+
+
+class TestExactHitBitIdentity:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("faults", [None, "rate:0.05"])
+    @settings(max_examples=5, deadline=None)
+    @given(
+        template=st.sampled_from(_PROPERTY_QUERIES),
+        city=st.sampled_from(["c0", "c1", "c3"]),
+    )
+    def test_replay_matches_cold_path(self, workers, faults, template, city):
+        """Catalog-on answers — first run and exact-hit replay — are
+        bit-identical to a catalog-off engine at the same seed, at any
+        worker count, with and without injected faults."""
+        sql = template.format(city=city)
+        plan = (
+            FaultPlan.from_spec(faults, seed=5) if faults else None
+        )
+        table = _sessions_table()
+        cold = _engine(
+            catalog=False,
+            table=table,
+            num_workers=workers,
+            fault_plan=plan,
+        )
+        warm = _engine(
+            catalog=True,
+            table=table,
+            num_workers=workers,
+            fault_plan=plan,
+        )
+        with cold, warm:
+            reference = _snapshot(cold.execute(sql))
+            first = warm.execute(sql)
+            assert first.catalog_route == "miss"
+            assert _snapshot(first) == reference
+            replay = warm.execute(sql)
+            assert replay.catalog_route == "exact"
+            assert _snapshot(replay) == reference
+
+    def test_replay_preserves_result_metadata(self):
+        engine = _engine(catalog=True)
+        sql = "SELECT AVG(load_ms) FROM sessions"
+        first = engine.execute(sql)
+        replay = engine.execute(sql)
+        assert replay.bootstrap_subqueries == first.bootstrap_subqueries
+        assert replay.diagnostic_subqueries == first.diagnostic_subqueries
+        assert replay.sample.name == first.sample.name
+
+    def test_execution_parameters_split_the_key(self):
+        engine = _engine(catalog=True)
+        sql = "SELECT AVG(load_ms) FROM sessions"
+        engine.execute(sql)
+        other = engine.execute(sql, confidence=0.99)
+        assert other.catalog_route == "miss"
+        assert engine.execute(sql, confidence=0.99).catalog_route == "exact"
+
+
+# ---------------------------------------------------------------------------
+# Partial hits: cube re-aggregation
+# ---------------------------------------------------------------------------
+
+
+class TestCubeServing:
+    def test_partial_hit_consistent_with_cold_answer(self):
+        table = _sessions_table()
+        warm = _engine(catalog=True, table=table)
+        warm.materialize("sessions", ("city", "isp"))
+        cold = _engine(catalog=False, table=table)
+        sql = "SELECT COUNT(*) FROM sessions WHERE city = 'c2'"
+        served = warm.execute(sql, run_diagnostics=False)
+        assert served.catalog_route == "partial"
+        reference = cold.execute(sql, run_diagnostics=False)
+        value = served.single()
+        ref = reference.single()
+        # Same sample, same groups: the cube's point estimate is the
+        # plug-in estimate on the identical rows — equal up to float
+        # reassociation — and the bootstrap CI must overlap generously.
+        assert value.estimate == pytest.approx(ref.estimate, rel=1e-9)
+        assert value.interval.half_width == pytest.approx(
+            ref.interval.half_width, rel=0.5
+        )
+
+    def test_grouped_rollup_served_from_cube(self):
+        engine = _engine(catalog=True)
+        engine.materialize("sessions", ("city", "isp"))
+        result = engine.execute(
+            "SELECT city, AVG(score) FROM sessions GROUP BY city",
+            run_diagnostics=False,
+        )
+        assert result.catalog_route == "partial"
+        assert sorted(row.group["city"] for row in result.rows) == [
+            "c0", "c1", "c2", "c3", "c4",
+        ]
+
+    def test_partial_hits_never_store(self):
+        engine = _engine(catalog=True)
+        engine.materialize("sessions", ("city", "isp"))
+        sql = "SELECT COUNT(*) FROM sessions WHERE isp = 'i0'"
+        assert engine.execute(
+            sql, run_diagnostics=False
+        ).catalog_route == "partial"
+        assert engine.execute(
+            sql, run_diagnostics=False
+        ).catalog_route == "partial"
+
+    def test_unservable_shapes_fall_through(self):
+        engine = _engine(catalog=True)
+        engine.materialize("sessions", ("city", "isp"))
+        result = engine.execute(
+            "SELECT PERCENTILE(load_ms, 0.9) FROM sessions "
+            "WHERE city = 'c0'",
+            run_diagnostics=False,
+        )
+        assert result.catalog_route == "miss"
+
+    def test_predicate_outside_dims_falls_through(self):
+        engine = _engine(catalog=True)
+        engine.materialize("sessions", ("city",))
+        result = engine.execute(
+            "SELECT COUNT(*) FROM sessions WHERE isp = 'i0'",
+            run_diagnostics=False,
+        )
+        assert result.catalog_route == "miss"
+
+    def test_structural_servability(self):
+        engine = _engine(catalog=True)
+        cube = engine.materialize("sessions", ("city", "isp"))
+        servable = engine.analyze_sql(
+            "SELECT city, AVG(score) FROM sessions GROUP BY city"
+        )
+        assert cube_can_serve(cube, servable)
+        for sql in (
+            "SELECT MAX(score) FROM sessions",
+            "SELECT COUNT(*) FROM sessions WHERE score > 10",
+            "SELECT city, COUNT(*) FROM sessions GROUP BY city "
+            "HAVING COUNT(*) > 2",
+        ):
+            assert not cube_can_serve(cube, engine.analyze_sql(sql))
+
+    def test_materialization_hint_recipe(self):
+        engine = _engine()
+        hint = materialization_hint(
+            engine.analyze_sql(
+                "SELECT isp, AVG(score) FROM sessions "
+                "WHERE city = 'c0' GROUP BY isp"
+            )
+        )
+        assert hint == ("sessions", ("isp", "city"), ("score",))
+        assert (
+            materialization_hint(
+                engine.analyze_sql("SELECT MAX(score) FROM sessions")
+            )
+            is None
+        )
+
+    def test_repeated_misses_enqueue_then_materialize(self):
+        engine = _engine(
+            catalog=True,
+            catalog_config=CatalogConfig(auto_materialize_after=2),
+        )
+        base = "SELECT AVG(score) FROM sessions WHERE city = '{}'"
+        # Same shape, rotating literals: repeated misses of one shape.
+        for i, city in enumerate(["c0", "c1"]):
+            engine.execute(base.format(city), run_diagnostics=False)
+        assert engine.catalog_info()["queued_materializations"] == 1
+        built = engine.process_materialization_queue()
+        assert [cube.dims for cube in built] == [("city",)]
+        assert engine.catalog_info()["queued_materializations"] == 0
+        served = engine.execute(base.format("c3"), run_diagnostics=False)
+        assert served.catalog_route == "partial"
+
+
+# ---------------------------------------------------------------------------
+# Staleness and invalidation
+# ---------------------------------------------------------------------------
+
+
+class TestInvalidation:
+    def test_register_table_drops_entries_and_cubes(self):
+        table = _sessions_table()
+        engine = _engine(catalog=True, table=table)
+        engine.materialize("sessions", ("city",))
+        sql = "SELECT AVG(load_ms) FROM sessions"
+        engine.execute(sql)
+        assert engine.execute(sql).catalog_route == "exact"
+        engine.register_table("sessions", table)
+        engine.create_sample("sessions", size=SAMPLE, name="s")
+        info = engine.catalog_info()
+        assert info["entries"] == 0 and info["cubes"] == 0
+        assert engine.execute(sql).catalog_route == "miss"
+
+    def test_new_sample_invalidates(self):
+        engine = _engine(catalog=True)
+        sql = "SELECT AVG(load_ms) FROM sessions"
+        engine.execute(sql)
+        engine.create_sample("sessions", size=SAMPLE // 2, name="s2")
+        assert engine.execute(sql).catalog_route == "miss"
+
+    def test_ttl_expiry(self):
+        engine = _engine(
+            catalog=True,
+            catalog_config=CatalogConfig(ttl_seconds=0.05),
+        )
+        sql = "SELECT AVG(load_ms) FROM sessions"
+        engine.execute(sql)
+        assert engine.execute(sql).catalog_route == "exact"
+        time.sleep(0.06)
+        METRICS.reset()
+        assert engine.execute(sql).catalog_route == "miss"
+        assert METRICS.snapshot()["catalog.expirations"]["value"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Persistence: staging -> ready promotion
+# ---------------------------------------------------------------------------
+
+
+class TestPersistence:
+    def test_save_promotes_atomically(self, tmp_path):
+        engine = _engine(catalog=True)
+        cube = engine.materialize("sessions", ("city",))
+        path = cube.save(tmp_path)
+        assert path.parent.name == "ready"
+        assert list((tmp_path / "staging").iterdir()) == []
+        loaded = RollupCube.load(path)
+        assert loaded.dims == ("city",)
+        assert loaded.num_cells == cube.num_cells
+        np.testing.assert_array_equal(loaded.counts, cube.counts)
+        np.testing.assert_allclose(
+            loaded.rep_sums["score"], cube.rep_sums["score"]
+        )
+
+    def test_engine_persists_and_reloads(self, tmp_path):
+        config = CatalogConfig(directory=str(tmp_path))
+        engine = _engine(catalog=True, catalog_config=config)
+        engine.materialize("sessions", ("city", "isp"))
+
+        fresh = _engine(catalog=True, catalog_config=config)
+        assert fresh.mv_catalog.load_cubes() == 1
+        served = fresh.execute(
+            "SELECT COUNT(*) FROM sessions WHERE city = 'c1'",
+            run_diagnostics=False,
+        )
+        assert served.catalog_route == "partial"
+
+    def test_loaded_cube_without_sample_declines_diagnostics(self, tmp_path):
+        config = CatalogConfig(directory=str(tmp_path))
+        engine = _engine(catalog=True, catalog_config=config)
+        engine.materialize("sessions", ("city",))
+        fresh = _engine(catalog=True, catalog_config=config)
+        fresh.mv_catalog.load_cubes()
+        # With diagnostics requested, a cube with no row-level sample
+        # attached cannot validate the answer, so it must fall through.
+        result = fresh.execute(
+            "SELECT COUNT(*) FROM sessions WHERE city = 'c1'"
+        )
+        assert result.catalog_route == "miss"
+
+
+# ---------------------------------------------------------------------------
+# Memory governance
+# ---------------------------------------------------------------------------
+
+
+class TestMemoryGovernance:
+    def test_store_refusal_is_not_an_error(self):
+        catalog = MaterializedCatalog(
+            memory=MemoryAccountant(budget_bytes=1)
+        )
+        engine = _engine(catalog=True)
+        sql = "SELECT AVG(load_ms) FROM sessions"
+        engine.mv_catalog = catalog
+        METRICS.reset()
+        result = engine.execute(sql)
+        assert result.catalog_route == "miss"
+        assert engine.execute(sql).catalog_route == "miss"
+        assert (
+            METRICS.snapshot()["catalog.store_rejected"]["value"] == 2
+        )
+
+    def test_eviction_releases_reservations(self):
+        memory = MemoryAccountant(budget_bytes=1 << 20)
+        catalog = MaterializedCatalog(
+            memory=memory,
+            config=CatalogConfig(max_result_entries=2),
+        )
+        engine = _engine(catalog=True)
+        engine.mv_catalog = catalog
+        for i in range(4):
+            engine.execute(
+                f"SELECT AVG(load_ms) FROM sessions WHERE score > {40 + i}"
+            )
+        assert engine.catalog_info()["entries"] == 2
+        # Two entries' reservations remain; the evicted ones released.
+        assert memory.used_bytes == catalog.info()["bytes"]
+
+
+# ---------------------------------------------------------------------------
+# The kill switch
+# ---------------------------------------------------------------------------
+
+
+class TestKillSwitch:
+    def test_env_off_matches_catalog_disabled(self, monkeypatch):
+        monkeypatch.setenv(CATALOG_ENV, "off")
+        table = _sessions_table()
+        env_off = _engine(table=table)
+        explicit_off = _engine(catalog=False, table=table)
+        sql = "SELECT AVG(load_ms) FROM sessions WHERE city = 'c0'"
+        a = env_off.execute(sql)
+        b = explicit_off.execute(sql)
+        assert a.catalog_route is None and b.catalog_route is None
+        assert _snapshot(a) == _snapshot(b)
+        # Repeats recompute; nothing is stored or counted.
+        assert env_off.execute(sql).catalog_route is None
+        assert env_off.catalog_info()["enabled"] is False
+        assert env_off.catalog_info()["entries"] == 0
+
+    def test_env_values(self, monkeypatch):
+        for value in ("on", "1", "true"):
+            monkeypatch.setenv(CATALOG_ENV, value)
+            assert resolve_catalog_enabled(None) is True
+        for value in ("off", "0", "false"):
+            monkeypatch.setenv(CATALOG_ENV, value)
+            assert resolve_catalog_enabled(None) is False
+        monkeypatch.delenv(CATALOG_ENV)
+        assert resolve_catalog_enabled(None) is True
+        assert resolve_catalog_enabled(False) is False
+        monkeypatch.setenv(CATALOG_ENV, "sideways")
+        with pytest.raises(CatalogError):
+            resolve_catalog_enabled(None)
+
+    def test_explicit_flag_beats_env(self, monkeypatch):
+        monkeypatch.setenv(CATALOG_ENV, "off")
+        engine = _engine(catalog=True)
+        sql = "SELECT AVG(load_ms) FROM sessions"
+        engine.execute(sql)
+        assert engine.execute(sql).catalog_route == "exact"
+
+
+# ---------------------------------------------------------------------------
+# Bench harness guard (satellite: unmatched baseline keys warn loudly)
+# ---------------------------------------------------------------------------
+
+
+class TestCompareBenches:
+    def test_unmatched_keys_are_reported_not_passed(self):
+        import sys
+        from pathlib import Path
+
+        sys.path.insert(
+            0, str(Path(__file__).resolve().parent.parent / "benchmarks")
+        )
+        from record_bench import compare_benches
+
+        comparison, regressions, unmatched = compare_benches(
+            {"known": 0.10, "brand_new": 0.5},
+            {"known": 0.10, "retired": 0.2},
+        )
+        assert regressions == []
+        assert sorted(unmatched) == ["brand_new", "retired"]
+        assert comparison["brand_new"]["baseline"] is None
+        assert comparison["brand_new"]["regression"] is False
+
+    def test_regression_detection_still_fires(self):
+        import sys
+        from pathlib import Path
+
+        sys.path.insert(
+            0, str(Path(__file__).resolve().parent.parent / "benchmarks")
+        )
+        from record_bench import compare_benches
+
+        __, regressions, unmatched = compare_benches(
+            {"bench": 1.0}, {"bench": 0.5}
+        )
+        assert regressions == ["bench"]
+        assert unmatched == []

@@ -35,7 +35,10 @@ def make_engine(seed=1, n=200_000, **config_kwargs):
 
 @pytest.fixture(scope="module")
 def engine_and_table():
-    return make_engine()
+    # Catalog off: these tests assert cold-path behaviour on a shared
+    # engine, and repeated queries must consume the same RNG stream
+    # regardless of test ordering.
+    return make_engine(catalog=False)
 
 
 class TestBasicExecution:
