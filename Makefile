@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test faults bench bench-baseline bench-smoke stress
+.PHONY: check lint test faults bench bench-baseline bench-smoke stress chaos
 
 check: lint test
 
@@ -53,3 +53,15 @@ bench-smoke:
 stress:
 	$(PYTHON) benchmarks/bench_overload.py --smoke \
 		--out benchmarks/results/overload.json
+
+# End-to-end chaos harness: >= 25 seeded randomized fault schedules
+# (worker + storage domains at once) against the Conviva dashboard
+# mix.  Each schedule asserts the robustness invariants — no dishonest
+# answers, bit-identity where promised, corrupt artifacts quarantined,
+# zero orphaned shm segments or staging files, zero leaked memory
+# reservations, governor never deadlocks — and the machine-readable
+# invariant report lands in benchmarks/results/chaos.json.  FAILS on
+# any violation.
+chaos:
+	$(PYTHON) -m repro.chaos --seeds 25 --rows 2000 --queries 5 \
+		--out benchmarks/results/chaos.json

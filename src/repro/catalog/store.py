@@ -20,6 +20,16 @@ Two layers of precomputed state serve repeated dashboard traffic:
 Cubes persist as single ``.npz`` files written to a ``staging/``
 directory and atomically promoted (``os.replace``) into ``ready/`` —
 a crash mid-write can never leave a torn cube where the loader looks.
+Persistence is crash-consistent end to end: the payload is fsynced
+before promotion, each promotion is followed by a directory fsync, and
+a sidecar ``<name>.npz.meta.json`` records the payload's CRC32 and size
+at stage time.  The loader verifies the sidecar before trusting a
+payload; anything truncated, bit-flipped, meta-less, or
+version-mismatched is moved into ``quarantine/`` (counted, never
+deleted) and the catalog serves the query cold — a corrupted cube
+degrades to a *miss*, never a wrong answer.  Orphaned ``staging/``
+files left by a crash between stage and promote are swept at startup,
+mirroring the shared-memory orphan sweep.
 
 Staleness: every ``register_table``/``create_sample`` bumps the table's
 version; entries and cubes remember the version they were built against
@@ -31,6 +41,7 @@ a query fails).
 
 from __future__ import annotations
 
+import io
 import json
 import logging
 import os
@@ -40,13 +51,19 @@ import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 import numpy as np
 
 from repro.engine.aggregates import GroupIndex
 from repro.engine.table import Table
-from repro.errors import CatalogError, ResourceExhaustedError
+from repro.errors import (
+    CatalogError,
+    CorruptArtifactError,
+    ResourceExhaustedError,
+    StorageUnavailableError,
+)
+from repro.faults.io import StorageFaultInjector
 from repro.governor.memory import MemoryAccountant, MemoryReservation
 from repro.obs.metrics import METRICS
 from repro.sampling.catalog import SampleInfo
@@ -148,6 +165,84 @@ class ResultEntry:
 
 def _sanitize(token: str) -> str:
     return re.sub(r"[^A-Za-z0-9._-]+", "_", token)
+
+
+#: Format version of the sidecar integrity record.
+SIDECAR_VERSION = 1
+
+
+def sidecar_path(payload_path: str | os.PathLike) -> Path:
+    """Integrity-sidecar path for a payload (``<name>.npz.meta.json``)."""
+    return Path(f"{os.fspath(payload_path)}.meta.json")
+
+
+def _fsync_dir(path: Path) -> None:
+    """fsync a directory so a rename into it survives power loss."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _write_durable(path: Path, data: bytes) -> None:
+    """Write ``data`` and fsync before returning."""
+    with open(path, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def verify_artifact(path: str | os.PathLike) -> dict:
+    """Check a promoted payload against its sidecar; return the sidecar.
+
+    Raises:
+        CorruptArtifactError: with a machine-readable ``reason`` —
+            ``meta_missing``, ``meta_invalid``, ``truncated``,
+            ``crc_mismatch``, or ``unreadable``.
+    """
+    payload = Path(path)
+    sidecar = sidecar_path(payload)
+    if not sidecar.is_file():
+        raise CorruptArtifactError(
+            f"no integrity sidecar for {payload}",
+            path=str(payload),
+            reason="meta_missing",
+        )
+    try:
+        record = json.loads(sidecar.read_text())
+        expected_crc = int(record["payload_crc32"])
+        expected_bytes = int(record["payload_bytes"])
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        raise CorruptArtifactError(
+            f"unreadable integrity sidecar for {payload}: {exc}",
+            path=str(payload),
+            reason="meta_invalid",
+        ) from exc
+    try:
+        raw = payload.read_bytes()
+    except OSError as exc:
+        raise CorruptArtifactError(
+            f"cannot read payload {payload}: {exc}",
+            path=str(payload),
+            reason="unreadable",
+        ) from exc
+    if len(raw) != expected_bytes:
+        raise CorruptArtifactError(
+            f"payload {payload} is {len(raw)} bytes; sidecar recorded "
+            f"{expected_bytes} (torn or truncated write)",
+            path=str(payload),
+            reason="truncated",
+        )
+    actual_crc = zlib.crc32(raw)
+    if actual_crc != expected_crc:
+        raise CorruptArtifactError(
+            f"payload {payload} CRC32 {actual_crc:#010x} does not match "
+            f"sidecar {expected_crc:#010x} (corrupted at rest)",
+            path=str(payload),
+            reason="crc_mismatch",
+        )
+    return record
 
 
 @dataclass
@@ -438,11 +533,30 @@ class RollupCube:
         return out
 
     # -- persistence -------------------------------------------------------
-    def save(self, directory: str | os.PathLike) -> Path:
+    def save(
+        self,
+        directory: str | os.PathLike,
+        injector: Optional[StorageFaultInjector] = None,
+    ) -> Path:
         """Persist to ``<dir>/staging/`` then promote into ``<dir>/ready/``.
 
-        The promotion is a single ``os.replace`` — readers scanning
-        ``ready/`` can never observe a half-written cube.
+        Crash-consistency protocol: serialize the payload, record its
+        CRC32 and size in a sidecar, write and fsync both in
+        ``staging/``, then promote payload → fsync dir → sidecar →
+        fsync dir.  The ordering guarantees sidecar-present implies
+        payload-present, and each ``os.replace`` is atomic — readers
+        scanning ``ready/`` can never observe a half-written cube, and
+        a promoted cube whose bytes were torn or flipped anyway is
+        caught by the loader's CRC check against the sidecar.
+
+        Args:
+            injector: optional deterministic storage-fault injector
+                (chaos/fault tests); ``None`` means a clean save.
+
+        Raises:
+            StorageUnavailableError: the write or promotion failed
+                (ENOSPC, I/O error, injected crash); staged files are
+                left for the startup sweep, ``ready/`` is untouched.
         """
         root = Path(directory)
         staging = root / "staging"
@@ -486,29 +600,120 @@ class RollupCube:
             arrays[f"psumsq_{i}"] = self.point_sumsqs[m]
             arrays[f"rsum_{i}"] = self.rep_sums[m]
             arrays[f"rsumsq_{i}"] = self.rep_sumsqs[m]
+        buffer = io.BytesIO()
+        np.savez(buffer, meta=json.dumps(meta), **arrays)
+        payload = buffer.getvalue()
+        sidecar_record = json.dumps(
+            {
+                "sidecar_version": SIDECAR_VERSION,
+                "schema_version": 1,
+                "payload_crc32": zlib.crc32(payload),
+                "payload_bytes": len(payload),
+                "table_name": self.table_name,
+                "sample_name": self.sample_name,
+                "dims": list(self.dims),
+                "table_version": self.table_version,
+                "created_at": self.created_at,
+            },
+            sort_keys=True,
+        ).encode("utf-8")
         staged = staging / filename
-        with open(staged, "wb") as handle:
-            np.savez(handle, meta=json.dumps(meta), **arrays)
+        staged_sidecar = sidecar_path(staged)
         final = ready / filename
-        os.replace(staged, final)
+        final_sidecar = sidecar_path(final)
+        op = injector.begin_save() if injector is not None else -1
+        try:
+            # The sidecar CRC covers the *intended* bytes; an injected
+            # torn/bitflip fault corrupts what actually hits the disk,
+            # which is exactly the latent corruption the loader's
+            # verification exists to catch.
+            written = (
+                injector.corrupt_payload(op, payload)
+                if injector is not None
+                else payload
+            )
+            _write_durable(staged, written)
+            if injector is not None:
+                injector.fsync_delay()
+            _write_durable(staged_sidecar, sidecar_record)
+            if injector is not None:
+                injector.fsync_delay()
+                injector.before_promote(op)
+            os.replace(staged, final)
+            _fsync_dir(ready)
+            os.replace(staged_sidecar, final_sidecar)
+            _fsync_dir(ready)
+        except StorageUnavailableError:
+            METRICS.counter("catalog.storage_unavailable").inc()
+            raise
+        except OSError as exc:
+            METRICS.counter("catalog.storage_unavailable").inc()
+            raise StorageUnavailableError(
+                f"failed to persist cube {filename}: {exc}"
+            ) from exc
         logger.info("promoted cube %s -> %s", staged, final)
         return final
 
     @classmethod
-    def load(cls, path: str | os.PathLike) -> "RollupCube":
-        """Load a promoted cube (row-level sample not attached)."""
-        with np.load(path, allow_pickle=True) as data:
-            meta = json.loads(str(data["meta"]))
-            if meta.get("schema_version") != 1:
-                raise CatalogError(
-                    f"unsupported cube schema in {path}: "
-                    f"{meta.get('schema_version')!r}"
-                )
-            dims = tuple(meta["dims"])
-            measures = tuple(meta["measures"])
-            info = SampleInfo(**meta["sample_info"])
-            arrays = {key: data[key] for key in data.files if key != "meta"}
-        retained = sum(a.nbytes for a in arrays.values())
+    def load(
+        cls,
+        path: str | os.PathLike,
+        require_sidecar: bool = False,
+    ) -> "RollupCube":
+        """Load a promoted cube (row-level sample not attached).
+
+        When the integrity sidecar is present it is always verified
+        (size + CRC32); ``require_sidecar=True`` — the catalog loader's
+        mode — additionally rejects sidecar-less payloads, so nothing
+        in ``ready/`` is ever trusted unchecked.
+
+        Raises:
+            CorruptArtifactError: the payload failed verification or
+                could not be parsed; ``reason`` carries the category.
+        """
+        payload_path = Path(path)
+        if require_sidecar or sidecar_path(payload_path).is_file():
+            verify_artifact(payload_path)
+        try:
+            with np.load(payload_path, allow_pickle=True) as data:
+                meta = json.loads(str(data["meta"]))
+                if meta.get("schema_version") != 1:
+                    raise CorruptArtifactError(
+                        f"unsupported cube schema in {path}: "
+                        f"{meta.get('schema_version')!r}",
+                        path=str(payload_path),
+                        reason="schema_version",
+                    )
+                dims = tuple(meta["dims"])
+                measures = tuple(meta["measures"])
+                info = SampleInfo(**meta["sample_info"])
+                arrays = {
+                    key: data[key] for key in data.files if key != "meta"
+                }
+            retained = sum(a.nbytes for a in arrays.values())
+            return cls._from_arrays(meta, dims, measures, info, arrays, retained)
+        except CorruptArtifactError:
+            raise
+        except Exception as exc:
+            # Anything the npz/json parsers throw on mangled bytes
+            # (BadZipFile, EOFError, KeyError, ...) is one category:
+            # the artifact cannot be trusted.
+            raise CorruptArtifactError(
+                f"cannot parse cube payload {path}: {exc}",
+                path=str(payload_path),
+                reason="payload_invalid",
+            ) from exc
+
+    @classmethod
+    def _from_arrays(
+        cls,
+        meta: dict,
+        dims: tuple[str, ...],
+        measures: tuple[str, ...],
+        info: SampleInfo,
+        arrays: dict[str, np.ndarray],
+        retained: int,
+    ) -> "RollupCube":
         return cls(
             table_name=meta["table_name"],
             sample_name=meta["sample_name"],
@@ -550,9 +755,12 @@ class MaterializedCatalog:
         self,
         memory: Optional[MemoryAccountant] = None,
         config: Optional[CatalogConfig] = None,
+        clock: Optional[Callable[[], float]] = None,
     ):
         self.config = config or CatalogConfig()
         self.memory = memory
+        #: Injectable time source (tests drive TTL expiry without sleeping).
+        self.clock: Callable[[], float] = clock or time.time
         self._results: OrderedDict[ResultKey, ResultEntry] = OrderedDict()
         self._cubes: list[RollupCube] = []
         self._table_versions: dict[str, int] = {}
@@ -562,6 +770,8 @@ class MaterializedCatalog:
         self.exact_hits = 0
         self.partial_hits = 0
         self.misses = 0
+        self.quarantined = 0
+        self.staging_orphans_swept = 0
 
     # -- staleness ---------------------------------------------------------
     def table_version(self, table_name: str) -> int:
@@ -599,7 +809,7 @@ class MaterializedCatalog:
             self._results.pop(key).release()
             return None
         ttl = self.config.ttl_seconds
-        if ttl is not None and time.time() - entry.created_at > ttl:
+        if ttl is not None and self.clock() - entry.created_at > ttl:
             self._results.pop(key).release()
             METRICS.counter("catalog.expirations").inc()
             return None
@@ -639,7 +849,7 @@ class MaterializedCatalog:
             sample_info=sample_info,
             table_name=table_name,
             table_version=self.table_version(table_name),
-            created_at=time.time(),
+            created_at=self.clock(),
             nbytes=nbytes,
             bootstrap_subqueries=bootstrap_subqueries,
             diagnostic_subqueries=diagnostic_subqueries,
@@ -681,36 +891,148 @@ class MaterializedCatalog:
         ]
 
     # -- persistence -------------------------------------------------------
-    def save_cubes(self, directory: str | os.PathLike | None = None) -> list[Path]:
+    def _resolve_directory(
+        self, directory: str | os.PathLike | None
+    ) -> Path:
         target = directory or self.config.directory
         if target is None:
             raise CatalogError(
                 "no catalog directory configured; pass one or set "
                 "CatalogConfig.directory"
             )
-        return [cube.save(target) for cube in self._cubes]
+        return Path(target)
+
+    def save_cubes(
+        self,
+        directory: str | os.PathLike | None = None,
+        injector: Optional[StorageFaultInjector] = None,
+    ) -> list[Path]:
+        """Persist every resident cube; best-effort per artifact.
+
+        A cube whose save fails (:class:`StorageUnavailableError` —
+        ENOSPC, I/O error, injected crash) is skipped and counted; the
+        rest still persist.  Durability must never take the process
+        down with it.
+        """
+        target = self._resolve_directory(directory)
+        saved: list[Path] = []
+        for cube in self._cubes:
+            try:
+                saved.append(cube.save(target, injector=injector))
+            except StorageUnavailableError as exc:
+                logger.warning(
+                    "cube persistence skipped for %s(%s): %s",
+                    cube.table_name,
+                    ",".join(cube.dims),
+                    exc,
+                )
+        return saved
+
+    def quarantine_artifact(
+        self,
+        path: str | os.PathLike,
+        reason: str,
+        directory: str | os.PathLike | None = None,
+    ) -> Path:
+        """Move a failed artifact (and its sidecar) into ``quarantine/``.
+
+        Quarantined payloads are renamed, never deleted — the evidence
+        of what corrupted stays on disk for post-mortem — and every
+        quarantine increments ``catalog.quarantined``.
+        """
+        root = self._resolve_directory(directory)
+        quarantine = root / "quarantine"
+        quarantine.mkdir(parents=True, exist_ok=True)
+        payload = Path(path)
+        moved = None
+        for source in (payload, sidecar_path(payload)):
+            if not source.is_file():
+                continue
+            dest = quarantine / source.name
+            suffix = 0
+            while dest.exists():
+                suffix += 1
+                dest = quarantine / f"{source.name}.{suffix}"
+            os.replace(source, dest)
+            if moved is None:
+                moved = dest
+        self.quarantined += 1
+        METRICS.counter("catalog.quarantined").inc()
+        logger.error(
+            "quarantined catalog artifact %s (reason: %s) -> %s",
+            payload.name,
+            reason,
+            quarantine,
+        )
+        return moved if moved is not None else quarantine / payload.name
 
     def load_cubes(self, directory: str | os.PathLike | None = None) -> int:
-        """Load every promoted cube from ``<dir>/ready/``; returns count."""
-        target = directory or self.config.directory
-        if target is None:
-            raise CatalogError(
-                "no catalog directory configured; pass one or set "
-                "CatalogConfig.directory"
-            )
-        ready = Path(target) / "ready"
+        """Load every promoted cube from ``<dir>/ready/``; returns count.
+
+        Every payload is verified against its sidecar before adoption;
+        corrupt, truncated, sidecar-less, or version-mismatched entries
+        are quarantined and the scan continues — a bad artifact costs a
+        catalog miss, never a wrong answer and never the good cubes
+        next to it.  Orphaned sidecars whose payload vanished are
+        quarantined too.
+        """
+        root = self._resolve_directory(directory)
+        ready = root / "ready"
         if not ready.is_dir():
             return 0
         loaded = 0
         for path in sorted(ready.glob("*.npz")):
-            cube = RollupCube.load(path)
+            try:
+                cube = RollupCube.load(path, require_sidecar=True)
+            except CorruptArtifactError as exc:
+                self.quarantine_artifact(path, exc.reason, root)
+                continue
             # Loaded cubes adopt the current table version: reloading is
             # an explicit operator action asserting the data still
             # matches.
             cube.table_version = self.table_version(cube.table_name)
             self.add_cube(cube)
             loaded += 1
+        for sidecar in sorted(ready.glob("*.npz.meta.json")):
+            payload = Path(str(sidecar)[: -len(".meta.json")])
+            if not payload.is_file():
+                self.quarantine_artifact(payload, "payload_missing", root)
         return loaded
+
+    def sweep_staging(
+        self, directory: str | os.PathLike | None = None
+    ) -> list[str]:
+        """Remove orphaned ``staging/`` files left by a crashed save.
+
+        The mirror of ``repro.parallel.shm.sweep_orphans`` for the
+        storage domain: anything still in ``staging/`` at startup
+        belongs to a save that never promoted, so it is dead weight by
+        construction (promotion is the last step).  Returns the swept
+        file names and counts them in ``catalog.staging_orphans_swept``.
+        """
+        root = self._resolve_directory(directory)
+        staging = root / "staging"
+        if not staging.is_dir():
+            return []
+        swept: list[str] = []
+        for path in sorted(staging.iterdir()):
+            if not path.is_file():
+                continue
+            try:
+                path.unlink()
+            except OSError as exc:  # pragma: no cover - racing unlink
+                logger.warning("could not sweep %s: %s", path, exc)
+                continue
+            swept.append(path.name)
+        if swept:
+            self.staging_orphans_swept += len(swept)
+            METRICS.counter("catalog.staging_orphans_swept").inc(len(swept))
+            logger.warning(
+                "swept %d orphaned staging file(s): %s",
+                len(swept),
+                ", ".join(swept),
+            )
+        return swept
 
     # -- accounting --------------------------------------------------------
     def record_exact_hit(self) -> None:
@@ -779,6 +1101,8 @@ class MaterializedCatalog:
                 + sum(cube.nbytes for cube in self._cubes)
             ),
             "queued_materializations": len(self._materialization_queue),
+            "quarantined": self.quarantined,
+            "staging_orphans_swept": self.staging_orphans_swept,
         }
 
     def clear(self) -> None:

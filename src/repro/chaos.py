@@ -1,0 +1,630 @@
+"""Chaos harness: seeded fault schedules against the full stack.
+
+``python -m repro.chaos`` runs the Conviva dashboard mix through real
+engines while a seeded, randomized :class:`~repro.faults.FaultPlan`
+injects *both* fault domains at once — worker crashes, hangs, shm and
+pickling failures on the compute side; torn writes, bit flips, ENOSPC,
+slow fsync, and stage→promote crashes on the storage side — plus
+direct at-rest corruption of promoted catalog artifacts between engine
+generations.  After every schedule it asserts the repo's cross-cutting
+invariants:
+
+* **Honesty** — a chaos answer may differ from the clean baseline only
+  if it is flagged (degraded, fell back, or raised a typed
+  :class:`~repro.errors.ReproError`).  A silent difference is the one
+  unforgivable outcome.
+* **Bit-identity where promised** — an unflagged chaos answer must be
+  *byte-for-byte* the baseline answer: recovered retries, hedged
+  backups, shm fallbacks, and quarantined-cube cold serves all promise
+  identical results.
+* **Replay consistency** — an exact catalog hit replays the very
+  answer that was stored.
+* **Zero orphaned shm segments** and **zero orphaned staging files**
+  once the last engine is closed and the next engine has swept.
+* **Zero leaked memory reservations** — every engine's accountant
+  returns to zero bytes after close.
+* **The governor never deadlocks** — concurrent admissions against the
+  chaotic catalog finish within a wall-clock watchdog.
+
+Every violation is recorded in a machine-readable invariant report
+(``--out``); the process exits non-zero if any schedule violated any
+invariant.  Schedules are pure functions of their seed, so a failing
+seed replays exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import logging
+import os
+import shutil
+import sys
+import tempfile
+import threading
+import time
+import warnings
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.catalog.store import CatalogConfig
+from repro.core.pipeline import AQPEngine, AQPResult, EngineConfig
+from repro.errors import ReproError
+from repro.faults import FaultPlan
+from repro.governor.admission import GovernorConfig, QueryGovernor
+from repro.governor.memory import MemoryAccountant
+from repro.parallel.shm import SEGMENT_PREFIX
+from repro.workloads.conviva import conviva_dashboard_mix
+from repro.workloads.datagen import conviva_sessions_table
+
+__all__ = [
+    "ChaosReport",
+    "ScheduleResult",
+    "Violation",
+    "main",
+    "random_fault_plan",
+    "run_schedule",
+]
+
+#: Seed-domain tag for schedule randomization (decoupled from every
+#: engine and cube stream).
+_CHAOS_SEED_DOMAIN = 0xC4A05
+
+#: Engine seed shared by baseline and chaos runs — bit-identity only
+#: means anything when both runs draw the same streams.
+_ENGINE_SEED = 7
+
+#: Wall-clock watchdog for the governor deadlock check.
+_GOVERNOR_WATCHDOG_SECONDS = 60.0
+
+_TABLE = "media_sessions"
+
+
+@dataclass
+class Violation:
+    """One broken invariant in one schedule."""
+
+    seed: int
+    invariant: str
+    detail: str
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of one seeded schedule."""
+
+    seed: int
+    fault_spec: str
+    queries: int = 0
+    typed_errors: int = 0
+    flagged: int = 0
+    identical: int = 0
+    hedges_launched: int = 0
+    hedges_won: int = 0
+    quarantined: int = 0
+    staging_swept: int = 0
+    elapsed_seconds: float = 0.0
+    violations: list[Violation] = field(default_factory=list)
+
+
+@dataclass
+class ChaosReport:
+    """Machine-readable invariant report for a full run."""
+
+    seeds: list[int]
+    schedules: list[ScheduleResult]
+    total_queries: int
+    total_violations: int
+
+    @property
+    def ok(self) -> bool:
+        return self.total_violations == 0
+
+    def to_json(self) -> dict:
+        payload = asdict(self)
+        payload["ok"] = self.ok
+        return payload
+
+
+def _fingerprint(result: AQPResult) -> tuple:
+    """Byte-comparable identity of an answer (groups, estimates, CIs)."""
+    rows = []
+    for row in result.rows:
+        values = []
+        for name in sorted(row.values):
+            value = row.values[name]
+            interval = (
+                None
+                if value.interval is None
+                else (value.interval.estimate, value.interval.half_width)
+            )
+            values.append(
+                (name, value.estimate, interval, value.method, value.fell_back)
+            )
+        rows.append((tuple(sorted(row.group.items())), tuple(values)))
+    return tuple(rows)
+
+
+def _flagged(result: AQPResult, warned: bool) -> bool:
+    """Whether the answer announces that it is less than full fidelity."""
+    report = result.execution_report
+    if report is not None and (report.degraded or report.fallbacks):
+        return True
+    if any(v.fell_back for row in result.rows for v in row.values.values()):
+        return True
+    return warned
+
+
+def _execute(engine: AQPEngine, sql: str):
+    """Run one query, capturing degradation warnings and typed errors.
+
+    Returns ``(result_or_None, warned, error_or_None)``.
+    """
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        try:
+            result = engine.execute(sql)
+        except ReproError as error:
+            return None, False, error
+    return result, bool(caught), None
+
+
+def random_fault_plan(seed: int, save_ops: int = 3) -> FaultPlan:
+    """A seeded schedule mixing worker and storage faults.
+
+    Pure function of ``seed`` — replaying a seed replays its schedule.
+    Worker faults stay mostly first-attempt (the recoverable kind the
+    bit-identity promise covers), with an occasional every-attempt
+    crash to exercise honest permanent degradation.  Storage faults
+    target the first few save operations, which is where the chaos
+    run's materializations land.
+    """
+    rng = np.random.default_rng(
+        np.random.SeedSequence([_CHAOS_SEED_DOMAIN, seed])
+    )
+    plan = FaultPlan(seed=seed)
+    # -- worker domain --
+    for _ in range(int(rng.integers(0, 3))):
+        plan = plan.with_crash(int(rng.integers(0, 8)))
+    if rng.random() < 0.5:
+        plan = plan.with_hang(
+            int(rng.integers(0, 8)), float(rng.uniform(0.1, 0.4))
+        )
+    if rng.random() < 0.3:
+        plan = plan.with_crash_rate(float(rng.uniform(0.02, 0.15)))
+    if rng.random() < 0.25:
+        # Permanent: fails every attempt; the answer must degrade
+        # honestly instead of silently shifting.
+        plan = plan.with_crash(int(rng.integers(0, 8)), attempt=None)
+    if rng.random() < 0.2:
+        plan = plan.with_shm_failure()
+    if rng.random() < 0.1:
+        plan = plan.with_pickle_failure()
+    # -- storage domain --
+    for op in range(save_ops):
+        roll = rng.random()
+        if roll < 0.2:
+            plan = plan.with_torn_write(op)
+        elif roll < 0.4:
+            plan = plan.with_bitflip(op)
+        elif roll < 0.5:
+            plan = plan.with_enospc(op)
+        elif roll < 0.6:
+            plan = plan.with_crash_between_stage_and_promote(op)
+    if rng.random() < 0.2:
+        plan = plan.with_slow_disk(float(rng.uniform(0.005, 0.02)))
+    return plan
+
+
+def _orphaned_segments() -> list[str]:
+    """Leaked repro segments attributable to this run.
+
+    Segment names embed the owning pid (``repro_<pid>_<counter>``); a
+    segment owned by a *different live* process belongs to a concurrent
+    repro run on the same host, not to this harness — only segments we
+    own, or whose owner is dead, count as leaks.
+    """
+    orphans: list[str] = []
+    for path in glob.glob(f"/dev/shm/{SEGMENT_PREFIX}_*"):
+        name = Path(path).name
+        parts = name.split("_")
+        try:
+            owner = int(parts[1])
+        except (IndexError, ValueError):
+            orphans.append(name)
+            continue
+        if owner == os.getpid():
+            orphans.append(name)
+            continue
+        try:
+            os.kill(owner, 0)
+        except OSError:
+            orphans.append(name)  # owner dead: a true orphan
+    return sorted(orphans)
+
+
+def _pick_queries(rng: np.random.Generator, count: int) -> list[str]:
+    mix = conviva_dashboard_mix(_TABLE)
+    chosen = rng.choice(len(mix), size=min(count, len(mix)), replace=False)
+    return [mix[int(i)] for i in sorted(chosen)]
+
+
+def _engine_config(
+    plan: Optional[FaultPlan], directory: Optional[str], workers: int
+) -> EngineConfig:
+    return EngineConfig(
+        fault_plan=plan if plan is not None else FaultPlan(seed=0),
+        num_workers=workers,
+        task_timeout_seconds=2.0,
+        catalog_config=CatalogConfig(directory=directory),
+    )
+
+
+def run_schedule(
+    seed: int,
+    table,
+    queries_per_seed: int = 6,
+    workers: int = 2,
+    workdir: Optional[str] = None,
+) -> ScheduleResult:
+    """Run one seeded schedule end to end and check every invariant."""
+    plan = random_fault_plan(seed)
+    outcome = ScheduleResult(seed=seed, fault_spec=repr(plan.specs))
+    started = time.perf_counter()
+    rng = np.random.default_rng(
+        np.random.SeedSequence([_CHAOS_SEED_DOMAIN, seed, 1])
+    )
+    queries = _pick_queries(rng, queries_per_seed)
+    owns_workdir = workdir is None
+    root = Path(workdir or tempfile.mkdtemp(prefix="repro_chaos_"))
+    catalog_dir = str(root / f"catalog_{seed}")
+
+    def violate(invariant: str, detail: str) -> None:
+        outcome.violations.append(Violation(seed, invariant, detail))
+
+    try:
+        # ---- clean baseline: cold answers, no faults, no persistence
+        baseline_memory = MemoryAccountant(None, name=f"chaos-base-{seed}")
+        baseline = AQPEngine(
+            config=_engine_config(None, None, workers),
+            seed=_ENGINE_SEED,
+            memory=baseline_memory,
+        )
+        baseline.register_table(_TABLE, table)
+        baseline.create_sample(_TABLE, fraction=0.25)
+        baseline_answers: dict[str, tuple] = {}
+        for sql in queries:
+            result, warned, error = _execute(baseline, sql)
+            if error is not None or result is None:
+                # A typed refusal (e.g. an ultra-selective filter whose
+                # subpopulation is empty in the sample) is an honest
+                # baseline outcome, not a chaos violation; there is
+                # simply no fingerprint to compare against.  The query
+                # still runs on every engine so all engines see the
+                # same sequence — per-query determinism is relative to
+                # engine history.
+                continue
+            baseline_answers[sql] = _fingerprint(result)
+        baseline.close()
+        baseline.mv_catalog.clear()
+
+        # ---- chaos generation: faults in both domains at once
+        chaos_memory = MemoryAccountant(None, name=f"chaos-{seed}")
+        chaos = AQPEngine(
+            config=_engine_config(plan, catalog_dir, workers),
+            seed=_ENGINE_SEED,
+            memory=chaos_memory,
+        )
+        chaos.register_table(_TABLE, table)
+        chaos.create_sample(_TABLE, fraction=0.25)
+        # Materializations are the save operations the storage faults
+        # bind to (persistence failures must stay best-effort).
+        for dims in (("city",), ("isp",)):
+            try:
+                chaos.materialize(_TABLE, dims)
+            except ReproError as error:
+                violate(
+                    "materialize_typed",
+                    f"materialize({dims}) escaped the typed taxonomy "
+                    f"or failed the query path: {error}",
+                )
+        first_round: dict[str, tuple] = {}
+        for round_index in range(2):
+            for sql in queries:
+                result, warned, error = _execute(chaos, sql)
+                outcome.queries += 1
+                if error is not None or result is None:
+                    outcome.typed_errors += 1
+                    continue
+                report = result.execution_report
+                if report is not None:
+                    outcome.hedges_launched += report.hedges_launched
+                    outcome.hedges_won += report.hedges_won
+                fp = _fingerprint(result)
+                if round_index == 0:
+                    first_round[sql] = fp
+                if result.catalog_route in ("partial", "exact"):
+                    # Cube-served / replayed answers follow their own
+                    # deterministic path; an exact hit must replay the
+                    # very answer round one produced and stored.
+                    if (
+                        result.catalog_route == "exact"
+                        and sql in first_round
+                        and fp != first_round[sql]
+                    ):
+                        violate(
+                            "replay_consistency",
+                            f"exact hit for {sql!r} differs from the "
+                            "stored answer",
+                        )
+                    outcome.flagged += int(_flagged(result, warned))
+                    continue
+                if sql not in baseline_answers:
+                    # The baseline refused this query, so there is no
+                    # honest answer to compare against.
+                    outcome.flagged += int(_flagged(result, warned))
+                    continue
+                if fp == baseline_answers[sql]:
+                    outcome.identical += 1
+                elif _flagged(result, warned):
+                    outcome.flagged += 1
+                else:
+                    violate(
+                        "honesty",
+                        f"unflagged answer for {sql!r} differs from the "
+                        "clean baseline (silent wrong answer)",
+                    )
+        chaos.close()
+        chaos.mv_catalog.clear()
+        if chaos_memory.used_bytes != 0:
+            violate(
+                "memory_leak",
+                f"chaos engine still holds {chaos_memory.used_bytes} "
+                "reserved bytes after close",
+            )
+
+        # ---- at-rest corruption + restart: quarantine, then serve cold
+        ready = sorted(Path(catalog_dir).glob("ready/*.npz"))
+        if ready:
+            victim = ready[int(rng.integers(0, len(ready)))]
+            raw = bytearray(victim.read_bytes())
+            if raw:
+                raw[int(rng.integers(0, len(raw)))] ^= 0xFF
+                victim.write_bytes(bytes(raw))
+        survivor_memory = MemoryAccountant(None, name=f"chaos-next-{seed}")
+        survivor = AQPEngine(
+            config=_engine_config(None, catalog_dir, workers),
+            seed=_ENGINE_SEED,
+            memory=survivor_memory,
+        )
+        survivor.register_table(_TABLE, table)
+        survivor.create_sample(_TABLE, fraction=0.25)
+        try:
+            survivor.mv_catalog.load_cubes()
+        except ReproError as error:
+            violate(
+                "quarantine",
+                f"reload after at-rest corruption raised instead of "
+                f"quarantining: {error}",
+            )
+        outcome.quarantined = survivor.mv_catalog.quarantined
+        outcome.staging_swept = survivor.mv_catalog.staging_orphans_swept
+        if ready and survivor.mv_catalog.quarantined == 0:
+            violate(
+                "quarantine",
+                f"corrupted artifact {ready[0].name} was not quarantined "
+                "on reload",
+            )
+        for sql in queries:
+            result, warned, error = _execute(survivor, sql)
+            outcome.queries += 1
+            if error is not None or result is None:
+                outcome.typed_errors += 1
+                continue
+            if result.catalog_route in ("partial", "exact"):
+                outcome.flagged += int(_flagged(result, warned))
+                continue
+            if sql not in baseline_answers:
+                outcome.flagged += int(_flagged(result, warned))
+                continue
+            fp = _fingerprint(result)
+            if fp == baseline_answers[sql]:
+                outcome.identical += 1
+            elif _flagged(result, warned):
+                outcome.flagged += 1
+            else:
+                violate(
+                    "honesty",
+                    f"post-corruption cold answer for {sql!r} silently "
+                    "differs from the clean baseline",
+                )
+        survivor.close()
+        survivor.mv_catalog.clear()
+        if survivor_memory.used_bytes != 0:
+            violate(
+                "memory_leak",
+                f"survivor engine still holds {survivor_memory.used_bytes} "
+                "reserved bytes after close",
+            )
+
+        # ---- staging orphans: anything a crashed save left must be gone
+        staging = Path(catalog_dir) / "staging"
+        leftovers = (
+            sorted(p.name for p in staging.iterdir()) if staging.is_dir() else []
+        )
+        if leftovers:
+            violate(
+                "staging_orphans",
+                f"staging/ still holds {leftovers} after the startup sweep",
+            )
+
+        # ---- governor: concurrent admissions must terminate
+        governor = QueryGovernor(
+            lambda: _governor_engine(table, catalog_dir, workers),
+            GovernorConfig(max_concurrency=2, shed_policy="queue"),
+        )
+        errors: list[str] = []
+
+        def client(sql: str) -> None:
+            try:
+                governor.execute(sql, timeout=30.0)
+            except ReproError:
+                pass  # typed shedding/cancellation is a valid outcome
+            except Exception as error:  # pragma: no cover - invariant path
+                errors.append(f"{type(error).__name__}: {error}")
+
+        threads = [
+            threading.Thread(
+                target=client, args=(queries[i % len(queries)],), daemon=True
+            )
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + _GOVERNOR_WATCHDOG_SECONDS
+        for thread in threads:
+            thread.join(max(0.0, deadline - time.monotonic()))
+        if any(thread.is_alive() for thread in threads):
+            violate(
+                "governor_deadlock",
+                "governor clients still running after "
+                f"{_GOVERNOR_WATCHDOG_SECONDS:.0f}s watchdog",
+            )
+        if errors:
+            violate(
+                "governor_untyped",
+                f"governor surfaced untyped errors: {errors}",
+            )
+        governor.close()
+
+        # ---- shm leaks: nothing repro-prefixed may survive this seed
+        segments = _orphaned_segments()
+        if segments:
+            violate(
+                "shm_orphans",
+                f"/dev/shm still holds {segments}",
+            )
+    finally:
+        if owns_workdir:
+            shutil.rmtree(root, ignore_errors=True)
+        else:
+            shutil.rmtree(catalog_dir, ignore_errors=True)
+    outcome.elapsed_seconds = round(time.perf_counter() - started, 3)
+    return outcome
+
+
+def _governor_engine(table, catalog_dir: str, workers: int) -> AQPEngine:
+    engine = AQPEngine(
+        config=_engine_config(None, catalog_dir, workers),
+        seed=_ENGINE_SEED,
+    )
+    engine.register_table(_TABLE, table)
+    engine.create_sample(_TABLE, fraction=0.25)
+    return engine
+
+
+def run_chaos(
+    seeds: list[int],
+    rows: int = 4000,
+    queries_per_seed: int = 6,
+    workers: int = 2,
+) -> ChaosReport:
+    """Run every seed's schedule and collect the invariant report."""
+    table = conviva_sessions_table(rows, np.random.default_rng(0))
+    schedules: list[ScheduleResult] = []
+    for seed in seeds:
+        outcome = run_schedule(
+            seed,
+            table,
+            queries_per_seed=queries_per_seed,
+            workers=workers,
+        )
+        status = "OK" if not outcome.violations else "VIOLATED"
+        print(
+            f"seed {seed:>4}  {status:<8} queries={outcome.queries:<3} "
+            f"typed_errors={outcome.typed_errors:<2} "
+            f"flagged={outcome.flagged:<3} identical={outcome.identical:<3} "
+            f"hedges={outcome.hedges_launched}/{outcome.hedges_won} "
+            f"quarantined={outcome.quarantined} "
+            f"swept={outcome.staging_swept} "
+            f"({outcome.elapsed_seconds:.1f}s)",
+            flush=True,
+        )
+        for violation in outcome.violations:
+            print(
+                f"  !! {violation.invariant}: {violation.detail}",
+                file=sys.stderr,
+                flush=True,
+            )
+        schedules.append(outcome)
+    return ChaosReport(
+        seeds=list(seeds),
+        schedules=schedules,
+        total_queries=sum(s.queries for s in schedules),
+        total_violations=sum(len(s.violations) for s in schedules),
+    )
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=(
+            "Chaos harness: seeded worker+storage fault schedules with "
+            "invariant checking."
+        )
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=25, help="number of schedules to run"
+    )
+    parser.add_argument(
+        "--first-seed", type=int, default=0, help="first seed of the rotation"
+    )
+    parser.add_argument(
+        "--rows", type=int, default=4000, help="base-table rows"
+    )
+    parser.add_argument(
+        "--queries", type=int, default=6, help="dashboard queries per seed"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes (capped at os.cpu_count())",
+    )
+    parser.add_argument(
+        "--out", type=str, default=None, help="write the JSON report here"
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="show per-fault injection logs (noisy; off by default)",
+    )
+    args = parser.parse_args(argv)
+    # The schedules fire thousands of deliberate faults; their warning
+    # logs are signal only when replaying a single failing seed.
+    logging.basicConfig(
+        level=logging.WARNING if args.verbose else logging.CRITICAL
+    )
+    seeds = list(range(args.first_seed, args.first_seed + args.seeds))
+    report = run_chaos(
+        seeds,
+        rows=args.rows,
+        queries_per_seed=args.queries,
+        workers=args.workers,
+    )
+    summary = (
+        f"{len(seeds)} schedules, {report.total_queries} queries, "
+        f"{report.total_violations} invariant violation(s)"
+    )
+    print(summary, flush=True)
+    if args.out:
+        Path(args.out).write_text(json.dumps(report.to_json(), indent=2))
+        print(f"report written to {args.out}", flush=True)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

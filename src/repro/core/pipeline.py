@@ -70,8 +70,9 @@ from repro.errors import (
     ExecutionError,
     PlanError,
     ResourceExhaustedError,
+    StorageUnavailableError,
 )
-from repro.faults import FaultPlan, resolve_fault_plan
+from repro.faults import FaultPlan, StorageFaultInjector, resolve_fault_plan
 from repro.governor.breaker import DegradationLevel
 from repro.governor.cancel import CancelToken, cancel_scope
 from repro.governor.memory import MemoryAccountant, process_accountant
@@ -89,6 +90,7 @@ from repro.parallel.rng import seed_from_rng
 from repro.parallel.shm import sweep_orphans
 from repro.parallel.supervise import (
     ExecutionReport,
+    HedgePolicy,
     RetryPolicy,
     Supervision,
 )
@@ -363,6 +365,15 @@ class EngineConfig:
     #: Consecutive pool-level failures tolerated before the engine
     #: degrades permanently to inline execution for the session.
     max_pool_failures: int = 2
+    #: Launch speculative backup attempts for straggling tasks (the
+    #: tail-at-scale mitigation).  The backup re-runs the same unit on
+    #: the same per-unit RNG stream, so first-result-wins is
+    #: bit-identical by construction.  Opt-in (default ``None``): a
+    #: straggler then costs its full timeout before the sequential
+    #: retry path starts, but crashes and hangs keep their explicit
+    #: crash/timeout classification in the ExecutionReport instead of
+    #: being quietly outraced by a backup.
+    hedge: Optional[HedgePolicy] = None
     #: Byte budget for allocation-heavy work (weight matrices, shared
     #: arenas, resample tables, result buffers), reserved *before*
     #: allocation through a :class:`~repro.governor.memory
@@ -441,6 +452,11 @@ class AQPEngine:
         self.mv_catalog = MaterializedCatalog(
             memory=self.memory, config=self.config.catalog_config
         )
+        # One storage-fault injector per engine: its save-op counter is
+        # what makes an I/O fault schedule (torn@2, ...) deterministic.
+        self.storage_injector = StorageFaultInjector(
+            resolve_fault_plan(self.config.fault_plan)
+        )
         # Janitor pass: a previous process killed mid-query may have left
         # shared-memory segments behind; engine startup is the natural
         # place to reclaim them.
@@ -452,6 +468,10 @@ class AQPEngine:
                 ", ".join(swept),
             )
             METRICS.counter("shm.orphans_swept").inc(len(swept))
+        # Same janitor pass for the storage domain: a save that crashed
+        # between stage and promote leaves dead staging/ files behind.
+        if self.mv_catalog.config.directory is not None:
+            self.mv_catalog.sweep_staging()
 
     # -- worker pool -------------------------------------------------------
     @property
@@ -481,6 +501,7 @@ class AQPEngine:
             backoff_base_seconds=config.retry_backoff_seconds,
             task_timeout_seconds=config.task_timeout_seconds,
             max_pool_failures=config.max_pool_failures,
+            hedge=config.hedge,
         )
         deadline = None
         if config.query_deadline_seconds is not None:
@@ -1014,7 +1035,17 @@ class AQPEngine:
         self.mv_catalog.add_cube(cube)
         directory = self.mv_catalog.config.directory
         if directory is not None:
-            cube.save(directory)
+            try:
+                cube.save(directory, injector=self.storage_injector)
+            except StorageUnavailableError as exc:
+                # Persistence is best-effort: the cube still serves from
+                # memory this session; only its durability is lost.
+                logger.warning(
+                    "cube for %s over %s not persisted: %s",
+                    table_name,
+                    dims,
+                    exc,
+                )
         METRICS.counter("catalog.materializations").inc()
         return cube
 

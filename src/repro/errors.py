@@ -144,6 +144,50 @@ class AdmissionRejectedError(ResourceError):
     """
 
 
+class StorageError(ReproError):
+    """Base class for durable-storage failures (catalog persistence).
+
+    The materialized catalog is the only durable state the engine owns;
+    these errors are how the storage fault domain stays *typed* — a
+    corrupted or unavailable artifact must surface as a catalog miss or
+    a :class:`StorageError`, never as a silently wrong served answer.
+    """
+
+
+class CorruptArtifactError(StorageError):
+    """A persisted artifact failed its integrity check at load time.
+
+    Raised (and caught by the catalog loader, which quarantines the
+    artifact) when a payload is truncated, its CRC does not match the
+    checksum recorded at stage time, its sidecar metadata is missing or
+    inconsistent, or its schema version is unsupported.
+
+    Attributes:
+        path: filesystem path of the offending artifact, or ``None``.
+        reason: short machine-readable failure category (``"truncated"``,
+            ``"crc_mismatch"``, ``"meta_missing"``, ...).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        path: str | None = None,
+        reason: str = "corrupt",
+    ):
+        super().__init__(message)
+        self.path = path
+        self.reason = reason
+
+
+class StorageUnavailableError(StorageError):
+    """The storage layer refused or failed a write (ENOSPC, I/O error).
+
+    Persistence is best-effort for the catalog: callers catch this,
+    count it, and continue serving from memory — a full disk must never
+    fail a query, only its materialization.
+    """
+
+
 class SamplingError(ReproError):
     """A sampling or resampling operation received invalid parameters."""
 

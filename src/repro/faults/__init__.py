@@ -9,6 +9,7 @@ crashes, hangs, shared-memory failures, and pickling failures through
 :mod:`repro.parallel` and the cluster simulator.
 """
 
+from repro.faults.io import StorageFaultInjector
 from repro.faults.plan import (
     CRASH_EXIT_CODE,
     FAULTS_ENV,
@@ -22,5 +23,6 @@ __all__ = [
     "FAULTS_ENV",
     "FaultPlan",
     "FaultSpec",
+    "StorageFaultInjector",
     "resolve_fault_plan",
 ]

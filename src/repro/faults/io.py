@@ -1,0 +1,129 @@
+"""Deterministic storage-fault injection for the catalog's persistence.
+
+The worker fault domain (:mod:`repro.faults.plan`) binds faults to task
+indices; the storage domain binds them to *save operations* — the N-th
+artifact a process persists.  :class:`StorageFaultInjector` owns that
+counter: the catalog store asks it, once per save, what should go wrong,
+and the same :class:`~repro.faults.plan.FaultPlan` therefore fires the
+same schedule on every run — the property the chaos harness relies on to
+replay a failing seed.
+
+Faults model the classic durable-storage failure modes:
+
+* **torn** — the payload write is truncated to a prefix.  The checksum
+  recorded at stage time covers the intended bytes, so the loader's CRC
+  verification is exactly the mechanism that must catch the tear.
+* **bitflip** — one byte of the payload is flipped (seeded choice),
+  modelling latent media corruption that fsync cannot prevent.
+* **enospc** — the write raises ``OSError(ENOSPC)``; persistence must
+  degrade (artifact skipped, query unaffected), never crash the engine.
+* **slowdisk** — every fsync stalls, turning the storage path into a
+  straggler the hedging/timeout machinery has to tolerate.
+* **crashpromote** — the save aborts after staging, before promotion,
+  leaving orphaned ``staging/`` files for the startup sweep.
+"""
+
+from __future__ import annotations
+
+import errno
+import logging
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import StorageUnavailableError
+from repro.faults.plan import FaultPlan
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["StorageFaultInjector"]
+
+
+class StorageFaultInjector:
+    """Per-store counter that fires a plan's storage faults in order.
+
+    One injector is owned by one catalog store; its save-operation
+    counter increments on every :meth:`begin_save`, so ``torn@2`` means
+    "the third artifact this store persists".
+
+    Args:
+        plan: the active fault schedule, or ``None`` (no-op injector).
+    """
+
+    def __init__(self, plan: Optional[FaultPlan] = None):
+        self.plan = plan
+        self._op = 0
+
+    @property
+    def active(self) -> bool:
+        return self.plan is not None and self.plan.has_storage_faults()
+
+    def begin_save(self) -> int:
+        """Allocate the next save-operation index."""
+        op = self._op
+        self._op += 1
+        return op
+
+    # -- per-phase hooks ---------------------------------------------------
+    def corrupt_payload(self, op: int, data: bytes) -> bytes:
+        """Apply any torn/bitflip fault for ``op`` to the payload bytes.
+
+        ENOSPC also fires here — a full disk fails the write itself.
+        """
+        if self.plan is None:
+            return data
+        spec = self.plan.storage_fault_for(op)
+        if spec is None:
+            return data
+        if spec.kind == "enospc":
+            logger.warning("injected ENOSPC firing on save op %d", op)
+            raise OSError(errno.ENOSPC, "injected: no space left on device")
+        if spec.kind == "torn":
+            torn = data[: max(1, len(data) // 2)]
+            logger.warning(
+                "injected torn write on save op %d (%d of %d bytes)",
+                op,
+                len(torn),
+                len(data),
+            )
+            return torn
+        if spec.kind == "bitflip":
+            if not data:
+                return data
+            seed_seq = np.random.SeedSequence([self.plan.seed, 0xB17, op])
+            position = int(seed_seq.generate_state(1)[0] % len(data))
+            flipped = bytearray(data)
+            flipped[position] ^= 0xFF
+            logger.warning(
+                "injected bit flip on save op %d at byte %d", op, position
+            )
+            return bytes(flipped)
+        return data
+
+    def before_promote(self, op: int) -> None:
+        """Fire a crash-between-stage-and-promote fault for ``op``.
+
+        Raised as :class:`~repro.errors.StorageUnavailableError` so the
+        save aborts with the staged files left in place — from the
+        store's point of view, indistinguishable from a process that
+        died in the stage→promote window and restarted.
+        """
+        if self.plan is None:
+            return
+        spec = self.plan.storage_fault_for(op)
+        if spec is not None and spec.kind == "crashpromote":
+            logger.warning(
+                "injected crash between staging and promote on save op %d", op
+            )
+            raise StorageUnavailableError(
+                f"injected crash between staging and promote (save op {op})"
+            )
+
+    def fsync_delay(self) -> None:
+        """Apply the plan's slow-disk stall to one fsync."""
+        if self.plan is None:
+            return
+        delay = self.plan.fsync_delay_seconds()
+        if delay > 0:
+            time.sleep(delay)

@@ -31,6 +31,13 @@ The same schedules drive the cluster simulator:
 per-task seconds (re-execution after detection for crashes, stall time
 for hangs) for §6-style straggler/failure experiments.
 
+Beyond the worker domain, plans also schedule **storage (I/O) faults**
+— torn writes, bit flips, ENOSPC, slow-disk fsync stalls, and crashes
+between staging and promotion — fired against the catalog's persistence
+layer by :class:`~repro.faults.io.StorageFaultInjector` with the same
+determinism contract: the N-th save operation of a store fails the same
+way on every run of the same plan.
+
 Plans are activated programmatically via ``EngineConfig.fault_plan`` or
 from the environment via ``REPRO_FAULTS`` (see :func:`FaultPlan.from_spec`
 for the spec grammar).
@@ -65,8 +72,16 @@ FAULTS_ENV = "REPRO_FAULTS"
 #: so an unexpected worker death in CI logs is recognisable as injected.
 CRASH_EXIT_CODE = 86
 
-#: Fault kinds understood by :meth:`FaultPlan.apply`.
-_KINDS = ("crash", "hang", "shm", "pickle")
+#: Worker-domain fault kinds understood by :meth:`FaultPlan.apply`.
+_WORKER_KINDS = ("crash", "hang", "shm", "pickle")
+
+#: Storage-domain (I/O) fault kinds, fired by the catalog's
+#: :class:`~repro.faults.io.StorageFaultInjector` instead of the task
+#: supervisor.  ``task`` doubles as the *save-operation* index here
+#: (the N-th artifact persisted through one injector).
+_IO_KINDS = ("torn", "bitflip", "enospc", "slowdisk", "crashpromote")
+
+_KINDS = _WORKER_KINDS + _IO_KINDS
 
 
 @dataclass(frozen=True)
@@ -102,7 +117,9 @@ class FaultSpec:
         if self.rate is not None and not 0.0 <= self.rate <= 1.0:
             raise ValueError(f"fault rate must be in [0, 1], got {self.rate}")
         if self.seconds < 0:
-            raise ValueError(f"hang duration must be >= 0, got {self.seconds}")
+            raise ValueError(
+                f"fault duration must be >= 0, got {self.seconds}"
+            )
 
 
 @dataclass(frozen=True)
@@ -166,6 +183,43 @@ class FaultPlan:
         """Fail the pre-dispatch pickling probe (forces inline execution)."""
         return self.with_spec(FaultSpec(kind="pickle", attempt=None))
 
+    # -- storage (I/O) fault domain ----------------------------------------
+    def with_torn_write(self, op: int | None = None) -> "FaultPlan":
+        """Truncate the payload of save-operation ``op`` (torn write).
+
+        The checksum recorded at stage time covers the *intended*
+        bytes, so the tear is exactly the latent corruption the loader's
+        CRC verification must catch.  ``None`` tears every save.
+        """
+        return self.with_spec(FaultSpec(kind="torn", task=op, attempt=None))
+
+    def with_bitflip(self, op: int | None = None) -> "FaultPlan":
+        """Flip one seeded byte of save-operation ``op``'s payload."""
+        return self.with_spec(FaultSpec(kind="bitflip", task=op, attempt=None))
+
+    def with_enospc(self, op: int | None = None) -> "FaultPlan":
+        """Fail save-operation ``op`` with ENOSPC (``None`` — every save)."""
+        return self.with_spec(FaultSpec(kind="enospc", task=op, attempt=None))
+
+    def with_slow_disk(self, seconds: float) -> "FaultPlan":
+        """Delay every fsync by ``seconds`` (slow-disk straggler)."""
+        return self.with_spec(
+            FaultSpec(kind="slowdisk", attempt=None, seconds=seconds)
+        )
+
+    def with_crash_between_stage_and_promote(
+        self, op: int | None = None
+    ) -> "FaultPlan":
+        """Abort save-operation ``op`` after staging, before promotion.
+
+        Models a process crash in the stage→promote window: the staged
+        files are left behind (the startup sweep's job) and ``ready/``
+        never observes the entry.
+        """
+        return self.with_spec(
+            FaultSpec(kind="crashpromote", task=op, attempt=None)
+        )
+
     # -- parsing -----------------------------------------------------------
     @classmethod
     def from_spec(cls, text: str, seed: int = 0) -> "FaultPlan":
@@ -181,7 +235,16 @@ class FaultPlan:
             shm              fail every shared-memory allocation
             pickle           fail the pre-dispatch pickling probe
 
-        Example: ``REPRO_FAULTS="crash@2,hang@5:0.5,rate:0.05"``.
+        Storage (I/O) domain — ``N`` is the save-operation index::
+
+            torn@N           truncate save N's payload (torn write)
+            bitflip@N        flip one seeded byte of save N's payload
+            enospc[@N]       fail save N (or every save) with ENOSPC
+            slowdisk:T       delay every fsync by T seconds
+            crashpromote@N   abort save N between staging and promote
+
+        Example:
+        ``REPRO_FAULTS="crash@2,hang@5:0.5,torn@0,slowdisk:0.01"``.
         """
         plan = cls(seed=seed)
         for raw_token in text.split(","):
@@ -217,10 +280,26 @@ class FaultPlan:
                         "(use hang@N:SECONDS)"
                     )
                 plan = plan.with_hang(int(task_text), float(seconds_text))
+            elif token.startswith("torn@"):
+                plan = plan.with_torn_write(int(token[len("torn@"):]))
+            elif token.startswith("bitflip@"):
+                plan = plan.with_bitflip(int(token[len("bitflip@"):]))
+            elif token == "enospc":
+                plan = plan.with_enospc()
+            elif token.startswith("enospc@"):
+                plan = plan.with_enospc(int(token[len("enospc@"):]))
+            elif token.startswith("slowdisk:"):
+                plan = plan.with_slow_disk(float(token[len("slowdisk:"):]))
+            elif token.startswith("crashpromote@"):
+                plan = plan.with_crash_between_stage_and_promote(
+                    int(token[len("crashpromote@"):])
+                )
             else:
                 raise ValueError(
                     f"unparseable fault token {raw_token.strip()!r}; expected "
-                    "crash@N[:A][!worker], hang@N:T, rate:P, shm, or pickle"
+                    "crash@N[:A][!worker], hang@N:T, rate:P, shm, pickle, "
+                    "torn@N, bitflip@N, enospc[@N], slowdisk:T, or "
+                    "crashpromote@N"
                 )
         return plan
 
@@ -251,6 +330,31 @@ class FaultPlan:
     def fails_shm(self) -> bool:
         """Whether shared-memory allocation should fail."""
         return any(spec.kind == "shm" for spec in self.specs)
+
+    def has_storage_faults(self) -> bool:
+        """Whether this plan schedules any storage-domain fault."""
+        return any(spec.kind in _IO_KINDS for spec in self.specs)
+
+    def fsync_delay_seconds(self) -> float:
+        """Total slow-disk delay applied to each fsync (0 when none)."""
+        return sum(
+            spec.seconds for spec in self.specs if spec.kind == "slowdisk"
+        )
+
+    def storage_fault_for(self, op: int) -> FaultSpec | None:
+        """The corruption/availability fault bound to save-operation ``op``.
+
+        Returns the first ``torn``/``bitflip``/``enospc``/``crashpromote``
+        spec whose index matches ``op`` (``task=None`` matches every
+        save), or ``None``.  Slow-disk is a pacing fault, not a per-op
+        one, and is reported by :meth:`fsync_delay_seconds` instead.
+        """
+        for spec in self.specs:
+            if spec.kind not in ("torn", "bitflip", "enospc", "crashpromote"):
+                continue
+            if spec.task is None or spec.task == op:
+                return spec
+        return None
 
     # -- execution-time injection ------------------------------------------
     def apply(

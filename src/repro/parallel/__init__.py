@@ -52,6 +52,7 @@ from repro.parallel.shm import (
 from repro.parallel.supervise import (
     TASK_FAILED,
     ExecutionReport,
+    HedgePolicy,
     RetryPolicy,
     Supervision,
     run_supervised_inline,
@@ -65,6 +66,7 @@ __all__ = [
     "DEFAULT_TRIAL_CHUNK",
     "DEFAULT_UNIT_BATCH",
     "ExecutionReport",
+    "HedgePolicy",
     "RetryPolicy",
     "SEGMENT_PREFIX",
     "START_METHOD_ENV",

@@ -45,8 +45,10 @@ from typing import Any, Optional
 
 from repro.errors import TaskTimeoutError, WorkerCrashError
 from repro.faults.plan import FaultPlan
+from repro.obs.metrics import METRICS
 from repro.obs.trace import current_trace, suppress_tracing
 from repro.parallel.supervise import (
+    HEDGE_ATTEMPT_BASE,
     TASK_FAILED,
     Supervision,
     backoff_seconds,
@@ -310,6 +312,137 @@ class WorkerPool:
             return DEFAULT_CRASH_DETECTION_SECONDS
         return patience
 
+    def _await_hedged(
+        self,
+        pool: multiprocessing.pool.Pool,
+        fn: Callable[[Any], Any],
+        payload: Any,
+        index: int,
+        attempt: int,
+        timed: bool,
+        dispatched: dict,
+        dispatch_at: dict[int, float],
+        observed: set[int],
+        supervision: Supervision,
+        durations: list[float],
+        hedge_budget: dict,
+    ) -> tuple[Any, bool]:
+        """Await one task, hedging it with a backup if it straggles.
+
+        Polls the primary dispatch in cancellation-sized slices exactly
+        like :func:`_await_result`; once the wait exceeds the hedge
+        policy's straggler threshold (derived from this round's
+        completed durations), the *same unit* — same payload, same
+        index, hence the same per-unit RNG stream — is dispatched again
+        as a backup and whichever attempt finishes first supplies the
+        result.  Bit-identity is by construction: both attempts compute
+        the same deterministic function of the same payload.
+
+        The backup runs with attempt number ``HEDGE_ATTEMPT_BASE +
+        attempt`` so first-attempt-bound injected faults (the usual
+        cause of the straggle) do not re-fire on it.  A backup that
+        itself fails is simply abandoned — the primary, its timeout,
+        and the retry ladder still stand; hedging can only add a faster
+        path, never remove one.
+
+        Tasks are awaited in dispatch order, so while index ``i``
+        straggles, later peers may already have finished in the
+        background; each poll slice scans them (``dispatched`` /
+        ``dispatch_at`` / ``observed``) and folds their wall times into
+        ``durations`` — otherwise an early straggler would starve the
+        threshold of observations and never get hedged.
+
+        Returns ``(outcome, from_hedge)``; raises
+        :class:`multiprocessing.TimeoutError` when patience runs out
+        with neither attempt finished.
+        """
+        policy = supervision.policy.hedge
+        patience = self._task_patience(supervision)
+        deadline = (
+            None if patience is None else time.monotonic() + patience
+        )
+        primary = dispatched[index]
+        dispatched_at = dispatch_at[index]
+        backup = None
+        trace = current_trace() if timed else None
+        while True:
+            supervision.check_cancelled()
+            if deadline is None:
+                slice_seconds = CANCEL_POLL_SECONDS
+            else:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise multiprocessing.TimeoutError()
+                slice_seconds = min(CANCEL_POLL_SECONDS, remaining)
+            try:
+                return primary.get(timeout=slice_seconds), False
+            except multiprocessing.TimeoutError:
+                pass
+            for peer_index, peer in dispatched.items():
+                if (
+                    peer_index != index
+                    and peer_index not in observed
+                    and peer.ready()
+                ):
+                    observed.add(peer_index)
+                    durations.append(
+                        time.perf_counter() - dispatch_at[peer_index]
+                    )
+            if backup is not None:
+                if backup.ready():
+                    try:
+                        outcome = backup.get(timeout=0)
+                    except Exception as error:
+                        # The backup died too; forget it and keep
+                        # waiting on the primary (and the timeout).
+                        logger.warning(
+                            "hedged backup for task %d failed: %s",
+                            index,
+                            error,
+                        )
+                        backup = None
+                    else:
+                        supervision.report.hedges_won += 1
+                        METRICS.counter("pool.hedge_wins").inc()
+                        if trace is not None:
+                            trace.add_event(
+                                "hedge_won", index=index, attempt=attempt
+                            )
+                        return outcome, True
+            elif policy is not None and hedge_budget["remaining"] > 0:
+                threshold = policy.threshold_seconds(durations)
+                waited = time.perf_counter() - dispatched_at
+                if threshold is not None and waited >= threshold:
+                    backup = pool.apply_async(
+                        _invoke_task,
+                        (
+                            fn,
+                            payload,
+                            supervision.plan,
+                            index,
+                            HEDGE_ATTEMPT_BASE + attempt,
+                            timed,
+                        ),
+                    )
+                    hedge_budget["remaining"] -= 1
+                    supervision.report.hedges_launched += 1
+                    METRICS.counter("pool.hedges").inc()
+                    logger.info(
+                        "hedging straggler task %d after %.3fs "
+                        "(threshold %.3fs)",
+                        index,
+                        waited,
+                        threshold,
+                    )
+                    if trace is not None:
+                        trace.add_event(
+                            "task_hedged",
+                            index=index,
+                            attempt=attempt,
+                            waited_s=round(waited, 6),
+                            threshold_s=round(threshold, 6),
+                        )
+
     def _map_parallel(
         self,
         fn: Callable[[Any], Any],
@@ -359,13 +492,39 @@ class WorkerPool:
                 )
             failed: list[int] = []
             pool_failure = False
+            # Completed-slot wall times this round feed the hedge
+            # policy's straggler threshold; the budget caps redundant
+            # backups per round.
+            durations: list[float] = []
+            observed: set[int] = set()
+            hedge_budget = {
+                "remaining": (
+                    policy.hedge.max_hedges
+                    if policy.hedge is not None
+                    else 0
+                )
+            }
             for index in pending:
                 try:
-                    outcome = _await_result(
-                        dispatched[index],
-                        self._task_patience(supervision),
+                    outcome, from_hedge = self._await_hedged(
+                        pool,
+                        fn,
+                        payloads[index],
+                        index,
+                        attempt,
+                        timed,
+                        dispatched,
+                        dispatch_at,
+                        observed,
                         supervision,
+                        durations,
+                        hedge_budget,
                     )
+                    if not from_hedge and index not in observed:
+                        observed.add(index)
+                        durations.append(
+                            time.perf_counter() - dispatch_at[index]
+                        )
                     if timed:
                         outcome, (pid, t_start, t_end) = outcome
                         trace.add_span(
@@ -376,6 +535,7 @@ class WorkerPool:
                             index=index,
                             attempt=attempt,
                             outcome="ok",
+                            hedged=from_hedge,
                             queue_wait_s=round(
                                 max(0.0, t_start - dispatch_at[index]), 6
                             ),

@@ -50,8 +50,10 @@ from repro.obs.trace import current_trace, suppress_tracing
 logger = logging.getLogger(__name__)
 
 __all__ = [
+    "HEDGE_ATTEMPT_BASE",
     "TASK_FAILED",
     "ExecutionReport",
+    "HedgePolicy",
     "RetryPolicy",
     "Supervision",
     "TRANSIENT_ERRORS",
@@ -61,6 +63,13 @@ __all__ = [
 
 #: Exception types the supervisor treats as transient (retryable).
 TRANSIENT_ERRORS = (WorkerCrashError, TaskTimeoutError)
+
+#: Attempt-number offset for hedged backup dispatches.  Worker faults
+#: bind to real attempt numbers (0, 1, 2, ...), so a backup launched as
+#: ``HEDGE_ATTEMPT_BASE + attempt`` re-runs the *same unit on the same
+#: RNG stream* without re-firing the first-attempt fault that made the
+#: primary straggle — which is what lets a hedge actually win.
+HEDGE_ATTEMPT_BASE = 1000
 
 
 class _TaskFailed:
@@ -85,6 +94,76 @@ TASK_FAILED = _TaskFailed()
 
 
 @dataclass(frozen=True)
+class HedgePolicy:
+    """When the pool launches speculative backups for straggling tasks.
+
+    The classic tail-at-scale mitigation: once enough tasks of the
+    current round have completed to estimate the round's duration
+    distribution, any task still outstanding past
+    ``multiplier × quantile(completed durations)`` gets a *backup*
+    dispatch of the same unit.  First result wins.  Because primary and
+    backup run the identical payload — hence the identical per-unit RNG
+    stream — the winner's answer is bit-identical either way; hedging
+    trades a little redundant work for tail latency, never determinism.
+
+    Attributes:
+        quantile: completed-duration quantile the threshold builds on.
+        multiplier: how far past that quantile a task must straggle
+            before it is hedged.
+        min_observations: completed tasks needed before the duration
+            distribution is trusted (no hedging below this).
+        floor_seconds: minimum threshold — sub-floor tasks are too
+            cheap for a backup to beat the primary anyway.
+        max_hedges: backups allowed per dispatch round (caps redundant
+            work when a whole round stalls, e.g. an overloaded host).
+    """
+
+    quantile: float = 0.9
+    multiplier: float = 3.0
+    min_observations: int = 3
+    floor_seconds: float = 0.05
+    max_hedges: int = 8
+
+    def __post_init__(self):
+        if not 0.0 < self.quantile <= 1.0:
+            raise ValueError(
+                f"hedge quantile must be in (0, 1], got {self.quantile}"
+            )
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"hedge multiplier must be >= 1, got {self.multiplier}"
+            )
+        if self.min_observations < 1:
+            raise ValueError(
+                "hedge min_observations must be >= 1, got "
+                f"{self.min_observations}"
+            )
+        if self.floor_seconds < 0:
+            raise ValueError(
+                f"hedge floor_seconds must be >= 0, got {self.floor_seconds}"
+            )
+        if self.max_hedges < 0:
+            raise ValueError(
+                f"hedge max_hedges must be >= 0, got {self.max_hedges}"
+            )
+
+    def threshold_seconds(
+        self, durations: Sequence[float]
+    ) -> Optional[float]:
+        """Straggler threshold from this round's completed durations.
+
+        ``None`` — not enough observations yet to call anything a
+        straggler.
+        """
+        if len(durations) < self.min_observations:
+            return None
+        estimate = float(
+            np.quantile(np.asarray(durations, dtype=np.float64), self.quantile)
+        )
+        return max(self.floor_seconds, self.multiplier * estimate)
+
+
+@dataclass(frozen=True)
 class RetryPolicy:
     """How the supervisor retries, times out, and gives up.
 
@@ -103,6 +182,10 @@ class RetryPolicy:
             hung workers forcing a pool restart) tolerated before the
             pool degrades permanently to inline execution for the rest
             of the session.
+        hedge: speculative-backup policy for straggling tasks, or
+            ``None`` to wait for the retry path alone (sequential
+            recovery — a straggler costs its full timeout before the
+            retry even starts).
     """
 
     max_task_retries: int = 2
@@ -111,6 +194,7 @@ class RetryPolicy:
     backoff_jitter: float = 0.5
     task_timeout_seconds: Optional[float] = None
     max_pool_failures: int = 2
+    hedge: Optional[HedgePolicy] = None
 
     def __post_init__(self):
         if self.max_task_retries < 0:
@@ -156,6 +240,8 @@ class ExecutionReport:
     worker_crashes: int = 0
     task_timeouts: int = 0
     pool_restarts: int = 0
+    hedges_launched: int = 0
+    hedges_won: int = 0
     replicates_requested: int = 0
     replicates_completed: int = 0
     subsamples_requested: int = 0
@@ -201,6 +287,11 @@ class ExecutionReport:
             parts.append(f"{self.task_timeouts} task timeouts")
         if self.pool_restarts:
             parts.append(f"{self.pool_restarts} pool restarts")
+        if self.hedges_launched:
+            parts.append(
+                f"{self.hedges_launched} hedged "
+                f"({self.hedges_won} won by backup)"
+            )
         if self.swept_segments:
             parts.append(f"{self.swept_segments} orphaned segments swept")
         if self.degraded_to_inline:

@@ -1,0 +1,321 @@
+"""Hedged speculative retries: tail latency down, determinism intact.
+
+The sequential retry ladder pays a full ``task_timeout_seconds`` before
+a straggler's retry even starts; the hedge policy instead launches a
+*backup* of any task straggling past a percentile-based threshold and
+takes whichever result lands first.  Because the backup re-runs the
+identical payload — hence the identical per-unit RNG stream — the
+answer is bit-identical by construction no matter who wins.  These
+tests pin both halves of that contract:
+
+* the threshold math and policy validation;
+* a hung task is rescued in well under its timeout, with the hedge
+  recorded in the :class:`ExecutionReport` and metrics;
+* with hedging forced on for *healthy* tasks (zero floor), results at
+  1/2/4 workers stay bit-identical to the serial run — property-tested
+  over query shapes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pipeline import AQPEngine, EngineConfig
+from repro.engine.table import Table
+from repro.faults import FaultPlan
+from repro.obs.metrics import METRICS
+from repro.parallel.pool import WorkerPool
+from repro.parallel.supervise import (
+    HEDGE_ATTEMPT_BASE,
+    ExecutionReport,
+    HedgePolicy,
+    RetryPolicy,
+    Supervision,
+)
+
+
+@pytest.fixture
+def eight_cpus(monkeypatch):
+    """Pretend the machine has 8 cores so real pools can exist."""
+    monkeypatch.setattr(os, "cpu_count", lambda: 8)
+
+
+def _square(x):
+    return x * x
+
+
+def _aggressive() -> HedgePolicy:
+    """Hedge almost immediately once one observation exists."""
+    return HedgePolicy(
+        quantile=0.5,
+        multiplier=1.0,
+        min_observations=1,
+        floor_seconds=0.0,
+        max_hedges=8,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Policy validation and threshold math
+# ---------------------------------------------------------------------------
+
+
+class TestHedgePolicy:
+    def test_defaults_are_valid(self):
+        policy = HedgePolicy()
+        assert policy.quantile == 0.9
+        assert policy.multiplier == 3.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"quantile": 0.0},
+            {"quantile": 1.5},
+            {"multiplier": 0.5},
+            {"min_observations": 0},
+            {"floor_seconds": -1.0},
+            {"max_hedges": -1},
+        ],
+    )
+    def test_rejects_nonsense(self, kwargs):
+        with pytest.raises(ValueError):
+            HedgePolicy(**kwargs)
+
+    def test_no_threshold_below_min_observations(self):
+        policy = HedgePolicy(min_observations=3)
+        assert policy.threshold_seconds([]) is None
+        assert policy.threshold_seconds([0.1, 0.2]) is None
+        assert policy.threshold_seconds([0.1, 0.2, 0.3]) is not None
+
+    def test_threshold_is_multiplier_times_quantile(self):
+        policy = HedgePolicy(
+            quantile=0.5,
+            multiplier=2.0,
+            min_observations=1,
+            floor_seconds=0.0,
+        )
+        assert policy.threshold_seconds([0.1, 0.2, 0.3]) == pytest.approx(
+            2.0 * 0.2
+        )
+
+    def test_floor_wins_over_tiny_quantiles(self):
+        policy = HedgePolicy(
+            quantile=0.5,
+            multiplier=2.0,
+            min_observations=1,
+            floor_seconds=0.5,
+        )
+        assert policy.threshold_seconds([0.001, 0.002]) == 0.5
+
+    def test_attempt_namespace_clears_first_attempt_faults(self):
+        # Backups run in a disjoint attempt namespace, so an
+        # attempt-0 fault (the common transient) cannot re-fire on the
+        # hedge that exists to route around it.
+        plan = FaultPlan().with_hang(2, seconds=30.0)
+        spec = plan.specs[0]
+        assert plan._matches(spec, 2, 0)
+        assert not plan._matches(spec, 2, HEDGE_ATTEMPT_BASE)
+
+    def test_report_summary_mentions_hedges(self):
+        report = ExecutionReport(hedges_launched=2, hedges_won=1)
+        assert "2 hedged (1 won by backup)" in report.summary()
+        assert "hedged" not in ExecutionReport().summary()
+
+
+# ---------------------------------------------------------------------------
+# Pool-level rescue: a hung primary loses to its backup
+# ---------------------------------------------------------------------------
+
+
+class TestPoolHedging:
+    def test_hedge_rescues_hang_fast(self, eight_cpus):
+        # The primary for task 2 hangs 30s on its first attempt.  With
+        # a 20s task timeout, sequential recovery would cost >= 20s;
+        # the hedge threshold fires within a fraction of a second.
+        plan = FaultPlan().with_hang(2, seconds=30.0)
+        supervision = Supervision(
+            plan=plan,
+            policy=RetryPolicy(
+                task_timeout_seconds=20.0,
+                backoff_base_seconds=0.0,
+                backoff_jitter=0.0,
+                hedge=HedgePolicy(
+                    quantile=0.5,
+                    multiplier=2.0,
+                    min_observations=2,
+                    floor_seconds=0.02,
+                ),
+            ),
+        )
+        METRICS.reset()
+        started = time.perf_counter()
+        with WorkerPool(4) as pool:
+            results = pool.map(_square, list(range(8)), supervision)
+        elapsed = time.perf_counter() - started
+        assert results == [x * x for x in range(8)]
+        assert elapsed < 10.0  # far below both the hang and the timeout
+        assert supervision.report.hedges_launched >= 1
+        assert supervision.report.hedges_won >= 1
+        assert supervision.report.task_timeouts == 0
+        snapshot = METRICS.snapshot()
+        assert snapshot["pool.hedges"]["value"] >= 1
+        assert snapshot["pool.hedge_wins"]["value"] >= 1
+
+    def test_no_hedges_without_policy(self, eight_cpus):
+        supervision = Supervision(
+            policy=RetryPolicy(task_timeout_seconds=20.0, hedge=None)
+        )
+        with WorkerPool(4) as pool:
+            results = pool.map(_square, list(range(8)), supervision)
+        assert results == [x * x for x in range(8)]
+        assert supervision.report.hedges_launched == 0
+
+    def test_max_hedges_caps_backups(self, eight_cpus):
+        # Zero budget: the policy is present but can never launch.
+        supervision = Supervision(
+            policy=RetryPolicy(
+                task_timeout_seconds=20.0,
+                hedge=HedgePolicy(
+                    quantile=0.5,
+                    multiplier=1.0,
+                    min_observations=1,
+                    floor_seconds=0.0,
+                    max_hedges=0,
+                ),
+            )
+        )
+        with WorkerPool(4) as pool:
+            results = pool.map(_square, list(range(8)), supervision)
+        assert results == [x * x for x in range(8)]
+        assert supervision.report.hedges_launched == 0
+
+    def test_healthy_round_hedges_are_harmless(self, eight_cpus):
+        # Force hedges on perfectly healthy tasks: whoever wins, the
+        # results must be exactly the primaries' answers.
+        supervision = Supervision(
+            policy=RetryPolicy(
+                task_timeout_seconds=20.0, hedge=_aggressive()
+            )
+        )
+        with WorkerPool(4) as pool:
+            results = pool.map(_square, list(range(16)), supervision)
+        assert results == [x * x for x in range(16)]
+
+
+# ---------------------------------------------------------------------------
+# Engine-level: latency rescue and bit-identity
+# ---------------------------------------------------------------------------
+
+
+def _make_engine(**config_kwargs) -> AQPEngine:
+    config = EngineConfig(
+        retry_backoff_seconds=0.0, run_diagnostics=False, **config_kwargs
+    )
+    engine = AQPEngine(config=config, seed=42)
+    rng = np.random.default_rng(9)
+    engine.register_table(
+        "t", Table({"x": rng.normal(100.0, 15.0, 20000)}, name="t")
+    )
+    engine.create_sample("t", size=4000, name="s")
+    return engine
+
+
+def _median_query(engine: AQPEngine):
+    return engine.execute("SELECT MEDIAN(x) FROM t", sample_name="s")
+
+
+class TestEngineHedging:
+    def test_hedge_beats_sequential_timeout(self, eight_cpus):
+        clean = _median_query(_make_engine())
+
+        plan = FaultPlan().with_hang(1, seconds=30.0)
+        engine = _make_engine(
+            fault_plan=plan,
+            num_workers=4,
+            task_timeout_seconds=15.0,
+            hedge=HedgePolicy(
+                quantile=0.5,
+                multiplier=2.0,
+                min_observations=2,
+                floor_seconds=0.02,
+            ),
+        )
+        started = time.perf_counter()
+        try:
+            hedged = _median_query(engine)
+        finally:
+            engine.close()
+        elapsed = time.perf_counter() - started
+
+        report = hedged.execution_report
+        assert report.hedges_launched >= 1
+        assert report.hedges_won >= 1
+        assert not report.degraded
+        assert elapsed < 10.0  # sequential recovery would cost >= 15s
+        # First-result-wins on the same RNG stream: bit-identical.
+        assert clean.single().interval == hedged.single().interval
+        assert clean.single().estimate == hedged.single().estimate
+
+    def test_hedging_disabled_still_recovers_via_timeout(self, eight_cpus):
+        # hedge=None restores the old sequential ladder: slower but
+        # still correct and still bit-identical after the retry.
+        clean = _median_query(_make_engine())
+        plan = FaultPlan().with_hang(1, seconds=30.0)
+        engine = _make_engine(
+            fault_plan=plan,
+            num_workers=4,
+            task_timeout_seconds=0.5,
+            hedge=None,
+        )
+        try:
+            recovered = _median_query(engine)
+        finally:
+            engine.close()
+        report = recovered.execution_report
+        assert report.hedges_launched == 0
+        assert report.task_timeouts >= 1
+        assert clean.single().interval == recovered.single().interval
+
+
+class TestHedgingBitIdentity:
+    """Hedges fired on healthy tasks must never change an answer."""
+
+    @settings(max_examples=4, deadline=None)
+    @given(
+        workers=st.sampled_from([1, 2, 4]),
+        sql=st.sampled_from(
+            [
+                "SELECT MEDIAN(x) FROM t",
+                "SELECT AVG(x), SUM(x) FROM t",
+                "SELECT COUNT(*) FROM t WHERE x > 100",
+            ]
+        ),
+    )
+    def test_bit_identical_across_worker_counts(self, workers, sql):
+        os_cpu_count = os.cpu_count
+        os.cpu_count = lambda: 8
+        try:
+            serial = _make_engine(num_workers=1, hedge=None)
+            baseline = serial.execute(sql, sample_name="s")
+            engine = _make_engine(
+                num_workers=workers,
+                task_timeout_seconds=20.0,
+                hedge=_aggressive(),
+            )
+            try:
+                hedged = engine.execute(sql, sample_name="s")
+            finally:
+                engine.close()
+        finally:
+            os.cpu_count = os_cpu_count
+        for base_row, hedge_row in zip(baseline.rows, hedged.rows):
+            assert base_row.group == hedge_row.group
+            for name, base_value in base_row.values.items():
+                hedge_value = hedge_row.values[name]
+                assert base_value.estimate == hedge_value.estimate
+                assert base_value.interval == hedge_value.interval

@@ -1,0 +1,596 @@
+"""The storage fault domain and crash-consistent catalog recovery.
+
+The worker fault domain (``tests/test_faults.py``) proves crashes and
+hangs degrade honestly; this file does the same for the disk.  It
+covers:
+
+* the ``REPRO_FAULTS`` grammar extensions (``torn@N``, ``bitflip@N``,
+  ``enospc[@N]``, ``slowdisk:T``, ``crashpromote@N``) and the
+  :class:`StorageFaultInjector` that turns them into byte-level damage;
+* the stage → fsync → promote protocol: integrity sidecars written at
+  stage time, verified at load time, with every corrupt / truncated /
+  sidecar-less / version-mismatched artifact quarantined — a bad cube
+  costs a catalog miss, never a wrong answer;
+* the startup sweep of orphaned ``staging/`` files (the storage mirror
+  of ``shm.sweep_orphans``);
+* TTL expiry and version invalidation under an injectable clock — no
+  real sleeping, no wall-clock flakiness.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import zlib
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.catalog import CatalogConfig, MaterializedCatalog, RollupCube
+from repro.catalog.store import sidecar_path, verify_artifact
+from repro.core.pipeline import AQPEngine, EngineConfig
+from repro.engine.table import Table
+from repro.errors import (
+    CorruptArtifactError,
+    StorageError,
+    StorageUnavailableError,
+)
+from repro.faults import FaultPlan, StorageFaultInjector
+from repro.obs.metrics import METRICS
+from repro.sampling.catalog import SampleInfo
+from repro.catalog.store import ResultKey
+
+ROWS = 3_000
+SAMPLE = 800
+
+
+def _sessions_table(rows: int = ROWS) -> Table:
+    rng = np.random.default_rng(321)
+    return Table(
+        {
+            "load_ms": rng.lognormal(3.0, 0.8, rows),
+            "score": rng.normal(40.0, 6.0, rows),
+            "city": np.char.add(
+                "c", rng.integers(0, 4, rows).astype(str)
+            ),
+        },
+        name="sessions",
+    )
+
+
+def _engine(**config_kwargs) -> AQPEngine:
+    engine = AQPEngine(
+        config=EngineConfig(catalog=True, **config_kwargs), seed=5
+    )
+    engine.register_table("sessions", _sessions_table())
+    engine.create_sample("sessions", size=SAMPLE, name="s")
+    return engine
+
+
+def _cube(engine: AQPEngine) -> RollupCube:
+    return engine.materialize("sessions", ("city",))
+
+
+# ---------------------------------------------------------------------------
+# Spec grammar and plan interrogation
+# ---------------------------------------------------------------------------
+
+
+class TestSpecGrammar:
+    def test_storage_tokens_parse(self):
+        plan = FaultPlan.from_spec(
+            "torn@0, bitflip@1, enospc, slowdisk:0.01, crashpromote@2"
+        )
+        kinds = [(s.kind, s.task) for s in plan.specs]
+        assert kinds == [
+            ("torn", 0),
+            ("bitflip", 1),
+            ("enospc", None),
+            ("slowdisk", None),
+            ("crashpromote", 2),
+        ]
+        assert plan.specs[3].seconds == pytest.approx(0.01)
+
+    def test_enospc_scoped_to_one_op(self):
+        plan = FaultPlan.from_spec("enospc@3")
+        assert plan.specs[0].kind == "enospc"
+        assert plan.specs[0].task == 3
+
+    def test_storage_faults_fire_on_every_attempt(self):
+        # Disk damage does not heal on retry: storage specs must not
+        # inherit the worker domain's attempt=0 default.
+        plan = FaultPlan.from_spec("torn@0,crashpromote@1")
+        assert all(spec.attempt is None for spec in plan.specs)
+
+    def test_mixed_worker_and_storage_spec(self):
+        plan = FaultPlan.from_spec("crash@2,hang@5:0.5,torn@0,slowdisk:0.02")
+        assert plan.has_storage_faults()
+        assert plan.fsync_delay_seconds() == pytest.approx(0.02)
+        assert plan.storage_fault_for(0).kind == "torn"
+        assert plan.storage_fault_for(9) is None
+
+    def test_worker_only_plan_has_no_storage_faults(self):
+        plan = FaultPlan.from_spec("crash@2,rate:0.1")
+        assert not plan.has_storage_faults()
+        assert plan.fsync_delay_seconds() == 0.0
+
+    def test_unparseable_storage_token(self):
+        with pytest.raises(ValueError, match="unparseable"):
+            FaultPlan.from_spec("torn")
+        with pytest.raises(ValueError):
+            FaultPlan.from_spec("slowdisk")
+
+    def test_error_hierarchy(self):
+        assert issubclass(CorruptArtifactError, StorageError)
+        assert issubclass(StorageUnavailableError, StorageError)
+
+
+# ---------------------------------------------------------------------------
+# The injector: deterministic byte-level damage
+# ---------------------------------------------------------------------------
+
+
+class TestInjector:
+    def test_inactive_injector_passes_through(self):
+        injector = StorageFaultInjector(FaultPlan(seed=0))
+        assert not injector.active
+        op = injector.begin_save()
+        assert injector.corrupt_payload(op, b"abc") == b"abc"
+        injector.before_promote(op)  # no raise
+
+    def test_ops_count_up(self):
+        injector = StorageFaultInjector(FaultPlan(seed=0))
+        assert [injector.begin_save() for _ in range(3)] == [0, 1, 2]
+
+    def test_torn_write_truncates(self):
+        injector = StorageFaultInjector(FaultPlan(seed=0).with_torn_write(0))
+        data = bytes(range(100))
+        torn = injector.corrupt_payload(0, data)
+        assert 0 < len(torn) < len(data)
+        assert data.startswith(torn)
+        # Only op 0 is torn.
+        assert injector.corrupt_payload(1, data) == data
+
+    def test_bitflip_is_seeded(self):
+        plan = FaultPlan(seed=13).with_bitflip(0)
+        a = StorageFaultInjector(plan).corrupt_payload(0, bytes(64))
+        b = StorageFaultInjector(plan).corrupt_payload(0, bytes(64))
+        assert a == b
+        assert a != bytes(64)
+        assert len(a) == 64
+        assert sum(x != 0 for x in a) == 1  # exactly one byte flipped
+
+    def test_enospc_raises_oserror(self):
+        injector = StorageFaultInjector(FaultPlan(seed=0).with_enospc(0))
+        with pytest.raises(OSError) as excinfo:
+            injector.corrupt_payload(0, b"abc")
+        assert excinfo.value.errno == errno.ENOSPC
+
+    def test_crashpromote_raises_before_promotion(self):
+        plan = FaultPlan(seed=0).with_crash_between_stage_and_promote(0)
+        injector = StorageFaultInjector(plan)
+        with pytest.raises(StorageUnavailableError):
+            injector.before_promote(0)
+        injector.before_promote(1)  # later save promotes fine
+
+
+# ---------------------------------------------------------------------------
+# Sidecar protocol: stage, verify, promote
+# ---------------------------------------------------------------------------
+
+
+class TestSidecar:
+    def test_save_writes_verifiable_sidecar(self, tmp_path):
+        engine = _engine()
+        path = _cube(engine).save(tmp_path)
+        sidecar = sidecar_path(path)
+        assert sidecar.is_file()
+        record = verify_artifact(path)
+        assert record["sidecar_version"] == 1
+        assert record["payload_bytes"] == path.stat().st_size
+        assert record["payload_crc32"] == zlib.crc32(path.read_bytes())
+        assert record["table_name"] == "sessions"
+        # No staged leftovers after a clean promote.
+        assert list((tmp_path / "staging").iterdir()) == []
+
+    def test_loader_requires_sidecar(self, tmp_path):
+        engine = _engine()
+        path = _cube(engine).save(tmp_path)
+        sidecar_path(path).unlink()
+        # Permissive mode (direct tooling) still loads...
+        assert RollupCube.load(path).dims == ("city",)
+        # ...but the catalog's mode refuses unchecked payloads.
+        with pytest.raises(CorruptArtifactError) as excinfo:
+            RollupCube.load(path, require_sidecar=True)
+        assert excinfo.value.reason == "meta_missing"
+
+    def test_truncated_payload_detected(self, tmp_path):
+        engine = _engine()
+        path = _cube(engine).save(tmp_path)
+        path.write_bytes(path.read_bytes()[:-20])
+        with pytest.raises(CorruptArtifactError) as excinfo:
+            verify_artifact(path)
+        assert excinfo.value.reason == "truncated"
+
+    def test_bitflipped_payload_detected(self, tmp_path):
+        engine = _engine()
+        path = _cube(engine).save(tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CorruptArtifactError) as excinfo:
+            verify_artifact(path)
+        assert excinfo.value.reason == "crc_mismatch"
+
+    def test_garbage_sidecar_detected(self, tmp_path):
+        engine = _engine()
+        path = _cube(engine).save(tmp_path)
+        sidecar_path(path).write_text("{not json")
+        with pytest.raises(CorruptArtifactError) as excinfo:
+            verify_artifact(path)
+        assert excinfo.value.reason == "meta_invalid"
+
+    def test_schema_version_mismatch_rejected(self, tmp_path):
+        # A payload from the future: valid zip, valid sidecar, wrong
+        # schema.  Must be rejected as corrupt, not half-parsed.
+        ready = tmp_path / "ready"
+        ready.mkdir(parents=True)
+        path = ready / "future.npz"
+        import io as _io
+
+        buffer = _io.BytesIO()
+        np.savez(buffer, meta=json.dumps({"schema_version": 2}))
+        payload = buffer.getvalue()
+        path.write_bytes(payload)
+        sidecar_path(path).write_text(
+            json.dumps(
+                {
+                    "sidecar_version": 1,
+                    "payload_crc32": zlib.crc32(payload),
+                    "payload_bytes": len(payload),
+                }
+            )
+        )
+        with pytest.raises(CorruptArtifactError) as excinfo:
+            RollupCube.load(path, require_sidecar=True)
+        assert excinfo.value.reason == "schema_version"
+
+    def test_valid_zip_invalid_cube_rejected(self, tmp_path):
+        # Passes CRC (sidecar matches what was written) and is a real
+        # npz — but not a cube.  The loader must still refuse it.
+        path = tmp_path / "junk.npz"
+        import io as _io
+
+        buffer = _io.BytesIO()
+        np.savez(buffer, meta=json.dumps({"schema_version": 1}))
+        payload = buffer.getvalue()
+        path.write_bytes(payload)
+        sidecar_path(path).write_text(
+            json.dumps(
+                {
+                    "sidecar_version": 1,
+                    "payload_crc32": zlib.crc32(payload),
+                    "payload_bytes": len(payload),
+                }
+            )
+        )
+        with pytest.raises(CorruptArtifactError) as excinfo:
+            RollupCube.load(path, require_sidecar=True)
+        assert excinfo.value.reason == "payload_invalid"
+
+
+# ---------------------------------------------------------------------------
+# Quarantine: corruption degrades to a miss, evidence is preserved
+# ---------------------------------------------------------------------------
+
+
+class TestQuarantine:
+    def _persisted_engine(self, tmp_path):
+        config = CatalogConfig(directory=str(tmp_path))
+        engine = _engine(catalog_config=config)
+        _cube(engine)
+        return engine
+
+    def test_bitflipped_artifact_quarantined_on_load(self, tmp_path):
+        self._persisted_engine(tmp_path)
+        victim = next((tmp_path / "ready").glob("*.npz"))
+        raw = bytearray(victim.read_bytes())
+        raw[10] ^= 0xFF
+        victim.write_bytes(bytes(raw))
+
+        METRICS.reset()
+        fresh = _engine(catalog_config=CatalogConfig(directory=str(tmp_path)))
+        assert fresh.mv_catalog.load_cubes() == 0
+        assert fresh.mv_catalog.quarantined == 1
+        assert METRICS.snapshot()["catalog.quarantined"]["value"] == 1
+        quarantine = tmp_path / "quarantine"
+        # Payload AND sidecar moved, never deleted.
+        assert (quarantine / victim.name).is_file()
+        assert (quarantine / f"{victim.name}.meta.json").is_file()
+        assert list((tmp_path / "ready").glob("*.npz")) == []
+        # The corrupted cube costs a miss, never a wrong answer.
+        result = fresh.execute(
+            "SELECT COUNT(*) FROM sessions WHERE city = 'c1'",
+            run_diagnostics=False,
+        )
+        assert result.catalog_route == "miss"
+
+    def test_truncated_artifact_quarantined(self, tmp_path):
+        self._persisted_engine(tmp_path)
+        victim = next((tmp_path / "ready").glob("*.npz"))
+        victim.write_bytes(victim.read_bytes()[: victim.stat().st_size // 3])
+        catalog = MaterializedCatalog(
+            config=CatalogConfig(directory=str(tmp_path))
+        )
+        assert catalog.load_cubes() == 0
+        assert catalog.quarantined == 1
+
+    def test_sidecarless_artifact_quarantined(self, tmp_path):
+        self._persisted_engine(tmp_path)
+        victim = next((tmp_path / "ready").glob("*.npz"))
+        sidecar_path(victim).unlink()
+        catalog = MaterializedCatalog(
+            config=CatalogConfig(directory=str(tmp_path))
+        )
+        assert catalog.load_cubes() == 0
+        assert catalog.quarantined == 1
+        assert (tmp_path / "quarantine" / victim.name).is_file()
+
+    def test_orphan_sidecar_quarantined(self, tmp_path):
+        self._persisted_engine(tmp_path)
+        victim = next((tmp_path / "ready").glob("*.npz"))
+        victim.unlink()
+        catalog = MaterializedCatalog(
+            config=CatalogConfig(directory=str(tmp_path))
+        )
+        assert catalog.load_cubes() == 0
+        assert catalog.quarantined == 1
+        assert (
+            tmp_path / "quarantine" / f"{victim.name}.meta.json"
+        ).is_file()
+
+    def test_good_neighbours_survive_a_bad_artifact(self, tmp_path):
+        config = CatalogConfig(directory=str(tmp_path))
+        engine = _engine(catalog_config=config)
+        engine.materialize("sessions", ("city",))
+        ready = sorted((tmp_path / "ready").glob("*.npz"))
+        assert len(ready) == 1
+        # Drop a corrupt stranger next to the good cube.
+        bad = ready[0].with_name("zzz_bad.npz")
+        bad.write_bytes(b"not a zip at all")
+        sidecar_path(bad).write_text(json.dumps({"payload_crc32": 0}))
+
+        catalog = MaterializedCatalog(config=config)
+        assert catalog.load_cubes() == 1
+        assert catalog.quarantined == 1
+
+    def test_quarantine_name_collisions_get_suffixes(self, tmp_path):
+        self._persisted_engine(tmp_path)
+        victim = next((tmp_path / "ready").glob("*.npz"))
+        catalog = MaterializedCatalog(
+            config=CatalogConfig(directory=str(tmp_path))
+        )
+        catalog.quarantine_artifact(victim, "crc_mismatch")
+        # Same name corrupted again in a later generation.
+        victim.write_bytes(b"second generation")
+        catalog.quarantine_artifact(victim, "crc_mismatch")
+        quarantine = tmp_path / "quarantine"
+        assert (quarantine / victim.name).is_file()
+        assert (quarantine / f"{victim.name}.1").is_file()
+        assert catalog.quarantined == 2
+
+
+# ---------------------------------------------------------------------------
+# Injected save-path faults
+# ---------------------------------------------------------------------------
+
+
+class TestInjectedSaveFaults:
+    def test_enospc_raises_typed_and_leaves_ready_untouched(self, tmp_path):
+        engine = _engine()
+        cube = _cube(engine)
+        injector = StorageFaultInjector(FaultPlan(seed=0).with_enospc())
+        METRICS.reset()
+        with pytest.raises(StorageUnavailableError):
+            cube.save(tmp_path, injector=injector)
+        assert (
+            METRICS.snapshot()["catalog.storage_unavailable"]["value"] == 1
+        )
+        assert list((tmp_path / "ready").glob("*.npz")) == []
+
+    def test_save_cubes_is_best_effort(self, tmp_path):
+        # First save op fails; the catalog keeps going and the process
+        # stays up — durability must never take the engine down.
+        engine = _engine()
+        _cube(engine)
+        injector = StorageFaultInjector(FaultPlan(seed=0).with_enospc(0))
+        saved = engine.mv_catalog.save_cubes(tmp_path, injector=injector)
+        assert saved == []
+
+    def test_crashpromote_leaves_staging_for_the_sweep(self, tmp_path):
+        engine = _engine()
+        cube = _cube(engine)
+        plan = FaultPlan(seed=0).with_crash_between_stage_and_promote(0)
+        with pytest.raises(StorageUnavailableError):
+            cube.save(tmp_path, injector=StorageFaultInjector(plan))
+        staged = sorted(p.name for p in (tmp_path / "staging").iterdir())
+        assert len(staged) == 2  # payload + sidecar, both staged
+        assert list((tmp_path / "ready").glob("*.npz")) == []
+
+        METRICS.reset()
+        catalog = MaterializedCatalog(
+            config=CatalogConfig(directory=str(tmp_path))
+        )
+        swept = catalog.sweep_staging()
+        assert sorted(swept) == staged
+        assert catalog.staging_orphans_swept == 2
+        assert (
+            METRICS.snapshot()["catalog.staging_orphans_swept"]["value"] == 2
+        )
+        assert list((tmp_path / "staging").iterdir()) == []
+
+    def test_engine_startup_sweeps_staging(self, tmp_path):
+        engine = _engine()
+        cube = _cube(engine)
+        plan = FaultPlan(seed=0).with_crash_between_stage_and_promote(0)
+        with pytest.raises(StorageUnavailableError):
+            cube.save(tmp_path, injector=StorageFaultInjector(plan))
+        assert len(list((tmp_path / "staging").iterdir())) == 2
+
+        fresh = _engine(
+            catalog_config=CatalogConfig(directory=str(tmp_path))
+        )
+        assert fresh.mv_catalog.staging_orphans_swept == 2
+        assert list((tmp_path / "staging").iterdir()) == []
+
+    def test_torn_write_promotes_then_quarantines_on_reload(self, tmp_path):
+        # The tear hits the bytes on disk while the sidecar records the
+        # intended CRC — latent corruption only the loader can catch.
+        engine = _engine()
+        cube = _cube(engine)
+        injector = StorageFaultInjector(FaultPlan(seed=0).with_torn_write(0))
+        path = cube.save(tmp_path, injector=injector)
+        assert path.is_file()
+        catalog = MaterializedCatalog(
+            config=CatalogConfig(directory=str(tmp_path))
+        )
+        assert catalog.load_cubes() == 0
+        assert catalog.quarantined == 1
+
+    def test_bitflip_promotes_then_quarantines_on_reload(self, tmp_path):
+        engine = _engine()
+        cube = _cube(engine)
+        injector = StorageFaultInjector(FaultPlan(seed=0).with_bitflip(0))
+        cube.save(tmp_path, injector=injector)
+        catalog = MaterializedCatalog(
+            config=CatalogConfig(directory=str(tmp_path))
+        )
+        assert catalog.load_cubes() == 0
+        assert catalog.quarantined == 1
+
+    def test_faulted_op_does_not_poison_later_saves(self, tmp_path):
+        engine = _engine()
+        cube = _cube(engine)
+        injector = StorageFaultInjector(FaultPlan(seed=0).with_enospc(0))
+        with pytest.raises(StorageUnavailableError):
+            cube.save(tmp_path, injector=injector)
+        # Save op 1 is clean: promotes and verifies.
+        path = cube.save(tmp_path, injector=injector)
+        assert verify_artifact(path)["table_name"] == "sessions"
+
+    def test_engine_materialize_survives_enospc(self, tmp_path):
+        # The engine's own injector (REPRO_FAULTS path): materialize
+        # still returns a resident cube even when persistence fails.
+        engine = _engine(
+            catalog_config=CatalogConfig(directory=str(tmp_path)),
+            fault_plan=FaultPlan(seed=0).with_enospc(),
+        )
+        cube = engine.materialize("sessions", ("city",))
+        assert cube.num_cells > 0
+        assert list((tmp_path / "ready").glob("*.npz")) == []
+        # Served from memory regardless.
+        result = engine.execute(
+            "SELECT COUNT(*) FROM sessions WHERE city = 'c1'",
+            run_diagnostics=False,
+        )
+        assert result.catalog_route == "partial"
+
+
+# ---------------------------------------------------------------------------
+# TTL expiry and version invalidation under an injectable clock
+# ---------------------------------------------------------------------------
+
+
+def _result_key(shape: str = "q0") -> ResultKey:
+    return ResultKey(
+        shape=shape,
+        bindings=(),
+        confidence=0.95,
+        error_bound=None,
+        sample_name="s",
+        max_sample_rows=None,
+        diagnostics=True,
+    )
+
+
+def _sample_info() -> SampleInfo:
+    return SampleInfo(
+        name="s",
+        table_name="sessions",
+        rows=SAMPLE,
+        dataset_rows=ROWS,
+        cached_fraction=1.0,
+    )
+
+
+class FakeClock:
+    def __init__(self, now: float = 1_000.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestInjectableClock:
+    def test_ttl_expiry_without_sleeping(self):
+        clock = FakeClock()
+        catalog = MaterializedCatalog(
+            config=CatalogConfig(ttl_seconds=60.0), clock=clock
+        )
+        key = _result_key()
+        catalog.store_result(key, (), _sample_info(), "sessions", 0, 0)
+        assert catalog.lookup_result(key) is not None
+
+        clock.advance(59.0)
+        assert catalog.lookup_result(key) is not None
+
+        clock.advance(2.0)
+        METRICS.reset()
+        assert catalog.lookup_result(key) is None
+        assert METRICS.snapshot()["catalog.expirations"]["value"] == 1
+        # The expired entry is gone, not resurrectable.
+        assert catalog.lookup_result(key) is None
+
+    def test_no_ttl_never_expires(self):
+        clock = FakeClock()
+        catalog = MaterializedCatalog(
+            config=CatalogConfig(ttl_seconds=None), clock=clock
+        )
+        key = _result_key()
+        catalog.store_result(key, (), _sample_info(), "sessions", 0, 0)
+        clock.advance(1e9)
+        assert catalog.lookup_result(key) is not None
+
+    def test_version_invalidation_beats_ttl(self):
+        # A fresh entry (well inside its TTL) still dies when the table
+        # is re-registered: version staleness is not time staleness.
+        clock = FakeClock()
+        catalog = MaterializedCatalog(
+            config=CatalogConfig(ttl_seconds=3600.0), clock=clock
+        )
+        key = _result_key()
+        catalog.store_result(key, (), _sample_info(), "sessions", 0, 0)
+        catalog.note_table_changed("sessions")
+        assert catalog.lookup_result(key) is None
+
+    def test_entries_for_other_tables_survive_invalidation(self):
+        clock = FakeClock()
+        catalog = MaterializedCatalog(clock=clock)
+        mine = _result_key("mine")
+        other = _result_key("other")
+        catalog.store_result(mine, (), _sample_info(), "sessions", 0, 0)
+        catalog.store_result(other, (), _sample_info(), "clicks", 0, 0)
+        catalog.note_table_changed("sessions")
+        assert catalog.lookup_result(mine) is None
+        assert catalog.lookup_result(other) is not None
+
+    def test_store_uses_injected_clock_for_created_at(self):
+        clock = FakeClock(now=42.0)
+        catalog = MaterializedCatalog(clock=clock)
+        key = _result_key()
+        catalog.store_result(key, (), _sample_info(), "sessions", 0, 0)
+        assert catalog.lookup_result(key).created_at == 42.0
