@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test faults bench bench-baseline bench-smoke stress chaos
+.PHONY: check lint test faults bench bench-baseline bench-smoke audit-smoke stress chaos
 
 check: lint test
 
@@ -34,17 +34,29 @@ bench-baseline:
 # diffed against the committed BENCH_smoke_baseline.json — the target
 # FAILS if any tier-1 bench regresses by more than 25% beyond the noise
 # floor, and the per-bench comparison table is written to
-# bench_smoke_compare.json for the artifact upload.  The catalog
-# serving bench then replays the Conviva dashboard mix cold vs. warm
-# and FAILS unless the warm hit rate is >= 90% and the median speedup
-# >= 20x (report in catalog_serving.json).
+# benchmarks/results/bench_smoke_compare.json for the artifact upload.
+# The catalog serving bench then replays the Conviva dashboard mix
+# cold vs. warm and FAILS unless the warm hit rate is >= 90% and the
+# median speedup >= 20x (report in
+# benchmarks/results/catalog_serving.json).
 bench-smoke:
 	$(PYTHON) benchmarks/record_bench.py --smoke \
-		--out BENCH_smoke.json --trace-sample trace_sample.json \
+		--out benchmarks/results/BENCH_smoke.json \
+		--trace-sample benchmarks/results/trace_sample.json \
 		--compare --baseline BENCH_smoke_baseline.json \
-		--compare-out bench_smoke_compare.json
+		--compare-out benchmarks/results/bench_smoke_compare.json
 	$(PYTHON) benchmarks/bench_catalog_serving.py --smoke \
-		--out catalog_serving.json --check
+		--out benchmarks/results/catalog_serving.json --check
+
+# Calibration-audit smoke: ~1000 audited dashboard queries across
+# cold/exact/partial routes and every degradation level, a seeded
+# stale-cube fault, and the breach -> invalidate -> recover loop.
+# FAILS if realized coverage leaves the +/- tolerance band around
+# nominal, if the fault goes undetected, or if recovery stalls; the
+# JSON report lands in benchmarks/results/audit.json.
+audit-smoke:
+	$(PYTHON) benchmarks/bench_audit_calibration.py \
+		--out benchmarks/results/audit.json
 
 # Overload stress: concurrent clients vs. the query governor at a
 # quarter of the ungoverned peak memory.  Asserts zero crashes, zero

@@ -1,0 +1,500 @@
+"""Calibration audit harness: are the fleet's error bars honest?
+
+Every per-query surface in this repo asks "can this answer be
+trusted?" *before* shipping it.  The calibration auditor asks the
+complementary question *after the fact*, fleet-wide: across everything
+we shipped, did the 95 % intervals actually contain the truth 95 % of
+the time?  This bench drives the full loop over a Conviva-style
+dashboard workload:
+
+1. **Healthy sweep** — hundreds of distinct dashboard panels (rotating
+   city/ISP literals over COUNT / AVG / SUM / PERCENTILE / MEDIAN,
+   spread across several independently drawn samples so coverage
+   observations decorrelate) executed through the engine with
+   ``audit_fraction=1.0``.  Repeated panels exercise the materialized
+   catalog's exact-replay route; cube-servable shapes exercise the
+   partial route; governor degradation levels are imposed on dedicated
+   slices so every rung of the ladder appears in the audit stream.
+2. **Seeded fault** — one rollup cube's pre-aggregated sums for a
+   single measure are silently scaled, the classic stale-materialization
+   drift no per-query diagnostic can see (each served answer is
+   internally consistent).  The audited partial-route traffic must
+   breach its coverage SLO, the breach must invalidate the cube, and
+   the breach must be visible in the event log, the auditor report,
+   and the OpenMetrics export.
+3. **Recovery** — the same panels re-run; with the poisoned cube gone
+   they route cold and coverage returns.
+
+Gates (the paper's reliability claim, made operational):
+
+* >= ``audited_target`` audited queries spanning cold, exact, and
+  partial routes and every degradation level;
+* healthy full-fidelity realized coverage within +/- ``tolerance`` of
+  the nominal 95 %;
+* degraded levels that ship intervals stay within ``tolerance`` below
+  nominal (one-sided; point estimates ship no intervals to audit);
+* the seeded fault is detected, the cube invalidated, and traffic
+  recovers.
+
+Run directly for a report (also written to
+``benchmarks/results/audit.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_audit_calibration.py
+
+or under pytest, where the same run executes as a smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import warnings
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.core.pipeline import AQPEngine, EngineConfig
+from repro.errors import DegradedResultWarning
+from repro.governor import DegradationLevel
+from repro.obs import (
+    EVENTS,
+    METRICS,
+    AuditConfig,
+    render_audit_report,
+    render_openmetrics,
+    summarize_events,
+)
+from repro.workloads.datagen import conviva_sessions_table
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+TABLE = "media_sessions"
+CITIES = tuple(f"city_{i:02d}" for i in range(25))
+ISPS = tuple(f"isp_{i}" for i in range(12))
+MEASURES = ("session_time", "buffering_ratio", "startup_ms", "bitrate")
+#: The measure the seeded fault poisons.
+FAULT_MEASURE = "buffering_ratio"
+FAULT_SCOPE = f"table:{TABLE}|route:partial"
+
+
+def dashboard_panels() -> list[str]:
+    """Distinct dashboard-panel queries: fixed shapes, rotating literals."""
+    panels: list[str] = []
+    for city in CITIES:
+        panels.append(
+            f"SELECT COUNT(*) FROM {TABLE} WHERE city = '{city}'"
+        )
+        panels.append(
+            f"SELECT SUM(startup_ms) FROM {TABLE} WHERE city = '{city}'"
+        )
+        for measure in MEASURES:
+            panels.append(
+                f"SELECT AVG({measure}) FROM {TABLE} WHERE city = '{city}'"
+            )
+    for isp in ISPS:
+        panels.append(f"SELECT COUNT(*) FROM {TABLE} WHERE isp = '{isp}'")
+        panels.append(
+            f"SELECT SUM(startup_ms) FROM {TABLE} WHERE isp = '{isp}'"
+        )
+        for measure in MEASURES:
+            panels.append(
+                f"SELECT AVG({measure}) FROM {TABLE} WHERE isp = '{isp}'"
+            )
+    for city in CITIES[:12]:
+        panels.append(
+            f"SELECT PERCENTILE(session_time, 0.5) FROM {TABLE} "
+            f"WHERE city = '{city}'"
+        )
+        panels.append(
+            f"SELECT MEDIAN(startup_ms) FROM {TABLE} WHERE city = '{city}'"
+        )
+    return panels
+
+
+def interval_degraded_panels() -> list[str]:
+    """Large-cell panels for the REDUCED_K / CLOSED_FORM slices.
+
+    Unfiltered, ISP-level, and bitrate-threshold cells keep hundreds
+    to thousands of sample rows behind every interval, so the
+    closed-form intervals these levels still ship stay deep in CLT
+    territory — the slice measures *degradation* calibration, not
+    small-cell breakdown.
+    """
+    panels: list[str] = []
+    for measure in MEASURES:
+        panels.append(f"SELECT AVG({measure}) FROM {TABLE}")
+        for isp in ISPS:
+            panels.append(
+                f"SELECT AVG({measure}) FROM {TABLE} WHERE isp = '{isp}'"
+            )
+        for threshold in (375, 560, 750, 1050, 1750):
+            panels.append(
+                f"SELECT AVG({measure}) FROM {TABLE} "
+                f"WHERE bitrate >= {threshold}.0"
+            )
+    return panels
+
+
+def point_estimate_panels() -> list[str]:
+    """Bootstrap-backed panels for the POINT_ESTIMATE slice.
+
+    At the ladder's bottom rung the bootstrap is skipped entirely, so
+    these ship estimates with *no* interval — the audit must find
+    nothing to check (closed-form aggregates would still carry their
+    free intervals, which is the other slices' job to cover).  The
+    measures deliberately avoid every MEDIAN/PERCENTILE panel phase 1a
+    stored, so the catalog cannot replay a full-fidelity interval
+    under this label.
+    """
+    return [
+        f"SELECT MEDIAN({measure}) FROM {TABLE} WHERE city = '{city}'"
+        for city in CITIES
+        for measure in ("buffering_ratio", "bytes_streamed")
+    ]
+
+
+def make_engine(
+    rows: int, sample_rows: int, num_samples: int, seed: int
+) -> AQPEngine:
+    engine = AQPEngine(
+        EngineConfig(
+            run_diagnostics=False,
+            tracing=False,
+            event_log=True,
+            audit_config=AuditConfig(fraction=1.0),
+        ),
+        seed=seed,
+    )
+    engine.register_table(
+        TABLE, conviva_sessions_table(rows, np.random.default_rng(seed))
+    )
+    for index in range(num_samples):
+        engine.create_sample(TABLE, size=sample_rows, name=f"s{index}")
+    return engine
+
+
+def _poison_cubes(engine: AQPEngine, factor: float) -> int:
+    """Scale one measure's pre-aggregated sums in every cube — the
+    stale-cube drift.  Replicate and point moments shift together, so
+    each served answer stays internally consistent (tight interval
+    around a wrong estimate) and only a ground-truth audit can tell.
+    """
+    poisoned = 0
+    for cube in engine.mv_catalog.cubes_for(TABLE):
+        if FAULT_MEASURE not in cube.point_sums:
+            continue
+        cube.point_sums[FAULT_MEASURE] *= factor
+        cube.point_sumsqs[FAULT_MEASURE] *= factor * factor
+        cube.rep_sums[FAULT_MEASURE] *= factor
+        cube.rep_sumsqs[FAULT_MEASURE] *= factor * factor
+        poisoned += 1
+    # Replayed exact-route answers for the table would serve the
+    # pre-fault stored results; the fault models a refresh that went
+    # stale *everywhere*, so drop them and let cube serving answer.
+    engine.mv_catalog._results = {
+        key: entry
+        for key, entry in engine.mv_catalog._results.items()
+        if entry.table_name != TABLE
+    }
+    return poisoned
+
+
+def run_audit_calibration(
+    rows: int = 60_000,
+    sample_rows: int = 4_000,
+    num_samples: int = 6,
+    seed: int = 2014,
+    tolerance: float = 0.02,
+    audited_target: int = 500,
+    fault_factor: float = 1.5,
+) -> dict:
+    """The full three-phase experiment; returns a JSON-friendly report."""
+    EVENTS.clear()
+    engine = make_engine(rows, sample_rows, num_samples, seed)
+    breaches: list[tuple[str, dict]] = []
+    engine.auditor.add_breach_listener(
+        lambda scope, snap: breaches.append((scope, snap))
+    )
+    # A stepped-down answer warns by design; hundreds of deliberate
+    # degraded executions would otherwise flood the bench output.
+    warnings.filterwarnings("ignore", category=DegradedResultWarning)
+    started = time.perf_counter()
+
+    # Phase 1a: cold + exact dashboard traffic, rotated across samples.
+    panels = dashboard_panels()
+    for index, sql in enumerate(panels):
+        engine.execute(sql, sample_name=f"s{index % num_samples}")
+    # Verbatim repeats of two slices: the catalog's exact-replay route.
+    for index, sql in enumerate(panels):
+        if index % 3 != 2:
+            engine.execute(sql, sample_name=f"s{index % num_samples}")
+
+    # Phase 1b: cube-served (partial-route) traffic.
+    engine.materialize(TABLE, ("city", "isp"), sample_name="s0")
+    for city in CITIES:
+        engine.execute(
+            f"SELECT AVG({FAULT_MEASURE}) FROM {TABLE} "
+            f"WHERE city = '{city}'"
+        )
+    for isp in ISPS:
+        engine.execute(
+            f"SELECT COUNT(*) FROM {TABLE} WHERE isp = '{isp}'"
+        )
+    engine.execute(
+        f"SELECT city, AVG(session_time) FROM {TABLE} GROUP BY city"
+    )
+
+    # Phase 1c: every degradation rung, on dedicated slices.  The
+    # interval-shipping slices run every panel on every sample —
+    # quasi-independent draws behind each coverage observation.
+    interval_panels = interval_degraded_panels()
+    slices = {
+        DegradationLevel.REDUCED_K: interval_panels[0::2],
+        DegradationLevel.CLOSED_FORM: interval_panels[1::2],
+    }
+    for level, sqls in slices.items():
+        for sample in range(num_samples):
+            for sql in sqls:
+                engine.execute(
+                    sql, sample_name=f"s{sample}", degradation=level
+                )
+    for index, sql in enumerate(point_estimate_panels()[:40]):
+        engine.execute(
+            sql,
+            sample_name=f"s{index % num_samples}",
+            degradation=DegradationLevel.POINT_ESTIMATE,
+        )
+
+    healthy_events = EVENTS.recent()
+    healthy = summarize_events(healthy_events, tolerance=tolerance)
+
+    # Phase 2: the seeded stale-cube fault.
+    poisoned = _poison_cubes(engine, fault_factor)
+    fault_queries = 0
+    for city in CITIES:
+        if engine.mv_catalog.cubes_for(TABLE) == []:
+            break  # breach fired and evicted the poisoned cube
+        engine.execute(
+            f"SELECT AVG({FAULT_MEASURE}) FROM {TABLE} "
+            f"WHERE city = '{city}'"
+        )
+        fault_queries += 1
+    fault_report = engine.auditor.report()
+    fault_events = EVENTS.recent()[len(healthy_events):]
+    openmetrics_text = render_openmetrics()
+
+    # Phase 3: recovery — the poisoned cube is gone, panels route cold.
+    recovery_start = len(EVENTS.recent())
+    for city in CITIES:
+        engine.execute(
+            f"SELECT AVG({FAULT_MEASURE}) FROM {TABLE} "
+            f"WHERE city = '{city}'"
+        )
+    recovery_events = EVENTS.recent()[recovery_start:]
+
+    all_events = EVENTS.recent()
+    audited = [event for event in all_events if event.audited]
+    report = {
+        "config": {
+            "rows": rows,
+            "sample_rows": sample_rows,
+            "num_samples": num_samples,
+            "seed": seed,
+            "tolerance": tolerance,
+            "audited_target": audited_target,
+            "fault_factor": fault_factor,
+        },
+        "elapsed_seconds": round(time.perf_counter() - started, 3),
+        "audited_queries": len(audited),
+        "routes": sorted({event.route for event in audited}),
+        "levels": sorted({event.level for event in audited}),
+        "healthy": healthy,
+        "fault": {
+            "poisoned_cubes": poisoned,
+            "queries_to_detection": fault_queries,
+            "breach_scopes": sorted({scope for scope, _ in breaches}),
+            "cubes_remaining": len(engine.mv_catalog.cubes_for(TABLE)),
+            "quality_invalidations": METRICS.counter(
+                "catalog.quality_invalidations"
+            ).value,
+            "uncovered_partial_events": sum(
+                1
+                for event in fault_events
+                if event.route == "partial" and event.covered is False
+            ),
+            "auditor_breached": fault_report["breached"],
+        },
+        "recovery": {
+            "queries": len(recovery_events),
+            "routes": sorted({event.route for event in recovery_events}),
+            "first_route": (
+                recovery_events[0].route if recovery_events else None
+            ),
+            "uncovered": sum(
+                1
+                for event in recovery_events
+                if event.covered is False
+            ),
+            "covered": sum(
+                1 for event in recovery_events if event.covered
+            ),
+        },
+        "audit_errors": fault_report["totals"]["audit_errors"],
+    }
+    report["renders"] = {
+        "audit_report_has_breach": "BREACHED"
+        in render_audit_report(fault_report),
+        "openmetrics_has_breach_counter": _metric_value(
+            openmetrics_text, "repro_audit_breaches_total"
+        )
+        >= 1,
+        "openmetrics_has_invalidation": _metric_value(
+            openmetrics_text, "repro_catalog_quality_invalidations_total"
+        )
+        >= 1,
+    }
+    engine.close()
+    return report
+
+
+def _metric_value(text: str, name: str) -> float:
+    for line in text.splitlines():
+        if line.startswith(name + " "):
+            return float(line.split()[-1])
+    return 0.0
+
+
+def _check_gates(report: dict) -> None:
+    config = report["config"]
+    tolerance = config["tolerance"]
+
+    # Volume and diversity.
+    assert report["audited_queries"] >= config["audited_target"], report[
+        "audited_queries"
+    ]
+    assert set(report["routes"]) >= {"cold", "exact", "partial"}, report[
+        "routes"
+    ]
+    assert set(report["levels"]) == {
+        "full", "reduced_k", "closed_form", "point_estimate",
+    }, report["levels"]
+    assert report["audit_errors"] == 0
+
+    # Healthy-phase calibration: realized coverage within tolerance of
+    # nominal, two-sided for full fidelity, one-sided for degraded
+    # levels that still ship intervals.  The tolerance bounds
+    # *systematic* miscalibration; a bucket audited n times also
+    # carries ~binomial sampling error, so each gate widens by two
+    # standard errors at its own n (≈0.7 pp for the full bucket's
+    # thousand-plus values, a few pp for the smaller degraded slices).
+    levels = report["healthy"]["by"]["level"]
+
+    def slack(summary: dict) -> float:
+        nominal = summary["nominal"]
+        n = summary["audited_values"]
+        return tolerance + 2.0 * (nominal * (1 - nominal) / n) ** 0.5
+
+    full = levels["full"]
+    assert abs(full["delta"]) <= slack(full), full
+    for level in ("reduced_k", "closed_form"):
+        summary = levels[level]
+        assert summary["audited_values"] >= 100, summary
+        assert summary["delta"] >= -slack(summary), (level, summary)
+    assert levels["point_estimate"]["coverage"] is None, levels[
+        "point_estimate"
+    ]
+
+    # The seeded stale cube is caught, invalidated, and visible on
+    # every surface.
+    fault = report["fault"]
+    assert fault["poisoned_cubes"] >= 1
+    assert FAULT_SCOPE in fault["breach_scopes"], fault
+    assert fault["cubes_remaining"] == 0, fault
+    assert fault["quality_invalidations"] >= 1, fault
+    assert fault["uncovered_partial_events"] >= 1, fault
+    assert FAULT_SCOPE in fault["auditor_breached"], fault
+    assert report["renders"]["audit_report_has_breach"]
+    assert report["renders"]["openmetrics_has_breach_counter"]
+    assert report["renders"]["openmetrics_has_invalidation"]
+
+    # Recovery: the poisoned cube no longer answers (the first
+    # post-invalidation query cannot route partial) and coverage
+    # returns to honest-interval territory — the occasional 1-in-20
+    # statistical miss is expected, the fault phase's near-total miss
+    # rate is not.  A *fresh* cube auto-materialized from clean data
+    # may legitimately reappear later in the phase.
+    recovery = report["recovery"]
+    assert recovery["first_route"] != "partial", recovery
+    assert recovery["covered"] >= 0.8 * recovery["queries"], recovery
+
+
+def _render(report: dict) -> list[str]:
+    healthy = report["healthy"]["overall"]
+    fault = report["fault"]
+    lines = [
+        f"{report['audited_queries']} audited queries in "
+        f"{report['elapsed_seconds']:.1f}s; routes {report['routes']}, "
+        f"levels {report['levels']}",
+        f"  healthy coverage {healthy['coverage']:.3f} vs nominal "
+        f"{healthy['nominal']:.3f} (delta {healthy['delta']:+.3f}, "
+        f"tolerance {report['config']['tolerance']:.3f})",
+        f"  fault: {fault['poisoned_cubes']} cube(s) poisoned, breach "
+        f"after {fault['queries_to_detection']} queries, "
+        f"{int(fault['quality_invalidations'])} invalidation(s), "
+        f"{fault['uncovered_partial_events']} uncovered partial event(s)",
+        f"  recovery: {report['recovery']['covered']}/"
+        f"{report['recovery']['queries']} covered via "
+        f"{report['recovery']['routes']}, "
+        f"{report['recovery']['uncovered']} uncovered",
+    ]
+    return lines
+
+
+def test_audit_calibration_smoke(figure_report):
+    """Pytest smoke: the full three-phase loop, every gate enforced."""
+    report = run_audit_calibration()
+    _check_gates(report)
+    figure_report(
+        "Calibration audit — coverage, breach, recovery", _render(report)
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=60_000)
+    parser.add_argument("--sample-rows", type=int, default=4_000)
+    parser.add_argument("--num-samples", type=int, default=6)
+    parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument("--tolerance", type=float, default=0.02)
+    parser.add_argument("--audited-target", type=int, default=500)
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the JSON report here "
+        "(default benchmarks/results/audit.json)",
+    )
+    args = parser.parse_args(argv)
+    report = run_audit_calibration(
+        rows=args.rows,
+        sample_rows=args.sample_rows,
+        num_samples=args.num_samples,
+        seed=args.seed,
+        tolerance=args.tolerance,
+        audited_target=args.audited_target,
+    )
+    _check_gates(report)
+    out = Path(args.out) if args.out else RESULTS_DIR / "audit.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2, default=str) + "\n")
+    print("\n".join(_render(report)))
+    print(f"report written to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

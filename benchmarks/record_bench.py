@@ -11,7 +11,8 @@ Usage::
     PYTHONPATH=src python benchmarks/record_bench.py            # write baseline
     PYTHONPATH=src python benchmarks/record_bench.py --compare  # diff vs baseline
     PYTHONPATH=src python benchmarks/record_bench.py --smoke \\
-        --out BENCH_smoke.json --trace-sample trace_sample.json
+        --out benchmarks/results/BENCH_smoke.json \\
+        --trace-sample benchmarks/results/trace_sample.json
 
 ``--smoke`` shrinks every workload so the whole recording finishes in
 seconds — a CI-friendly canary (``make bench-smoke``) whose JSON is

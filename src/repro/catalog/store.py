@@ -890,6 +890,51 @@ class MaterializedCatalog:
             and cube.table_version == version
         ]
 
+    def invalidate_cubes(
+        self, table_name: str, reason: str = "quality"
+    ) -> int:
+        """Drop every resident cube for ``table_name``; returns the count.
+
+        The answer-quality feedback path: when the calibration auditor
+        finds cube-served answers for a table miscalibrated (a breaching
+        ``table:X|route:partial`` SLO scope), the cubes are evicted so
+        subsequent queries fall back to cold sample scans — correct but
+        slower — until a rebuild produces honest cubes again.  Stored
+        results for the table are dropped too: they were computed from
+        the same suspect pre-aggregation path.
+        """
+        dropped = 0
+        kept: list[RollupCube] = []
+        for cube in self._cubes:
+            if cube.table_name == table_name:
+                cube.release()
+                dropped += 1
+            else:
+                kept.append(cube)
+        self._cubes = kept
+        stale_keys = [
+            key
+            for key, entry in self._results.items()
+            if entry.table_name == table_name
+        ]
+        for key in stale_keys:
+            self._results.pop(key).release()
+        if dropped or stale_keys:
+            METRICS.counter("catalog.quality_invalidations").inc()
+            METRICS.counter(
+                f"catalog.quality_invalidations.{reason}"
+            ).inc()
+            logger.warning(
+                "invalidated %d cube(s) and %d stored result(s) for "
+                "table %r (reason: %s)",
+                dropped,
+                len(stale_keys),
+                table_name,
+                reason,
+            )
+        self._update_gauges()
+        return dropped
+
     # -- persistence -------------------------------------------------------
     def _resolve_directory(
         self, directory: str | os.PathLike | None

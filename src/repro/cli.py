@@ -15,10 +15,21 @@ starts a tiny REPL.
 Observability surfaces:
 
 * ``EXPLAIN ANALYZE <query>`` — run the query, then print its span tree
-  (per-stage wall time, % of total, per-worker task timelines).
+  (per-stage wall time, % of total, per-worker task timelines) plus
+  answer-quality annotations (route, verdict, audit outcome, latency
+  quantiles).
 * ``--trace-out FILE`` — export the last query's trace as Chrome
   ``chrome://tracing`` / Perfetto JSON.
-* ``\\stats`` in the REPL — dump the process-wide metrics registry.
+* ``\\stats`` in the REPL — dump the process-wide metrics registry
+  (histograms carry derived p50/p95/p99).
+* ``\\audit`` — the calibration auditor's live coverage report;
+  ``\\metrics`` — the OpenMetrics text export.
+* ``--events-out FILE`` — append one JSONL :class:`QueryEvent` per
+  query; ``--audit-fraction F`` — audit that fraction of queries
+  against exact ground truth; ``--metrics-out FILE`` — write the
+  OpenMetrics export on exit.
+* ``repro audit report --events FILE`` — offline coverage-vs-nominal
+  summary of an event log (``--check`` exits 1 on breach).
 * ``--log-level`` / ``REPRO_LOG_LEVEL`` — stdlib logging level for the
   ``repro`` package (default WARNING).
 """
@@ -41,7 +52,12 @@ from repro.obs import (
     METRICS,
     configure_logging,
     format_duration,
+    load_events,
+    quantiles_from_snapshot,
+    render_audit_report,
+    render_openmetrics,
     render_span_tree,
+    summarize_events,
     write_chrome_trace,
 )
 
@@ -159,6 +175,28 @@ def build_parser() -> argparse.ArgumentParser:
         "recomputes from scratch; same behaviour as REPRO_CATALOG=off)",
     )
     parser.add_argument(
+        "--audit-fraction",
+        type=float,
+        default=None,
+        metavar="F",
+        help="fraction of queries the calibration auditor recomputes "
+        "exactly to verify interval coverage (default: "
+        "REPRO_AUDIT_FRACTION or 0; sampling is deterministic)",
+    )
+    parser.add_argument(
+        "--events-out",
+        default=None,
+        metavar="FILE",
+        help="append one structured JSONL event per executed query "
+        "(readable later with 'repro audit report --events FILE')",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the OpenMetrics/Prometheus text export on exit",
+    )
+    parser.add_argument(
         "--log-level",
         default=None,
         metavar="LEVEL",
@@ -166,6 +204,63 @@ def build_parser() -> argparse.ArgumentParser:
         "ERROR; default: REPRO_LOG_LEVEL or WARNING)",
     )
     return parser
+
+
+def build_audit_parser() -> argparse.ArgumentParser:
+    """Parser for the ``repro audit <action>`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro audit",
+        description="Offline answer-quality reports over query event logs.",
+    )
+    parser.add_argument(
+        "action", choices=["report"], help="audit action to run"
+    )
+    parser.add_argument(
+        "--events",
+        required=True,
+        metavar="FILE",
+        help="JSONL event log produced by --events-out / REPRO_EVENT_LOG",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.02,
+        metavar="PP",
+        help="coverage slack below nominal before a group is flagged "
+        "(default 0.02)",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="also write the full report as JSON",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when any group's coverage breaches the tolerance",
+    )
+    return parser
+
+
+def run_audit_command(argv: list[str]) -> int:
+    """``repro audit report --events FILE``: offline coverage summary."""
+    args = build_audit_parser().parse_args(argv)
+    try:
+        events = list(load_events(args.events))
+    except OSError as error:
+        print(f"error: cannot read {args.events}: {error}", file=sys.stderr)
+        return 1
+    report = summarize_events(events, tolerance=args.tolerance)
+    print(render_audit_report(report))
+    if args.json:
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report, indent=2, sort_keys=True))
+        print(f"-- report written to {path}")
+    if args.check and report["breaches"]:
+        return 1
+    return 0
 
 
 def make_engine(args: argparse.Namespace) -> AQPEngine:
@@ -186,6 +281,8 @@ def make_engine(args: argparse.Namespace) -> AQPEngine:
             tracing=not getattr(args, "no_tracing", False),
             catalog=(False if getattr(args, "no_catalog", False) else None),
             memory_budget_bytes=getattr(args, "memory_budget", None),
+            audit_fraction=getattr(args, "audit_fraction", None),
+            event_log_path=getattr(args, "events_out", None),
         ),
         seed=args.seed,
     )
@@ -305,7 +402,54 @@ def run_query(engine: AQPEngine, sql: str, args: argparse.Namespace) -> str:
             out += "\n-- no trace: tracing is disabled (--no-tracing)"
         else:
             out += "\n\n" + render_span_tree(result.trace)
+        out += "\n" + format_quality_annotations(result)
     return out
+
+
+def format_quality_annotations(result: AQPResult) -> str:
+    """EXPLAIN ANALYZE's answer-quality footer.
+
+    What the trace tree cannot show: how this answer was routed and
+    degraded, what the diagnostic said, whether the calibration auditor
+    checked it against ground truth, and where its latency sits in the
+    process-wide distribution.
+    """
+    lines = ["-- quality:"]
+    event = result.event
+    if event is not None:
+        lines.append(
+            f"--   route={event.route} level={event.level} "
+            f"verdict={event.verdict} confidence={event.confidence:.0%}"
+        )
+        if event.max_relative_error is not None:
+            lines.append(
+                f"--   max relative error {event.max_relative_error:.4g} "
+                f"(half-width {event.max_half_width:.4g})"
+            )
+        if event.audited:
+            audit = event.audit
+            lines.append(
+                f"--   audited: {audit.get('covered_values', 0)}/"
+                f"{audit.get('audited_values', 0)} interval(s) covered "
+                f"ground truth (worst z={audit.get('worst_z')})"
+            )
+        else:
+            lines.append("--   audited: no (sampled out or auditing off)")
+    else:
+        lines.append("--   event logging disabled (REPRO_EVENTS=off)")
+    latency = METRICS.snapshot().get("query.seconds")
+    if latency and latency.get("count"):
+        quantiles = quantiles_from_snapshot(latency)
+        rendered = " ".join(
+            f"{label}={format_duration(value)}"
+            for label, value in quantiles.items()
+            if value is not None
+        )
+        lines.append(
+            f"--   latency {format_duration(result.elapsed_seconds)} "
+            f"(process {rendered} over {latency['count']} queries)"
+        )
+    return "\n".join(lines)
 
 
 def format_stats() -> str:
@@ -313,16 +457,22 @@ def format_stats() -> str:
 
     Refreshes the ``process.resident_bytes`` gauge first, so the
     governor's memory picture (budget usage, resident set) is current
-    at the moment of the snapshot.
+    at the moment of the snapshot.  Histogram snapshots are augmented
+    with derived p50/p95/p99 estimates.
     """
     update_resident_gauge()
-    return json.dumps(METRICS.snapshot(), indent=2, sort_keys=True)
+    snapshot = METRICS.snapshot()
+    for entry in snapshot.values():
+        if entry.get("type") == "histogram":
+            entry["quantiles"] = quantiles_from_snapshot(entry)
+    return json.dumps(snapshot, indent=2, sort_keys=True)
 
 
 def repl(engine: AQPEngine, args: argparse.Namespace) -> int:
     print(
         "repro> approximate SQL shell; empty line or Ctrl-D to exit "
-        "(\\stats for metrics, EXPLAIN ANALYZE <query> for a trace)"
+        "(\\stats for metrics, \\audit for calibration, \\metrics for "
+        "OpenMetrics, EXPLAIN ANALYZE <query> for a trace)"
     )
     while True:
         try:
@@ -339,6 +489,12 @@ def repl(engine: AQPEngine, args: argparse.Namespace) -> int:
         if line == "\\stats":
             print(format_stats())
             continue
+        if line == "\\audit":
+            print(render_audit_report(engine.auditor.report()))
+            continue
+        if line == "\\metrics":
+            print(render_openmetrics(), end="")
+            continue
         try:
             print(run_query(engine, line, args))
         except QueryCancelledError as error:
@@ -351,15 +507,32 @@ def repl(engine: AQPEngine, args: argparse.Namespace) -> int:
             print("query interrupted", file=sys.stderr)
 
 
+def _write_metrics_out(path: str | None) -> None:
+    if not path:
+        return
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    update_resident_gauge()
+    target.write_text(render_openmetrics())
+    print(f"-- metrics written to {target}")
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "audit":
+        return run_audit_command(argv[1:])
     args = build_parser().parse_args(argv)
     configure_logging(args.log_level)
     try:
         engine = make_engine(args)
         if args.query is None:
-            return repl(engine, args)
+            code = repl(engine, args)
+            _write_metrics_out(args.metrics_out)
+            return code
         print(run_query(engine, args.query, args))
+        _write_metrics_out(args.metrics_out)
         return 0
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

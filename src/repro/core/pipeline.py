@@ -32,11 +32,13 @@ Two engine-level performance features ride on top:
 from __future__ import annotations
 
 import logging
+import os
 import time
 import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Optional
+from zlib import crc32
 
 import numpy as np
 
@@ -76,6 +78,8 @@ from repro.faults import FaultPlan, StorageFaultInjector, resolve_fault_plan
 from repro.governor.breaker import DegradationLevel
 from repro.governor.cancel import CancelToken, cancel_scope
 from repro.governor.memory import MemoryAccountant, process_accountant
+from repro.obs.audit import AuditConfig, CalibrationAuditor
+from repro.obs.events import EVENTS, QueryEvent
 from repro.obs.metrics import METRICS
 from repro.obs.trace import (
     Trace,
@@ -287,6 +291,11 @@ class AQPResult:
     #: rollup cube), ``"miss"`` (full execution with the catalog on), or
     #: ``None`` (catalog disabled).
     catalog_route: Optional[str] = None
+    #: The structured observability record emitted for this execution
+    #: (``EngineConfig.event_log``); carries audit verdicts when the
+    #: calibration auditor sampled the query.  ``None`` when event
+    #: logging is disabled.
+    event: Optional[QueryEvent] = None
 
     @property
     def degraded(self) -> bool:
@@ -398,6 +407,23 @@ class EngineConfig:
     catalog: Optional[bool] = None
     #: Catalog sizing/TTL/persistence knobs (``None`` → defaults).
     catalog_config: Optional[CatalogConfig] = None
+    #: Record one structured :class:`~repro.obs.events.QueryEvent` per
+    #: execute() call into the process-wide ring
+    #: (:data:`repro.obs.events.EVENTS`).  ``None`` reads the
+    #: ``REPRO_EVENTS`` environment variable (unset → enabled).
+    #: Default-on is safe: recording consumes no RNG, so logged and
+    #: silent runs are bit-identical at any worker count.
+    event_log: Optional[bool] = None
+    #: Also append events to this JSONL file (``None`` reads
+    #: ``REPRO_EVENT_LOG``; unset → ring only).
+    event_log_path: Optional[str] = None
+    #: Fraction of completed queries the calibration auditor recomputes
+    #: exactly to verify interval coverage.  ``None`` reads
+    #: ``REPRO_AUDIT_FRACTION`` (unset → 0, auditing off).  Sampling is
+    #: a deterministic hash of the query-shape fingerprint — no RNG.
+    audit_fraction: Optional[float] = None
+    #: Full auditor tuning; overrides ``audit_fraction`` when given.
+    audit_config: Optional[AuditConfig] = None
 
     def __post_init__(self):
         if self.fallback not in ("exact", "large_deviation", "none"):
@@ -410,6 +436,37 @@ class EngineConfig:
                 f"plan_cache_size must be non-negative, got "
                 f"{self.plan_cache_size}"
             )
+
+
+EVENTS_ENV = "REPRO_EVENTS"
+EVENT_LOG_ENV = "REPRO_EVENT_LOG"
+AUDIT_FRACTION_ENV = "REPRO_AUDIT_FRACTION"
+
+_EVENTS_OFF = frozenset({"off", "0", "false", "no", "disabled"})
+
+
+def resolve_event_log_enabled(flag: Optional[bool] = None) -> bool:
+    """Whether per-query event logging is active (explicit > env > on)."""
+    if flag is not None:
+        return bool(flag)
+    raw = os.environ.get(EVENTS_ENV, "").strip().lower()
+    return raw not in _EVENTS_OFF if raw else True
+
+
+def resolve_audit_fraction(fraction: Optional[float] = None) -> float:
+    """The calibration-audit sampling fraction (explicit > env > 0)."""
+    if fraction is not None:
+        return float(fraction)
+    raw = os.environ.get(AUDIT_FRACTION_ENV, "").strip()
+    if not raw:
+        return 0.0
+    try:
+        return float(raw)
+    except ValueError as exc:
+        raise PlanError(
+            f"invalid {AUDIT_FRACTION_ENV} value {raw!r}: expected a "
+            "fraction in [0, 1]"
+        ) from exc
 
 
 class AQPEngine:
@@ -457,6 +514,27 @@ class AQPEngine:
         self.storage_injector = StorageFaultInjector(
             resolve_fault_plan(self.config.fault_plan)
         )
+        # Answer-quality observability: per-query event records plus the
+        # continuous calibration auditor.  A breaching
+        # ``table:X|route:partial`` coverage scope means cube-served
+        # answers for X are miscalibrated; the listener evicts the cubes
+        # so traffic falls back to honest cold execution.
+        self._event_log_enabled = resolve_event_log_enabled(
+            self.config.event_log
+        )
+        event_path = self.config.event_log_path or os.environ.get(
+            EVENT_LOG_ENV
+        )
+        if self._event_log_enabled and event_path:
+            EVENTS.attach_sink(event_path)
+        if self.config.audit_config is not None:
+            audit_config = self.config.audit_config
+        else:
+            audit_config = AuditConfig(
+                fraction=resolve_audit_fraction(self.config.audit_fraction)
+            )
+        self.auditor = CalibrationAuditor(audit_config)
+        self.auditor.add_breach_listener(self._on_audit_breach)
         # Janitor pass: a previous process killed mid-query may have left
         # shared-memory segments behind; engine startup is the natural
         # place to reclaim them.
@@ -745,8 +823,10 @@ class AQPEngine:
                 catalog_route: Optional[str] = None
                 result_key: Optional[ResultKey] = None
                 served = None
+                shape: Optional[str] = None
                 if self._catalog_enabled:
                     fingerprint = fingerprint_statement(query.statement)
+                    shape = fingerprint.shape
                     result_key = ResultKey(
                         shape=fingerprint.shape,
                         bindings=fingerprint.bindings,
@@ -898,7 +978,136 @@ class AQPEngine:
                 bootstrap_subqueries,
                 diagnostic_subqueries,
             )
-        return result
+        return self._observe(query, result, confidence, level, shape)
+
+    # -- answer-quality observability ---------------------------------------
+    def _observe(
+        self,
+        query: AnalyzedQuery,
+        result: AQPResult,
+        confidence: float,
+        level: DegradationLevel,
+        shape: Optional[str] = None,
+    ) -> AQPResult:
+        """Audit + event-log one completed execution.
+
+        Runs after the answer is fully formed and consumes no RNG —
+        observability must never change an answer, so every failure
+        here is contained (counted, logged, swallowed).  The fast path
+        (ring-only event, query not sampled for audit) is one pass over
+        the result's values plus a deque append.
+        """
+        if not self._event_log_enabled and not self.auditor.enabled:
+            return result
+        try:
+            if shape is None:
+                shape = fingerprint_statement(query.statement).shape
+            fingerprint = f"{crc32(shape.encode()):08x}"
+            outcome = None
+            if self.auditor.enabled and self.auditor.should_audit(
+                fingerprint
+            ):
+                outcome = self.auditor.audit(
+                    self, query, result, level=level.label
+                )
+            if not self._event_log_enabled:
+                return result
+            route = result.catalog_route or "cold"
+            if route == "miss":
+                route = "cold"
+            report = result.execution_report
+            # One pass over the shipped values collects every quality
+            # aggregate the event carries.
+            diag_seen = diag_failed = fallbacks = 0
+            max_half_width = max_relative_error = None
+            methods = set()
+            for row in result.rows:
+                for value in row.values.values():
+                    methods.add(value.method)
+                    if value.fell_back:
+                        fallbacks += 1
+                    if value.diagnostic is not None:
+                        diag_seen += 1
+                        if not value.diagnostic.passed:
+                            diag_failed += 1
+                    interval = value.interval
+                    if interval is not None:
+                        if (
+                            max_half_width is None
+                            or interval.half_width > max_half_width
+                        ):
+                            max_half_width = interval.half_width
+                        relative = value.relative_error
+                        if relative is not None and (
+                            max_relative_error is None
+                            or relative > max_relative_error
+                        ):
+                            max_relative_error = relative
+            event = QueryEvent(
+                sql=result.sql,
+                fingerprint=fingerprint,
+                table=query.source_table,
+                route=route,
+                level=level.label,
+                verdict=(
+                    "skipped"
+                    if not diag_seen
+                    else ("failed" if diag_failed else "passed")
+                ),
+                confidence=confidence,
+                max_half_width=max_half_width,
+                max_relative_error=max_relative_error,
+                methods=tuple(sorted(methods)),
+                bootstrap_k=result.bootstrap_subqueries,
+                diagnostic_subqueries=result.diagnostic_subqueries,
+                rows=len(result.rows),
+                latency_seconds=result.elapsed_seconds,
+                memory_peak_bytes=self.memory.snapshot()["peak_bytes"],
+                retries=report.task_retries if report else 0,
+                worker_crashes=report.worker_crashes if report else 0,
+                task_timeouts=report.task_timeouts if report else 0,
+                hedges_launched=report.hedges_launched if report else 0,
+                hedges_won=report.hedges_won if report else 0,
+                degraded=result.degraded,
+                fallbacks=fallbacks,
+                audited=outcome is not None,
+                covered=outcome.covered if outcome is not None else None,
+                audit=outcome.to_dict() if outcome is not None else {},
+            )
+            stamped = EVENTS.record(event)
+            # The result is freshly constructed and exclusively owned
+            # here; stamping the event in place avoids re-copying every
+            # field of a frozen dataclass on the per-query hot path.
+            object.__setattr__(result, "event", stamped)
+            return result
+        except Exception as exc:  # noqa: BLE001 — never fail the query
+            METRICS.counter("events.errors").inc()
+            logger.warning("query event emission failed: %s", exc)
+            return result
+
+    def _on_audit_breach(self, scope: str, snapshot: dict) -> None:
+        """Calibration breach → evict the implicated rollup cubes.
+
+        Only the ``table:X|route:partial`` scope names a control action
+        this engine owns (cube-served answers for X are miscalibrated).
+        Broader scopes are fleet signals the governor consumes
+        (:class:`~repro.governor.admission.QueryGovernor` trips its
+        breaker with a ``quality_breach`` cause).
+        """
+        if "|route:partial" not in scope or not scope.startswith("table:"):
+            return
+        table = scope.split("|", 1)[0].split(":", 1)[1]
+        dropped = self.mv_catalog.invalidate_cubes(
+            table, reason="calibration_breach"
+        )
+        if dropped:
+            logger.warning(
+                "calibration breach on %s: invalidated %d cube(s) for "
+                "table %r",
+                scope,
+                dropped,
+                table,
+            )
 
     def _next_larger_sample(
         self, query, info, rows

@@ -98,6 +98,10 @@ class GovernorConfig:
     breaker_min_samples: int = 5
     breaker_cooldown_seconds: float = 2.0
     breaker_open_level: DegradationLevel = DegradationLevel.CLOSED_FORM
+    #: Open the breaker (cause ``"quality_breach"``) when an engine's
+    #: calibration auditor reports a sustained fleet-level coverage
+    #: breach — answers that are fast but *wrong* are overload too.
+    quality_breach_opens_breaker: bool = True
 
     def __post_init__(self):
         if self.max_concurrency < 1:
@@ -175,6 +179,9 @@ class QueryGovernor:
         self._level_counts: dict[str, int] = {
             level.label: 0 for level in DegradationLevel
         }
+        self._quality_breaches = 0
+        #: Engines whose auditors already feed this governor (by id).
+        self._audited_engines: set[int] = set()
 
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:
@@ -228,6 +235,15 @@ class QueryGovernor:
         # Every engine under this governor draws from one shared ledger.
         engine.memory = self.memory
         engine.config.memory_wait_seconds = self.config.memory_wait_seconds
+        # ... and its calibration breaches feed this governor's breaker.
+        auditor = getattr(engine, "auditor", None)
+        if (
+            self.config.quality_breach_opens_breaker
+            and auditor is not None
+            and id(engine) not in self._audited_engines
+        ):
+            self._audited_engines.add(id(engine))
+            auditor.add_breach_listener(self._on_quality_breach)
         return engine
 
     def _checkin_engine(self, engine) -> None:
@@ -237,6 +253,28 @@ class QueryGovernor:
                 return
             self._idle_engines.append(engine)
             self._condition.notify_all()
+
+    def _on_quality_breach(self, scope: str, snapshot: dict) -> None:
+        """Sustained calibration breach → open the breaker.
+
+        Fires on the ``overall`` scope only: per-table/per-route drift
+        has a narrower remedy (cube invalidation, handled by the
+        engine); fleet-wide miscalibration means the degradation ladder
+        itself is lying, so stop spending fidelity until it recovers.
+        """
+        if scope != "overall":
+            return
+        with self._condition:
+            self._quality_breaches += 1
+        METRICS.counter("governor.quality_breaches").inc()
+        self.breaker.trip("quality_breach")
+        logger.warning(
+            "quality breach: realized coverage %.3f vs objective %.3f "
+            "over %d audited value(s); circuit breaker opened",
+            snapshot.get("success_fraction", 0.0),
+            snapshot.get("objective", 0.0),
+            snapshot.get("samples", 0),
+        )
 
     # -- admission ---------------------------------------------------------
     def _reject(self, reason: str) -> None:
@@ -413,6 +451,7 @@ class QueryGovernor:
                 "in_flight": self._in_flight,
                 "queue_depth": self._queue_depth,
                 "levels": dict(self._level_counts),
+                "quality_breaches": self._quality_breaches,
             }
         counts["breaker"] = self.breaker.snapshot()
         counts["memory"] = self.memory.snapshot()

@@ -105,6 +105,8 @@ class CircuitBreaker:
         self._state = BreakerState.CLOSED
         self._opened_at = 0.0
         self._trips = 0
+        self._trip_causes: dict[str, int] = {}
+        self._last_trip_cause: str | None = None
         self._lock = threading.Lock()
 
     # -- state -------------------------------------------------------------
@@ -116,6 +118,11 @@ class CircuitBreaker:
     @property
     def trips(self) -> int:
         return self._trips
+
+    @property
+    def last_trip_cause(self) -> str | None:
+        with self._lock:
+            return self._last_trip_cause
 
     def _effective_state(self) -> BreakerState:
         if self._state == BreakerState.OPEN and (
@@ -167,12 +174,29 @@ class CircuitBreaker:
             ):
                 self._trip()
 
-    def _trip(self) -> None:
+    def trip(self, cause: str) -> None:
+        """Force the breaker open, attributing the trip to ``cause``.
+
+        External quality signals use this: a sustained calibration-SLO
+        breach (:mod:`repro.obs.audit`) opens the breaker with cause
+        ``"quality_breach"`` even though the failure window looks
+        healthy — answers are cheap *and wrong* rather than slow.
+        """
+        with self._lock:
+            if self._effective_state() == BreakerState.OPEN:
+                self._opened_at = self._clock()  # extend the open
+                return
+            self._trip(cause)
+
+    def _trip(self, cause: str = "failure_window") -> None:
         self._state = BreakerState.OPEN
         self._opened_at = self._clock()
         self._trips += 1
+        self._trip_causes[cause] = self._trip_causes.get(cause, 0) + 1
+        self._last_trip_cause = cause
         self._outcomes.clear()
         METRICS.counter("governor.breaker_trips").inc()
+        METRICS.counter(f"governor.breaker_trips.{cause}").inc()
         METRICS.gauge("governor.breaker_open").set(1)
 
     def snapshot(self) -> dict:
@@ -181,5 +205,7 @@ class CircuitBreaker:
                 "state": self._effective_state().name.lower(),
                 "failure_fraction": round(self._failure_fraction(), 4),
                 "trips": self._trips,
+                "trip_causes": dict(self._trip_causes),
+                "last_trip_cause": self._last_trip_cause,
                 "window_size": len(self._outcomes),
             }

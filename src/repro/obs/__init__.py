@@ -17,8 +17,26 @@ the execution layer actually did.  It provides:
   and the ``chrome://tracing`` JSON exporter (``--trace-out``).
 * :mod:`repro.obs.logs` — stdlib-logging wiring (``REPRO_LOG_LEVEL`` /
   ``--log-level``).
+* :mod:`repro.obs.events` — the structured query event log: one
+  append-only record per executed query (ring buffer + JSONL sinks).
+* :mod:`repro.obs.audit` — the continuous calibration auditor:
+  deterministic sampling, exact recomputation, realized-coverage
+  tracking per route/table/degradation level.
+* :mod:`repro.obs.slo` — error-budget SLO trackers with burn-rate
+  accounting and edge-triggered breaches.
+* :mod:`repro.obs.openmetrics` — Prometheus/OpenMetrics text export of
+  the metrics registry (``\\metrics``, ``--metrics-out``,
+  :func:`~repro.obs.openmetrics.start_metrics_server`).
 """
 
+from repro.obs.audit import (
+    AuditConfig,
+    AuditOutcome,
+    CalibrationAuditor,
+    render_audit_report,
+    summarize_events,
+)
+from repro.obs.events import EVENTS, QueryEvent, QueryEventLog, load_events
 from repro.obs.export import (
     chrome_trace_events,
     format_duration,
@@ -32,7 +50,10 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    quantiles_from_snapshot,
 )
+from repro.obs.openmetrics import render_openmetrics, start_metrics_server
+from repro.obs.slo import ErrorBudgetSLO, SLOConfig
 from repro.obs.trace import (
     Span,
     Trace,
@@ -46,12 +67,20 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "AuditConfig",
+    "AuditOutcome",
+    "CalibrationAuditor",
     "Counter",
+    "ErrorBudgetSLO",
+    "EVENTS",
     "Gauge",
     "Histogram",
     "LOG_LEVEL_ENV",
     "METRICS",
     "MetricsRegistry",
+    "QueryEvent",
+    "QueryEventLog",
+    "SLOConfig",
     "Span",
     "Trace",
     "activate_trace",
@@ -60,7 +89,13 @@ __all__ = [
     "current_trace",
     "deactivate_trace",
     "format_duration",
+    "load_events",
+    "quantiles_from_snapshot",
+    "render_audit_report",
+    "render_openmetrics",
     "render_span_tree",
+    "start_metrics_server",
+    "summarize_events",
     "suppress_tracing",
     "trace_counter",
     "trace_event",

@@ -1,0 +1,540 @@
+"""Continuous calibration audits: are our error bars actually honest?
+
+The paper's diagnostic asks, per query and *before* answering, whether
+the error-estimation procedure can be trusted.  This module closes the
+loop after the fact, fleet-wide: it deterministically samples a
+fraction of completed queries, recomputes the exact answer on the base
+table, and checks whether each shipped confidence interval contained
+the truth.  Over a sliding window, the fraction that did is the
+*realized coverage* — and a 95 % interval whose realized coverage is
+80 % is a lying error bar no per-query diagnostic can see, because the
+drift (a stale rollup cube, a skewed sample, a biased degradation
+path) lives outside any single execution.
+
+Observations feed :class:`~repro.obs.slo.ErrorBudgetSLO` trackers per
+route, per table, per degradation level, per (table, route), and
+overall.  Breaches are edge-triggered and fan out to registered
+listeners; the engine wires cube invalidation (a breaching
+``table:X|route:partial`` scope means cube-served answers for ``X``
+are miscalibrated) and the governor wires its circuit breaker (a
+``QualityBreach`` trip cause).
+
+Determinism contract: audit sampling hashes the query-shape
+fingerprint and a per-shape counter — no RNG stream is consumed and
+the exact recomputation is deterministic, so audited runs are
+bit-identical to unaudited runs at any worker count.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+from zlib import crc32
+
+from repro.obs.events import _iter_dicts
+from repro.obs.metrics import METRICS
+from repro.obs.slo import ErrorBudgetSLO, SLOConfig
+from repro.obs.trace import suppress_tracing, trace_event
+
+logger = logging.getLogger(__name__)
+
+__all__ = [
+    "AuditConfig",
+    "AuditOutcome",
+    "CalibrationAuditor",
+    "render_audit_report",
+    "summarize_events",
+]
+
+#: Estimation methods whose intervals make calibration claims.  Exact
+#: fallbacks (zero-width, trivially covering) and flagged point
+#: estimates (no interval) are excluded — counting either would let
+#: fallback traffic mask miscalibrated approximate answers.
+AUDITABLE_METHODS = frozenset(
+    {"closed_form", "bootstrap", "hoeffding", "quantile_closed_form"}
+)
+
+
+@dataclass(frozen=True)
+class AuditConfig:
+    """Calibration-audit tuning.
+
+    Attributes:
+        fraction: deterministic fraction of completed queries audited
+            (0 disables auditing; 1 audits everything).
+        tolerance: coverage slack subtracted from the nominal
+            confidence to form each observation's SLO objective — a
+            95 % interval is healthy while realized coverage stays
+            within ``tolerance`` of nominal.
+        window / min_samples / burn_rate_threshold: sliding-window and
+            breach tuning shared by every scope tracker
+            (:class:`~repro.obs.slo.SLOConfig`).
+    """
+
+    fraction: float = 0.0
+    tolerance: float = 0.02
+    window: int = 200
+    min_samples: int = 25
+    burn_rate_threshold: float = 2.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError(
+                f"audit fraction must be in [0, 1], got {self.fraction}"
+            )
+        if not 0.0 <= self.tolerance < 1.0:
+            raise ValueError(
+                f"audit tolerance must be in [0, 1), got {self.tolerance}"
+            )
+
+    def slo_config(self) -> SLOConfig:
+        return SLOConfig(
+            window=self.window,
+            min_samples=self.min_samples,
+            burn_rate_threshold=self.burn_rate_threshold,
+            default_objective=max(1e-6, 0.95 - self.tolerance),
+        )
+
+
+@dataclass(frozen=True)
+class AuditOutcome:
+    """What one audited query taught us."""
+
+    audited_values: int
+    covered_values: int
+    skipped_values: int
+    #: Worst |truth − estimate| / half_width across audited values
+    #: (>1 means at least one interval missed).
+    worst_z: Optional[float]
+    breaches: tuple[str, ...] = ()
+
+    @property
+    def covered(self) -> Optional[bool]:
+        if self.audited_values == 0:
+            return None
+        return self.covered_values == self.audited_values
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "audited_values": self.audited_values,
+            "covered_values": self.covered_values,
+            "skipped_values": self.skipped_values,
+            "worst_z": self.worst_z,
+            "breaches": list(self.breaches),
+        }
+
+
+class CalibrationAuditor:
+    """Deterministic sampling + exact recomputation + coverage SLOs."""
+
+    def __init__(self, config: AuditConfig | None = None):
+        self.config = config or AuditConfig()
+        self._shape_counts: dict[str, int] = {}
+        self._scopes: dict[str, ErrorBudgetSLO] = {}
+        self._listeners: list[Callable[[str, dict], None]] = []
+        self._audited_queries = 0
+        self._audited_values = 0
+        self._covered_values = 0
+        self._errors = 0
+        self._lock = threading.Lock()
+
+    # -- sampling ----------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self.config.fraction > 0.0
+
+    def should_audit(self, fingerprint: str) -> bool:
+        """Deterministic per-shape sampling decision (no RNG consumed).
+
+        The n-th completion of a shape hashes ``"shape#n"``; the same
+        workload therefore audits the same queries on every run, at
+        any worker count, which keeps audited runs reproducible and
+        spreads audit cost evenly across dashboard panels.
+        """
+        fraction = self.config.fraction
+        if fraction <= 0.0:
+            return False
+        if fraction >= 1.0:
+            return True
+        with self._lock:
+            count = self._shape_counts.get(fingerprint, 0)
+            self._shape_counts[fingerprint] = count + 1
+        draw = crc32(f"{fingerprint}#{count}".encode()) / 2**32
+        return draw < fraction
+
+    # -- listeners ---------------------------------------------------------
+    def add_breach_listener(
+        self, listener: Callable[[str, dict], None]
+    ) -> None:
+        """Register ``listener(scope, slo_snapshot)`` for breach edges."""
+        with self._lock:
+            if listener not in self._listeners:
+                self._listeners.append(listener)
+
+    # -- auditing ----------------------------------------------------------
+    def audit(
+        self, engine, query, result, level: Optional[str] = None
+    ) -> AuditOutcome:
+        """Recompute ground truth for ``result`` and record coverage.
+
+        ``engine`` is the owning :class:`~repro.core.pipeline.AQPEngine`
+        (duck-typed here to keep this package engine-agnostic);
+        ``query`` its analyzed form.  Exact execution consumes no RNG.
+        Failures are contained: an audit that cannot complete counts as
+        an audit error, never a query error.
+        """
+        route = result.catalog_route or "cold"
+        if route == "miss":
+            route = "cold"
+        level = level or _result_level(result)
+        table = query.source_table
+        try:
+            with suppress_tracing():
+                exact = engine._executor.execute(
+                    query, engine.catalog.table(table)
+                )
+        except Exception as exc:  # noqa: BLE001 — audits must not throw
+            with self._lock:
+                self._errors += 1
+            METRICS.counter("audit.errors").inc()
+            logger.warning("calibration audit failed for %r: %s",
+                           result.sql, exc)
+            return AuditOutcome(0, 0, 0, None)
+        audited = covered = skipped = 0
+        worst_z: Optional[float] = None
+        for row in result.rows:
+            truth_rows = exact
+            for key_name, key_value in row.group.items():
+                truth_rows = truth_rows.filter(
+                    truth_rows.column(key_name) == key_value
+                )
+            for value in row.values.values():
+                if (
+                    value.interval is None
+                    or value.method not in AUDITABLE_METHODS
+                ):
+                    skipped += 1
+                    continue
+                if truth_rows.num_rows != 1:
+                    # The sample invented or lost a whole group; the
+                    # interval cannot contain a truth that does not
+                    # exist — an uncovered observation by definition.
+                    audited += 1
+                    continue
+                truth = float(truth_rows.column(value.name)[0])
+                half_width = value.interval.half_width
+                deviation = abs(truth - value.interval.estimate)
+                z = deviation / half_width if half_width > 0 else (
+                    0.0 if deviation == 0.0 else float("inf")
+                )
+                worst_z = z if worst_z is None else max(worst_z, z)
+                audited += 1
+                if z <= 1.0:
+                    covered += 1
+        breaches = self._record_observations(
+            audited, covered, result.rows, route, level, table
+        )
+        with self._lock:
+            self._audited_queries += 1
+            self._audited_values += audited
+            self._covered_values += covered
+        METRICS.counter("audit.queries").inc()
+        METRICS.counter("audit.values").inc(audited)
+        METRICS.counter("audit.covered").inc(covered)
+        METRICS.counter("audit.misses").inc(audited - covered)
+        if audited:
+            METRICS.gauge("audit.last_worst_z").set(worst_z or 0.0)
+        trace_event(
+            "audit",
+            route=route,
+            level=level,
+            audited=audited,
+            covered=covered,
+        )
+        return AuditOutcome(audited, covered, skipped, worst_z, breaches)
+
+    def _record_observations(
+        self, audited, covered, rows, route, level, table
+    ) -> tuple[str, ...]:
+        if audited == 0:
+            return ()
+        nominal = None
+        for row in rows:
+            for value in row.values.values():
+                if value.interval is not None:
+                    nominal = value.interval.confidence
+                    break
+            if nominal is not None:
+                break
+        objective = max(
+            1e-6, (nominal or 0.95) - self.config.tolerance
+        )
+        scopes = (
+            "overall",
+            f"route:{route}",
+            f"table:{table}",
+            f"level:{level}",
+            f"table:{table}|route:{route}",
+        )
+        breaches: list[str] = []
+        # One observation per audited value, so a 100-group panel's
+        # calibration weighs what it ships.
+        for scope in scopes:
+            slo = self._scope(scope)
+            for i in range(audited):
+                edge = slo.record(i < covered, objective)
+                if edge == "breach":
+                    breaches.append(scope)
+        for scope in breaches:
+            self._fire_breach(scope)
+        return tuple(breaches)
+
+    def _scope(self, name: str) -> ErrorBudgetSLO:
+        with self._lock:
+            slo = self._scopes.get(name)
+            if slo is None:
+                slo = ErrorBudgetSLO(self.config.slo_config(), name=name)
+                self._scopes[name] = slo
+        return slo
+
+    def _fire_breach(self, scope: str) -> None:
+        snapshot = self._scopes[scope].snapshot()
+        METRICS.counter("audit.breaches").inc()
+        METRICS.counter(
+            f"audit.breaches.{scope.split(':', 1)[0].split('|')[0]}"
+        ).inc()
+        logger.warning(
+            "calibration SLO breach on %s: coverage %.3f vs objective "
+            "%.3f (burn rate %.2f over %d observations)",
+            scope,
+            snapshot["success_fraction"],
+            snapshot["objective"],
+            snapshot["burn_rate"],
+            snapshot["samples"],
+        )
+        trace_event("audit.breach", scope=scope)
+        with self._lock:
+            listeners = list(self._listeners)
+        for listener in listeners:
+            try:
+                listener(scope, snapshot)
+            except Exception as exc:  # noqa: BLE001
+                logger.error(
+                    "audit breach listener failed for %s: %s", scope, exc
+                )
+
+    # -- reporting ---------------------------------------------------------
+    def report(self) -> dict[str, Any]:
+        """The live calibration picture, JSON-friendly."""
+        with self._lock:
+            scopes = dict(self._scopes)
+            totals = {
+                "audited_queries": self._audited_queries,
+                "audited_values": self._audited_values,
+                "covered_values": self._covered_values,
+                "coverage": (
+                    round(self._covered_values / self._audited_values, 6)
+                    if self._audited_values
+                    else None
+                ),
+                "audit_errors": self._errors,
+            }
+        snapshots = {
+            name: slo.snapshot() for name, slo in sorted(scopes.items())
+        }
+        return {
+            "config": {
+                "fraction": self.config.fraction,
+                "tolerance": self.config.tolerance,
+                "window": self.config.window,
+                "min_samples": self.config.min_samples,
+                "burn_rate_threshold": self.config.burn_rate_threshold,
+            },
+            "totals": totals,
+            "scopes": snapshots,
+            "breached": sorted(
+                name for name, snap in snapshots.items() if snap["breached"]
+            ),
+        }
+
+
+def _result_level(result) -> str:
+    """The degradation label an AQPResult executed at."""
+    report = getattr(result, "execution_report", None)
+    if report is None:
+        return "full"
+    for reason in report.degradation_reasons:
+        if "governor degradation level" in reason:
+            for level in ("reduced_k", "closed_form", "point_estimate"):
+                if f"'{level}'" in reason:
+                    return level
+    return "full"
+
+
+# ---------------------------------------------------------------------------
+# Offline summaries (the `repro audit report` CLI over a JSONL sink)
+# ---------------------------------------------------------------------------
+@dataclass
+class _Bucket:
+    queries: int = 0
+    audited_values: int = 0
+    covered_values: int = 0
+    nominal_sum: float = 0.0
+
+    def observe(self, event: dict[str, Any]) -> None:
+        audit = event.get("audit") or {}
+        values = int(audit.get("audited_values", 0))
+        if values <= 0:
+            return
+        self.queries += 1
+        self.audited_values += values
+        self.covered_values += int(audit.get("covered_values", 0))
+        self.nominal_sum += float(event.get("confidence", 0.95)) * values
+
+    def summary(self, tolerance: float) -> dict[str, Any]:
+        coverage = (
+            self.covered_values / self.audited_values
+            if self.audited_values
+            else None
+        )
+        nominal = (
+            self.nominal_sum / self.audited_values
+            if self.audited_values
+            else None
+        )
+        within = None
+        if coverage is not None and nominal is not None:
+            within = coverage >= nominal - tolerance
+        return {
+            "queries": self.queries,
+            "audited_values": self.audited_values,
+            "covered_values": self.covered_values,
+            "coverage": None if coverage is None else round(coverage, 6),
+            "nominal": None if nominal is None else round(nominal, 6),
+            "delta": (
+                None
+                if coverage is None or nominal is None
+                else round(coverage - nominal, 6)
+            ),
+            "within_tolerance": within,
+        }
+
+
+def summarize_events(
+    events: Iterable, tolerance: float = 0.02
+) -> dict[str, Any]:
+    """Coverage-vs-nominal summary of an event stream or JSONL dump.
+
+    Accepts :class:`~repro.obs.events.QueryEvent` objects or dicts
+    (e.g. from :func:`~repro.obs.events.load_events`).  Groups audited
+    events overall and by route, table, and degradation level, and
+    flags every group whose realized coverage fell more than
+    ``tolerance`` below its mean nominal confidence.
+    """
+    overall = _Bucket()
+    by: dict[str, dict[str, _Bucket]] = {
+        "route": {}, "table": {}, "level": {},
+    }
+    total_events = 0
+    audited_events = 0
+    for event in _iter_dicts(events):
+        total_events += 1
+        if not event.get("audited"):
+            continue
+        audited_events += 1
+        overall.observe(event)
+        for dimension in by:
+            key = str(event.get(dimension, "") or "unknown")
+            by[dimension].setdefault(key, _Bucket()).observe(event)
+    groups = {
+        dimension: {
+            key: bucket.summary(tolerance)
+            for key, bucket in sorted(buckets.items())
+        }
+        for dimension, buckets in by.items()
+    }
+    breaches = [
+        f"{dimension}:{key}"
+        for dimension, summaries in groups.items()
+        for key, summary in summaries.items()
+        if summary["within_tolerance"] is False
+    ]
+    overall_summary = overall.summary(tolerance)
+    if overall_summary["within_tolerance"] is False:
+        breaches.insert(0, "overall")
+    return {
+        "tolerance": tolerance,
+        "events": total_events,
+        "audited_events": audited_events,
+        "overall": overall_summary,
+        "by": groups,
+        "breaches": breaches,
+    }
+
+
+def render_audit_report(report: dict[str, Any]) -> str:
+    """Human-readable rendering of a live or offline audit report."""
+    lines: list[str] = []
+    if "totals" in report:  # live CalibrationAuditor.report()
+        totals = report["totals"]
+        lines.append(
+            f"calibration audit: {totals['audited_queries']} queries, "
+            f"{totals['audited_values']} interval(s) audited"
+        )
+        coverage = totals.get("coverage")
+        lines.append(
+            "  realized coverage: "
+            + (f"{coverage:.1%}" if coverage is not None else "n/a")
+            + f"  (audit errors: {totals['audit_errors']})"
+        )
+        for name, snap in report.get("scopes", {}).items():
+            flag = "  BREACHED" if snap["breached"] else ""
+            lines.append(
+                f"  {name:40s} n={snap['samples']:<4d} "
+                f"coverage={snap['success_fraction']:.3f} "
+                f"objective={snap['objective']:.3f} "
+                f"burn={snap['burn_rate']:.2f}{flag}"
+            )
+        breached = report.get("breached", [])
+        lines.append(
+            "  breached scopes: " + (", ".join(breached) if breached
+                                     else "none")
+        )
+        return "\n".join(lines)
+    # offline summarize_events() shape
+    overall = report["overall"]
+    lines.append(
+        f"audit report over {report['events']} event(s), "
+        f"{report['audited_events']} audited"
+    )
+    lines.append(
+        "  overall: "
+        + _format_bucket_line(overall)
+        + f"  (tolerance {report['tolerance']:.3f})"
+    )
+    for dimension in ("route", "table", "level"):
+        for key, summary in report["by"].get(dimension, {}).items():
+            lines.append(
+                f"  {dimension}={key:24s} " + _format_bucket_line(summary)
+            )
+    breaches = report.get("breaches", [])
+    lines.append(
+        "  breaches: " + (", ".join(breaches) if breaches else "none")
+    )
+    return "\n".join(lines)
+
+
+def _format_bucket_line(summary: dict[str, Any]) -> str:
+    if summary["coverage"] is None:
+        return "no audited intervals"
+    line = (
+        f"coverage={summary['coverage']:.3f} "
+        f"nominal={summary['nominal']:.3f} "
+        f"delta={summary['delta']:+.3f} "
+        f"({summary['audited_values']} values)"
+    )
+    if summary["within_tolerance"] is False:
+        line += "  BREACHED"
+    return line

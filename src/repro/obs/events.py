@@ -1,0 +1,235 @@
+"""Structured query event log: one record per executed query.
+
+Traces explain one query; metrics aggregate a process; the *event log*
+sits between them — an append-only stream of compact, structured
+records, one per completed query, carrying everything the answer-
+quality layer needs to reason about fleet health after the fact:
+
+* identity — the SQL text, its canonical shape fingerprint, the base
+  table;
+* routing — ``"exact"`` / ``"partial"`` / ``"cold"`` (the materialized
+  catalog's three outcomes; a disabled catalog is a cold route too);
+* fidelity — the governor's :class:`DegradationLevel` label, the
+  aggregated diagnostic verdict, the per-value estimation methods;
+* the promise — nominal confidence, the widest CI half-width and
+  relative error the answer shipped with, the bootstrap/diagnostic
+  subquery counts actually spent;
+* the cost — wall latency, peak reserved memory, retries, crashes,
+  timeouts, hedges;
+* the verification — when the calibration auditor sampled this query,
+  whether the recomputed ground truth landed inside every shipped
+  interval (:mod:`repro.obs.audit`).
+
+Records land in a bounded in-memory ring (:class:`QueryEventLog`; the
+REPL and auditor read it) and, optionally, in an append-only JSONL file
+sink so a fleet can be audited offline (``repro audit report``).
+Recording touches no RNG stream — event-logged and silent runs are
+bit-identical at any worker count.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Optional
+
+from repro.obs.metrics import METRICS
+
+__all__ = [
+    "EVENTS",
+    "QueryEvent",
+    "QueryEventLog",
+    "load_events",
+]
+
+#: Default ring capacity; ~1 dashboard-day of per-second traffic in a
+#: few MB of small python objects.
+DEFAULT_RING_CAPACITY = 4096
+
+
+@dataclass(frozen=True)
+class QueryEvent:
+    """One executed query, as the observability layer saw it."""
+
+    #: Process-monotonic sequence number (assigned by the log).
+    seq: int = 0
+    #: Unix timestamp at completion.
+    ts: float = 0.0
+    sql: str = ""
+    #: crc32 hex of the canonical query shape (stable across literal
+    #: rebindings — the dashboard-panel identity).
+    fingerprint: str = ""
+    table: str = ""
+    #: Catalog routing outcome: ``exact`` | ``partial`` | ``cold``.
+    route: str = "cold"
+    #: Degradation-ladder label: ``full`` | ``reduced_k`` |
+    #: ``closed_form`` | ``point_estimate``.
+    level: str = "full"
+    #: Aggregated diagnostic verdict over the answer's values:
+    #: ``passed`` | ``failed`` | ``skipped``.
+    verdict: str = "skipped"
+    #: Nominal interval coverage promised to the caller.
+    confidence: float = 0.95
+    #: Widest absolute CI half-width across the answer's values
+    #: (``None`` when no value shipped an interval).
+    max_half_width: Optional[float] = None
+    #: Widest relative error across the answer's values.
+    max_relative_error: Optional[float] = None
+    #: Distinct estimation methods that produced the values.
+    methods: tuple[str, ...] = ()
+    #: Bootstrap resample subqueries actually executed (0 on catalog
+    #: exact hits and pure closed-form answers).
+    bootstrap_k: int = 0
+    diagnostic_subqueries: int = 0
+    rows: int = 0
+    latency_seconds: float = 0.0
+    #: Peak bytes reserved through the memory accountant at completion.
+    memory_peak_bytes: Optional[int] = None
+    retries: int = 0
+    worker_crashes: int = 0
+    task_timeouts: int = 0
+    hedges_launched: int = 0
+    hedges_won: int = 0
+    degraded: bool = False
+    #: Values that fell back away from cheap estimation.
+    fallbacks: int = 0
+    #: Whether the calibration auditor sampled this query.
+    audited: bool = False
+    #: All audited intervals contained the recomputed ground truth
+    #: (``None`` when not audited or no value was auditable).
+    covered: Optional[bool] = None
+    #: Per-value audit detail: interval-bearing values checked, how
+    #: many contained the truth, and the widest observed miss.
+    audit: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """The event as one compact JSONL line."""
+        payload = asdict(self)
+        payload["methods"] = list(self.methods)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+class QueryEventLog:
+    """Bounded in-memory ring of :class:`QueryEvent` + JSONL file sinks.
+
+    Thread-safe; the ring drops oldest-first past ``capacity``.  Sinks
+    are append-only files written line-buffered at record time — a
+    crash loses at most the in-flight line.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_RING_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._ring: deque[QueryEvent] = deque(maxlen=capacity)
+        self._sinks: dict[str, Any] = {}
+        self._seq = 0
+        self._recorded = 0
+        self._lock = threading.Lock()
+
+    # -- recording ---------------------------------------------------------
+    def record(self, event: QueryEvent) -> QueryEvent:
+        """Assign a sequence number, append to the ring, write sinks."""
+        with self._lock:
+            self._seq += 1
+            self._recorded += 1
+            stamped = replace(event, seq=self._seq, ts=time.time())
+            self._ring.append(stamped)
+            sinks = list(self._sinks.values())
+        METRICS.counter("events.recorded").inc()
+        if sinks:
+            # Serialisation is deferred until a sink actually needs the
+            # line — ring-only logging stays a deque append.
+            line = stamped.to_json()
+            for sink in sinks:
+                try:
+                    sink.write(line + "\n")
+                    sink.flush()
+                except OSError:
+                    METRICS.counter("events.sink_errors").inc()
+        return stamped
+
+    # -- sinks -------------------------------------------------------------
+    def attach_sink(self, path: str | Path) -> Path:
+        """Append events to ``path`` as JSONL (idempotent per path)."""
+        resolved = Path(path).resolve()
+        key = str(resolved)
+        with self._lock:
+            if key not in self._sinks:
+                resolved.parent.mkdir(parents=True, exist_ok=True)
+                self._sinks[key] = open(resolved, "a", encoding="utf-8")
+        return resolved
+
+    def detach_sink(self, path: str | Path) -> None:
+        key = str(Path(path).resolve())
+        with self._lock:
+            sink = self._sinks.pop(key, None)
+        if sink is not None:
+            sink.close()
+
+    # -- reading -----------------------------------------------------------
+    def recent(self, count: int | None = None) -> list[QueryEvent]:
+        """The most recent events, oldest first."""
+        with self._lock:
+            events = list(self._ring)
+        if count is not None:
+            events = events[-count:]
+        return events
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "ring_size": len(self._ring),
+                "recorded": self._recorded,
+                "dropped": self._recorded - len(self._ring),
+                "sinks": sorted(self._sinks),
+            }
+
+    def clear(self) -> None:
+        """Drop ring contents and reset counters (sinks stay attached)."""
+        with self._lock:
+            self._ring.clear()
+            self._seq = 0
+            self._recorded = 0
+
+
+def load_events(
+    path: str | Path, strict: bool = False
+) -> Iterator[dict[str, Any]]:
+    """Read an event-log JSONL file back as dicts, skipping torn lines.
+
+    A sink written by a crashing process may end mid-line; by default
+    unparseable lines are skipped (``strict=True`` raises instead).
+    """
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                if strict:
+                    raise
+                continue
+
+
+def _iter_dicts(events: Iterable) -> Iterator[dict[str, Any]]:
+    for event in events:
+        if isinstance(event, QueryEvent):
+            yield asdict(event)
+        else:
+            yield dict(event)
+
+
+#: The process-wide default event log the engine records into.
+EVENTS = QueryEventLog()

@@ -34,12 +34,17 @@ from typing import Any, Optional, Sequence
 __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_QUANTILES",
     "Gauge",
     "Histogram",
     "METRICS",
     "MetricsRegistry",
+    "quantiles_from_snapshot",
     "resident_memory_bytes",
 ]
+
+#: The latency quantiles the serving surfaces render by default.
+DEFAULT_QUANTILES: tuple[float, ...] = (0.5, 0.95, 0.99)
 
 
 def resident_memory_bytes() -> Optional[int]:
@@ -174,6 +179,23 @@ class Histogram:
     def sum(self) -> float:
         return self._sum
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Bucket-interpolated quantile estimate, or ``None`` if empty.
+
+        Prometheus ``histogram_quantile`` semantics: linear
+        interpolation inside the bucket holding the target rank, with
+        the observed min/max clamping the first and overflow buckets so
+        small histograms do not report a p99 beyond any observation.
+        """
+        return _bucket_quantile(
+            self.buckets,
+            list(self._counts),
+            self._count,
+            self._min,
+            self._max,
+            q,
+        )
+
     def snapshot(self) -> dict[str, Any]:
         cumulative = []
         running = 0
@@ -193,6 +215,80 @@ class Histogram:
             },
             "overflow": self._counts[-1],
         }
+
+
+def _bucket_quantile(
+    bounds: Sequence[float],
+    counts: Sequence[int],
+    total: int,
+    observed_min: float,
+    observed_max: float,
+    q: float,
+) -> Optional[float]:
+    """Interpolate quantile ``q`` from raw per-bucket counts.
+
+    ``counts`` has ``len(bounds) + 1`` entries (last is overflow).
+    Inside a bucket we interpolate linearly between its bounds; the
+    first bucket's lower edge and the overflow bucket's upper edge are
+    the observed min/max, which also clamp the result so a sparse
+    histogram never reports a value outside what was seen.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if total <= 0:
+        return None
+    target = q * total
+    cumulative = 0
+    for index, bucket_count in enumerate(counts):
+        cumulative += bucket_count
+        if cumulative >= target and bucket_count > 0:
+            upper = bounds[index] if index < len(bounds) else observed_max
+            lower = bounds[index - 1] if index > 0 else observed_min
+            if upper <= lower:
+                value = upper
+            else:
+                within = (target - (cumulative - bucket_count)) / bucket_count
+                value = lower + (upper - lower) * min(max(within, 0.0), 1.0)
+            return min(max(value, observed_min), observed_max)
+    return observed_max
+
+
+def quantiles_from_snapshot(
+    snapshot: dict[str, Any],
+    qs: Sequence[float] = DEFAULT_QUANTILES,
+) -> dict[str, Optional[float]]:
+    """Quantile estimates from a :meth:`Histogram.snapshot` dict.
+
+    Returns ``{"p50": ..., "p95": ..., "p99": ...}`` (keys derived from
+    ``qs``); values are ``None`` for an empty histogram.  Accepts the
+    snapshot's cumulative ``le_{bound:g}`` buckets so offline consumers
+    (``repro audit report``, the REPL) need no live instrument.
+    """
+    labels = {q: f"p{q * 100:g}".replace(".", "_") for q in qs}
+    count = int(snapshot.get("count") or 0)
+    if count <= 0:
+        return {label: None for label in labels.values()}
+    buckets = snapshot.get("buckets") or {}
+    pairs = sorted(
+        (float(key[3:].replace("_", ".")), int(value))
+        for key, value in buckets.items()
+        if key.startswith("le_")
+    )
+    bounds = [bound for bound, _ in pairs]
+    raw: list[int] = []
+    previous = 0
+    for _, cumulative in pairs:
+        raw.append(cumulative - previous)
+        previous = cumulative
+    raw.append(int(snapshot.get("overflow") or 0))
+    observed_min = float(snapshot.get("min") or 0.0)
+    observed_max = float(snapshot.get("max") or 0.0)
+    return {
+        labels[q]: _bucket_quantile(
+            bounds, raw, count, observed_min, observed_max, q
+        )
+        for q in qs
+    }
 
 
 class MetricsRegistry:

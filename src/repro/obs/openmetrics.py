@@ -1,0 +1,148 @@
+"""OpenMetrics/Prometheus text rendering of the METRICS registry.
+
+The registry (:mod:`repro.obs.metrics`) snapshots to plain dicts; this
+module serialises a snapshot in the Prometheus text exposition format
+(compatible with OpenMetrics scrapers) so a deployment can point an
+ordinary Prometheus at the engine:
+
+* counters become ``repro_<name>_total``;
+* gauges become ``repro_<name>``;
+* histograms become the full ``_bucket{le="..."}`` / ``_sum`` /
+  ``_count`` family (cumulative ``le`` semantics, ``+Inf`` bucket),
+  plus pre-computed ``_p50`` / ``_p95`` / ``_p99`` gauges for
+  dashboards that do not want to run ``histogram_quantile`` at query
+  time.
+
+Metric names are sanitised (dots and other separators → underscores)
+and the export terminates with ``# EOF`` per the OpenMetrics spec.
+:func:`start_metrics_server` serves the rendering at ``/metrics`` from
+a stdlib HTTP server on a daemon thread — no third-party dependency.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional
+
+from repro.obs.metrics import (
+    DEFAULT_QUANTILES,
+    METRICS,
+    MetricsRegistry,
+    quantiles_from_snapshot,
+)
+
+__all__ = ["render_openmetrics", "start_metrics_server"]
+
+#: Prefix namespacing every exported series.
+METRIC_PREFIX = "repro"
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _sanitize(name: str) -> str:
+    """``catalog.mv_hits`` → ``catalog_mv_hits`` (Prometheus charset)."""
+    sanitized = _INVALID.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _format_value(value: Any) -> str:
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _render_counter(lines: list[str], name: str, snap: dict) -> None:
+    lines.append(f"# TYPE {name}_total counter")
+    lines.append(f"{name}_total {_format_value(snap['value'])}")
+
+
+def _render_gauge(lines: list[str], name: str, snap: dict) -> None:
+    lines.append(f"# TYPE {name} gauge")
+    lines.append(f"{name} {_format_value(snap['value'])}")
+
+
+def _render_histogram(lines: list[str], name: str, snap: dict) -> None:
+    lines.append(f"# TYPE {name} histogram")
+    pairs = sorted(
+        (float(key[3:]), int(value))
+        for key, value in (snap.get("buckets") or {}).items()
+        if key.startswith("le_")
+    )
+    for bound, cumulative in pairs:
+        lines.append(f'{name}_bucket{{le="{bound:g}"}} {cumulative}')
+    lines.append(f'{name}_bucket{{le="+Inf"}} {int(snap["count"])}')
+    lines.append(f"{name}_sum {_format_value(snap['sum'])}")
+    lines.append(f"{name}_count {int(snap['count'])}")
+    for label, value in quantiles_from_snapshot(
+        snap, DEFAULT_QUANTILES
+    ).items():
+        if value is None:
+            continue
+        lines.append(f"# TYPE {name}_{label} gauge")
+        lines.append(f"{name}_{label} {_format_value(value)}")
+
+
+def render_openmetrics(registry: MetricsRegistry = METRICS) -> str:
+    """The registry as one Prometheus/OpenMetrics text document."""
+    lines: list[str] = []
+    for raw_name, snap in registry.snapshot().items():
+        name = f"{METRIC_PREFIX}_{_sanitize(raw_name)}"
+        kind = snap.get("type")
+        if kind == "counter":
+            _render_counter(lines, name, snap)
+        elif kind == "gauge":
+            _render_gauge(lines, name, snap)
+        elif kind == "histogram":
+            _render_histogram(lines, name, snap)
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    registry: MetricsRegistry = METRICS
+
+    def do_GET(self):  # noqa: N802 - stdlib interface
+        if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+            self.send_response(404)
+            self.end_headers()
+            return
+        body = render_openmetrics(self.registry).encode("utf-8")
+        self.send_response(200)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args):  # silence per-request stderr noise
+        pass
+
+
+def start_metrics_server(
+    port: int = 0,
+    host: str = "127.0.0.1",
+    registry: Optional[MetricsRegistry] = None,
+) -> ThreadingHTTPServer:
+    """Serve ``/metrics`` on a daemon thread; returns the bound server.
+
+    ``port=0`` binds an ephemeral port (``server.server_address[1]``
+    reports it — used by tests and ad-hoc scrapes).  Call
+    ``server.shutdown()`` to stop.
+    """
+    handler = type(
+        "_BoundMetricsHandler",
+        (_MetricsHandler,),
+        {"registry": registry if registry is not None else METRICS},
+    )
+    server = ThreadingHTTPServer((host, port), handler)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-metrics", daemon=True
+    )
+    thread.start()
+    return server

@@ -1,0 +1,163 @@
+"""Error-budget SLOs with burn-rate accounting over sliding windows.
+
+The calibration auditor (:mod:`repro.obs.audit`) produces a stream of
+binary observations — "this audited interval contained the recomputed
+ground truth" — per route, table, and degradation level.  This module
+turns such a stream into the standard SRE error-budget vocabulary:
+
+* the **objective** is the success fraction the system promised.  For
+  coverage SLOs it is the nominal confidence minus a small tolerance
+  (a 95 % interval audited at ±2 pp has objective 0.93); each
+  observation carries its own objective, so windows that mix 95 % and
+  99 % queries budget each correctly.
+* the **error budget** of a window is the miss fraction the objective
+  allows: ``1 − mean(objective)``.
+* the **burn rate** is observed misses divided by allowed misses — 1.0
+  means the budget is being spent exactly as fast as it accrues, 2.0
+  means the window will exhaust a period's budget in half the period.
+* a tracker **breaches** when, with at least ``min_samples``
+  observations in the window, the burn rate reaches
+  ``burn_rate_threshold``.
+
+Breaches are edge-triggered: :meth:`ErrorBudgetSLO.record` returns
+``"breach"`` only on the healthy→breached transition (and
+``"recovered"`` on the way back), so wiring breach signals to control
+actions — cube invalidation, breaker trips — fires once per episode,
+not once per observation.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = ["ErrorBudgetSLO", "SLOConfig"]
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """Window and trigger tuning for one error-budget tracker.
+
+    Attributes:
+        window: observations kept in the sliding window.
+        min_samples: observations required before a breach may fire
+            (below it, burn rate is reported but never acted on).
+        burn_rate_threshold: burn rate at which the tracker breaches.
+            2.0 — "spending budget at twice the sustainable rate" — is
+            the classic fast-burn page threshold; 1.0 would page on
+            Monte-Carlo noise at these window sizes.
+        default_objective: objective assumed when an observation does
+            not carry its own.
+    """
+
+    window: int = 200
+    min_samples: int = 25
+    burn_rate_threshold: float = 2.0
+    default_objective: float = 0.93
+
+    def __post_init__(self):
+        if self.window < 1 or self.min_samples < 1:
+            raise ValueError("window and min_samples must be >= 1")
+        if not 0.0 < self.default_objective < 1.0:
+            raise ValueError(
+                f"default_objective must be in (0, 1), got "
+                f"{self.default_objective}"
+            )
+        if self.burn_rate_threshold <= 0:
+            raise ValueError(
+                f"burn_rate_threshold must be positive, got "
+                f"{self.burn_rate_threshold}"
+            )
+
+
+class ErrorBudgetSLO:
+    """One sliding-window error budget with edge-triggered breaches."""
+
+    def __init__(self, config: SLOConfig | None = None, name: str = ""):
+        self.config = config or SLOConfig()
+        self.name = name
+        self._window: deque[tuple[bool, float]] = deque(
+            maxlen=self.config.window
+        )
+        self._breached = False
+        self._breaches = 0
+        self._total = 0
+        self._total_misses = 0
+        self._lock = threading.Lock()
+
+    # -- recording ---------------------------------------------------------
+    def record(
+        self, ok: bool, objective: Optional[float] = None
+    ) -> Optional[str]:
+        """Add one observation; returns ``"breach"`` / ``"recovered"``
+        on a state transition, ``None`` otherwise."""
+        objective = (
+            self.config.default_objective if objective is None else objective
+        )
+        with self._lock:
+            self._window.append((bool(ok), float(objective)))
+            self._total += 1
+            if not ok:
+                self._total_misses += 1
+            breached_now = self._burn_rate() >= (
+                self.config.burn_rate_threshold
+            ) and len(self._window) >= self.config.min_samples
+            if breached_now and not self._breached:
+                self._breached = True
+                self._breaches += 1
+                return "breach"
+            if not breached_now and self._breached:
+                self._breached = False
+                return "recovered"
+        return None
+
+    # -- accounting (lock held by callers below) ---------------------------
+    def _miss_fraction(self) -> float:
+        if not self._window:
+            return 0.0
+        return sum(1 for ok, _ in self._window if not ok) / len(self._window)
+
+    def _allowed_miss(self) -> float:
+        if not self._window:
+            return 1.0 - self.config.default_objective
+        mean_objective = sum(obj for _, obj in self._window) / len(
+            self._window
+        )
+        return max(1e-9, 1.0 - mean_objective)
+
+    def _burn_rate(self) -> float:
+        return self._miss_fraction() / self._allowed_miss()
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def breached(self) -> bool:
+        with self._lock:
+            return self._breached
+
+    @property
+    def samples(self) -> int:
+        with self._lock:
+            return len(self._window)
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-friendly state for ``\\audit`` and the export surface."""
+        with self._lock:
+            miss = self._miss_fraction()
+            allowed = self._allowed_miss()
+            return {
+                "samples": len(self._window),
+                "total_observations": self._total,
+                "total_misses": self._total_misses,
+                "success_fraction": round(1.0 - miss, 6),
+                "objective": round(1.0 - allowed, 6),
+                "allowed_miss_fraction": round(allowed, 6),
+                "miss_fraction": round(miss, 6),
+                "burn_rate": round(miss / allowed, 4),
+                "budget_remaining": round(
+                    max(0.0, 1.0 - miss / allowed), 4
+                ),
+                "breached": self._breached,
+                "breaches": self._breaches,
+            }

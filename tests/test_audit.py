@@ -1,0 +1,600 @@
+"""Answer-quality observability: events, audits, SLOs, OpenMetrics.
+
+The load-bearing claims under test:
+
+* the event log records one structured record per executed query, in a
+  bounded ring and (optionally) a JSONL sink that survives torn lines;
+* calibration-audit sampling is a deterministic hash — no RNG — so
+  audited runs are bit-identical to unaudited runs at any worker count;
+* realized-coverage tracking turns a seeded stale-cube fault into an
+  edge-triggered SLO breach that invalidates the cube and (via the
+  governor) opens the circuit breaker with a ``quality_breach`` cause;
+* the OpenMetrics export renders the registry in Prometheus text
+  format, and histogram snapshots yield sane p50/p95/p99 estimates.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import format_stats, main as cli_main, run_query
+from repro.core.ci import ConfidenceInterval
+from repro.core.pipeline import (
+    AQPEngine,
+    AQPResult,
+    AQPRow,
+    ApproximateValue,
+    EngineConfig,
+    resolve_audit_fraction,
+    resolve_event_log_enabled,
+)
+from repro.engine.table import Table
+from repro.governor.admission import GovernorConfig, QueryGovernor
+from repro.governor.breaker import BreakerState, CircuitBreaker
+from repro.obs import METRICS
+from repro.obs.audit import (
+    AuditConfig,
+    CalibrationAuditor,
+    render_audit_report,
+    summarize_events,
+)
+from repro.obs.events import EVENTS, QueryEvent, QueryEventLog, load_events
+from repro.obs.metrics import Histogram, quantiles_from_snapshot
+from repro.obs.openmetrics import render_openmetrics, start_metrics_server
+from repro.obs.slo import ErrorBudgetSLO, SLOConfig
+
+
+@pytest.fixture(autouse=True)
+def clean_global_obs():
+    """Each test sees a fresh process-wide ring and registry."""
+    EVENTS.clear()
+    METRICS.reset()
+    yield
+    EVENTS.clear()
+    METRICS.reset()
+
+
+@pytest.fixture
+def eight_cpus(monkeypatch):
+    monkeypatch.setattr(os, "cpu_count", lambda: 8)
+
+
+def _make_engine(**config_kwargs) -> AQPEngine:
+    rng = np.random.default_rng(5)
+    n = 20_000
+    table = Table(
+        {
+            "x": rng.normal(100.0, 15.0, n),
+            "g": rng.integers(0, 4, n).astype(np.int64),
+        },
+        name="t",
+    )
+    config_kwargs.setdefault("retry_backoff_seconds", 0.0)
+    config_kwargs.setdefault("run_diagnostics", False)
+    config_kwargs.setdefault("num_bootstrap_resamples", 40)
+    engine = AQPEngine(EngineConfig(**config_kwargs), seed=7)
+    engine.register_table("t", table)
+    engine.create_sample("t", size=4000, name="s")
+    return engine
+
+
+def _values_key(result: AQPResult):
+    return tuple(
+        (
+            value.estimate,
+            None if value.interval is None else value.interval.half_width,
+        )
+        for row in result.rows
+        for value in row.values.values()
+    )
+
+
+# ---------------------------------------------------------------------------
+# Event log
+# ---------------------------------------------------------------------------
+class TestQueryEventLog:
+    def test_ring_bounds_and_sequence(self):
+        log = QueryEventLog(capacity=3)
+        for i in range(5):
+            log.record(QueryEvent(sql=f"q{i}"))
+        events = log.recent()
+        assert [e.sql for e in events] == ["q2", "q3", "q4"]
+        assert [e.seq for e in events] == [3, 4, 5]
+        snap = log.snapshot()
+        assert snap["recorded"] == 5 and snap["dropped"] == 2
+
+    def test_jsonl_sink_roundtrip_and_torn_line(self, tmp_path):
+        log = QueryEventLog()
+        path = tmp_path / "events.jsonl"
+        log.attach_sink(path)
+        log.record(QueryEvent(sql="SELECT 1", route="cold"))
+        log.record(QueryEvent(sql="SELECT 2", route="exact"))
+        log.detach_sink(path)
+        with open(path, "a") as f:
+            f.write('{"sql": "torn')  # crash mid-line
+        loaded = list(load_events(path))
+        assert [e["sql"] for e in loaded] == ["SELECT 1", "SELECT 2"]
+        with pytest.raises(json.JSONDecodeError):
+            list(load_events(path, strict=True))
+
+    def test_sink_attach_is_idempotent(self, tmp_path):
+        log = QueryEventLog()
+        path = tmp_path / "e.jsonl"
+        log.attach_sink(path)
+        log.attach_sink(path)
+        log.record(QueryEvent(sql="q"))
+        log.detach_sink(path)
+        assert len(list(load_events(path))) == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            QueryEventLog(capacity=0)
+
+    def test_engine_emits_event_per_query(self):
+        engine = _make_engine(audit_fraction=0.0)
+        result = engine.execute("SELECT AVG(x) FROM t")
+        event = result.event
+        assert event is not None
+        assert event.sql == "SELECT AVG(x) FROM t"
+        assert event.table == "t"
+        assert event.route == "cold"
+        assert event.level == "full"
+        assert event.rows == 1
+        assert event.bootstrap_k == result.bootstrap_subqueries
+        assert event.latency_seconds == result.elapsed_seconds
+        assert not event.audited and event.covered is None
+        assert EVENTS.recent()[-1].seq == event.seq
+
+    def test_event_route_tracks_catalog(self):
+        engine = _make_engine()
+        first = engine.execute("SELECT AVG(x) FROM t")
+        second = engine.execute("SELECT AVG(x) FROM t")
+        assert first.event.route == "cold"
+        assert second.event.route == "exact"
+
+    def test_event_log_disablable(self):
+        engine = _make_engine(event_log=False)
+        result = engine.execute("SELECT AVG(x) FROM t")
+        assert result.event is None
+        assert len(EVENTS) == 0
+
+    def test_env_resolution(self, monkeypatch):
+        assert resolve_event_log_enabled(None) is True
+        monkeypatch.setenv("REPRO_EVENTS", "off")
+        assert resolve_event_log_enabled(None) is False
+        assert resolve_event_log_enabled(True) is True
+        monkeypatch.setenv("REPRO_AUDIT_FRACTION", "0.25")
+        assert resolve_audit_fraction(None) == 0.25
+        assert resolve_audit_fraction(0.5) == 0.5
+
+
+# ---------------------------------------------------------------------------
+# Error-budget SLOs
+# ---------------------------------------------------------------------------
+class TestErrorBudgetSLO:
+    def test_burn_rate_math(self):
+        slo = ErrorBudgetSLO(SLOConfig(window=100, min_samples=10))
+        for _ in range(90):
+            slo.record(True, objective=0.9)
+        for _ in range(10):
+            slo.record(False, objective=0.9)
+        snap = slo.snapshot()
+        assert snap["miss_fraction"] == pytest.approx(0.1)
+        assert snap["burn_rate"] == pytest.approx(1.0)
+        assert not snap["breached"]
+
+    def test_breach_is_edge_triggered_and_recovers(self):
+        slo = ErrorBudgetSLO(
+            SLOConfig(window=20, min_samples=5, burn_rate_threshold=2.0)
+        )
+        edges = [slo.record(False, objective=0.9) for _ in range(6)]
+        assert edges.count("breach") == 1
+        assert slo.breached
+        recovery = [slo.record(True, objective=0.9) for _ in range(20)]
+        assert recovery.count("recovered") == 1
+        assert not slo.breached
+        assert slo.snapshot()["breaches"] == 1
+
+    def test_no_breach_below_min_samples(self):
+        slo = ErrorBudgetSLO(SLOConfig(window=50, min_samples=30))
+        assert all(
+            slo.record(False, objective=0.95) is None for _ in range(29)
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SLOConfig(window=0)
+        with pytest.raises(ValueError):
+            SLOConfig(default_objective=1.5)
+        with pytest.raises(ValueError):
+            SLOConfig(burn_rate_threshold=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Calibration auditor
+# ---------------------------------------------------------------------------
+class TestCalibrationAuditor:
+    def test_sampling_is_deterministic_and_proportional(self):
+        config = AuditConfig(fraction=0.3)
+        first = CalibrationAuditor(config)
+        second = CalibrationAuditor(config)
+        decisions = [first.should_audit("shape-a") for _ in range(400)]
+        assert decisions == [
+            second.should_audit("shape-a") for _ in range(400)
+        ]
+        rate = sum(decisions) / len(decisions)
+        assert 0.2 < rate < 0.4
+
+    def test_fraction_bounds(self):
+        assert not CalibrationAuditor(AuditConfig(fraction=0.0)).enabled
+        always = CalibrationAuditor(AuditConfig(fraction=1.0))
+        assert all(always.should_audit("s") for _ in range(10))
+        with pytest.raises(ValueError):
+            AuditConfig(fraction=1.5)
+
+    def test_audit_covers_honest_intervals(self):
+        engine = _make_engine(audit_fraction=1.0)
+        result = engine.execute("SELECT AVG(x) FROM t")
+        assert result.event.audited
+        assert result.event.covered is True
+        report = engine.auditor.report()
+        assert report["totals"]["audited_queries"] == 1
+        assert report["totals"]["coverage"] == 1.0
+        assert "route:cold" in report["scopes"]
+        assert "table:t" in report["scopes"]
+        assert "level:full" in report["scopes"]
+
+    def test_grouped_audit_checks_each_group(self):
+        engine = _make_engine(audit_fraction=1.0)
+        result = engine.execute("SELECT AVG(x) FROM t GROUP BY g")
+        audited = result.event.audit
+        auditable = sum(
+            1
+            for row in result.rows
+            for value in row.values.values()
+            if value.interval is not None and value.method != "exact"
+        )
+        assert audited["audited_values"] == auditable
+
+    def test_audit_failure_is_contained(self):
+        engine = _make_engine(audit_fraction=1.0)
+        result = engine.execute("SELECT AVG(x) FROM t")
+        query = engine.analyze_sql("SELECT AVG(x) FROM t")
+        engine.catalog._entries.pop("t", None)  # sabotage the base table
+        outcome = engine.auditor.audit(engine, query, result)
+        assert outcome.audited_values == 0
+        assert engine.auditor.report()["totals"]["audit_errors"] == 1
+
+    def test_audited_run_bit_identical_serial(self):
+        queries = [
+            "SELECT AVG(x) FROM t",
+            "SELECT SUM(x) FROM t WHERE g = 1",
+            "SELECT AVG(x) FROM t GROUP BY g",
+        ]
+        baseline = _make_engine(audit_fraction=0.0, event_log=False)
+        audited = _make_engine(audit_fraction=1.0)
+        for sql in queries:
+            assert _values_key(baseline.execute(sql)) == _values_key(
+                audited.execute(sql)
+            ), sql
+
+    def test_audited_run_bit_identical_two_workers(self, eight_cpus):
+        sql = "SELECT AVG(x) FROM t GROUP BY g"
+        serial = _make_engine(audit_fraction=1.0)
+        parallel = _make_engine(audit_fraction=1.0, num_workers=2)
+        try:
+            assert _values_key(serial.execute(sql)) == _values_key(
+                parallel.execute(sql)
+            )
+        finally:
+            parallel.close()
+
+
+def _biased_result(engine, truth_offset: float) -> AQPResult:
+    """A fabricated cube-served answer whose interval misses the truth."""
+    exact = float(
+        engine.execute_exact("SELECT AVG(x) FROM t").column("_col0")[0]
+    )
+    interval = ConfidenceInterval(
+        estimate=exact + truth_offset,
+        half_width=abs(truth_offset) / 10 or 0.1,
+        confidence=0.95,
+        method="closed_form",
+    )
+    value = ApproximateValue(
+        name="_col0",
+        estimate=interval.estimate,
+        interval=interval,
+        method="closed_form",
+    )
+    return AQPResult(
+        sql="SELECT AVG(x) FROM t",
+        rows=(AQPRow(group={}, values={"_col0": value}),),
+        sample=None,
+        elapsed_seconds=0.001,
+        catalog_route="partial",
+    )
+
+
+class TestBreachWiring:
+    def test_sustained_miss_breaches_and_invalidates_cubes(self):
+        engine = _make_engine(
+            audit_config=AuditConfig(
+                fraction=1.0, window=20, min_samples=5
+            )
+        )
+        engine.materialize("t", dims=("g",), sample_name="s")
+        assert engine.mv_catalog.cubes_for("t")
+        query = engine.analyze_sql("SELECT AVG(x) FROM t")
+        seen: list[str] = []
+        engine.auditor.add_breach_listener(
+            lambda scope, snap: seen.append(scope)
+        )
+        biased = _biased_result(engine, truth_offset=25.0)
+        for _ in range(6):
+            engine.auditor.audit(engine, query, biased)
+        assert "table:t|route:partial" in seen
+        assert "overall" in seen
+        # The engine's own listener evicted the miscalibrated cubes.
+        assert engine.mv_catalog.cubes_for("t") == []
+        assert (
+            METRICS.counter("catalog.quality_invalidations").value == 1
+        )
+        report = engine.auditor.report()
+        assert "table:t|route:partial" in report["breached"]
+
+    def test_breach_recovery_after_invalidation(self):
+        engine = _make_engine(
+            audit_config=AuditConfig(
+                fraction=1.0, window=10, min_samples=5
+            )
+        )
+        query = engine.analyze_sql("SELECT AVG(x) FROM t")
+        biased = _biased_result(engine, truth_offset=25.0)
+        for _ in range(6):
+            engine.auditor.audit(engine, query, biased)
+        assert engine.auditor.report()["breached"]
+        honest = _biased_result(engine, truth_offset=0.0)
+        for _ in range(12):
+            engine.auditor.audit(engine, query, honest)
+        assert engine.auditor.report()["breached"] == []
+
+    def test_quality_breach_opens_governor_breaker(self):
+        engine = _make_engine(
+            audit_config=AuditConfig(
+                fraction=1.0, window=20, min_samples=5
+            )
+        )
+        governor = QueryGovernor(
+            engine, GovernorConfig(max_concurrency=1)
+        )
+        with governor:
+            governor.execute("SELECT AVG(x) FROM t")  # registers listener
+            assert governor.breaker.state == BreakerState.CLOSED
+            query = engine.analyze_sql("SELECT AVG(x) FROM t")
+            biased = _biased_result(engine, truth_offset=25.0)
+            for _ in range(6):
+                engine.auditor.audit(engine, query, biased)
+            assert governor.breaker.state == BreakerState.OPEN
+            assert governor.breaker.last_trip_cause == "quality_breach"
+            assert governor.stats()["quality_breaches"] >= 1
+            assert (
+                governor.breaker.snapshot()["trip_causes"][
+                    "quality_breach"
+                ]
+                >= 1
+            )
+
+    def test_breaker_manual_trip_cause_tracking(self):
+        breaker = CircuitBreaker(clock=lambda: 0.0)
+        breaker.trip("quality_breach")
+        assert breaker.state == BreakerState.OPEN
+        assert breaker.last_trip_cause == "quality_breach"
+        snap = breaker.snapshot()
+        assert snap["trip_causes"] == {"quality_breach": 1}
+        assert (
+            METRICS.counter(
+                "governor.breaker_trips.quality_breach"
+            ).value
+            == 1
+        )
+
+
+# ---------------------------------------------------------------------------
+# Quantiles + OpenMetrics
+# ---------------------------------------------------------------------------
+class TestQuantiles:
+    def test_histogram_quantiles_close_to_empirical(self):
+        h = Histogram("q")
+        rng = np.random.default_rng(3)
+        samples = rng.uniform(0.0, 1.0, 2000)
+        for s in samples:
+            h.observe(float(s))
+        quantiles = quantiles_from_snapshot(h.snapshot())
+        assert quantiles["p50"] == pytest.approx(0.5, abs=0.08)
+        assert quantiles["p95"] == pytest.approx(0.95, abs=0.08)
+        assert quantiles["p99"] == pytest.approx(0.99, abs=0.05)
+        assert h.quantile(0.5) == quantiles["p50"]
+
+    def test_empty_histogram_yields_none(self):
+        h = Histogram("q")
+        assert h.quantile(0.5) is None
+        assert quantiles_from_snapshot(h.snapshot()) == {
+            "p50": None,
+            "p95": None,
+            "p99": None,
+        }
+
+    def test_quantiles_clamped_to_observed_range(self):
+        h = Histogram("q")
+        h.observe(0.003)
+        quantiles = quantiles_from_snapshot(h.snapshot())
+        assert quantiles["p99"] == pytest.approx(0.003)
+
+    def test_invalid_quantile_rejected(self):
+        h = Histogram("q")
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_format_stats_includes_quantiles(self):
+        METRICS.histogram("query.seconds").observe(0.02)
+        stats = json.loads(format_stats())
+        assert "quantiles" in stats["query.seconds"]
+        assert stats["query.seconds"]["quantiles"]["p50"] is not None
+
+
+class TestOpenMetrics:
+    def test_render_counter_gauge_histogram(self):
+        METRICS.counter("audit.queries").inc(4)
+        METRICS.gauge("pool.workers").set(2)
+        METRICS.histogram("query.seconds").observe(0.004)
+        text = render_openmetrics()
+        assert "# TYPE repro_audit_queries_total counter" in text
+        assert "repro_audit_queries_total 4" in text
+        assert "repro_pool_workers 2" in text
+        assert 'repro_query_seconds_bucket{le="0.005"} 1' in text
+        assert 'repro_query_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_query_seconds_count 1" in text
+        assert "repro_query_seconds_p50" in text
+        assert text.endswith("# EOF\n")
+
+    def test_name_sanitization(self):
+        METRICS.counter("governor.breaker_trips.quality_breach").inc()
+        text = render_openmetrics()
+        assert (
+            "repro_governor_breaker_trips_quality_breach_total 1" in text
+        )
+
+    def test_http_server_serves_metrics(self):
+        import urllib.request
+
+        METRICS.counter("queries").inc(7)
+        server = start_metrics_server(port=0)
+        try:
+            port = server.server_address[1]
+            body = (
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/metrics", timeout=5
+                )
+                .read()
+                .decode()
+            )
+            assert "repro_queries_total 7" in body
+            assert body.endswith("# EOF\n")
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/nope", timeout=5
+                )
+        finally:
+            server.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Offline reports + CLI
+# ---------------------------------------------------------------------------
+class TestOfflineReports:
+    def _events(self):
+        return [
+            QueryEvent(
+                sql="q1",
+                route="cold",
+                table="t",
+                level="full",
+                confidence=0.95,
+                audited=True,
+                covered=True,
+                audit={"audited_values": 10, "covered_values": 10},
+            ),
+            QueryEvent(
+                sql="q2",
+                route="partial",
+                table="t",
+                level="full",
+                confidence=0.95,
+                audited=True,
+                covered=False,
+                audit={"audited_values": 10, "covered_values": 5},
+            ),
+            QueryEvent(sql="q3", route="exact", audited=False),
+        ]
+
+    def test_summarize_events_math_and_breaches(self):
+        report = summarize_events(self._events(), tolerance=0.02)
+        assert report["events"] == 3
+        assert report["audited_events"] == 2
+        assert report["overall"]["coverage"] == pytest.approx(0.75)
+        assert report["by"]["route"]["partial"]["coverage"] == (
+            pytest.approx(0.5)
+        )
+        assert "route:partial" in report["breaches"]
+        assert "overall" in report["breaches"]
+        assert report["by"]["route"]["cold"]["within_tolerance"] is True
+
+    def test_render_handles_live_and_offline_shapes(self):
+        offline = render_audit_report(summarize_events(self._events()))
+        assert "BREACHED" in offline
+        auditor = CalibrationAuditor(AuditConfig(fraction=1.0))
+        live = render_audit_report(auditor.report())
+        assert "calibration audit" in live
+
+    def test_cli_audit_report(self, tmp_path, capsys):
+        log = QueryEventLog()
+        path = tmp_path / "events.jsonl"
+        log.attach_sink(path)
+        for event in self._events():
+            log.record(event)
+        log.detach_sink(path)
+        out_json = tmp_path / "audit.json"
+        code = cli_main(
+            [
+                "audit",
+                "report",
+                "--events",
+                str(path),
+                "--json",
+                str(out_json),
+            ]
+        )
+        assert code == 0
+        assert "coverage" in capsys.readouterr().out
+        report = json.loads(out_json.read_text())
+        assert report["audited_events"] == 2
+        # --check turns breaches into a failing exit code.
+        assert (
+            cli_main(
+                ["audit", "report", "--events", str(path), "--check"]
+            )
+            == 1
+        )
+
+    def test_cli_audit_report_missing_file(self, capsys):
+        assert (
+            cli_main(["audit", "report", "--events", "/nonexistent.jsonl"])
+            == 1
+        )
+        assert "error" in capsys.readouterr().err
+
+
+class TestExplainAnalyzeQuality:
+    def test_quality_footer_present(self):
+        engine = _make_engine(audit_fraction=1.0)
+
+        class _Args:
+            exact = False
+            error_bound = None
+            no_diagnostics = True
+            timeout = None
+            trace_out = None
+
+        out = run_query(
+            engine, "EXPLAIN ANALYZE SELECT AVG(x) FROM t", _Args()
+        )
+        assert "-- quality:" in out
+        assert "route=cold" in out
+        assert "audited: 1/1" in out
+        assert "latency" in out

@@ -258,6 +258,66 @@ class TestExport:
         assert payload["traceEvents"]
         assert payload["otherData"]["num_spans"] == trace.num_spans
 
+    @staticmethod
+    def _assert_chrome_schema(events):
+        """Every exported event is a well-formed Chrome trace record."""
+        assert events, "export produced no events"
+        for event in events:
+            assert event["ph"] in {"X", "i", "M"}
+            assert isinstance(event["name"], str) and event["name"]
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            if event["ph"] == "X":
+                assert event["ts"] >= 0 and event["dur"] >= 0
+            if event["ph"] != "M":
+                assert isinstance(event.get("args", {}), dict)
+
+    def test_chrome_export_of_grouped_query(self, tmp_path):
+        rng = np.random.default_rng(13)
+        n = 20_000
+        engine = AQPEngine(
+            EngineConfig(run_diagnostics=False, num_bootstrap_resamples=40),
+            seed=9,
+        )
+        engine.register_table(
+            "t",
+            Table(
+                {
+                    "x": rng.normal(10.0, 3.0, n),
+                    "g": rng.integers(0, 5, n).astype(np.int64),
+                },
+                name="t",
+            ),
+        )
+        engine.create_sample("t", size=4000, name="s")
+        result = engine.execute("SELECT MEDIAN(x) FROM t GROUP BY g")
+        names = {span.name for span in result.trace.root.walk()}
+        assert "bootstrap.grouped_replicates" in names
+        path = write_chrome_trace(result.trace, tmp_path / "grouped.json")
+        payload = json.loads(path.read_text())
+        self._assert_chrome_schema(payload["traceEvents"])
+        exported = {
+            e["name"] for e in payload["traceEvents"] if e["ph"] == "X"
+        }
+        assert "bootstrap.grouped_replicates" in exported
+
+    def test_chrome_export_of_catalog_routed_query(self, tmp_path):
+        engine = _make_engine(num_workers=1)
+        sql = "SELECT AVG(x) FROM t"
+        engine.execute(sql)  # cold: populates the stored-answer layer
+        served = engine.execute(sql)
+        assert served.catalog_route == "exact"
+        path = write_chrome_trace(served.trace, tmp_path / "routed.json")
+        payload = json.loads(path.read_text())
+        self._assert_chrome_schema(payload["traceEvents"])
+        route_events = [
+            e
+            for e in payload["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "catalog.route"
+        ]
+        assert route_events
+        assert route_events[0]["args"]["route"] == "exact"
+
 
 # ---------------------------------------------------------------------------
 # The determinism contract: tracing never perturbs answers
