@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test faults bench bench-baseline bench-smoke audit-smoke stress chaos
+.PHONY: check lint test faults bench bench-baseline bench-smoke audit-smoke stress serve-stress chaos
 
 check: lint test
 
@@ -66,6 +66,17 @@ stress:
 	$(PYTHON) benchmarks/bench_overload.py --smoke \
 		--out benchmarks/results/overload.json
 
+# Serving-tier stress: 4 tenants x closed-loop clients against the
+# network serving tier at 1/4 of the ungoverned peak memory, then the
+# same load plus a flooding tenant.  Asserts zero crashes, zero
+# dishonest answers, flood containment within quota, steady-tenant p99
+# within 2x of isolated, Jain fairness >= 0.8, and no accepted query
+# left unresolved; writes the p50/p99/shed-rate/fairness report to
+# benchmarks/results/serving.json.
+serve-stress:
+	$(PYTHON) benchmarks/bench_serving.py --smoke \
+		--out benchmarks/results/serving.json
+
 # End-to-end chaos harness: >= 25 seeded randomized fault schedules
 # (worker + storage domains at once) against the Conviva dashboard
 # mix.  Each schedule asserts the robustness invariants — no dishonest
@@ -73,7 +84,11 @@ stress:
 # zero orphaned shm segments or staging files, zero leaked memory
 # reservations, governor never deadlocks — and the machine-readable
 # invariant report lands in benchmarks/results/chaos.json.  FAILS on
-# any violation.
+# any violation.  The run also includes >= 10 serving-tier schedules
+# (client disconnects mid-poll, slow readers, a flooding tenant, and a
+# graceful drain fired mid-burst) asserting that every accepted query
+# resolves to a result, a typed rejection, or an honest cancellation.
 chaos:
 	$(PYTHON) -m repro.chaos --seeds 25 --rows 2000 --queries 5 \
+		--serving-seeds 10 \
 		--out benchmarks/results/chaos.json

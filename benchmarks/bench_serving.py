@@ -1,0 +1,521 @@
+"""Serving-tier stress: multi-tenant fairness under flood, at 1/4 memory.
+
+Extends :mod:`bench_overload` from a process-local governor to the full
+network serving tier (:mod:`repro.serve`).  Three phases:
+
+* **calibrate** — the steady workload runs ungoverned (one engine per
+  tenant, a shared track-only accountant) to learn its peak reserved
+  footprint; the serving phases then run under **one quarter** of it.
+* **isolated** — four steady tenants, four closed-loop clients each,
+  against a live server; measures the honest baseline per-tenant
+  p50/p99 end-to-end latency (submit → long-poll → result).
+* **contended** — the same steady load plus one *flooding* tenant
+  hammering submissions far past its quota (tight rate window, small
+  concurrency cap, low weight).
+
+The report (p50/p99 per tenant and aggregate, shed rate, Jain's
+fairness index over the steady tenants, flood containment) is written
+as JSON; the run **fails** unless:
+
+1. zero crashes and zero untyped client errors in any phase;
+2. zero dishonest answers — every completed result carries an interval
+   or is explicitly flagged (degraded / fell back);
+3. the flooding tenant's acceptances stay within its configured quota
+   (rate x elapsed plus its concurrency cap, with scheduling slack);
+4. the steady tenants' aggregate p99 under flood stays within 2x their
+   isolated p99 (plus a small constant for timer noise at smoke scale);
+5. Jain's fairness index across the steady tenants' completions is
+   >= 0.8;
+6. every query the flooder got accepted resolves to a terminal state —
+   the serving tier never goes silent on an accepted query;
+7. peak reserved bytes stay within the quarter-peak budget and the
+   ledger returns to zero.
+
+Run directly (``--smoke`` for the seconds-long CI variant)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke
+
+or under pytest, where the smoke variant runs as a test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import numpy as np
+
+from bench_overload import build_workload, make_engine_factory
+from repro.errors import AdmissionRejectedError, ReproError
+from repro.governor import (
+    DegradationLevel,
+    GovernorConfig,
+    MemoryAccountant,
+    QueryGovernor,
+)
+from repro.serve import ServeClient, ServeConfig, ServerThread, TenantConfig
+from repro.serve.client import RemoteQueryError
+from repro.serve.protocol import TERMINAL_STATES
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: The flooding tenant's quota: submissions per second and concurrent.
+FLOOD_RATE_LIMIT = 10
+FLOOD_MAX_IN_FLIGHT = 2
+
+
+def _percentile(values: list[float], q: float):
+    if not values:
+        return None
+    return float(np.percentile(np.asarray(values), q))
+
+
+def _jain(counts: list[int]) -> float:
+    """Jain's fairness index: 1.0 = perfectly equal shares."""
+    if not counts or sum(counts) == 0:
+        return 1.0
+    total = float(sum(counts))
+    squares = float(sum(c * c for c in counts))
+    return (total * total) / (len(counts) * squares)
+
+
+def _honest(payload: dict) -> bool:
+    """A completed remote answer is honest iff every value carries an
+    interval or announces its own degradation."""
+    result = payload.get("result") or {}
+    if result.get("degraded"):
+        return True
+    for row in result.get("rows", []):
+        for value in row.get("values", []):
+            if value.get("interval") is None and not value.get("fell_back"):
+                return False
+    return True
+
+
+def _steady_phase(
+    host: str,
+    port: int,
+    tenant_names: list[str],
+    clients_per_tenant: int,
+    client_queries: dict[str, list[list[str]]],
+) -> dict:
+    """Closed-loop steady clients; returns per-tenant outcome records."""
+    records: list[dict] = []
+    lock = threading.Lock()
+
+    def client(tenant: str, index: int, sqls: list[str]) -> None:
+        handle = ServeClient(host, port, tenant=tenant, timeout=60.0)
+        try:
+            for sql in sqls:
+                started = time.perf_counter()
+                outcome = {"tenant": tenant, "client": index}
+                try:
+                    payload = handle.run(
+                        sql, deadline_seconds=120.0, timeout=120.0
+                    )
+                    outcome["status"] = "completed"
+                    outcome["honest"] = _honest(payload)
+                except AdmissionRejectedError as error:
+                    outcome["status"] = "shed"
+                    outcome["reason"] = error.reason
+                except RemoteQueryError as error:
+                    outcome["status"] = error.state
+                except ReproError as error:
+                    outcome["status"] = "query_error"
+                    outcome["error"] = str(error)
+                except BaseException as error:  # zero-crashes invariant
+                    outcome["status"] = "crash"
+                    outcome["error"] = f"{type(error).__name__}: {error}"
+                outcome["seconds"] = time.perf_counter() - started
+                with lock:
+                    records.append(outcome)
+        finally:
+            handle.close()
+
+    threads = [
+        threading.Thread(
+            target=client,
+            args=(tenant, index, client_queries[tenant][index]),
+            daemon=True,
+        )
+        for tenant in tenant_names
+        for index in range(clients_per_tenant)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+
+    per_tenant = {}
+    for tenant in tenant_names:
+        mine = [r for r in records if r["tenant"] == tenant]
+        latencies = sorted(
+            r["seconds"] for r in mine if r["status"] == "completed"
+        )
+        per_tenant[tenant] = {
+            "queries": len(mine),
+            "completed": sum(1 for r in mine if r["status"] == "completed"),
+            "shed": sum(1 for r in mine if r["status"] == "shed"),
+            "crash": sum(1 for r in mine if r["status"] == "crash"),
+            "dishonest": sum(
+                1
+                for r in mine
+                if r["status"] == "completed" and not r.get("honest", True)
+            ),
+            "p50_seconds": _percentile(latencies, 50),
+            "p99_seconds": _percentile(latencies, 99),
+        }
+    all_latencies = sorted(
+        r["seconds"] for r in records if r["status"] == "completed"
+    )
+    total = len(records)
+    shed = sum(1 for r in records if r["status"] == "shed")
+    return {
+        "elapsed_seconds": elapsed,
+        "queries": total,
+        "completed": sum(1 for r in records if r["status"] == "completed"),
+        "shed": shed,
+        "shed_rate": shed / total if total else 0.0,
+        "crash": sum(1 for r in records if r["status"] == "crash"),
+        "dishonest": sum(
+            1
+            for r in records
+            if r["status"] == "completed" and not r.get("honest", True)
+        ),
+        "p50_seconds": _percentile(all_latencies, 50),
+        "p99_seconds": _percentile(all_latencies, 99),
+        "fairness_jain": _jain(
+            [per_tenant[t]["completed"] for t in tenant_names]
+        ),
+        "per_tenant": per_tenant,
+    }
+
+
+def _flood(
+    host: str, port: int, sql: str, stop: threading.Event
+) -> dict:
+    """Open-loop flood from the quota-capped tenant.
+
+    Submits as fast as the server answers until ``stop`` fires, then
+    polls every accepted id to a terminal state (the no-silence gate).
+    """
+    handle = ServeClient(host, port, tenant="flooder", timeout=60.0)
+    accepted: list[str] = []
+    rejected = 0
+    reasons: dict[str, int] = {}
+    submitted = 0
+    started = time.perf_counter()
+    try:
+        while not stop.is_set():
+            submitted += 1
+            try:
+                accepted.append(
+                    handle.submit(sql, deadline_seconds=60.0)
+                )
+            except AdmissionRejectedError as error:
+                rejected += 1
+                reasons[error.reason] = reasons.get(error.reason, 0) + 1
+                time.sleep(0.002)
+            except (ConnectionError, OSError):
+                break
+        flood_seconds = time.perf_counter() - started
+        outcomes: dict[str, int] = {}
+        unresolved = 0
+        for query_id in accepted:
+            try:
+                payload = handle.wait(query_id, timeout=120.0)
+                state = payload.get("state")
+            except (ReproError, TimeoutError, ConnectionError, OSError):
+                state = None
+            if state in TERMINAL_STATES:
+                outcomes[state] = outcomes.get(state, 0) + 1
+            else:
+                unresolved += 1
+    finally:
+        handle.close()
+    return {
+        "submitted": submitted,
+        "accepted": len(accepted),
+        "rejected": rejected,
+        "rejection_reasons": reasons,
+        "flood_seconds": flood_seconds,
+        "outcomes": outcomes,
+        "unresolved": unresolved,
+    }
+
+
+def run_serving(
+    tenants: int = 4,
+    clients_per_tenant: int = 4,
+    queries_per_client: int = 4,
+    rows: int = 200_000,
+    sample_rows: int = 5_000,
+    seed: int = 2014,
+    budget_fraction: float = 0.25,
+) -> dict:
+    """The full three-phase experiment; returns a JSON-friendly report."""
+    factory = make_engine_factory(rows, sample_rows, seed)
+    tenant_names = [f"tenant_{i}" for i in range(tenants)]
+    client_queries = {
+        tenant: [
+            build_workload(
+                queries_per_client, seed + 100 + t_index * 50 + c_index
+            )
+            for c_index in range(clients_per_tenant)
+        ]
+        for t_index, tenant in enumerate(tenant_names)
+    }
+
+    # ---- phase 0: calibrate the ungoverned peak footprint
+    tracker = MemoryAccountant(name="serving-cal")
+    engines = [factory(memory=tracker) for _ in range(tenants)]
+    try:
+        threads = [
+            threading.Thread(
+                target=lambda e=engine, t=tenant: [
+                    e.execute(sql) for sql in client_queries[t][0]
+                ],
+                daemon=True,
+            )
+            for engine, tenant in zip(engines, tenant_names)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    finally:
+        for engine in engines:
+            engine.close()
+    budget = max(1, int(tracker.peak_bytes * budget_fraction))
+
+    def serve_config() -> ServeConfig:
+        tenant_configs = {
+            name: TenantConfig(name, weight=1.0, max_in_flight=16)
+            for name in tenant_names
+        }
+        tenant_configs["flooder"] = TenantConfig(
+            "flooder",
+            weight=0.5,
+            max_in_flight=FLOOD_MAX_IN_FLIGHT,
+            rate_limit=FLOOD_RATE_LIMIT,
+            rate_window_seconds=1.0,
+        )
+        return ServeConfig(
+            tenants=tenant_configs,
+            max_queue_depth=tenants * clients_per_tenant * 4,
+            sweep_interval_seconds=0.1,
+        )
+
+    def governor_config() -> GovernorConfig:
+        return GovernorConfig(
+            max_concurrency=max(2, tenants),
+            shed_policy="degrade",
+            max_overflow=max(1, tenants // 2),
+            overflow_level=DegradationLevel.REDUCED_K,
+            max_queue_depth=tenants * clients_per_tenant,
+            queue_timeout_seconds=60.0,
+            memory_budget_bytes=budget,
+        )
+
+    def run_phase(with_flood: bool) -> tuple[dict, dict | None, dict]:
+        governor = QueryGovernor(lambda: factory(), governor_config())
+        server = ServerThread(governor, serve_config())
+        try:
+            host, port = server.start()
+            stop = threading.Event()
+            flood_result: list[dict] = []
+            flood_thread = None
+            if with_flood:
+                flood_sql = client_queries[tenant_names[0]][0][0]
+                flood_thread = threading.Thread(
+                    target=lambda: flood_result.append(
+                        _flood(host, port, flood_sql, stop)
+                    ),
+                    daemon=True,
+                )
+                flood_thread.start()
+            phase_started = time.perf_counter()
+            steady = _steady_phase(
+                host,
+                port,
+                tenant_names,
+                clients_per_tenant,
+                client_queries,
+            )
+            if with_flood:
+                # Keep the flood going at least long enough for the
+                # sliding rate window to bite several times, even when
+                # the steady workload finishes in well under a second.
+                remaining = 1.5 - (time.perf_counter() - phase_started)
+                if remaining > 0:
+                    time.sleep(remaining)
+            stop.set()
+            if flood_thread is not None:
+                flood_thread.join(timeout=180.0)
+            stats = server.server._op_stats()
+            peak = governor.memory.peak_bytes
+            used = governor.memory.used_bytes
+        finally:
+            server.stop(drain_budget_seconds=5.0)
+            governor.close()
+        stats["peak_reserved_bytes"] = peak
+        stats["used_bytes_after"] = used
+        return steady, (flood_result[0] if flood_result else None), stats
+
+    isolated, _, isolated_stats = run_phase(with_flood=False)
+    contended, flood, contended_stats = run_phase(with_flood=True)
+
+    return {
+        "config": {
+            "tenants": tenants,
+            "clients_per_tenant": clients_per_tenant,
+            "queries_per_client": queries_per_client,
+            "rows": rows,
+            "sample_rows": sample_rows,
+            "seed": seed,
+            "budget_fraction": budget_fraction,
+            "flood_rate_limit": FLOOD_RATE_LIMIT,
+            "flood_max_in_flight": FLOOD_MAX_IN_FLIGHT,
+        },
+        "budget_bytes": budget,
+        "ungoverned_peak_bytes": tracker.peak_bytes,
+        "isolated": isolated,
+        "contended": contended,
+        "flood": flood,
+        "isolated_server": isolated_stats,
+        "contended_server": contended_stats,
+    }
+
+
+def _check_invariants(report: dict) -> None:
+    isolated, contended = report["isolated"], report["contended"]
+    flood = report["flood"]
+    # 1. no crashes anywhere
+    assert isolated["crash"] == 0, isolated
+    assert contended["crash"] == 0, contended
+    # 2. zero dishonest answers
+    assert isolated["dishonest"] == 0, isolated
+    assert contended["dishonest"] == 0, contended
+    # 3. flood containment: acceptances bounded by the quota
+    cap = (
+        FLOOD_RATE_LIMIT * (flood["flood_seconds"] + 1.0) * 1.5
+        + FLOOD_MAX_IN_FLIGHT
+    )
+    assert flood["accepted"] <= cap, (flood, cap)
+    assert flood["rejected"] > 0, flood  # the flood actually flooded
+    # 4. steady p99 under flood within 2x isolated (+ timer-noise grace)
+    if isolated["p99_seconds"] and contended["p99_seconds"]:
+        limit = 2.0 * isolated["p99_seconds"] + 0.5
+        assert contended["p99_seconds"] <= limit, (
+            f"contended p99 {contended['p99_seconds']:.3f}s exceeds "
+            f"{limit:.3f}s (isolated {isolated['p99_seconds']:.3f}s)"
+        )
+    # 5. fair shares among equal-weight steady tenants
+    assert contended["fairness_jain"] >= 0.8, contended["fairness_jain"]
+    # 6. the flooder's accepted queries never went silent
+    assert flood["unresolved"] == 0, flood
+    # 7. memory: within budget, ledger drained
+    budget = report["budget_bytes"]
+    for key in ("isolated_server", "contended_server"):
+        assert report[key]["peak_reserved_bytes"] <= budget, report[key]
+        assert report[key]["used_bytes_after"] == 0, report[key]
+
+
+def _render(report: dict) -> list[str]:
+    lines = [
+        f"budget: {report['budget_bytes']:,} bytes "
+        f"(1/4 of {report['ungoverned_peak_bytes']:,} ungoverned peak)",
+    ]
+    for phase in ("isolated", "contended"):
+        stats = report[phase]
+        p50 = stats["p50_seconds"]
+        p99 = stats["p99_seconds"]
+        lines.append(
+            f"{phase:>10}: {stats['completed']}/{stats['queries']} "
+            f"completed, shed {stats['shed_rate']:.0%}, "
+            f"dishonest {stats['dishonest']}, "
+            f"p50 {p50:.3f}s p99 {p99:.3f}s, "
+            f"fairness {stats['fairness_jain']:.3f}"
+            if p99 is not None
+            else f"{phase:>10}: no completions"
+        )
+    flood = report["flood"]
+    if flood:
+        lines.append(
+            f"     flood: {flood['accepted']}/{flood['submitted']} accepted "
+            f"over {flood['flood_seconds']:.1f}s "
+            f"(quota {FLOOD_RATE_LIMIT}/s x{FLOOD_MAX_IN_FLIGHT}), "
+            f"outcomes {flood['outcomes']}, "
+            f"unresolved {flood['unresolved']}"
+        )
+    return lines
+
+
+def test_serving_smoke(figure_report):
+    """Pytest smoke: tiny workload, every invariant enforced."""
+    report = run_serving(
+        tenants=4,
+        clients_per_tenant=2,
+        queries_per_client=2,
+        rows=20_000,
+        sample_rows=2_000,
+    )
+    _check_invariants(report)
+    figure_report("Serving tier: fairness under flood", _render(report))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tenants", type=int, default=4)
+    parser.add_argument("--clients-per-tenant", type=int, default=4)
+    parser.add_argument("--queries-per-client", type=int, default=4)
+    parser.add_argument("--rows", type=int, default=200_000)
+    parser.add_argument("--sample-rows", type=int, default=5_000)
+    parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument("--budget-fraction", type=float, default=0.25)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="deterministic seconds-long variant (CI)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the JSON report here "
+        "(default benchmarks/results/serving.json)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.tenants, args.clients_per_tenant = 4, 2
+        args.queries_per_client = 2
+        args.rows, args.sample_rows = 20_000, 2_000
+    report = run_serving(
+        tenants=args.tenants,
+        clients_per_tenant=args.clients_per_tenant,
+        queries_per_client=args.queries_per_client,
+        rows=args.rows,
+        sample_rows=args.sample_rows,
+        seed=args.seed,
+        budget_fraction=args.budget_fraction,
+    )
+    _check_invariants(report)
+    print("\n".join(_render(report)))
+    out = Path(args.out) if args.out else RESULTS_DIR / "serving.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"-- report written to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

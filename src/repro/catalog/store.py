@@ -176,8 +176,12 @@ def sidecar_path(payload_path: str | os.PathLike) -> Path:
     return Path(f"{os.fspath(payload_path)}.meta.json")
 
 
-def _fsync_dir(path: Path) -> None:
-    """fsync a directory so a rename into it survives power loss."""
+def fsync_dir(path: Path) -> None:
+    """fsync a directory so a rename into it survives power loss.
+
+    Public because the serving journal (:mod:`repro.serve.journal`)
+    reuses the catalog's stage → fsync → replace durability pattern.
+    """
     fd = os.open(path, os.O_RDONLY)
     try:
         os.fsync(fd)
@@ -185,12 +189,17 @@ def _fsync_dir(path: Path) -> None:
         os.close(fd)
 
 
-def _write_durable(path: Path, data: bytes) -> None:
-    """Write ``data`` and fsync before returning."""
+def write_durable(path: Path, data: bytes) -> None:
+    """Write ``data`` and fsync before returning (shared with serve)."""
     with open(path, "wb") as handle:
         handle.write(data)
         handle.flush()
         os.fsync(handle.fileno())
+
+
+# Backwards-compatible internal aliases (pre-serving-tier names).
+_fsync_dir = fsync_dir
+_write_durable = write_durable
 
 
 def verify_artifact(path: str | os.PathLike) -> dict:

@@ -26,6 +26,16 @@ invariants:
 * **The governor never deadlocks** — concurrent admissions against the
   chaotic catalog finish within a wall-clock watchdog.
 
+A second family of schedules (``--serving-seeds``) attacks the
+network serving tier (:mod:`repro.serve`) with *client and connection*
+faults — disconnects mid-poll, pathologically slow readers, a tenant
+flooding far past its quota, and a graceful drain fired in the middle
+of the burst — and asserts the serving-tier restatement of honesty:
+**every accepted query resolves** to a result, a typed rejection, or
+an honest cancellation; never silence.  All other invariants (typed
+errors only, zero shm orphans, zero leaked reservations, no staging
+leftovers in the journal) apply unchanged.
+
 Every violation is recorded in a machine-readable invariant report
 (``--out``); the process exits non-zero if any schedule violated any
 invariant.  Schedules are pure functions of their seed, so a failing
@@ -64,10 +74,12 @@ from repro.workloads.datagen import conviva_sessions_table
 __all__ = [
     "ChaosReport",
     "ScheduleResult",
+    "ServingScheduleResult",
     "Violation",
     "main",
     "random_fault_plan",
     "run_schedule",
+    "run_serving_schedule",
 ]
 
 #: Seed-domain tag for schedule randomization (decoupled from every
@@ -112,6 +124,25 @@ class ScheduleResult:
 
 
 @dataclass
+class ServingScheduleResult:
+    """Outcome of one seeded serving-tier (client-fault) schedule."""
+
+    seed: int
+    submitted: int = 0
+    accepted: int = 0
+    completed: int = 0
+    rejected_typed: int = 0
+    cancelled: int = 0
+    shared: int = 0
+    disconnects: int = 0
+    slow_reads: int = 0
+    flood_rejections: int = 0
+    drained_at_depth: int = 0
+    elapsed_seconds: float = 0.0
+    violations: list[Violation] = field(default_factory=list)
+
+
+@dataclass
 class ChaosReport:
     """Machine-readable invariant report for a full run."""
 
@@ -119,6 +150,9 @@ class ChaosReport:
     schedules: list[ScheduleResult]
     total_queries: int
     total_violations: int
+    serving_schedules: list[ServingScheduleResult] = field(
+        default_factory=list
+    )
 
     @property
     def ok(self) -> bool:
@@ -527,6 +561,373 @@ def _governor_engine(table, catalog_dir: str, workers: int) -> AQPEngine:
     return engine
 
 
+# ---------------------------------------------------------------------------
+# Serving-tier schedules: client and connection faults
+# ---------------------------------------------------------------------------
+
+#: Typed outcomes a serving client may legitimately observe.  Anything
+#: else escaping a client thread is an invariant violation.
+_SERVING_TYPED = (
+    "AdmissionRejectedError",
+    "RemoteQueryError",
+    "ProtocolError",
+)
+
+#: Rejection reasons the serving tier is allowed to emit.
+_SERVING_REASONS = frozenset(
+    {
+        "draining",
+        "rate_limited",
+        "tenant_concurrency",
+        "queue_full",
+        "queue_deadline_expired",
+        "deadline_expired",
+        "queue_timeout",
+        "no_capacity",
+        "shutdown",
+        "cancelled",
+    }
+)
+
+
+def run_serving_schedule(
+    seed: int,
+    table,
+    workers: int = 1,
+    clients_per_tenant: int = 2,
+    queries_per_client: int = 4,
+) -> ServingScheduleResult:
+    """One seeded burst of hostile clients against a live server.
+
+    Four fault kinds interleave, all derived from ``seed``:
+
+    * **disconnect mid-poll** — a client submits, starts a long-poll,
+      and kills its socket; the query must stay pollable from a fresh
+      connection and resolve normally.
+    * **slow reader** — a raw socket that reads one byte at a time with
+      delays; it must not stall any other tenant (the burst still
+      completes under the watchdog).
+    * **tenant flood** — one tenant submits far past its rate and
+      concurrency quotas; every excess submission must come back as a
+      *typed* rejection with a known reason.
+    * **drain during burst** — at a random instant the server drains;
+      afterwards **every accepted query id must be terminal** (result,
+      typed rejection, or honest cancellation) — never silent, and the
+      journal's staging directory must be empty.
+    """
+    import socket as socket_module
+
+    from repro.errors import (
+        AdmissionRejectedError,
+        ProtocolError,
+        ReproError as _ReproError,
+    )
+    from repro.serve import ServeClient, ServeConfig, ServerThread, TenantConfig
+    from repro.serve.client import RemoteQueryError
+    from repro.serve.protocol import TERMINAL_STATES
+
+    outcome = ServingScheduleResult(seed=seed)
+    started = time.perf_counter()
+    rng = np.random.default_rng(
+        np.random.SeedSequence([_CHAOS_SEED_DOMAIN, seed, 2])
+    )
+    queries = _pick_queries(rng, 4)  # few distinct texts → real sharing
+    root = Path(tempfile.mkdtemp(prefix="repro_serve_chaos_"))
+    journal_dir = str(root / "journal")
+
+    def violate(invariant: str, detail: str) -> None:
+        outcome.violations.append(Violation(seed, invariant, detail))
+
+    def factory() -> AQPEngine:
+        engine = AQPEngine(
+            config=_engine_config(None, None, workers),
+            seed=_ENGINE_SEED,
+        )
+        engine.register_table(_TABLE, table)
+        engine.create_sample(_TABLE, fraction=0.25)
+        return engine
+
+    governor = QueryGovernor(
+        factory, GovernorConfig(max_concurrency=2, shed_policy="queue")
+    )
+    tenants = {
+        "steady_a": TenantConfig("steady_a", weight=2.0, max_in_flight=8),
+        "steady_b": TenantConfig("steady_b", weight=1.0, max_in_flight=8),
+        "flooder": TenantConfig(
+            "flooder",
+            weight=1.0,
+            max_in_flight=3,
+            rate_limit=5,
+            rate_window_seconds=1.0,
+        ),
+    }
+    server_thread = ServerThread(
+        governor,
+        ServeConfig(
+            tenants=tenants,
+            max_queue_depth=48,
+            journal_dir=journal_dir,
+            drain_budget_seconds=3.0,
+            sweep_interval_seconds=0.05,
+        ),
+    )
+    accepted: dict[str, str] = {}  # query_id -> tenant, guarded by a lock
+    lock = threading.Lock()
+    untyped: list[str] = []
+
+    def note_accepted(query_id: str, tenant: str) -> None:
+        with lock:
+            accepted[query_id] = tenant
+
+    try:
+        host, port = server_thread.start()
+
+        def steady_client(tenant: str, client_seed: int) -> None:
+            crng = np.random.default_rng(
+                np.random.SeedSequence(
+                    [_CHAOS_SEED_DOMAIN, seed, 3, client_seed]
+                )
+            )
+            client = ServeClient(host, port, tenant=tenant, timeout=30.0)
+            try:
+                for index in range(queries_per_client):
+                    sql = queries[int(crng.integers(0, len(queries)))]
+                    outcome.submitted += 1
+                    try:
+                        query_id = client.submit(
+                            sql,
+                            deadline_seconds=float(crng.uniform(2.0, 10.0)),
+                        )
+                    except AdmissionRejectedError:
+                        outcome.rejected_typed += 1
+                        continue
+                    except (ConnectionError, OSError):
+                        continue  # server mid-drain; nothing accepted
+                    note_accepted(query_id, tenant)
+                    if crng.random() < 0.4:
+                        # Disconnect mid-poll: drop the socket while the
+                        # server owes us an answer, then come back later
+                        # on a new connection.
+                        try:
+                            client.request(
+                                {
+                                    "op": "poll",
+                                    "query_id": query_id,
+                                    "wait_seconds": 0.05,
+                                },
+                                timeout=5.0,
+                            )
+                        except (ProtocolError, ConnectionError, OSError):
+                            pass
+                        client.close()
+                        outcome.disconnects += 1
+                        time.sleep(float(crng.uniform(0.01, 0.1)))
+                        continue  # resolution checked after the burst
+                    try:
+                        client.wait(query_id, timeout=30.0)
+                    except (
+                        AdmissionRejectedError,
+                        RemoteQueryError,
+                    ):
+                        pass  # typed; tallied from the final sweep
+                    except (TimeoutError, ConnectionError, OSError):
+                        pass  # drain raced the poll; final sweep decides
+            except _ReproError:
+                pass
+            except Exception as error:  # pragma: no cover - invariant path
+                untyped.append(f"{tenant}: {type(error).__name__}: {error}")
+            finally:
+                client.close()
+
+        def flood_client() -> None:
+            client = ServeClient(host, port, tenant="flooder", timeout=30.0)
+            try:
+                for _ in range(25):
+                    outcome.submitted += 1
+                    try:
+                        query_id = client.submit(
+                            queries[0], deadline_seconds=5.0
+                        )
+                        note_accepted(query_id, "flooder")
+                    except AdmissionRejectedError as error:
+                        outcome.flood_rejections += 1
+                        if error.reason not in _SERVING_REASONS:
+                            violate(
+                                "typed_rejection",
+                                "flood rejection carried unknown reason "
+                                f"{error.reason!r}",
+                            )
+                    except (ConnectionError, OSError):
+                        break
+            except Exception as error:  # pragma: no cover - invariant path
+                untyped.append(f"flooder: {type(error).__name__}: {error}")
+            finally:
+                client.close()
+
+        def slow_reader() -> None:
+            """Reads one byte every few ms; must not wedge the server."""
+            try:
+                sock = socket_module.create_connection(
+                    (host, port), timeout=10.0
+                )
+                sock.sendall(b'{"op":"stats"}\n')
+                received = b""
+                while not received.endswith(b"\n"):
+                    time.sleep(0.004)
+                    chunk = sock.recv(1)
+                    if not chunk:
+                        break
+                    received += chunk
+                    if len(received) > 1 << 20:  # pragma: no cover
+                        break
+                outcome.slow_reads += 1
+                sock.close()
+            except OSError:
+                pass
+
+        threads = [
+            threading.Thread(
+                target=steady_client,
+                args=(tenant, index),
+                daemon=True,
+            )
+            for index, tenant in enumerate(
+                ["steady_a", "steady_b"] * clients_per_tenant
+            )
+        ]
+        threads.append(threading.Thread(target=flood_client, daemon=True))
+        threads.append(threading.Thread(target=slow_reader, daemon=True))
+        for thread in threads:
+            thread.start()
+
+        # Drain during the burst, at a seeded instant.
+        time.sleep(float(rng.uniform(0.2, 1.0)))
+        outcome.drained_at_depth = len(accepted)
+        drain_summary = server_thread.drain(float(rng.uniform(0.5, 2.0)))
+        if not drain_summary.get("ok"):
+            violate("drain", f"drain failed: {drain_summary}")
+
+        deadline = time.monotonic() + _GOVERNOR_WATCHDOG_SECONDS
+        for thread in threads:
+            thread.join(max(0.0, deadline - time.monotonic()))
+        if any(thread.is_alive() for thread in threads):
+            violate(
+                "serving_deadlock",
+                "client threads still running after the watchdog "
+                "(a slow reader or drain wedged the server)",
+            )
+        if untyped:
+            violate(
+                "serving_untyped",
+                f"client threads saw untyped errors: {untyped}",
+            )
+
+        # ---- the silence check: every accepted id must be terminal.
+        sweep = ServeClient(host, port, tenant="sweep", timeout=30.0)
+        try:
+            with lock:
+                accepted_now = dict(accepted)
+            outcome.accepted = len(accepted_now)
+            for query_id in accepted_now:
+                try:
+                    payload = sweep.poll(query_id)
+                except _ReproError as error:
+                    violate(
+                        "accepted_silence",
+                        f"accepted query {query_id} is unknown after the "
+                        f"drain: {error}",
+                    )
+                    continue
+                state = payload.get("state")
+                if state not in TERMINAL_STATES:
+                    violate(
+                        "accepted_silence",
+                        f"accepted query {query_id} is still {state!r} "
+                        "after the drain completed",
+                    )
+                elif state == "done":
+                    outcome.completed += 1
+                    if (payload.get("result") or {}).get("shared"):
+                        outcome.shared += 1
+                elif state == "rejected":
+                    outcome.rejected_typed += 1
+                    reason = payload.get("reason")
+                    if reason not in _SERVING_REASONS:
+                        violate(
+                            "typed_rejection",
+                            f"query {query_id} rejected with unknown "
+                            f"reason {reason!r}",
+                        )
+                elif state == "cancelled":
+                    outcome.cancelled += 1
+                elif state == "error":
+                    if not payload.get("recoverable", False):
+                        violate(
+                            "serving_untyped",
+                            f"query {query_id} died on an internal "
+                            f"error: {payload.get('message')}",
+                        )
+        finally:
+            sweep.close()
+    finally:
+        try:
+            server_thread.stop()
+        except Exception as error:  # pragma: no cover - invariant path
+            violate("drain", f"server stop failed: {error}")
+        governor.close()
+
+    if governor.memory.used_bytes != 0:
+        violate(
+            "memory_leak",
+            "the governor's shared accountant still holds "
+            f"{governor.memory.used_bytes} bytes after drain + close",
+        )
+    staging = Path(journal_dir) / "staging"
+    leftovers = (
+        sorted(p.name for p in staging.iterdir()) if staging.is_dir() else []
+    )
+    if leftovers:
+        violate(
+            "staging_orphans",
+            f"journal staging/ still holds {leftovers} after drain",
+        )
+    segments = _orphaned_segments()
+    if segments:
+        violate("shm_orphans", f"/dev/shm still holds {segments}")
+    shutil.rmtree(root, ignore_errors=True)
+    outcome.elapsed_seconds = round(time.perf_counter() - started, 3)
+    return outcome
+
+
+def run_serving_chaos(
+    seeds: list[int], rows: int = 4000, workers: int = 1
+) -> list[ServingScheduleResult]:
+    """Run every serving-tier schedule and print one line per seed."""
+    table = conviva_sessions_table(rows, np.random.default_rng(0))
+    results: list[ServingScheduleResult] = []
+    for seed in seeds:
+        outcome = run_serving_schedule(seed, table, workers=workers)
+        status = "OK" if not outcome.violations else "VIOLATED"
+        print(
+            f"serve seed {seed:>4}  {status:<8} "
+            f"submitted={outcome.submitted:<3} accepted={outcome.accepted:<3} "
+            f"done={outcome.completed:<3} rejected={outcome.rejected_typed:<3} "
+            f"cancelled={outcome.cancelled:<2} shared={outcome.shared:<2} "
+            f"flood_rej={outcome.flood_rejections:<3} "
+            f"disc={outcome.disconnects} "
+            f"({outcome.elapsed_seconds:.1f}s)",
+            flush=True,
+        )
+        for violation in outcome.violations:
+            print(
+                f"  !! {violation.invariant}: {violation.detail}",
+                file=sys.stderr,
+                flush=True,
+            )
+        results.append(outcome)
+    return results
+
+
 def run_chaos(
     seeds: list[int],
     rows: int = 4000,
@@ -595,6 +996,20 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="worker processes (capped at os.cpu_count())",
     )
     parser.add_argument(
+        "--serving-seeds",
+        type=int,
+        default=0,
+        help="additionally run this many serving-tier (client-fault) "
+        "schedules: disconnect mid-poll, slow reader, tenant flood, "
+        "drain during burst",
+    )
+    parser.add_argument(
+        "--serving-only",
+        action="store_true",
+        help="skip the engine/storage schedules and run only the "
+        "serving-tier ones",
+    )
+    parser.add_argument(
         "--out", type=str, default=None, help="write the JSON report here"
     )
     parser.add_argument(
@@ -609,14 +1024,31 @@ def main(argv: Optional[list[str]] = None) -> int:
         level=logging.WARNING if args.verbose else logging.CRITICAL
     )
     seeds = list(range(args.first_seed, args.first_seed + args.seeds))
+    if args.serving_only:
+        seeds = []
     report = run_chaos(
         seeds,
         rows=args.rows,
         queries_per_seed=args.queries,
         workers=args.workers,
     )
+    if args.serving_seeds > 0:
+        serving_seeds = list(
+            range(args.first_seed, args.first_seed + args.serving_seeds)
+        )
+        report.serving_schedules = run_serving_chaos(
+            serving_seeds, rows=args.rows, workers=args.workers
+        )
+        report.total_queries += sum(
+            s.submitted for s in report.serving_schedules
+        )
+        report.total_violations += sum(
+            len(s.violations) for s in report.serving_schedules
+        )
     summary = (
-        f"{len(seeds)} schedules, {report.total_queries} queries, "
+        f"{len(seeds)} schedules, "
+        f"{len(report.serving_schedules)} serving schedules, "
+        f"{report.total_queries} queries, "
         f"{report.total_violations} invariant violation(s)"
     )
     print(summary, flush=True)

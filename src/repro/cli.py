@@ -32,6 +32,16 @@ Observability surfaces:
   summary of an event log (``--check`` exits 1 on breach).
 * ``--log-level`` / ``REPRO_LOG_LEVEL`` — stdlib logging level for the
   ``repro`` package (default WARNING).
+
+Serving:
+
+* ``repro serve --table sessions.csv --port 7871`` — run the
+  multi-tenant serving tier (:mod:`repro.serve`) over the loaded
+  tables; SIGTERM drains gracefully.
+* ``repro --connect HOST:PORT [--tenant NAME] [query]`` — run a query
+  (or the REPL) against a remote server instead of an in-process
+  engine.  Ctrl-C while a query is queued or running cancels it
+  server-side before returning to the prompt.
 """
 
 from __future__ import annotations
@@ -203,6 +213,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="logging level for the repro package (DEBUG, INFO, WARNING, "
         "ERROR; default: REPRO_LOG_LEVEL or WARNING)",
     )
+    parser.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="run against a remote repro server instead of an "
+        "in-process engine (no --table needed)",
+    )
+    parser.add_argument(
+        "--tenant",
+        default="default",
+        metavar="NAME",
+        help="tenant name for --connect submissions (default 'default')",
+    )
     return parser
 
 
@@ -261,6 +284,312 @@ def run_audit_command(argv: list[str]) -> int:
     if args.check and report["breaches"]:
         return 1
     return 0
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    """Parser for the ``repro serve`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve approximate SQL to multiple tenants over TCP.",
+    )
+    parser.add_argument(
+        "--table",
+        action="append",
+        default=[],
+        required=True,
+        metavar="CSV",
+        help="CSV file to load as a base table (repeatable)",
+    )
+    parser.add_argument(
+        "--sample-fraction", type=float, default=0.1,
+        help="uniform sample fraction per table (default 0.1)",
+    )
+    parser.add_argument(
+        "--confidence", type=float, default=0.95,
+        help="confidence level for error bars (default 0.95)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="random seed")
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes per engine",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="listen address",
+    )
+    parser.add_argument(
+        "--port", type=int, default=7871,
+        help="listen port (0 picks a free one; default 7871)",
+    )
+    parser.add_argument(
+        "--max-concurrency", type=int, default=4,
+        help="queries executing simultaneously (default 4)",
+    )
+    parser.add_argument(
+        "--memory-budget", type=int, default=None, metavar="BYTES",
+        help="process-wide byte budget shared by all engines",
+    )
+    parser.add_argument(
+        "--max-queue-depth", type=int, default=64,
+        help="global serving-queue bound (default 64)",
+    )
+    parser.add_argument(
+        "--tenant",
+        action="append",
+        default=[],
+        metavar="NAME[:WEIGHT[:MAX_IN_FLIGHT[:RATE_PER_SEC]]]",
+        help="explicit tenant policy (repeatable); unlisted tenants get "
+        "the default policy",
+    )
+    parser.add_argument(
+        "--journal-dir", default=None, metavar="DIR",
+        help="crash-consistency journal directory (restarts report "
+        "in-flight queries as honestly lost); omit to disable",
+    )
+    parser.add_argument(
+        "--drain-budget", type=float, default=5.0, metavar="SECONDS",
+        help="graceful-drain budget on SIGTERM (default 5)",
+    )
+    parser.add_argument(
+        "--max-deadline", type=float, default=300.0, metavar="SECONDS",
+        help="clock-skew clamp on client deadlines (default 300)",
+    )
+    parser.add_argument(
+        "--allow-remote-drain", action="store_true",
+        help="accept the 'drain' op over the wire",
+    )
+    parser.add_argument(
+        "--no-sharing", action="store_true",
+        help="disable cross-query result sharing",
+    )
+    parser.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        help="logging level (default: REPRO_LOG_LEVEL or WARNING)",
+    )
+    return parser
+
+
+def parse_tenant_spec(spec: str):
+    """``name[:weight[:max_in_flight[:rate_per_sec]]]`` → TenantConfig."""
+    from repro.serve import TenantConfig
+
+    parts = spec.split(":")
+    if not parts[0]:
+        raise ReproError(f"tenant spec {spec!r} is missing a name")
+    kwargs = {"name": parts[0]}
+    try:
+        if len(parts) > 1 and parts[1]:
+            kwargs["weight"] = float(parts[1])
+        if len(parts) > 2 and parts[2]:
+            kwargs["max_in_flight"] = int(parts[2])
+        if len(parts) > 3 and parts[3]:
+            kwargs["rate_limit"] = int(parts[3])
+    except ValueError as error:
+        raise ReproError(f"bad tenant spec {spec!r}: {error}") from None
+    try:
+        return TenantConfig(**kwargs)
+    except ValueError as error:
+        raise ReproError(f"bad tenant spec {spec!r}: {error}") from None
+
+
+def run_serve_command(argv: list[str]) -> int:
+    """``repro serve``: run the multi-tenant serving tier until SIGTERM."""
+    import asyncio
+
+    from repro.governor import GovernorConfig, QueryGovernor
+    from repro.serve import AQPServer, ServeConfig
+
+    args = build_serve_parser().parse_args(argv)
+    configure_logging(args.log_level or "INFO")
+    table_paths = [Path(p) for p in args.table]
+
+    def engine_factory() -> AQPEngine:
+        engine = AQPEngine(
+            config=EngineConfig(
+                confidence=args.confidence,
+                num_workers=args.workers,
+            ),
+            seed=args.seed,
+        )
+        for csv_path in table_paths:
+            table = load_csv(csv_path)
+            engine.register_table(table.name, table)
+            engine.create_sample(table.name, fraction=args.sample_fraction)
+        return engine
+
+    governor = QueryGovernor(
+        engine_factory,
+        GovernorConfig(
+            max_concurrency=args.max_concurrency,
+            memory_budget_bytes=args.memory_budget,
+        ),
+    )
+    tenants = {}
+    for spec in args.tenant:
+        config = parse_tenant_spec(spec)
+        tenants[config.name] = config
+    server = AQPServer(
+        governor,
+        ServeConfig(
+            host=args.host,
+            port=args.port,
+            tenants=tenants or None,
+            max_queue_depth=args.max_queue_depth,
+            max_deadline_seconds=args.max_deadline,
+            drain_budget_seconds=args.drain_budget,
+            allow_remote_drain=args.allow_remote_drain,
+            sharing=not args.no_sharing,
+            journal_dir=args.journal_dir,
+        ),
+    )
+
+    async def run() -> None:
+        await server.start()
+        print(
+            f"repro serving on {server.config.host}:{server.port} "
+            f"({len(table_paths)} table(s), "
+            f"max_concurrency={args.max_concurrency}); SIGTERM drains"
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    finally:
+        governor.close()
+    return 0
+
+
+def format_remote_result(payload: dict) -> str:
+    """Render a remote ``done`` poll payload like a local result."""
+    result = payload.get("result") or {}
+    lines = []
+    for row in result.get("rows", []):
+        prefix = ""
+        group = row.get("group") or {}
+        if group:
+            prefix = ", ".join(f"{k}={v}" for k, v in group.items()) + ": "
+        for value in row.get("values", []):
+            interval = value.get("interval")
+            if interval and interval.get("half_width", 0) > 0:
+                body = (
+                    f"{value['name']} = {value['estimate']:.6g} "
+                    f"± {interval['half_width']:.4g} "
+                    f"({interval['confidence']:.0%}, {value['method']})"
+                )
+            else:
+                body = (
+                    f"{value['name']} = {value['estimate']:.6g} "
+                    f"({value['method']})"
+                )
+            if value.get("fell_back"):
+                reason = (value.get("fallback_reason") or "").split(";")[0]
+                body += f"  [fallback: {reason}]"
+            lines.append(prefix + body)
+    sample = result.get("sample")
+    elapsed = payload.get("elapsed_seconds")
+    footer = f"-- sample {sample}" if sample else "-- remote"
+    if elapsed is not None:
+        footer += f", {format_duration(elapsed)} end to end"
+    if result.get("shared"):
+        footer += " (shared execution)"
+    lines.append(footer)
+    if result.get("degraded"):
+        lines.append(f"-- execution: {result.get('report')}")
+    return "\n".join(lines)
+
+
+def remote_repl(client, args: argparse.Namespace) -> int:
+    """The REPL against a remote server (``--connect``).
+
+    Ctrl-C while a query is waiting sends a protocol ``cancel`` — a
+    still-queued query is removed server-side without ever executing,
+    a running one is cooperatively cancelled — then returns to the
+    prompt.
+    """
+    from repro.errors import AdmissionRejectedError
+    from repro.serve.client import RemoteQueryError
+
+    print(
+        f"repro> remote shell ({client.host}:{client.port}, tenant "
+        f"{client.tenant!r}); empty line or Ctrl-D to exit "
+        "(\\stats for server stats)"
+    )
+    while True:
+        try:
+            line = input("repro> ").strip()
+        except EOFError:
+            print()
+            return 0
+        except KeyboardInterrupt:
+            print()
+            continue
+        if not line:
+            return 0
+        if line == "\\stats":
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            continue
+        try:
+            payload = client.run(
+                line,
+                deadline_seconds=getattr(args, "timeout", None),
+                error_bound=args.error_bound,
+                confidence=args.confidence,
+                run_diagnostics=not args.no_diagnostics,
+            )
+            print(format_remote_result(payload))
+        except KeyboardInterrupt:
+            print("query cancelled (Ctrl-C)", file=sys.stderr)
+        except AdmissionRejectedError as error:
+            retry = error.retry_after_seconds
+            hint = (
+                f" (retry after {retry:.2f}s)" if retry is not None else ""
+            )
+            print(f"rejected [{error.reason}]: {error}{hint}", file=sys.stderr)
+        except RemoteQueryError as error:
+            print(f"{error.state}: {error}", file=sys.stderr)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+
+
+def run_remote(args: argparse.Namespace) -> int:
+    """``--connect HOST:PORT``: one query or the remote REPL."""
+    from repro.errors import AdmissionRejectedError
+    from repro.serve import ServeClient
+    from repro.serve.client import RemoteQueryError
+
+    host, _, port_text = args.connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(
+            f"error: --connect expects HOST:PORT, got {args.connect!r}",
+            file=sys.stderr,
+        )
+        return 1
+    client = ServeClient(host, int(port_text), tenant=args.tenant)
+    try:
+        client.ping()
+    except (OSError, ReproError) as error:
+        print(f"error: cannot reach {args.connect}: {error}", file=sys.stderr)
+        return 1
+    try:
+        if args.query is None:
+            return remote_repl(client, args)
+        try:
+            payload = client.run(
+                args.query,
+                deadline_seconds=getattr(args, "timeout", None),
+                error_bound=args.error_bound,
+                confidence=args.confidence,
+                run_diagnostics=not args.no_diagnostics,
+            )
+            print(format_remote_result(payload))
+            return 0
+        except AdmissionRejectedError as error:
+            print(f"rejected [{error.reason}]: {error}", file=sys.stderr)
+            return 1
+        except (RemoteQueryError, ReproError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+    finally:
+        client.close()
 
 
 def make_engine(args: argparse.Namespace) -> AQPEngine:
@@ -523,8 +852,16 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "audit":
         return run_audit_command(argv[1:])
+    if argv and argv[0] == "serve":
+        try:
+            return run_serve_command(argv[1:])
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
     args = build_parser().parse_args(argv)
     configure_logging(args.log_level)
+    if args.connect:
+        return run_remote(args)
     try:
         engine = make_engine(args)
         if args.query is None:

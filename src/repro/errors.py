@@ -136,11 +136,43 @@ class QueryCancelledError(ResourceError):
 
 
 class AdmissionRejectedError(ResourceError):
-    """The governor refused to admit a query (load shedding).
+    """The governor (or serving tier) refused to admit a query.
 
     Raised when the admission queue is full, the queue wait exceeded
-    its deadline, or the circuit breaker is open and fast-rejecting.
-    The caller should back off and retry later.
+    its deadline, a tenant exceeded its quota, or the server is
+    draining.  The caller should back off and retry after
+    ``retry_after_seconds`` when one is given.
+
+    Attributes:
+        reason: short machine-readable rejection category —
+            ``"shutdown"``, ``"no_capacity"``, ``"queue_full"``,
+            ``"queue_timeout"``, ``"queue_deadline_expired"``,
+            ``"rate_limited"``, ``"tenant_concurrency"``,
+            ``"deadline_expired"``, ``"draining"``, ...
+        retry_after_seconds: server-computed backoff hint (from queue
+            depth, rate-window remainder, breaker cooldown, or drain
+            budget), or ``None`` when retrying is pointless.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        reason: str = "rejected",
+        retry_after_seconds: float | None = None,
+    ):
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after_seconds = retry_after_seconds
+
+
+class ProtocolError(ReproError):
+    """A malformed, oversized, or out-of-contract serving-tier message.
+
+    Raised by :mod:`repro.serve.protocol` when a line cannot be decoded
+    (bad JSON, missing ``op``, over the line-length cap).  Surfaced to
+    the client as an ``ok: false`` response with ``error:
+    "bad_request"`` — a broken client must never crash the server or
+    affect other tenants.
     """
 
 

@@ -211,7 +211,9 @@ class QueryGovernor:
         with self._condition:
             while True:
                 if self._closed:
-                    raise AdmissionRejectedError("governor is shut down")
+                    raise AdmissionRejectedError(
+                        "governor is shut down", reason="shutdown"
+                    )
                 if self._idle_engines:
                     engine = self._idle_engines.pop()
                     break
@@ -277,18 +279,20 @@ class QueryGovernor:
         )
 
     # -- admission ---------------------------------------------------------
-    def _reject(self, reason: str) -> None:
+    def _reject(self, message: str, reason: str = "no_capacity") -> None:
         with self._condition:
             self._rejected += 1
         METRICS.counter("governor.rejected").inc()
         self.breaker.record(False)
-        raise AdmissionRejectedError(reason)
+        raise AdmissionRejectedError(message, reason=reason)
 
     def _admit(self, token: CancelToken) -> _Admission:
         config = self.config
         with self._condition:
             if self._closed:
-                raise AdmissionRejectedError("governor is shut down")
+                raise AdmissionRejectedError(
+                    "governor is shut down", reason="shutdown"
+                )
             if self._in_flight < config.max_concurrency:
                 self._in_flight += 1
                 return self._granted(_Admission(self.breaker.floor_level()))
@@ -309,7 +313,12 @@ class QueryGovernor:
                 return self._wait_in_queue(token)
         self._reject(
             f"admission refused: {config.max_concurrency} queries in "
-            f"flight and the {config.shed_policy!r} policy has no room"
+            f"flight and the {config.shed_policy!r} policy has no room",
+            reason=(
+                "queue_full"
+                if config.shed_policy == "queue"
+                else "no_capacity"
+            ),
         )
 
     def _wait_in_queue(self, token: CancelToken) -> _Admission:
@@ -323,12 +332,19 @@ class QueryGovernor:
         try:
             while self._in_flight >= config.max_concurrency:
                 if self._closed:
-                    raise AdmissionRejectedError("governor is shut down")
-                token.check()
+                    raise AdmissionRejectedError(
+                        "governor is shut down", reason="shutdown"
+                    )
+                self._check_queued_token(token, started)
                 if waited >= config.queue_timeout_seconds:
                     break
                 self._condition.wait(0.05)
                 waited = time.monotonic() - started
+            # A slot is free — but a query whose deadline expired while
+            # it was queued must not be dispatched with zero remaining
+            # budget; it would only burn the slot and then cancel at the
+            # first cooperative checkpoint.
+            self._check_queued_token(token, started)
             if self._in_flight < config.max_concurrency:
                 self._in_flight += 1
                 return self._granted(
@@ -340,14 +356,44 @@ class QueryGovernor:
         finally:
             self._queue_depth -= 1
             METRICS.gauge("governor.queue_depth").set(self._queue_depth)
-        # Queue deadline expired without a slot: shed.
+        # The governor's own queue patience ran out: shed.  This one is
+        # system pressure, so it feeds the breaker.
         self._rejected += 1
         METRICS.counter("governor.rejected").inc()
         self.breaker.record(False)
         raise AdmissionRejectedError(
             f"queued {waited:.2f}s without an execution slot "
-            f"(queue_timeout_seconds={config.queue_timeout_seconds})"
+            f"(queue_timeout_seconds={config.queue_timeout_seconds})",
+            reason="queue_timeout",
         )
+
+    def _check_queued_token(
+        self, token: CancelToken, started: float
+    ) -> None:
+        """Resolve a queued entry whose token fired, each way typed.
+
+        The caller's *deadline* expiring while queued is a typed
+        rejection (``queue_deadline_expired``) — the client already gave
+        up, so the honest outcome is "never ran", not "ran and then
+        cancelled".  An *explicit* cancel (REPL Ctrl-C, client
+        disconnect) surfaces as
+        :class:`~repro.errors.QueryCancelledError`.  Neither is recorded
+        as a breaker failure: both are the caller's budget, not system
+        pressure.
+        """
+        if token.expired:
+            with_queue = time.monotonic() - started
+            self._rejected += 1
+            METRICS.counter("governor.rejected").inc()
+            METRICS.counter("governor.queue_deadline_expired").inc()
+            raise AdmissionRejectedError(
+                f"deadline expired after {with_queue:.2f}s in the "
+                "admission queue; the query never executed",
+                reason="queue_deadline_expired",
+            )
+        if token.cancelled:
+            METRICS.counter("governor.queue_cancelled").inc()
+        token.check()
 
     def _granted(self, admission: _Admission) -> _Admission:
         self._admitted += 1

@@ -136,6 +136,21 @@ class CircuitBreaker:
             return 0.0
         return sum(1 for ok in self._outcomes if not ok) / len(self._outcomes)
 
+    def cooldown_remaining(self) -> float:
+        """Seconds until an open breaker starts probing (0 when not open).
+
+        The serving tier folds this into the ``retry-after`` it hands
+        rejected clients: while the breaker is open there is no point
+        retrying sooner than the next half-open probe.
+        """
+        with self._lock:
+            if self._effective_state() != BreakerState.OPEN:
+                return 0.0
+            return max(
+                0.0,
+                self.cooldown_seconds - (self._clock() - self._opened_at),
+            )
+
     def floor_level(self) -> DegradationLevel:
         """The minimum ladder rung the breaker currently imposes.
 

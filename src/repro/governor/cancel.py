@@ -98,6 +98,17 @@ class CancelToken:
     def cancelled(self) -> bool:
         return self._event.is_set() or self._deadline_passed()
 
+    @property
+    def expired(self) -> bool:
+        """Deadline passed without an explicit :meth:`cancel` call.
+
+        Distinguishes "the caller's time budget ran out" (a typed
+        admission rejection when it happens while queued) from "the
+        caller actively cancelled" (a
+        :class:`~repro.errors.QueryCancelledError`).
+        """
+        return not self._event.is_set() and self._deadline_passed()
+
     def remaining_seconds(self) -> Optional[float]:
         """Seconds until the deadline, or ``None`` without one."""
         if self._deadline is None:

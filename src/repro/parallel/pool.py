@@ -462,6 +462,13 @@ class WorkerPool:
             if not pending or self._degraded_reason is not None:
                 break
             if attempt > 0:
+                backoff = backoff_seconds(policy, attempt, pending[0])
+                if supervision.deadline_precludes_retry(backoff):
+                    # The caller's (token or query) deadline fires
+                    # before the backoff ends — the retry round could
+                    # never complete for a caller that still cares.
+                    report.deadline_hit = True
+                    break
                 report.task_retries += len(pending)
                 logger.warning(
                     "retrying %d task(s) (attempt %d): %s",
@@ -469,7 +476,7 @@ class WorkerPool:
                     attempt,
                     errors.get(pending[0]),
                 )
-                supervision.sleep(backoff_seconds(policy, attempt, pending[0]))
+                supervision.sleep(backoff)
             if supervision.expired():
                 report.deadline_hit = True
                 break

@@ -383,6 +383,27 @@ class Supervision:
             return per_task
         return min(per_task, remaining)
 
+    def deadline_precludes_retry(self, backoff: float) -> bool:
+        """Whether every caller deadline fires before a retry could start.
+
+        Deadline propagation from the serving tier: the client's
+        deadline rides on the cancel token, so when the remaining token
+        (or query-deadline) budget is smaller than the retry backoff,
+        the retry can only burn a slot on work whose caller has already
+        given up.  Call sites fail the unit immediately and degrade
+        honestly instead.
+        """
+        budgets = []
+        remaining = self.remaining_seconds()
+        if remaining is not None:
+            budgets.append(remaining)
+        token = self.cancel_token()
+        if token is not None:
+            token_remaining = token.remaining_seconds()
+            if token_remaining is not None:
+                budgets.append(token_remaining)
+        return bool(budgets) and min(budgets) <= backoff
+
 
 def _fail_unit(
     supervision: Supervision, index: int, error: Exception
@@ -463,6 +484,12 @@ def run_supervised_inline(
         outcome: Any = TASK_FAILED
         for attempt in range(policy.max_task_retries + 1):
             if attempt > 0:
+                backoff = backoff_seconds(policy, attempt, index)
+                if supervision.deadline_precludes_retry(backoff):
+                    # The caller gives up before the backoff would end:
+                    # fail the unit now instead of retrying into a
+                    # deadline that has already decided the outcome.
+                    break
                 supervision.report.task_retries += 1
                 logger.warning(
                     "retrying task %d inline (attempt %d) after %s",
@@ -470,7 +497,7 @@ def run_supervised_inline(
                     attempt,
                     last_error,
                 )
-                supervision.sleep(backoff_seconds(policy, attempt, index))
+                supervision.sleep(backoff)
             started = time.perf_counter() if trace is not None else 0.0
             try:
                 if supervision.plan is not None:

@@ -1,0 +1,38 @@
+"""The resilient multi-tenant serving tier (PR 9).
+
+Puts a network front on the query governor with the same honesty
+contract the rest of the stack keeps: every accepted query resolves to
+a result, a typed rejection with a computed retry-after, or an honest
+cancelled/lost outcome — under overload, across a graceful drain, and
+across a crash (via the fsynced serving journal).
+
+Public surface:
+
+* :class:`~repro.serve.server.AQPServer` /
+  :class:`~repro.serve.server.ServeConfig` — the asyncio server.
+* :class:`~repro.serve.server.ServerThread` — host a server on a
+  dedicated loop thread (tests, benchmarks, chaos).
+* :class:`~repro.serve.client.ServeClient` — blocking typed client.
+* :class:`~repro.serve.tenants.TenantConfig` — per-tenant policy
+  (weight, concurrency cap, rate window).
+* :class:`~repro.serve.journal.ServingJournal` — crash-consistent
+  outcome journal.
+
+Run a server from the command line with ``python -m repro.serve`` or
+``python -m repro serve``.
+"""
+
+from repro.serve.client import RemoteQueryError, ServeClient
+from repro.serve.journal import ServingJournal
+from repro.serve.server import AQPServer, ServeConfig, ServerThread
+from repro.serve.tenants import TenantConfig
+
+__all__ = [
+    "AQPServer",
+    "RemoteQueryError",
+    "ServeClient",
+    "ServeConfig",
+    "ServerThread",
+    "ServingJournal",
+    "TenantConfig",
+]

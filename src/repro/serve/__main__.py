@@ -1,0 +1,7 @@
+"""``python -m repro.serve`` — run the multi-tenant serving tier."""
+
+import sys
+
+from repro.cli import run_serve_command
+
+sys.exit(run_serve_command(sys.argv[1:]))

@@ -1,0 +1,264 @@
+"""A small blocking client for the serving tier's line protocol.
+
+:class:`ServeClient` is what the remote REPL, the benchmark drivers,
+and the chaos harness speak — a thin socket wrapper that turns wire
+envelopes back into the library's typed exceptions, so code written
+against :class:`~repro.governor.admission.QueryGovernor` semantics
+(catch :class:`~repro.errors.AdmissionRejectedError`, read
+``.reason`` / ``.retry_after_seconds``) works unchanged against a
+remote server.
+
+The client is deliberately synchronous: every caller here is either a
+human REPL or a closed-loop load generator thread, and a blocking
+socket with a deadline is the honest model for both.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Any, Optional
+
+from repro.errors import AdmissionRejectedError, ProtocolError, ReproError
+from repro.serve.protocol import MAX_LINE_BYTES, TERMINAL_STATES
+
+__all__ = ["RemoteQueryError", "ServeClient"]
+
+
+class RemoteQueryError(ReproError):
+    """An accepted query resolved to a non-``done`` terminal state.
+
+    Attributes:
+        state: the terminal state (``error``, ``cancelled``,
+            ``rejected``, ``lost``).
+        payload: the full poll payload, including any typed ``reason``
+            and ``retry_after_seconds``.
+    """
+
+    def __init__(self, message: str, state: str, payload: dict):
+        super().__init__(message)
+        self.state = state
+        self.payload = payload
+
+
+class ServeClient:
+    """Blocking line-protocol client.
+
+    Args:
+        host / port: the server address.
+        tenant: tenant name stamped on every submission.
+        timeout: socket timeout for a single request/response exchange;
+            long-polls extend it by their ``wait_seconds``.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: str = "default",
+        timeout: float = 10.0,
+    ):
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+
+    # -- connection --------------------------------------------------------
+    def _connect(self) -> None:
+        if self._sock is not None:
+            return
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._sock = sock
+        self._file = sock.makefile("rb")
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        self._connect()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- wire --------------------------------------------------------------
+    def request(
+        self, message: dict, timeout: Optional[float] = None
+    ) -> dict:
+        """One request/response exchange; reconnects once on a dead socket."""
+        payload = (
+            json.dumps(message, separators=(",", ":")) + "\n"
+        ).encode("utf-8")
+        for attempt in (0, 1):
+            self._connect()
+            try:
+                self._sock.settimeout(
+                    self.timeout if timeout is None else timeout
+                )
+                self._sock.sendall(payload)
+                line = self._file.readline(MAX_LINE_BYTES + 1024)
+                if not line:
+                    raise ConnectionError("server closed the connection")
+                break
+            except (ConnectionError, OSError):
+                self.close()
+                if attempt:
+                    raise
+        try:
+            response = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ProtocolError(
+                f"undecodable response from server: {error}"
+            ) from None
+        if not isinstance(response, dict):
+            raise ProtocolError("server response is not a JSON object")
+        return response
+
+    @staticmethod
+    def _raise_for(response: dict) -> dict:
+        """Map an ``ok: false`` envelope back to a typed exception."""
+        if response.get("ok"):
+            return response
+        code = response.get("error", "internal")
+        message = response.get("message", "request failed")
+        if code == "admission_rejected":
+            raise AdmissionRejectedError(
+                message,
+                reason=response.get("reason", "rejected"),
+                retry_after_seconds=response.get("retry_after_seconds"),
+            )
+        raise ProtocolError(f"{code}: {message}")
+
+    # -- operations --------------------------------------------------------
+    def ping(self) -> dict:
+        return self._raise_for(self.request({"op": "ping"}))
+
+    def stats(self) -> dict:
+        return self._raise_for(self.request({"op": "stats"}))
+
+    def submit(
+        self,
+        sql: str,
+        deadline_seconds: Optional[float] = None,
+        deadline_unix: Optional[float] = None,
+        **options: Any,
+    ) -> str:
+        """Submit ``sql``; return the server-assigned query id.
+
+        Raises :class:`~repro.errors.AdmissionRejectedError` (with the
+        server's typed reason and retry-after) when shed.
+        """
+        message: dict[str, Any] = {
+            "op": "submit",
+            "sql": sql,
+            "tenant": self.tenant,
+        }
+        if deadline_seconds is not None:
+            message["deadline_seconds"] = deadline_seconds
+        if deadline_unix is not None:
+            message["deadline_unix"] = deadline_unix
+        message.update(options)
+        return self._raise_for(self.request(message))["query_id"]
+
+    def poll(
+        self, query_id: str, wait_seconds: Optional[float] = None
+    ) -> dict:
+        message: dict[str, Any] = {"op": "poll", "query_id": query_id}
+        timeout = None
+        if wait_seconds is not None:
+            message["wait_seconds"] = wait_seconds
+            timeout = self.timeout + wait_seconds
+        return self._raise_for(self.request(message, timeout=timeout))
+
+    def cancel(self, query_id: str) -> dict:
+        return self._raise_for(
+            self.request({"op": "cancel", "query_id": query_id})
+        )
+
+    def drain(self, budget_seconds: Optional[float] = None) -> dict:
+        message: dict[str, Any] = {"op": "drain"}
+        if budget_seconds is not None:
+            message["budget_seconds"] = budget_seconds
+        return self._raise_for(self.request(message, timeout=self.timeout + (budget_seconds or 30.0)))
+
+    def wait(
+        self,
+        query_id: str,
+        timeout: Optional[float] = None,
+        poll_seconds: float = 5.0,
+    ) -> dict:
+        """Long-poll until ``query_id`` is terminal; return the payload."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            remaining = poll_seconds
+            if deadline is not None:
+                remaining = min(remaining, deadline - time.monotonic())
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"query {query_id} still "
+                        "unresolved past the client wait timeout"
+                    )
+            payload = self.poll(query_id, wait_seconds=max(0.05, remaining))
+            if payload.get("state") in TERMINAL_STATES:
+                return payload
+
+    def run(
+        self,
+        sql: str,
+        deadline_seconds: Optional[float] = None,
+        timeout: Optional[float] = None,
+        **options: Any,
+    ) -> dict:
+        """Submit + wait; return the result payload of a ``done`` query.
+
+        Raises:
+            AdmissionRejectedError: shed at submission, or accepted and
+                then shed (queue deadline, drain) — the server's typed
+                reason and retry-after ride along either way.
+            RemoteQueryError: the query resolved to ``error``,
+                ``cancelled``, or ``lost``.
+        """
+        query_id = self.submit(
+            sql, deadline_seconds=deadline_seconds, **options
+        )
+        try:
+            payload = self.wait(query_id, timeout=timeout)
+        except KeyboardInterrupt:
+            # The remote-REPL satellite: Ctrl-C while waiting cancels
+            # the submitted query server-side (a queued entry is
+            # removed without ever executing) before re-raising.
+            try:
+                self.cancel(query_id)
+            except ReproError:
+                pass
+            raise
+        state = payload["state"]
+        if state == "done":
+            return payload
+        if state == "rejected":
+            raise AdmissionRejectedError(
+                payload.get("message", "query rejected after acceptance"),
+                reason=payload.get("reason", "rejected"),
+                retry_after_seconds=payload.get("retry_after_seconds"),
+            )
+        raise RemoteQueryError(
+            payload.get("message", f"query resolved to {state!r}"),
+            state=state,
+            payload=payload,
+        )

@@ -1,0 +1,178 @@
+"""Crash-consistent serving journal: no accepted query is ever silent.
+
+The serving tier promises that every *accepted* query resolves to a
+result, a typed rejection, or an honest cancelled/lost outcome — even
+across a process crash.  The journal is how that promise survives a
+restart: one JSONL line per state transition, fsynced on acceptance and
+on terminal outcomes, so after a crash the next server generation can
+enumerate exactly which queries were in flight and report them as
+``lost`` (honest) instead of answering polls with silence or
+``unknown_query`` (indistinguishable from a client typo).
+
+Durability reuses the catalog's staging pattern
+(:mod:`repro.catalog.store`): appends are fsynced in place, and
+:meth:`ServingJournal.compact` rewrites the whole journal through
+``staging/`` with a ``write → fsync → os.replace → dir fsync``
+sequence, so a crash mid-compaction leaves either the old journal or
+the new one, never a torn hybrid.  Loading tolerates a torn final line
+(the one append a crash can tear) by ignoring it.
+
+Record schema (one JSON object per line)::
+
+    {"v": 1, "id": "...", "state": "accepted", "tenant": "...",
+     "ts": <unix>, ...extra}
+
+Terminal states mirror the protocol: ``done``, ``error``,
+``cancelled``, ``rejected``, ``lost``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import time
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from repro.catalog.store import fsync_dir, write_durable
+from repro.serve.protocol import TERMINAL_STATES
+
+__all__ = ["ServingJournal"]
+
+logger = logging.getLogger(__name__)
+
+#: Journal record schema version.
+JOURNAL_VERSION = 1
+
+_JOURNAL_NAME = "serving_journal.jsonl"
+
+
+class ServingJournal:
+    """Append-only, fsynced, atomically compactable outcome journal.
+
+    Args:
+        directory: journal home; created if missing.  ``staging/`` is
+            used for atomic compaction.
+        fsync: fsync each appended record (default).  Turning this off
+            trades crash-honesty for throughput — only do it in
+            benchmarks measuring the difference.
+        clock: wall-clock source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        fsync: bool = True,
+        clock: Callable[[], float] = time.time,
+    ):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        (self.directory / "staging").mkdir(exist_ok=True)
+        self._fsync = fsync
+        self._clock = clock
+        self._path = self.directory / _JOURNAL_NAME
+        self._handle = open(self._path, "ab")
+        self.records_written = 0
+
+    # -- writing -----------------------------------------------------------
+    def record(self, query_id: str, state: str, **extra: Any) -> None:
+        """Append one state transition; best-effort durable.
+
+        A full disk (or any OSError) must never fail the query the
+        record describes — the journal degrades to in-memory honesty
+        and logs the failure once per incident.
+        """
+        entry = {
+            "v": JOURNAL_VERSION,
+            "id": query_id,
+            "state": state,
+            "ts": round(self._clock(), 3),
+        }
+        entry.update(extra)
+        line = (json.dumps(entry, separators=(",", ":")) + "\n").encode()
+        try:
+            self._handle.write(line)
+            self._handle.flush()
+            if self._fsync:
+                os.fsync(self._handle.fileno())
+            self.records_written += 1
+        except OSError as error:  # pragma: no cover - disk-full path
+            logger.error("serving journal append failed: %s", error)
+
+    # -- recovery ----------------------------------------------------------
+    def recover(self) -> dict[str, dict]:
+        """Fold the journal; return entries with no terminal outcome.
+
+        Each returned value is the *latest* non-terminal record for
+        that query id — what the server needs to register an honest
+        ``lost`` outcome.  A torn final line (crash mid-append) is
+        skipped; any other undecodable line is skipped with a warning
+        (a corrupt journal degrades to fewer recoveries, never to a
+        crash or a wrong answer).
+        """
+        open_entries: dict[str, dict] = {}
+        try:
+            raw = self._path.read_bytes()
+        except OSError:
+            return {}
+        lines = raw.split(b"\n")
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                if index == len(lines) - 1 or (
+                    index == len(lines) - 2 and not lines[-1].strip()
+                ):
+                    logger.warning(
+                        "serving journal: torn final line ignored"
+                    )
+                else:
+                    logger.warning(
+                        "serving journal: undecodable line %d ignored",
+                        index + 1,
+                    )
+                continue
+            query_id = entry.get("id")
+            state = entry.get("state")
+            if not isinstance(query_id, str) or not isinstance(state, str):
+                continue
+            if state in TERMINAL_STATES:
+                open_entries.pop(query_id, None)
+            else:
+                open_entries[query_id] = entry
+        return open_entries
+
+    # -- compaction --------------------------------------------------------
+    def compact(self, keep: dict[str, dict] | None = None) -> None:
+        """Atomically rewrite the journal to just ``keep``'s records.
+
+        Stage → fsync → replace → dir fsync, exactly like catalog
+        artifact promotion: a reader (or the next generation's
+        :meth:`recover`) observes either the old journal or the new
+        one.  Called after recovery (the lost outcomes are terminal —
+        nothing open remains) and after a graceful drain.
+        """
+        keep = keep or {}
+        payload = b"".join(
+            (json.dumps(entry, separators=(",", ":")) + "\n").encode()
+            for entry in keep.values()
+        )
+        staged = self.directory / "staging" / _JOURNAL_NAME
+        try:
+            self._handle.close()
+            write_durable(staged, payload)
+            os.replace(staged, self._path)
+            fsync_dir(self.directory)
+        except OSError as error:  # pragma: no cover - disk-full path
+            logger.error("serving journal compaction failed: %s", error)
+        finally:
+            self._handle = open(self._path, "ab")
+
+    def close(self) -> None:
+        try:
+            self._handle.close()
+        except OSError:  # pragma: no cover
+            pass

@@ -1,0 +1,165 @@
+"""The serving tier's line protocol: JSON objects, one per line.
+
+Deliberately the simplest thing that can carry the contract: every
+request and every response is a single JSON object terminated by
+``\\n``, over a plain TCP stream.  Zero dependencies, trivially
+scriptable (``nc`` works), and the framing failure modes — torn lines,
+oversized lines, garbage bytes — are all typed.
+
+Requests carry an ``op``:
+
+=========  ==========================================================
+op         fields
+=========  ==========================================================
+submit     ``sql`` (required), ``tenant``, ``deadline_seconds``
+           (relative) or ``deadline_unix`` (absolute wall clock,
+           clock-skew clamped), plus engine options ``confidence``,
+           ``error_bound``, ``run_diagnostics``
+poll       ``query_id`` (required), ``wait_seconds`` (long-poll)
+cancel     ``query_id`` (required)
+stats      —
+ping       —
+drain      ``budget_seconds`` (admin; gated by ``ServeConfig``)
+=========  ==========================================================
+
+Responses always carry ``ok``.  Failures carry ``error`` (a
+machine-readable code), ``message``, and — for admission rejections —
+``reason`` and ``retry_after_seconds``, the backpressure signal a
+well-behaved client sleeps on before resubmitting.
+
+Error codes: ``bad_request``, ``admission_rejected``,
+``unknown_query``, ``unsupported_op``, ``internal``.
+
+Query states reported by ``poll``: ``queued``, ``running``, ``done``,
+``error``, ``cancelled``, ``rejected`` (accepted but shed before
+executing, e.g. deadline expired in the queue or the server drained),
+and ``lost`` (the server restarted while the query was in flight; the
+serving journal makes this outcome honest instead of silent).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "PROTOCOL_VERSION",
+    "TERMINAL_STATES",
+    "decode_message",
+    "encode_message",
+    "error_response",
+    "rejection_response",
+    "result_to_json",
+]
+
+#: Protocol revision, reported by ``ping``.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one request/response line.  SQL measured in megabytes is
+#: not a query, it is an attack (or a bug) — either way it is refused
+#: before it can balloon server memory.
+MAX_LINE_BYTES = 1 << 20
+
+#: Query states that will never change again.
+TERMINAL_STATES = frozenset(
+    {"done", "error", "cancelled", "rejected", "lost"}
+)
+
+
+def encode_message(message: dict) -> bytes:
+    """One JSON object, one line, UTF-8."""
+    return (
+        json.dumps(message, separators=(",", ":"), default=str) + "\n"
+    ).encode("utf-8")
+
+
+def decode_message(line: bytes) -> dict:
+    """Parse one request line; raise :class:`ProtocolError` when broken."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"request line of {len(line)} bytes exceeds the "
+            f"{MAX_LINE_BYTES}-byte cap"
+        )
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"request is not valid JSON: {error}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"request must be a JSON object, got {type(message).__name__}"
+        )
+    if not isinstance(message.get("op"), str):
+        raise ProtocolError("request is missing the string field 'op'")
+    return message
+
+
+def error_response(code: str, message: str, **extra: Any) -> dict:
+    """An ``ok: false`` envelope with a machine-readable code."""
+    payload = {"ok": False, "error": code, "message": message}
+    payload.update(extra)
+    return payload
+
+
+def rejection_response(
+    reason: str,
+    message: str,
+    retry_after_seconds: Optional[float],
+    **extra: Any,
+) -> dict:
+    """The 429-equivalent: typed reason plus a computed retry-after."""
+    return error_response(
+        "admission_rejected",
+        message,
+        reason=reason,
+        retry_after_seconds=(
+            None
+            if retry_after_seconds is None
+            else round(float(retry_after_seconds), 4)
+        ),
+        **extra,
+    )
+
+
+def result_to_json(result) -> dict:
+    """Serialize an :class:`~repro.core.pipeline.AQPResult` for the wire.
+
+    Carries everything the honesty contract needs on the client side:
+    per-value intervals, methods, fallback flags, the degradation
+    summary, and the catalog route.  The trace and event objects stay
+    server-side (they are surfaces for the operator, not the tenant).
+    """
+    rows = []
+    for row in result.rows:
+        values = []
+        for value in row.values.values():
+            interval = None
+            if value.interval is not None:
+                interval = {
+                    "estimate": value.interval.estimate,
+                    "half_width": value.interval.half_width,
+                    "confidence": value.interval.confidence,
+                    "method": value.interval.method,
+                }
+            values.append(
+                {
+                    "name": value.name,
+                    "estimate": value.estimate,
+                    "interval": interval,
+                    "method": value.method,
+                    "fell_back": bool(value.fell_back),
+                    "fallback_reason": value.fallback_reason or None,
+                }
+            )
+        rows.append({"group": dict(row.group), "values": values})
+    report = result.execution_report
+    return {
+        "rows": rows,
+        "sample": None if result.sample is None else result.sample.name,
+        "elapsed_seconds": result.elapsed_seconds,
+        "degraded": bool(result.degraded),
+        "report": None if report is None else report.summary(),
+        "catalog_route": result.catalog_route,
+    }

@@ -1,0 +1,1185 @@
+"""The asyncio serving tier: fair admission in front of the governor.
+
+:class:`AQPServer` turns the process-local :class:`QueryGovernor` into
+a multi-tenant network service with an explicit lifecycle for every
+query: ``queued → running → done`` on the happy path, and *typed*
+``rejected`` / ``cancelled`` / ``error`` / ``lost`` everywhere else.
+The design invariant is the serving-tier restatement of the repo's
+honesty contract: **an accepted query is never silent** — it resolves
+to a result, a typed rejection with a computed retry-after, or an
+honest cancelled/lost outcome, even across a SIGTERM or a crash.
+
+Architecture notes:
+
+* All serving state (records, tenant accounting, the fair queue) is
+  touched only on the event-loop thread.  Query execution happens in a
+  small thread pool (``governor.execute`` blocks), and outcomes are
+  marshalled back with ``call_soon_threadsafe`` — no locks in the
+  serving tier itself.
+* The server's weighted fair queue is the *primary* queue; the
+  dispatcher admits at most the governor's slot count concurrently, so
+  the governor's own bounded queue is only a safety net and the WFQ
+  ordering is what actually decides who runs next.
+* Deadlines propagate end to end: a client deadline (relative seconds
+  or an absolute wall-clock instant, clock-skew clamped) becomes the
+  monotonic deadline on the query's
+  :class:`~repro.governor.cancel.CancelToken`, which the pipeline,
+  pool, and retry-backoff paths already honour.
+* Retry-after is computed, not guessed: queue depth times the EWMA
+  service time per slot, floored by the circuit breaker's remaining
+  cooldown — the instant at which retrying can actually succeed.
+* Identical concurrently-queued queries (same shape *and* bindings —
+  byte-identical work, so sharing cannot change any answer) are
+  superset-batched: one leader executes, followers fan out its result.
+  A leader failure never poisons followers: they are retried
+  individually at the head of the queue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import logging
+import time
+import uuid
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import (
+    AdmissionRejectedError,
+    ProtocolError,
+    QueryCancelledError,
+    ReproError,
+)
+from repro.governor.cancel import CancelToken
+from repro.obs.metrics import METRICS
+from repro.serve import protocol
+from repro.serve.journal import ServingJournal
+from repro.serve.tenants import FairQueue, TenantConfig, TenantState
+from repro.sql.fingerprint import share_key
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["AQPServer", "ServeConfig", "ServerThread"]
+
+
+@dataclass
+class ServeConfig:
+    """Tunable behaviour of :class:`AQPServer`.
+
+    Attributes:
+        host / port: listen address; port 0 picks a free port
+            (``server.port`` reports the bound one).
+        tenants: explicit per-tenant policies by name.  Unknown tenants
+            are admitted under ``default_tenant`` re-labelled for their
+            name when ``allow_dynamic_tenants`` is set, else rejected.
+        default_tenant: the policy template for dynamic tenants.
+        allow_dynamic_tenants: admit tenants not configured up front.
+        max_queue_depth: global bound on queued-but-not-running
+            queries across all tenants; beyond it submissions are shed
+            with ``reason="queue_full"``.
+        max_deadline_seconds: clock-skew clamp — no client deadline,
+            relative or absolute, may exceed this horizon.  An absolute
+            deadline from a skewed clock lands in
+            ``[0, max_deadline_seconds]`` instead of creating a query
+            that can never be shed (deadline in the far future) or one
+            rejected spuriously (deadline in the past by skew alone).
+        drain_budget_seconds: default graceful-drain budget: in-flight
+            queries get this long to finish before their tokens are
+            cancelled.
+        allow_remote_drain: accept the ``drain`` op over the wire
+            (operators embedding the server in-process can always call
+            :meth:`AQPServer.drain` directly).
+        sharing: enable cross-query superset batching.
+        max_share_fanout: cap on followers attached to one leader.
+        sweep_interval_seconds: cadence of the background sweeper that
+            rejects queue-expired entries and prunes old records.
+        result_retention_seconds: how long a terminal record stays
+            pollable before the sweeper prunes it.
+        max_records: hard cap on retained records (oldest terminal
+            records are pruned first).
+        journal_dir: where the crash-consistency journal lives; ``None``
+            disables journaling (honest-across-restart outcomes are
+            lost, everything else works).
+        journal_fsync: fsync journal appends (see
+            :class:`~repro.serve.journal.ServingJournal`).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    tenants: Optional[dict[str, TenantConfig]] = None
+    default_tenant: TenantConfig = field(
+        default_factory=lambda: TenantConfig(name="default")
+    )
+    allow_dynamic_tenants: bool = True
+    max_queue_depth: int = 64
+    max_deadline_seconds: float = 300.0
+    drain_budget_seconds: float = 5.0
+    # After a SIGTERM-initiated drain, keep the listener answering
+    # polls for this long so clients can collect their outcomes
+    # before the process exits.
+    drain_linger_seconds: float = 2.0
+    allow_remote_drain: bool = False
+    sharing: bool = True
+    max_share_fanout: int = 16
+    sweep_interval_seconds: float = 0.25
+    result_retention_seconds: float = 600.0
+    max_records: int = 4096
+    journal_dir: Optional[str] = None
+    journal_fsync: bool = True
+
+    def __post_init__(self):
+        if self.max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be non-negative")
+        if self.max_deadline_seconds <= 0:
+            raise ValueError("max_deadline_seconds must be positive")
+        if self.max_share_fanout < 0:
+            raise ValueError("max_share_fanout must be non-negative")
+
+
+#: Engine options a submit message may carry, forwarded verbatim to
+#: ``governor.execute`` after type checking.
+_ENGINE_OPTIONS = {
+    "confidence": float,
+    "error_bound": float,
+    "run_diagnostics": bool,
+}
+
+
+@dataclass
+class QueryRecord:
+    """One query's serving-side lifecycle (event-loop-thread only)."""
+
+    query_id: str
+    sql: str
+    tenant: str
+    token: CancelToken
+    engine_kwargs: dict
+    share: Optional[tuple] = None
+    state: str = "queued"
+    vft: float = 0.0
+    requeued: bool = False
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    deadline_seconds: Optional[float] = None
+    result_json: Optional[dict] = None
+    error: Optional[dict] = None
+    shared_with: Optional[str] = None
+    done_event: asyncio.Event = field(default_factory=asyncio.Event)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in protocol.TERMINAL_STATES
+
+
+class AQPServer:
+    """Multi-tenant line-protocol server over a :class:`QueryGovernor`.
+
+    Args:
+        governor: the admission/execution layer; the server never
+            executes SQL itself.
+        config: serving policy; defaults are test-appropriate
+            (loopback, free port, dynamic tenants, no journal).
+    """
+
+    def __init__(self, governor, config: ServeConfig | None = None):
+        self.governor = governor
+        self.config = config or ServeConfig()
+        gov = governor.config
+        extra = gov.max_overflow if gov.shed_policy == "degrade" else 0
+        #: Leader executions allowed concurrently — exactly the
+        #: governor's slot count, so its internal queue stays empty and
+        #: WFQ order is the true dispatch order.
+        self.dispatch_limit = gov.max_concurrency + extra
+        self.journal: Optional[ServingJournal] = None
+        if self.config.journal_dir is not None:
+            self.journal = ServingJournal(
+                self.config.journal_dir, fsync=self.config.journal_fsync
+            )
+        self._tenants: dict[str, TenantState] = {}
+        for name, tconf in (self.config.tenants or {}).items():
+            self._tenants[name] = TenantState(config=tconf.for_name(name))
+        self._queue = FairQueue()
+        self._queued_by_key: dict[tuple, list[QueryRecord]] = {}
+        self._records: dict[str, QueryRecord] = {}
+        self._order = itertools.count(1)
+        self._running = 0
+        self._ewma_service = 0.5  # seconds; refined by real completions
+        self._draining = False
+        self._drain_deadline: Optional[float] = None
+        self._closed = False
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._work: Optional[asyncio.Event] = None
+        self._tasks: list[asyncio.Task] = []
+        self._connections: set[asyncio.StreamWriter] = set()
+        self.recovered_lost = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind, recover the journal, and start background tasks."""
+        self._loop = asyncio.get_running_loop()
+        self._work = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.dispatch_limit,
+            thread_name_prefix="repro-serve",
+        )
+        self._recover_journal()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.config.host,
+            self.config.port,
+            limit=protocol.MAX_LINE_BYTES + 1024,
+        )
+        self._tasks.append(self._loop.create_task(self._dispatcher()))
+        self._tasks.append(self._loop.create_task(self._sweeper()))
+        logger.info(
+            "serving on %s:%d (dispatch_limit=%d, sharing=%s, journal=%s)",
+            self.config.host,
+            self.port,
+            self.dispatch_limit,
+            self.config.sharing,
+            self.config.journal_dir or "off",
+        )
+
+    def _recover_journal(self) -> None:
+        """Turn the previous generation's in-flight queries into honest
+        ``lost`` outcomes, pollable by their original ids."""
+        if self.journal is None:
+            return
+        open_entries = self.journal.recover()
+        for query_id, entry in open_entries.items():
+            tenant_name = entry.get("tenant", "default")
+            tenant = self._tenant_for(tenant_name, create=True)
+            if tenant is not None:
+                tenant.lost += 1
+            record = QueryRecord(
+                query_id=query_id,
+                sql=str(entry.get("sql", "")),
+                tenant=tenant_name,
+                token=CancelToken(),
+                engine_kwargs={},
+                state="lost",
+                submitted_at=time.monotonic(),
+            )
+            record.finished_at = time.monotonic()
+            record.error = {
+                "reason": "server_restart",
+                "message": (
+                    "the server restarted while this query was "
+                    f"{entry.get('state', 'in flight')}; it may or may "
+                    "not have executed and no result was retained"
+                ),
+            }
+            record.done_event.set()
+            self._records[query_id] = record
+            self.journal.record(query_id, "lost", tenant=tenant_name)
+            METRICS.counter("serve.lost").inc()
+            self.recovered_lost += 1
+        if open_entries:
+            logger.warning(
+                "journal recovery: %d in-flight query(ies) from the "
+                "previous run reported as lost",
+                len(open_entries),
+            )
+        self.journal.compact({})
+
+    async def drain(self, budget_seconds: float | None = None) -> dict:
+        """Graceful drain: stop admissions, finish or cancel, persist.
+
+        Queued queries are rejected immediately (typed ``draining``,
+        retry-after = the drain budget — the soonest a replacement
+        process could be answering).  In-flight queries get the budget
+        to finish honestly; past it their tokens are cancelled and the
+        cooperative machinery unwinds them with cleanup guaranteed.
+        """
+        if self._draining:
+            return {"ok": True, "already_draining": True}
+        budget = (
+            self.config.drain_budget_seconds
+            if budget_seconds is None
+            else max(0.0, float(budget_seconds))
+        )
+        self._draining = True
+        self._drain_deadline = time.monotonic() + budget
+        METRICS.gauge("serve.draining").set(1)
+        rejected = 0
+        for record in self._queue.drain_all():
+            self._resolve_rejection(
+                record,
+                reason="draining",
+                message=(
+                    "the server is draining for shutdown; "
+                    "the query never executed"
+                ),
+                retry_after=budget,
+            )
+            rejected += 1
+        self._queued_by_key.clear()
+        logger.info(
+            "draining: %d queued rejected, %d in flight, budget %.1fs",
+            rejected,
+            self._running,
+            budget,
+        )
+        # Phase 1: let in-flight work finish inside the budget.
+        while self._running > 0 and time.monotonic() < self._drain_deadline:
+            await asyncio.sleep(0.02)
+        cancelled = 0
+        if self._running > 0:
+            for record in self._records.values():
+                if record.state in ("running", "shared"):
+                    record.token.cancel(
+                        "server draining past its "
+                        f"{budget:.1f}s budget"
+                    )
+                    cancelled += 1
+            # Phase 2: cooperative cancellation unwinds quickly, but
+            # bound the wait so a wedged worker cannot block shutdown
+            # forever — anything still open becomes ``lost`` honestly
+            # on the next start.
+            grace = time.monotonic() + max(5.0, budget)
+            while self._running > 0 and time.monotonic() < grace:
+                await asyncio.sleep(0.02)
+        if self.journal is not None:
+            open_entries = {
+                r.query_id: {
+                    "v": 1,
+                    "id": r.query_id,
+                    "state": r.state,
+                    "tenant": r.tenant,
+                }
+                for r in self._records.values()
+                if not r.terminal
+            }
+            self.journal.compact(open_entries)
+        summary = {
+            "ok": True,
+            "rejected_queued": rejected,
+            "cancelled_in_flight": cancelled,
+            "still_running": self._running,
+        }
+        logger.info("drain complete: %s", summary)
+        return summary
+
+    async def stop(self, drain_budget_seconds: float | None = None) -> None:
+        """Drain, then tear everything down (idempotent)."""
+        if self._closed:
+            return
+        await self.drain(drain_budget_seconds)
+        self._closed = True
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._tasks.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in list(self._connections):
+            writer.close()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+        if self.journal is not None:
+            self.journal.close()
+        METRICS.gauge("serve.draining").set(0)
+
+    async def serve_forever(self) -> None:
+        """Run until SIGTERM/SIGINT, then drain gracefully and exit."""
+        import signal
+
+        stop_requested = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop_requested.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        await stop_requested.wait()
+        logger.info("shutdown signal received; draining")
+        await self.drain()
+        linger = max(0.0, self.config.drain_linger_seconds)
+        if linger > 0:
+            # Every record is terminal now; give clients a window to
+            # poll their outcomes before the listener goes away.
+            logger.info(
+                "drain complete; answering polls for %.1fs before exit",
+                linger,
+            )
+            await asyncio.sleep(linger)
+        await self.stop()
+
+    # -- tenants -----------------------------------------------------------
+    def _tenant_for(
+        self, name: str, create: bool | None = None
+    ) -> Optional[TenantState]:
+        tenant = self._tenants.get(name)
+        if tenant is not None:
+            return tenant
+        allowed = (
+            self.config.allow_dynamic_tenants if create is None else create
+        )
+        if not allowed:
+            return None
+        tenant = TenantState(config=self.config.default_tenant.for_name(name))
+        self._tenants[name] = tenant
+        return tenant
+
+    # -- submit ------------------------------------------------------------
+    def _retry_after(self) -> float:
+        """When could a retry plausibly be admitted?
+
+        Queue depth × EWMA service seconds ÷ slots estimates when the
+        backlog ahead of a new arrival clears; while the breaker is
+        open nothing good happens before its next probe, so that
+        cooldown is the floor.
+        """
+        per_slot = self._ewma_service / max(1, self.dispatch_limit)
+        estimate = (len(self._queue) + 1) * per_slot
+        return max(
+            0.05,
+            estimate,
+            self.governor.breaker.cooldown_remaining(),
+        )
+
+    def _resolve_deadline(
+        self, message: dict
+    ) -> tuple[Optional[float], Optional[str]]:
+        """Client deadline → clamped relative seconds (or typed error).
+
+        Returns ``(relative_seconds_or_None, error_message_or_None)``.
+        Absolute wall-clock deadlines are converted against this
+        server's clock and clamped into ``[0, max_deadline_seconds]``:
+        a client whose clock runs ahead cannot buy an unshardable
+        query, and one whose clock lags is not rejected by skew alone
+        (a small positive budget survives the clamp; a deadline beyond
+        one full horizon in the past is genuinely expired).
+        """
+        cap = self.config.max_deadline_seconds
+        relative = message.get("deadline_seconds")
+        absolute = message.get("deadline_unix")
+        if relative is not None and absolute is not None:
+            return None, "give deadline_seconds or deadline_unix, not both"
+        if relative is not None:
+            try:
+                relative = float(relative)
+            except (TypeError, ValueError):
+                return None, "deadline_seconds must be a number"
+            if relative <= 0:
+                return None, None  # expired on arrival
+            return min(relative, cap), None
+        if absolute is not None:
+            try:
+                absolute = float(absolute)
+            except (TypeError, ValueError):
+                return None, "deadline_unix must be a number"
+            remaining = absolute - time.time()
+            if remaining <= -cap:
+                return None, None  # expired beyond any plausible skew
+            return min(max(remaining, 0.0), cap) or None, None
+        return None, None
+
+    def _op_submit(self, message: dict) -> dict:
+        METRICS.counter("serve.submitted").inc()
+        sql = message.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            return protocol.error_response(
+                "bad_request", "submit requires a non-empty 'sql' string"
+            )
+        tenant_name = message.get("tenant", "default")
+        if not isinstance(tenant_name, str) or not tenant_name:
+            return protocol.error_response(
+                "bad_request", "'tenant' must be a non-empty string"
+            )
+        tenant = self._tenant_for(tenant_name)
+        if tenant is None:
+            return protocol.error_response(
+                "bad_request",
+                f"unknown tenant {tenant_name!r} and dynamic tenants "
+                "are disabled",
+            )
+        tenant.submitted += 1
+
+        engine_kwargs: dict[str, Any] = {}
+        for key, kind in _ENGINE_OPTIONS.items():
+            if key in message and message[key] is not None:
+                try:
+                    engine_kwargs[key] = kind(message[key])
+                except (TypeError, ValueError):
+                    return protocol.error_response(
+                        "bad_request", f"{key!r} must be a {kind.__name__}"
+                    )
+
+        # Backpressure ladder, cheapest check first; every rung is a
+        # typed 429 with a computed retry-after.
+        if self._draining:
+            remaining = (
+                max(0.0, self._drain_deadline - time.monotonic())
+                if self._drain_deadline is not None
+                else self.config.drain_budget_seconds
+            )
+            return self._reject_submit(
+                tenant,
+                reason="draining",
+                message_text="the server is draining for shutdown",
+                retry_after=remaining + 1.0,
+            )
+        rate_wait = tenant.rate_retry_after()
+        if rate_wait is not None:
+            return self._reject_submit(
+                tenant,
+                reason="rate_limited",
+                message_text=(
+                    f"tenant {tenant_name!r} exceeded "
+                    f"{tenant.config.rate_limit} submissions per "
+                    f"{tenant.config.rate_window_seconds}s window"
+                ),
+                retry_after=rate_wait,
+            )
+        if tenant.in_flight >= tenant.config.max_in_flight:
+            return self._reject_submit(
+                tenant,
+                reason="tenant_concurrency",
+                message_text=(
+                    f"tenant {tenant_name!r} already has "
+                    f"{tenant.in_flight} queries in flight "
+                    f"(cap {tenant.config.max_in_flight})"
+                ),
+                retry_after=self._retry_after(),
+            )
+        if len(self._queue) >= self.config.max_queue_depth:
+            return self._reject_submit(
+                tenant,
+                reason="queue_full",
+                message_text=(
+                    f"the serving queue is full "
+                    f"({self.config.max_queue_depth} waiting)"
+                ),
+                retry_after=self._retry_after(),
+            )
+
+        deadline_rel, deadline_err = self._resolve_deadline(message)
+        if deadline_err is not None:
+            return protocol.error_response("bad_request", deadline_err)
+        if deadline_rel is None and (
+            "deadline_seconds" in message or "deadline_unix" in message
+        ):
+            return self._reject_submit(
+                tenant,
+                reason="deadline_expired",
+                message_text=(
+                    "the deadline had already passed at submission "
+                    "(after clock-skew clamping); the query never ran"
+                ),
+                retry_after=None,
+            )
+
+        token = (
+            CancelToken(deadline=time.monotonic() + deadline_rel)
+            if deadline_rel is not None
+            else CancelToken()
+        )
+        query_id = uuid.uuid4().hex[:16]
+        record = QueryRecord(
+            query_id=query_id,
+            sql=sql,
+            tenant=tenant_name,
+            token=token,
+            engine_kwargs=engine_kwargs,
+            share=share_key(sql) if self.config.sharing else None,
+            submitted_at=time.monotonic(),
+            deadline_seconds=deadline_rel,
+        )
+        self._records[query_id] = record
+        tenant.note_admitted()
+        if self.journal is not None:
+            self.journal.record(
+                query_id,
+                "accepted",
+                tenant=tenant_name,
+                sql=sql[:200],
+            )
+        self._queue.push(tenant, record)
+        if record.share is not None:
+            self._queued_by_key.setdefault(record.share, []).append(record)
+        METRICS.counter("serve.accepted").inc()
+        METRICS.counter(f"serve.tenant.{tenant_name}.accepted").inc()
+        METRICS.gauge("serve.queue_depth").set(len(self._queue))
+        self._work.set()
+        return {
+            "ok": True,
+            "query_id": query_id,
+            "state": "queued",
+            "queue_depth": len(self._queue),
+        }
+
+    def _reject_submit(
+        self,
+        tenant: TenantState,
+        reason: str,
+        message_text: str,
+        retry_after: Optional[float],
+    ) -> dict:
+        tenant.rejected += 1
+        METRICS.counter("serve.rejected").inc()
+        METRICS.counter(f"serve.rejected.{reason}").inc()
+        METRICS.counter(f"serve.tenant.{tenant.name}.rejected").inc()
+        return protocol.rejection_response(reason, message_text, retry_after)
+
+    # -- dispatch ----------------------------------------------------------
+    async def _dispatcher(self) -> None:
+        while True:
+            await self._work.wait()
+            self._work.clear()
+            while (
+                not self._draining
+                and self._running < self.dispatch_limit
+                and len(self._queue) > 0
+            ):
+                record = self._queue.pop()
+                if record is None:
+                    break
+                self._unindex_share(record)
+                METRICS.gauge("serve.queue_depth").set(len(self._queue))
+                if record.terminal:
+                    continue  # cancelled while queued; already resolved
+                if record.token.expired:
+                    self._reject_queue_expired(record)
+                    continue
+                if record.token.cancelled:
+                    self._resolve_cancelled(
+                        record, "cancelled while queued; never executed"
+                    )
+                    continue
+                followers = self._gather_followers(record)
+                self._start_execution(record, followers)
+
+    def _unindex_share(self, record: QueryRecord) -> None:
+        if record.share is None:
+            return
+        peers = self._queued_by_key.get(record.share)
+        if peers is not None:
+            try:
+                peers.remove(record)
+            except ValueError:
+                pass
+            if not peers:
+                self._queued_by_key.pop(record.share, None)
+
+    def _gather_followers(self, leader: QueryRecord) -> list[QueryRecord]:
+        """Attach queued byte-identical queries to ``leader``.
+
+        Only never-requeued entries share (a follower whose leader
+        failed retries strictly individually), and only up to
+        ``max_share_fanout`` — a bounded blast radius for one bad
+        batch.
+        """
+        if (
+            leader.share is None
+            or leader.requeued
+            or not self.config.sharing
+        ):
+            return []
+        peers = self._queued_by_key.get(leader.share, [])
+        followers: list[QueryRecord] = []
+        for peer in list(peers):
+            if len(followers) >= self.config.max_share_fanout:
+                break
+            if peer.requeued or peer.terminal:
+                continue
+            if not self._queue.remove(peer):
+                continue
+            self._unindex_share(peer)
+            peer.state = "shared"
+            peer.shared_with = leader.query_id
+            followers.append(peer)
+            if self.journal is not None:
+                self.journal.record(
+                    peer.query_id,
+                    "shared",
+                    tenant=peer.tenant,
+                    leader=leader.query_id,
+                )
+            METRICS.counter("serve.shared").inc()
+        if followers:
+            METRICS.gauge("serve.queue_depth").set(len(self._queue))
+        return followers
+
+    def _start_execution(
+        self, leader: QueryRecord, followers: list[QueryRecord]
+    ) -> None:
+        leader.state = "running"
+        leader.started_at = time.monotonic()
+        self._running += 1
+        METRICS.gauge("serve.running").set(self._running)
+        if self.journal is not None:
+            self.journal.record(
+                leader.query_id, "running", tenant=leader.tenant
+            )
+
+        def run() -> None:
+            try:
+                result = self.governor.execute(
+                    leader.sql,
+                    cancel=leader.token,
+                    **leader.engine_kwargs,
+                )
+                outcome = ("done", result)
+            except BaseException as error:  # marshalled, never raised here
+                outcome = ("raised", error)
+            self._loop.call_soon_threadsafe(
+                self._on_execution_done, leader, followers, outcome
+            )
+
+        self._executor.submit(run)
+
+    def _on_execution_done(
+        self,
+        leader: QueryRecord,
+        followers: list[QueryRecord],
+        outcome: tuple,
+    ) -> None:
+        self._running -= 1
+        METRICS.gauge("serve.running").set(self._running)
+        kind, payload = outcome
+        if kind == "done":
+            elapsed = time.monotonic() - (
+                leader.started_at or leader.submitted_at
+            )
+            self._ewma_service = 0.8 * self._ewma_service + 0.2 * elapsed
+            result_json = protocol.result_to_json(payload)
+            self._resolve_done(leader, result_json, shared=False)
+            for follower in followers:
+                if follower.token.cancelled and not follower.token.expired:
+                    # Explicit cancel while attached: honour it even
+                    # though the answer exists.
+                    self._resolve_cancelled(
+                        follower,
+                        "cancelled while sharing a leader's execution",
+                    )
+                else:
+                    # The result exists and is exactly this query's
+                    # answer; delivering it beats rejecting on a
+                    # deadline that expired moments ago.
+                    self._resolve_done(follower, result_json, shared=True)
+        else:
+            self._resolve_raised(leader, payload)
+            # Leader failure is isolated: followers go back to the
+            # *head* of the queue (they already waited their fair
+            # turn) and retry individually, never re-shared.
+            for follower in reversed(followers):
+                if follower.token.cancelled:
+                    if follower.token.expired:
+                        self._reject_queue_expired(follower)
+                    else:
+                        self._resolve_cancelled(
+                            follower,
+                            "cancelled while sharing a leader's execution",
+                        )
+                    continue
+                follower.state = "queued"
+                follower.shared_with = None
+                follower.requeued = True
+                METRICS.counter("serve.share_retry").inc()
+                if self._draining:
+                    self._resolve_rejection(
+                        follower,
+                        reason="draining",
+                        message=(
+                            "the server began draining while this query "
+                            "was awaiting a shared result; it never "
+                            "executed individually"
+                        ),
+                        retry_after=self.config.drain_budget_seconds,
+                    )
+                    continue
+                self._queue.push_front(follower)
+            METRICS.gauge("serve.queue_depth").set(len(self._queue))
+        self._work.set()
+
+    # -- resolution --------------------------------------------------------
+    def _finish(self, record: QueryRecord, state: str) -> None:
+        record.state = state
+        record.finished_at = time.monotonic()
+        tenant = self._tenants.get(record.tenant)
+        if tenant is not None:
+            tenant.in_flight = max(0, tenant.in_flight - 1)
+        if self.journal is not None:
+            self.journal.record(record.query_id, state, tenant=record.tenant)
+        record.done_event.set()
+
+    def _resolve_done(
+        self, record: QueryRecord, result_json: dict, shared: bool
+    ) -> None:
+        record.result_json = result_json
+        if shared:
+            record.result_json = dict(result_json, shared=True)
+            tenant = self._tenants.get(record.tenant)
+            if tenant is not None:
+                tenant.shared += 1
+        self._finish(record, "done")
+        tenant = self._tenants.get(record.tenant)
+        if tenant is not None:
+            tenant.completed += 1
+        METRICS.counter("serve.completed").inc()
+        METRICS.counter(f"serve.tenant.{record.tenant}.completed").inc()
+
+    def _resolve_raised(self, record: QueryRecord, error: BaseException):
+        if isinstance(error, AdmissionRejectedError):
+            self._resolve_rejection(
+                record,
+                reason=error.reason,
+                message=str(error),
+                retry_after=(
+                    error.retry_after_seconds
+                    if error.retry_after_seconds is not None
+                    else self._retry_after()
+                ),
+            )
+        elif isinstance(error, QueryCancelledError):
+            self._resolve_cancelled(record, str(error))
+        else:
+            record.error = {
+                "type": type(error).__name__,
+                "message": str(error),
+                "recoverable": isinstance(error, ReproError),
+            }
+            self._finish(record, "error")
+            tenant = self._tenants.get(record.tenant)
+            if tenant is not None:
+                tenant.errors += 1
+            METRICS.counter("serve.errors").inc()
+            if not isinstance(error, ReproError):
+                logger.exception(
+                    "internal error executing %s", record.query_id,
+                    exc_info=error,
+                )
+
+    def _resolve_rejection(
+        self,
+        record: QueryRecord,
+        reason: str,
+        message: str,
+        retry_after: Optional[float],
+    ) -> None:
+        record.error = {
+            "reason": reason,
+            "message": message,
+            "retry_after_seconds": retry_after,
+        }
+        self._finish(record, "rejected")
+        tenant = self._tenants.get(record.tenant)
+        if tenant is not None:
+            tenant.rejected += 1
+        METRICS.counter("serve.rejected").inc()
+        METRICS.counter(f"serve.rejected.{reason}").inc()
+
+    def _resolve_cancelled(self, record: QueryRecord, message: str) -> None:
+        record.error = {"reason": "cancelled", "message": message}
+        self._finish(record, "cancelled")
+        tenant = self._tenants.get(record.tenant)
+        if tenant is not None:
+            tenant.cancelled += 1
+        METRICS.counter("serve.cancelled").inc()
+
+    def _reject_queue_expired(self, record: QueryRecord) -> None:
+        waited = time.monotonic() - record.submitted_at
+        METRICS.counter("serve.queue_deadline_expired").inc()
+        self._resolve_rejection(
+            record,
+            reason="queue_deadline_expired",
+            message=(
+                f"deadline expired after {waited:.2f}s in the serving "
+                "queue; the query never executed"
+            ),
+            retry_after=None,
+        )
+
+    # -- poll / cancel -----------------------------------------------------
+    def _poll_payload(self, record: QueryRecord) -> dict:
+        payload: dict[str, Any] = {
+            "ok": True,
+            "query_id": record.query_id,
+            "state": record.state,
+            "tenant": record.tenant,
+        }
+        if record.state == "done":
+            payload["result"] = record.result_json
+        elif record.error is not None:
+            payload.update(record.error)
+        if record.finished_at is not None:
+            payload["elapsed_seconds"] = round(
+                record.finished_at - record.submitted_at, 4
+            )
+        return payload
+
+    async def _op_poll(self, message: dict) -> dict:
+        query_id = message.get("query_id")
+        record = self._records.get(query_id) if isinstance(query_id, str) else None
+        if record is None:
+            return protocol.error_response(
+                "unknown_query",
+                f"no query {query_id!r} (expired, pruned, or never "
+                "accepted)",
+            )
+        wait = message.get("wait_seconds")
+        if wait is not None and not record.terminal:
+            try:
+                wait = max(0.0, min(float(wait), 60.0))
+            except (TypeError, ValueError):
+                return protocol.error_response(
+                    "bad_request", "'wait_seconds' must be a number"
+                )
+            try:
+                await asyncio.wait_for(record.done_event.wait(), wait)
+            except asyncio.TimeoutError:
+                pass
+        return self._poll_payload(record)
+
+    def _op_cancel(self, message: dict) -> dict:
+        query_id = message.get("query_id")
+        record = self._records.get(query_id) if isinstance(query_id, str) else None
+        if record is None:
+            return protocol.error_response(
+                "unknown_query", f"no query {query_id!r}"
+            )
+        if record.terminal:
+            return self._poll_payload(record)
+        if record.state == "queued" and self._queue.remove(record):
+            # Satellite case: Ctrl-C (or any client cancel) while the
+            # query is still queued removes it cleanly — no slot was
+            # ever consumed, no execution ever starts.
+            self._unindex_share(record)
+            METRICS.counter("serve.queue_cancelled").inc()
+            METRICS.gauge("serve.queue_depth").set(len(self._queue))
+            record.token.cancel("cancelled by client while queued")
+            self._resolve_cancelled(
+                record, "cancelled while queued; never executed"
+            )
+            return self._poll_payload(record)
+        record.token.cancel("cancelled by client")
+        return {
+            "ok": True,
+            "query_id": record.query_id,
+            "state": record.state,
+            "cancelling": True,
+        }
+
+    def _op_stats(self) -> dict:
+        return {
+            "ok": True,
+            "draining": self._draining,
+            "queue_depth": len(self._queue),
+            "queue_depths": self._queue.depths(),
+            "running": self._running,
+            "records": len(self._records),
+            "recovered_lost": self.recovered_lost,
+            "ewma_service_seconds": round(self._ewma_service, 4),
+            "retry_after_seconds": round(self._retry_after(), 4),
+            "dispatch_limit": self.dispatch_limit,
+            "tenants": {
+                name: tenant.snapshot()
+                for name, tenant in self._tenants.items()
+            },
+            "governor": self.governor.stats(),
+        }
+
+    # -- background sweeper ------------------------------------------------
+    async def _sweeper(self) -> None:
+        """Reject queue-expired entries; prune old terminal records."""
+        while True:
+            await asyncio.sleep(self.config.sweep_interval_seconds)
+            expired = [
+                record
+                for fifo in self._queue._fifos.values()
+                for record in fifo
+                if record.token.expired
+            ]
+            for record in expired:
+                if self._queue.remove(record):
+                    self._unindex_share(record)
+                    self._reject_queue_expired(record)
+            if expired:
+                METRICS.gauge("serve.queue_depth").set(len(self._queue))
+                self._work.set()
+            self._prune_records()
+
+    def _prune_records(self) -> None:
+        now = time.monotonic()
+        retention = self.config.result_retention_seconds
+        stale = [
+            query_id
+            for query_id, record in self._records.items()
+            if record.terminal
+            and record.finished_at is not None
+            and now - record.finished_at > retention
+        ]
+        for query_id in stale:
+            del self._records[query_id]
+        overflow = len(self._records) - self.config.max_records
+        if overflow > 0:
+            terminal = sorted(
+                (r for r in self._records.values() if r.terminal),
+                key=lambda r: r.finished_at or 0.0,
+            )
+            for record in terminal[:overflow]:
+                del self._records[record.query_id]
+
+    # -- connection handling -----------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.LimitOverrunError,
+                    ValueError,
+                ):  # line too long for the stream limit
+                    writer.write(
+                        protocol.encode_message(
+                            protocol.error_response(
+                                "bad_request",
+                                "request line exceeds "
+                                f"{protocol.MAX_LINE_BYTES} bytes",
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    break
+                except (ConnectionResetError, OSError):
+                    break
+                if not line:
+                    break  # EOF — client went away; its queries live on
+                if not line.strip():
+                    continue
+                response = await self._handle_message(line)
+                try:
+                    writer.write(protocol.encode_message(response))
+                    await writer.drain()
+                except (ConnectionResetError, OSError):
+                    break
+        finally:
+            self._connections.discard(writer)
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _handle_message(self, line: bytes) -> dict:
+        try:
+            message = protocol.decode_message(line)
+        except ProtocolError as error:
+            METRICS.counter("serve.bad_requests").inc()
+            return protocol.error_response("bad_request", str(error))
+        op = message["op"]
+        try:
+            if op == "submit":
+                return self._op_submit(message)
+            if op == "poll":
+                return await self._op_poll(message)
+            if op == "cancel":
+                return self._op_cancel(message)
+            if op == "stats":
+                return self._op_stats()
+            if op == "ping":
+                return {
+                    "ok": True,
+                    "protocol": protocol.PROTOCOL_VERSION,
+                    "draining": self._draining,
+                }
+            if op == "drain":
+                if not self.config.allow_remote_drain:
+                    return protocol.error_response(
+                        "unsupported_op",
+                        "remote drain is disabled on this server",
+                    )
+                return await self.drain(message.get("budget_seconds"))
+            return protocol.error_response(
+                "unsupported_op", f"unknown op {op!r}"
+            )
+        except Exception as error:  # a handler bug must not kill the loop
+            logger.exception("internal error handling op %r", op)
+            return protocol.error_response(
+                "internal", f"{type(error).__name__}: {error}"
+            )
+
+
+class ServerThread:
+    """Host an :class:`AQPServer` on a dedicated event-loop thread.
+
+    The test suite, the chaos harness, and the benchmark all need a
+    real listening server without committing their own process to
+    asyncio; this wrapper owns the loop thread and forwards lifecycle
+    calls with ``run_coroutine_threadsafe``.
+    """
+
+    def __init__(self, governor, config: ServeConfig | None = None):
+        self.server = AQPServer(governor, config)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread = None
+
+    def start(self, timeout: float = 10.0) -> tuple[str, int]:
+        import threading
+
+        ready = threading.Event()
+        failure: list[BaseException] = []
+
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            try:
+                loop.run_until_complete(self.server.start())
+            except BaseException as error:  # startup failed
+                failure.append(error)
+                ready.set()
+                return
+            ready.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.close()
+
+        import threading as _threading
+
+        self._thread = _threading.Thread(
+            target=run, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        if not ready.wait(timeout):
+            raise RuntimeError("server failed to start within the timeout")
+        if failure:
+            raise failure[0]
+        return (self.server.config.host, self.server.port)
+
+    def drain(self, budget_seconds: float | None = None) -> dict:
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.drain(budget_seconds), self._loop
+        )
+        return future.result()
+
+    def stop(self, drain_budget_seconds: float | None = None) -> None:
+        if self._loop is None or not self._thread.is_alive():
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.stop(drain_budget_seconds), self._loop
+        )
+        future.result()
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+        self._loop = None

@@ -1,0 +1,225 @@
+"""Per-tenant admission state: quotas, rate windows, weighted fairness.
+
+One flooding tenant must not starve the others.  Three mechanisms
+compose, checked in order at submit time and at dispatch time:
+
+* **Sliding-window rate limit** — each tenant may *submit* at most
+  ``rate_limit`` queries per ``rate_window_seconds``; beyond that the
+  submission is rejected with ``reason="rate_limited"`` and a
+  retry-after equal to the instant the oldest admission leaves the
+  window (the cheapest possible backpressure: the client learns
+  exactly when trying again can work).
+* **Concurrency cap** — at most ``max_in_flight`` accepted-but-
+  unresolved queries per tenant (queued + running together), so a
+  burst inside the rate window still cannot occupy the whole global
+  queue.
+* **Weighted fair queueing** — accepted queries dispatch in
+  virtual-finish-time order: tenant *t*'s ``k``-th query finishes (in
+  virtual time) ``1/weight_t`` after its ``k-1``-th, so over any busy
+  interval each tenant receives service proportional to its weight
+  regardless of how many requests it stuffs into the queue.  This is
+  the classic WFQ approximation (start-time fair queueing with unit
+  cost); with equal weights it degenerates to round-robin across
+  tenants, never FIFO across a flood.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Optional
+
+__all__ = ["FairQueue", "TenantConfig", "TenantState"]
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """Static per-tenant policy.
+
+    Attributes:
+        name: tenant identifier (also the metrics label).
+        weight: WFQ share; a weight-2 tenant gets twice the dispatch
+            rate of a weight-1 tenant while both are backlogged.
+        max_in_flight: accepted-but-unresolved cap (queued + running).
+        rate_limit: submissions admitted per sliding window, or
+            ``None`` for unlimited.
+        rate_window_seconds: the sliding window length.
+    """
+
+    name: str
+    weight: float = 1.0
+    max_in_flight: int = 8
+    rate_limit: Optional[int] = None
+    rate_window_seconds: float = 1.0
+
+    def __post_init__(self):
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+        if self.max_in_flight < 1:
+            raise ValueError(
+                f"max_in_flight must be >= 1, got {self.max_in_flight}"
+            )
+        if self.rate_limit is not None and self.rate_limit < 1:
+            raise ValueError(
+                f"rate_limit must be >= 1 or None, got {self.rate_limit}"
+            )
+        if self.rate_window_seconds <= 0:
+            raise ValueError(
+                "rate_window_seconds must be positive, got "
+                f"{self.rate_window_seconds}"
+            )
+
+    def for_name(self, name: str) -> "TenantConfig":
+        """This policy re-labelled for a dynamically created tenant."""
+        return replace(self, name=name)
+
+
+@dataclass
+class TenantState:
+    """One tenant's live accounting (event-loop-thread only)."""
+
+    config: TenantConfig
+    clock: Callable[[], float] = time.monotonic
+    in_flight: int = 0
+    submitted: int = 0
+    accepted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    cancelled: int = 0
+    errors: int = 0
+    lost: int = 0
+    shared: int = 0
+    _admits: deque = field(default_factory=deque)
+    #: Virtual finish time of this tenant's most recently enqueued
+    #: query (the WFQ chaining state).
+    last_vft: float = 0.0
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    def rate_retry_after(self, now: Optional[float] = None) -> Optional[float]:
+        """Seconds until a submission could be admitted, or ``None`` if now.
+
+        Does *not* consume a window slot — call :meth:`note_admitted`
+        once the submission is actually accepted.
+        """
+        limit = self.config.rate_limit
+        if limit is None:
+            return None
+        now = self.clock() if now is None else now
+        window = self.config.rate_window_seconds
+        while self._admits and now - self._admits[0] >= window:
+            self._admits.popleft()
+        if len(self._admits) < limit:
+            return None
+        return max(0.0, window - (now - self._admits[0]))
+
+    def note_admitted(self, now: Optional[float] = None) -> None:
+        now = self.clock() if now is None else now
+        if self.config.rate_limit is not None:
+            self._admits.append(now)
+        self.accepted += 1
+        self.in_flight += 1
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "weight": self.config.weight,
+            "max_in_flight": self.config.max_in_flight,
+            "rate_limit": self.config.rate_limit,
+            "in_flight": self.in_flight,
+            "submitted": self.submitted,
+            "accepted": self.accepted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "cancelled": self.cancelled,
+            "errors": self.errors,
+            "lost": self.lost,
+            "shared": self.shared,
+        }
+
+
+class FairQueue:
+    """Virtual-finish-time weighted fair queue over per-tenant FIFOs.
+
+    Entries are any objects with a writable ``vft`` attribute and a
+    ``tenant`` attribute naming their tenant.  All operations are
+    O(#tenants) or better — the serving tier has few tenants and
+    possibly deep FIFOs, so per-tenant deques with a linear scan over
+    heads beats a global heap that would need lazy-deletion bookkeeping.
+    """
+
+    def __init__(self) -> None:
+        self._fifos: dict[str, deque] = {}
+        self._vtime = 0.0
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def depth(self, tenant: str) -> int:
+        fifo = self._fifos.get(tenant)
+        return 0 if fifo is None else len(fifo)
+
+    def depths(self) -> dict[str, int]:
+        return {
+            name: len(fifo) for name, fifo in self._fifos.items() if fifo
+        }
+
+    def push(self, tenant: TenantState, entry: Any) -> None:
+        """Enqueue, stamping the entry's virtual finish time."""
+        start = max(self._vtime, tenant.last_vft)
+        entry.vft = start + 1.0 / tenant.config.weight
+        tenant.last_vft = entry.vft
+        self._fifos.setdefault(tenant.name, deque()).append(entry)
+        self._size += 1
+
+    def push_front(self, entry: Any) -> None:
+        """Re-enqueue at the head, keeping the original virtual stamp.
+
+        Used when a shared batch's leader fails and its followers are
+        retried individually: they already waited their fair turn, so
+        they go back first in line rather than to the tail.
+        """
+        self._fifos.setdefault(entry.tenant, deque()).appendleft(entry)
+        self._size += 1
+
+    def pop(self) -> Optional[Any]:
+        """Dequeue the entry with the smallest head virtual finish time."""
+        best_name = None
+        best_entry = None
+        for name, fifo in self._fifos.items():
+            if not fifo:
+                continue
+            head = fifo[0]
+            if best_entry is None or head.vft < best_entry.vft:
+                best_name = name
+                best_entry = head
+        if best_entry is None:
+            return None
+        self._fifos[best_name].popleft()
+        self._size -= 1
+        self._vtime = max(self._vtime, best_entry.vft)
+        return best_entry
+
+    def remove(self, entry: Any) -> bool:
+        """Drop one entry (cancelled / expired while queued)."""
+        fifo = self._fifos.get(entry.tenant)
+        if not fifo:
+            return False
+        try:
+            fifo.remove(entry)
+        except ValueError:
+            return False
+        self._size -= 1
+        return True
+
+    def drain_all(self) -> list[Any]:
+        """Empty every FIFO and return the entries (drain path)."""
+        entries: list[Any] = []
+        for fifo in self._fifos.values():
+            entries.extend(fifo)
+            fifo.clear()
+        self._size = 0
+        return entries

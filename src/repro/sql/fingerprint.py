@@ -134,3 +134,36 @@ def fingerprint_statement(statement: ast.SelectStatement) -> QueryFingerprint:
 def canonical_sql(statement: ast.SelectStatement) -> str:
     """Canonical rendering with literals inline (whitespace/case folded)."""
     return statement.to_sql()
+
+
+@lru_cache(maxsize=2048)
+def fingerprint_sql(sql: str) -> QueryFingerprint:
+    """Fingerprint raw SQL text (parse + :func:`fingerprint_statement`).
+
+    The serving tier's cross-query sharing keys on this: two
+    concurrently admitted requests whose fingerprints agree on *both*
+    shape and bindings ask for byte-identical work, so one execution
+    can honestly answer all of them.  Cached on the raw text because
+    dashboard clients resubmit identical strings.
+
+    Raises the usual :class:`~repro.errors.SqlError` subtypes on
+    malformed input — callers that only want an opportunistic share key
+    should catch those and fall back to no sharing.
+    """
+    from repro.sql.parser import parse_select
+
+    return fingerprint_statement(parse_select(sql))
+
+
+def share_key(sql: str) -> Optional[tuple[str, tuple[Any, ...]]]:
+    """The (shape, bindings) identity used to batch identical queries.
+
+    ``None`` when the SQL does not parse (the submission will fail in
+    the engine with a typed error anyway) — sharing is an optimisation
+    and must never introduce a new failure mode.
+    """
+    try:
+        fingerprint = fingerprint_sql(sql)
+    except Exception:
+        return None
+    return (fingerprint.shape, fingerprint.bindings)

@@ -1,0 +1,840 @@
+"""The serving tier: protocol, journal, fairness, deadlines, drain.
+
+Covers the serving-tier restatement of the honesty contract — **an
+accepted query is never silent** — plus the satellites that ride on it:
+
+* line-protocol framing failures are typed (:class:`ProtocolError`),
+  never crashes;
+* the serving journal survives torn tails, recovers in-flight queries
+  as honest ``lost`` outcomes, and compacts atomically;
+* the weighted fair queue dispatches in virtual-finish-time order and
+  per-tenant rate windows compute exact retry-afters;
+* client deadlines propagate end to end (clock-skew clamped), and a
+  deadline that expires *while queued* is a typed rejection — the
+  query never executes;
+* Ctrl-C / client cancel of a queued query removes it cleanly;
+* identical concurrent queries share one execution with bit-identical
+  fan-out, and a leader failure is isolated from its followers;
+* graceful drain finishes in-flight work bit-identically, rejects
+  queued work with a retry-after, and leaks nothing (no shm segments,
+  no reservations, no staging orphans) across a restart;
+* the governor's admission queue distinguishes deadline expiry from
+  explicit cancel, each typed, neither feeding the breaker.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import socket
+import threading
+import time
+import types
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import AQPEngine, EngineConfig
+from repro.engine.table import Table
+from repro.errors import (
+    AdmissionRejectedError,
+    ProtocolError,
+    QueryCancelledError,
+)
+from repro.governor import CancelToken, GovernorConfig, QueryGovernor
+from repro.obs.metrics import METRICS
+from repro.parallel.shm import SEGMENT_PREFIX
+from repro.serve import (
+    AQPServer,
+    ServeClient,
+    ServeConfig,
+    ServerThread,
+    ServingJournal,
+    TenantConfig,
+)
+from repro.serve import protocol
+from repro.serve.client import RemoteQueryError
+from repro.serve.tenants import FairQueue, TenantState
+from repro.sql.fingerprint import share_key
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+def _make_engine(seed: int = 7) -> AQPEngine:
+    rng = np.random.default_rng(99)
+    engine = AQPEngine(
+        config=EngineConfig(tracing=False, run_diagnostics=False), seed=seed
+    )
+    engine.register_table(
+        "t",
+        Table(
+            {
+                "x": rng.lognormal(3.0, 1.0, 4000),
+                "g": rng.integers(0, 3, 4000).astype(np.float64),
+            }
+        ),
+    )
+    engine.create_sample("t", size=1500)
+    return engine
+
+
+class _FakeValue:
+    def __init__(self, name="v", estimate=1.0):
+        self.name = name
+        self.estimate = estimate
+        self.interval = None
+        self.method = "stub"
+        self.fell_back = False
+        self.fallback_reason = ""
+
+
+class _FakeRow:
+    def __init__(self):
+        self.group = {}
+        self.values = {"v": _FakeValue()}
+
+
+class _FakeResult:
+    def __init__(self):
+        self.rows = [_FakeRow()]
+        self.sample = None
+        self.elapsed_seconds = 0.0
+        self.degraded = False
+        self.execution_report = None
+        self.catalog_route = None
+
+
+class _StubEngine:
+    """A controllable engine: ``sleep:X`` blocks X seconds (cancellable),
+    ``fail`` raises, anything else returns instantly."""
+
+    def __init__(self):
+        self.config = types.SimpleNamespace(memory_wait_seconds=0.2)
+        self.memory = None
+
+    def execute(self, sql, cancel=None, degradation=None, **kwargs):
+        if sql.startswith("sleep:"):
+            seconds = float(sql.split(":", 1)[1])
+            deadline = time.monotonic() + seconds
+            while time.monotonic() < deadline:
+                if cancel is not None:
+                    cancel.check()
+                time.sleep(0.01)
+        if sql == "fail":
+            raise ValueError("stub failure")
+        return _FakeResult()
+
+    def close(self):
+        pass
+
+
+def _stub_server(
+    config: ServeConfig | None = None, max_concurrency: int = 1
+) -> ServerThread:
+    governor = QueryGovernor(
+        _StubEngine, GovernorConfig(max_concurrency=max_concurrency)
+    )
+    return ServerThread(governor, config or ServeConfig())
+
+
+def _counter(name: str) -> float:
+    return METRICS.counter(name).value
+
+
+# ---------------------------------------------------------------------------
+# Protocol
+# ---------------------------------------------------------------------------
+class TestProtocol:
+    def test_roundtrip(self):
+        message = {"op": "ping", "n": 1}
+        assert protocol.decode_message(
+            protocol.encode_message(message)
+        ) == message
+
+    def test_oversized_line_is_typed(self):
+        with pytest.raises(ProtocolError, match="cap"):
+            protocol.decode_message(
+                b'{"op":"submit","sql":"'
+                + b"x" * protocol.MAX_LINE_BYTES
+                + b'"}'
+            )
+
+    def test_bad_json_is_typed(self):
+        with pytest.raises(ProtocolError, match="JSON"):
+            protocol.decode_message(b"{nope}")
+
+    def test_missing_op_is_typed(self):
+        with pytest.raises(ProtocolError, match="op"):
+            protocol.decode_message(b'{"sql":"SELECT 1"}')
+        with pytest.raises(ProtocolError, match="object"):
+            protocol.decode_message(b'[1,2]')
+
+    def test_rejection_response_shape(self):
+        response = protocol.rejection_response("rate_limited", "slow down", 1.5)
+        assert response["ok"] is False
+        assert response["error"] == "admission_rejected"
+        assert response["reason"] == "rate_limited"
+        assert response["retry_after_seconds"] == 1.5
+
+
+# ---------------------------------------------------------------------------
+# Journal
+# ---------------------------------------------------------------------------
+class TestJournal:
+    def test_recover_folds_terminal_states(self, tmp_path):
+        journal = ServingJournal(tmp_path)
+        journal.record("q1", "accepted", tenant="a")
+        journal.record("q1", "running", tenant="a")
+        journal.record("q1", "done", tenant="a")
+        journal.record("q2", "accepted", tenant="b")
+        journal.record("q3", "accepted", tenant="a")
+        journal.record("q3", "running", tenant="a")
+        journal.close()
+        open_entries = ServingJournal(tmp_path).recover()
+        assert set(open_entries) == {"q2", "q3"}
+        assert open_entries["q3"]["state"] == "running"
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        journal = ServingJournal(tmp_path)
+        journal.record("q1", "accepted", tenant="a")
+        journal.record("q2", "accepted", tenant="a")
+        journal.close()
+        path = tmp_path / "serving_journal.jsonl"
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-7])  # tear the final record mid-JSON
+        open_entries = ServingJournal(tmp_path).recover()
+        assert set(open_entries) == {"q1"}
+
+    def test_compact_is_atomic_and_keeps_open(self, tmp_path):
+        journal = ServingJournal(tmp_path)
+        for i in range(20):
+            journal.record(f"q{i}", "accepted", tenant="a")
+            journal.record(f"q{i}", "done", tenant="a")
+        journal.record("live", "running", tenant="a")
+        journal.compact({"live": {"id": "live", "state": "running"}})
+        journal.close()
+        open_entries = ServingJournal(tmp_path).recover()
+        assert set(open_entries) == {"live"}
+        assert list((tmp_path / "staging").iterdir()) == []
+
+
+# ---------------------------------------------------------------------------
+# Tenants: rate windows and weighted fair queueing
+# ---------------------------------------------------------------------------
+class TestTenants:
+    def test_rate_window_exact_retry_after(self):
+        clock = [100.0]
+        tenant = TenantState(
+            config=TenantConfig("a", rate_limit=2, rate_window_seconds=1.0),
+            clock=lambda: clock[0],
+        )
+        assert tenant.rate_retry_after() is None
+        tenant.note_admitted()
+        tenant.note_admitted()
+        wait = tenant.rate_retry_after()
+        assert wait == pytest.approx(1.0)
+        clock[0] += 0.6
+        assert tenant.rate_retry_after() == pytest.approx(0.4)
+        clock[0] += 0.5  # the oldest admission leaves the window
+        assert tenant.rate_retry_after() is None
+
+    def test_wfq_weight_proportional_dispatch(self):
+        queue = FairQueue()
+        heavy = TenantState(config=TenantConfig("heavy", weight=2.0))
+        light = TenantState(config=TenantConfig("light", weight=1.0))
+
+        def entry(tenant):
+            return types.SimpleNamespace(tenant=tenant.name, vft=0.0)
+
+        for _ in range(4):
+            queue.push(heavy, entry(heavy))
+        for _ in range(4):
+            queue.push(light, entry(light))
+        order = [queue.pop().tenant for _ in range(6)]
+        # Over any prefix, the weight-2 tenant gets ~2x the service.
+        assert order.count("heavy") >= 2 * order.count("light") - 1
+        assert order[0] == "heavy"
+
+    def test_push_front_keeps_position(self):
+        queue = FairQueue()
+        tenant = TenantState(config=TenantConfig("a"))
+        first = types.SimpleNamespace(tenant="a", vft=0.0)
+        second = types.SimpleNamespace(tenant="a", vft=0.0)
+        queue.push(tenant, first)
+        queue.push(tenant, second)
+        popped = queue.pop()
+        assert popped is first
+        queue.push_front(popped)
+        assert queue.pop() is first
+
+    def test_share_key_identical_only(self):
+        a = share_key("SELECT AVG(x) FROM t WHERE g = 1")
+        b = share_key("SELECT AVG(x)  FROM t WHERE g = 1")
+        c = share_key("SELECT AVG(x) FROM t WHERE g = 2")
+        assert a is not None and a == b
+        assert a != c  # different bindings are different answers
+        assert share_key("not sql at all") is None
+
+
+# ---------------------------------------------------------------------------
+# Server end-to-end (stub engine: deterministic timing)
+# ---------------------------------------------------------------------------
+class TestServerLifecycle:
+    def test_submit_poll_done(self):
+        server = _stub_server()
+        try:
+            host, port = server.start()
+            with ServeClient(host, port) as client:
+                assert client.ping()["ok"]
+                query_id = client.submit("quick", deadline_seconds=10.0)
+                payload = client.wait(query_id, timeout=10.0)
+                assert payload["state"] == "done"
+                values = payload["result"]["rows"][0]["values"]
+                assert values[0]["estimate"] == 1.0
+        finally:
+            server.stop()
+
+    def test_unknown_query_and_bad_requests(self):
+        server = _stub_server()
+        try:
+            host, port = server.start()
+            with ServeClient(host, port) as client:
+                with pytest.raises(ProtocolError, match="unknown_query"):
+                    client.poll("nope")
+                response = client.request({"op": "submit"})
+                assert response["error"] == "bad_request"
+                response = client.request({"op": "wat"})
+                assert response["error"] == "unsupported_op"
+            # Raw garbage on the wire: typed response, server survives.
+            sock = socket.create_connection((host, port), timeout=5.0)
+            sock.sendall(b"this is not json\n")
+            reply = json.loads(sock.makefile("rb").readline())
+            assert reply["error"] == "bad_request"
+            sock.close()
+            with ServeClient(host, port) as client:
+                assert client.ping()["ok"]
+        finally:
+            server.stop()
+
+    def test_error_query_is_typed_and_recoverable(self):
+        server = _stub_server()
+        try:
+            host, port = server.start()
+            with ServeClient(host, port) as client:
+                query_id = client.submit("fail")
+                payload = client.wait(query_id, timeout=10.0)
+                assert payload["state"] == "error"
+                assert "stub failure" in payload["message"]
+        finally:
+            server.stop()
+
+    def test_client_disconnect_does_not_lose_the_query(self):
+        server = _stub_server()
+        try:
+            host, port = server.start()
+            first = ServeClient(host, port)
+            query_id = first.submit("sleep:0.3")
+            first.close()  # disconnect mid-flight
+            with ServeClient(host, port) as second:
+                payload = second.wait(query_id, timeout=10.0)
+                assert payload["state"] == "done"
+        finally:
+            server.stop()
+
+
+class TestDeadlines:
+    def test_expired_on_arrival_is_typed(self):
+        server = _stub_server()
+        try:
+            host, port = server.start()
+            with ServeClient(host, port) as client:
+                with pytest.raises(AdmissionRejectedError) as excinfo:
+                    client.submit("quick", deadline_seconds=-1.0)
+                assert excinfo.value.reason == "deadline_expired"
+                # Absolute deadlines beyond any plausible skew likewise.
+                with pytest.raises(AdmissionRejectedError) as excinfo:
+                    client.submit(
+                        "quick", deadline_unix=time.time() - 10_000.0
+                    )
+                assert excinfo.value.reason == "deadline_expired"
+        finally:
+            server.stop()
+
+    def test_absolute_deadline_is_skew_clamped(self):
+        config = ServeConfig(max_deadline_seconds=5.0)
+        server = _stub_server(config)
+        try:
+            host, port = server.start()
+            with ServeClient(host, port) as client:
+                # A clock running a year ahead is clamped to the horizon,
+                # not granted an unsheddable deadline.
+                query_id = client.submit(
+                    "quick", deadline_unix=time.time() + 3.0e7
+                )
+                record = server.server._records[query_id]
+                assert record.deadline_seconds <= 5.0
+        finally:
+            server.stop()
+
+    def test_queued_deadline_expiry_is_typed_and_never_executes(self):
+        before = _counter("serve.queue_deadline_expired")
+        server = _stub_server(ServeConfig(sweep_interval_seconds=0.05))
+        try:
+            host, port = server.start()
+            with ServeClient(host, port) as client:
+                blocker = client.submit("sleep:1.5")
+                doomed = client.submit("quick", deadline_seconds=0.2)
+                payload = client.wait(doomed, timeout=10.0)
+                assert payload["state"] == "rejected"
+                assert payload["reason"] == "queue_deadline_expired"
+                assert "never executed" in payload["message"]
+                assert client.wait(blocker, timeout=10.0)["state"] == "done"
+        finally:
+            server.stop()
+        assert _counter("serve.queue_deadline_expired") > before
+
+
+class TestQuotasAndFairness:
+    def test_rate_limit_rejects_with_retry_after(self):
+        config = ServeConfig(
+            tenants={
+                "a": TenantConfig(
+                    "a", rate_limit=2, rate_window_seconds=5.0
+                )
+            },
+            allow_dynamic_tenants=False,
+        )
+        server = _stub_server(config)
+        try:
+            host, port = server.start()
+            with ServeClient(host, port, tenant="a") as client:
+                client.submit("sleep:0.2")
+                client.submit("sleep:0.2")
+                with pytest.raises(AdmissionRejectedError) as excinfo:
+                    client.submit("quick")
+                assert excinfo.value.reason == "rate_limited"
+                assert 0 < excinfo.value.retry_after_seconds <= 5.0
+                with pytest.raises(ProtocolError, match="unknown tenant"):
+                    ServeClient(host, port, tenant="b").submit("quick")
+        finally:
+            server.stop()
+
+    def test_tenant_concurrency_cap(self):
+        config = ServeConfig(
+            tenants={"a": TenantConfig("a", max_in_flight=1)}
+        )
+        server = _stub_server(config)
+        try:
+            host, port = server.start()
+            with ServeClient(host, port, tenant="a") as client:
+                first = client.submit("sleep:0.5")
+                with pytest.raises(AdmissionRejectedError) as excinfo:
+                    client.submit("quick")
+                assert excinfo.value.reason == "tenant_concurrency"
+                assert excinfo.value.retry_after_seconds > 0
+                assert client.wait(first, timeout=10.0)["state"] == "done"
+        finally:
+            server.stop()
+
+    def test_queue_full_is_typed(self):
+        config = ServeConfig(max_queue_depth=1)
+        server = _stub_server(config)
+        try:
+            host, port = server.start()
+            with ServeClient(host, port) as client:
+                client.submit("sleep:0.5")  # occupies the one slot
+                client.submit("quick")  # fills the queue
+                with pytest.raises(AdmissionRejectedError) as excinfo:
+                    client.submit("quick")
+                assert excinfo.value.reason == "queue_full"
+        finally:
+            server.stop()
+
+    def test_wfq_interleaves_a_backlogged_tenant(self):
+        """With a flooder backlog queued ahead of it, a second tenant's
+        single query still dispatches next by virtual finish time."""
+        server = _stub_server(ServeConfig())
+        try:
+            host, port = server.start()
+            flooder = ServeClient(host, port, tenant="flood")
+            patient = ServeClient(host, port, tenant="patient")
+            ids = [flooder.submit("sleep:0.15") for _ in range(4)]
+            lone = patient.submit("quick")
+            order = server.server
+            payload = patient.wait(lone, timeout=10.0)
+            assert payload["state"] == "done"
+            # The lone query finished before the flooder's tail.
+            tail = flooder.wait(ids[-1], timeout=10.0)
+            assert tail["state"] == "done"
+            lone_done = order._records[lone].finished_at
+            tail_done = order._records[ids[-1]].finished_at
+            assert lone_done < tail_done
+            flooder.close()
+            patient.close()
+        finally:
+            server.stop()
+
+
+class TestCancel:
+    def test_cancel_while_queued_never_executes(self):
+        before = _counter("serve.queue_cancelled")
+        server = _stub_server()
+        try:
+            host, port = server.start()
+            with ServeClient(host, port) as client:
+                blocker = client.submit("sleep:0.5")
+                queued = client.submit("quick")
+                payload = client.cancel(queued)
+                assert payload["state"] == "cancelled"
+                assert "never executed" in payload["message"]
+                assert client.wait(blocker, timeout=10.0)["state"] == "done"
+        finally:
+            server.stop()
+        assert _counter("serve.queue_cancelled") > before
+
+    def test_cancel_while_running_is_cooperative(self):
+        server = _stub_server()
+        try:
+            host, port = server.start()
+            with ServeClient(host, port) as client:
+                query_id = client.submit("sleep:5.0")
+                time.sleep(0.1)  # let it start
+                response = client.cancel(query_id)
+                assert response.get("cancelling") or (
+                    response.get("state") == "cancelled"
+                )
+                payload = client.wait(query_id, timeout=10.0)
+                assert payload["state"] == "cancelled"
+        finally:
+            server.stop()
+
+    def test_client_run_cancels_on_keyboard_interrupt(self, monkeypatch):
+        server = _stub_server()
+        try:
+            host, port = server.start()
+            client = ServeClient(host, port)
+            blocker = client.submit("sleep:0.6")
+            submitted: list[str] = []
+            original = ServeClient.submit
+
+            def capture(self, *args, **kwargs):
+                query_id = original(self, *args, **kwargs)
+                submitted.append(query_id)
+                return query_id
+
+            monkeypatch.setattr(ServeClient, "submit", capture)
+
+            def interrupting_wait(self, query_id, **kwargs):
+                raise KeyboardInterrupt
+
+            monkeypatch.setattr(ServeClient, "wait", interrupting_wait)
+            with pytest.raises(KeyboardInterrupt):
+                client.run("quick")
+            # The Ctrl-C sent a protocol cancel: the queued query is
+            # terminal-cancelled server-side, never executed.
+            monkeypatch.undo()
+            payload = client.poll(submitted[0])
+            assert payload["state"] == "cancelled"
+            assert client.wait(blocker, timeout=10.0)["state"] == "done"
+            client.close()
+        finally:
+            server.stop()
+
+
+class TestSharing:
+    def test_identical_queries_share_one_execution(self):
+        engine = _make_engine()
+        governor = QueryGovernor(engine, GovernorConfig(max_concurrency=1))
+        server = ServerThread(governor, ServeConfig())
+        sql = "SELECT AVG(x) FROM t WHERE g = 1"
+        try:
+            host, port = server.start()
+            with ServeClient(host, port) as client:
+                ids = [client.submit(sql) for _ in range(4)]
+                payloads = [client.wait(i, timeout=30.0) for i in ids]
+            assert all(p["state"] == "done" for p in payloads)
+            estimates = {
+                p["result"]["rows"][0]["values"][0]["estimate"]
+                for p in payloads
+            }
+            assert len(estimates) == 1  # bit-identical fan-out
+            assert any(
+                (p["result"] or {}).get("shared") for p in payloads[1:]
+            )
+        finally:
+            server.stop()
+            governor.close()
+
+    def test_different_bindings_never_share(self):
+        server = _stub_server()
+        try:
+            host, port = server.start()
+            with ServeClient(host, port) as client:
+                # Unparseable SQL has no share key: each runs alone.
+                ids = [client.submit("sleep:0.05") for _ in range(3)]
+                payloads = [client.wait(i, timeout=10.0) for i in ids]
+            assert all(p["state"] == "done" for p in payloads)
+            assert not any(
+                (p["result"] or {}).get("shared") for p in payloads
+            )
+        finally:
+            server.stop()
+
+    def test_leader_failure_is_isolated_from_followers(self):
+        """Followers of a failed leader retry individually and honestly."""
+        sql = "SELECT AVG(x) FROM t"
+
+        class _FlakyEngine(_StubEngine):
+            calls = []
+
+            def execute(self, sql_text, cancel=None, degradation=None, **kw):
+                if sql_text == "block":
+                    time.sleep(0.3)  # hold the slot so followers queue
+                    return _FakeResult()
+                _FlakyEngine.calls.append(sql_text)
+                if len(_FlakyEngine.calls) == 1:
+                    raise ValueError("leader croaked")
+                return _FakeResult()
+
+        _FlakyEngine.calls = []
+        governor = QueryGovernor(
+            _FlakyEngine, GovernorConfig(max_concurrency=1)
+        )
+        # The share SQL parses (so sharing engages) but the stub engine
+        # fails its first call — exactly one leader fails.
+        server = ServerThread(governor, ServeConfig())
+        try:
+            host, port = server.start()
+            with ServeClient(host, port) as client:
+                # Occupy the single slot so the three identical queries
+                # are all queued together and batch under one leader.
+                blocker = client.submit("block")
+                ids = [client.submit(sql) for _ in range(3)]
+                payloads = [client.wait(i, timeout=30.0) for i in ids]
+                assert client.wait(blocker, timeout=10.0)["state"] == "done"
+            states = sorted(p["state"] for p in payloads)
+            assert states.count("error") == 1  # only the leader
+            assert states.count("done") == 2  # followers retried solo
+            assert len(_FlakyEngine.calls) == 3  # 1 leader + 2 retries
+        finally:
+            server.stop()
+            governor.close()
+
+
+# ---------------------------------------------------------------------------
+# Graceful drain and crash-consistent restarts
+# ---------------------------------------------------------------------------
+class TestDrainAndRestart:
+    def test_drain_finishes_in_flight_bit_identically(self, tmp_path):
+        engine = _make_engine(seed=7)
+        baseline = engine.execute("SELECT AVG(x) FROM t")
+        base_estimate = next(
+            iter(baseline.rows[0].values.values())
+        ).estimate
+        engine.close()
+
+        def slow_factory():
+            # The real engine answers in milliseconds; pad execution so
+            # the first query is genuinely in flight when drain fires.
+            slowed = _make_engine(seed=7)
+            original = slowed.execute
+
+            def delayed(sql, **kwargs):
+                time.sleep(0.5)
+                return original(sql, **kwargs)
+
+            slowed.execute = delayed
+            return slowed
+
+        governor = QueryGovernor(
+            slow_factory, GovernorConfig(max_concurrency=1)
+        )
+        server = ServerThread(
+            governor, ServeConfig(journal_dir=str(tmp_path / "journal"))
+        )
+        try:
+            host, port = server.start()
+            client = ServeClient(host, port)
+            running = client.submit("SELECT AVG(x) FROM t")
+            queued = client.submit("SELECT SUM(x) FROM t WHERE g = 2")
+            time.sleep(0.2)  # let the dispatcher start the first query
+            summary = server.drain(budget_seconds=30.0)
+            assert summary["ok"]
+            # In-flight finished inside the budget, bit-identical.
+            payload = client.poll(running)
+            assert payload["state"] == "done"
+            estimate = payload["result"]["rows"][0]["values"][0]["estimate"]
+            assert estimate == base_estimate
+            # Queued was rejected, typed, with a retry-after.
+            payload = client.poll(queued)
+            assert payload["state"] == "rejected"
+            assert payload["reason"] == "draining"
+            assert payload["retry_after_seconds"] is not None
+            # New submissions are refused while draining.
+            with pytest.raises(AdmissionRejectedError) as excinfo:
+                client.submit("SELECT AVG(x) FROM t")
+            assert excinfo.value.reason == "draining"
+            client.close()
+        finally:
+            server.stop()
+            governor.close()
+        # Nothing leaked: reservations, shm segments, staging files.
+        assert governor.memory.used_bytes == 0
+        own = glob.glob(f"/dev/shm/{SEGMENT_PREFIX}_{os.getpid()}_*")
+        assert own == []
+        staging = tmp_path / "journal" / "staging"
+        assert list(staging.iterdir()) == []
+
+    def test_drain_past_budget_cancels_honestly(self):
+        server = _stub_server()
+        try:
+            host, port = server.start()
+            client = ServeClient(host, port)
+            slow = client.submit("sleep:30")
+            time.sleep(0.1)  # ensure it is running
+            summary = server.drain(budget_seconds=0.2)
+            assert summary["cancelled_in_flight"] == 1
+            payload = client.poll(slow)
+            assert payload["state"] == "cancelled"
+            assert "draining" in payload["message"]
+            client.close()
+        finally:
+            server.stop()
+
+    def test_restart_reports_in_flight_as_lost(self, tmp_path):
+        """A crash (no drain) must yield honest ``lost`` outcomes, not
+        silence or ``unknown_query``."""
+        journal_dir = str(tmp_path / "journal")
+        # Simulate the crash by writing the journal a dead server would
+        # leave behind: accepted and running entries, no terminal.
+        journal = ServingJournal(journal_dir)
+        journal.record("qrun", "running", tenant="a", sql="SELECT 1")
+        journal.record("qacc", "accepted", tenant="b", sql="SELECT 2")
+        journal.close()
+
+        server = _stub_server(ServeConfig(journal_dir=journal_dir))
+        try:
+            host, port = server.start()
+            assert server.server.recovered_lost == 2
+            with ServeClient(host, port) as client:
+                for query_id in ("qrun", "qacc"):
+                    payload = client.poll(query_id)
+                    assert payload["state"] == "lost"
+                    assert payload["reason"] == "server_restart"
+                # The new generation serves normally.
+                fresh = client.submit("quick")
+                assert client.wait(fresh, timeout=10.0)["state"] == "done"
+        finally:
+            server.stop()
+        # Recovery compacted: a second restart sees nothing open.
+        assert ServingJournal(journal_dir).recover() == {}
+
+
+# ---------------------------------------------------------------------------
+# Governor satellites: typed queue outcomes
+# ---------------------------------------------------------------------------
+class TestGovernorQueueOutcomes:
+    def _occupied_governor(self):
+        governor = QueryGovernor(
+            _StubEngine,
+            GovernorConfig(
+                max_concurrency=1,
+                shed_policy="queue",
+                queue_timeout_seconds=30.0,
+            ),
+        )
+        release = threading.Event()
+        started = threading.Event()
+
+        def hog():
+            class _Blocker(_StubEngine):
+                def execute(self, sql, cancel=None, **kw):
+                    started.set()
+                    release.wait(10.0)
+                    return _FakeResult()
+
+            governor._idle_engines = [_Blocker()]
+            governor.execute("hog")
+
+        thread = threading.Thread(target=hog, daemon=True)
+        thread.start()
+        started.wait(5.0)
+        return governor, release, thread
+
+    def test_queue_deadline_expiry_is_typed_rejection(self):
+        before = _counter("governor.queue_deadline_expired")
+        governor, release, thread = self._occupied_governor()
+        try:
+            token = CancelToken.with_timeout(0.2)
+            with pytest.raises(AdmissionRejectedError) as excinfo:
+                governor.execute("queued", cancel=token)
+            assert excinfo.value.reason == "queue_deadline_expired"
+            assert "never executed" in str(excinfo.value)
+        finally:
+            release.set()
+            thread.join(5.0)
+            governor.close()
+        assert _counter("governor.queue_deadline_expired") > before
+
+    def test_explicit_cancel_while_queued_is_cancellation(self):
+        before = _counter("governor.queue_cancelled")
+        governor, release, thread = self._occupied_governor()
+        try:
+            token = CancelToken()
+            timer = threading.Timer(
+                0.15, token.cancel, args=("interrupted (Ctrl-C)",)
+            )
+            timer.start()
+            with pytest.raises(QueryCancelledError, match="Ctrl-C"):
+                governor.execute("queued", cancel=token)
+        finally:
+            release.set()
+            thread.join(5.0)
+            governor.close()
+        assert _counter("governor.queue_cancelled") > before
+
+    def test_expiry_and_cancel_do_not_feed_the_breaker(self):
+        governor, release, thread = self._occupied_governor()
+        try:
+            fraction_before = governor.breaker.snapshot()[
+                "failure_fraction"
+            ]
+            token = CancelToken.with_timeout(0.15)
+            with pytest.raises(AdmissionRejectedError):
+                governor.execute("queued", cancel=token)
+            assert (
+                governor.breaker.snapshot()["failure_fraction"]
+                <= fraction_before + 1e-9
+            )
+        finally:
+            release.set()
+            thread.join(5.0)
+            governor.close()
+
+
+# ---------------------------------------------------------------------------
+# Deadline propagation into the parallel layer
+# ---------------------------------------------------------------------------
+class TestDeadlinePrecludesRetry:
+    def test_supervision_skips_unaffordable_backoff(self):
+        from repro.parallel.supervise import Supervision
+
+        supervision = Supervision(deadline=time.monotonic() + 0.05)
+        assert supervision.deadline_precludes_retry(1.0)
+        assert not supervision.deadline_precludes_retry(0.0)
+        roomy = Supervision(deadline=time.monotonic() + 60.0)
+        assert not roomy.deadline_precludes_retry(1.0)
+        unbounded = Supervision()
+        assert not unbounded.deadline_precludes_retry(100.0)
+
+    def test_token_deadline_also_precludes(self):
+        from repro.governor.cancel import cancel_scope
+        from repro.parallel.supervise import Supervision
+
+        token = CancelToken(deadline=time.monotonic() + 0.05)
+        with cancel_scope(token):
+            supervision = Supervision()
+            assert supervision.deadline_precludes_retry(1.0)
