@@ -47,6 +47,8 @@ bench-smoke:
 		--compare-out benchmarks/results/bench_smoke_compare.json
 	$(PYTHON) benchmarks/bench_catalog_serving.py --smoke \
 		--out benchmarks/results/catalog_serving.json --check
+	$(PYTHON) benchmarks/bench_bounded_queries.py --smoke \
+		--out benchmarks/results/bounded_queries.json --check
 
 # Calibration-audit smoke: ~1000 audited dashboard queries across
 # cold/exact/partial routes and every degradation level, a seeded

@@ -1,0 +1,313 @@
+"""Bounded-query planner benchmark: Conviva mix under WITHIN contracts.
+
+Replays a Conviva-style query mix — scalar and grouped aggregates with
+rotating predicate literals — at 1 %/2 %/5 % relative-error contracts
+against two engines over the same table, sample, and seed:
+
+* **planner** — the pilot-based planner sizes each execution to the
+  minimal (fraction, K) predicted to meet the bound;
+* **fixed** — the planner disabled (``REPRO_PLANNER=off`` equivalent):
+  the WITHIN bound degrades to the legacy fixed-budget error gate over
+  the full sample, diagnostics and all.
+
+Both engines run with the calibration auditor at ``audit_fraction=1.0``
+(the PR-8 audit path): every answer's intervals are checked against an
+exact recomputation, so *realized coverage* is measured, not assumed.
+Latency is the engine's own ``elapsed_seconds`` (pilot included, audit
+excluded — the audit is observability, not execution).
+
+Queries the planner honestly refuses (``BoundUnachievableError``) are
+counted and excluded from the pairing.  A kill-switch probe asserts
+that ``planner=False`` WITHIN execution is bit-identical to the legacy
+``error_bound`` path.
+
+With ``--check`` the run fails unless the median per-query speedup is
+≥ 3×, realized coverage of the two engines agrees within ±2 pp, and
+the kill-switch probe is bit-identical.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_bounded_queries.py --smoke \\
+        --out benchmarks/results/bounded_queries.json --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.pipeline import AQPEngine, EngineConfig
+from repro.errors import BoundUnachievableError
+from repro.workloads.datagen import conviva_sessions_table
+
+MIN_MEDIAN_SPEEDUP = 3.0
+MAX_COVERAGE_DELTA = 0.02
+#: Every contract in the mix is stated AT 95% CONFIDENCE.
+NOMINAL_COVERAGE = 0.95
+
+#: Popular literals under the Zipfian generators — filtered subsets
+#: stay large enough that the contracts below are mostly achievable
+#: (infeasible combinations are part of the story: they are counted as
+#: honest refusals, not failures).
+_CITIES = [f"city_{i:02d}" for i in range(8)]
+_ISPS = [f"isp_{i}" for i in range(4)]
+
+
+def build_queries() -> list[str]:
+    """The bounded Conviva mix: 1 %/2 %/5 % contracts."""
+    queries: list[str] = []
+    # 1 % — unfiltered scalars only: tight contracts need the bulk of
+    # the sample, filters would push them straight to refusal.
+    for metric in ("startup_ms", "buffering_ratio"):
+        queries.append(
+            f"SELECT AVG({metric}) FROM media_sessions "
+            "WITHIN 1% AT 95% CONFIDENCE"
+        )
+    # 2 % — unfiltered and lightly filtered scalars.
+    for metric in ("startup_ms", "buffering_ratio", "bitrate"):
+        queries.append(
+            f"SELECT AVG({metric}) FROM media_sessions "
+            "WITHIN 2% AT 95% CONFIDENCE"
+        )
+    for isp in _ISPS:
+        queries.append(
+            f"SELECT AVG(startup_ms) FROM media_sessions "
+            f"WHERE isp = '{isp}' WITHIN 2% AT 95% CONFIDENCE"
+        )
+    # 5 % — filtered scalars across the popular literals, plus the
+    # heavy-tailed metrics.
+    for city in _CITIES:
+        queries.append(
+            f"SELECT AVG(session_time) FROM media_sessions "
+            f"WHERE city = '{city}' WITHIN 5% AT 95% CONFIDENCE"
+        )
+        queries.append(
+            f"SELECT AVG(startup_ms) FROM media_sessions "
+            f"WHERE city = '{city}' WITHIN 5% AT 95% CONFIDENCE"
+        )
+    for isp in _ISPS:
+        queries.append(
+            f"SELECT AVG(buffering_ratio) FROM media_sessions "
+            f"WHERE isp = '{isp}' WITHIN 5% AT 95% CONFIDENCE"
+        )
+        queries.append(
+            f"SELECT SUM(bytes_streamed) FROM media_sessions "
+            f"WHERE isp = '{isp}' WITHIN 5% AT 95% CONFIDENCE"
+        )
+    # Grouped drill-downs: every group must meet the bound (rare groups
+    # ride the per-value gate/escalation/exact machinery).
+    queries.append(
+        "SELECT isp, AVG(startup_ms) FROM media_sessions "
+        "GROUP BY isp WITHIN 5% AT 95% CONFIDENCE"
+    )
+    queries.append(
+        "SELECT bitrate, AVG(session_time) FROM media_sessions "
+        "GROUP BY bitrate WITHIN 5% AT 95% CONFIDENCE"
+    )
+    return queries
+
+
+def build_engine(table, planner: bool, sample_size: int) -> AQPEngine:
+    engine = AQPEngine(
+        config=EngineConfig(
+            catalog=False,
+            planner=planner,
+            audit_fraction=1.0,
+        ),
+        seed=42,
+    )
+    engine.register_table("media_sessions", table)
+    engine.create_sample("media_sessions", size=sample_size, name="bench")
+    return engine
+
+
+def run_mix(engine: AQPEngine, queries: list[str]):
+    """Execute the mix; per-query latency, coverage, and refusals."""
+    latencies: dict[int, float] = {}
+    audited = covered = 0
+    refusals: list[str] = []
+    for index, sql in enumerate(queries):
+        try:
+            result = engine.execute(sql)
+        except BoundUnachievableError:
+            refusals.append(sql)
+            continue
+        latencies[index] = result.elapsed_seconds
+        event = result.event
+        if event is not None and event.audited:
+            audited += int(event.audit.get("audited_values", 0))
+            covered += int(event.audit.get("covered_values", 0))
+    return latencies, audited, covered, refusals
+
+
+def kill_switch_probe(table, sample_size: int) -> bool:
+    """``planner=False`` WITHIN must equal the legacy error_bound path."""
+
+    def snapshot(result):
+        rows = []
+        for row in result.rows:
+            for name, value in row.values.items():
+                interval = value.interval
+                rows.append(
+                    (
+                        tuple(sorted(row.group.items())),
+                        name,
+                        value.estimate,
+                        None
+                        if interval is None
+                        else (interval.lower, interval.upper),
+                    )
+                )
+        return rows
+
+    with build_engine(table, planner=False, sample_size=sample_size) as a:
+        bounded = a.execute(
+            "SELECT AVG(startup_ms) FROM media_sessions WITHIN 2%"
+        )
+    with build_engine(table, planner=False, sample_size=sample_size) as b:
+        legacy = b.execute(
+            "SELECT AVG(startup_ms) FROM media_sessions", error_bound=0.02
+        )
+    return snapshot(bounded) == snapshot(legacy)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrink the table for a seconds-long CI canary run",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, metavar="FILE",
+        help="write the report JSON here",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless median speedup >= 3x, coverage "
+        "agrees within 2pp, and the kill switch is bit-identical",
+    )
+    args = parser.parse_args()
+    num_rows = 120_000 if args.smoke else 300_000
+    sample_size = 40_000 if args.smoke else 80_000
+
+    rng = np.random.default_rng(7)
+    table = conviva_sessions_table(num_rows, rng)
+    queries = build_queries()
+    print(
+        f"bounded Conviva mix: {len(queries)} queries over "
+        f"{num_rows:,} rows (sample {sample_size:,})"
+    )
+
+    with build_engine(table, planner=True, sample_size=sample_size) as engine:
+        planned, p_audited, p_covered, refusals = run_mix(engine, queries)
+    with build_engine(table, planner=False, sample_size=sample_size) as engine:
+        fixed, f_audited, f_covered, _ = run_mix(engine, queries)
+
+    paired = sorted(set(planned) & set(fixed))
+    if not paired:
+        print("no paired executions — every query refused?")
+        return 1
+    ratios = np.array([fixed[i] / planned[i] for i in paired])
+    planner_ms = np.array([planned[i] for i in paired]) * 1e3
+    fixed_ms = np.array([fixed[i] for i in paired]) * 1e3
+    median_speedup = float(np.median(ratios))
+    planner_coverage = p_covered / p_audited if p_audited else float("nan")
+    fixed_coverage = f_covered / f_audited if f_audited else float("nan")
+    coverage_delta = abs(planner_coverage - fixed_coverage)
+    identical = kill_switch_probe(table, sample_size)
+
+    report = {
+        "schema": 1,
+        "mode": "smoke" if args.smoke else "full",
+        "num_rows": num_rows,
+        "sample_size": sample_size,
+        "queries": len(queries),
+        "paired": len(paired),
+        "refusals": len(refusals),
+        "refused_queries": refusals,
+        "median_speedup": round(median_speedup, 2),
+        "p90_speedup": round(float(np.percentile(ratios, 90)), 2),
+        "planner_p50_ms": round(float(np.median(planner_ms)), 3),
+        "fixed_p50_ms": round(float(np.median(fixed_ms)), 3),
+        "planner_coverage": round(planner_coverage, 4),
+        "fixed_coverage": round(fixed_coverage, 4),
+        "coverage_delta": round(coverage_delta, 4),
+        "audited_values": {"planner": p_audited, "fixed": f_audited},
+        "kill_switch_identical": identical,
+    }
+
+    print(
+        f"paired {len(paired)}/{len(queries)} "
+        f"({len(refusals)} honest refusal(s))"
+    )
+    print(
+        f"latency p50 {report['fixed_p50_ms']:.1f}ms -> "
+        f"{report['planner_p50_ms']:.1f}ms "
+        f"(median speedup {median_speedup:.1f}x, "
+        f"p90 {report['p90_speedup']:.1f}x)"
+    )
+    print(
+        f"realized coverage: planner {planner_coverage:.1%} "
+        f"({p_covered}/{p_audited}), fixed {fixed_coverage:.1%} "
+        f"({f_covered}/{f_audited}), delta {coverage_delta:.2%}"
+    )
+    print(f"kill switch bit-identical: {identical}")
+
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.out}")
+
+    if args.check:
+        failures = []
+        if median_speedup < MIN_MEDIAN_SPEEDUP:
+            failures.append(
+                f"median speedup {median_speedup:.2f}x < "
+                f"{MIN_MEDIAN_SPEEDUP:.0f}x"
+            )
+        if not coverage_delta <= MAX_COVERAGE_DELTA:
+            failures.append(
+                f"coverage delta {coverage_delta:.2%} > "
+                f"{MAX_COVERAGE_DELTA:.0%}"
+            )
+        # Nominal-coverage band, widened by two binomial standard
+        # errors at the audited count (the same convention as the
+        # audit-calibration bench): the gate bounds systematic
+        # miscalibration, not sampling noise.  One-sided below
+        # nominal — intervals wider than promised are conservative,
+        # not dishonest.
+        for label, coverage, audited in (
+            ("planner", planner_coverage, p_audited),
+            ("fixed", fixed_coverage, f_audited),
+        ):
+            if not audited:
+                failures.append(f"{label}: no audited values")
+                continue
+            slack = MAX_COVERAGE_DELTA + 2.0 * float(
+                np.sqrt(NOMINAL_COVERAGE * (1 - NOMINAL_COVERAGE) / audited)
+            )
+            if coverage < NOMINAL_COVERAGE - slack:
+                failures.append(
+                    f"{label} realized coverage {coverage:.1%} below "
+                    f"nominal {NOMINAL_COVERAGE:.0%} - {slack:.1%}"
+                )
+        if not identical:
+            failures.append("kill switch is not bit-identical")
+        if failures:
+            print("CHECK FAILED: " + "; ".join(failures))
+            return 1
+        print("check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,9 @@ from repro.core import (
     HoeffdingEstimator,
     true_interval,
 )
+from repro.core.error_control import (
+    required_sample_size as _shared_required_sample_size,
+)
 from repro.workloads import conviva_sessions_table, conviva_workload
 
 from _bench_utils import scaled
@@ -57,10 +60,22 @@ def mean_like_queries(bench_rng):
 
 
 def required_sample_size(half_width_at_probe, estimate, target, probe):
-    """Solve width(n) = target·|estimate| under width ∝ 1/sqrt(n)."""
+    """Solve width(n) = target·|estimate| under width ∝ 1/sqrt(n).
+
+    Thin adapter over the engine's own
+    :func:`repro.core.error_control.required_sample_size` — the same
+    extrapolation the bounded-query planner runs — keeping the figure
+    honest about what production code would choose.  The only local
+    twist: a non-positive probe half-width plots as NaN here (the
+    engine rounds it to "1 row suffices", which would skew quantiles).
+    """
     if half_width_at_probe <= 0:
         return float("nan")
-    return probe * (half_width_at_probe / (abs(estimate) * target)) ** 2
+    return float(
+        _shared_required_sample_size(
+            half_width_at_probe, estimate, probe, target
+        )
+    )
 
 
 def measure_technique(query, estimator, rng):

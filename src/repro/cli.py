@@ -185,6 +185,13 @@ def build_parser() -> argparse.ArgumentParser:
         "recomputes from scratch; same behaviour as REPRO_CATALOG=off)",
     )
     parser.add_argument(
+        "--no-planner",
+        action="store_true",
+        help="disable the pilot-based bounded-query planner (WITHIN "
+        "relative bounds degrade to the legacy fixed-budget error "
+        "gate; same behaviour as REPRO_PLANNER=off)",
+    )
+    parser.add_argument(
         "--audit-fraction",
         type=float,
         default=None,
@@ -609,6 +616,7 @@ def make_engine(args: argparse.Namespace) -> AQPEngine:
             query_deadline_seconds=getattr(args, "deadline", None),
             tracing=not getattr(args, "no_tracing", False),
             catalog=(False if getattr(args, "no_catalog", False) else None),
+            planner=(False if getattr(args, "no_planner", False) else None),
             memory_budget_bytes=getattr(args, "memory_budget", None),
             audit_fraction=getattr(args, "audit_fraction", None),
             event_log_path=getattr(args, "events_out", None),
@@ -649,7 +657,16 @@ def format_result(result: AQPResult) -> str:
     )
     if result.catalog_route is not None:
         lines.append(f"-- route: catalog {result.catalog_route}")
+    if result.plan is not None:
+        lines.append(f"-- plan: {result.plan.summary()}")
     report = result.execution_report
+    if report is not None and report.bound_kind is not None:
+        achieved = report.achieved_bound
+        lines.append(
+            f"-- bound: {report.bound_kind} target "
+            f"{report.bound_target:.4g}, achieved "
+            + ("n/a" if achieved is None else f"{achieved:.4g}")
+        )
     if report is not None and (
         report.degraded
         or report.recovered

@@ -66,6 +66,7 @@ from repro.engine.evaluator import ExpressionEvaluator
 from repro.engine.table import Table
 from repro.errors import (
     AnalysisError,
+    BoundUnachievableError,
     CatalogError,
     DegradedResultWarning,
     EstimationError,
@@ -107,8 +108,17 @@ from repro.catalog.store import (
     resolve_catalog_enabled,
 )
 from repro.plan.executor import QueryExecutor
+from repro.planner import (
+    CostModel,
+    CostPlanner,
+    PilotMeasurement,
+    PilotValue,
+    QueryPlan,
+    resolve_planner_enabled,
+)
 from repro.sampling.catalog import SampleCatalog, SampleInfo
 from repro.sql.analyzer import AnalyzedQuery, analyze
+from repro.sql.ast import WithinClause
 from repro.sql.fingerprint import fingerprint_statement
 from repro.sql.functions import FunctionRegistry, default_function_registry
 from repro.sql.parser import parse_select
@@ -296,6 +306,11 @@ class AQPResult:
     #: calibration auditor sampled the query.  ``None`` when event
     #: logging is disabled.
     event: Optional[QueryEvent] = None
+    #: The pilot-derived cost plan behind a bounded (``WITHIN``) query:
+    #: chosen sample fraction, replicate count, pilot size, and whether
+    #: the planner fell back to a fixed budget.  ``None`` for unbounded
+    #: queries or when the planner is disabled.
+    plan: Optional[QueryPlan] = None
 
     @property
     def degraded(self) -> bool:
@@ -424,6 +439,13 @@ class EngineConfig:
     audit_fraction: Optional[float] = None
     #: Full auditor tuning; overrides ``audit_fraction`` when given.
     audit_config: Optional[AuditConfig] = None
+    #: Pilot-based bounded-error/bounded-time planning for ``WITHIN``
+    #: queries (:mod:`repro.planner`).  ``None`` reads the
+    #: ``REPRO_PLANNER`` environment variable (unset → enabled).  When
+    #: off, a ``WITHIN x%`` bound degrades to the legacy fixed-budget
+    #: path (``error_bound=x`` post-hoc gate) and time budgets are
+    #: ignored — bit-identical to pre-planner behaviour.
+    planner: Optional[bool] = None
 
     def __post_init__(self):
         if self.fallback not in ("exact", "large_deviation", "none"):
@@ -535,6 +557,12 @@ class AQPEngine:
             )
         self.auditor = CalibrationAuditor(audit_config)
         self.auditor.add_breach_listener(self._on_audit_breach)
+        # Bounded-error/bounded-time planning (WITHIN queries): a pilot
+        # pass sizes the final run; time budgets invert the persisted
+        # per-replicate cost model, recalibrated from every cold run.
+        self._planner_enabled = resolve_planner_enabled(self.config.planner)
+        self._planner = CostPlanner(cost_model=CostModel.load())
+        self._cost_observations_since_save = 0
         # Janitor pass: a previous process killed mid-query may have left
         # shared-memory segments behind; engine startup is the natural
         # place to reclaim them.
@@ -599,6 +627,9 @@ class AQPEngine:
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        if getattr(self, "_cost_observations_since_save", 0) > 0:
+            self._planner.cost_model.save()
+            self._cost_observations_since_save = 0
 
     def __enter__(self) -> "AQPEngine":
         return self
@@ -769,6 +800,8 @@ class AQPEngine:
         cancel: CancelToken | None = None,
         timeout: float | None = None,
         degradation: DegradationLevel | None = None,
+        within: WithinClause | None = None,
+        plan: QueryPlan | None = None,
     ) -> AQPResult:
         """Answer ``sql`` approximately with reliable error bars.
 
@@ -793,6 +826,19 @@ class AQPEngine:
                 (:class:`~repro.governor.breaker.DegradationLevel`).
                 Any level above ``FULL`` is recorded in the execution
                 report, so a stepped-down answer is never silent.
+            within: a bounded-error/bounded-time contract supplied
+                programmatically (the serve tier's submit fields).  A
+                ``WITHIN`` clause in the SQL text wins over this; unlike
+                SQL ``WITHIN`` (which is part of the shape fingerprint),
+                a kwarg bound bypasses the materialized catalog.
+            plan: a precomputed :class:`~repro.planner.QueryPlan` to
+                execute instead of running the pilot (tests pin plans
+                with this to check bit-identity against direct runs).
+
+        Raises:
+            BoundUnachievableError: the planner predicts no execution
+                within the available samples/time can meet the bound;
+                the error carries the minimum achievable bound.
         """
         started = time.perf_counter()
         if cancel is None and timeout is not None:
@@ -820,11 +866,48 @@ class AQPEngine:
                         "approximate execution requires an aggregate query; "
                         "use execute_exact for projections"
                     )
+                within_clause = query.within
+                if within_clause is None and within is not None:
+                    within_clause = within
+                if within_clause is not None:
+                    if within_clause.confidence is not None:
+                        confidence = within_clause.confidence
+                    if within_clause.relative_error is not None:
+                        # The legacy post-hoc gate stays armed even with
+                        # the planner on: the plan is a prediction, the
+                        # gate is the guarantee (zero dishonest
+                        # answers).  With the planner off this mapping
+                        # *is* the whole bounded path — the pre-planner
+                        # fixed-budget behaviour, bit for bit.
+                        error_bound = (
+                            within_clause.relative_error
+                            if error_bound is None
+                            else min(
+                                error_bound, within_clause.relative_error
+                            )
+                        )
+                planner_active = (
+                    within_clause is not None
+                    and self._planner_enabled
+                    and level is DegradationLevel.FULL
+                )
+                absolute_bound = (
+                    within_clause.absolute_error if planner_active else None
+                )
+                plan_obj: Optional[QueryPlan] = None
                 catalog_route: Optional[str] = None
                 result_key: Optional[ResultKey] = None
                 served = None
                 shape: Optional[str] = None
-                if self._catalog_enabled:
+                # A WITHIN passed as a kwarg is invisible to the shape
+                # fingerprint (unlike SQL WITHIN, which is part of it),
+                # so the catalog is bypassed for it entirely — serving
+                # or storing would alias bounded and unbounded variants
+                # of the same SQL text.
+                catalog_ok = self._catalog_enabled and (
+                    within is None or query.within is not None
+                )
+                if catalog_ok:
                     fingerprint = fingerprint_statement(query.statement)
                     shape = fingerprint.shape
                     result_key = ResultKey(
@@ -847,6 +930,18 @@ class AQPEngine:
                             sample_name,
                             max_sample_rows,
                         )
+                        if (
+                            served is not None
+                            and within_clause is not None
+                            and within_clause.absolute_error is not None
+                            and not _rows_within_half_width(
+                                served[0], within_clause.absolute_error
+                            )
+                        ):
+                            # The stored answer is honest but too wide
+                            # for this absolute bound: fall through to
+                            # a (planned) cold execution.
+                            served = None
                         catalog_route = (
                             served[2] if served is not None else "miss"
                         )
@@ -882,7 +977,64 @@ class AQPEngine:
                             sample_span.tags["sample"] = info.name
                             sample_span.tags["rows"] = info.rows
 
+                    if planner_active:
+                        plan_obj = plan
+                        if plan_obj is None:
+                            plan_obj = self._plan_query(
+                                query,
+                                sql,
+                                within_clause,
+                                confidence,
+                                info,
+                                sample,
+                                sample_name,
+                                max_sample_rows,
+                                cancel,
+                            )
+                        info, sample = self._apply_plan(
+                            query, plan_obj, info, sample
+                        )
+                        METRICS.gauge("planner.chosen_fraction").set(
+                            plan_obj.chosen_fraction
+                        )
+                    replicates_override: Optional[int] = None
+                    diagnose_this = should_diagnose
+                    if plan_obj is not None:
+                        if (
+                            plan_obj.replicates is not None
+                            and plan_obj.replicates >= 2
+                        ):
+                            replicates_override = plan_obj.replicates
+                        if not plan_obj.fixed_budget:
+                            # Algorithm 1's verdict is meaningless at
+                            # planner-chosen n (its subsamples shrink to
+                            # tens of rows; measured false-failure is
+                            # near-total while true coverage stays
+                            # nominal), so planned runs skip it.  The
+                            # bound contract is still enforced three
+                            # ways: the post-hoc gates on every value,
+                            # sample escalation, and the continuous
+                            # calibration auditor.  Fixed-budget plans
+                            # (full sample) keep the diagnostic.
+                            diagnose_this = False
+
                     supervision = self._new_supervision(cancel)
+                    if (
+                        planner_active
+                        and within_clause.time_budget_seconds is not None
+                    ):
+                        # A time bound is also a hard deadline: if the
+                        # cost model underestimated, the run degrades
+                        # honestly instead of silently overshooting.
+                        budget_deadline = (
+                            time.monotonic()
+                            + within_clause.time_budget_seconds
+                        )
+                        supervision.deadline = (
+                            budget_deadline
+                            if supervision.deadline is None
+                            else min(supervision.deadline, budget_deadline)
+                        )
                     if level is not DegradationLevel.FULL:
                         supervision.report.note_degradation(
                             f"governor degradation level {level.label!r} "
@@ -904,10 +1056,12 @@ class AQPEngine:
                             sample_info=info,
                             sample=sample,
                             confidence=confidence,
-                            should_diagnose=should_diagnose,
+                            should_diagnose=diagnose_this,
                             error_bound=error_bound,
                             supervision=supervision,
                             degradation=level,
+                            replicates_override=replicates_override,
+                            absolute_bound=absolute_bound,
                         )
                         with trace_span(
                             "execute_on_sample",
@@ -924,6 +1078,11 @@ class AQPEngine:
                         if escalation is None:
                             break
                         info, sample = escalation
+                        # Escalation means the planned cost missed the
+                        # bound; the retry reverts to full fixed-budget
+                        # semantics (default K, diagnostics restored).
+                        replicates_override = None
+                        diagnose_this = should_diagnose
                         attempt += 1
                         trace_event("sample_escalation", to_sample=info.name)
                     report = supervision.report
@@ -937,6 +1096,27 @@ class AQPEngine:
                 deactivate_trace(token)
                 trace.close()
         elapsed = time.perf_counter() - started
+        if within_clause is not None:
+            report.bound_kind = within_clause.kind
+            report.bound_target = within_clause.bound_value
+            report.achieved_bound = _achieved_bound(
+                rows, within_clause.kind, elapsed
+            )
+        if plan_obj is not None:
+            report.planned_fraction = plan_obj.chosen_fraction
+            report.planned_replicates = plan_obj.replicates
+            report.pilot_rows = plan_obj.pilot_rows
+        if served is None and not report.degraded:
+            # Every cold execution recalibrates the time-bound cost
+            # model; the total replicate count is the n·K proxy the
+            # model's per-replicate term attributes time to.
+            self._planner.cost_model.observe(
+                info.rows, bootstrap_subqueries, elapsed
+            )
+            self._cost_observations_since_save += 1
+            if self._cost_observations_since_save >= 16:
+                self._planner.cost_model.save()
+                self._cost_observations_since_save = 0
         METRICS.counter("queries").inc()
         METRICS.histogram("query.seconds").observe(elapsed)
         if report.degraded:
@@ -959,9 +1139,10 @@ class AQPEngine:
             execution_report=report,
             trace=trace,
             catalog_route=catalog_route,
+            plan=plan_obj,
         )
         if (
-            self._catalog_enabled
+            catalog_ok
             and catalog_route == "miss"
             and result_key is not None
             and level is DegradationLevel.FULL
@@ -979,6 +1160,178 @@ class AQPEngine:
                 diagnostic_subqueries,
             )
         return self._observe(query, result, confidence, level, shape)
+
+    # -- bounded-query planning ---------------------------------------------
+    def _plan_query(
+        self,
+        query: AnalyzedQuery,
+        sql: str,
+        within_clause: WithinClause,
+        confidence: float,
+        info: SampleInfo,
+        sample: Table,
+        sample_name: Optional[str],
+        max_sample_rows: Optional[int],
+        cancel: CancelToken | None,
+    ) -> QueryPlan:
+        """Turn a WITHIN contract into a (sample, fraction, K) plan.
+
+        Error bounds run the pilot pass; time budgets invert the
+        calibrated cost model directly.  Refusals
+        (:class:`~repro.errors.BoundUnachievableError`) are counted and
+        re-raised — an honest "no" instead of a silently missed "yes".
+        """
+        if sample_name is not None:
+            candidates = [info]
+        else:
+            candidates = [
+                candidate
+                for candidate in self.catalog.samples_for(query.source_table)
+                if max_sample_rows is None
+                or candidate.rows <= max_sample_rows
+            ] or [info]
+        closed_form = (
+            not query.contains_udf
+            and (query.inner is None or not query.inner.is_aggregate_query)
+            and all(
+                spec.closed_form_capable for spec in query.aggregates
+            )
+        )
+        default_replicates = self.config.num_bootstrap_resamples
+        try:
+            if within_clause.kind == "time":
+                plan_obj = self._planner.plan_for_time(
+                    within_clause,
+                    confidence,
+                    candidates,
+                    closed_form,
+                    default_replicates,
+                )
+            else:
+                measurement = self._run_pilot(
+                    query, sql, confidence, info, sample, cancel
+                )
+                plan_obj = self._planner.plan_from_pilot(
+                    within_clause,
+                    confidence,
+                    measurement,
+                    candidates,
+                    closed_form,
+                    default_replicates,
+                )
+        except BoundUnachievableError:
+            METRICS.counter("planner.refusals").inc()
+            raise
+        trace_event(
+            "planner.plan", summary=plan_obj.summary(), reason=plan_obj.reason
+        )
+        return plan_obj
+
+    def _run_pilot(
+        self,
+        query: AnalyzedQuery,
+        sql: str,
+        confidence: float,
+        info: SampleInfo,
+        sample: Table,
+        cancel: CancelToken | None,
+    ) -> PilotMeasurement:
+        """One cheap deterministic pass over a prefix of the sample.
+
+        Samples are stored shuffled, so the prefix is itself a uniform
+        random subsample.  The pilot draws from a dedicated
+        SeedSequence-derived RNG keyed on (engine seed, query shape) and
+        consumes *nothing* from the engine's stream — pilot-then-final
+        is bit-identical to a direct run at the chosen (fraction, K).
+
+        The pilot measures variance only: Algorithm 1's verdict at
+        pilot scale (subsamples of tens of rows) is noise, so
+        diagnostics stay off here and run at the *chosen* n in the
+        final pass, where the verdict is statistically meaningful and
+        still gates the answer.  The pilot runs under a ``"none"``
+        fallback: an untrustworthy pilot estimate makes the plan
+        decline to the fixed budget, never triggers the exact fallback.
+        """
+        pilot_n = self._planner.pilot_rows(info.rows)
+        pilot_info = replace(info, rows=pilot_n)
+        pilot_sample = sample.head(pilot_n)
+        shape_key = crc32(
+            fingerprint_statement(query.statement).shape.encode("utf-8")
+        )
+        pilot_rng = np.random.default_rng(
+            np.random.SeedSequence(
+                [self._seed if self._seed is not None else 0, shape_key]
+            )
+        )
+        pilot_replicates = max(
+            2,
+            min(
+                self._planner.pilot_replicates,
+                self.config.num_bootstrap_resamples,
+            ),
+        )
+        state = _ExecutionState(
+            engine=self,
+            query=query,
+            sql=sql,
+            sample_info=pilot_info,
+            sample=pilot_sample,
+            confidence=confidence,
+            should_diagnose=False,
+            error_bound=None,
+            supervision=self._new_supervision(cancel),
+            degradation=DegradationLevel.FULL,
+            replicates_override=pilot_replicates,
+            rng_override=pilot_rng,
+            fallback_override="none",
+        )
+        with trace_span("planner.pilot", rows=pilot_n):
+            pilot_started = time.perf_counter()
+            pilot_rows = state.run()
+            pilot_elapsed = time.perf_counter() - pilot_started
+        METRICS.counter("planner.pilot_runs").inc()
+        verdict_ok = not state.supervision.report.degraded
+        values: list[PilotValue] = []
+        for row in pilot_rows:
+            for value in row.values.values():
+                if value.diagnostic is not None and not value.diagnostic.passed:
+                    verdict_ok = False
+                values.append(
+                    PilotValue(
+                        name=value.name,
+                        estimate=float(value.estimate),
+                        half_width=(
+                            float(value.interval.half_width)
+                            if value.interval is not None
+                            else None
+                        ),
+                        trusted=not value.fell_back
+                        and value.interval is not None,
+                    )
+                )
+        return PilotMeasurement(
+            rows=pilot_n,
+            elapsed_seconds=pilot_elapsed,
+            verdict_ok=verdict_ok,
+            values=tuple(values),
+        )
+
+    def _apply_plan(
+        self,
+        query: AnalyzedQuery,
+        plan_obj: QueryPlan,
+        info: SampleInfo,
+        sample: Table,
+    ) -> tuple[SampleInfo, Table]:
+        """Resolve a plan to its (possibly prefix-sliced) sample."""
+        if plan_obj.sample_name != info.name:
+            info, sample = self.catalog.sample(
+                query.source_table, plan_obj.sample_name
+            )
+        if 0 < plan_obj.chosen_rows < info.rows:
+            info = replace(info, rows=plan_obj.chosen_rows)
+            sample = sample.head(plan_obj.chosen_rows)
+        return info, sample
 
     # -- answer-quality observability ---------------------------------------
     def _observe(
@@ -1309,7 +1662,33 @@ class _ExecutionState:
     degradation: DegradationLevel = DegradationLevel.FULL
     bootstrap_subqueries: int = 0
     diagnostic_subqueries: int = 0
+    #: Planner overrides.  A planned run executes at exactly the chosen
+    #: replicate count; the pilot pass additionally runs on a dedicated
+    #: RNG stream (consuming nothing from the engine's, so the final
+    #: run's streams are bit-identical to a direct run) under a
+    #: ``"none"`` fallback (a failed pilot diagnostic must never trigger
+    #: the expensive exact fallback — it just makes the plan decline).
+    replicates_override: Optional[int] = None
+    rng_override: Optional[np.random.Generator] = None
+    fallback_override: Optional[str] = None
+    #: Absolute half-width honesty gate (``WITHIN <value>``); the
+    #: relative gate rides the legacy ``error_bound``.
+    absolute_bound: Optional[float] = None
     _exact_result: Optional[Table] = None
+
+    @property
+    def num_resamples(self) -> int:
+        """Bootstrap K for this run (planner override or config)."""
+        if self.replicates_override is not None:
+            return self.replicates_override
+        return self.engine.config.num_bootstrap_resamples
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The RNG all stochastic work draws from (pilot or engine)."""
+        if self.rng_override is not None:
+            return self.rng_override
+        return self.engine._rng
 
     # -- orchestration -------------------------------------------------------
     def run(self) -> list[AQPRow]:
@@ -1571,7 +1950,7 @@ class _ExecutionState:
         scalar_target,
         group_dicts: list[dict],
     ) -> list[ApproximateValue]:
-        num_resamples = self.engine.config.num_bootstrap_resamples
+        num_resamples = self.num_resamples
         if num_resamples < 2:
             raise EstimationError(
                 f"bootstrap needs at least 2 resamples, got {num_resamples}"
@@ -1601,7 +1980,7 @@ class _ExecutionState:
             replicates = grouped_bootstrap_replicates(
                 target,
                 num_resamples,
-                seed_from_rng(self.engine._rng),
+                seed_from_rng(self.rng),
                 pool=self.engine.worker_pool,
                 supervision=self.supervision,
                 replicate_cap=self._replicate_cap(),
@@ -1697,6 +2076,20 @@ class _ExecutionState:
                 diagnostic=diagnostic,
                 group=group_dicts[g],
             )
+        if (
+            self.absolute_bound is not None
+            and interval.half_width > self.absolute_bound
+        ):
+            return self._fall_back(
+                spec,
+                scalar_target(g),
+                reason=(
+                    f"half-width {interval.half_width:.4g} "
+                    f"exceeds bound {self.absolute_bound}"
+                ),
+                diagnostic=diagnostic,
+                group=group_dicts[g],
+            )
         return ApproximateValue(
             name=spec.output_name,
             estimate=interval.estimate,
@@ -1726,10 +2119,10 @@ class _ExecutionState:
                 points,
                 estimator_kind,
                 estimator_name,
-                self.engine.config.num_bootstrap_resamples,
+                self.num_resamples,
                 self.confidence,
                 config,
-                self.engine._rng,
+                self.rng,
                 pool=self.engine.worker_pool,
                 supervision=self.supervision,
             )
@@ -1794,7 +2187,7 @@ class _ExecutionState:
                 )
             if span is not None:
                 span.tags["estimator"] = estimator.name
-            rng = self.engine._rng
+            rng = self.rng
             try:
                 interval = estimator.estimate(target, self.confidence, rng)
             except EstimationError as exc:
@@ -1817,9 +2210,7 @@ class _ExecutionState:
                     spec, target, str(exc), group=group
                 )
             if estimator.name == "bootstrap":
-                self.bootstrap_subqueries += (
-                    self.engine.config.num_bootstrap_resamples
-                )
+                self.bootstrap_subqueries += self.num_resamples
 
             diagnostic = None
             if self.should_diagnose and self._diagnostics_allowed:
@@ -1842,6 +2233,20 @@ class _ExecutionState:
                     reason=(
                         f"relative error {interval.relative_error:.3f} "
                         f"exceeds bound {self.error_bound}"
+                    ),
+                    diagnostic=diagnostic,
+                    group=group,
+                )
+            if (
+                self.absolute_bound is not None
+                and interval.half_width > self.absolute_bound
+            ):
+                return self._fall_back(
+                    spec,
+                    target,
+                    reason=(
+                        f"half-width {interval.half_width:.4g} "
+                        f"exceeds bound {self.absolute_bound}"
                     ),
                     diagnostic=diagnostic,
                     group=group,
@@ -1896,8 +2301,8 @@ class _ExecutionState:
                 if quantile_estimator.applicable(probe):
                     return quantile_estimator
         return BootstrapEstimator(
-            self.engine.config.num_bootstrap_resamples,
-            self.engine._rng,
+            self.num_resamples,
+            self.rng,
             pool=self.engine.worker_pool,
             supervision=self.supervision,
             replicate_cap=self._replicate_cap(),
@@ -1915,7 +2320,7 @@ class _ExecutionState:
                 estimator,
                 self.confidence,
                 config,
-                self.engine._rng,
+                self.rng,
                 pool=self.engine.worker_pool,
                 supervision=self.supervision,
             )
@@ -2025,8 +2430,8 @@ class _ExecutionState:
             )
             return AQPRow(group={}, values={spec.output_name: value})
         estimator = BlackBoxBootstrapEstimator(
-            self.engine.config.num_bootstrap_resamples,
-            self.engine._rng,
+            self.num_resamples,
+            self.rng,
             pool=self.engine.worker_pool,
             supervision=self.supervision,
             replicate_cap=self._replicate_cap(),
@@ -2036,7 +2441,7 @@ class _ExecutionState:
         except (ExecutionError, ResourceExhaustedError) as exc:
             value = self._degraded_value(spec, target, str(exc))
             return AQPRow(group={}, values={spec.output_name: value})
-        self.bootstrap_subqueries += self.engine.config.num_bootstrap_resamples
+        self.bootstrap_subqueries += self.num_resamples
         diagnostic = None
         if self.should_diagnose and self._diagnostics_allowed:
             config = self.engine.config.diagnostic or _auto_diagnostic_config(
@@ -2049,7 +2454,7 @@ class _ExecutionState:
                         estimator,
                         self.confidence,
                         config,
-                        self.engine._rng,
+                        self.rng,
                         pool=self.engine.worker_pool,
                         supervision=self.supervision,
                     )
@@ -2093,7 +2498,7 @@ class _ExecutionState:
         diagnostic: DiagnosticResult | None = None,
         group: dict | None = None,
     ) -> ApproximateValue:
-        policy = self.engine.config.fallback
+        policy = self.fallback_override or self.engine.config.fallback
         trace_event(
             "fallback", aggregate=spec.output_name, policy=policy,
             reason=reason,
@@ -2160,6 +2565,40 @@ class _ExecutionState:
                 f"{result.num_rows}"
             )
         return float(result.column(spec.output_name)[0])
+
+
+def _rows_within_half_width(rows, bound: float) -> bool:
+    """Whether every value's interval is at most ``bound`` wide."""
+    for row in rows:
+        for value in row.values.values():
+            if value.interval is None or value.interval.half_width > bound:
+                return False
+    return True
+
+
+def _achieved_bound(rows, kind: str, elapsed: float) -> Optional[float]:
+    """The realized bound value of a finished bounded query.
+
+    The worst (max) value across all groups/aggregates, matching the
+    contract: *every* reported value satisfies the bound.
+    """
+    if kind == "time":
+        return elapsed
+    achieved: Optional[float] = None
+    for row in rows:
+        for value in row.values.values():
+            if value.interval is None:
+                continue
+            realized = (
+                value.relative_error
+                if kind == "relative"
+                else value.interval.half_width
+            )
+            if realized is None:
+                continue
+            if achieved is None or realized > achieved:
+                achieved = float(realized)
+    return achieved
 
 
 def _auto_diagnostic_config(

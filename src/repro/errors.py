@@ -82,6 +82,39 @@ class PlanError(ReproError):
     """A logical plan could not be built, rewritten, or lowered."""
 
 
+class BoundUnachievableError(PlanError):
+    """No execution plan can meet a query's WITHIN bound — a typed refusal.
+
+    Raised by the cost planner *before* any expensive work happens when
+    even the largest available sample (for error bounds) or the cheapest
+    viable plan (for time budgets) cannot deliver the requested
+    contract.  The refusal is honest and actionable: it carries the
+    minimum bound the engine *could* achieve, so the caller can resubmit
+    with a feasible target.
+
+    Attributes:
+        kind: which bound was infeasible — ``"relative"``,
+            ``"absolute"``, or ``"time"``.
+        requested: the requested bound (error fraction, absolute error,
+            or seconds).
+        achievable: the minimum bound the engine predicts it can meet
+            with the resources it has, in the same units as
+            ``requested``, or ``None`` when unknown.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        kind: str = "relative",
+        requested: float | None = None,
+        achievable: float | None = None,
+    ):
+        super().__init__(message)
+        self.kind = kind
+        self.requested = requested
+        self.achievable = achievable
+
+
 class EstimationError(ReproError):
     """An error-estimation procedure could not produce an interval.
 

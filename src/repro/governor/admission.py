@@ -428,7 +428,15 @@ class QueryGovernor:
             cancel: an external cancellation token (e.g. wired to a
                 client disconnect).
             **kwargs: forwarded to
-                :meth:`~repro.core.pipeline.AQPEngine.execute`.
+                :meth:`~repro.core.pipeline.AQPEngine.execute` —
+                including ``within``, the bounded-query contract.  A
+                planned (WITHIN) query reserves memory for the
+                planner-chosen sample prefix and replicate count rather
+                than the full fixed budget: the per-operator
+                reservations flow through the shared
+                :class:`~repro.core.memory.MemoryAccountant` at the
+                actual ``n × K`` the plan selected, so admission-time
+                pressure reflects planned cost, not worst-case cost.
 
         Raises:
             AdmissionRejectedError: the query was shed at admission.

@@ -251,6 +251,19 @@ class ExecutionReport:
     swept_segments: int = 0
     degradation_reasons: list[str] = field(default_factory=list)
     fallbacks: list[str] = field(default_factory=list)
+    #: Bounded-query contract (``... WITHIN ...``): which bound was
+    #: requested, its target, and the bound the execution actually
+    #: achieved (max relative error, max half-width, or elapsed
+    #: seconds, depending on ``bound_kind``).  ``None`` for unbounded
+    #: queries.
+    bound_kind: Optional[str] = None
+    bound_target: Optional[float] = None
+    achieved_bound: Optional[float] = None
+    #: Planner decision applied to this execution, when the cost
+    #: planner chose the sample fraction / replicate count.
+    planned_fraction: Optional[float] = None
+    planned_replicates: Optional[int] = None
+    pilot_rows: Optional[int] = None
 
     def note_degradation(self, reason: str) -> None:
         if reason not in self.degradation_reasons:
@@ -299,6 +312,25 @@ class ExecutionReport:
         if self.deadline_hit:
             parts.append("query deadline hit")
         text = ", ".join(parts)
+        if self.planned_fraction is not None:
+            text += (
+                f"; planned fraction={self.planned_fraction:.4f}"
+                + (
+                    f", K={self.planned_replicates}"
+                    if self.planned_replicates is not None
+                    else ""
+                )
+            )
+        if self.bound_kind is not None:
+            achieved = (
+                "n/a"
+                if self.achieved_bound is None
+                else f"{self.achieved_bound:.4g}"
+            )
+            text += (
+                f"; bound[{self.bound_kind}] target={self.bound_target:.4g} "
+                f"achieved={achieved}"
+            )
         for reason in self.degradation_reasons:
             text += f"; degraded: {reason}"
         for fallback in self.fallbacks:

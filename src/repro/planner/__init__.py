@@ -1,0 +1,46 @@
+"""Pilot-based bounded-error / bounded-time query planning.
+
+The engine's default contract is fixed-budget: run on the selected
+sample at the configured replicate count K and *report* the resulting
+error.  The planner inverts that: given a ``... WITHIN 2% AT 95%
+CONFIDENCE`` (or ``... WITHIN 500ms``) contract, it chooses the
+*minimal* sample fraction and K predicted to meet the bound, so
+execution costs exactly what the accuracy target requires.
+
+* Error bounds run a cheap deterministic **pilot pass** over a prefix
+  of the (shuffled) sample, feed the observed half-widths into
+  :func:`repro.core.error_control.required_sample_size`, and pick the
+  smallest prefix that meets the requested half-width.
+* Time budgets invert a calibrated per-replicate :class:`CostModel`
+  (learned online from observed latencies, persisted next to the BENCH
+  baselines) to pick the largest fraction/K that fits.
+* When no plan fits, the planner refuses with a typed
+  :class:`~repro.errors.BoundUnachievableError` carrying the minimum
+  achievable bound — an honest "no" instead of a silently missed "yes".
+"""
+
+from repro.planner.cost import (
+    COST_MODEL_ENV,
+    CostModel,
+    default_cost_model_path,
+)
+from repro.planner.planner import (
+    PLANNER_ENV,
+    CostPlanner,
+    PilotMeasurement,
+    PilotValue,
+    QueryPlan,
+    resolve_planner_enabled,
+)
+
+__all__ = [
+    "COST_MODEL_ENV",
+    "CostModel",
+    "CostPlanner",
+    "PLANNER_ENV",
+    "PilotMeasurement",
+    "PilotValue",
+    "QueryPlan",
+    "default_cost_model_path",
+    "resolve_planner_enabled",
+]

@@ -1,0 +1,167 @@
+"""A calibrated per-replicate execution cost model for time budgets.
+
+``seconds ≈ c0 + row_seconds·n + replicate_row_seconds·n·K``: a fixed
+dispatch overhead, a per-row scan/aggregate term, and a per-(row ×
+replicate) resampling term.  The coefficients start at conservative
+defaults and are recalibrated online with an exponential moving average
+from every cold execution's observed ``(rows, replicates, elapsed)``
+triple — the same latency signal :mod:`repro.obs` histograms.
+
+The model is deliberately linear: inverting it (the largest ``n`` and
+``K`` that fit a budget) must be trivial and total, and a planner that
+is *roughly* right about cost but honest about error is far more useful
+than a precise model that sometimes cannot answer.
+
+Persistence rides next to the benchmark baselines
+(``benchmarks/results/planner_cost_model.json``, or the
+``REPRO_COST_MODEL`` path): calibration learned by a bench run or a
+long-lived server survives restarts, and a fresh checkout still works
+from the defaults.  All persistence is best-effort — a read-only disk
+must never fail a query.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Optional
+
+logger = logging.getLogger(__name__)
+
+#: Environment override for the persistence path (empty/``off`` → no
+#: persistence even when ``benchmarks/results`` exists).
+COST_MODEL_ENV = "REPRO_COST_MODEL"
+
+_SCHEMA = 1
+
+#: Observations folded in before the model calls itself calibrated;
+#: below this, time-bound plans stay deliberately conservative.
+MIN_OBSERVATIONS = 3
+
+
+def default_cost_model_path() -> Optional[Path]:
+    """Where the calibrated model persists (explicit > baseline dir > off)."""
+    raw = os.environ.get(COST_MODEL_ENV)
+    if raw is not None:
+        raw = raw.strip()
+        if not raw or raw.lower() in ("off", "0", "false", "no", "disabled"):
+            return None
+        return Path(raw)
+    baseline_dir = Path("benchmarks") / "results"
+    if baseline_dir.is_dir():
+        return baseline_dir / "planner_cost_model.json"
+    return None
+
+
+@dataclass
+class CostModel:
+    """Linear execution-time model, recalibrated online via EWMA."""
+
+    c0: float = 1e-3
+    row_seconds: float = 2e-7
+    replicate_row_seconds: float = 2e-9
+    observations: int = 0
+    #: EWMA weight of a new observation (high: the workload a server
+    #: actually runs beats a stale persisted calibration within a few
+    #: queries).
+    alpha: float = 0.3
+
+    @property
+    def calibrated(self) -> bool:
+        return self.observations >= MIN_OBSERVATIONS
+
+    def predict(self, rows: int, replicates: int) -> float:
+        """Predicted wall-clock seconds for one execution."""
+        rows = max(0, int(rows))
+        replicates = max(0, int(replicates))
+        return (
+            self.c0
+            + rows * self.row_seconds
+            + rows * replicates * self.replicate_row_seconds
+        )
+
+    def observe(self, rows: int, replicates: int, elapsed_seconds: float) -> None:
+        """Fold one completed execution into the coefficients.
+
+        Closed-form executions (``replicates == 0``) calibrate the
+        per-row term; bootstrap executions attribute the residual over
+        the per-row prediction to the per-(row × replicate) term.
+        """
+        if rows <= 0 or elapsed_seconds <= 0:
+            return
+        if replicates <= 0:
+            unit = max(0.0, elapsed_seconds - self.c0) / rows
+            self.row_seconds = self._ewma(self.row_seconds, unit)
+        else:
+            residual = elapsed_seconds - self.c0 - rows * self.row_seconds
+            if residual > 0:
+                self.replicate_row_seconds = self._ewma(
+                    self.replicate_row_seconds, residual / (rows * replicates)
+                )
+        self.observations += 1
+
+    def _ewma(self, old: float, new: float) -> float:
+        return (1.0 - self.alpha) * old + self.alpha * new
+
+    # -- persistence -------------------------------------------------------
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        payload["schema"] = _SCHEMA
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CostModel":
+        if payload.get("schema") != _SCHEMA:
+            return cls()
+        kwargs = {
+            name: payload[name]
+            for name in (
+                "c0",
+                "row_seconds",
+                "replicate_row_seconds",
+                "observations",
+                "alpha",
+            )
+            if name in payload
+        }
+        model = cls(**kwargs)
+        if (
+            model.c0 < 0
+            or model.row_seconds <= 0
+            or model.replicate_row_seconds <= 0
+        ):
+            return cls()
+        return model
+
+    @classmethod
+    def load(cls, path: Optional[Path] = None) -> "CostModel":
+        """Load a persisted calibration, or defaults on any failure."""
+        path = path if path is not None else default_cost_model_path()
+        if path is None:
+            return cls()
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, ValueError):
+            return cls()
+        if not isinstance(payload, dict):
+            return cls()
+        return cls.from_dict(payload)
+
+    def save(self, path: Optional[Path] = None) -> bool:
+        """Persist the calibration; best-effort, never raises."""
+        path = path if path is not None else default_cost_model_path()
+        if path is None:
+            return False
+        try:
+            path = Path(path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(path.suffix + ".tmp")
+            tmp.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+            os.replace(tmp, path)
+            return True
+        except OSError as exc:
+            logger.debug("cost model not persisted to %s: %s", path, exc)
+            return False

@@ -1,0 +1,409 @@
+"""The cost planner: turn a WITHIN contract into a (fraction, K) plan.
+
+The planner is pure decision logic — it never executes queries itself.
+The engine runs the pilot pass (a tiny :class:`_ExecutionState` over a
+prefix of the shuffled sample, on a dedicated RNG stream that consumes
+nothing from the engine's), summarises it into a
+:class:`PilotMeasurement`, and asks the planner for a
+:class:`QueryPlan`:
+
+* **Error bounds** invert the ``width ∝ 1/√n`` law through the shared
+  :func:`repro.core.error_control.required_sample_size` (the same
+  formula the Figure-1 bench uses — they cannot drift) with a safety
+  factor, maxed over every value the pilot produced, and pick the
+  smallest catalog sample whose prefix covers the requirement.  Samples
+  are stored shuffled, so any prefix is itself a uniform random sample.
+* **Time budgets** invert the calibrated :class:`~repro.planner.cost
+  .CostModel`, preferring rows over replicates (rows are the accuracy
+  lever; K only stabilises the interval).
+* When nothing fits, the planner raises
+  :class:`~repro.errors.BoundUnachievableError` carrying the minimum
+  bound it predicts it *could* achieve.
+
+A failed pilot diagnostic verdict never produces a cheap plan: the
+sizing law extrapolates a half-width the diagnostic just refused to
+certify, so the planner falls back to the fixed-budget plan and lets
+the engine's usual verdict/fallback machinery decide.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.error_control import predict_half_width, required_sample_size
+from repro.errors import BoundUnachievableError, EstimationError, PlanError
+from repro.planner.cost import CostModel
+from repro.sampling.catalog import SampleInfo
+from repro.sql.ast import WithinClause
+
+#: Environment kill switch: ``REPRO_PLANNER=off`` reproduces the
+#: pre-planner fixed-budget behaviour exactly.
+PLANNER_ENV = "REPRO_PLANNER"
+
+_PLANNER_OFF = frozenset({"off", "0", "false", "no", "disabled"})
+
+#: Fewest bootstrap replicates a time-bound plan may choose; below this
+#: the percentile interval itself is noise.
+MIN_TIME_PLAN_REPLICATES = 20
+
+#: Row-fraction ladder (of the largest candidate sample) the time-bound
+#: inversion walks, largest first.
+_TIME_FRACTIONS = (1.0, 0.75, 0.5, 0.35, 0.25, 0.15, 0.1, 0.05, 0.02, 0.01)
+
+
+def resolve_planner_enabled(flag: Optional[bool] = None) -> bool:
+    """Whether the cost planner is active (explicit > env > on)."""
+    if flag is not None:
+        return bool(flag)
+    raw = os.environ.get(PLANNER_ENV, "").strip().lower()
+    return raw not in _PLANNER_OFF if raw else True
+
+
+@dataclass(frozen=True)
+class PilotValue:
+    """One value's pilot estimate: what the sizing law extrapolates."""
+
+    name: str
+    estimate: float
+    half_width: Optional[float]
+    trusted: bool = True
+
+
+@dataclass(frozen=True)
+class PilotMeasurement:
+    """Summary of one pilot pass the engine ran for the planner."""
+
+    rows: int
+    elapsed_seconds: float
+    verdict_ok: bool
+    values: tuple[PilotValue, ...]
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A planner decision: execute at exactly this cost.
+
+    Attributes:
+        bound_kind: ``"relative"``, ``"absolute"``, or ``"time"``.
+        target: the requested bound value.
+        confidence: interval coverage the bound is stated at.
+        sample_name: catalog sample the plan executes on.
+        chosen_rows: prefix length of that sample to execute over.
+        chosen_fraction: ``chosen_rows / dataset_rows``.
+        replicates: bootstrap K to run, or ``None`` for the engine
+            default (closed-form plans record 0 — no replicates run).
+        pilot_rows: pilot prefix length, or ``None`` (time bounds plan
+            from the cost model alone).
+        predicted_bound: the bound value the plan predicts it achieves
+            (relative error, half-width, or seconds, per ``bound_kind``).
+        verdict_ok: the pilot's diagnostic verdict, when one ran.
+        reason: how the plan was chosen — ``"pilot"``, ``"cost_model"``,
+            or a fixed-budget fallback explanation.
+    """
+
+    bound_kind: str
+    target: float
+    confidence: float
+    sample_name: str
+    chosen_rows: int
+    chosen_fraction: float
+    replicates: Optional[int]
+    pilot_rows: Optional[int] = None
+    predicted_bound: Optional[float] = None
+    verdict_ok: Optional[bool] = None
+    reason: str = "pilot"
+
+    @property
+    def fixed_budget(self) -> bool:
+        """Whether the planner declined to cut cost (full-budget plan)."""
+        return self.reason not in ("pilot", "cost_model")
+
+    def summary(self) -> str:
+        """The EXPLAIN one-liner: ``pilot n=…, chosen fraction=…, K=…``."""
+        pilot = "-" if self.pilot_rows is None else str(self.pilot_rows)
+        replicates = (
+            "default" if self.replicates is None else str(self.replicates)
+        )
+        text = (
+            f"pilot n={pilot}, chosen fraction={self.chosen_fraction:.4f}, "
+            f"K={replicates}"
+        )
+        if self.fixed_budget:
+            text += f" [fixed budget: {self.reason}]"
+        return text
+
+
+class CostPlanner:
+    """Chooses the minimal (sample fraction, K) meeting a WITHIN bound."""
+
+    def __init__(
+        self,
+        cost_model: Optional[CostModel] = None,
+        safety_factor: float = 1.2,
+        pilot_fraction: float = 0.05,
+        min_pilot_rows: int = 200,
+        max_pilot_rows: int = 2000,
+        pilot_replicates: int = 30,
+    ):
+        if safety_factor < 1.0:
+            raise PlanError(
+                f"safety factor must be >= 1, got {safety_factor}"
+            )
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.safety_factor = safety_factor
+        self.pilot_fraction = pilot_fraction
+        self.min_pilot_rows = min_pilot_rows
+        self.max_pilot_rows = max_pilot_rows
+        self.pilot_replicates = pilot_replicates
+
+    def pilot_rows(self, sample_rows: int) -> int:
+        """Pilot prefix length for a sample of ``sample_rows`` rows."""
+        sized = int(sample_rows * self.pilot_fraction)
+        sized = max(self.min_pilot_rows, min(sized, self.max_pilot_rows))
+        return max(1, min(sample_rows, sized))
+
+    # -- error bounds ------------------------------------------------------
+    def plan_from_pilot(
+        self,
+        within: WithinClause,
+        confidence: float,
+        pilot: PilotMeasurement,
+        candidates: Sequence[SampleInfo],
+        closed_form: bool,
+        default_replicates: int,
+    ) -> QueryPlan:
+        """Size the final run from a pilot pass (relative/absolute bound).
+
+        Raises:
+            BoundUnachievableError: when even the largest candidate
+                sample cannot meet the bound.
+        """
+        if not candidates:
+            raise PlanError("planner needs at least one candidate sample")
+        largest = max(candidates, key=lambda info: info.rows)
+        kind = within.kind
+        target = within.bound_value
+
+        def fixed(reason: str) -> QueryPlan:
+            return self._fixed_budget_plan(
+                within, confidence, largest, closed_form,
+                default_replicates, pilot, reason,
+            )
+
+        if not pilot.verdict_ok:
+            return fixed("pilot verdict failed")
+        needs: list[tuple[int, PilotValue]] = []
+        for value in pilot.values:
+            if not value.trusted or value.half_width is None:
+                return fixed(
+                    f"pilot produced no trusted interval for "
+                    f"{value.name!r}"
+                )
+            try:
+                if kind == "relative":
+                    needed = required_sample_size(
+                        value.half_width, value.estimate, pilot.rows, target
+                    )
+                else:
+                    # Absolute bound: width(n) ≤ target directly.  The
+                    # shared inversion solves width(n) = target·|est|,
+                    # so a unit estimate turns the target into an
+                    # absolute half-width.
+                    needed = required_sample_size(
+                        value.half_width, 1.0, pilot.rows, target
+                    )
+            except EstimationError as exc:
+                return fixed(f"pilot not sizeable: {exc}")
+            needs.append((needed, value))
+        needs.sort(key=lambda pair: pair[0])
+        # Many-value (grouped) queries size to the 90th-percentile
+        # requirement, not the max: a rare group holds only a handful of
+        # pilot rows, so its extrapolation is noise-dominated and would
+        # force spurious full-budget plans (or refusals).  Tail groups
+        # stay protected by the per-value bound gate, sample escalation,
+        # and the exact fallback — the contract holds for every value;
+        # only the *cost* is sized to the bulk.
+        index = len(needs) - 1
+        if len(needs) > 4:
+            index = int(math.ceil(0.9 * len(needs))) - 1
+        required, worst = needs[index]
+        required = max(
+            pilot.rows, int(math.ceil(required * self.safety_factor))
+        )
+        fitting = sorted(
+            (info for info in candidates if info.rows >= required),
+            key=lambda info: info.rows,
+        )
+        if not fitting:
+            achievable = self._achievable_bound(
+                within, pilot, largest.rows, worst
+            )
+            raise BoundUnachievableError(
+                f"requested {kind} bound {target:g} needs ~{required} "
+                f"sample rows but the largest sample "
+                f"({largest.name!r}) has {largest.rows}; minimum "
+                f"achievable bound is ~{achievable:.4g}",
+                kind=kind,
+                requested=target,
+                achievable=achievable,
+            )
+        chosen = fitting[0]
+        chosen_rows = min(required, chosen.rows)
+        predicted = None
+        if worst is not None and worst.half_width is not None:
+            width = predict_half_width(
+                worst.half_width, pilot.rows, chosen_rows
+            )
+            predicted = (
+                width / abs(worst.estimate)
+                if kind == "relative" and worst.estimate != 0
+                else width
+            )
+        return QueryPlan(
+            bound_kind=kind,
+            target=target,
+            confidence=confidence,
+            sample_name=chosen.name,
+            chosen_rows=chosen_rows,
+            chosen_fraction=chosen_rows / max(1, chosen.dataset_rows),
+            replicates=0 if closed_form else default_replicates,
+            pilot_rows=pilot.rows,
+            predicted_bound=predicted,
+            verdict_ok=pilot.verdict_ok,
+            reason="pilot",
+        )
+
+    def _achievable_bound(
+        self,
+        within: WithinClause,
+        pilot: PilotMeasurement,
+        max_rows: int,
+        worst: Optional[PilotValue],
+    ) -> float:
+        """The smallest bound feasible at ``max_rows``, safety included.
+
+        Extrapolated from the same (quantile-selected) value the
+        requirement came from, so the reported achievable bound matches
+        the sizing rule that refused.
+        """
+        achievable = 0.0
+        values = (worst,) if worst is not None else pilot.values
+        for value in values:
+            if value is None or value.half_width is None:
+                continue
+            width = value.half_width * math.sqrt(
+                self.safety_factor * pilot.rows / max(1, max_rows)
+            )
+            if within.kind == "relative":
+                if value.estimate == 0:
+                    continue
+                width = width / abs(value.estimate)
+            achievable = max(achievable, width)
+        return achievable
+
+    def _fixed_budget_plan(
+        self,
+        within: WithinClause,
+        confidence: float,
+        info: SampleInfo,
+        closed_form: bool,
+        default_replicates: int,
+        pilot: Optional[PilotMeasurement],
+        reason: str,
+    ) -> QueryPlan:
+        """The "planner declines" plan: full sample, default K."""
+        return QueryPlan(
+            bound_kind=within.kind,
+            target=within.bound_value,
+            confidence=confidence,
+            sample_name=info.name,
+            chosen_rows=info.rows,
+            chosen_fraction=info.rows / max(1, info.dataset_rows),
+            replicates=None,
+            pilot_rows=pilot.rows if pilot is not None else None,
+            verdict_ok=pilot.verdict_ok if pilot is not None else None,
+            reason=reason,
+        )
+
+    # -- time budgets ------------------------------------------------------
+    def plan_for_time(
+        self,
+        within: WithinClause,
+        confidence: float,
+        candidates: Sequence[SampleInfo],
+        closed_form: bool,
+        default_replicates: int,
+    ) -> QueryPlan:
+        """Largest (rows, K) the cost model predicts fits the budget.
+
+        Rows are preferred over replicates: sample size drives the
+        half-width, K only stabilises the interval estimate.
+
+        Raises:
+            BoundUnachievableError: when even the minimum viable plan
+                is predicted to blow the budget.
+        """
+        if not candidates:
+            raise PlanError("planner needs at least one candidate sample")
+        budget = float(within.time_budget_seconds)
+        largest = max(candidates, key=lambda info: info.rows)
+        if closed_form:
+            replicate_ladder = [0]
+        else:
+            replicate_ladder = sorted(
+                {
+                    default_replicates,
+                    max(MIN_TIME_PLAN_REPLICATES, default_replicates * 3 // 4),
+                    max(MIN_TIME_PLAN_REPLICATES, default_replicates // 2),
+                    max(MIN_TIME_PLAN_REPLICATES, default_replicates // 4),
+                    MIN_TIME_PLAN_REPLICATES,
+                },
+                reverse=True,
+            )
+        min_rows = min(largest.rows, max(100, int(largest.rows * 0.01)))
+        for fraction in _TIME_FRACTIONS:
+            rows = max(min_rows, int(largest.rows * fraction))
+            for replicates in replicate_ladder:
+                if self.cost_model.predict(rows, replicates) <= budget:
+                    chosen = self._smallest_covering(candidates, rows)
+                    return QueryPlan(
+                        bound_kind="time",
+                        target=budget,
+                        confidence=confidence,
+                        sample_name=chosen.name,
+                        chosen_rows=min(rows, chosen.rows),
+                        chosen_fraction=(
+                            min(rows, chosen.rows)
+                            / max(1, chosen.dataset_rows)
+                        ),
+                        replicates=replicates if not closed_form else 0,
+                        predicted_bound=self.cost_model.predict(
+                            rows, replicates
+                        ),
+                        reason="cost_model",
+                    )
+        floor_replicates = 0 if closed_form else MIN_TIME_PLAN_REPLICATES
+        achievable = self.cost_model.predict(min_rows, floor_replicates)
+        raise BoundUnachievableError(
+            f"time budget {budget:g}s is below the predicted cost "
+            f"{achievable:.4g}s of the minimum viable plan "
+            f"({min_rows} rows, K={floor_replicates})",
+            kind="time",
+            requested=budget,
+            achievable=achievable,
+        )
+
+    @staticmethod
+    def _smallest_covering(
+        candidates: Sequence[SampleInfo], rows: int
+    ) -> SampleInfo:
+        fitting = sorted(
+            (info for info in candidates if info.rows >= rows),
+            key=lambda info: info.rows,
+        )
+        if fitting:
+            return fitting[0]
+        return max(candidates, key=lambda info: info.rows)

@@ -14,7 +14,12 @@ op         fields
 submit     ``sql`` (required), ``tenant``, ``deadline_seconds``
            (relative) or ``deadline_unix`` (absolute wall clock,
            clock-skew clamped), plus engine options ``confidence``,
-           ``error_bound``, ``run_diagnostics``
+           ``error_bound``, ``run_diagnostics``, and the bounded-query
+           contract (one of ``within_relative_error``,
+           ``within_absolute_error``, ``within_time_budget_seconds``;
+           equivalent to a SQL ``WITHIN`` clause — an unachievable
+           bound resolves the query to ``error`` with
+           ``achievable_bound`` set, the planner's honest refusal)
 poll       ``query_id`` (required), ``wait_seconds`` (long-poll)
 cancel     ``query_id`` (required)
 stats      —
@@ -155,7 +160,7 @@ def result_to_json(result) -> dict:
             )
         rows.append({"group": dict(row.group), "values": values})
     report = result.execution_report
-    return {
+    payload = {
         "rows": rows,
         "sample": None if result.sample is None else result.sample.name,
         "elapsed_seconds": result.elapsed_seconds,
@@ -163,3 +168,22 @@ def result_to_json(result) -> dict:
         "report": None if report is None else report.summary(),
         "catalog_route": result.catalog_route,
     }
+    if report is not None and report.bound_kind is not None:
+        # The bounded-query contract, closed on the wire: what was
+        # asked, what was achieved.
+        payload["bound"] = {
+            "kind": report.bound_kind,
+            "target": report.bound_target,
+            "achieved": report.achieved_bound,
+        }
+    plan = getattr(result, "plan", None)
+    if plan is not None:
+        payload["plan"] = {
+            "summary": plan.summary(),
+            "chosen_fraction": plan.chosen_fraction,
+            "replicates": plan.replicates,
+            "pilot_rows": plan.pilot_rows,
+            "fixed_budget": bool(plan.fixed_budget),
+            "reason": plan.reason,
+        }
+    return payload

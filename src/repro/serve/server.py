@@ -48,6 +48,7 @@ from typing import Any, Optional
 
 from repro.errors import (
     AdmissionRejectedError,
+    BoundUnachievableError,
     ProtocolError,
     QueryCancelledError,
     ReproError,
@@ -57,6 +58,7 @@ from repro.obs.metrics import METRICS
 from repro.serve import protocol
 from repro.serve.journal import ServingJournal
 from repro.serve.tenants import FairQueue, TenantConfig, TenantState
+from repro.sql.ast import WithinClause
 from repro.sql.fingerprint import share_key
 
 logger = logging.getLogger(__name__)
@@ -144,7 +146,18 @@ _ENGINE_OPTIONS = {
     "confidence": float,
     "error_bound": float,
     "run_diagnostics": bool,
+    "within_relative_error": float,
+    "within_absolute_error": float,
+    "within_time_budget_seconds": float,
 }
+
+#: Submit fields folded into one ``WithinClause`` engine kwarg (the
+#: bounded-query contract; exactly one bound kind may be given).
+_WITHIN_FIELDS = (
+    "within_relative_error",
+    "within_absolute_error",
+    "within_time_budget_seconds",
+)
 
 
 @dataclass
@@ -521,6 +534,22 @@ class AQPServer:
                     return protocol.error_response(
                         "bad_request", f"{key!r} must be a {kind.__name__}"
                     )
+        if any(key in engine_kwargs for key in _WITHIN_FIELDS):
+            try:
+                engine_kwargs["within"] = WithinClause(
+                    relative_error=engine_kwargs.pop(
+                        "within_relative_error", None
+                    ),
+                    absolute_error=engine_kwargs.pop(
+                        "within_absolute_error", None
+                    ),
+                    time_budget_seconds=engine_kwargs.pop(
+                        "within_time_budget_seconds", None
+                    ),
+                    confidence=engine_kwargs.get("confidence"),
+                )
+            except ValueError as exc:
+                return protocol.error_response("bad_request", str(exc))
 
         # Backpressure ladder, cheapest check first; every rung is a
         # typed 429 with a computed retry-after.
@@ -856,6 +885,12 @@ class AQPServer:
                 "message": str(error),
                 "recoverable": isinstance(error, ReproError),
             }
+            if isinstance(error, BoundUnachievableError):
+                # The honest refusal carries everything a client needs
+                # to resubmit with a feasible contract.
+                record.error["bound_kind"] = error.kind
+                record.error["requested_bound"] = error.requested
+                record.error["achievable_bound"] = error.achievable
             self._finish(record, "error")
             tenant = self._tenants.get(record.tenant)
             if tenant is not None:

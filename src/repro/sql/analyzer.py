@@ -97,6 +97,16 @@ class AnalyzedQuery:
         return bool(self.aggregates)
 
     @property
+    def within(self) -> Optional[ast.WithinClause]:
+        """The statement's bound contract, if any.
+
+        A property over ``statement`` (not a stored field) so shape-cache
+        template rebinding — which swaps in the new statement — always
+        reflects the rebound query's own WITHIN clause.
+        """
+        return self.statement.within
+
+    @property
     def closed_form_applicable(self) -> bool:
         """Whether every aggregate admits a CLT closed form (§2.3.2).
 

@@ -273,6 +273,85 @@ class TableRef:
         return base
 
 
+def _render_number(value: float) -> str:
+    return repr(int(value)) if float(value).is_integer() else repr(value)
+
+
+@dataclass(frozen=True)
+class WithinClause:
+    """The bounded-error/bounded-time contract: ``... WITHIN bound``.
+
+    Exactly one of the three bound kinds is set:
+
+    * ``relative_error`` — ``WITHIN 2%``, as a fraction (0.02);
+    * ``absolute_error`` — ``WITHIN 5.0``, in answer units;
+    * ``time_budget_seconds`` — ``WITHIN 500ms`` / ``WITHIN 2s``.
+
+    ``confidence`` is the optional ``AT 95% CONFIDENCE`` suffix, as a
+    fraction; ``None`` means "use the engine's default".
+    """
+
+    relative_error: Optional[float] = None
+    absolute_error: Optional[float] = None
+    time_budget_seconds: Optional[float] = None
+    confidence: Optional[float] = None
+
+    def __post_init__(self):
+        bounds = [
+            self.relative_error,
+            self.absolute_error,
+            self.time_budget_seconds,
+        ]
+        given = [bound for bound in bounds if bound is not None]
+        if len(given) != 1:
+            raise ValueError(
+                "WITHIN requires exactly one of relative_error, "
+                "absolute_error, or time_budget_seconds"
+            )
+        if given[0] <= 0:
+            raise ValueError("WITHIN bound must be positive")
+        if self.relative_error is not None and self.relative_error > 1.0:
+            raise ValueError("relative error bound cannot exceed 100%")
+        if self.confidence is not None and not 0.0 < self.confidence < 1.0:
+            raise ValueError("confidence must be strictly between 0 and 1")
+
+    @property
+    def kind(self) -> str:
+        """``"relative"``, ``"absolute"``, or ``"time"``."""
+        if self.relative_error is not None:
+            return "relative"
+        if self.absolute_error is not None:
+            return "absolute"
+        return "time"
+
+    @property
+    def bound_value(self) -> float:
+        """The bound's numeric value, whatever its kind."""
+        if self.relative_error is not None:
+            return self.relative_error
+        if self.absolute_error is not None:
+            return self.absolute_error
+        return float(self.time_budget_seconds)
+
+    def to_sql(self) -> str:
+        if self.relative_error is not None:
+            bound = f"{_render_number(self.relative_error * 100.0)}%"
+        elif self.absolute_error is not None:
+            bound = _render_number(self.absolute_error)
+        else:
+            seconds = float(self.time_budget_seconds)
+            if seconds < 1.0:
+                bound = f"{_render_number(seconds * 1e3)}ms"
+            else:
+                bound = f"{_render_number(seconds)}s"
+        rendered = f"WITHIN {bound}"
+        if self.confidence is not None:
+            rendered += (
+                f" AT {_render_number(self.confidence * 100.0)}% CONFIDENCE"
+            )
+        return rendered
+
+
 @dataclass(frozen=True)
 class OrderItem:
     """One ORDER BY key with direction."""
@@ -296,6 +375,7 @@ class SelectStatement:
     having: Optional[Expression] = None
     order_by: tuple[OrderItem, ...] = field(default_factory=tuple)
     limit: Optional[int] = None
+    within: Optional[WithinClause] = None
 
     def to_sql(self) -> str:
         parts = [
@@ -316,6 +396,8 @@ class SelectStatement:
             )
         if self.limit is not None:
             parts.append(f"LIMIT {self.limit}")
+        if self.within is not None:
+            parts.append(self.within.to_sql())
         return " ".join(parts)
 
 

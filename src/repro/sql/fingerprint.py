@@ -125,10 +125,28 @@ def fingerprint_statement(statement: ast.SelectStatement) -> QueryFingerprint:
     bound_having: Optional[ast.Expression] = None
     if statement.having is not None:
         bound_having = binder.bind(statement.having)
-    shaped = replace(statement, where=bound_where, having=bound_having)
-    return QueryFingerprint(
-        shape=shaped.to_sql(), bindings=tuple(binder.values)
+    shaped = replace(
+        statement, where=bound_where, having=bound_having, within=None
     )
+    shape = shaped.to_sql()
+    if statement.within is not None:
+        # The bound *value* binds like a predicate literal; the bound
+        # *kind* and confidence stay structural.  Bounded and unbounded
+        # variants of the same query therefore never alias in the plan
+        # cache or catalog, while `WITHIN 2%` and `WITHIN 5%` share one
+        # analyzed template.
+        binder.values.append(statement.within.bound_value)
+        shape = f"{shape} {_within_shape(statement.within)}"
+    return QueryFingerprint(shape=shape, bindings=tuple(binder.values))
+
+
+def _within_shape(within: ast.WithinClause) -> str:
+    """Canonical WITHIN rendering with the bound value as ``?``."""
+    bound = {"relative": "?%", "absolute": "?", "time": "?s"}[within.kind]
+    rendered = f"WITHIN {bound}"
+    if within.confidence is not None:
+        rendered += f" AT {within.confidence!r} CONFIDENCE"
+    return rendered
 
 
 def canonical_sql(statement: ast.SelectStatement) -> str:

@@ -58,6 +58,9 @@ KEYWORDS = frozenset(
         "POISSONIZED",
         "UNION",
         "ALL",
+        "WITHIN",
+        "AT",
+        "CONFIDENCE",
     }
 )
 

@@ -5,7 +5,11 @@ Grammar (informally)::
     statement   := select (UNION ALL select)*
     select      := SELECT item (, item)* FROM table_ref
                    [WHERE expr] [GROUP BY expr (, expr)*] [HAVING expr]
-                   [ORDER BY order (, order)*] [LIMIT int]
+                   [ORDER BY order (, order)*] [LIMIT int] [within]
+    within      := WITHIN bound (, bound)* [AT number [%] CONFIDENCE]
+    bound       := number '%'            -- relative error
+                 | number                -- absolute error
+                 | number ('ms' | 's')   -- time budget
     table_ref   := (identifier | '(' select ')') [AS? alias]
                    [TABLESAMPLE POISSONIZED '(' number ')']
     item        := expr [AS? alias] | '*'
@@ -103,6 +107,9 @@ class _Parser:
         if self.accept(TokenType.KEYWORD, "LIMIT"):
             token = self.expect(TokenType.NUMBER)
             limit = int(float(token.value))
+        within = None
+        if self.accept(TokenType.KEYWORD, "WITHIN"):
+            within = self._parse_within()
         return ast.SelectStatement(
             items=tuple(items),
             source=source,
@@ -111,7 +118,103 @@ class _Parser:
             having=having,
             order_by=tuple(order_by),
             limit=limit,
+            within=within,
         )
+
+    def _parse_within(self) -> ast.WithinClause:
+        """Parse the bound list and optional confidence after WITHIN."""
+        start = self.current.position
+        relative: float | None = None
+        absolute: float | None = None
+        time_budget: float | None = None
+        while True:
+            position = self.current.position
+            kind, value = self._parse_within_bound()
+            already = {
+                "relative": relative,
+                "absolute": absolute,
+                "time": time_budget,
+            }[kind]
+            if already is not None:
+                raise ParseError(
+                    f"duplicate WITHIN {kind} bound at position {position}",
+                    position,
+                )
+            if kind == "relative":
+                relative = value
+            elif kind == "absolute":
+                absolute = value
+            else:
+                time_budget = value
+            if not self.accept(TokenType.PUNCTUATION, ","):
+                break
+        if time_budget is not None and (
+            relative is not None or absolute is not None
+        ):
+            raise ParseError(
+                "WITHIN cannot combine an error bound and a time budget "
+                f"at position {start}",
+                start,
+            )
+        if relative is not None and absolute is not None:
+            raise ParseError(
+                "WITHIN cannot combine relative and absolute error bounds "
+                f"at position {start}",
+                start,
+            )
+        confidence = None
+        if self.accept(TokenType.KEYWORD, "AT"):
+            position = self.current.position
+            token = self.expect(TokenType.NUMBER)
+            confidence = float(token.value)
+            if self.accept(TokenType.OPERATOR, "%"):
+                confidence /= 100.0
+            self.expect(TokenType.KEYWORD, "CONFIDENCE")
+            if not 0.0 < confidence < 1.0:
+                raise ParseError(
+                    f"confidence must lie in (0, 1), got {confidence} "
+                    f"at position {position}",
+                    position,
+                )
+        return ast.WithinClause(
+            relative_error=relative,
+            absolute_error=absolute,
+            time_budget_seconds=time_budget,
+            confidence=confidence,
+        )
+
+    def _parse_within_bound(self) -> tuple[str, float]:
+        """One WITHIN bound: ``2%``, ``5.0``, ``500ms``, or ``2s``."""
+        position = self.current.position
+        negated = bool(self.accept(TokenType.OPERATOR, "-"))
+        token = self.expect(TokenType.NUMBER)
+        value = float(token.value)
+        if negated or value <= 0:
+            rendered = f"-{token.value}" if negated else token.value
+            raise ParseError(
+                f"WITHIN bound must be positive, got {rendered} "
+                f"at position {position}",
+                position,
+            )
+        if self.accept(TokenType.OPERATOR, "%"):
+            if value > 100.0:
+                raise ParseError(
+                    f"relative error bound cannot exceed 100%, got "
+                    f"{token.value}% at position {position}",
+                    position,
+                )
+            return "relative", value / 100.0
+        if self.check(TokenType.IDENTIFIER):
+            unit = self.current.value.lower()
+            if unit in ("ms", "s"):
+                self.advance()
+                return "time", value / 1e3 if unit == "ms" else value
+            raise ParseError(
+                f"unknown WITHIN time unit {self.current.value!r} "
+                f"(expected 'ms' or 's') at position {self.current.position}",
+                self.current.position,
+            )
+        return "absolute", value
 
     def _parse_select_item(self) -> ast.SelectItem:
         if self.check(TokenType.OPERATOR, "*") and self._next_ends_item():

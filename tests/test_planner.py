@@ -1,0 +1,637 @@
+"""The pilot-based bounded-error/bounded-time planner.
+
+Covers the WITHIN contract from every side:
+
+* parsing — ``WITHIN 2% AT 95% CONFIDENCE``, ``WITHIN 5.0``,
+  ``WITHIN 500ms``, and every rejection (negative, >100 %, duplicate,
+  error+time combos, bad confidence, unknown unit);
+* the :class:`~repro.sql.ast.WithinClause` invariants;
+* the cost model — prediction, online EWMA recalibration, persistence,
+  and the ``REPRO_COST_MODEL`` override;
+* the planner's decision logic — sizing from a pilot, the P90 rule for
+  grouped queries, honest refusal with an achievable bound, and
+  time-budget inversion over the replicate ladder;
+* the engine end to end — the RNG-prefix contract (pilot-then-final is
+  **bit-identical** to executing the same plan directly, at any worker
+  count, with and without injected faults), the achieved-bound report,
+  typed refusals, and the ``REPRO_PLANNER`` kill switch reproducing the
+  legacy fixed-budget path bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pipeline import AQPEngine, EngineConfig
+from repro.engine.table import Table
+from repro.errors import BoundUnachievableError, ParseError
+from repro.faults import FaultPlan
+from repro.obs.metrics import METRICS
+from repro.planner import (
+    CostModel,
+    CostPlanner,
+    PilotMeasurement,
+    PilotValue,
+    QueryPlan,
+    resolve_planner_enabled,
+)
+from repro.planner.cost import default_cost_model_path
+from repro.planner.planner import PLANNER_ENV
+from repro.sampling.catalog import SampleInfo
+from repro.serve.protocol import result_to_json
+from repro.sql.ast import WithinClause
+from repro.sql.parser import parse_select
+
+ROWS = 20_000
+SAMPLE = 5_000
+
+
+def _sessions_table(rows: int = ROWS, seed: int = 321) -> Table:
+    rng = np.random.default_rng(seed)
+    return Table(
+        {
+            "time": rng.lognormal(3.0, 0.5, rows),
+            "bytes": rng.lognormal(6.0, 0.8, rows),
+            "city": np.char.add(
+                "c", rng.integers(0, 4, rows).astype(str)
+            ),
+        },
+        name="sessions",
+    )
+
+
+def _engine(
+    seed: int = 7,
+    table: Table | None = None,
+    sample: int = SAMPLE,
+    **config_kwargs,
+) -> AQPEngine:
+    config_kwargs.setdefault("catalog", False)
+    engine = AQPEngine(config=EngineConfig(**config_kwargs), seed=seed)
+    engine.register_table("sessions", table or _sessions_table())
+    engine.create_sample("sessions", size=sample, name="s")
+    return engine
+
+
+def _snapshot(result):
+    """Everything bit-comparable about an answer."""
+    rows = []
+    for row in result.rows:
+        values = {}
+        for name, value in row.values.items():
+            interval = value.interval
+            values[name] = (
+                value.estimate,
+                None
+                if interval is None
+                else (interval.lower, interval.upper, interval.method),
+                value.method,
+                value.fell_back,
+            )
+        rows.append((tuple(sorted(row.group.items())), values))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+class TestWithinParsing:
+    def _within(self, suffix):
+        return parse_select(
+            f"SELECT AVG(time) FROM sessions {suffix}"
+        ).within
+
+    def test_relative_percent(self):
+        within = self._within("WITHIN 2%")
+        assert within.relative_error == pytest.approx(0.02)
+        assert within.kind == "relative"
+        assert within.confidence is None
+
+    def test_relative_with_confidence(self):
+        within = self._within("WITHIN 2% AT 95% CONFIDENCE")
+        assert within.relative_error == pytest.approx(0.02)
+        assert within.confidence == pytest.approx(0.95)
+
+    def test_confidence_as_fraction(self):
+        within = self._within("WITHIN 5% AT 0.99 CONFIDENCE")
+        assert within.confidence == pytest.approx(0.99)
+
+    def test_absolute_bound(self):
+        within = self._within("WITHIN 5.0")
+        assert within.absolute_error == pytest.approx(5.0)
+        assert within.kind == "absolute"
+
+    def test_time_bound_milliseconds(self):
+        within = self._within("WITHIN 500ms")
+        assert within.time_budget_seconds == pytest.approx(0.5)
+        assert within.kind == "time"
+
+    def test_time_bound_seconds(self):
+        within = self._within("WITHIN 2s")
+        assert within.time_budget_seconds == pytest.approx(2.0)
+
+    def test_round_trips_through_to_sql(self):
+        for suffix in (
+            "WITHIN 2% AT 95% CONFIDENCE",
+            "WITHIN 5.0",
+            "WITHIN 500ms",
+            "WITHIN 2s",
+        ):
+            statement = parse_select(
+                f"SELECT AVG(time) FROM sessions {suffix}"
+            )
+            reparsed = parse_select(statement.to_sql())
+            assert reparsed.within == statement.within
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ParseError, match="must be positive"):
+            self._within("WITHIN -2%")
+
+    def test_zero_bound_rejected(self):
+        with pytest.raises(ParseError, match="must be positive"):
+            self._within("WITHIN 0%")
+
+    def test_over_100_percent_rejected(self):
+        with pytest.raises(ParseError, match="cannot exceed 100%"):
+            self._within("WITHIN 150%")
+
+    def test_error_plus_time_rejected(self):
+        with pytest.raises(
+            ParseError, match="cannot combine an error bound and a time"
+        ):
+            self._within("WITHIN 2%, 500ms")
+
+    def test_relative_plus_absolute_rejected(self):
+        with pytest.raises(
+            ParseError, match="cannot combine relative and absolute"
+        ):
+            self._within("WITHIN 2%, 5.0")
+
+    def test_duplicate_bound_rejected(self):
+        with pytest.raises(ParseError, match="duplicate WITHIN relative"):
+            self._within("WITHIN 2%, 5%")
+
+    def test_unknown_time_unit_rejected(self):
+        with pytest.raises(ParseError, match="unknown WITHIN time unit"):
+            self._within("WITHIN 5 minutes")
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ParseError, match="confidence must lie"):
+            self._within("WITHIN 2% AT 150% CONFIDENCE")
+
+
+class TestWithinClauseValidation:
+    def test_requires_exactly_one_bound(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            WithinClause()
+        with pytest.raises(ValueError, match="exactly one"):
+            WithinClause(relative_error=0.02, absolute_error=1.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            WithinClause(absolute_error=0.0)
+        with pytest.raises(ValueError, match="positive"):
+            WithinClause(time_budget_seconds=-1.0)
+
+    def test_rejects_relative_over_one(self):
+        with pytest.raises(ValueError, match="exceed 100%"):
+            WithinClause(relative_error=1.5)
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(ValueError, match="strictly between"):
+            WithinClause(relative_error=0.02, confidence=1.0)
+
+    def test_kind_and_value(self):
+        assert WithinClause(relative_error=0.02).kind == "relative"
+        assert WithinClause(absolute_error=3.0).bound_value == 3.0
+        assert WithinClause(time_budget_seconds=0.5).kind == "time"
+
+
+# ---------------------------------------------------------------------------
+# Cost model
+# ---------------------------------------------------------------------------
+class TestCostModel:
+    def test_prediction_is_linear(self):
+        model = CostModel(
+            c0=0.001, row_seconds=1e-6, replicate_row_seconds=1e-8
+        )
+        assert model.predict(10_000, 0) == pytest.approx(0.011)
+        assert model.predict(10_000, 100) == pytest.approx(0.021)
+
+    def test_closed_form_observation_calibrates_row_term(self):
+        model = CostModel(c0=0.001, row_seconds=2e-7, alpha=0.5)
+        model.observe(10_000, 0, 0.011)
+        assert model.row_seconds == pytest.approx(
+            0.5 * 2e-7 + 0.5 * 1e-6
+        )
+        assert model.observations == 1
+
+    def test_bootstrap_observation_calibrates_replicate_term(self):
+        model = CostModel(
+            c0=0.0, row_seconds=1e-6, replicate_row_seconds=1e-9, alpha=0.5
+        )
+        model.observe(10_000, 100, 0.02)
+        # residual = 0.02 - 0.01 over 1e6 replicate-rows → 1e-8
+        assert model.replicate_row_seconds == pytest.approx(
+            0.5 * 1e-9 + 0.5 * 1e-8
+        )
+
+    def test_calibrated_after_min_observations(self):
+        model = CostModel()
+        assert not model.calibrated
+        for _ in range(3):
+            model.observe(1000, 0, 0.01)
+        assert model.calibrated
+
+    def test_degenerate_observations_ignored(self):
+        model = CostModel()
+        before = model.row_seconds
+        model.observe(0, 0, 1.0)
+        model.observe(1000, 0, -1.0)
+        assert model.row_seconds == before and model.observations == 0
+
+    def test_round_trips_through_disk(self, tmp_path):
+        model = CostModel(c0=0.002, row_seconds=3e-7, observations=9)
+        path = tmp_path / "model.json"
+        assert model.save(path)
+        loaded = CostModel.load(path)
+        assert loaded == model
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "model.json"
+        path.write_text("not json")
+        assert CostModel.load(path) == CostModel()
+        path.write_text('{"schema": 99, "c0": 5}')
+        assert CostModel.load(path) == CostModel()
+        assert CostModel.from_dict(
+            {"schema": 1, "c0": 0.001, "row_seconds": -1.0,
+             "replicate_row_seconds": 1e-9}
+        ) == CostModel()
+
+    def test_env_override_controls_path(self, monkeypatch, tmp_path):
+        target = tmp_path / "custom.json"
+        monkeypatch.setenv("REPRO_COST_MODEL", str(target))
+        assert default_cost_model_path() == target
+        monkeypatch.setenv("REPRO_COST_MODEL", "off")
+        assert default_cost_model_path() is None
+
+
+# ---------------------------------------------------------------------------
+# Planner decision logic
+# ---------------------------------------------------------------------------
+def _info(rows, name="s", dataset_rows=100_000):
+    return SampleInfo(
+        name=name, table_name="sessions", rows=rows,
+        dataset_rows=dataset_rows,
+    )
+
+
+def _pilot(values, rows=200, verdict_ok=True):
+    return PilotMeasurement(
+        rows=rows, elapsed_seconds=0.01, verdict_ok=verdict_ok,
+        values=tuple(values),
+    )
+
+
+class TestCostPlanner:
+    def test_pilot_rows_clamps(self):
+        planner = CostPlanner()
+        assert planner.pilot_rows(100_000) == 2000   # 5% capped at max
+        assert planner.pilot_rows(1_000) == 200      # floor
+        assert planner.pilot_rows(100) == 100        # never above sample
+
+    def test_sizes_minimal_fraction_from_pilot(self):
+        planner = CostPlanner(safety_factor=1.2)
+        # rel. error at the 200-row pilot is 0.1/10 = 1%; a 2% target
+        # needs 200·(0.01/0.02)² = 50 rows → pilot floor wins.
+        pilot = _pilot([PilotValue("a", 10.0, 0.1)])
+        plan = planner.plan_from_pilot(
+            WithinClause(relative_error=0.02), 0.95, pilot,
+            [_info(50_000)], closed_form=True, default_replicates=100,
+        )
+        assert plan.reason == "pilot" and not plan.fixed_budget
+        assert plan.chosen_rows == 200
+        assert plan.replicates == 0  # closed-form: no resamples needed
+        assert "chosen fraction=0.0020" in plan.summary()
+
+    def test_tighter_bound_needs_more_rows(self):
+        planner = CostPlanner(safety_factor=1.0)
+        pilot = _pilot([PilotValue("a", 10.0, 0.5)])  # 5% at n=200
+        plan = planner.plan_from_pilot(
+            WithinClause(relative_error=0.01), 0.95, pilot,
+            [_info(50_000)], closed_form=True, default_replicates=100,
+        )
+        # width ∝ 1/√n: 5% → 1% needs 25× the pilot rows.
+        assert plan.chosen_rows == 5000
+
+    def test_picks_smallest_fitting_sample(self):
+        planner = CostPlanner(safety_factor=1.0)
+        pilot = _pilot([PilotValue("a", 10.0, 0.5)])
+        candidates = [
+            _info(1_000, "tiny"), _info(10_000, "mid"), _info(50_000, "big"),
+        ]
+        plan = planner.plan_from_pilot(
+            WithinClause(relative_error=0.01), 0.95, pilot,
+            candidates, closed_form=True, default_replicates=100,
+        )
+        assert plan.sample_name == "mid" and plan.chosen_rows == 5000
+
+    def test_p90_rule_ignores_rare_group_noise(self):
+        planner = CostPlanner(safety_factor=1.0)
+        # Nine well-measured groups plus one rare group whose pilot
+        # extrapolation is pure noise — sizing must track the bulk.
+        values = [PilotValue(f"g{i}", 10.0, 0.5) for i in range(9)]
+        values.append(PilotValue("rare", 10.0, 50.0))
+        plan = planner.plan_from_pilot(
+            WithinClause(relative_error=0.01), 0.95, _pilot(values),
+            [_info(50_000)], closed_form=True, default_replicates=100,
+        )
+        assert plan.chosen_rows == 5000  # p90, not the rare group's 5e6
+
+    def test_max_rule_below_five_values(self):
+        planner = CostPlanner(safety_factor=1.0)
+        values = [
+            PilotValue("a", 10.0, 0.5), PilotValue("b", 10.0, 1.0),
+        ]
+        plan = planner.plan_from_pilot(
+            WithinClause(relative_error=0.02), 0.95, _pilot(values),
+            [_info(50_000)], closed_form=True, default_replicates=100,
+        )
+        assert plan.chosen_rows == 5000  # sized to the worst of the two
+
+    def test_refuses_with_achievable_bound(self):
+        planner = CostPlanner(safety_factor=1.0)
+        pilot = _pilot([PilotValue("a", 10.0, 0.5)])  # 5% at n=200
+        with pytest.raises(BoundUnachievableError) as excinfo:
+            planner.plan_from_pilot(
+                WithinClause(relative_error=0.001), 0.95, pilot,
+                [_info(5_000)], closed_form=True, default_replicates=100,
+            )
+        error = excinfo.value
+        assert error.kind == "relative"
+        assert error.requested == pytest.approx(0.001)
+        # 5% at 200 rows → 1% at the full 5000: that is the floor.
+        assert error.achievable == pytest.approx(0.01)
+
+    def test_failed_pilot_verdict_forces_fixed_budget(self):
+        planner = CostPlanner()
+        pilot = _pilot([PilotValue("a", 10.0, 0.1)], verdict_ok=False)
+        plan = planner.plan_from_pilot(
+            WithinClause(relative_error=0.02), 0.95, pilot,
+            [_info(50_000)], closed_form=True, default_replicates=100,
+        )
+        assert plan.fixed_budget and plan.chosen_rows == 50_000
+        assert plan.replicates is None
+        assert "fixed budget" in plan.summary()
+
+    def test_untrusted_pilot_value_forces_fixed_budget(self):
+        planner = CostPlanner()
+        pilot = _pilot([PilotValue("a", 10.0, 0.1, trusted=False)])
+        plan = planner.plan_from_pilot(
+            WithinClause(relative_error=0.02), 0.95, pilot,
+            [_info(50_000)], closed_form=True, default_replicates=100,
+        )
+        assert plan.fixed_budget
+
+    def test_absolute_bound_sizes_on_half_width(self):
+        planner = CostPlanner(safety_factor=1.0)
+        pilot = _pilot([PilotValue("a", 10.0, 0.5)])
+        plan = planner.plan_from_pilot(
+            WithinClause(absolute_error=0.25), 0.95, pilot,
+            [_info(50_000)], closed_form=True, default_replicates=100,
+        )
+        assert plan.chosen_rows == 800  # 200·(0.5/0.25)²
+
+    def test_time_inversion_prefers_rows_over_replicates(self):
+        model = CostModel(
+            c0=0.0, row_seconds=1e-6, replicate_row_seconds=1e-8,
+            observations=10,
+        )
+        planner = CostPlanner(cost_model=model)
+        candidates = [_info(100_000)]
+        generous = planner.plan_for_time(
+            WithinClause(time_budget_seconds=1.0), 0.95, candidates,
+            closed_form=True, default_replicates=100,
+        )
+        assert generous.chosen_fraction == pytest.approx(1.0)
+        assert generous.reason == "cost_model"
+        tight = planner.plan_for_time(
+            WithinClause(time_budget_seconds=0.05), 0.95, candidates,
+            closed_form=True, default_replicates=100,
+        )
+        assert tight.chosen_rows == 50_000
+
+    def test_time_inversion_walks_replicate_ladder(self):
+        model = CostModel(
+            c0=0.0, row_seconds=1e-6, replicate_row_seconds=1e-8,
+            observations=10,
+        )
+        planner = CostPlanner(cost_model=model)
+        # Full rows cost 0.1 s + 0.001 s per replicate: a 0.13 s budget
+        # keeps every row but cuts K to the first rung that fits.
+        plan = planner.plan_for_time(
+            WithinClause(time_budget_seconds=0.13), 0.95, [_info(100_000)],
+            closed_form=False, default_replicates=100,
+        )
+        assert plan.chosen_fraction == pytest.approx(1.0)
+        assert plan.replicates == 25
+
+    def test_time_refusal_reports_floor_cost(self):
+        model = CostModel(
+            c0=0.01, row_seconds=1e-6, replicate_row_seconds=1e-8,
+            observations=10,
+        )
+        planner = CostPlanner(cost_model=model)
+        with pytest.raises(BoundUnachievableError) as excinfo:
+            planner.plan_for_time(
+                WithinClause(time_budget_seconds=1e-4), 0.95,
+                [_info(100_000)], closed_form=True,
+                default_replicates=100,
+            )
+        assert excinfo.value.kind == "time"
+        assert excinfo.value.achievable >= 0.01
+
+    def test_kill_switch_env(self, monkeypatch):
+        monkeypatch.delenv(PLANNER_ENV, raising=False)
+        assert resolve_planner_enabled(None)
+        monkeypatch.setenv(PLANNER_ENV, "off")
+        assert not resolve_planner_enabled(None)
+        assert resolve_planner_enabled(True)  # explicit beats env
+        monkeypatch.setenv(PLANNER_ENV, "on")
+        assert resolve_planner_enabled(None)
+        assert not resolve_planner_enabled(False)
+
+
+# ---------------------------------------------------------------------------
+# Engine end to end
+# ---------------------------------------------------------------------------
+class TestBoundedExecution:
+    def test_relative_bound_plans_and_reports(self):
+        METRICS.reset()
+        with _engine() as engine:
+            result = engine.execute(
+                "SELECT AVG(time) FROM sessions WITHIN 5% "
+                "AT 95% CONFIDENCE"
+            )
+        assert result.plan is not None and not result.plan.fixed_budget
+        assert result.plan.chosen_rows < SAMPLE
+        report = result.execution_report
+        assert report.bound_kind == "relative"
+        assert report.bound_target == pytest.approx(0.05)
+        assert report.achieved_bound is not None
+        assert report.achieved_bound <= 0.05
+        value = result.single()
+        assert value.interval.confidence == pytest.approx(0.95)
+        snap = METRICS.snapshot()
+        assert snap["planner.pilot_runs"]["value"] == 1
+        assert snap["planner.chosen_fraction"]["value"] > 0
+
+    def test_absolute_bound_enforced(self):
+        with _engine() as engine:
+            result = engine.execute(
+                "SELECT AVG(time) FROM sessions WITHIN 5.0"
+            )
+        report = result.execution_report
+        assert report.bound_kind == "absolute"
+        assert report.achieved_bound <= 5.0
+        assert result.single().interval.half_width <= 5.0
+
+    def test_time_bound_plans_from_cost_model(self):
+        with _engine() as engine:
+            result = engine.execute(
+                "SELECT AVG(time) FROM sessions WITHIN 10s"
+            )
+        assert result.plan is not None
+        assert result.plan.pilot_rows is None  # no pilot for time bounds
+        report = result.execution_report
+        assert report.bound_kind == "time"
+        assert report.achieved_bound == pytest.approx(
+            result.elapsed_seconds
+        )
+
+    def test_unachievable_bound_refused_with_achievable(self):
+        METRICS.reset()
+        with _engine(sample=1_000) as engine:
+            with pytest.raises(BoundUnachievableError) as excinfo:
+                engine.execute(
+                    "SELECT AVG(time) FROM sessions WITHIN 0.1%"
+                )
+        error = excinfo.value
+        assert error.kind == "relative"
+        assert error.requested == pytest.approx(0.001)
+        assert error.achievable > 0.001
+        assert METRICS.snapshot()["planner.refusals"]["value"] == 1
+
+    def test_grouped_bound_holds_for_every_group(self):
+        with _engine() as engine:
+            result = engine.execute(
+                "SELECT city, AVG(time) FROM sessions GROUP BY city "
+                "WITHIN 15%"
+            )
+        assert len(result.rows) == 4
+        report = result.execution_report
+        assert report.achieved_bound <= 0.15
+
+    def test_within_kwarg_equivalent_to_sql_clause(self):
+        table = _sessions_table()
+        with _engine(table=table) as by_sql, _engine(table=table) as by_kw:
+            a = by_sql.execute(
+                "SELECT AVG(time) FROM sessions WITHIN 5%"
+            )
+            b = by_kw.execute(
+                "SELECT AVG(time) FROM sessions",
+                within=WithinClause(relative_error=0.05),
+            )
+        assert _snapshot(a) == _snapshot(b)
+
+    def test_result_to_json_carries_bound_and_plan(self):
+        with _engine() as engine:
+            result = engine.execute(
+                "SELECT AVG(time) FROM sessions WITHIN 5%"
+            )
+        payload = result_to_json(result)
+        assert payload["bound"]["kind"] == "relative"
+        assert payload["bound"]["target"] == pytest.approx(0.05)
+        assert payload["bound"]["achieved"] <= 0.05
+        assert payload["plan"]["summary"].startswith("pilot n=")
+        assert not payload["plan"]["fixed_budget"]
+
+    def test_plan_survives_on_result_after_escalation_queries(self):
+        # A plain query carries no plan and no bound fields.
+        with _engine() as engine:
+            result = engine.execute("SELECT AVG(time) FROM sessions")
+        assert result.plan is None
+        assert result.execution_report.bound_kind is None
+        assert "bound" not in result_to_json(result)
+
+
+class TestKillSwitch:
+    def test_planner_off_matches_legacy_fixed_budget(self):
+        """WITHIN with the planner disabled degrades to exactly the
+        legacy ``error_bound`` path — same estimates, same intervals,
+        bit for bit."""
+        table = _sessions_table()
+        with _engine(table=table, planner=False) as bounded, _engine(
+            table=table, planner=False
+        ) as legacy:
+            a = bounded.execute(
+                "SELECT AVG(time) FROM sessions WITHIN 2%"
+            )
+            b = legacy.execute(
+                "SELECT AVG(time) FROM sessions", error_bound=0.02
+            )
+        assert a.plan is None
+        assert _snapshot(a) == _snapshot(b)
+
+    def test_env_kill_switch(self, monkeypatch):
+        monkeypatch.setenv(PLANNER_ENV, "off")
+        with _engine() as engine:
+            result = engine.execute(
+                "SELECT AVG(time) FROM sessions WITHIN 5%"
+            )
+        assert result.plan is None
+
+
+class TestRngPrefixContract:
+    """The pilot consumes nothing from the engine's RNG stream.
+
+    Executing a bounded query (pilot, then the planned final pass) must
+    be bit-identical to executing the same plan directly on a fresh
+    engine at the same seed — across worker counts and under injected
+    faults.  If the pilot leaked even one draw from the engine RNG the
+    two streams would diverge and the intervals would differ.
+    """
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("faults", [None, "rate:0.05"])
+    @settings(max_examples=3, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=50),
+        sql=st.sampled_from(
+            (
+                "SELECT AVG(time) FROM sessions WITHIN 5%",
+                "SELECT SUM(bytes) FROM sessions WITHIN 10%",
+                "SELECT city, AVG(time) FROM sessions GROUP BY city "
+                "WITHIN 15%",
+            )
+        ),
+    )
+    def test_pilot_then_final_matches_direct_plan(
+        self, workers, faults, seed, sql
+    ):
+        plan = FaultPlan.from_spec(faults, seed=5) if faults else None
+        table = _sessions_table()
+        piloted = _engine(
+            seed=seed, table=table, num_workers=workers, fault_plan=plan
+        )
+        direct = _engine(
+            seed=seed, table=table, num_workers=workers, fault_plan=plan
+        )
+        with piloted, direct:
+            first = piloted.execute(sql)
+            assert first.plan is not None
+            replay = direct.execute(sql, plan=first.plan)
+        assert replay.plan == first.plan
+        assert _snapshot(replay) == _snapshot(first)

@@ -624,6 +624,53 @@ class TestSharing:
             governor.close()
 
 
+class TestBoundedSubmit:
+    def test_within_fields_plan_bound_and_refusal(self):
+        """Submit-side WITHIN contract: the planned execution carries
+        bound + plan on poll, an infeasible bound resolves to a typed
+        error with the achievable bound, and an invalid combination is
+        rejected at submit."""
+        engine = _make_engine()
+        governor = QueryGovernor(engine, GovernorConfig(max_concurrency=1))
+        server = ServerThread(governor, ServeConfig())
+        try:
+            host, port = server.start()
+            with ServeClient(host, port) as client:
+                query_id = client.submit(
+                    "SELECT AVG(x) FROM t", within_relative_error=0.2
+                )
+                payload = client.wait(query_id, timeout=30.0)
+                assert payload["state"] == "done"
+                result = payload["result"]
+                assert result["bound"]["kind"] == "relative"
+                assert result["bound"]["target"] == pytest.approx(0.2)
+                assert result["bound"]["achieved"] <= 0.2
+                assert result["plan"]["summary"].startswith("pilot n=")
+
+                query_id = client.submit(
+                    "SELECT AVG(x) FROM t", within_relative_error=1e-4
+                )
+                payload = client.wait(query_id, timeout=30.0)
+                assert payload["state"] == "error"
+                assert payload["bound_kind"] == "relative"
+                assert payload["achievable_bound"] > 1e-4
+
+                response = client.request(
+                    {
+                        "op": "submit",
+                        "sql": "SELECT AVG(x) FROM t",
+                        "tenant": "default",
+                        "within_relative_error": 0.1,
+                        "within_time_budget_seconds": 1.0,
+                    }
+                )
+                assert response["error"] == "bad_request"
+                assert "exactly one" in response["message"]
+        finally:
+            server.stop()
+            governor.close()
+
+
 # ---------------------------------------------------------------------------
 # Graceful drain and crash-consistent restarts
 # ---------------------------------------------------------------------------
